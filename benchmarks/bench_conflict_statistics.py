@@ -1,0 +1,65 @@
+"""E3 — conflict-detection statistics (Figure 8).
+
+The paper reports using TeCoRe "to compute the number of conflicting facts
+(19,734) from a utkg containing 243,157 temporal facts" — a conflict rate of
+about 8.1%.  We regenerate that panel on a synthetic UTKG 1/50th of the size
+whose planted noise reproduces the same conflict rate, and check that the
+measured fraction of conflicting facts lands in the same band.
+"""
+
+import pytest
+
+from conftest import format_rows, record_report
+from repro.datasets import FootballDBConfig, generate_footballdb
+from repro.logic import find_conflicts, sports_pack
+
+#: The Figure 8 numbers.
+PAPER_TOTAL_FACTS = 243_157
+PAPER_CONFLICTING_FACTS = 19_734
+PAPER_CONFLICT_RATE = PAPER_CONFLICTING_FACTS / PAPER_TOTAL_FACTS  # ≈ 0.081
+
+#: Scale factor of the reproduction workload (1/50th of the paper's UTKG).
+SCALE_DIVISOR = 50
+
+
+@pytest.fixture(scope="module")
+def statistics_workload():
+    """A UTKG whose planted noise yields roughly the paper's conflict rate."""
+    target_facts = PAPER_TOTAL_FACTS // SCALE_DIVISOR
+    # Empirically a ~5.5% noise ratio yields ≈8% of facts in conflict (each
+    # erroneous fact typically clashes with at least one correct fact).
+    players = int(target_facts / 3.1)
+    return generate_footballdb(
+        FootballDBConfig(players=players, noise_ratio=0.055, seed=1734)
+    )
+
+
+def test_conflict_statistics_panel(benchmark, statistics_workload):
+    constraints = sports_pack().constraints
+
+    violations = benchmark(find_conflicts, statistics_workload.graph, constraints)
+
+    total_facts = len(statistics_workload.graph)
+    conflicting = {
+        fact.statement_key for violation in violations for fact in violation.facts
+    }
+    measured_rate = len(conflicting) / total_facts
+
+    # Shape check: the measured conflict rate is in the same band as Figure 8.
+    assert 0.5 * PAPER_CONFLICT_RATE <= measured_rate <= 2.0 * PAPER_CONFLICT_RATE
+
+    rows = [
+        ["paper (Figure 8)", f"{PAPER_TOTAL_FACTS:,}", f"{PAPER_CONFLICTING_FACTS:,}",
+         f"{PAPER_CONFLICT_RATE * 100:.1f}%"],
+        [f"measured (1/{SCALE_DIVISOR} scale)", f"{total_facts:,}", f"{len(conflicting):,}",
+         f"{measured_rate * 100:.1f}%"],
+    ]
+    lines = format_rows(rows, ["setting", "temporal facts", "conflicting facts", "conflict rate"])
+    lines.append("")
+    lines.append(f"{len(violations):,} grounded constraint violations across "
+                 f"{len(constraints)} constraints")
+    record_report("E3", "conflict statistics panel (Figure 8)", lines)
+
+    benchmark.extra_info["total_facts"] = total_facts
+    benchmark.extra_info["conflicting_facts"] = len(conflicting)
+    benchmark.extra_info["conflict_rate"] = measured_rate

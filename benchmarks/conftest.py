@@ -1,0 +1,76 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table/figure/claim of the paper (see the
+per-experiment index in DESIGN.md).  Besides the pytest-benchmark timings,
+each benchmark writes the paper-style rows to ``benchmarks/results/<id>.txt``
+and registers them for the terminal summary, so running
+
+    pytest benchmarks/ --benchmark-only
+
+prints both the timing table and the reproduced experiment tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import FootballDBConfig, generate_footballdb, ranieri_graph
+
+#: Directory the per-experiment tables are written to.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_REPORTS: dict[str, str] = {}
+
+
+def record_report(experiment_id: str, title: str, lines: list[str]) -> str:
+    """Save an experiment report to disk and register it for the summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = f"{experiment_id}: {title}\n" + "-" * 72 + "\n" + "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(body, encoding="utf-8")
+    _REPORTS[experiment_id] = body
+    return body
+
+
+def format_rows(rows: list[list[object]], headers: list[str]) -> list[str]:
+    """Fixed-width table formatting shared by the benchmark reports."""
+    table = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[column]) for row in table) for column in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103 - pytest hook
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "TeCoRe reproduction: experiment tables")
+    for experiment_id in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        for line in _REPORTS[experiment_id].rstrip().splitlines():
+            terminalreporter.write_line(line)
+
+
+# --------------------------------------------------------------------------- #
+# Shared fixtures (session-scoped: datasets are deterministic and reusable)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def ranieri():
+    """The paper's Figure 1 UTKG."""
+    return ranieri_graph()
+
+
+@pytest.fixture(scope="session")
+def footballdb_clean():
+    """Mid-size clean FootballDB (solver-comparison workload)."""
+    return generate_footballdb(FootballDBConfig(scale=0.05, noise_ratio=0.0, seed=2017))
+
+
+@pytest.fixture(scope="session")
+def footballdb_noisy():
+    """Mid-size FootballDB in the paper's 'highly noisy setting' (50% noise)."""
+    return generate_footballdb(FootballDBConfig(scale=0.05, noise_ratio=1.0, seed=2017))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Debugging a noisy FootballDB-style knowledge graph.
+
+This is the paper's headline use case: a temporal KG harvested by open
+information extraction where "there are as many erroneous temporal facts as
+the correct ones".  The script
+
+1. generates a synthetic FootballDB (playsFor + birthDate) with 50% planted
+   noise and a remembered ground truth;
+2. detects temporal conflicts with the sports constraint pack;
+3. repairs the graph with the MLN path, the PSL path, and the greedy/static
+   baselines;
+4. scores each repair against the planted noise (precision / recall / F1).
+
+Run with:  python examples/footballdb_debugging.py [scale]
+"""
+
+import sys
+import time
+
+from repro import TeCoRe
+from repro.baselines import GreedyResolver, StaticResolver
+from repro.datasets import FootballDBConfig, generate_footballdb
+from repro.logic import find_conflicts, sports_pack
+from repro.metrics import repair_quality
+
+
+def main(scale: float = 0.02) -> None:
+    print(f"Generating synthetic FootballDB at scale {scale} with 50% planted noise ...")
+    dataset = generate_footballdb(FootballDBConfig(scale=scale, noise_ratio=0.5, seed=2017))
+    graph = dataset.graph
+    print(
+        f"  {len(graph)} facts ({len(dataset.clean_facts)} clean + "
+        f"{len(dataset.noise_facts)} erroneous)"
+    )
+
+    pack = sports_pack()
+    violations = find_conflicts(graph, pack.constraints)
+    conflicting = {fact.statement_key for violation in violations for fact in violation.facts}
+    print(f"  {len(violations)} constraint violations involving {len(conflicting)} facts\n")
+
+    rows = []
+
+    def record(name: str, removed_facts, seconds: float) -> None:
+        quality = repair_quality(removed_facts, dataset.noise_facts)
+        rows.append((name, len(removed_facts), quality.precision, quality.recall, quality.f1, seconds))
+
+    for solver in ("nrockit", "npsl"):
+        system = TeCoRe.from_pack("sports", solver=solver)
+        started = time.perf_counter()
+        result = system.resolve(graph)
+        record(solver, result.removed_facts, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    greedy = GreedyResolver().resolve(graph, pack.constraints)
+    record("greedy", greedy.removed_facts, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    static = StaticResolver().resolve(graph, pack.constraints)
+    record("static (no time)", static.removed_facts, time.perf_counter() - started)
+
+    print(f"{'method':18s} {'removed':>8s} {'precision':>10s} {'recall':>8s} {'F1':>6s} {'seconds':>8s}")
+    print("-" * 64)
+    for name, removed, precision, recall, f1, seconds in rows:
+        print(f"{name:18s} {removed:8d} {precision:10.3f} {recall:8.3f} {f1:6.3f} {seconds:8.2f}")
+    print()
+    print(
+        "The temporal MAP repairs recover the planted noise with high precision;\n"
+        "the static baseline (which ignores validity time, like pre-TeCoRe\n"
+        "debuggers) removes many correct career facts and scores far lower."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

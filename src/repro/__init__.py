@@ -1,0 +1,82 @@
+"""TeCoRe: Temporal Conflict Resolution in Knowledge Graphs (VLDB 2017) — reproduction.
+
+The library detects and resolves temporal conflicts in uncertain temporal
+knowledge graphs (UTKGs) by translating the graph, temporal inference rules
+and temporal constraints into weighted first-order logic and computing the
+most probable conflict-free world (MAP inference) with either a Markov Logic
+Network back-end ("nRockIt") or a Probabilistic Soft Logic back-end ("nPSL").
+
+Quickstart
+----------
+>>> from repro import TeCoRe
+>>> from repro.datasets import ranieri_graph
+>>> system = TeCoRe.from_pack("running-example", solver="nrockit")
+>>> result = system.resolve(ranieri_graph())
+>>> result.statistics.removed_facts
+1
+
+Package map
+-----------
+* :mod:`repro.kg` — temporal knowledge-graph substrate (terms, facts, store, IO);
+* :mod:`repro.temporal` — discrete time, intervals, Allen's interval algebra;
+* :mod:`repro.logic` — rules, constraints, Datalog-style parser, grounding;
+* :mod:`repro.mln` / :mod:`repro.psl` — the two MAP inference engines;
+* :mod:`repro.core` — the TeCoRe facade, translator, registry, reports;
+* :mod:`repro.baselines`, :mod:`repro.datasets`, :mod:`repro.metrics` — the
+  evaluation harness.
+"""
+
+from .core import (
+    ResolutionResult,
+    ResolutionStatistics,
+    TeCoRe,
+    available_solvers,
+    detect_conflicts,
+    render_graph_summary,
+    render_report,
+    resolve,
+)
+from .errors import TecoreError
+from .kg import IRI, Literal, TemporalFact, TemporalKnowledgeGraph, make_fact
+from .logic import (
+    ConstraintBuilder,
+    ConstraintEditor,
+    RuleBuilder,
+    TemporalConstraint,
+    TemporalRule,
+    parse_constraint,
+    parse_program,
+    parse_rule,
+)
+from .temporal import AllenRelation, TimeDomain, TimeInterval
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllenRelation",
+    "ConstraintBuilder",
+    "ConstraintEditor",
+    "IRI",
+    "Literal",
+    "ResolutionResult",
+    "ResolutionStatistics",
+    "RuleBuilder",
+    "TeCoRe",
+    "TecoreError",
+    "TemporalConstraint",
+    "TemporalFact",
+    "TemporalKnowledgeGraph",
+    "TemporalRule",
+    "TimeDomain",
+    "TimeInterval",
+    "__version__",
+    "available_solvers",
+    "detect_conflicts",
+    "make_fact",
+    "parse_constraint",
+    "parse_program",
+    "parse_rule",
+    "render_graph_summary",
+    "render_report",
+    "resolve",
+]

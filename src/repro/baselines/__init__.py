@@ -1,0 +1,11 @@
+"""Baseline conflict-resolution strategies used in the comparisons."""
+
+from .greedy import BaselineResult, DropLowestResolver, GreedyResolver
+from .static_resolver import StaticResolver
+
+__all__ = [
+    "BaselineResult",
+    "DropLowestResolver",
+    "GreedyResolver",
+    "StaticResolver",
+]

@@ -1,0 +1,124 @@
+"""Greedy weight-based conflict resolution baseline.
+
+A simple, fast repair strategy to compare the MAP solvers against: detect all
+constraint violations, then repeatedly drop the lowest-confidence fact that
+participates in the largest number of unresolved conflicts until none remain.
+No optimality guarantee — the point of the comparison (benchmarks A1/E6) is
+to show how much the joint MAP formulation buys over local greedy choices.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..logic import ConstraintViolation, TemporalConstraint, find_conflicts
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline repair."""
+
+    name: str
+    consistent_graph: TemporalKnowledgeGraph
+    removed_facts: tuple[TemporalFact, ...]
+    violations_found: int
+    runtime_seconds: float
+    details: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed_facts)
+
+
+class GreedyResolver:
+    """Drop lowest-confidence / highest-degree facts until conflict-free."""
+
+    name = "greedy"
+
+    def resolve(
+        self,
+        graph: TemporalKnowledgeGraph,
+        constraints: Iterable[TemporalConstraint],
+    ) -> BaselineResult:
+        started = time.perf_counter()
+        constraints = list(constraints)
+        violations = find_conflicts(graph, constraints)
+        initial_violations = len(violations)
+
+        removed: dict[tuple, TemporalFact] = {}
+        pending = list(violations)
+        while pending:
+            degree: dict[tuple, int] = {}
+            facts: dict[tuple, TemporalFact] = {}
+            for violation in pending:
+                for fact in violation.facts:
+                    key = fact.statement_key
+                    degree[key] = degree.get(key, 0) + 1
+                    facts[key] = fact
+            # Victim: most conflicts first, then lowest confidence, then key for determinism.
+            victim_key = min(
+                degree,
+                key=lambda key: (-degree[key], facts[key].confidence, key),
+            )
+            removed[victim_key] = facts[victim_key]
+            pending = [
+                violation
+                for violation in pending
+                if all(fact.statement_key != victim_key for fact in violation.facts)
+            ]
+
+        consistent = graph.filter(
+            lambda fact: fact.statement_key not in removed,
+            name=f"{graph.name}-greedy-consistent",
+        )
+        elapsed = time.perf_counter() - started
+        return BaselineResult(
+            name=self.name,
+            consistent_graph=consistent,
+            removed_facts=tuple(removed.values()),
+            violations_found=initial_violations,
+            runtime_seconds=elapsed,
+        )
+
+
+class DropLowestResolver:
+    """Pairwise baseline: in every violated pair, drop the lower-confidence fact.
+
+    Cruder than :class:`GreedyResolver`: it does not consider how many
+    conflicts a fact participates in, it just locally removes the weaker
+    partner of every conflict, which can delete more facts than necessary.
+    """
+
+    name = "drop-lowest"
+
+    def resolve(
+        self,
+        graph: TemporalKnowledgeGraph,
+        constraints: Iterable[TemporalConstraint],
+    ) -> BaselineResult:
+        started = time.perf_counter()
+        violations = find_conflicts(graph, list(constraints))
+        removed: dict[tuple, TemporalFact] = {}
+        for violation in violations:
+            surviving = [
+                fact for fact in violation.facts if fact.statement_key not in removed
+            ]
+            if len(surviving) < len(violation.facts):
+                continue  # already resolved by an earlier removal
+            weakest = min(surviving, key=lambda fact: (fact.confidence, fact.statement_key))
+            removed[weakest.statement_key] = weakest
+        consistent = graph.filter(
+            lambda fact: fact.statement_key not in removed,
+            name=f"{graph.name}-droplowest-consistent",
+        )
+        elapsed = time.perf_counter() - started
+        return BaselineResult(
+            name=self.name,
+            consistent_graph=consistent,
+            removed_facts=tuple(removed.values()),
+            violations_found=len(violations),
+            runtime_seconds=elapsed,
+        )

@@ -1,0 +1,88 @@
+"""Static (time-ignoring) conflict resolution baseline.
+
+The paper's introduction motivates TeCoRe by the failure mode of existing
+debugging approaches: lacking temporal awareness, they treat "statements that
+refer to objects at different points in time" as inconsistent — e.g. the two
+coaching spells (Chelsea 2000–2004, Leicester 2015–2017) look contradictory to
+a static functional-predicate check even though they never overlap.
+
+This baseline implements exactly that behaviour: it applies the constraints
+*as if every fact held at all times* (all intervals are collapsed to a single
+shared interval before checking), then repairs greedily.  Benchmark A3
+contrasts it with the temporal resolvers to quantify the over-removal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..logic import TemporalConstraint, find_conflicts
+from ..temporal import TimeInterval
+from .greedy import BaselineResult
+
+
+class StaticResolver:
+    """Conflict resolution that ignores validity time entirely."""
+
+    name = "static"
+
+    def __init__(self, collapse_interval: TimeInterval | None = None) -> None:
+        #: The single interval every fact is collapsed to before checking.
+        self.collapse_interval = collapse_interval or TimeInterval(0, 0)
+
+    # ------------------------------------------------------------------ #
+    def collapse(self, graph: TemporalKnowledgeGraph) -> TemporalKnowledgeGraph:
+        """Copy of ``graph`` with every validity interval replaced by one instant."""
+        collapsed = TemporalKnowledgeGraph(name=f"{graph.name}-static")
+        for fact in graph:
+            collapsed.add(fact.with_interval(self.collapse_interval))
+        return collapsed
+
+    def resolve(
+        self,
+        graph: TemporalKnowledgeGraph,
+        constraints: Iterable[TemporalConstraint],
+    ) -> BaselineResult:
+        started = time.perf_counter()
+        constraints = list(constraints)
+        collapsed = self.collapse(graph)
+        violations = find_conflicts(collapsed, constraints)
+
+        # Map collapsed facts back to the original statements they came from.
+        original_by_triple: dict[tuple, list[TemporalFact]] = {}
+        for fact in graph:
+            key = (str(fact.subject), str(fact.predicate), str(fact.object))
+            original_by_triple.setdefault(key, []).append(fact)
+
+        removed: dict[tuple, TemporalFact] = {}
+        for violation in violations:
+            candidates: list[TemporalFact] = []
+            for collapsed_fact in violation.facts:
+                key = (
+                    str(collapsed_fact.subject),
+                    str(collapsed_fact.predicate),
+                    str(collapsed_fact.object),
+                )
+                candidates.extend(original_by_triple.get(key, []))
+            surviving = [fact for fact in candidates if fact.statement_key not in removed]
+            if len(surviving) < len(candidates):
+                continue
+            if not surviving:
+                continue
+            weakest = min(surviving, key=lambda fact: (fact.confidence, fact.statement_key))
+            removed[weakest.statement_key] = weakest
+
+        consistent = graph.filter(
+            lambda fact: fact.statement_key not in removed,
+            name=f"{graph.name}-static-consistent",
+        )
+        elapsed = time.perf_counter() - started
+        return BaselineResult(
+            name=self.name,
+            consistent_graph=consistent,
+            removed_facts=tuple(removed.values()),
+            violations_found=len(violations),
+            runtime_seconds=elapsed,
+        )

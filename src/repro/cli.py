@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+The demo paper exposes TeCoRe through a web UI; this CLI exposes the same
+workflow for scripted use::
+
+    tecore datasets                       # list selectable datasets
+    tecore solvers                        # list registered solvers
+    tecore stats --dataset footballdb     # dataset inventory (Section 4 table)
+    tecore detect --dataset footballdb --pack sports
+    tecore resolve --dataset ranieri --pack running-example --solver nrockit
+    tecore resolve --graph mykg.csv --program rules.dl --solver npsl --threshold 0.5
+
+``--graph`` accepts any file format supported by :mod:`repro.kg.io`;
+``--program`` accepts the Datalog-style rule/constraint syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core import TeCoRe, available_solvers, render_graph_summary, render_report
+from .datasets import available_datasets, load_dataset
+from .errors import TecoreError
+from .kg import TemporalKnowledgeGraph
+from .kg.io import load_graph
+from .logic import available_packs, load_pack, parse_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tecore",
+        description="TeCoRe: temporal conflict resolution in uncertain temporal knowledge graphs",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list selectable datasets")
+    subparsers.add_parser("solvers", help="list registered solvers")
+    subparsers.add_parser("packs", help="list predefined rule/constraint packs")
+
+    def add_input_arguments(sub: argparse.ArgumentParser, with_program: bool = True) -> None:
+        sub.add_argument("--dataset", help=f"registered dataset ({', '.join(available_datasets())})")
+        sub.add_argument("--graph", help="path to a graph file (.tq/.csv/.json)")
+        sub.add_argument("--scale", type=float, default=0.01, help="dataset scale factor")
+        sub.add_argument("--noise", type=float, default=0.0, help="dataset noise ratio")
+        sub.add_argument("--seed", type=int, default=2017, help="dataset RNG seed")
+        if with_program:
+            sub.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
+            sub.add_argument("--program", help="path to a Datalog-style rule/constraint file")
+
+    stats = subparsers.add_parser("stats", help="show dataset statistics")
+    add_input_arguments(stats, with_program=False)
+
+    detect = subparsers.add_parser("detect", help="detect temporal conflicts")
+    add_input_arguments(detect)
+    detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    resolve = subparsers.add_parser("resolve", help="compute the conflict-free MAP state")
+    add_input_arguments(resolve)
+    resolve.add_argument("--solver", default="nrockit", choices=available_solvers())
+    resolve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    resolve.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    resolve.add_argument("--limit", type=int, default=20, help="statements shown per section")
+    return parser
+
+
+def _load_graph_from_args(args: argparse.Namespace) -> TemporalKnowledgeGraph:
+    if args.graph:
+        return load_graph(Path(args.graph))
+    if args.dataset:
+        dataset = load_dataset(args.dataset, scale=args.scale, noise_ratio=args.noise, seed=args.seed)
+        return dataset.graph
+    raise TecoreError("either --dataset or --graph must be given")
+
+
+def _load_program_from_args(args: argparse.Namespace) -> tuple[list, list]:
+    rules: list = []
+    constraints: list = []
+    if getattr(args, "pack", None):
+        pack = load_pack(args.pack)
+        rules.extend(pack.rules)
+        constraints.extend(pack.constraints)
+    if getattr(args, "program", None):
+        parsed = parse_program(Path(args.program).read_text(encoding="utf-8"))
+        rules.extend(parsed.rules)
+        constraints.extend(parsed.constraints)
+    if not rules and not constraints:
+        raise TecoreError("no rules or constraints given; use --pack and/or --program")
+    return rules, constraints
+
+
+def _command_datasets() -> int:
+    from .datasets import describe_datasets
+
+    for entry in describe_datasets():
+        print(f"{entry.name:20s} {entry.description}")
+    return 0
+
+
+def _command_solvers() -> int:
+    from .core import describe_solvers
+
+    for entry in describe_solvers():
+        print(f"{entry.name:15s} [{entry.family}] {entry.description}")
+    return 0
+
+
+def _command_packs() -> int:
+    for name in available_packs():
+        pack = load_pack(name)
+        print(f"{name:20s} {len(pack.rules)} rules, {len(pack.constraints)} constraints — {pack.description}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph_from_args(args)
+    print(render_graph_summary(graph))
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    graph = _load_graph_from_args(args)
+    _, constraints = _load_program_from_args(args)
+    system = TeCoRe(constraints=constraints)
+    violations = system.detect_conflicts(graph)
+    conflicting = {fact.statement_key for violation in violations for fact in violation.facts}
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "graph": graph.name,
+                    "facts": len(graph),
+                    "violations": len(violations),
+                    "conflicting_facts": len(conflicting),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"UTKG {graph.name!r}: {len(graph)} facts")
+        print(f"constraint violations : {len(violations)}")
+        print(f"conflicting facts     : {len(conflicting)}")
+    return 0
+
+
+def _command_resolve(args: argparse.Namespace) -> int:
+    graph = _load_graph_from_args(args)
+    rules, constraints = _load_program_from_args(args)
+    system = TeCoRe(
+        rules=rules,
+        constraints=constraints,
+        solver=args.solver,
+        threshold=args.threshold,
+    )
+    result = system.resolve(graph)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(render_report(result, limit=args.limit))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "solvers":
+            return _command_solvers()
+        if args.command == "packs":
+            return _command_packs()
+        if args.command == "stats":
+            return _command_stats(args)
+        if args.command == "detect":
+            return _command_detect(args)
+        if args.command == "resolve":
+            return _command_resolve(args)
+        parser.error(f"unknown command {args.command!r}")
+    except TecoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""TeCoRe core: translator, solver registry, resolution facade, reports."""
+
+from .registry import (
+    SolverEntry,
+    available_solvers,
+    describe_solvers,
+    make_solver,
+    register_solver,
+    solver_family,
+)
+from .report import render_comparison, render_graph_summary, render_report
+from .result import ResolutionResult, ResolutionStatistics
+from .tecore import TeCoRe, detect_conflicts, resolve
+from .threshold import ThresholdFilter, sweep_thresholds
+from .translator import TecoreTranslator, TranslatedProgram
+
+__all__ = [
+    "ResolutionResult",
+    "ResolutionStatistics",
+    "SolverEntry",
+    "TeCoRe",
+    "TecoreTranslator",
+    "ThresholdFilter",
+    "TranslatedProgram",
+    "available_solvers",
+    "describe_solvers",
+    "detect_conflicts",
+    "make_solver",
+    "register_solver",
+    "render_comparison",
+    "render_graph_summary",
+    "render_report",
+    "resolve",
+    "solver_family",
+    "sweep_thresholds",
+]

@@ -1,0 +1,92 @@
+"""Unified solver registry.
+
+TeCoRe dispatches to one of two reasoner families — nRockIt (MLN) or the PSL
+solver — and is designed so that "any off-the-shelf ProbFOL system ... can be
+seamlessly integrated".  The registry maps user-facing solver names to
+back-end factories across both families and is the single place a new
+back-end has to be registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SolverNotAvailableError
+from ..mln import BranchAndBoundSolver, CuttingPlaneSolver, ILPMapSolver, MaxWalkSATSolver
+from ..psl import ADMMSolver, ProjectedGradientSolver
+from ..solvers import MAPSolver
+
+
+@dataclass(frozen=True, slots=True)
+class SolverEntry:
+    """One registered solver."""
+
+    name: str
+    family: str
+    description: str
+    factory: Callable[..., MAPSolver]
+
+
+_REGISTRY: dict[str, SolverEntry] = {}
+
+
+def register_solver(
+    name: str, family: str, description: str, factory: Callable[..., MAPSolver]
+) -> None:
+    """Register (or replace) a solver under ``name``."""
+    _REGISTRY[name] = SolverEntry(name=name, family=family, description=description, factory=factory)
+
+
+def available_solvers() -> list[str]:
+    """All registered solver names."""
+    return sorted(_REGISTRY)
+
+
+def describe_solvers() -> list[SolverEntry]:
+    """All registry entries, sorted by name."""
+    return [_REGISTRY[name] for name in available_solvers()]
+
+
+def make_solver(name: str, **kwargs) -> MAPSolver:
+    """Instantiate a registered solver by name."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise SolverNotAvailableError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        )
+    return entry.factory(**kwargs)
+
+
+def solver_family(name: str) -> str:
+    """The family ("mln" or "psl") a registered solver belongs to."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise SolverNotAvailableError(
+            f"unknown solver {name!r}; available: {available_solvers()}"
+        )
+    return entry.family
+
+
+# --------------------------------------------------------------------------- #
+# Built-in registrations.  "nrockit" and "npsl" are the two reasoners the demo
+# runs on; the rest are the ablation back-ends.
+# --------------------------------------------------------------------------- #
+register_solver(
+    "nrockit", "mln", "MLN with numerical constraints, exact MAP via HiGHS ILP", ILPMapSolver
+)
+register_solver(
+    "nrockit-cpa", "mln", "MLN MAP via RockIt-style cutting-plane aggregation", CuttingPlaneSolver
+)
+register_solver(
+    "nrockit-bnb", "mln", "MLN MAP via pure-Python branch & bound", BranchAndBoundSolver
+)
+register_solver(
+    "maxwalksat", "mln", "approximate MLN MAP via stochastic local search", MaxWalkSATSolver
+)
+register_solver(
+    "npsl", "psl", "PSL/nPSL MAP via consensus ADMM over the hinge-loss MRF", ADMMSolver
+)
+register_solver(
+    "npsl-pgd", "psl", "PSL/nPSL MAP via projected subgradient descent", ProjectedGradientSolver
+)

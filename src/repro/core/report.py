@@ -1,0 +1,110 @@
+"""Text reports mirroring the demo's result panels.
+
+The web UI displays result statistics and browsable lists of consistent and
+conflicting statements (Figure 8); :func:`render_report` produces the same
+information as plain text for the CLI, the examples and the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph, graph_stats
+from .result import ResolutionResult
+
+
+def _format_table(rows: Sequence[Sequence[object]], headers: Sequence[str]) -> str:
+    """Minimal fixed-width table renderer (no external dependencies)."""
+    columns = [[str(header)] + [str(row[i]) for row in rows] for i, header in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def render_row(cells: Sequence[object]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines += [render_row(row) for row in rows]
+    return "\n".join(lines)
+
+
+def render_graph_summary(graph: TemporalKnowledgeGraph) -> str:
+    """Dataset summary: overall counts plus the per-predicate inventory table."""
+    stats = graph_stats(graph)
+    span = f"[{stats.time_span[0]},{stats.time_span[1]}]" if stats.time_span else "-"
+    header = (
+        f"UTKG {stats.name!r}: {stats.fact_count} facts, {stats.entity_count} entities, "
+        f"{stats.predicate_count} predicates, span {span}, "
+        f"mean confidence {stats.mean_confidence:.2f}"
+    )
+    rows = [
+        [row["predicate"], row["facts"], row["subjects"], row["objects"],
+         row["mean_confidence"], row["span"]]
+        for row in stats.as_rows()
+    ]
+    table = _format_table(rows, ["predicate", "facts", "subjects", "objects", "conf", "span"])
+    return f"{header}\n\n{table}"
+
+
+def _fact_lines(facts: Iterable[TemporalFact], limit: int | None) -> list[str]:
+    facts = list(facts)
+    shown = facts if limit is None else facts[:limit]
+    lines = [f"  {fact}" for fact in shown]
+    if limit is not None and len(facts) > limit:
+        lines.append(f"  ... {len(facts) - limit} more")
+    return lines
+
+
+def render_report(result: ResolutionResult, limit: int | None = 20) -> str:
+    """The statistics + browsable-statements panel for one resolution run."""
+    stats = result.statistics
+    lines = [
+        f"TeCoRe debugging report for UTKG {result.input_graph.name!r}",
+        f"  solver                : {stats.solver}",
+        f"  runtime               : {stats.runtime_seconds * 1000:.1f} ms",
+        f"  input facts           : {stats.input_facts}",
+        f"  conflicting facts     : {stats.conflicting_facts} "
+        f"({stats.conflict_rate * 100:.1f}% of input)",
+        f"  constraint violations : {stats.violations} "
+        f"({stats.hard_violations} hard, {stats.soft_violations} soft)",
+        f"  removed facts         : {stats.removed_facts} "
+        f"({stats.removal_rate * 100:.1f}% of input)",
+        f"  consistent facts      : {stats.consistent_facts}",
+        f"  inferred facts        : {stats.inferred_facts}"
+        + (
+            f" (threshold {stats.threshold}: {stats.inferred_below_threshold} filtered out)"
+            if stats.threshold is not None
+            else ""
+        ),
+        f"  ground network        : {stats.ground_atoms} atoms, {stats.ground_clauses} clauses",
+        f"  MAP objective         : {stats.objective:.3f}",
+    ]
+    if result.violations_by_constraint():
+        lines.append("  violations by constraint:")
+        for name, count in sorted(result.violations_by_constraint().items()):
+            lines.append(f"    {name}: {count}")
+    if result.removed_facts:
+        lines.append("removed (conflicting) statements:")
+        lines += _fact_lines(result.removed_facts, limit)
+    if result.inferred_facts:
+        lines.append("newly inferred statements:")
+        lines += _fact_lines(result.inferred_facts, limit)
+    lines.append("consistent statements:")
+    lines += _fact_lines(result.consistent_graph, limit)
+    return "\n".join(lines)
+
+
+def render_comparison(results: Sequence[ResolutionResult]) -> str:
+    """Side-by-side table of several resolution runs (e.g. nRockIt vs nPSL)."""
+    rows = [
+        [
+            result.statistics.solver,
+            result.statistics.input_facts,
+            result.statistics.removed_facts,
+            result.statistics.inferred_facts,
+            result.statistics.conflicting_facts,
+            f"{result.statistics.objective:.2f}",
+            f"{result.statistics.runtime_seconds * 1000:.0f}",
+        ]
+        for result in results
+    ]
+    return _format_table(
+        rows,
+        ["solver", "facts", "removed", "inferred", "conflicting", "objective", "ms"],
+    )

@@ -1,0 +1,142 @@
+"""Resolution results and debugging statistics.
+
+After MAP inference the demo shows "the maximal consistent subset of the
+utkg, and displays statistics (e.g., number of noisy facts removed) about the
+debugging process", with browsable consistent and conflicting statements
+(Figure 8).  :class:`ResolutionResult` is that output as a data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..logic import ConstraintViolation
+from ..solvers import MAPSolution, SolverStats
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionStatistics:
+    """The numbers shown in the demo's statistics panel."""
+
+    input_facts: int
+    consistent_facts: int
+    removed_facts: int
+    inferred_facts: int
+    conflicting_facts: int
+    violations: int
+    hard_violations: int
+    soft_violations: int
+    objective: float
+    runtime_seconds: float
+    solver: str
+    ground_atoms: int
+    ground_clauses: int
+    threshold: float | None = None
+    inferred_below_threshold: int = 0
+
+    @property
+    def removal_rate(self) -> float:
+        """Fraction of input facts removed by the repair."""
+        return self.removed_facts / self.input_facts if self.input_facts else 0.0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of input facts involved in at least one conflict."""
+        return self.conflicting_facts / self.input_facts if self.input_facts else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "input_facts": self.input_facts,
+            "consistent_facts": self.consistent_facts,
+            "removed_facts": self.removed_facts,
+            "inferred_facts": self.inferred_facts,
+            "conflicting_facts": self.conflicting_facts,
+            "violations": self.violations,
+            "hard_violations": self.hard_violations,
+            "soft_violations": self.soft_violations,
+            "objective": self.objective,
+            "runtime_seconds": self.runtime_seconds,
+            "solver": self.solver,
+            "ground_atoms": self.ground_atoms,
+            "ground_clauses": self.ground_clauses,
+            "removal_rate": self.removal_rate,
+            "conflict_rate": self.conflict_rate,
+            "threshold": self.threshold,
+            "inferred_below_threshold": self.inferred_below_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """Everything produced by one TeCoRe resolution run.
+
+    Attributes
+    ----------
+    input_graph:
+        The UTKG handed to :meth:`TeCoRe.resolve`.
+    consistent_graph:
+        The most probable conflict-free subset of the input (evidence facts
+        kept by the MAP state).
+    expanded_graph:
+        ``consistent_graph`` plus the inferred facts the MAP state accepted
+        (after threshold filtering) — the paper's G\\ :sub:`inferred`.
+    removed_facts / inferred_facts:
+        Evidence facts dropped, and derived facts added, by the MAP state.
+    violations / conflicting_facts:
+        The grounded constraint violations found in the *input* and the
+        distinct input facts participating in them (Figure 8's counters).
+    solution:
+        The raw MAP solution (assignment, objective, solver statistics).
+    statistics:
+        Aggregated numbers for the statistics panel.
+    """
+
+    input_graph: TemporalKnowledgeGraph
+    consistent_graph: TemporalKnowledgeGraph
+    expanded_graph: TemporalKnowledgeGraph
+    removed_facts: tuple[TemporalFact, ...]
+    inferred_facts: tuple[TemporalFact, ...]
+    violations: tuple[ConstraintViolation, ...]
+    conflicting_facts: tuple[TemporalFact, ...]
+    solution: MAPSolution
+    statistics: ResolutionStatistics
+    inferred_below_threshold: tuple[TemporalFact, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def solver_stats(self) -> SolverStats:
+        return self.solution.stats
+
+    @property
+    def objective(self) -> float:
+        return self.solution.objective
+
+    def kept(self, fact: TemporalFact) -> bool:
+        """True when ``fact`` (an input fact) survived the repair."""
+        return fact in self.consistent_graph
+
+    def removed(self, fact: TemporalFact) -> bool:
+        """True when ``fact`` was removed by the repair."""
+        removed_keys = {removed.statement_key for removed in self.removed_facts}
+        return fact.statement_key in removed_keys
+
+    def violations_by_constraint(self) -> dict[str, int]:
+        """Number of grounded violations per constraint name."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.constraint] = counts.get(violation.constraint, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary (used by the CLI and benchmark harnesses)."""
+        return {
+            "graph": self.input_graph.name,
+            "statistics": self.statistics.as_dict(),
+            "violations_by_constraint": self.violations_by_constraint(),
+            "removed_facts": [str(fact) for fact in self.removed_facts],
+            "inferred_facts": [str(fact) for fact in self.inferred_facts],
+        }

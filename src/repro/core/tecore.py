@@ -1,0 +1,244 @@
+"""The TeCoRe facade: temporal conflict resolution end-to-end.
+
+This is the public entry point of the library, mirroring the demo workflow:
+
+1. select a UTKG, a set of temporal inference rules and temporal constraints
+   (hand-built, parsed from the Datalog-style syntax, or taken from a
+   predefined pack);
+2. choose a reasoner — ``"nrockit"`` (MLN, exact, expressive) or ``"npsl"``
+   (PSL, scalable) — and optionally a confidence threshold for derived facts;
+3. call :meth:`TeCoRe.resolve` to compute the most probable conflict-free and
+   expanded temporal KG, together with the debugging statistics the demo's
+   result panel displays.
+
+Example
+-------
+>>> from repro import TeCoRe
+>>> from repro.datasets import ranieri_graph
+>>> system = TeCoRe.from_pack("running-example", solver="nrockit")
+>>> result = system.resolve(ranieri_graph())
+>>> [str(fact.object) for fact in result.removed_facts]
+['Napoli']
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..logic import (
+    TemporalConstraint,
+    TemporalRule,
+    load_pack,
+    parse_program,
+)
+from ..solvers import MAPSolution
+from .registry import available_solvers, make_solver
+from .result import ResolutionResult, ResolutionStatistics
+from .threshold import ThresholdFilter
+from .translator import TecoreTranslator, TranslatedProgram
+
+
+@dataclass
+class TeCoRe:
+    """Temporal conflict resolution over uncertain temporal knowledge graphs.
+
+    Parameters
+    ----------
+    rules, constraints:
+        The temporal inference rules and constraints to enforce.
+    solver:
+        Registered solver name (see :func:`repro.core.registry.available_solvers`).
+    threshold:
+        Optional confidence threshold for derived facts.
+    max_rounds:
+        Forward-chaining bound for rule application during grounding.
+    solver_options:
+        Extra keyword arguments for the solver factory (e.g. ``time_limit``).
+    """
+
+    rules: list[TemporalRule] = field(default_factory=list)
+    constraints: list[TemporalConstraint] = field(default_factory=list)
+    solver: str = "nrockit"
+    threshold: float | None = None
+    max_rounds: int = 5
+    solver_options: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Alternative constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pack(cls, pack_name: str, solver: str = "nrockit", **kwargs) -> "TeCoRe":
+        """Build a system from a predefined rule/constraint pack."""
+        pack = load_pack(pack_name)
+        return cls(
+            rules=list(pack.rules),
+            constraints=list(pack.constraints),
+            solver=solver,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_text(cls, program_text: str, solver: str = "nrockit", **kwargs) -> "TeCoRe":
+        """Build a system from Datalog-style rule/constraint text."""
+        parsed = parse_program(program_text)
+        return cls(
+            rules=list(parsed.rules),
+            constraints=list(parsed.constraints),
+            solver=solver,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Configuration helpers
+    # ------------------------------------------------------------------ #
+    def add_rule(self, rule: TemporalRule) -> "TeCoRe":
+        self.rules.append(rule)
+        return self
+
+    def add_constraint(self, constraint: TemporalConstraint) -> "TeCoRe":
+        self.constraints.append(constraint)
+        return self
+
+    def with_solver(self, solver: str, **options) -> "TeCoRe":
+        """Copy of this system targeting a different solver."""
+        return TeCoRe(
+            rules=list(self.rules),
+            constraints=list(self.constraints),
+            solver=solver,
+            threshold=self.threshold,
+            max_rounds=self.max_rounds,
+            solver_options=dict(options or self.solver_options),
+        )
+
+    @staticmethod
+    def available_solvers() -> list[str]:
+        return available_solvers()
+
+    # ------------------------------------------------------------------ #
+    # Main operations
+    # ------------------------------------------------------------------ #
+    def translate(self, graph: TemporalKnowledgeGraph) -> TranslatedProgram:
+        """Ground and validate the inputs for the configured solver."""
+        translator = TecoreTranslator(max_rounds=self.max_rounds)
+        return translator.translate(graph, self.rules, self.constraints, solver=self.solver)
+
+    def detect_conflicts(self, graph: TemporalKnowledgeGraph):
+        """Constraint violations in ``graph`` (no inference, no repair)."""
+        translator = TecoreTranslator(max_rounds=self.max_rounds)
+        return translator.detect_conflicts(graph, self.constraints).violations
+
+    def expand(self, graph: TemporalKnowledgeGraph) -> TemporalKnowledgeGraph:
+        """Apply the inference rules only (no conflict resolution).
+
+        Returns the graph expanded with all derivable facts that pass the
+        confidence threshold.
+        """
+        translated = self.translate(graph)
+        expanded = graph.copy(name=f"{graph.name}-expanded")
+        threshold_filter = ThresholdFilter(self.threshold)
+        for fact in translated.grounding.derived_facts():
+            if threshold_filter.accepts(fact):
+                expanded.add(fact)
+        return expanded
+
+    def resolve(self, graph: TemporalKnowledgeGraph) -> ResolutionResult:
+        """Compute the most probable conflict-free (and expanded) temporal KG."""
+        started = time.perf_counter()
+        translated = self.translate(graph)
+        program = translated.program
+        backend = make_solver(self.solver, **self.solver_options)
+        solution = backend.solve(program)
+        return self._build_result(graph, translated, solution, started)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _build_result(
+        self,
+        graph: TemporalKnowledgeGraph,
+        translated: TranslatedProgram,
+        solution: MAPSolution,
+        started: float,
+    ) -> ResolutionResult:
+        program = translated.program
+        threshold_filter = ThresholdFilter(self.threshold)
+
+        removed = tuple(solution.removed_facts(program))
+        removed_keys = {fact.statement_key for fact in removed}
+        consistent = graph.filter(
+            lambda fact: fact.statement_key not in removed_keys,
+            name=f"{graph.name}-consistent",
+        )
+
+        derived_kept = solution.derived_kept_facts(program)
+        inferred, below_threshold = threshold_filter.split(derived_kept)
+        expanded = consistent.copy(name=f"{graph.name}-inferred")
+        expanded.add_all(inferred)
+
+        violations = tuple(translated.grounding.violations)
+        conflicting = tuple(translated.grounding.conflicting_facts())
+        runtime = time.perf_counter() - started
+
+        statistics = ResolutionStatistics(
+            input_facts=len(graph),
+            consistent_facts=len(consistent),
+            removed_facts=len(removed),
+            inferred_facts=len(inferred),
+            conflicting_facts=len(conflicting),
+            violations=len(violations),
+            hard_violations=sum(1 for violation in violations if violation.is_hard),
+            soft_violations=sum(1 for violation in violations if not violation.is_hard),
+            objective=solution.objective,
+            runtime_seconds=runtime,
+            solver=self.solver,
+            ground_atoms=program.num_atoms,
+            ground_clauses=program.num_clauses,
+            threshold=self.threshold,
+            inferred_below_threshold=len(below_threshold),
+        )
+        return ResolutionResult(
+            input_graph=graph,
+            consistent_graph=consistent,
+            expanded_graph=expanded,
+            removed_facts=removed,
+            inferred_facts=tuple(inferred),
+            violations=violations,
+            conflicting_facts=conflicting,
+            solution=solution,
+            statistics=statistics,
+            inferred_below_threshold=tuple(below_threshold),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Module-level convenience functions
+# --------------------------------------------------------------------------- #
+def resolve(
+    graph: TemporalKnowledgeGraph,
+    rules: Iterable[TemporalRule] = (),
+    constraints: Iterable[TemporalConstraint] = (),
+    solver: str = "nrockit",
+    threshold: float | None = None,
+    **solver_options,
+) -> ResolutionResult:
+    """One-shot conflict resolution without building a :class:`TeCoRe` object."""
+    system = TeCoRe(
+        rules=list(rules),
+        constraints=list(constraints),
+        solver=solver,
+        threshold=threshold,
+        solver_options=solver_options,
+    )
+    return system.resolve(graph)
+
+
+def detect_conflicts(
+    graph: TemporalKnowledgeGraph,
+    constraints: Iterable[TemporalConstraint],
+) -> Sequence:
+    """One-shot conflict detection (the Figure 8 counters)."""
+    system = TeCoRe(constraints=list(constraints))
+    return system.detect_conflicts(graph)

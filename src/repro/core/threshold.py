@@ -1,0 +1,59 @@
+"""Confidence-threshold filtering of derived facts.
+
+"Besides, TeCoRe allows to set a threshold value and remove derived facts
+below that." (paper, Section 1)
+
+The threshold applies to *derived* (inferred) facts only: evidence facts are
+governed by the MAP state, while inferred facts additionally need a derived
+confidence of at least the threshold to enter the expanded KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import TecoreError
+from ..kg import TemporalFact
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdFilter:
+    """Splits derived facts into accepted / rejected by confidence."""
+
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.threshold is not None and not (0.0 <= self.threshold <= 1.0):
+            raise TecoreError(f"threshold must lie in [0, 1], got {self.threshold}")
+
+    def accepts(self, fact: TemporalFact) -> bool:
+        """True when ``fact`` passes the threshold (always true when unset)."""
+        if self.threshold is None:
+            return True
+        return fact.confidence >= self.threshold
+
+    def split(
+        self, facts: Iterable[TemporalFact]
+    ) -> tuple[list[TemporalFact], list[TemporalFact]]:
+        """Partition ``facts`` into (accepted, rejected)."""
+        accepted: list[TemporalFact] = []
+        rejected: list[TemporalFact] = []
+        for fact in facts:
+            (accepted if self.accepts(fact) else rejected).append(fact)
+        return accepted, rejected
+
+
+def sweep_thresholds(
+    facts: Sequence[TemporalFact], thresholds: Sequence[float]
+) -> list[tuple[float, int]]:
+    """For each threshold, how many derived facts would survive it.
+
+    Used by the threshold-sweep benchmark (E7) and handy for picking a value
+    interactively.
+    """
+    results: list[tuple[float, int]] = []
+    for threshold in thresholds:
+        accepted, _ = ThresholdFilter(threshold).split(facts)
+        results.append((threshold, len(accepted)))
+    return results

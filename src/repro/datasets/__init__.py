@@ -1,0 +1,55 @@
+"""Datasets and workload generators (running example, FootballDB, Wikidata)."""
+
+from .footballdb import FOOTBALL_DOMAIN, FootballDBConfig, TEAM_NAMES, generate_footballdb
+from .loader import DatasetEntry, available_datasets, describe_datasets, load_dataset
+from .noise import (
+    NoisyDataset,
+    inject_order_noise,
+    inject_overlap_noise,
+    inject_value_noise,
+    make_noisy,
+)
+from .ranieri import (
+    RANIERI_CLUB_FACTS,
+    RANIERI_DOMAIN,
+    RANIERI_EXPECTED_KEPT,
+    RANIERI_EXPECTED_REMOVED,
+    RANIERI_FACTS,
+    ranieri_extended_graph,
+    ranieri_graph,
+)
+from .wikidata import (
+    PAPER_RELATION_COUNTS,
+    PAPER_TOTAL_FACTS,
+    WikidataConfig,
+    generate_wikidata,
+    paper_relation_shares,
+)
+
+__all__ = [
+    "DatasetEntry",
+    "FOOTBALL_DOMAIN",
+    "FootballDBConfig",
+    "NoisyDataset",
+    "PAPER_RELATION_COUNTS",
+    "PAPER_TOTAL_FACTS",
+    "RANIERI_CLUB_FACTS",
+    "RANIERI_DOMAIN",
+    "RANIERI_EXPECTED_KEPT",
+    "RANIERI_EXPECTED_REMOVED",
+    "RANIERI_FACTS",
+    "TEAM_NAMES",
+    "WikidataConfig",
+    "available_datasets",
+    "describe_datasets",
+    "generate_footballdb",
+    "generate_wikidata",
+    "inject_order_noise",
+    "inject_overlap_noise",
+    "inject_value_noise",
+    "load_dataset",
+    "make_noisy",
+    "paper_relation_shares",
+    "ranieri_extended_graph",
+    "ranieri_graph",
+]

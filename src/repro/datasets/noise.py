@@ -1,0 +1,202 @@
+"""Noise injection for uncertain temporal KGs.
+
+The paper evaluates TeCoRe "in a highly noisy setting where there are as many
+erroneous temporal facts as the correct ones" and reports finding 19,734
+conflicting facts in a 243,157-fact UTKG.  Real extraction noise is not
+available offline, so this module *plants* it deterministically:
+
+* **overlap noise** — for a functional-over-time predicate (coach, playsFor,
+  spouse …) add a second object whose validity interval overlaps an existing
+  fact, triggering disjointness constraints such as c2;
+* **value noise** — for single-valued predicates (birthDate, bornIn) add a
+  contradicting value with an overlapping interval;
+* **order noise** — violate before-style constraints (e.g. an educatedAt
+  interval starting before the birth year).
+
+Every injected fact is recorded so repairs can be scored against ground truth
+(:mod:`repro.metrics`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import DatasetError, InvalidFactError
+from ..kg import TemporalFact, TemporalKnowledgeGraph, make_fact
+from ..temporal import TimeInterval
+
+
+@dataclass
+class NoisyDataset:
+    """A generated UTKG together with its planted-noise ground truth."""
+
+    graph: TemporalKnowledgeGraph
+    clean_facts: list[TemporalFact] = field(default_factory=list)
+    noise_facts: list[TemporalFact] = field(default_factory=list)
+
+    @property
+    def noise_ratio(self) -> float:
+        total = len(self.clean_facts) + len(self.noise_facts)
+        return len(self.noise_facts) / total if total else 0.0
+
+    def clean_graph(self) -> TemporalKnowledgeGraph:
+        """The graph restricted to its clean facts (the ideal repair target)."""
+        noise_keys = {fact.statement_key for fact in self.noise_facts}
+        return self.graph.filter(
+            lambda fact: fact.statement_key not in noise_keys,
+            name=f"{self.graph.name}-clean",
+        )
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "facts": float(len(self.graph)),
+            "clean_facts": float(len(self.clean_facts)),
+            "noise_facts": float(len(self.noise_facts)),
+            "noise_ratio": self.noise_ratio,
+        }
+
+
+def _alternative_object(existing: str, pool: Sequence[str], rng: random.Random) -> str:
+    """A pool element different from ``existing`` (raises on degenerate pools)."""
+    candidates = [value for value in pool if value != existing]
+    if not candidates:
+        raise DatasetError("cannot generate a conflicting object from a singleton pool")
+    return rng.choice(candidates)
+
+
+def _noise_confidence(rng: random.Random, low: float = 0.35, high: float = 0.85) -> float:
+    """Confidence of an injected erroneous fact (noisy extractions still score well)."""
+    return round(rng.uniform(low, high), 2)
+
+
+def inject_overlap_noise(
+    dataset: NoisyDataset,
+    predicate: str,
+    object_pool: Sequence[str],
+    count: int,
+    rng: random.Random,
+) -> list[TemporalFact]:
+    """Add ``count`` facts that overlap an existing ``predicate`` fact with a new object."""
+    base_facts = dataset.graph.by_predicate(predicate)
+    if not base_facts:
+        return []
+    injected: list[TemporalFact] = []
+    attempts = 0
+    while len(injected) < count and attempts < count * 20:
+        attempts += 1
+        base = rng.choice(base_facts)
+        other = _alternative_object(str(base.object), object_pool, rng)
+        shift = rng.randint(-1, 1)
+        length = max(1, base.interval.duration + rng.randint(-1, 1))
+        start = base.interval.start + shift
+        fake = make_fact(
+            str(base.subject),
+            predicate,
+            other,
+            TimeInterval(start, start + length - 1),
+            _noise_confidence(rng),
+        )
+        if fake in dataset.graph:
+            continue
+        try:
+            dataset.graph.add(fake)
+        except InvalidFactError:
+            continue  # interval fell outside the graph's time domain
+        dataset.noise_facts.append(fake)
+        injected.append(fake)
+    return injected
+
+
+def inject_value_noise(
+    dataset: NoisyDataset,
+    predicate: str,
+    count: int,
+    rng: random.Random,
+    value_shift: tuple[int, int] = (1, 5),
+) -> list[TemporalFact]:
+    """Add contradicting values for a single-valued predicate (e.g. birthDate)."""
+    base_facts = dataset.graph.by_predicate(predicate)
+    if not base_facts:
+        return []
+    injected: list[TemporalFact] = []
+    attempts = 0
+    while len(injected) < count and attempts < count * 20:
+        attempts += 1
+        base = rng.choice(base_facts)
+        try:
+            value = int(str(base.object).strip('"'))
+        except ValueError:
+            continue
+        delta = rng.randint(*value_shift) * rng.choice((-1, 1))
+        fake_value = value + delta
+        fake = make_fact(
+            str(base.subject),
+            predicate,
+            fake_value,
+            TimeInterval(base.interval.start + delta, base.interval.end),
+            _noise_confidence(rng),
+        )
+        if fake in dataset.graph:
+            continue
+        try:
+            dataset.graph.add(fake)
+        except InvalidFactError:
+            continue  # interval fell outside the graph's time domain
+        dataset.noise_facts.append(fake)
+        injected.append(fake)
+    return injected
+
+
+def inject_order_noise(
+    dataset: NoisyDataset,
+    earlier_predicate: str,
+    later_predicate: str,
+    count: int,
+    rng: random.Random,
+) -> list[TemporalFact]:
+    """Add ``later_predicate`` facts that start *before* the subject's
+    ``earlier_predicate`` interval, violating before-style constraints."""
+    earlier_facts = dataset.graph.by_predicate(earlier_predicate)
+    later_facts = dataset.graph.by_predicate(later_predicate)
+    if not earlier_facts or not later_facts:
+        return []
+    earlier_by_subject = {fact.subject: fact for fact in earlier_facts}
+    injected: list[TemporalFact] = []
+    attempts = 0
+    while len(injected) < count and attempts < count * 20:
+        attempts += 1
+        template = rng.choice(later_facts)
+        anchor = earlier_by_subject.get(template.subject)
+        if anchor is None:
+            continue
+        # Place the fake interval entirely before the anchor's start.
+        end = anchor.interval.start - rng.randint(1, 3)
+        start = end - max(0, template.interval.duration - 1)
+        fake = make_fact(
+            str(template.subject),
+            later_predicate,
+            str(template.object).strip('"'),
+            TimeInterval(start, end),
+            _noise_confidence(rng),
+        )
+        if fake in dataset.graph:
+            continue
+        try:
+            dataset.graph.add(fake)
+        except InvalidFactError:
+            continue  # interval fell outside the graph's time domain
+        dataset.noise_facts.append(fake)
+        injected.append(fake)
+    return injected
+
+
+def make_noisy(
+    graph: TemporalKnowledgeGraph,
+    seed: int = 2017,
+) -> NoisyDataset:
+    """Wrap an existing clean graph as a :class:`NoisyDataset` (no noise yet)."""
+    dataset = NoisyDataset(graph=graph)
+    dataset.clean_facts = graph.facts()
+    return dataset

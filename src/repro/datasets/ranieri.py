@@ -1,0 +1,54 @@
+"""The paper's running example: coach Claudio Ranieri (Figure 1).
+
+Two variants are provided:
+
+* :func:`ranieri_graph` — exactly the five facts of Figure 1;
+* :func:`ranieri_extended_graph` — Figure 1 plus the club-location facts that
+  let rule f2 (worksFor ∧ locatedIn → livesIn) fire during the demo walk-through.
+"""
+
+from __future__ import annotations
+
+from ..kg import TemporalKnowledgeGraph
+from ..temporal import TimeDomain
+
+#: The time domain of the running example (years).
+RANIERI_DOMAIN = TimeDomain(1900, 2100, granularity="year")
+
+#: The five facts of Figure 1, in the paper's order and with its confidences.
+RANIERI_FACTS: tuple[tuple, ...] = (
+    ("CR", "coach", "Chelsea", (2000, 2004), 0.9),
+    ("CR", "coach", "Leicester", (2015, 2017), 0.7),
+    ("CR", "playsFor", "Palermo", (1984, 1986), 0.5),
+    ("CR", "birthDate", 1951, (1951, 2017), 1.0),
+    ("CR", "coach", "Napoli", (2001, 2003), 0.6),
+)
+
+#: The facts Figure 7 reports as the conflict-free MAP result (facts 1-4).
+RANIERI_EXPECTED_KEPT: tuple[tuple, ...] = RANIERI_FACTS[:4]
+
+#: The fact removed by MAP inference because of constraint c2 (fact 5).
+RANIERI_EXPECTED_REMOVED: tuple = RANIERI_FACTS[4]
+
+#: Additional club metadata used by the f2 walk-through.
+RANIERI_CLUB_FACTS: tuple[tuple, ...] = (
+    ("Chelsea", "locatedIn", "London", (1905, 2020), 1.0),
+    ("Leicester", "locatedIn", "LeicesterCity", (1905, 2020), 1.0),
+    ("Palermo", "locatedIn", "PalermoCity", (1900, 2020), 1.0),
+    ("Napoli", "locatedIn", "Naples", (1926, 2020), 1.0),
+)
+
+
+def ranieri_graph() -> TemporalKnowledgeGraph:
+    """The UTKG of Figure 1 (five facts about Claudio Ranieri)."""
+    graph = TemporalKnowledgeGraph(name="ranieri", domain=RANIERI_DOMAIN)
+    graph.add_all(RANIERI_FACTS)
+    return graph
+
+
+def ranieri_extended_graph() -> TemporalKnowledgeGraph:
+    """Figure 1 plus club locations, so rules f1 and f2 both fire."""
+    graph = ranieri_graph()
+    graph.name = "ranieri-extended"
+    graph.add_all(RANIERI_CLUB_FACTS)
+    return graph

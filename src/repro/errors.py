@@ -1,0 +1,95 @@
+"""Exception hierarchy for the TeCoRe reproduction.
+
+All library-raised exceptions derive from :class:`TecoreError` so callers can
+catch a single base class.  Sub-classes are grouped by subsystem: data model,
+logic layer, translation, and solving.
+"""
+
+from __future__ import annotations
+
+
+class TecoreError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class TemporalError(TecoreError):
+    """Invalid temporal value, interval, or time-domain operation."""
+
+
+class InvalidIntervalError(TemporalError):
+    """An interval was constructed with an end point before its start point."""
+
+
+class TimeDomainError(TemporalError):
+    """A time point falls outside the declared discrete time domain."""
+
+
+class KGError(TecoreError):
+    """Base class for knowledge-graph data-model errors."""
+
+
+class InvalidTermError(KGError):
+    """A term (IRI, literal, blank node) is malformed."""
+
+
+class InvalidFactError(KGError):
+    """A temporal fact (quad) is malformed, e.g. confidence out of range."""
+
+
+class ParseError(TecoreError):
+    """Raised when parsing serialised graphs, rules, or constraints fails."""
+
+    def __init__(self, message: str, line: int | None = None, source: str | None = None):
+        self.line = line
+        self.source = source
+        location = ""
+        if source is not None:
+            location += f" in {source}"
+        if line is not None:
+            location += f" at line {line}"
+        super().__init__(f"{message}{location}")
+
+
+class LogicError(TecoreError):
+    """Base class for first-order-logic layer errors."""
+
+
+class UnificationError(LogicError):
+    """Two terms or atoms could not be unified."""
+
+
+class GroundingError(LogicError):
+    """A rule or constraint could not be grounded against a graph."""
+
+
+class UnsafeRuleError(LogicError):
+    """A rule uses a head variable that does not appear in its body."""
+
+
+class TranslationError(TecoreError):
+    """The translator could not map the input onto a solver program."""
+
+
+class ExpressivityError(TranslationError):
+    """The input uses features outside the chosen solver's expressivity.
+
+    The paper notes that the TeCoRe translator takes "special care ... to
+    verify that the input adheres to the expressivity of the solver"; this
+    error is how that verification reports failures.
+    """
+
+
+class SolverError(TecoreError):
+    """A probabilistic-FOL solver failed to produce a MAP state."""
+
+
+class InfeasibleProgramError(SolverError):
+    """The hard constraints admit no consistent world (MAP infeasible)."""
+
+
+class SolverNotAvailableError(SolverError):
+    """A requested solver backend is not registered or cannot run."""
+
+
+class DatasetError(TecoreError):
+    """A dataset generator or loader received invalid parameters."""

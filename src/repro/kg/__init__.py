@@ -1,0 +1,36 @@
+"""Knowledge-graph substrate: terms, temporal facts, graph store, IO, stats."""
+
+from .graph import Pattern, TemporalKnowledgeGraph
+from .namespace import Namespace, NamespaceManager, default_namespace_manager
+from .stats import GraphStats, PredicateStats, graph_stats, predicate_stats
+from .term import IRI, BlankNode, Literal, Term, term_key, to_subject, to_term
+from .triple import CERTAIN_LOG_WEIGHT, TemporalFact, Triple, coerce_fact, make_fact
+from .validation import Severity, ValidationIssue, ValidationReport, validate_graph
+
+__all__ = [
+    "CERTAIN_LOG_WEIGHT",
+    "BlankNode",
+    "GraphStats",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "Pattern",
+    "PredicateStats",
+    "Severity",
+    "TemporalFact",
+    "TemporalKnowledgeGraph",
+    "Term",
+    "Triple",
+    "ValidationIssue",
+    "ValidationReport",
+    "coerce_fact",
+    "default_namespace_manager",
+    "graph_stats",
+    "make_fact",
+    "predicate_stats",
+    "term_key",
+    "to_subject",
+    "to_term",
+    "validate_graph",
+]

@@ -1,0 +1,304 @@
+"""The uncertain temporal knowledge graph (UTKG) store.
+
+An in-memory, indexed store of :class:`~repro.kg.triple.TemporalFact` values.
+It plays the role rdflib / MySQL / H2 play in the original TeCoRe stack:
+holding evidence facts, answering pattern queries during grounding, and
+producing the conflict-free subset after MAP inference.
+
+Indexes maintained:
+
+* by subject, by predicate, by object (for pattern matching);
+* by (subject, predicate) — the hot path of the grounding engine;
+* insertion order (for deterministic iteration and reporting).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+from ..errors import InvalidFactError
+from ..temporal import TimeDomain, TimeInterval, coalesce_weighted
+from .term import IRI, SubjectTerm, Term, term_key
+from .triple import FactLike, TemporalFact, coerce_fact
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A triple pattern; ``None`` components act as wildcards."""
+
+    subject: Optional[SubjectTerm] = None
+    predicate: Optional[IRI] = None
+    object: Optional[Term] = None
+
+    def matches(self, fact: TemporalFact) -> bool:
+        if self.subject is not None and fact.subject != self.subject:
+            return False
+        if self.predicate is not None and fact.predicate != self.predicate:
+            return False
+        if self.object is not None and fact.object != self.object:
+            return False
+        return True
+
+
+class TemporalKnowledgeGraph:
+    """An indexed collection of uncertain temporal facts.
+
+    The graph stores *statements*: two facts that differ only in confidence
+    are the same statement, and adding the second replaces the first keeping
+    the higher confidence (the standard behaviour when merging repeated OIE
+    extractions).
+
+    Examples
+    --------
+    >>> g = TemporalKnowledgeGraph(name="demo")
+    >>> _ = g.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+    >>> len(g)
+    1
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[FactLike] = (),
+        name: str = "utkg",
+        domain: TimeDomain | None = None,
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self._facts: dict[tuple, TemporalFact] = {}
+        self._order: list[tuple] = []
+        self._by_subject: dict[SubjectTerm, set[tuple]] = defaultdict(set)
+        self._by_predicate: dict[IRI, set[tuple]] = defaultdict(set)
+        self._by_object: dict[Term, set[tuple]] = defaultdict(set)
+        self._by_subject_predicate: dict[tuple[SubjectTerm, IRI], set[tuple]] = defaultdict(set)
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, fact: FactLike) -> TemporalFact:
+        """Add a fact (or fact-like tuple); returns the stored fact.
+
+        Re-adding an existing statement keeps the maximum confidence seen.
+        """
+        item = coerce_fact(fact)
+        if self.domain is not None:
+            if item.interval.start not in self.domain or item.interval.end not in self.domain:
+                raise InvalidFactError(
+                    f"fact interval {item.interval} outside time domain "
+                    f"[{self.domain.start}, {self.domain.end}]"
+                )
+        key = item.statement_key
+        existing = self._facts.get(key)
+        if existing is not None:
+            if item.confidence > existing.confidence:
+                self._facts[key] = item
+            return self._facts[key]
+        self._facts[key] = item
+        self._order.append(key)
+        self._by_subject[item.subject].add(key)
+        self._by_predicate[item.predicate].add(key)
+        self._by_object[item.object].add(key)
+        self._by_subject_predicate[(item.subject, item.predicate)].add(key)
+        return item
+
+    def add_all(self, facts: Iterable[FactLike]) -> int:
+        """Add many facts; returns the number of *new* statements stored."""
+        before = len(self._facts)
+        for fact in facts:
+            self.add(fact)
+        return len(self._facts) - before
+
+    def remove(self, fact: FactLike) -> bool:
+        """Remove a statement; returns True when it was present."""
+        item = coerce_fact(fact)
+        key = item.statement_key
+        stored = self._facts.pop(key, None)
+        if stored is None:
+            return False
+        self._order.remove(key)
+        self._by_subject[stored.subject].discard(key)
+        self._by_predicate[stored.predicate].discard(key)
+        self._by_object[stored.object].discard(key)
+        self._by_subject_predicate[(stored.subject, stored.predicate)].discard(key)
+        return True
+
+    def discard_all(self, facts: Iterable[FactLike]) -> int:
+        """Remove many statements; returns how many were actually present."""
+        return sum(1 for fact in facts if self.remove(fact))
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[TemporalFact]:
+        return (self._facts[key] for key in self._order)
+
+    def __contains__(self, fact: object) -> bool:
+        if isinstance(fact, TemporalFact):
+            return fact.statement_key in self._facts
+        if isinstance(fact, tuple):
+            try:
+                return coerce_fact(fact).statement_key in self._facts
+            except InvalidFactError:
+                return False
+        return False
+
+    def facts(self) -> list[TemporalFact]:
+        """All facts in insertion order."""
+        return list(self)
+
+    def find(
+        self,
+        subject: Optional[Union[SubjectTerm, str]] = None,
+        predicate: Optional[Union[IRI, str]] = None,
+        obj: Optional[Union[Term, str, int]] = None,
+        overlapping: Optional[TimeInterval] = None,
+    ) -> list[TemporalFact]:
+        """Pattern query with optional temporal-overlap filter.
+
+        Unspecified components are wildcards.  The most selective available
+        index is consulted first.
+        """
+        from .term import to_subject, to_term  # local import to avoid cycle noise
+
+        subject_term = to_subject(subject) if subject is not None else None
+        predicate_term = predicate if isinstance(predicate, IRI) else (
+            IRI(predicate) if predicate is not None else None
+        )
+        object_term = to_term(obj) if obj is not None else None
+
+        keys = self._candidate_keys(subject_term, predicate_term, object_term)
+        pattern = Pattern(subject_term, predicate_term, object_term)
+        result = []
+        for key in keys:
+            fact = self._facts[key]
+            if not pattern.matches(fact):
+                continue
+            if overlapping is not None and not fact.interval.overlaps(overlapping):
+                continue
+            result.append(fact)
+        result.sort(key=TemporalFact.sort_key)
+        return result
+
+    def _candidate_keys(
+        self,
+        subject: Optional[SubjectTerm],
+        predicate: Optional[IRI],
+        obj: Optional[Term],
+    ) -> Iterable[tuple]:
+        if subject is not None and predicate is not None:
+            return set(self._by_subject_predicate.get((subject, predicate), set()))
+        candidates: list[set[tuple]] = []
+        if subject is not None:
+            candidates.append(self._by_subject.get(subject, set()))
+        if predicate is not None:
+            candidates.append(self._by_predicate.get(predicate, set()))
+        if obj is not None:
+            candidates.append(self._by_object.get(obj, set()))
+        if not candidates:
+            return list(self._order)
+        smallest = min(candidates, key=len)
+        return set(smallest)
+
+    def by_predicate(self, predicate: Union[IRI, str]) -> list[TemporalFact]:
+        """All facts with the given predicate."""
+        return self.find(predicate=predicate)
+
+    def subjects(self) -> list[SubjectTerm]:
+        """Distinct subjects, deterministically ordered."""
+        return sorted((s for s, keys in self._by_subject.items() if keys), key=term_key)
+
+    def predicates(self) -> list[IRI]:
+        """Distinct predicates, deterministically ordered."""
+        return sorted((p for p, keys in self._by_predicate.items() if keys), key=lambda p: p.value)
+
+    def objects(self) -> list[Term]:
+        """Distinct objects, deterministically ordered."""
+        return sorted((o for o, keys in self._by_object.items() if keys), key=term_key)
+
+    def entities(self) -> list[Term]:
+        """Distinct subjects and IRI objects (the constants of the Herbrand base)."""
+        seen: set[tuple[int, str]] = set()
+        result: list[Term] = []
+        for term in list(self.subjects()) + [o for o in self.objects() if isinstance(o, IRI)]:
+            key = term_key(term)
+            if key not in seen:
+                seen.add(key)
+                result.append(term)
+        result.sort(key=term_key)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Whole-graph operations
+    # ------------------------------------------------------------------ #
+    def copy(self, name: str | None = None) -> "TemporalKnowledgeGraph":
+        """Shallow copy of the graph (facts are immutable, so this is safe)."""
+        return TemporalKnowledgeGraph(self, name=name or self.name, domain=self.domain)
+
+    def filter(
+        self, keep: Callable[[TemporalFact], bool], name: str | None = None
+    ) -> "TemporalKnowledgeGraph":
+        """New graph containing only facts for which ``keep`` returns True."""
+        return TemporalKnowledgeGraph(
+            (fact for fact in self if keep(fact)),
+            name=name or f"{self.name}-filtered",
+            domain=self.domain,
+        )
+
+    def above_confidence(self, threshold: float) -> "TemporalKnowledgeGraph":
+        """Facts whose confidence is at least ``threshold`` (the UI's slider)."""
+        return self.filter(lambda fact: fact.confidence >= threshold, name=f"{self.name}>={threshold}")
+
+    def merge(self, other: "TemporalKnowledgeGraph", name: str | None = None) -> "TemporalKnowledgeGraph":
+        """Union of two graphs (max confidence on shared statements)."""
+        merged = self.copy(name=name or f"{self.name}+{other.name}")
+        merged.add_all(other)
+        return merged
+
+    def difference(self, other: "TemporalKnowledgeGraph") -> list[TemporalFact]:
+        """Facts present here but absent from ``other`` (by statement key)."""
+        other_keys = {fact.statement_key for fact in other}
+        return [fact for fact in self if fact.statement_key not in other_keys]
+
+    def coalesced(self, name: str | None = None) -> "TemporalKnowledgeGraph":
+        """Graph with value-equivalent overlapping/adjacent facts merged."""
+        grouped: dict[tuple, list[tuple[TimeInterval, float]]] = defaultdict(list)
+        triples: dict[tuple, TemporalFact] = {}
+        for fact in self:
+            key = (term_key(fact.subject), fact.predicate.value, term_key(fact.object))
+            grouped[key].append((fact.interval, fact.confidence))
+            triples[key] = fact
+        result = TemporalKnowledgeGraph(name=name or f"{self.name}-coalesced", domain=self.domain)
+        for key, items in grouped.items():
+            template = triples[key]
+            for interval, confidence in coalesce_weighted(items):
+                result.add(
+                    TemporalFact(
+                        subject=template.subject,
+                        predicate=template.predicate,
+                        object=template.object,
+                        interval=interval,
+                        confidence=confidence,
+                    )
+                )
+        return result
+
+    def spanning_domain(self, granularity: str = "year") -> TimeDomain:
+        """Smallest time domain covering every fact's interval."""
+        points: list[int] = []
+        for fact in self:
+            points.append(fact.interval.start)
+            points.append(fact.interval.end)
+        return TimeDomain.spanning(points, granularity=granularity)
+
+    def total_confidence(self) -> float:
+        """Sum of confidences over all facts (used by quality metrics)."""
+        return sum(fact.confidence for fact in self)
+
+    def __repr__(self) -> str:
+        return f"TemporalKnowledgeGraph(name={self.name!r}, facts={len(self)})"

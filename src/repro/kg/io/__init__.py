@@ -1,0 +1,58 @@
+"""Serialisation formats for temporal knowledge graphs.
+
+Three formats are supported:
+
+* :mod:`repro.kg.io.tqlines` — the native line-oriented temporal-quad format;
+* :mod:`repro.kg.io.csv_io` — CSV/TSV tables as produced by extraction pipelines;
+* :mod:`repro.kg.io.json_io` — a JSON interchange document.
+
+:func:`load_graph` / :func:`save_graph` dispatch on file extension.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ...errors import ParseError
+from ..graph import TemporalKnowledgeGraph
+from . import csv_io, json_io, tqlines
+
+_LOADERS = {
+    ".tq": tqlines.load,
+    ".txt": tqlines.load,
+    ".nq": tqlines.load,
+    ".csv": csv_io.load,
+    ".tsv": csv_io.load,
+    ".json": json_io.load,
+}
+
+_SAVERS = {
+    ".tq": tqlines.dump,
+    ".txt": tqlines.dump,
+    ".nq": tqlines.dump,
+    ".csv": csv_io.dump,
+    ".tsv": csv_io.dump,
+    ".json": json_io.dump,
+}
+
+
+def load_graph(path: Union[str, Path], name: str | None = None) -> TemporalKnowledgeGraph:
+    """Load a graph, choosing the parser from the file extension."""
+    source = Path(path)
+    loader = _LOADERS.get(source.suffix.lower())
+    if loader is None:
+        raise ParseError(f"unsupported graph format {source.suffix!r}", source=str(source))
+    return loader(source, name=name)
+
+
+def save_graph(graph: TemporalKnowledgeGraph, path: Union[str, Path]) -> Path:
+    """Save a graph, choosing the serialiser from the file extension."""
+    destination = Path(path)
+    saver = _SAVERS.get(destination.suffix.lower())
+    if saver is None:
+        raise ParseError(f"unsupported graph format {destination.suffix!r}", source=str(destination))
+    return saver(graph, destination)
+
+
+__all__ = ["csv_io", "json_io", "load_graph", "save_graph", "tqlines"]

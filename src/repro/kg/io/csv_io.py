@@ -1,0 +1,114 @@
+"""CSV/TSV import and export for temporal facts.
+
+Accepts the column layout typically produced by temporal information
+extraction pipelines (and by the FootballDB crawl the paper describes):
+
+``subject, predicate, object, start, end, confidence``
+
+Column names are matched case-insensitively; ``valid_from``/``valid_to`` are
+accepted as aliases for ``start``/``end``, and a missing confidence column
+defaults every fact to 1.0.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, Union
+
+from ...errors import ParseError
+from ...temporal import TimeInterval
+from ..graph import TemporalKnowledgeGraph
+from ..triple import TemporalFact, make_fact
+
+_START_ALIASES = ("start", "valid_from", "from", "begin")
+_END_ALIASES = ("end", "valid_to", "to", "stop")
+_CONFIDENCE_ALIASES = ("confidence", "weight", "score", "prob")
+
+
+def _pick(row: Mapping[str, str], names: Iterable[str]) -> str | None:
+    for name in names:
+        if name in row and row[name] not in (None, ""):
+            return row[name]
+    return None
+
+
+def _row_to_fact(row: Mapping[str, str], line_number: int, source: str | None) -> TemporalFact:
+    normalised = {key.strip().lower(): (value or "").strip() for key, value in row.items() if key}
+    missing = [column for column in ("subject", "predicate", "object") if not normalised.get(column)]
+    if missing:
+        raise ParseError(f"missing column(s) {missing}", line=line_number, source=source)
+    start_text = _pick(normalised, _START_ALIASES)
+    end_text = _pick(normalised, _END_ALIASES)
+    if start_text is None:
+        raise ParseError("missing start column", line=line_number, source=source)
+    try:
+        start = int(float(start_text))
+        end = int(float(end_text)) if end_text is not None else start
+    except ValueError as exc:
+        raise ParseError(
+            f"cannot parse interval bounds {start_text!r}/{end_text!r}",
+            line=line_number,
+            source=source,
+        ) from exc
+    confidence_text = _pick(normalised, _CONFIDENCE_ALIASES)
+    try:
+        confidence = float(confidence_text) if confidence_text is not None else 1.0
+    except ValueError as exc:
+        raise ParseError(
+            f"cannot parse confidence {confidence_text!r}", line=line_number, source=source
+        ) from exc
+    try:
+        return make_fact(
+            normalised["subject"],
+            normalised["predicate"],
+            normalised["object"],
+            TimeInterval(start, end),
+            confidence,
+        )
+    except Exception as exc:
+        raise ParseError(str(exc), line=line_number, source=source) from exc
+
+
+def loads(text: str, name: str = "utkg", delimiter: str | None = None) -> TemporalKnowledgeGraph:
+    """Parse CSV/TSV text into a graph (delimiter sniffed when not given)."""
+    if delimiter is None:
+        delimiter = "\t" if "\t" in text.splitlines()[0] else ","
+    reader = csv.DictReader(io.StringIO(text), delimiter=delimiter)
+    graph = TemporalKnowledgeGraph(name=name)
+    for number, row in enumerate(reader, start=2):
+        graph.add(_row_to_fact(row, number, name))
+    return graph
+
+
+def load(path: Union[str, Path], name: str | None = None) -> TemporalKnowledgeGraph:
+    """Load a CSV/TSV file into a graph."""
+    source = Path(path)
+    return loads(source.read_text(encoding="utf-8"), name=name or source.stem)
+
+
+def dumps(graph: TemporalKnowledgeGraph, delimiter: str = ",") -> str:
+    """Serialise a graph to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(["subject", "predicate", "object", "start", "end", "confidence"])
+    for fact in graph:
+        writer.writerow(
+            [
+                str(fact.subject),
+                str(fact.predicate),
+                str(fact.object).strip('"'),
+                fact.interval.start,
+                fact.interval.end,
+                f"{fact.confidence:g}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def dump(graph: TemporalKnowledgeGraph, path: Union[str, Path], delimiter: str = ",") -> Path:
+    """Write a graph to a CSV file; returns the path written."""
+    destination = Path(path)
+    destination.write_text(dumps(graph, delimiter=delimiter), encoding="utf-8")
+    return destination

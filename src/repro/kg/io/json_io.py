@@ -1,0 +1,113 @@
+"""JSON import/export for temporal knowledge graphs.
+
+A lightweight interchange format used by the examples and the CLI::
+
+    {
+      "name": "ranieri",
+      "facts": [
+        {"s": "CR", "p": "coach", "o": "Chelsea",
+         "interval": [2000, 2004], "confidence": 0.9}
+      ]
+    }
+
+The verbose keys ``subject``/``predicate``/``object`` are accepted as well.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from ...errors import ParseError
+from ...temporal import TimeInterval
+from ..graph import TemporalKnowledgeGraph
+from ..triple import TemporalFact, make_fact
+
+
+def _fact_from_mapping(entry: Mapping[str, Any], index: int, source: str | None) -> TemporalFact:
+    def pick(*names: str) -> Any:
+        for name in names:
+            if name in entry:
+                return entry[name]
+        return None
+
+    subject = pick("s", "subject")
+    predicate = pick("p", "predicate")
+    obj = pick("o", "object")
+    interval = pick("interval", "t", "time")
+    confidence = pick("confidence", "w", "weight")
+    if subject is None or predicate is None or obj is None or interval is None:
+        raise ParseError(f"fact #{index} is missing required keys", source=source)
+    if isinstance(interval, (list, tuple)) and len(interval) == 2:
+        span = TimeInterval(int(interval[0]), int(interval[1]))
+    elif isinstance(interval, int):
+        span = TimeInterval.instant(interval)
+    elif isinstance(interval, str):
+        span = TimeInterval.parse(interval)
+    else:
+        raise ParseError(f"fact #{index} has an unparseable interval {interval!r}", source=source)
+    try:
+        return make_fact(subject, predicate, obj, span, float(confidence) if confidence is not None else 1.0)
+    except Exception as exc:
+        raise ParseError(f"fact #{index}: {exc}", source=source) from exc
+
+
+def from_dict(document: Mapping[str, Any], name: str | None = None) -> TemporalKnowledgeGraph:
+    """Build a graph from a parsed JSON document."""
+    graph_name = name or str(document.get("name", "utkg"))
+    entries = document.get("facts", [])
+    if not isinstance(entries, list):
+        raise ParseError("'facts' must be a list", source=graph_name)
+    graph = TemporalKnowledgeGraph(name=graph_name)
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise ParseError(f"fact #{index} is not an object", source=graph_name)
+        graph.add(_fact_from_mapping(entry, index, graph_name))
+    return graph
+
+
+def to_dict(graph: TemporalKnowledgeGraph) -> dict[str, Any]:
+    """Convert a graph into a JSON-serialisable document."""
+    return {
+        "name": graph.name,
+        "facts": [
+            {
+                "s": str(fact.subject),
+                "p": str(fact.predicate),
+                "o": str(fact.object).strip('"'),
+                "interval": [fact.interval.start, fact.interval.end],
+                "confidence": fact.confidence,
+            }
+            for fact in graph
+        ],
+    }
+
+
+def loads(text: str, name: str | None = None) -> TemporalKnowledgeGraph:
+    """Parse JSON text into a graph."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}", source=name) from exc
+    if not isinstance(document, Mapping):
+        raise ParseError("top-level JSON value must be an object", source=name)
+    return from_dict(document, name=name)
+
+
+def load(path: Union[str, Path], name: str | None = None) -> TemporalKnowledgeGraph:
+    """Load a JSON file into a graph."""
+    source = Path(path)
+    return loads(source.read_text(encoding="utf-8"), name=name or source.stem)
+
+
+def dumps(graph: TemporalKnowledgeGraph, indent: int = 2) -> str:
+    """Serialise a graph to JSON text."""
+    return json.dumps(to_dict(graph), indent=indent, sort_keys=False)
+
+
+def dump(graph: TemporalKnowledgeGraph, path: Union[str, Path], indent: int = 2) -> Path:
+    """Write a graph to a JSON file; returns the path written."""
+    destination = Path(path)
+    destination.write_text(dumps(graph, indent=indent), encoding="utf-8")
+    return destination

@@ -1,0 +1,114 @@
+"""Line-oriented temporal-quad serialisation (the library's native format).
+
+One statement per line, mirroring the paper's surface notation::
+
+    CR coach Chelsea [2000,2004] 0.9
+    CR playsFor Palermo [1984,1986] 0.5
+    # comments and blank lines are ignored
+
+Terms containing whitespace can be quoted with double quotes; objects wrapped
+in quotes become string literals.  The confidence column is optional and
+defaults to 1.0.
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO, Union
+
+from ...errors import ParseError
+from ...temporal import TimeInterval
+from ..graph import TemporalKnowledgeGraph
+from ..triple import TemporalFact, make_fact
+
+
+def parse_line(line: str, line_number: int | None = None, source: str | None = None) -> TemporalFact | None:
+    """Parse one line into a fact; comments and blank lines return None."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    try:
+        tokens = shlex.split(stripped)
+    except ValueError as exc:
+        raise ParseError(f"unbalanced quotes: {exc}", line=line_number, source=source) from exc
+    if len(tokens) not in (4, 5):
+        raise ParseError(
+            f"expected 4 or 5 whitespace-separated fields, got {len(tokens)}",
+            line=line_number,
+            source=source,
+        )
+    subject, predicate, obj, interval_text = tokens[:4]
+    confidence = 1.0
+    if len(tokens) == 5:
+        try:
+            confidence = float(tokens[4])
+        except ValueError as exc:
+            raise ParseError(
+                f"confidence {tokens[4]!r} is not a number", line=line_number, source=source
+            ) from exc
+    try:
+        interval = TimeInterval.parse(interval_text)
+    except ValueError as exc:
+        raise ParseError(
+            f"cannot parse interval {interval_text!r}", line=line_number, source=source
+        ) from exc
+    try:
+        return make_fact(subject, predicate, obj, interval, confidence)
+    except Exception as exc:
+        raise ParseError(str(exc), line=line_number, source=source) from exc
+
+
+def iter_facts(lines: Iterable[str], source: str | None = None) -> Iterator[TemporalFact]:
+    """Yield facts from an iterable of lines."""
+    for number, line in enumerate(lines, start=1):
+        fact = parse_line(line, line_number=number, source=source)
+        if fact is not None:
+            yield fact
+
+
+def loads(text: str, name: str = "utkg") -> TemporalKnowledgeGraph:
+    """Parse a whole document into a graph."""
+    graph = TemporalKnowledgeGraph(name=name)
+    graph.add_all(iter_facts(text.splitlines(), source=name))
+    return graph
+
+
+def load(path_or_file: Union[str, Path, TextIO], name: str | None = None) -> TemporalKnowledgeGraph:
+    """Load a graph from a file path or an open text file."""
+    if isinstance(path_or_file, (str, Path)):
+        path = Path(path_or_file)
+        with path.open("r", encoding="utf-8") as handle:
+            graph = TemporalKnowledgeGraph(name=name or path.stem)
+            graph.add_all(iter_facts(handle, source=str(path)))
+            return graph
+    graph = TemporalKnowledgeGraph(name=name or "utkg")
+    graph.add_all(iter_facts(path_or_file, source=name))
+    return graph
+
+
+def format_fact(fact: TemporalFact) -> str:
+    """Serialise one fact to the line format."""
+    def quote(value: str) -> str:
+        return f'"{value}"' if (" " in value or not value) else value
+
+    obj = str(fact.object)
+    if not (obj.startswith('"') and obj.endswith('"')):
+        obj = quote(obj)
+    return (
+        f"{quote(str(fact.subject))} {quote(str(fact.predicate))} {obj} "
+        f"{fact.interval} {fact.confidence:g}"
+    )
+
+
+def dumps(graph: TemporalKnowledgeGraph) -> str:
+    """Serialise a graph to the line format."""
+    header = f"# utkg {graph.name}: {len(graph)} facts\n"
+    return header + "\n".join(format_fact(fact) for fact in graph) + "\n"
+
+
+def dump(graph: TemporalKnowledgeGraph, path: Union[str, Path]) -> Path:
+    """Write a graph to ``path``; returns the path written."""
+    destination = Path(path)
+    destination.write_text(dumps(graph), encoding="utf-8")
+    return destination

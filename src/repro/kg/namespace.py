@@ -1,0 +1,88 @@
+"""Namespace management and CURIE expansion.
+
+Kept deliberately small: TeCoRe itself treats predicates as opaque names, but
+real KGs (YAGO, Wikidata, DBpedia) use prefixed IRIs, and the IO layer
+supports expanding/compacting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import InvalidTermError
+from .term import IRI
+
+
+@dataclass(frozen=True, slots=True)
+class Namespace:
+    """A namespace prefix bound to a base IRI."""
+
+    prefix: str
+    base: str
+
+    def term(self, local_name: str) -> IRI:
+        """Build the IRI ``base + local_name``."""
+        return IRI(self.base + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+
+@dataclass
+class NamespaceManager:
+    """Registry of namespace prefixes with CURIE expansion and compaction."""
+
+    _namespaces: dict[str, Namespace] = field(default_factory=dict)
+
+    def bind(self, prefix: str, base: str) -> Namespace:
+        """Register (or overwrite) a prefix binding and return the namespace."""
+        if not prefix:
+            raise InvalidTermError("namespace prefix must be non-empty")
+        namespace = Namespace(prefix, base)
+        self._namespaces[prefix] = namespace
+        return namespace
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._namespaces
+
+    def __iter__(self) -> Iterator[Namespace]:
+        return iter(self._namespaces.values())
+
+    def expand(self, curie: str) -> IRI:
+        """Expand ``prefix:local`` into a full IRI; unknown prefixes pass through."""
+        if ":" in curie:
+            prefix, _, local = curie.partition(":")
+            namespace = self._namespaces.get(prefix)
+            if namespace is not None:
+                return namespace.term(local)
+        return IRI(curie)
+
+    def compact(self, iri: IRI) -> str:
+        """Compact an IRI back to CURIE form when a binding matches."""
+        best: tuple[int, str] | None = None
+        for namespace in self._namespaces.values():
+            if iri.value.startswith(namespace.base):
+                candidate = f"{namespace.prefix}:{iri.value[len(namespace.base):]}"
+                if best is None or len(namespace.base) > best[0]:
+                    best = (len(namespace.base), candidate)
+        return best[1] if best else iri.value
+
+
+#: Common namespaces used by the dataset generators and examples.
+WELL_KNOWN_NAMESPACES: dict[str, str] = {
+    "tecore": "http://tecore.org/resource/",
+    "football": "http://footballdb.com/player/",
+    "wd": "http://www.wikidata.org/entity/",
+    "wdt": "http://www.wikidata.org/prop/direct/",
+    "yago": "http://yago-knowledge.org/resource/",
+    "rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+}
+
+
+def default_namespace_manager() -> NamespaceManager:
+    """A namespace manager pre-loaded with the well-known prefixes."""
+    manager = NamespaceManager()
+    for prefix, base in WELL_KNOWN_NAMESPACES.items():
+        manager.bind(prefix, base)
+    return manager

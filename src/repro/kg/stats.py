@@ -1,0 +1,94 @@
+"""Descriptive statistics over a temporal knowledge graph.
+
+Backs the statistics panel of the demo (Figure 8) and the dataset inventory
+table of Section 4 (per-relation fact counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..temporal import span_of
+from .graph import TemporalKnowledgeGraph
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateStats:
+    """Per-predicate summary."""
+
+    predicate: str
+    fact_count: int
+    subject_count: int
+    object_count: int
+    mean_confidence: float
+    min_year: int
+    max_year: int
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """Whole-graph summary."""
+
+    name: str
+    fact_count: int
+    entity_count: int
+    predicate_count: int
+    mean_confidence: float
+    certain_fact_count: int
+    uncertain_fact_count: int
+    time_span: tuple[int, int] | None
+    per_predicate: tuple[PredicateStats, ...] = field(default_factory=tuple)
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Tabular per-predicate rows (one dict per predicate), for reports."""
+        return [
+            {
+                "predicate": stats.predicate,
+                "facts": stats.fact_count,
+                "subjects": stats.subject_count,
+                "objects": stats.object_count,
+                "mean_confidence": round(stats.mean_confidence, 3),
+                "span": f"[{stats.min_year},{stats.max_year}]",
+            }
+            for stats in self.per_predicate
+        ]
+
+
+def predicate_stats(graph: TemporalKnowledgeGraph, predicate: str) -> PredicateStats:
+    """Summary statistics for one predicate of ``graph``."""
+    facts = graph.by_predicate(predicate)
+    subjects = {fact.subject for fact in facts}
+    objects = {fact.object for fact in facts}
+    confidences = [fact.confidence for fact in facts]
+    span = span_of(fact.interval for fact in facts)
+    return PredicateStats(
+        predicate=predicate,
+        fact_count=len(facts),
+        subject_count=len(subjects),
+        object_count=len(objects),
+        mean_confidence=sum(confidences) / len(confidences) if confidences else 0.0,
+        min_year=span.start if span else 0,
+        max_year=span.end if span else 0,
+    )
+
+
+def graph_stats(graph: TemporalKnowledgeGraph) -> GraphStats:
+    """Compute the whole-graph summary used by reports and benchmarks."""
+    facts = graph.facts()
+    confidences = [fact.confidence for fact in facts]
+    span = span_of(fact.interval for fact in facts)
+    per_predicate = tuple(
+        predicate_stats(graph, predicate.value) for predicate in graph.predicates()
+    )
+    certain = sum(1 for fact in facts if fact.is_certain)
+    return GraphStats(
+        name=graph.name,
+        fact_count=len(facts),
+        entity_count=len(graph.entities()),
+        predicate_count=len(graph.predicates()),
+        mean_confidence=sum(confidences) / len(confidences) if confidences else 0.0,
+        certain_fact_count=certain,
+        uncertain_fact_count=len(facts) - certain,
+        time_span=(span.start, span.end) if span else None,
+        per_predicate=per_predicate,
+    )

@@ -1,0 +1,141 @@
+"""Well-formedness validation for UTKGs.
+
+Checks structural properties that should hold *before* running conflict
+resolution: confidences in range, intervals within the declared time domain,
+functional predicates declared by the caller, duplicate statements, and
+suspiciously long validity intervals.  Violations are reported, never fixed
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..temporal import TimeDomain
+from .graph import TemporalKnowledgeGraph
+from .triple import TemporalFact
+
+
+class Severity(str, Enum):
+    """How serious a validation finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """A single finding from graph validation."""
+
+    severity: Severity
+    code: str
+    message: str
+    fact: TemporalFact | None = None
+
+    def __str__(self) -> str:
+        suffix = f" — {self.fact}" if self.fact is not None else ""
+        return f"[{self.severity.value}] {self.code}: {self.message}{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """All findings for one graph."""
+
+    graph_name: str
+    issues: tuple[ValidationIssue, ...]
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return not self.errors
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+
+def validate_graph(
+    graph: TemporalKnowledgeGraph,
+    domain: TimeDomain | None = None,
+    functional_predicates: Iterable[str] = (),
+    max_duration: int | None = None,
+) -> ValidationReport:
+    """Validate ``graph`` and return a report of findings.
+
+    Parameters
+    ----------
+    domain:
+        Optional time domain every fact interval must fall inside.
+    functional_predicates:
+        Predicates expected to have at most one object per subject at any
+        time point (e.g. ``birthDate``).  Overlapping differing values are
+        flagged as warnings — actual resolution is TeCoRe's job, not the
+        validator's.
+    max_duration:
+        When given, intervals longer than this many time points are flagged
+        (typical extraction-error pattern: a career spanning two centuries).
+    """
+    issues: list[ValidationIssue] = []
+    domain = domain or graph.domain
+
+    for fact in graph:
+        if domain is not None and (
+            fact.interval.start not in domain or fact.interval.end not in domain
+        ):
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "interval-outside-domain",
+                    f"interval {fact.interval} outside [{domain.start},{domain.end}]",
+                    fact,
+                )
+            )
+        if max_duration is not None and fact.interval.duration > max_duration:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "interval-too-long",
+                    f"validity spans {fact.interval.duration} time points (> {max_duration})",
+                    fact,
+                )
+            )
+        if fact.confidence < 0.05:
+            issues.append(
+                ValidationIssue(
+                    Severity.INFO,
+                    "very-low-confidence",
+                    f"confidence {fact.confidence:.3f} is below 0.05",
+                    fact,
+                )
+            )
+
+    for predicate in functional_predicates:
+        facts = graph.by_predicate(predicate)
+        by_subject: dict = {}
+        for fact in facts:
+            by_subject.setdefault(fact.subject, []).append(fact)
+        for subject, subject_facts in by_subject.items():
+            for i, first in enumerate(subject_facts):
+                for second in subject_facts[i + 1:]:
+                    if first.object != second.object and first.interval.overlaps(second.interval):
+                        issues.append(
+                            ValidationIssue(
+                                Severity.WARNING,
+                                "functional-predicate-clash",
+                                f"{subject} has overlapping {predicate} values "
+                                f"{first.object} and {second.object}",
+                                first,
+                            )
+                        )
+
+    return ValidationReport(graph_name=graph.name, issues=tuple(issues))

@@ -1,0 +1,423 @@
+"""Fluent builders for rules and constraints.
+
+This is the programmatic counterpart of the demo's web forms: the
+*constraints editor* lets a user pick two predicates (with auto-completion)
+and relate them through an Allen relation; the *rule builder* assembles
+``Body ∧ [Condition] → Head`` rules.  All builders validate eagerly and
+produce the immutable :class:`~repro.logic.rule.TemporalRule` /
+:class:`~repro.logic.constraint.TemporalConstraint` objects consumed by the
+grounder.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import LogicError
+from ..kg import IRI, TemporalKnowledgeGraph, to_term
+from ..temporal import CONSTRAINT_PREDICATES, IntervalExpression, TimeInterval
+from .atom import AllenAtom, Comparison, ConditionAtom, QuadAtom, TermEquality
+from .constraint import ConstraintKind, TemporalConstraint
+from .expressions import ExpressionLike, as_expression
+from .rule import TemporalRule
+from .terms import IntervalOrVar, TermOrVar, Variable
+
+#: Identifiers considered logical variables by convention: a single lower-case
+#: letter optionally followed by digits or primes (x, y, z, t, t2, t').  An
+#: explicit leading ``?`` always marks a variable regardless of shape.
+_VARIABLE_PATTERN = re.compile(r"^[a-z](?:[0-9']*)$")
+
+
+def parse_symbol(value: Union[str, TermOrVar, int]) -> TermOrVar:
+    """Interpret a convenience value as a variable or a constant term.
+
+    * values that are already variables/terms pass through;
+    * ``"?name"`` is always a variable;
+    * short lower-case identifiers (``x``, ``t2``, ``t'``) are variables;
+    * everything else becomes a graph term via :func:`repro.kg.to_term`.
+    """
+    if isinstance(value, Variable):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?"):
+            return Variable(value[1:])
+        if _VARIABLE_PATTERN.match(value):
+            return Variable(value)
+    return to_term(value)
+
+
+def parse_interval_symbol(value: Union[str, IntervalOrVar, tuple[int, int]]) -> IntervalOrVar:
+    """Interpret a convenience value as an interval variable or fixed interval."""
+    if isinstance(value, (Variable, TimeInterval)):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        return TimeInterval(int(value[0]), int(value[1]))
+    if isinstance(value, str):
+        if value.startswith("?"):
+            return Variable(value[1:])
+        if _VARIABLE_PATTERN.match(value):
+            return Variable(value)
+        return TimeInterval.parse(value)
+    raise LogicError(f"cannot interpret {value!r} as an interval position")
+
+
+def _require_variable(value: Union[str, Variable], role: str) -> Variable:
+    symbol = parse_symbol(value) if not isinstance(value, Variable) else value
+    if not isinstance(symbol, Variable):
+        raise LogicError(f"{role} must be a variable, got constant {value!r}")
+    return symbol
+
+
+# --------------------------------------------------------------------------- #
+# Atom helpers
+# --------------------------------------------------------------------------- #
+def quad(
+    subject: Union[str, TermOrVar],
+    predicate: Union[str, IRI, Variable],
+    obj: Union[str, TermOrVar, int],
+    interval: Union[str, IntervalOrVar, tuple[int, int]] = "t",
+) -> QuadAtom:
+    """Build a quad atom, e.g. ``quad("x", "playsFor", "y", "t")``."""
+    predicate_symbol = parse_symbol(predicate)
+    if not isinstance(predicate_symbol, (IRI, Variable)):
+        raise LogicError(f"predicate position must be an IRI or variable, got {predicate!r}")
+    return QuadAtom(
+        subject=parse_symbol(subject),
+        predicate=predicate_symbol,
+        object=parse_symbol(obj),
+        interval=parse_interval_symbol(interval),
+    )
+
+
+def allen(relation: str, left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
+    """Build a temporal predicate atom, e.g. ``allen("overlaps", "t", "t2")``."""
+    return AllenAtom(relation, _require_variable(left, "interval"), _require_variable(right, "interval"))
+
+
+def overlaps(left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
+    return allen("overlaps", left, right)
+
+
+def disjoint(left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
+    return allen("disjoint", left, right)
+
+
+def before(left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
+    return allen("before", left, right)
+
+
+def compare(left: ExpressionLike, operator: str, right: ExpressionLike) -> Comparison:
+    """Build an arithmetic comparison condition."""
+    return Comparison(as_expression(left), operator, as_expression(right))
+
+
+def equal(left: Union[str, TermOrVar], right: Union[str, TermOrVar]) -> TermEquality:
+    """Equality-generating condition ``left = right``."""
+    return TermEquality(parse_symbol(left), parse_symbol(right), negated=False)
+
+
+def not_equal(left: Union[str, TermOrVar], right: Union[str, TermOrVar]) -> TermEquality:
+    """Inequality condition ``left ≠ right``."""
+    return TermEquality(parse_symbol(left), parse_symbol(right), negated=True)
+
+
+def intersect(left: Union[str, Variable], right: Union[str, Variable]) -> IntervalExpression:
+    """Head-interval expression ``t ∩ t'`` (rule f2)."""
+    return IntervalExpression.intersection(
+        _require_variable(left, "interval").name, _require_variable(right, "interval").name
+    )
+
+
+def union(left: Union[str, Variable], right: Union[str, Variable]) -> IntervalExpression:
+    """Head-interval expression covering both body intervals."""
+    return IntervalExpression.union(
+        _require_variable(left, "interval").name, _require_variable(right, "interval").name
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Rule builder
+# --------------------------------------------------------------------------- #
+class RuleBuilder:
+    """Fluent builder for :class:`~repro.logic.rule.TemporalRule`.
+
+    Example
+    -------
+    >>> rule = (RuleBuilder("f1")
+    ...         .body(quad("x", "playsFor", "y", "t"))
+    ...         .head(quad("x", "worksFor", "y", "t"))
+    ...         .weight(2.5)
+    ...         .build())
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._body: list[QuadAtom] = []
+        self._conditions: list[ConditionAtom] = []
+        self._head: Optional[QuadAtom] = None
+        self._weight: Optional[float] = 1.0
+        self._head_interval: Optional[IntervalExpression] = None
+        self._derived_confidence: float = 0.9
+
+    def body(self, *atoms: QuadAtom) -> "RuleBuilder":
+        self._body.extend(atoms)
+        return self
+
+    def when(self, *conditions: ConditionAtom) -> "RuleBuilder":
+        self._conditions.extend(conditions)
+        return self
+
+    def head(self, atom: QuadAtom, interval: Optional[IntervalExpression] = None) -> "RuleBuilder":
+        self._head = atom
+        self._head_interval = interval
+        return self
+
+    def weight(self, value: Optional[float]) -> "RuleBuilder":
+        self._weight = value
+        return self
+
+    def hard(self) -> "RuleBuilder":
+        self._weight = None
+        return self
+
+    def derived_confidence(self, value: float) -> "RuleBuilder":
+        self._derived_confidence = value
+        return self
+
+    def build(self) -> TemporalRule:
+        if self._head is None:
+            raise LogicError(f"rule {self._name}: no head atom was provided")
+        return TemporalRule(
+            name=self._name,
+            body=tuple(self._body),
+            head=self._head,
+            conditions=tuple(self._conditions),
+            weight=self._weight,
+            head_interval=self._head_interval,
+            derived_confidence=self._derived_confidence,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Constraint builder
+# --------------------------------------------------------------------------- #
+class ConstraintBuilder:
+    """Fluent builder for :class:`~repro.logic.constraint.TemporalConstraint`.
+
+    Example (the paper's c2)
+    ------------------------
+    >>> c2 = (ConstraintBuilder("c2")
+    ...       .body(quad("x", "coach", "y", "t"), quad("x", "coach", "z", "t2"))
+    ...       .when(not_equal("y", "z"))
+    ...       .require(disjoint("t", "t2"))
+    ...       .hard()
+    ...       .build())
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._body: list[QuadAtom] = []
+        self._body_conditions: list[ConditionAtom] = []
+        self._head_conditions: list[ConditionAtom] = []
+        self._weight: Optional[float] = None
+        self._kind: Optional[ConstraintKind] = None
+        self._description = ""
+
+    def body(self, *atoms: QuadAtom) -> "ConstraintBuilder":
+        self._body.extend(atoms)
+        return self
+
+    def when(self, *conditions: ConditionAtom) -> "ConstraintBuilder":
+        self._body_conditions.extend(conditions)
+        return self
+
+    def require(self, *conditions: ConditionAtom) -> "ConstraintBuilder":
+        self._head_conditions.extend(conditions)
+        return self
+
+    def weight(self, value: Optional[float]) -> "ConstraintBuilder":
+        self._weight = value
+        return self
+
+    def soft(self, value: float) -> "ConstraintBuilder":
+        self._weight = value
+        return self
+
+    def hard(self) -> "ConstraintBuilder":
+        self._weight = None
+        return self
+
+    def kind(self, value: ConstraintKind) -> "ConstraintBuilder":
+        self._kind = value
+        return self
+
+    def description(self, text: str) -> "ConstraintBuilder":
+        self._description = text
+        return self
+
+    def _infer_kind(self) -> ConstraintKind:
+        if any(isinstance(condition, TermEquality) and not condition.negated
+               for condition in self._head_conditions):
+            return ConstraintKind.EQUALITY_GENERATING
+        if any(isinstance(condition, AllenAtom) and condition.relation in ("disjoint",)
+               for condition in self._head_conditions):
+            return ConstraintKind.DISJOINTNESS
+        if not self._head_conditions:
+            return ConstraintKind.DENIAL
+        return ConstraintKind.INCLUSION_DEPENDENCY
+
+    def build(self) -> TemporalConstraint:
+        return TemporalConstraint(
+            name=self._name,
+            body=tuple(self._body),
+            body_conditions=tuple(self._body_conditions),
+            head_conditions=tuple(self._head_conditions),
+            weight=self._weight,
+            kind=self._kind or self._infer_kind(),
+            description=self._description,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The constraints editor (the demo UI as an API)
+# --------------------------------------------------------------------------- #
+class ConstraintEditor:
+    """Programmatic counterpart of the demo's constraints editor.
+
+    It offers predicate auto-completion against a loaded UTKG and one-line
+    construction of the common constraint shapes: relating two predicates via
+    an Allen relation, declaring a predicate functional over time, and
+    declaring two predicates temporally disjoint.
+    """
+
+    def __init__(self, graph: Optional[TemporalKnowledgeGraph] = None) -> None:
+        self._graph = graph
+        self._counter = 0
+
+    # -- auto-completion ------------------------------------------------- #
+    def predicates(self) -> list[str]:
+        """All predicates available in the attached graph."""
+        if self._graph is None:
+            return []
+        return [predicate.value for predicate in self._graph.predicates()]
+
+    def complete(self, prefix: str) -> list[str]:
+        """Predicates starting with ``prefix`` (case-insensitive)."""
+        lowered = prefix.lower()
+        return [name for name in self.predicates() if name.lower().startswith(lowered)]
+
+    def relations(self) -> list[str]:
+        """Temporal relations the editor can use."""
+        return sorted(CONSTRAINT_PREDICATES)
+
+    def _next_name(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}{self._counter}"
+
+    def _check_predicate(self, predicate: str) -> None:
+        if self._graph is not None and predicate not in self.predicates():
+            raise LogicError(
+                f"predicate {predicate!r} does not occur in graph {self._graph.name!r}; "
+                f"candidates: {self.complete(predicate[:3]) or self.predicates()[:5]}"
+            )
+
+    # -- constraint shapes ------------------------------------------------ #
+    def relate(
+        self,
+        first_predicate: str,
+        second_predicate: str,
+        relation: str,
+        weight: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> TemporalConstraint:
+        """Require ``relation`` to hold between the intervals of two predicates.
+
+        Example: ``relate("birthDate", "worksFor", "before")`` — a person must
+        be born before she works for a company.
+        """
+        self._check_predicate(first_predicate)
+        self._check_predicate(second_predicate)
+        if relation not in CONSTRAINT_PREDICATES:
+            raise LogicError(f"unknown temporal relation {relation!r}")
+        builder = (
+            ConstraintBuilder(name or self._next_name("rel"))
+            .body(
+                quad("x", first_predicate, "y", "t"),
+                quad("x", second_predicate, "z", "t2"),
+            )
+            .require(allen(relation, "t", "t2"))
+            .description(
+                f"{first_predicate} must be {relation} {second_predicate} for the same subject"
+            )
+            .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+        )
+        return builder.weight(weight).build() if weight is not None else builder.hard().build()
+
+    def functional_over_time(
+        self,
+        predicate: str,
+        weight: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> TemporalConstraint:
+        """At any time point, ``predicate`` maps a subject to one object.
+
+        This is the shape of the paper's c2 (one coached club at a time) and
+        c3 (one birth place).
+        """
+        self._check_predicate(predicate)
+        builder = (
+            ConstraintBuilder(name or self._next_name("fn"))
+            .body(
+                quad("x", predicate, "y", "t"),
+                quad("x", predicate, "z", "t2"),
+            )
+            .when(not_equal("y", "z"))
+            .require(disjoint("t", "t2"))
+            .description(f"{predicate} admits one object per subject at any time")
+            .kind(ConstraintKind.DISJOINTNESS)
+        )
+        return builder.weight(weight).build() if weight is not None else builder.hard().build()
+
+    def mutually_exclusive(
+        self,
+        first_predicate: str,
+        second_predicate: str,
+        weight: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> TemporalConstraint:
+        """The two predicates may never hold for a subject at the same time."""
+        self._check_predicate(first_predicate)
+        self._check_predicate(second_predicate)
+        builder = (
+            ConstraintBuilder(name or self._next_name("mx"))
+            .body(
+                quad("x", first_predicate, "y", "t"),
+                quad("x", second_predicate, "z", "t2"),
+            )
+            .require(disjoint("t", "t2"))
+            .description(f"{first_predicate} and {second_predicate} may not overlap in time")
+            .kind(ConstraintKind.DISJOINTNESS)
+        )
+        return builder.weight(weight).build() if weight is not None else builder.hard().build()
+
+    def unique_value(
+        self,
+        predicate: str,
+        weight: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> TemporalConstraint:
+        """Equality-generating: overlapping assertions must agree on the object."""
+        self._check_predicate(predicate)
+        builder = (
+            ConstraintBuilder(name or self._next_name("eq"))
+            .body(
+                quad("x", predicate, "y", "t"),
+                quad("x", predicate, "z", "t2"),
+            )
+            .when(overlaps("t", "t2"))
+            .require(equal("y", "z"))
+            .description(f"overlapping {predicate} assertions must agree on their value")
+            .kind(ConstraintKind.EQUALITY_GENERATING)
+        )
+        return builder.weight(weight).build() if weight is not None else builder.hard().build()

@@ -1,0 +1,140 @@
+"""Temporal constraints.
+
+TeCoRe uses constraints — expressed in a Datalog-based language — to detect
+conflicts in UTKGs.  The paper distinguishes three kinds (Section 2):
+
+* **inclusion dependencies with inequalities**,
+* **(in)equality-generating dependencies**,
+* **disjointness constraints**,
+
+all of which become hard (deterministic) or soft (uncertain) formulas in the
+solver programs.  A constraint here is a *denial-style* formula::
+
+    Body ∧ [BodyCondition] → HeadCondition        (weight w or ∞)
+
+Grounding the body against the graph yields fact tuples; when the body
+condition holds and the head condition fails, those facts form a conflict —
+they cannot all be kept in the most probable consistent KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import UnsafeRuleError
+from .atom import ConditionAtom, QuadAtom
+from .substitution import Substitution
+from .terms import Variable
+
+
+class ConstraintKind(str, Enum):
+    """The constraint taxonomy of the paper."""
+
+    INCLUSION_DEPENDENCY = "inclusion-dependency"
+    EQUALITY_GENERATING = "equality-generating"
+    DISJOINTNESS = "disjointness"
+    DENIAL = "denial"
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalConstraint:
+    """A (hard or soft) temporal constraint over a UTKG.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``c1``, ``c2`` ...).
+    body:
+        Conjunction of quad atoms.
+    body_conditions:
+        Conditions that make a body match *applicable* (e.g. ``y ≠ z`` in c2,
+        ``overlap(t, t')`` in c3).
+    head_conditions:
+        Conditions that must hold for the match to be *consistent* (e.g.
+        ``disjoint(t, t')`` in c2, ``y = z`` in c3, ``before(t, t')`` in c1).
+        An empty head denotes a pure denial constraint: any applicable match
+        is a conflict.
+    weight:
+        ``None`` for hard constraints (weight ∞ in the paper), a positive
+        float for soft constraints.
+    kind:
+        The paper's constraint taxonomy, used by expressivity checks and
+        reporting.
+    """
+
+    name: str
+    body: tuple[QuadAtom, ...]
+    body_conditions: tuple[ConditionAtom, ...] = field(default_factory=tuple)
+    head_conditions: tuple[ConditionAtom, ...] = field(default_factory=tuple)
+    weight: Optional[float] = None
+    kind: ConstraintKind = ConstraintKind.DENIAL
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise UnsafeRuleError(f"constraint {self.name}: body must contain at least one atom")
+        if len(self.body) < 2 and not self.head_conditions and not self.body_conditions:
+            # A single-atom pure denial would simply delete every fact of a
+            # predicate; almost certainly a user error.
+            raise UnsafeRuleError(
+                f"constraint {self.name}: a single-atom denial with no conditions "
+                "would reject every matching fact"
+            )
+        self._validate_safety()
+
+    def _validate_safety(self) -> None:
+        body_vars: set[Variable] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        for group, label in (
+            (self.body_conditions, "body condition"),
+            (self.head_conditions, "head condition"),
+        ):
+            for condition in group:
+                unsafe = condition.variables() - body_vars
+                if unsafe:
+                    names = ", ".join(sorted(variable.name for variable in unsafe))
+                    raise UnsafeRuleError(
+                        f"constraint {self.name}: {label} variable(s) {names} "
+                        "do not appear in the body"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Introspection / evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def is_hard(self) -> bool:
+        """True when the constraint can never be violated in the MAP state."""
+        return self.weight is None
+
+    def predicates(self) -> set[str]:
+        """Constant predicates used by the body (grounding index)."""
+        names: set[str] = set()
+        for atom in self.body:
+            if not isinstance(atom.predicate, Variable):
+                names.add(atom.predicate.value)
+        return names
+
+    def applicable(self, substitution: Substitution) -> bool:
+        """True when the body conditions hold for this body match."""
+        return all(condition.holds(substitution) for condition in self.body_conditions)
+
+    def satisfied(self, substitution: Substitution) -> bool:
+        """True when the head conditions hold (i.e. the match is consistent)."""
+        if not self.head_conditions:
+            return False
+        return all(condition.holds(substitution) for condition in self.head_conditions)
+
+    def violated_by(self, substitution: Substitution) -> bool:
+        """True when this body match constitutes a conflict."""
+        return self.applicable(substitution) and not self.satisfied(substitution)
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(atom) for atom in self.body)
+        if self.body_conditions:
+            body += " ∧ " + " ∧ ".join(str(condition) for condition in self.body_conditions)
+        head = " ∧ ".join(str(condition) for condition in self.head_conditions) or "⊥"
+        weight = "∞" if self.weight is None else f"{self.weight:g}"
+        return f"{self.name}: {body} → {head}  [w={weight}]"

@@ -1,0 +1,194 @@
+"""Arithmetic expressions usable in rule and constraint conditions.
+
+The paper's rules embed arithmetic predicates such as ``t' - t < 20`` or
+``age > 40``.  This module provides a tiny expression AST evaluated against a
+:class:`~repro.logic.substitution.Substitution`:
+
+* ``Number(20)`` — a numeric constant;
+* ``IntervalStart(t)`` / ``IntervalEnd(t)`` / ``IntervalDuration(t)`` —
+  accessors over a bound interval variable;
+* ``TermValue(y)`` — the numeric value of a bound entity variable whose value
+  is a numeric literal (e.g. a birth year used as an object);
+* ``BinaryOp('-', a, b)`` — arithmetic combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import LogicError
+from ..kg import IRI, Literal
+from ..temporal import TimeInterval
+from .substitution import Substitution
+from .terms import Variable
+
+
+class Expression:
+    """Base class for arithmetic expressions (evaluate against a substitution)."""
+
+    def evaluate(self, substitution: Substitution) -> float:
+        raise NotImplementedError
+
+    def variables(self) -> set[Variable]:
+        return set()
+
+
+@dataclass(frozen=True, slots=True)
+class Number(Expression):
+    """A numeric constant."""
+
+    value: float
+
+    def evaluate(self, substitution: Substitution) -> float:
+        return float(self.value)
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalStart(Expression):
+    """``start(t)`` — the first time point of a bound interval variable."""
+
+    variable: Variable
+
+    def evaluate(self, substitution: Substitution) -> float:
+        interval = substitution.interval(self.variable)
+        if interval is None:
+            raise LogicError(f"interval variable {self.variable} is unbound")
+        return float(interval.start)
+
+    def variables(self) -> set[Variable]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"start({self.variable.name})"
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalEnd(Expression):
+    """``end(t)`` — the last time point of a bound interval variable."""
+
+    variable: Variable
+
+    def evaluate(self, substitution: Substitution) -> float:
+        interval = substitution.interval(self.variable)
+        if interval is None:
+            raise LogicError(f"interval variable {self.variable} is unbound")
+        return float(interval.end)
+
+    def variables(self) -> set[Variable]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"end({self.variable.name})"
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalDuration(Expression):
+    """``duration(t)`` — number of time points covered by a bound interval."""
+
+    variable: Variable
+
+    def evaluate(self, substitution: Substitution) -> float:
+        interval = substitution.interval(self.variable)
+        if interval is None:
+            raise LogicError(f"interval variable {self.variable} is unbound")
+        return float(interval.duration)
+
+    def variables(self) -> set[Variable]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return f"duration({self.variable.name})"
+
+
+@dataclass(frozen=True, slots=True)
+class TermValue(Expression):
+    """The numeric interpretation of a bound entity variable.
+
+    Numeric literals evaluate to their value; intervals evaluate to their
+    start point (this makes the paper's loose ``t' - t`` notation work when a
+    year literal and an interval are mixed); IRIs whose local name is numeric
+    evaluate to that number.
+    """
+
+    variable: Variable
+
+    def evaluate(self, substitution: Substitution) -> float:
+        value = substitution.get(self.variable)
+        if value is None:
+            raise LogicError(f"variable {self.variable} is unbound")
+        if isinstance(value, TimeInterval):
+            return float(value.start)
+        if isinstance(value, Literal):
+            try:
+                return float(value.value)
+            except ValueError as exc:
+                raise LogicError(
+                    f"literal {value} bound to {self.variable} is not numeric"
+                ) from exc
+        if isinstance(value, IRI):
+            try:
+                return float(value.local_name)
+            except ValueError as exc:
+                raise LogicError(
+                    f"IRI {value} bound to {self.variable} is not numeric"
+                ) from exc
+        raise LogicError(f"cannot interpret {value!r} numerically")
+
+    def variables(self) -> set[Variable]:
+        return {self.variable}
+
+    def __str__(self) -> str:
+        return self.variable.name
+
+
+_OPERATIONS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expression):
+    """Arithmetic combination of two sub-expressions."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATIONS:
+            raise LogicError(f"unknown arithmetic operator {self.operator!r}")
+
+    def evaluate(self, substitution: Substitution) -> float:
+        left = self.left.evaluate(substitution)
+        right = self.right.evaluate(substitution)
+        if self.operator == "/" and right == 0:
+            raise LogicError("division by zero in rule condition")
+        return _OPERATIONS[self.operator](left, right)
+
+    def variables(self) -> set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator} {self.right})"
+
+
+#: Anything accepted where an expression is expected by the builder helpers.
+ExpressionLike = Union[Expression, Variable, int, float]
+
+
+def as_expression(value: ExpressionLike) -> Expression:
+    """Coerce numbers and variables into expressions (variables → TermValue)."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, Variable):
+        return TermValue(value)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Number(float(value))
+    raise LogicError(f"cannot interpret {value!r} as an arithmetic expression")

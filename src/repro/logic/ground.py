@@ -1,0 +1,253 @@
+"""Ground (propositional) programs.
+
+Grounding a UTKG together with its inference rules and constraints produces a
+*ground program*: one Boolean variable per temporal fact (evidence or
+derived) and a set of weighted ground clauses.  MAP inference over this
+program is exactly weighted MaxSAT, which is how both back-ends consume it:
+
+* the MLN path solves it exactly (ILP / branch & bound) or approximately
+  (MaxWalkSAT);
+* the PSL path relaxes the Boolean variables to ``[0, 1]`` and replaces each
+  clause by its Łukasiewicz hinge loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import GroundingError
+from ..kg import TemporalFact
+
+
+class ClauseKind(str, Enum):
+    """Provenance of a ground clause (used in reports and ablations)."""
+
+    EVIDENCE = "evidence"
+    RULE = "rule"
+    CONSTRAINT = "constraint"
+    PRIOR = "prior"
+
+
+@dataclass(frozen=True, slots=True)
+class GroundAtom:
+    """A propositional variable standing for one temporal fact.
+
+    Attributes
+    ----------
+    index:
+        Position in the program's atom table (also the solver variable index).
+    fact:
+        The temporal fact this atom asserts.
+    is_evidence:
+        True when the fact came from the input UTKG (as opposed to being
+        derived by an inference rule during grounding).
+    derived_by:
+        Name of the rule that derived the fact, when not evidence.
+    """
+
+    index: int
+    fact: TemporalFact
+    is_evidence: bool
+    derived_by: Optional[str] = None
+
+    def __str__(self) -> str:
+        origin = "evidence" if self.is_evidence else f"derived:{self.derived_by}"
+        return f"x{self.index}[{origin}] {self.fact}"
+
+
+@dataclass(frozen=True, slots=True)
+class GroundClause:
+    """A weighted disjunction of literals over ground atoms.
+
+    ``literals`` is a sequence of ``(atom_index, positive)`` pairs; the clause
+    is satisfied when at least one literal evaluates to true.  ``weight`` is
+    ``None`` for hard clauses.
+    """
+
+    literals: tuple[tuple[int, bool], ...]
+    weight: Optional[float]
+    kind: ClauseKind
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise GroundingError(f"empty ground clause from {self.origin!r}")
+        if self.weight is not None and self.weight <= 0 and len(self.literals) > 1:
+            raise GroundingError(
+                f"non-unit soft clause from {self.origin!r} must have positive weight"
+            )
+
+    @property
+    def is_hard(self) -> bool:
+        return self.weight is None
+
+    @property
+    def is_unit(self) -> bool:
+        return len(self.literals) == 1
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate the clause under a Boolean assignment (indexed by atom)."""
+        return any(
+            assignment[index] == positive for index, positive in self.literals
+        )
+
+    def __str__(self) -> str:
+        parts = " ∨ ".join(
+            ("" if positive else "¬") + f"x{index}" for index, positive in self.literals
+        )
+        weight = "hard" if self.weight is None else f"{self.weight:g}"
+        return f"({parts}) [{weight}, {self.kind.value}:{self.origin}]"
+
+
+@dataclass
+class GroundProgram:
+    """The full propositional MAP problem produced by the grounder."""
+
+    atoms: list[GroundAtom] = field(default_factory=list)
+    clauses: list[GroundClause] = field(default_factory=list)
+    _atom_index: dict[tuple, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_atom(
+        self,
+        fact: TemporalFact,
+        is_evidence: bool,
+        derived_by: Optional[str] = None,
+    ) -> GroundAtom:
+        """Register a fact as a ground atom (idempotent on the statement key)."""
+        key = fact.statement_key
+        existing = self._atom_index.get(key)
+        if existing is not None:
+            atom = self.atoms[existing]
+            # Evidence status is sticky: once a fact is known to be evidence it
+            # stays evidence even if a rule also derives it.
+            if is_evidence and not atom.is_evidence:
+                upgraded = GroundAtom(atom.index, fact, True, None)
+                self.atoms[existing] = upgraded
+                return upgraded
+            return atom
+        atom = GroundAtom(len(self.atoms), fact, is_evidence, derived_by)
+        self.atoms.append(atom)
+        self._atom_index[key] = atom.index
+        return atom
+
+    def atom_for(self, fact: TemporalFact) -> Optional[GroundAtom]:
+        """Look up the atom of a fact (by statement key), if registered."""
+        index = self._atom_index.get(fact.statement_key)
+        return self.atoms[index] if index is not None else None
+
+    def add_clause(
+        self,
+        literals: Iterable[tuple[int, bool]],
+        weight: Optional[float],
+        kind: ClauseKind,
+        origin: str = "",
+    ) -> GroundClause:
+        """Add a weighted clause over existing atom indexes.
+
+        Soft unit clauses with negative weight are normalised by flipping the
+        literal (``w·sat(l) ≡ const + (−w)·sat(¬l)``), so downstream encoders
+        only ever see positive soft weights.
+        """
+        items = tuple(literals)
+        for index, _ in items:
+            if index < 0 or index >= len(self.atoms):
+                raise GroundingError(f"clause references unknown atom index {index}")
+        if weight is not None and weight < 0:
+            if len(items) != 1:
+                raise GroundingError(
+                    f"negative-weight non-unit clause from {origin!r} is not representable"
+                )
+            index, positive = items[0]
+            items = ((index, not positive),)
+            weight = -weight
+        if weight is not None and weight == 0:
+            # Zero-weight clauses carry no information; keep the program lean.
+            weight = 1e-9
+        clause = GroundClause(items, weight, kind, origin)
+        self.clauses.append(clause)
+        return clause
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evidence_atoms(self) -> list[GroundAtom]:
+        return [atom for atom in self.atoms if atom.is_evidence]
+
+    def derived_atoms(self) -> list[GroundAtom]:
+        return [atom for atom in self.atoms if not atom.is_evidence]
+
+    def hard_clauses(self) -> list[GroundClause]:
+        return [clause for clause in self.clauses if clause.is_hard]
+
+    def soft_clauses(self) -> list[GroundClause]:
+        return [clause for clause in self.clauses if not clause.is_hard]
+
+    def clauses_of_kind(self, kind: ClauseKind) -> list[GroundClause]:
+        return [clause for clause in self.clauses if clause.kind is kind]
+
+    def iter_facts(self) -> Iterator[TemporalFact]:
+        return (atom.fact for atom in self.atoms)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def objective(self, assignment: Sequence[bool]) -> float:
+        """Sum of satisfied soft-clause weights under ``assignment``."""
+        if len(assignment) != len(self.atoms):
+            raise GroundingError(
+                f"assignment has {len(assignment)} values for {len(self.atoms)} atoms"
+            )
+        return sum(
+            clause.weight
+            for clause in self.clauses
+            if clause.weight is not None and clause.satisfied_by(assignment)
+        )
+
+    def hard_violations(self, assignment: Sequence[bool]) -> list[GroundClause]:
+        """Hard clauses violated by ``assignment`` (empty list ⇒ feasible)."""
+        return [
+            clause
+            for clause in self.clauses
+            if clause.is_hard and not clause.satisfied_by(assignment)
+        ]
+
+    def is_feasible(self, assignment: Sequence[bool]) -> bool:
+        """True when no hard clause is violated."""
+        return not self.hard_violations(assignment)
+
+    def max_soft_weight(self) -> float:
+        """Sum of all positive soft weights (upper bound on the objective)."""
+        return sum(clause.weight for clause in self.clauses if clause.weight is not None)
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by reports and benchmark output."""
+        return {
+            "atoms": self.num_atoms,
+            "evidence_atoms": len(self.evidence_atoms()),
+            "derived_atoms": len(self.derived_atoms()),
+            "clauses": self.num_clauses,
+            "hard_clauses": len(self.hard_clauses()),
+            "soft_clauses": len(self.soft_clauses()),
+            "constraint_clauses": len(self.clauses_of_kind(ClauseKind.CONSTRAINT)),
+            "rule_clauses": len(self.clauses_of_kind(ClauseKind.RULE)),
+            "evidence_clauses": len(self.clauses_of_kind(ClauseKind.EVIDENCE)),
+        }
+
+    def __repr__(self) -> str:
+        return f"GroundProgram(atoms={self.num_atoms}, clauses={self.num_clauses})"

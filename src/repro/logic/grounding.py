@@ -1,0 +1,329 @@
+"""The grounding engine.
+
+Turns an uncertain temporal KG plus temporal inference rules and constraints
+into a :class:`~repro.logic.ground.GroundProgram`:
+
+1. every evidence fact becomes a ground atom with a soft unit clause whose
+   weight is the fact's log-odds (certain facts get a large finite weight);
+2. inference rules are forward-chained to a fix point; every rule firing adds
+   the derived fact as a (hidden) ground atom and a clause
+   ``¬b₁ ∨ … ∨ ¬bₖ ∨ h`` carrying the rule's weight;
+3. constraints are grounded against evidence *and* derived facts; every
+   violated instantiation adds a conflict clause ``¬f₁ ∨ … ∨ ¬fₖ``.
+
+The same engine also powers pure conflict *detection* (the Figure 8
+statistics) via :func:`find_conflicts`, which skips step 1 and 2 bookkeeping
+and simply reports the violated constraint instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import GroundingError
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from .atom import QuadAtom
+from .constraint import TemporalConstraint
+from .ground import ClauseKind, GroundProgram
+from .rule import TemporalRule
+from .substitution import Substitution
+
+
+@dataclass(frozen=True, slots=True)
+class RuleFiring:
+    """One ground instantiation of an inference rule."""
+
+    rule: str
+    body: tuple[TemporalFact, ...]
+    head: TemporalFact
+    weight: Optional[float]
+
+
+@dataclass(frozen=True, slots=True)
+class ConstraintViolation:
+    """One violated ground instantiation of a constraint (a conflict set)."""
+
+    constraint: str
+    facts: tuple[TemporalFact, ...]
+    weight: Optional[float]
+
+    @property
+    def is_hard(self) -> bool:
+        return self.weight is None
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(fact) for fact in self.facts)
+        return f"{self.constraint}: {{{inner}}}"
+
+
+@dataclass
+class GroundingResult:
+    """Everything produced by a full grounding pass."""
+
+    program: GroundProgram
+    firings: list[RuleFiring] = field(default_factory=list)
+    violations: list[ConstraintViolation] = field(default_factory=list)
+    rounds: int = 0
+
+    def derived_facts(self) -> list[TemporalFact]:
+        return [atom.fact for atom in self.program.derived_atoms()]
+
+    def conflicting_facts(self) -> list[TemporalFact]:
+        """Distinct facts participating in at least one violation."""
+        seen: dict[tuple, TemporalFact] = {}
+        for violation in self.violations:
+            for fact in violation.facts:
+                seen.setdefault(fact.statement_key, fact)
+        return list(seen.values())
+
+
+# --------------------------------------------------------------------------- #
+# Body matching
+# --------------------------------------------------------------------------- #
+def _match_body(
+    body: Sequence[QuadAtom],
+    graph: TemporalKnowledgeGraph,
+    substitution: Substitution,
+    position: int = 0,
+) -> Iterator[tuple[Substitution, tuple[TemporalFact, ...]]]:
+    """Enumerate all ways of matching ``body`` against ``graph``.
+
+    Standard backtracking join: each body atom queries the graph with the
+    most selective pattern available under the current partial substitution.
+    Yields ``(substitution, matched facts)`` pairs.
+    """
+    if position == len(body):
+        yield substitution, ()
+        return
+    atom = body[position]
+    subject, predicate, obj = atom.bound_pattern(substitution)
+    for fact in graph.find(subject=subject, predicate=predicate, obj=obj):
+        extended = atom.match(fact, substitution)
+        if extended is None:
+            continue
+        for final, rest in _match_body(body, graph, extended, position + 1):
+            yield final, (fact, *rest)
+
+
+def match_rule(
+    rule: TemporalRule, graph: TemporalKnowledgeGraph
+) -> Iterator[tuple[Substitution, tuple[TemporalFact, ...]]]:
+    """All body matches of ``rule`` whose conditions hold."""
+    for substitution, facts in _match_body(rule.body, graph, Substitution.empty()):
+        if all(condition.holds(substitution) for condition in rule.conditions):
+            yield substitution, facts
+
+
+def match_constraint(
+    constraint: TemporalConstraint, graph: TemporalKnowledgeGraph
+) -> Iterator[tuple[Substitution, tuple[TemporalFact, ...]]]:
+    """All body matches of ``constraint`` (conditions *not* yet checked)."""
+    yield from _match_body(constraint.body, graph, Substitution.empty())
+
+
+# --------------------------------------------------------------------------- #
+# The grounder
+# --------------------------------------------------------------------------- #
+class Grounder:
+    """Grounds a UTKG with rules and constraints into a propositional program.
+
+    Parameters
+    ----------
+    graph:
+        The evidence UTKG.
+    rules:
+        Temporal inference rules to forward-chain.
+    constraints:
+        Temporal constraints to ground into conflict clauses.
+    max_rounds:
+        Upper bound on forward-chaining rounds (rules over derived predicates,
+        such as f2 over f1's ``worksFor`` output, need more than one round).
+    derive_facts:
+        When False, rules are ignored entirely (pure conflict detection).
+    keep_bias:
+        Small positive weight added to every evidence fact's unit clause so
+        that, all else equal, the MAP state prefers *keeping* a fact over
+        removing it.  This matters for facts with confidence exactly 0.5
+        (log-odds 0), such as fact (3) of the paper's running example, which
+        Figure 7 keeps.
+    derived_prior:
+        Small negative prior placed on every derived (hidden) atom.  Without
+        it the MAP state is free to assert derived facts whose supporting
+        body facts were removed (the rule clause is vacuously satisfied);
+        with it a derived fact is only asserted when a rule firing whose body
+        survives actually supports it.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalKnowledgeGraph,
+        rules: Iterable[TemporalRule] = (),
+        constraints: Iterable[TemporalConstraint] = (),
+        max_rounds: int = 5,
+        derive_facts: bool = True,
+        keep_bias: float = 1e-3,
+        derived_prior: float = 5e-4,
+    ) -> None:
+        self.graph = graph
+        self.rules = list(rules)
+        self.constraints = list(constraints)
+        if max_rounds < 1:
+            raise GroundingError("max_rounds must be at least 1")
+        self.max_rounds = max_rounds
+        self.derive_facts = derive_facts
+        self.keep_bias = keep_bias
+        self.derived_prior = derived_prior
+
+    # ------------------------------------------------------------------ #
+    def ground(self) -> GroundingResult:
+        """Run the full grounding pipeline and return the result."""
+        program = GroundProgram()
+        result = GroundingResult(program=program)
+
+        # 1. Evidence atoms and their soft unit clauses.
+        for fact in self.graph:
+            atom = program.add_atom(fact, is_evidence=True)
+            program.add_clause(
+                [(atom.index, True)],
+                weight=fact.log_weight + self.keep_bias,
+                kind=ClauseKind.EVIDENCE,
+                origin="evidence",
+            )
+
+        # Working graph that accumulates derived facts so later rounds and
+        # constraint grounding can see them.
+        working = self.graph.copy(name=f"{self.graph.name}-working")
+
+        # 2. Forward-chain the inference rules.
+        if self.derive_facts and self.rules:
+            result.rounds = self._chain_rules(program, working, result)
+
+        # 3. Ground the constraints over evidence + derived facts.
+        self._ground_constraints(program, working, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _chain_rules(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> int:
+        seen_firings: set[tuple] = set()
+        prior_added: set[int] = set()
+        rounds_used = 0
+        for round_number in range(1, self.max_rounds + 1):
+            new_facts: list[tuple[TemporalRule, tuple[TemporalFact, ...], TemporalFact]] = []
+            for rule in self.rules:
+                for substitution, body_facts in match_rule(rule, working):
+                    head_interval = rule.head_interval_for(substitution)
+                    if head_interval is None:
+                        continue
+                    head_fact = rule.head.instantiate(
+                        substitution,
+                        interval=head_interval,
+                        confidence=rule.derived_confidence,
+                    )
+                    signature = (
+                        rule.name,
+                        tuple(fact.statement_key for fact in body_facts),
+                        head_fact.statement_key,
+                    )
+                    if signature in seen_firings:
+                        continue
+                    seen_firings.add(signature)
+                    new_facts.append((rule, body_facts, head_fact))
+
+            if not new_facts:
+                break
+            rounds_used = round_number
+            for rule, body_facts, head_fact in new_facts:
+                head_atom = program.add_atom(
+                    head_fact, is_evidence=head_fact in self.graph, derived_by=rule.name
+                )
+                if (
+                    not head_atom.is_evidence
+                    and self.derived_prior > 0
+                    and head_atom.index not in prior_added
+                ):
+                    prior_added.add(head_atom.index)
+                    program.add_clause(
+                        [(head_atom.index, True)],
+                        weight=-self.derived_prior,
+                        kind=ClauseKind.PRIOR,
+                        origin=f"prior:{rule.name}",
+                    )
+                if head_fact not in working:
+                    working.add(head_fact)
+                body_atoms = [program.add_atom(fact, is_evidence=fact in self.graph) for fact in body_facts]
+                literals = [(atom.index, False) for atom in body_atoms]
+                literals.append((head_atom.index, True))
+                program.add_clause(
+                    literals,
+                    weight=rule.weight,
+                    kind=ClauseKind.RULE,
+                    origin=rule.name,
+                )
+                result.firings.append(
+                    RuleFiring(rule.name, tuple(body_facts), head_fact, rule.weight)
+                )
+        return rounds_used
+
+    # ------------------------------------------------------------------ #
+    def _ground_constraints(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> None:
+        seen: set[tuple] = set()
+        for constraint in self.constraints:
+            for substitution, facts in match_constraint(constraint, working):
+                # Skip degenerate matches where the same fact fills two body
+                # atoms (e.g. c2 matching a coach fact against itself).
+                keys = tuple(fact.statement_key for fact in facts)
+                if len(set(keys)) != len(keys):
+                    continue
+                if not constraint.violated_by(substitution):
+                    continue
+                signature = (constraint.name, tuple(sorted(keys)))
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                atoms = [program.add_atom(fact, is_evidence=fact in self.graph) for fact in facts]
+                program.add_clause(
+                    [(atom.index, False) for atom in atoms],
+                    weight=constraint.weight,
+                    kind=ClauseKind.CONSTRAINT,
+                    origin=constraint.name,
+                )
+                result.violations.append(
+                    ConstraintViolation(constraint.name, tuple(facts), constraint.weight)
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Convenience entry points
+# --------------------------------------------------------------------------- #
+def ground(
+    graph: TemporalKnowledgeGraph,
+    rules: Iterable[TemporalRule] = (),
+    constraints: Iterable[TemporalConstraint] = (),
+    max_rounds: int = 5,
+) -> GroundingResult:
+    """Ground ``graph`` with ``rules`` and ``constraints`` (full pipeline)."""
+    return Grounder(graph, rules, constraints, max_rounds=max_rounds).ground()
+
+
+def find_conflicts(
+    graph: TemporalKnowledgeGraph,
+    constraints: Iterable[TemporalConstraint],
+) -> list[ConstraintViolation]:
+    """Detect conflicts only (no rule chaining, no MAP).
+
+    This is what the demo's statistics panel reports: the number of
+    conflicting facts found in the loaded UTKG.
+    """
+    grounder = Grounder(graph, rules=(), constraints=constraints, derive_facts=False)
+    return grounder.ground().violations

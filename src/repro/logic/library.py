@@ -1,0 +1,308 @@
+"""Predefined rules and constraints.
+
+The demo ships with "a set of predefined constraints and inference rules" the
+audience can modify.  This module provides them:
+
+* the paper's running-example rules **f1–f3** (Figure 4) and constraints
+  **c1–c3** (Figure 6) for the sports domain;
+* a *sports pack* and a *biography pack* used by the dataset generators and
+  benchmarks;
+* small helpers to look packs up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import LogicError
+from .builder import (
+    ConstraintBuilder,
+    RuleBuilder,
+    before,
+    compare,
+    disjoint,
+    equal,
+    intersect,
+    not_equal,
+    overlaps,
+    quad,
+)
+from .constraint import ConstraintKind, TemporalConstraint
+from .expressions import IntervalStart, Number
+from .rule import TemporalRule
+from .terms import Variable
+
+
+# --------------------------------------------------------------------------- #
+# The paper's running example (Figures 4 and 6)
+# --------------------------------------------------------------------------- #
+def rule_f1() -> TemporalRule:
+    """f1: a footballer who plays for a club works for that club (w = 2.5)."""
+    return (
+        RuleBuilder("f1")
+        .body(quad("x", "playsFor", "y", "t"))
+        .head(quad("x", "worksFor", "y", "t"))
+        .weight(2.5)
+        .build()
+    )
+
+
+def rule_f2() -> TemporalRule:
+    """f2: working for a club located in a city implies living there (w = 1.6).
+
+    The head interval is the intersection ``t ∩ t'`` of the employment and
+    location intervals, exactly as in the paper.
+    """
+    return (
+        RuleBuilder("f2")
+        .body(
+            quad("x", "worksFor", "y", "t"),
+            quad("y", "locatedIn", "z", "t2"),
+        )
+        .when(overlaps("t", "t2"))
+        .head(quad("x", "livesIn", "z", "t"), interval=intersect("t", "t2"))
+        .weight(1.6)
+        .build()
+    )
+
+
+def rule_f3() -> TemporalRule:
+    """f3: a footballer younger than 20 when playing is a teen player (w = 2.9).
+
+    The paper writes the age condition as ``t' − t < 20``; with ``t`` the
+    playsFor interval and ``t'`` the birthDate interval the discrete reading
+    is ``start(t) − start(t') < 20``.
+    """
+    return (
+        RuleBuilder("f3")
+        .body(
+            quad("x", "playsFor", "y", "t"),
+            quad("x", "birthDate", "z", "t2"),
+        )
+        .when(compare(IntervalStart(Variable("t")), "<",
+                      _plus(IntervalStart(Variable("t2")), 20)))
+        .head(quad("x", "type", "TeenPlayer", "t"))
+        .weight(2.9)
+        .build()
+    )
+
+
+def _plus(expression, amount: float):
+    from .expressions import BinaryOp
+
+    return BinaryOp("+", expression, Number(amount))
+
+
+def constraint_c1() -> TemporalConstraint:
+    """c1: a person must be born before she dies (hard)."""
+    return (
+        ConstraintBuilder("c1")
+        .body(
+            quad("x", "birthDate", "y", "t"),
+            quad("x", "deathDate", "z", "t2"),
+        )
+        .require(before("t", "t2"))
+        .description("a person must be born before she dies")
+        .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+        .hard()
+        .build()
+    )
+
+
+def constraint_c2(weight: float | None = None) -> TemporalConstraint:
+    """c2: a person cannot coach two clubs at the same time (hard by default)."""
+    builder = (
+        ConstraintBuilder("c2")
+        .body(
+            quad("x", "coach", "y", "t"),
+            quad("x", "coach", "z", "t2"),
+        )
+        .when(not_equal("y", "z"))
+        .require(disjoint("t", "t2"))
+        .description("a person cannot coach two clubs at the same time")
+        .kind(ConstraintKind.DISJOINTNESS)
+    )
+    return builder.weight(weight).build() if weight is not None else builder.hard().build()
+
+
+def constraint_c3() -> TemporalConstraint:
+    """c3: a person cannot be born in two different cities (hard)."""
+    return (
+        ConstraintBuilder("c3")
+        .body(
+            quad("x", "bornIn", "y", "t"),
+            quad("x", "bornIn", "z", "t2"),
+        )
+        .when(overlaps("t", "t2"))
+        .require(equal("y", "z"))
+        .description("a person cannot be born in two different cities")
+        .kind(ConstraintKind.EQUALITY_GENERATING)
+        .hard()
+        .build()
+    )
+
+
+def running_example_rules() -> list[TemporalRule]:
+    """The paper's Figure 4 rule set."""
+    return [rule_f1(), rule_f2(), rule_f3()]
+
+
+def running_example_constraints() -> list[TemporalConstraint]:
+    """The paper's Figure 6 constraint set."""
+    return [constraint_c1(), constraint_c2(), constraint_c3()]
+
+
+# --------------------------------------------------------------------------- #
+# Domain packs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConstraintPack:
+    """A named bundle of rules and constraints for one domain."""
+
+    name: str
+    description: str
+    rules: tuple[TemporalRule, ...] = field(default_factory=tuple)
+    constraints: tuple[TemporalConstraint, ...] = field(default_factory=tuple)
+
+
+def sports_pack() -> ConstraintPack:
+    """Rules and constraints for football career data (FootballDB-style).
+
+    Includes the running example plus constraints the FootballDB experiments
+    rely on: one team per player at any time, playing only after being born,
+    and agreement on the birth date.
+    """
+    plays_one_team = (
+        ConstraintBuilder("onePlaysFor")
+        .body(quad("x", "playsFor", "y", "t"), quad("x", "playsFor", "z", "t2"))
+        .when(not_equal("y", "z"))
+        .require(disjoint("t", "t2"))
+        .description("a player plays for one team at a time")
+        .kind(ConstraintKind.DISJOINTNESS)
+        .hard()
+        .build()
+    )
+    # birthDate facts carry the interval [birthYear, domainEnd] (the person
+    # exists from birth onwards), so "born before playing" compares interval
+    # *start points* rather than requiring the Allen relation before.
+    born_before_playing = (
+        ConstraintBuilder("bornBeforePlaying")
+        .body(quad("x", "birthDate", "y", "t"), quad("x", "playsFor", "z", "t2"))
+        .require(compare(IntervalStart(Variable("t")), "<", IntervalStart(Variable("t2"))))
+        .description("a player must be born before playing for a team")
+        .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+        .hard()
+        .build()
+    )
+    one_birth_date = (
+        ConstraintBuilder("oneBirthDate")
+        .body(quad("x", "birthDate", "y", "t"), quad("x", "birthDate", "z", "t2"))
+        .when(not_equal("y", "z"))
+        .require(disjoint("t", "t2"))
+        .description("conflicting birth dates may not overlap")
+        .kind(ConstraintKind.EQUALITY_GENERATING)
+        .hard()
+        .build()
+    )
+    return ConstraintPack(
+        name="sports",
+        description="football careers: playsFor/coach/birthDate integrity",
+        rules=tuple(running_example_rules()),
+        constraints=(
+            *running_example_constraints(),
+            plays_one_team,
+            born_before_playing,
+            one_birth_date,
+        ),
+    )
+
+
+def biography_pack() -> ConstraintPack:
+    """Rules and constraints for Wikidata-style biographical relations."""
+    educated_after_birth = (
+        ConstraintBuilder("educatedAfterBirth")
+        .body(quad("x", "birthDate", "y", "t"), quad("x", "educatedAt", "z", "t2"))
+        .require(compare(IntervalStart(Variable("t")), "<", IntervalStart(Variable("t2"))))
+        .description("education starts after birth")
+        .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+        .hard()
+        .build()
+    )
+    one_spouse = (
+        ConstraintBuilder("oneSpouseAtATime")
+        .body(quad("x", "spouse", "y", "t"), quad("x", "spouse", "z", "t2"))
+        .when(not_equal("y", "z"))
+        .require(disjoint("t", "t2"))
+        .description("at most one spouse at a time")
+        .kind(ConstraintKind.DISJOINTNESS)
+        .hard()
+        .build()
+    )
+    one_employer = (
+        ConstraintBuilder("oneMemberOf")
+        .body(quad("x", "memberOf", "y", "t"), quad("x", "memberOf", "z", "t2"))
+        .when(not_equal("y", "z"))
+        .require(disjoint("t", "t2"))
+        .description("membership intervals of different organisations may not overlap")
+        .kind(ConstraintKind.DISJOINTNESS)
+        .soft(1.5)
+        .build()
+    )
+    occupation_after_birth = (
+        ConstraintBuilder("occupationAfterBirth")
+        .body(quad("x", "birthDate", "y", "t"), quad("x", "occupation", "z", "t2"))
+        .require(compare(IntervalStart(Variable("t")), "<", IntervalStart(Variable("t2"))))
+        .description("an occupation is held after birth")
+        .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+        .hard()
+        .build()
+    )
+    member_implies_affiliated = (
+        RuleBuilder("memberAffiliation")
+        .body(quad("x", "memberOf", "y", "t"))
+        .head(quad("x", "affiliatedWith", "y", "t"))
+        .weight(2.0)
+        .build()
+    )
+    return ConstraintPack(
+        name="biography",
+        description="Wikidata-style biographies: spouse/educatedAt/memberOf/occupation",
+        rules=(member_implies_affiliated,),
+        constraints=(
+            educated_after_birth,
+            one_spouse,
+            one_employer,
+            occupation_after_birth,
+        ),
+    )
+
+
+def running_example_pack() -> ConstraintPack:
+    """Exactly the paper's Figures 4 and 6 (no extras)."""
+    return ConstraintPack(
+        name="running-example",
+        description="the paper's running example: rules f1-f3, constraints c1-c3",
+        rules=tuple(running_example_rules()),
+        constraints=tuple(running_example_constraints()),
+    )
+
+
+_PACK_FACTORIES = {
+    "running-example": running_example_pack,
+    "sports": sports_pack,
+    "biography": biography_pack,
+}
+
+
+def available_packs() -> list[str]:
+    """Names of all predefined packs."""
+    return sorted(_PACK_FACTORIES)
+
+
+def load_pack(name: str) -> ConstraintPack:
+    """Load a predefined pack by name (raises for unknown names)."""
+    factory = _PACK_FACTORIES.get(name)
+    if factory is None:
+        raise LogicError(f"unknown constraint pack {name!r}; available: {available_packs()}")
+    return factory()

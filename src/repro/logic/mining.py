@@ -1,0 +1,278 @@
+"""Automatic suggestion of constraints and inference rules.
+
+One of the demo's stated discussion goals is the "automatic derivation or
+suggestion of constraints and inference rules".  This module implements that
+extension: it inspects an (uncertain, noisy) temporal KG and proposes
+
+* **functional-over-time constraints** (the c2 shape) for predicates whose
+  subjects rarely hold two different objects at overlapping times;
+* **mutual-exclusion constraints** for predicate pairs that almost never
+  overlap in time for the same subject;
+* **precedence constraints** (the c1 shape, ``start(t) < start(t')``) for
+  predicate pairs whose observed instances are almost always ordered;
+* **implication rules** (the f1 shape, ``p(x,y,t) → q(x,y,t)``) for predicate
+  pairs where one predicate's facts are almost always accompanied by the
+  other over an overlapping interval.
+
+Each suggestion carries its empirical *support* (how many subject pairs were
+inspected) and *confidence* (the fraction conforming to the pattern); the
+caller decides which suggestions to accept, typically turning high-confidence
+ones into hard constraints and mid-confidence ones into soft constraints
+whose weight is the log-odds of the observed confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from .builder import ConstraintBuilder, RuleBuilder, compare, disjoint, not_equal, quad
+from .constraint import ConstraintKind, TemporalConstraint
+from .expressions import IntervalStart
+from .rule import TemporalRule
+from .terms import Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Suggestion:
+    """One mined constraint or rule suggestion."""
+
+    kind: str
+    description: str
+    support: int
+    confidence: float
+    constraint: Optional[TemporalConstraint] = None
+    rule: Optional[TemporalRule] = None
+
+    @property
+    def statement(self) -> str:
+        """Display form of the suggested formula."""
+        if self.constraint is not None:
+            return str(self.constraint)
+        if self.rule is not None:
+            return str(self.rule)
+        return self.description
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.description} "
+            f"(support={self.support}, confidence={self.confidence:.2f})"
+        )
+
+
+def _soft_weight(confidence: float, cap: float = 10.0) -> float:
+    """Log-odds weight for a soft constraint mined at the given confidence."""
+    clipped = min(max(confidence, 1e-6), 1.0 - 1e-6)
+    return min(cap, math.log(clipped / (1.0 - clipped)))
+
+
+class ConstraintMiner:
+    """Mines candidate constraints and rules from a temporal KG.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of observed subject/pair instances for a suggestion.
+    hard_threshold:
+        Observed confidence at or above which a suggestion is proposed as a
+        *hard* constraint.
+    soft_threshold:
+        Observed confidence at or above which a suggestion is proposed as a
+        *soft* constraint (weighted by the log-odds of the confidence).
+    """
+
+    def __init__(
+        self,
+        min_support: int = 10,
+        hard_threshold: float = 0.98,
+        soft_threshold: float = 0.85,
+    ) -> None:
+        if not (0.0 < soft_threshold <= hard_threshold <= 1.0):
+            raise ValueError("thresholds must satisfy 0 < soft <= hard <= 1")
+        self.min_support = min_support
+        self.hard_threshold = hard_threshold
+        self.soft_threshold = soft_threshold
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def suggest(self, graph: TemporalKnowledgeGraph) -> list[Suggestion]:
+        """All suggestions for ``graph``, sorted by confidence then support."""
+        suggestions = (
+            self.suggest_functional(graph)
+            + self.suggest_precedence(graph)
+            + self.suggest_implications(graph)
+        )
+        suggestions.sort(key=lambda s: (-s.confidence, -s.support, s.description))
+        return suggestions
+
+    def suggest_constraints(self, graph: TemporalKnowledgeGraph) -> list[TemporalConstraint]:
+        """Only the constraint objects of :meth:`suggest` (rules filtered out)."""
+        return [s.constraint for s in self.suggest(graph) if s.constraint is not None]
+
+    # ------------------------------------------------------------------ #
+    # Functional-over-time constraints (the c2 / c3 shape)
+    # ------------------------------------------------------------------ #
+    def suggest_functional(self, graph: TemporalKnowledgeGraph) -> list[Suggestion]:
+        suggestions = []
+        for predicate in graph.predicates():
+            name = predicate.value
+            pairs = conforming = 0
+            for facts in self._facts_by_subject(graph, name).values():
+                for i, first in enumerate(facts):
+                    for second in facts[i + 1:]:
+                        if first.object == second.object:
+                            continue
+                        pairs += 1
+                        if first.interval.disjoint(second.interval):
+                            conforming += 1
+            if pairs < self.min_support:
+                continue
+            confidence = conforming / pairs
+            constraint = self._functional_constraint(name, confidence)
+            if constraint is None:
+                continue
+            suggestions.append(
+                Suggestion(
+                    kind="functional-over-time",
+                    description=f"{name} maps a subject to one object at any time",
+                    support=pairs,
+                    confidence=confidence,
+                    constraint=constraint,
+                )
+            )
+        return suggestions
+
+    def _functional_constraint(self, predicate: str, confidence: float) -> Optional[TemporalConstraint]:
+        if confidence < self.soft_threshold:
+            return None
+        builder = (
+            ConstraintBuilder(f"mined_one_{predicate}")
+            .body(quad("x", predicate, "y", "t"), quad("x", predicate, "z", "t2"))
+            .when(not_equal("y", "z"))
+            .require(disjoint("t", "t2"))
+            .kind(ConstraintKind.DISJOINTNESS)
+            .description(f"mined: {predicate} is functional over time")
+        )
+        if confidence >= self.hard_threshold:
+            return builder.hard().build()
+        return builder.soft(_soft_weight(confidence)).build()
+
+    # ------------------------------------------------------------------ #
+    # Precedence constraints (the c1 shape)
+    # ------------------------------------------------------------------ #
+    def suggest_precedence(self, graph: TemporalKnowledgeGraph) -> list[Suggestion]:
+        suggestions = []
+        predicates = [predicate.value for predicate in graph.predicates()]
+        for earlier in predicates:
+            earlier_by_subject = self._facts_by_subject(graph, earlier)
+            for later in predicates:
+                if earlier == later:
+                    continue
+                pairs = conforming = 0
+                for subject, later_facts in self._facts_by_subject(graph, later).items():
+                    for first in earlier_by_subject.get(subject, []):
+                        for second in later_facts:
+                            pairs += 1
+                            if first.interval.start < second.interval.start:
+                                conforming += 1
+                if pairs < self.min_support:
+                    continue
+                confidence = conforming / pairs
+                if confidence < self.soft_threshold:
+                    continue
+                constraint = self._precedence_constraint(earlier, later, confidence)
+                suggestions.append(
+                    Suggestion(
+                        kind="precedence",
+                        description=f"{earlier} starts before {later} for the same subject",
+                        support=pairs,
+                        confidence=confidence,
+                        constraint=constraint,
+                    )
+                )
+        return suggestions
+
+    def _precedence_constraint(self, earlier: str, later: str, confidence: float) -> TemporalConstraint:
+        builder = (
+            ConstraintBuilder(f"mined_{earlier}_before_{later}")
+            .body(quad("x", earlier, "y", "t"), quad("x", later, "z", "t2"))
+            .require(compare(IntervalStart(Variable("t")), "<", IntervalStart(Variable("t2"))))
+            .kind(ConstraintKind.INCLUSION_DEPENDENCY)
+            .description(f"mined: {earlier} precedes {later}")
+        )
+        if confidence >= self.hard_threshold:
+            return builder.hard().build()
+        return builder.soft(_soft_weight(confidence)).build()
+
+    # ------------------------------------------------------------------ #
+    # Implication rules (the f1 shape)
+    # ------------------------------------------------------------------ #
+    def suggest_implications(self, graph: TemporalKnowledgeGraph) -> list[Suggestion]:
+        suggestions = []
+        predicates = [predicate.value for predicate in graph.predicates()]
+        for body_predicate in predicates:
+            body_facts = graph.by_predicate(body_predicate)
+            if len(body_facts) < self.min_support:
+                continue
+            for head_predicate in predicates:
+                if head_predicate == body_predicate:
+                    continue
+                conforming = 0
+                for fact in body_facts:
+                    matches = graph.find(
+                        subject=fact.subject,
+                        predicate=head_predicate,
+                        obj=fact.object,
+                        overlapping=fact.interval,
+                    )
+                    if matches:
+                        conforming += 1
+                confidence = conforming / len(body_facts)
+                if confidence < self.soft_threshold:
+                    continue
+                rule = (
+                    RuleBuilder(f"mined_{body_predicate}_implies_{head_predicate}")
+                    .body(quad("x", body_predicate, "y", "t"))
+                    .head(quad("x", head_predicate, "y", "t"))
+                    .weight(_soft_weight(confidence))
+                    .derived_confidence(round(confidence, 2))
+                    .build()
+                )
+                suggestions.append(
+                    Suggestion(
+                        kind="implication",
+                        description=f"{body_predicate}(x, y, t) implies {head_predicate}(x, y, t)",
+                        support=len(body_facts),
+                        confidence=confidence,
+                        rule=rule,
+                    )
+                )
+        return suggestions
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _facts_by_subject(
+        graph: TemporalKnowledgeGraph, predicate: str
+    ) -> dict[object, list[TemporalFact]]:
+        grouped: dict[object, list[TemporalFact]] = {}
+        for fact in graph.by_predicate(predicate):
+            grouped.setdefault(fact.subject, []).append(fact)
+        return grouped
+
+
+def suggest_constraints(
+    graph: TemporalKnowledgeGraph,
+    min_support: int = 10,
+    hard_threshold: float = 0.98,
+    soft_threshold: float = 0.85,
+) -> list[Suggestion]:
+    """Convenience wrapper around :class:`ConstraintMiner`."""
+    miner = ConstraintMiner(
+        min_support=min_support,
+        hard_threshold=hard_threshold,
+        soft_threshold=soft_threshold,
+    )
+    return miner.suggest(graph)

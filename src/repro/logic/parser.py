@@ -1,0 +1,504 @@
+"""Datalog-style surface syntax for rules and constraints.
+
+The paper gives users "a language — based on Datalog — to design constraints";
+this module is that language.  One statement per line::
+
+    # temporal inference rules (head is a quad atom)
+    f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+    f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t2) & overlaps(t, t2)
+        -> quad(x, livesIn, z, intersection(t, t2)) w=1.6
+    f3: quad(x, playsFor, y, t) & quad(x, birthDate, z, t2)
+        & start(t) - start(t2) < 20 -> quad(x, type, TeenPlayer, t) w=2.9
+
+    # temporal constraints (head is a condition)
+    c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t2) -> before(t, t2)
+    c2: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z -> disjoint(t, t2)
+    c3: quad(x, bornIn, y, t) & quad(x, bornIn, z, t2) & overlaps(t, t2) -> y = z
+
+Conventions
+-----------
+* ``&`` (or ``,``) separates conjuncts; ``->`` separates body and head;
+* identifiers that are a single lower-case letter with optional digits or
+  primes (``x``, ``t2``, ``t'``) are variables, everything else is a constant;
+* a trailing ``w=<number>`` gives the weight; omitting it makes constraints
+  hard and gives rules weight 1.0 (``w=inf`` makes a rule hard);
+* ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import ParseError
+from ..temporal import CONSTRAINT_PREDICATES, IntervalExpression, TimeInterval
+from .atom import AllenAtom, Comparison, ConditionAtom, QuadAtom, TermEquality
+from .builder import parse_interval_symbol, parse_symbol
+from .constraint import ConstraintKind, TemporalConstraint
+from .expressions import (
+    BinaryOp,
+    Expression,
+    IntervalDuration,
+    IntervalEnd,
+    IntervalStart,
+    Number,
+    TermValue,
+)
+from .rule import TemporalRule
+from .terms import Variable
+
+# --------------------------------------------------------------------------- #
+# Tokeniser
+# --------------------------------------------------------------------------- #
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<string>"[^"]*")
+  | (?P<interval>\[\s*-?\d+\s*,\s*-?\d+\s*\])
+  | (?P<op><=|>=|!=|==|->|[&,()=<>+\-*/.:])
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str, source: str | None = None) -> list[Token]:
+    """Tokenise one statement; raises :class:`ParseError` on junk characters."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at column {position}", source=source
+            )
+        kind = match.lastgroup or "space"
+        if kind != "space":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+# --------------------------------------------------------------------------- #
+# Recursive-descent parser
+# --------------------------------------------------------------------------- #
+_INTERVAL_FUNCTIONS = {"start": IntervalStart, "end": IntervalEnd, "duration": IntervalDuration}
+_HEAD_INTERVAL_FUNCTIONS = {"intersection", "intersect", "union", "span"}
+_COMPARATORS = {"<", "<=", ">", ">=", "=", "==", "!="}
+
+
+class _StatementParser:
+    """Parses one rule or constraint statement from its token stream."""
+
+    def __init__(self, tokens: Sequence[Token], source: str | None = None) -> None:
+        self._tokens = list(tokens)
+        self._index = 0
+        self._source = source
+
+    # -- token plumbing --------------------------------------------------- #
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        position = self._index + offset
+        return self._tokens[position] if position < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of statement", source=self._source)
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {token.text!r}", source=self._source
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    def _done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- statement structure ---------------------------------------------- #
+    def parse_statement(self) -> tuple[
+        Optional[str],
+        list[QuadAtom],
+        list[ConditionAtom],
+        Union[QuadAtom, list[ConditionAtom]],
+        Optional[IntervalExpression],
+        Optional[float],
+    ]:
+        """Parse ``[label:] body -> head [w=weight]`` and return its pieces."""
+        label = self._parse_label()
+        body_atoms, conditions = self._parse_body()
+        self._expect("->")
+        head, head_interval = self._parse_head()
+        weight = self._parse_weight()
+        if not self._done():
+            token = self._peek()
+            raise ParseError(
+                f"trailing input starting at {token.text!r}", source=self._source
+            )
+        return label, body_atoms, conditions, head, head_interval, weight
+
+    def _parse_label(self) -> Optional[str]:
+        first = self._peek()
+        second = self._peek(1)
+        # A label looks like ``name :`` but ``quad(`` must not be mistaken for one.
+        if (
+            first is not None
+            and second is not None
+            and first.kind == "name"
+            and second.text == ":"
+        ):
+            self._next()
+            self._next()
+            return first.text
+        return None
+
+    def _parse_body(self) -> tuple[list[QuadAtom], list[ConditionAtom]]:
+        atoms: list[QuadAtom] = []
+        conditions: list[ConditionAtom] = []
+        while True:
+            if self._at("quad"):
+                atoms.append(self._parse_quad())
+            else:
+                conditions.append(self._parse_condition())
+            if self._at("&") or self._at(","):
+                self._next()
+                continue
+            break
+        return atoms, conditions
+
+    def _parse_head(
+        self,
+    ) -> tuple[Union[QuadAtom, list[ConditionAtom]], Optional[IntervalExpression]]:
+        if self._at("quad"):
+            return self._parse_head_quad()
+        conditions = [self._parse_condition()]
+        while self._at("&") or self._at(","):
+            self._next()
+            conditions.append(self._parse_condition())
+        return conditions, None
+
+    def _parse_weight(self) -> Optional[float]:
+        if self._done():
+            return None
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.text == "w":
+            self._next()
+            self._expect("=")
+            value = self._next()
+            if value.kind == "name" and value.text.lower() in ("inf", "infinity", "hard"):
+                return float("inf")
+            if value.kind != "number":
+                raise ParseError(f"invalid weight {value.text!r}", source=self._source)
+            return float(value.text)
+        if token is not None and token.text == ".":
+            self._next()
+            return self._parse_weight()
+        return None
+
+    # -- atoms ------------------------------------------------------------ #
+    def _parse_quad(self) -> QuadAtom:
+        self._expect("quad")
+        self._expect("(")
+        subject = self._parse_symbol_token()
+        self._expect(",")
+        predicate = self._parse_symbol_token()
+        self._expect(",")
+        obj = self._parse_symbol_token()
+        if self._at(")"):
+            # A triple-style atom: give it a fresh interval variable so the
+            # grounder can still bind the fact's validity interval.
+            self._next()
+            return QuadAtom(
+                subject=parse_symbol(subject),
+                predicate=parse_symbol(predicate),  # type: ignore[arg-type]
+                object=parse_symbol(obj),
+                interval=Variable(f"_t{id(self) % 1000}_{self._index}"),
+            )
+        self._expect(",")
+        interval = self._parse_interval_position()
+        self._expect(")")
+        return QuadAtom(
+            subject=parse_symbol(subject),
+            predicate=parse_symbol(predicate),  # type: ignore[arg-type]
+            object=parse_symbol(obj),
+            interval=interval,
+        )
+
+    def _parse_head_quad(self) -> tuple[QuadAtom, Optional[IntervalExpression]]:
+        """Head quads may use an interval *expression* in the fourth position."""
+        self._expect("quad")
+        self._expect("(")
+        subject = self._parse_symbol_token()
+        self._expect(",")
+        predicate = self._parse_symbol_token()
+        self._expect(",")
+        obj = self._parse_symbol_token()
+        head_interval: Optional[IntervalExpression] = None
+        interval: Union[Variable, TimeInterval]
+        if self._at(")"):
+            self._next()
+            interval = Variable("t")
+            atom = QuadAtom(
+                subject=parse_symbol(subject),
+                predicate=parse_symbol(predicate),  # type: ignore[arg-type]
+                object=parse_symbol(obj),
+                interval=interval,
+            )
+            return atom, head_interval
+        self._expect(",")
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.text in _HEAD_INTERVAL_FUNCTIONS:
+            function = self._next().text
+            self._expect("(")
+            left = self._next()
+            self._expect(",")
+            right = self._next()
+            self._expect(")")
+            if function in ("intersection", "intersect"):
+                head_interval = IntervalExpression.intersection(left.text, right.text)
+            else:
+                head_interval = IntervalExpression.union(left.text, right.text)
+            interval = Variable(left.text)
+        else:
+            interval = parse_interval_symbol(self._next().text)  # type: ignore[assignment]
+        self._expect(")")
+        atom = QuadAtom(
+            subject=parse_symbol(subject),
+            predicate=parse_symbol(predicate),  # type: ignore[arg-type]
+            object=parse_symbol(obj),
+            interval=interval,
+        )
+        return atom, head_interval
+
+    def _parse_symbol_token(self) -> str:
+        token = self._next()
+        if token.kind in ("name", "number", "string"):
+            return token.text
+        raise ParseError(f"expected a term but found {token.text!r}", source=self._source)
+
+    def _parse_interval_position(self) -> Union[Variable, TimeInterval]:
+        token = self._next()
+        if token.kind == "interval":
+            return TimeInterval.parse(token.text)
+        if token.kind == "name":
+            value = parse_interval_symbol(token.text)
+            if isinstance(value, (Variable, TimeInterval)):
+                return value
+        if token.kind == "number":
+            return TimeInterval.instant(int(float(token.text)))
+        raise ParseError(
+            f"expected an interval variable or literal, found {token.text!r}",
+            source=self._source,
+        )
+
+    # -- conditions -------------------------------------------------------- #
+    def _parse_condition(self) -> ConditionAtom:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a condition", source=self._source)
+        # Temporal predicate: name(t, t2) where name is a known Allen predicate.
+        if (
+            token.kind == "name"
+            and token.text in CONSTRAINT_PREDICATES
+            and self._peek(1) is not None
+            and self._peek(1).text == "("
+        ):
+            relation = self._next().text
+            self._expect("(")
+            left = self._next()
+            self._expect(",")
+            right = self._next()
+            self._expect(")")
+            return AllenAtom(relation, Variable(left.text), Variable(right.text))
+        # Otherwise: an (in)equality or arithmetic comparison.
+        left_expression = self._parse_expression()
+        operator_token = self._next()
+        if operator_token.text not in _COMPARATORS:
+            raise ParseError(
+                f"expected a comparison operator, found {operator_token.text!r}",
+                source=self._source,
+            )
+        right_expression = self._parse_expression()
+        operator = operator_token.text
+        # Plain variable (in)equalities become equality-generating conditions.
+        if (
+            operator in ("=", "==", "!=")
+            and isinstance(left_expression, TermValue)
+            and isinstance(right_expression, TermValue)
+        ):
+            return TermEquality(
+                left_expression.variable,
+                right_expression.variable,
+                negated=operator == "!=",
+            )
+        return Comparison(left_expression, operator, right_expression)
+
+    # -- arithmetic expressions --------------------------------------------- #
+    def _parse_expression(self) -> Expression:
+        expression = self._parse_term_expression()
+        while self._at("+") or self._at("-"):
+            operator = self._next().text
+            right = self._parse_term_expression()
+            expression = BinaryOp(operator, expression, right)
+        return expression
+
+    def _parse_term_expression(self) -> Expression:
+        expression = self._parse_factor()
+        while self._at("*") or self._at("/"):
+            operator = self._next().text
+            right = self._parse_factor()
+            expression = BinaryOp(operator, expression, right)
+        return expression
+
+    def _parse_factor(self) -> Expression:
+        token = self._next()
+        if token.text == "(":
+            inner = self._parse_expression()
+            self._expect(")")
+            return inner
+        if token.kind == "number":
+            return Number(float(token.text))
+        if token.kind == "name":
+            if token.text in _INTERVAL_FUNCTIONS and self._at("("):
+                self._next()
+                argument = self._next()
+                self._expect(")")
+                return _INTERVAL_FUNCTIONS[token.text](Variable(argument.text))
+            symbol = parse_symbol(token.text)
+            if isinstance(symbol, Variable):
+                return TermValue(symbol)
+            # Constants used numerically (e.g. a year written as a name).
+            try:
+                return Number(float(token.text))
+            except ValueError as exc:
+                raise ParseError(
+                    f"cannot use constant {token.text!r} in an arithmetic expression",
+                    source=self._source,
+                ) from exc
+        raise ParseError(f"unexpected token {token.text!r} in expression", source=self._source)
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+@dataclass
+class ParsedProgram:
+    """Rules and constraints parsed from a text document."""
+
+    rules: list[TemporalRule] = field(default_factory=list)
+    constraints: list[TemporalConstraint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rules) + len(self.constraints)
+
+
+def _normalise_weight(weight: Optional[float], default: Optional[float]) -> Optional[float]:
+    if weight is None:
+        return default
+    if weight == float("inf"):
+        return None
+    return weight
+
+
+def _split_conditions(conditions: Iterable[ConditionAtom]) -> tuple[ConditionAtom, ...]:
+    return tuple(conditions)
+
+
+def parse_statement(
+    text: str, source: str | None = None, default_name: str = "stmt"
+) -> Union[TemporalRule, TemporalConstraint]:
+    """Parse a single rule or constraint statement."""
+    tokens = tokenize(text.strip(), source=source)
+    if not tokens:
+        raise ParseError("empty statement", source=source)
+    parser = _StatementParser(tokens, source=source)
+    label, body, conditions, head, head_interval, weight = parser.parse_statement()
+    name = label or default_name
+    if not body:
+        raise ParseError(f"statement {name}: body contains no quad atom", source=source)
+    if isinstance(head, QuadAtom):
+        return TemporalRule(
+            name=name,
+            body=tuple(body),
+            head=head,
+            conditions=_split_conditions(conditions),
+            weight=_normalise_weight(weight, default=1.0),
+            head_interval=head_interval,
+        )
+    return TemporalConstraint(
+        name=name,
+        body=tuple(body),
+        body_conditions=_split_conditions(conditions),
+        head_conditions=tuple(head),
+        weight=_normalise_weight(weight, default=None),
+    )
+
+
+def parse_rule(text: str, source: str | None = None) -> TemporalRule:
+    """Parse a statement that must be an inference rule."""
+    statement = parse_statement(text, source=source)
+    if not isinstance(statement, TemporalRule):
+        raise ParseError("statement is a constraint, not an inference rule", source=source)
+    return statement
+
+
+def parse_constraint(text: str, source: str | None = None) -> TemporalConstraint:
+    """Parse a statement that must be a constraint."""
+    statement = parse_statement(text, source=source)
+    if not isinstance(statement, TemporalConstraint):
+        raise ParseError("statement is an inference rule, not a constraint", source=source)
+    return statement
+
+
+def parse_program(text: str, source: str | None = None) -> ParsedProgram:
+    """Parse a document of newline-separated statements (comments allowed).
+
+    A statement may span several physical lines; a new statement starts on a
+    line containing ``label:`` or on a blank-line boundary.
+    """
+    program = ParsedProgram()
+    buffer: list[str] = []
+    counter = 0
+
+    def flush() -> None:
+        nonlocal counter
+        if not buffer:
+            return
+        statement_text = " ".join(buffer).strip()
+        buffer.clear()
+        if not statement_text:
+            return
+        counter += 1
+        statement = parse_statement(statement_text, source=source, default_name=f"stmt{counter}")
+        if isinstance(statement, TemporalRule):
+            program.rules.append(statement)
+        else:
+            program.constraints.append(statement)
+
+    label_start = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*:")
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            flush()
+            continue
+        if label_start.match(stripped) and buffer:
+            flush()
+        buffer.append(stripped)
+    flush()
+    return program

@@ -1,0 +1,103 @@
+"""Substitutions: partial mappings from variables to binding values.
+
+A substitution is produced by matching quad atoms against facts and consumed
+when instantiating rule heads and evaluating conditions.  Substitutions are
+immutable; extending one returns a new substitution (or ``None`` on clash),
+which keeps the grounding engine's backtracking search simple and correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+from ..kg import Term
+from ..temporal import TimeInterval
+from .terms import BindingValue, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Substitution:
+    """An immutable mapping from variables to terms / intervals."""
+
+    _bindings: tuple[tuple[Variable, BindingValue], ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "Substitution":
+        return cls(())
+
+    @classmethod
+    def of(cls, mapping: Mapping[Variable, BindingValue]) -> "Substitution":
+        return cls(tuple(sorted(mapping.items(), key=lambda item: item[0].name)))
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, variable: Variable) -> Optional[BindingValue]:
+        for bound, value in self._bindings:
+            if bound == variable:
+                return value
+        return None
+
+    def __contains__(self, variable: object) -> bool:
+        return isinstance(variable, Variable) and self.get(variable) is not None
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[tuple[Variable, BindingValue]]:
+        return iter(self._bindings)
+
+    def as_dict(self) -> dict[Variable, BindingValue]:
+        return dict(self._bindings)
+
+    def term(self, variable: Variable) -> Optional[Term]:
+        """The bound value if it is a graph term, else None."""
+        value = self.get(variable)
+        return value if not isinstance(value, TimeInterval) else None
+
+    def interval(self, variable: Variable) -> Optional[TimeInterval]:
+        """The bound value if it is an interval, else None."""
+        value = self.get(variable)
+        return value if isinstance(value, TimeInterval) else None
+
+    def intervals(self) -> dict[str, TimeInterval]:
+        """All interval bindings keyed by variable *name* (for expressions)."""
+        return {
+            variable.name: value
+            for variable, value in self._bindings
+            if isinstance(value, TimeInterval)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Extension
+    # ------------------------------------------------------------------ #
+    def bind(self, variable: Variable, value: BindingValue) -> Optional["Substitution"]:
+        """Extend with ``variable := value``.
+
+        Returns ``None`` when the variable is already bound to a *different*
+        value (a clash); returns ``self`` when it is already bound to the same
+        value.
+        """
+        existing = self.get(variable)
+        if existing is not None:
+            return self if existing == value else None
+        extended = dict(self._bindings)
+        extended[variable] = value
+        return Substitution.of(extended)
+
+    def merge(self, other: "Substitution") -> Optional["Substitution"]:
+        """Combine two substitutions; ``None`` when they disagree on a variable."""
+        result: Optional[Substitution] = self
+        for variable, value in other:
+            result = result.bind(variable, value)
+            if result is None:
+                return None
+        return result
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{variable.name}={value}" for variable, value in self._bindings)
+        return "{" + inner + "}"

@@ -1,0 +1,55 @@
+"""Logical variables and the binding values they range over.
+
+The logic layer distinguishes *entity variables* (``x``, ``y``, ``z`` in the
+paper's rules — ranging over graph terms) from *interval variables* (``t``,
+``t'`` — ranging over validity intervals).  Both are instances of
+:class:`Variable`; which sort a variable has is determined by the position it
+occupies in a quad atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..kg import Term
+from ..temporal import TimeInterval
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Variable:
+    """A logical variable, identified by its name.
+
+    Names follow the paper's convention: lower-case single letters with an
+    optional prime / index (``x``, ``y``, ``t``, ``t'``, ``t2``).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A value a variable may be bound to during grounding.
+BindingValue = Union[Term, TimeInterval]
+
+#: A term position in an atom is either already a constant or a variable.
+TermOrVar = Union[Term, Variable]
+
+#: An interval position is either a fixed interval or an interval variable.
+IntervalOrVar = Union[TimeInterval, Variable]
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor used heavily by the rule builders and tests."""
+    return Variable(name)
+
+
+def is_variable(value: object) -> bool:
+    """True when ``value`` is a logical variable."""
+    return isinstance(value, Variable)
+
+
+def variables_in(values: tuple) -> set[Variable]:
+    """All variables appearing in a tuple of term-or-variable positions."""
+    return {value for value in values if isinstance(value, Variable)}

@@ -1,0 +1,101 @@
+"""Repair-quality metrics.
+
+When a dataset generator plants known-erroneous facts (the "highly noisy
+setting" of the paper, benchmark E6), the repair produced by a resolver can be
+scored against that ground truth:
+
+* **precision** — fraction of removed facts that were actually erroneous;
+* **recall** — fraction of erroneous facts that were removed;
+* **F1** — their harmonic mean.
+
+The module also provides agreement metrics between two solvers' MAP states
+(used when comparing the exact MLN path with the PSL approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .kg import TemporalFact
+
+
+@dataclass(frozen=True, slots=True)
+class RepairQuality:
+    """Precision / recall / F1 of a repair against planted noise."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": float(self.true_positives),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+        }
+
+
+def _keys(facts: Iterable[TemporalFact]) -> set[tuple]:
+    return {fact.statement_key for fact in facts}
+
+
+def repair_quality(
+    removed: Iterable[TemporalFact],
+    planted_noise: Iterable[TemporalFact],
+) -> RepairQuality:
+    """Score the set of removed facts against the planted-noise ground truth."""
+    removed_keys = _keys(removed)
+    noise_keys = _keys(planted_noise)
+    true_positives = len(removed_keys & noise_keys)
+    false_positives = len(removed_keys - noise_keys)
+    false_negatives = len(noise_keys - removed_keys)
+    return RepairQuality(true_positives, false_positives, false_negatives)
+
+
+def retention_rate(kept: Sequence[TemporalFact], original: Sequence[TemporalFact]) -> float:
+    """Fraction of the original facts present in the repaired graph."""
+    if not original:
+        return 1.0
+    kept_keys = _keys(kept)
+    return sum(1 for fact in original if fact.statement_key in kept_keys) / len(original)
+
+
+def assignment_agreement(first: Sequence[bool], second: Sequence[bool]) -> float:
+    """Fraction of atoms on which two MAP assignments agree."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"assignments have different lengths ({len(first)} vs {len(second)})"
+        )
+    if not first:
+        return 1.0
+    return sum(1 for a, b in zip(first, second) if a == b) / len(first)
+
+
+def jaccard(first: Iterable[TemporalFact], second: Iterable[TemporalFact]) -> float:
+    """Jaccard similarity of two fact sets (by statement key)."""
+    first_keys, second_keys = _keys(first), _keys(second)
+    union = first_keys | second_keys
+    if not union:
+        return 1.0
+    return len(first_keys & second_keys) / len(union)

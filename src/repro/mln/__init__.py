@@ -1,0 +1,37 @@
+"""Markov Logic Network engine with numerical constraints (the nRockIt path)."""
+
+from .ilp import ILPEncoding, encode
+from .map_inference import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    available_backends,
+    make_solver,
+    solve_map,
+)
+from .marginal import GibbsSampler, MarginalResult, marginals
+from .model import MarkovLogicNetwork, WeightedFormula
+from .solvers import (
+    BranchAndBoundSolver,
+    CuttingPlaneSolver,
+    ILPMapSolver,
+    MaxWalkSATSolver,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BranchAndBoundSolver",
+    "CuttingPlaneSolver",
+    "DEFAULT_BACKEND",
+    "GibbsSampler",
+    "ILPEncoding",
+    "ILPMapSolver",
+    "MarginalResult",
+    "MarkovLogicNetwork",
+    "MaxWalkSATSolver",
+    "WeightedFormula",
+    "available_backends",
+    "encode",
+    "make_solver",
+    "marginals",
+    "solve_map",
+]

@@ -1,0 +1,173 @@
+"""ILP encoding of MAP inference over a ground program.
+
+MAP inference in an MLN is equivalent to weighted MaxSAT over the ground
+clauses, which has the standard integer-linear-programming formulation used
+by RockIt/nRockIt (there solved by Gurobi; here by HiGHS through scipy, or by
+the pure-Python branch & bound):
+
+* one binary variable ``xᵢ`` per ground atom;
+* one binary variable ``z_c`` per *non-unit* soft clause;
+* hard clause ``C``:  Σ_{i∈C⁺} xᵢ + Σ_{i∈C⁻} (1−xᵢ) ≥ 1;
+* soft clause ``C`` with weight ``w``:  z_c ≤ Σ_{i∈C⁺} xᵢ + Σ_{i∈C⁻} (1−xᵢ),
+  contributing ``w·z_c`` to the objective;
+* unit soft clauses fold directly into the objective coefficient of their atom.
+
+The encoding records a constant offset so the reported objective matches
+:meth:`GroundProgram.objective` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import GroundingError
+from ..logic.ground import GroundClause, GroundProgram
+
+
+@dataclass
+class ILPEncoding:
+    """The matrices of the MAP ILP (maximisation form).
+
+    Attributes
+    ----------
+    objective:
+        Coefficients of ``maximise  objective · v`` over all variables
+        (atoms first, then auxiliary clause variables).
+    constraint_matrix, lower_bounds:
+        Rows encode ``constraint_matrix · v ≥ lower_bounds``.
+    offset:
+        Constant added to the ILP objective so it equals the ground-program
+        objective (satisfied soft weight).
+    num_atoms, num_aux:
+        Variable layout: ``v[:num_atoms]`` are atom indicators, the rest are
+        auxiliary soft-clause indicators.
+    aux_clauses:
+        The soft clause each auxiliary variable stands for (by clause index).
+    """
+
+    objective: np.ndarray
+    constraint_matrix: sparse.csr_matrix
+    lower_bounds: np.ndarray
+    offset: float
+    num_atoms: int
+    num_aux: int
+    aux_clauses: list[int] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return self.num_atoms + self.num_aux
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.constraint_matrix.shape[0])
+
+    def assignment_from(self, values: Sequence[float]) -> tuple[bool, ...]:
+        """Round the atom block of an ILP solution vector to booleans."""
+        return tuple(bool(round(float(value))) for value in values[: self.num_atoms])
+
+    def objective_value(self, values: Sequence[float]) -> float:
+        """Objective (satisfied soft weight) of a full ILP solution vector."""
+        return float(np.dot(self.objective, np.asarray(values, dtype=float))) + self.offset
+
+
+def _clause_row(
+    clause: GroundClause, num_variables: int, aux_index: int | None
+) -> tuple[list[int], list[float], float]:
+    """Row ``Σ coeffs·v ≥ 1 - negated_count (+ aux)`` for one clause.
+
+    Returns (column indexes, coefficients, lower bound).
+    """
+    columns: list[int] = []
+    coefficients: list[float] = []
+    bound = 1.0
+    for index, positive in clause.literals:
+        columns.append(index)
+        if positive:
+            coefficients.append(1.0)
+        else:
+            coefficients.append(-1.0)
+            bound -= 1.0
+    if aux_index is not None:
+        columns.append(aux_index)
+        coefficients.append(-1.0)
+        bound -= 1.0  # z - sat <= 0  <=>  sat - z >= 0; bound adjusted below.
+    return columns, coefficients, bound
+
+
+def encode(program: GroundProgram) -> ILPEncoding:
+    """Build the MAP ILP for ``program``."""
+    num_atoms = program.num_atoms
+    if num_atoms == 0:
+        raise GroundingError("cannot encode an empty ground program")
+
+    # First pass: layout auxiliary variables for non-unit soft clauses.
+    aux_clauses: list[int] = []
+    for clause_index, clause in enumerate(program.clauses):
+        if not clause.is_hard and not clause.is_unit:
+            aux_clauses.append(clause_index)
+    num_aux = len(aux_clauses)
+    aux_position = {clause_index: num_atoms + offset for offset, clause_index in enumerate(aux_clauses)}
+
+    objective = np.zeros(num_atoms + num_aux, dtype=float)
+    offset = 0.0
+
+    rows: list[int] = []
+    columns: list[int] = []
+    values: list[float] = []
+    bounds: list[float] = []
+    row_count = 0
+
+    def add_row(cols: list[int], coeffs: list[float], lower: float) -> None:
+        nonlocal row_count
+        for column, coefficient in zip(cols, coeffs):
+            rows.append(row_count)
+            columns.append(column)
+            values.append(coefficient)
+        bounds.append(lower)
+        row_count += 1
+
+    for clause_index, clause in enumerate(program.clauses):
+        if clause.is_hard:
+            cols, coeffs, lower = _clause_row(clause, num_atoms + num_aux, None)
+            add_row(cols, coeffs, lower)
+            continue
+        weight = float(clause.weight or 0.0)
+        if clause.is_unit:
+            index, positive = clause.literals[0]
+            if positive:
+                objective[index] += weight
+            else:
+                # w·sat(¬x) = w − w·x
+                objective[index] -= weight
+                offset += weight
+            continue
+        # Non-unit soft clause: auxiliary indicator z with z ≤ satisfaction count.
+        aux = aux_position[clause_index]
+        objective[aux] += weight
+        cols, coeffs, lower = _clause_row(clause, num_atoms + num_aux, aux)
+        # _clause_row built Σ lit − z ≥ bound where bound already accounts for
+        # negated literals and the −1 for z; the correct requirement is
+        # Σ lit − z ≥ −negatives, i.e. lower bound = (1 − negatives) − 1.
+        add_row(cols, coeffs, lower)
+
+    if row_count == 0:
+        # No hard or non-unit clauses: add a trivially satisfied row so the
+        # matrix has a valid shape for downstream solvers.
+        add_row([0], [0.0], -1.0)
+
+    matrix = sparse.csr_matrix(
+        (values, (rows, columns)), shape=(row_count, num_atoms + num_aux)
+    )
+    return ILPEncoding(
+        objective=objective,
+        constraint_matrix=matrix,
+        lower_bounds=np.asarray(bounds, dtype=float),
+        offset=offset,
+        num_atoms=num_atoms,
+        num_aux=num_aux,
+        aux_clauses=aux_clauses,
+    )

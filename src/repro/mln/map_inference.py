@@ -1,0 +1,60 @@
+"""MAP inference driver for the MLN path.
+
+Chooses a back-end by name and runs it on a ground program, with the
+expressivity check the TeCoRe translator performs before dispatching.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SolverNotAvailableError
+from ..logic.ground import GroundProgram
+from ..solvers import MAPSolution, MAPSolver, check_expressivity
+from .solvers.branch_bound import BranchAndBoundSolver
+from .solvers.cutting_plane import CuttingPlaneSolver
+from .solvers.maxwalksat import MaxWalkSATSolver
+from .solvers.milp_backend import ILPMapSolver
+
+#: Back-end registry: name → zero-argument factory.
+BACKENDS: dict[str, Callable[[], MAPSolver]] = {
+    "ilp": ILPMapSolver,
+    "cutting-plane": CuttingPlaneSolver,
+    "branch-and-bound": BranchAndBoundSolver,
+    "maxwalksat": MaxWalkSATSolver,
+}
+
+#: Back-end used when none is requested (matches nRockIt's Gurobi-backed ILP).
+DEFAULT_BACKEND = "ilp"
+
+
+def available_backends() -> list[str]:
+    """Names of all MLN MAP back-ends."""
+    return sorted(BACKENDS)
+
+
+def make_solver(backend: str = DEFAULT_BACKEND, **kwargs) -> MAPSolver:
+    """Instantiate a back-end by name (keyword arguments are passed through)."""
+    factory = BACKENDS.get(backend)
+    if factory is None:
+        raise SolverNotAvailableError(
+            f"unknown MLN back-end {backend!r}; available: {available_backends()}"
+        )
+    return factory(**kwargs)  # type: ignore[call-arg]
+
+
+def solve_map(
+    program: GroundProgram,
+    backend: str = DEFAULT_BACKEND,
+    validate: bool = True,
+    **kwargs,
+) -> MAPSolution:
+    """Run MAP inference on ``program`` with the chosen back-end.
+
+    ``validate`` applies the solver's expressivity check first (the paper's
+    translator behaviour); disable it only in controlled experiments.
+    """
+    solver = make_solver(backend, **kwargs)
+    if validate:
+        check_expressivity(program, solver.capabilities)
+    return solver.solve(program)

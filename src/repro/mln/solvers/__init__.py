@@ -1,0 +1,13 @@
+"""MAP back-ends for the MLN path."""
+
+from .branch_bound import BranchAndBoundSolver
+from .cutting_plane import CuttingPlaneSolver
+from .maxwalksat import MaxWalkSATSolver
+from .milp_backend import ILPMapSolver
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "CuttingPlaneSolver",
+    "ILPMapSolver",
+    "MaxWalkSATSolver",
+]

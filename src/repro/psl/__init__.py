@@ -1,0 +1,34 @@
+"""Probabilistic Soft Logic engine over hinge-loss MRFs (the nPSL path)."""
+
+from .admm import ADMMSolver
+from .hlmrf import HingeLossMRF
+from .lukasiewicz import HingePotential, clause_to_potential, program_to_potentials, total_penalty
+from .map_inference import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    available_backends,
+    make_solver,
+    solve_map,
+)
+from .model import PSLProgram
+from .projected_gradient import ProjectedGradientSolver
+from .rounding import repair_hard, round_solution, threshold
+
+__all__ = [
+    "ADMMSolver",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "HingeLossMRF",
+    "HingePotential",
+    "PSLProgram",
+    "ProjectedGradientSolver",
+    "available_backends",
+    "clause_to_potential",
+    "make_solver",
+    "program_to_potentials",
+    "repair_hard",
+    "round_solution",
+    "solve_map",
+    "threshold",
+    "total_penalty",
+]

@@ -1,0 +1,179 @@
+"""Łukasiewicz relaxation of ground clauses.
+
+PSL interprets logical formulas over soft truth values in ``[0, 1]`` using the
+Łukasiewicz t-(co)norms.  A ground clause ``l₁ ∨ … ∨ lₖ`` has truth value
+``min(1, Σ value(lᵢ))`` and its *distance to satisfaction* is the hinge
+
+    d(y) = max(0, 1 − Σ_{i∈C⁺} yᵢ − Σ_{i∈C⁻} (1 − yᵢ))
+         = max(0, coefficients · y + constant)
+
+which is the linear hinge potential of the corresponding hinge-loss Markov
+random field.  This module converts ground clauses into those potentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..logic.ground import GroundClause, GroundProgram
+
+
+@dataclass(frozen=True, slots=True)
+class HingePotential:
+    """One hinge-loss potential ``weight · max(0, coefficients·y + constant)ᵖ``.
+
+    ``indexes``/``coefficients`` give the sparse linear form; ``hard`` marks
+    potentials that must be exactly zero at a feasible point (the relaxation
+    of hard clauses).  ``squared`` selects the squared hinge (p = 2).
+    """
+
+    indexes: tuple[int, ...]
+    coefficients: tuple[float, ...]
+    constant: float
+    weight: float
+    hard: bool
+    squared: bool = False
+    origin: str = ""
+
+    def distance(self, truth_values: Sequence[float]) -> float:
+        """Distance to satisfaction at ``truth_values``."""
+        total = self.constant
+        for index, coefficient in zip(self.indexes, self.coefficients):
+            total += coefficient * truth_values[index]
+        value = max(0.0, total)
+        return value * value if self.squared else value
+
+    def penalty(self, truth_values: Sequence[float]) -> float:
+        """Weighted distance (the potential's contribution to the MAP objective)."""
+        return self.weight * self.distance(truth_values)
+
+    def subgradient(self, truth_values: Sequence[float]) -> dict[int, float]:
+        """Sparse subgradient of the *weighted* potential at ``truth_values``."""
+        total = self.constant
+        for index, coefficient in zip(self.indexes, self.coefficients):
+            total += coefficient * truth_values[index]
+        if total <= 0.0:
+            return {}
+        scale = self.weight * (2.0 * total if self.squared else 1.0)
+        return {index: scale * coefficient for index, coefficient in zip(self.indexes, self.coefficients)}
+
+
+def clause_to_potential(
+    clause: GroundClause, hard_weight: float, squared: bool = False
+) -> HingePotential:
+    """Convert one ground clause into its Łukasiewicz hinge potential."""
+    indexes: list[int] = []
+    coefficients: list[float] = []
+    constant = 1.0
+    for index, positive in clause.literals:
+        indexes.append(index)
+        if positive:
+            coefficients.append(-1.0)
+        else:
+            coefficients.append(1.0)
+            constant -= 1.0
+    return HingePotential(
+        indexes=tuple(indexes),
+        coefficients=tuple(coefficients),
+        constant=constant,
+        weight=hard_weight if clause.is_hard else float(clause.weight or 0.0),
+        hard=clause.is_hard,
+        squared=squared,
+        origin=clause.origin,
+    )
+
+
+def program_to_potentials(
+    program: GroundProgram, hard_weight: float = 1_000.0, squared: bool = False
+) -> list[HingePotential]:
+    """Convert every ground clause of ``program`` into a hinge potential."""
+    return [clause_to_potential(clause, hard_weight, squared) for clause in program.clauses]
+
+
+def total_penalty(potentials: Sequence[HingePotential], truth_values: Sequence[float]) -> float:
+    """Σ weight·distance over all potentials (the HL-MRF energy)."""
+    return float(sum(potential.penalty(truth_values) for potential in potentials))
+
+
+def dense_subgradient(
+    potentials: Sequence[HingePotential], truth_values: np.ndarray
+) -> np.ndarray:
+    """Dense subgradient of the total penalty (for the projected-gradient solver)."""
+    gradient = np.zeros_like(truth_values)
+    for potential in potentials:
+        for index, value in potential.subgradient(truth_values).items():
+            gradient[index] += value
+    return gradient
+
+
+class PotentialMatrix:
+    """Vectorised (flat-array) view of a set of hinge potentials.
+
+    Both PSL optimisers iterate many times over all potentials; doing that in
+    Python is what makes naive implementations slow.  This helper flattens the
+    sparse potential structure into numpy arrays once, so each iteration is a
+    handful of vectorised operations:
+
+    * ``literal_potential`` / ``literal_variable`` / ``literal_coefficient`` —
+      one entry per (potential, variable) incidence;
+    * ``constants`` / ``weights`` / ``hard`` / ``squared`` / ``norms`` — one
+      entry per potential.
+    """
+
+    def __init__(self, potentials: Sequence[HingePotential], num_variables: int) -> None:
+        self.potentials = list(potentials)
+        self.num_variables = num_variables
+        self.num_potentials = len(self.potentials)
+        literal_potential: list[int] = []
+        literal_variable: list[int] = []
+        literal_coefficient: list[float] = []
+        for position, potential in enumerate(self.potentials):
+            for index, coefficient in zip(potential.indexes, potential.coefficients):
+                literal_potential.append(position)
+                literal_variable.append(index)
+                literal_coefficient.append(coefficient)
+        self.literal_potential = np.asarray(literal_potential, dtype=np.int64)
+        self.literal_variable = np.asarray(literal_variable, dtype=np.int64)
+        self.literal_coefficient = np.asarray(literal_coefficient, dtype=float)
+        self.constants = np.asarray([potential.constant for potential in self.potentials], dtype=float)
+        self.weights = np.asarray([potential.weight for potential in self.potentials], dtype=float)
+        self.hard = np.asarray([potential.hard for potential in self.potentials], dtype=bool)
+        self.squared = np.asarray([potential.squared for potential in self.potentials], dtype=bool)
+        self.norms = np.bincount(
+            self.literal_potential,
+            weights=self.literal_coefficient**2,
+            minlength=self.num_potentials,
+        )
+        #: How many potentials touch each variable (for consensus averaging).
+        self.variable_counts = np.bincount(
+            self.literal_variable, minlength=num_variables
+        ).astype(float)
+
+    def values(self, truth_values: np.ndarray) -> np.ndarray:
+        """Per-potential linear values ``cᵀy + b``."""
+        if self.num_potentials == 0:
+            return np.zeros(0)
+        products = self.literal_coefficient * truth_values[self.literal_variable]
+        return (
+            np.bincount(self.literal_potential, weights=products, minlength=self.num_potentials)
+            + self.constants
+        )
+
+    def penalties(self, truth_values: np.ndarray) -> np.ndarray:
+        """Per-potential weighted hinge losses."""
+        hinges = np.maximum(0.0, self.values(truth_values))
+        hinges = np.where(self.squared, hinges**2, hinges)
+        return self.weights * hinges
+
+    def subgradient(self, truth_values: np.ndarray) -> np.ndarray:
+        """Dense subgradient of the total weighted penalty."""
+        values = self.values(truth_values)
+        active = values > 0.0
+        scale = np.where(self.squared, 2.0 * values, 1.0) * self.weights * active
+        per_literal = scale[self.literal_potential] * self.literal_coefficient
+        return np.bincount(
+            self.literal_variable, weights=per_literal, minlength=self.num_variables
+        )

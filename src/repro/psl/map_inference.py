@@ -1,0 +1,48 @@
+"""MAP inference driver for the PSL path."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SolverNotAvailableError
+from ..logic.ground import GroundProgram
+from ..solvers import MAPSolution, MAPSolver, check_expressivity
+from .admm import ADMMSolver
+from .projected_gradient import ProjectedGradientSolver
+
+#: Back-end registry: name → zero-argument factory.
+BACKENDS: dict[str, Callable[[], MAPSolver]] = {
+    "admm": ADMMSolver,
+    "projected-gradient": ProjectedGradientSolver,
+}
+
+#: The canonical PSL optimiser.
+DEFAULT_BACKEND = "admm"
+
+
+def available_backends() -> list[str]:
+    """Names of all PSL MAP back-ends."""
+    return sorted(BACKENDS)
+
+
+def make_solver(backend: str = DEFAULT_BACKEND, **kwargs) -> MAPSolver:
+    """Instantiate a PSL back-end by name."""
+    factory = BACKENDS.get(backend)
+    if factory is None:
+        raise SolverNotAvailableError(
+            f"unknown PSL back-end {backend!r}; available: {available_backends()}"
+        )
+    return factory(**kwargs)  # type: ignore[call-arg]
+
+
+def solve_map(
+    program: GroundProgram,
+    backend: str = DEFAULT_BACKEND,
+    validate: bool = True,
+    **kwargs,
+) -> MAPSolution:
+    """Run PSL MAP inference on ``program`` with the chosen back-end."""
+    solver = make_solver(backend, **kwargs)
+    if validate:
+        check_expressivity(program, solver.capabilities)
+    return solver.solve(program)

@@ -1,0 +1,68 @@
+"""Rounding continuous PSL truth values back to a discrete world.
+
+PSL "computes a soft approximation of the discrete MAP state" (paper,
+Section 3): the convex program yields truth values in ``[0, 1]``, which TeCoRe
+must turn back into a conflict-free KG.  The procedure here is the standard
+one:
+
+1. threshold the soft values at 0.5;
+2. repair any hard clause still violated by greedily flipping, inside each
+   violated clause, the literal whose flip sacrifices the least evidence
+   weight (for conflict clauses this means dropping the least confident
+   fact — exactly the behaviour of the running example, where the weaker
+   Napoli fact is removed).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import InfeasibleProgramError
+from ..logic.ground import GroundProgram
+
+
+def threshold(truth_values: Sequence[float], cutoff: float = 0.5) -> list[bool]:
+    """Plain thresholding of soft truth values."""
+    return [float(value) >= cutoff for value in truth_values]
+
+
+def repair_hard(program: GroundProgram, assignment: list[bool]) -> list[bool]:
+    """Greedily repair hard-clause violations in ``assignment``.
+
+    For each violated hard clause (taken in order) flip the literal whose atom
+    carries the smallest absolute evidence weight.  Conflict clauses are
+    all-negative, so a flip always satisfies the clause; the loop therefore
+    terminates after at most one pass per clause.
+    """
+    state = list(assignment)
+    for _ in range(program.num_clauses + 1):
+        violations = program.hard_violations(state)
+        if not violations:
+            return state
+        clause = violations[0]
+        best_index = None
+        best_cost = float("inf")
+        for index, positive in clause.literals:
+            cost = abs(program.atoms[index].fact.log_weight)
+            if cost < best_cost:
+                best_index, best_cost = index, cost
+        if best_index is None:  # pragma: no cover - clauses are never empty
+            break
+        for index, positive in clause.literals:
+            if index == best_index:
+                state[index] = positive
+                break
+    if program.hard_violations(state):
+        raise InfeasibleProgramError(
+            "rounding could not produce an assignment satisfying the hard constraints"
+        )
+    return state
+
+
+def round_solution(
+    program: GroundProgram, truth_values: Sequence[float], cutoff: float = 0.5
+) -> tuple[bool, ...]:
+    """Threshold + hard repair, returning the final Boolean assignment."""
+    assignment = threshold(truth_values, cutoff=cutoff)
+    assignment = repair_hard(program, assignment)
+    return tuple(assignment)

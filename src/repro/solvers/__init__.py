@@ -1,0 +1,21 @@
+"""ProbFOL solver abstraction: interfaces, capabilities, results."""
+
+from .base import MAPSolution, MAPSolver, SolverStats
+from .capabilities import (
+    LOCAL_SEARCH_CAPABILITIES,
+    MLN_CAPABILITIES,
+    PSL_CAPABILITIES,
+    SolverCapabilities,
+    check_expressivity,
+)
+
+__all__ = [
+    "LOCAL_SEARCH_CAPABILITIES",
+    "MAPSolution",
+    "MAPSolver",
+    "MLN_CAPABILITIES",
+    "PSL_CAPABILITIES",
+    "SolverCapabilities",
+    "SolverStats",
+    "check_expressivity",
+]

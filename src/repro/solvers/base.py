@@ -1,0 +1,117 @@
+"""The ProbFOL solver abstraction.
+
+The TeCoRe architecture runs on top of interchangeable probabilistic
+first-order-logic (ProbFOL) systems — the demo uses nRockIt (MLNs) and the PSL
+solver, and notes that "any off-the-shelf probabilistic first-order logic
+system ... can be seamlessly integrated ... by extending the translator".
+
+This module defines what such a back-end must provide: a
+:class:`MAPSolver` that takes a ground program and returns a
+:class:`MAPSolution` (the most probable world), plus the
+:class:`SolverCapabilities` descriptor the translator uses to verify that the
+input fits the solver's expressivity.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import SolverError
+from ..kg import TemporalFact
+from ..logic.ground import GroundProgram
+from .capabilities import SolverCapabilities
+
+
+@dataclass(frozen=True, slots=True)
+class SolverStats:
+    """Diagnostics reported by a MAP run."""
+
+    solver: str
+    runtime_seconds: float
+    iterations: int = 0
+    atoms: int = 0
+    clauses: int = 0
+    optimal: bool = False
+    objective_bound: Optional[float] = None
+    extra: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class MAPSolution:
+    """The most probable world returned by a solver.
+
+    Attributes
+    ----------
+    assignment:
+        One Boolean per ground atom, indexed like ``program.atoms``.
+    objective:
+        Total satisfied soft weight of the assignment.
+    truth_values:
+        For continuous solvers (PSL), the pre-rounding soft truth values;
+        Boolean solvers repeat the assignment as 0.0/1.0.
+    stats:
+        Runtime / iteration diagnostics.
+    """
+
+    assignment: tuple[bool, ...]
+    objective: float
+    stats: SolverStats
+    truth_values: tuple[float, ...] = ()
+
+    def kept_facts(self, program: GroundProgram) -> list[TemporalFact]:
+        """Facts set to true in the MAP state."""
+        return [
+            atom.fact
+            for atom, value in zip(program.atoms, self.assignment)
+            if value
+        ]
+
+    def removed_facts(self, program: GroundProgram) -> list[TemporalFact]:
+        """Evidence facts set to false in the MAP state (the repairs)."""
+        return [
+            atom.fact
+            for atom, value in zip(program.atoms, self.assignment)
+            if not value and atom.is_evidence
+        ]
+
+    def derived_kept_facts(self, program: GroundProgram) -> list[TemporalFact]:
+        """Non-evidence (rule-derived) facts set to true in the MAP state."""
+        return [
+            atom.fact
+            for atom, value in zip(program.atoms, self.assignment)
+            if value and not atom.is_evidence
+        ]
+
+
+class MAPSolver(abc.ABC):
+    """Interface every MAP back-end implements."""
+
+    #: Short identifier used by the solver registry and reports.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def capabilities(self) -> SolverCapabilities:
+        """Expressivity descriptor used by the translator's input checks."""
+
+    @abc.abstractmethod
+    def solve(self, program: GroundProgram) -> MAPSolution:
+        """Compute the MAP state of ``program``."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _check_feasibility(
+        self, program: GroundProgram, assignment: Sequence[bool]
+    ) -> None:
+        violations = program.hard_violations(assignment)
+        if violations:
+            raise SolverError(
+                f"{self.name}: produced an assignment violating "
+                f"{len(violations)} hard clause(s); first: {violations[0]}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,53 @@
+"""Temporal substrate: discrete time, intervals, Allen's algebra, coalescing."""
+
+from .allen import (
+    ALL_RELATIONS,
+    CONSTRAINT_PREDICATES,
+    AllenRelation,
+    before,
+    compose,
+    disjoint,
+    evaluate_predicate,
+    overlaps,
+    relation_between,
+)
+from .arithmetic import (
+    COMPARATORS,
+    INTERVAL_BINARY_FUNCTIONS,
+    INTERVAL_FUNCTIONS,
+    IntervalExpression,
+    compare,
+    difference,
+    gap_between,
+)
+from .coalesce import coalesce_intervals, coalesce_weighted, group_and_coalesce
+from .interval import TimeInterval, span_of, total_coverage
+from .timepoint import DEFAULT_DOMAIN, TimeDomain, TimePoint
+
+__all__ = [
+    "ALL_RELATIONS",
+    "COMPARATORS",
+    "CONSTRAINT_PREDICATES",
+    "DEFAULT_DOMAIN",
+    "INTERVAL_BINARY_FUNCTIONS",
+    "INTERVAL_FUNCTIONS",
+    "AllenRelation",
+    "IntervalExpression",
+    "TimeDomain",
+    "TimeInterval",
+    "TimePoint",
+    "before",
+    "coalesce_intervals",
+    "coalesce_weighted",
+    "compare",
+    "compose",
+    "difference",
+    "disjoint",
+    "evaluate_predicate",
+    "gap_between",
+    "group_and_coalesce",
+    "overlaps",
+    "relation_between",
+    "span_of",
+    "total_coverage",
+]

@@ -1,0 +1,264 @@
+"""Allen's interval algebra.
+
+TeCoRe constraints are "based on Allen's relations" (paper, Section 2): the
+constraint editor lets users relate two predicates via one of Allen's thirteen
+interval relations, and the constraint compiler turns those relations into
+arithmetic conditions over interval end points.
+
+This module implements the thirteen basic relations, the common derived
+relations used in the paper (``overlaps`` in its inclusive sense, ``disjoint``)
+and the composition table needed for constraint propagation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, FrozenSet, Iterable
+
+from .interval import TimeInterval
+
+
+class AllenRelation(str, Enum):
+    """The thirteen basic Allen interval relations.
+
+    The string values match the surface syntax accepted by the constraint
+    parser (:mod:`repro.logic.parser`).
+    """
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "metBy"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlappedBy"
+    STARTS = "starts"
+    STARTED_BY = "startedBy"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finishedBy"
+    EQUALS = "equals"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The converse relation (``before`` ↔ ``after`` and so on)."""
+        return _INVERSES[self]
+
+    def holds(self, a: TimeInterval, b: TimeInterval) -> bool:
+        """Evaluate the *strict* Allen relation between intervals ``a`` and ``b``."""
+        return _CHECKS[self](a, b)
+
+
+_INVERSES: dict[AllenRelation, AllenRelation] = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+}
+
+# The thirteen relations are defined so that they *partition* every pair of
+# closed discrete intervals (including instants).  Classic Allen algebra is
+# stated for open-ended real intervals, where "meets" means sharing only a
+# boundary of measure zero; over a discrete domain the natural analogue is
+# adjacency (``a.end + 1 == b.start``), and "before" then requires a gap.
+# Closed intervals that share exactly their boundary point (``[1,2]``/``[2,3]``)
+# are classified as overlapping, which is also what the paper's constraint
+# predicates assume (a coach fact ending in 2004 conflicts with one starting
+# in 2004).
+_CHECKS: dict[AllenRelation, Callable[[TimeInterval, TimeInterval], bool]] = {
+    AllenRelation.BEFORE: lambda a, b: a.end + 1 < b.start,
+    AllenRelation.AFTER: lambda a, b: a.start > b.end + 1,
+    AllenRelation.MEETS: lambda a, b: a.end + 1 == b.start,
+    AllenRelation.MET_BY: lambda a, b: a.start == b.end + 1,
+    AllenRelation.OVERLAPS: lambda a, b: a.start < b.start <= a.end < b.end,
+    AllenRelation.OVERLAPPED_BY: lambda a, b: b.start < a.start <= b.end < a.end,
+    AllenRelation.STARTS: lambda a, b: a.start == b.start and a.end < b.end,
+    AllenRelation.STARTED_BY: lambda a, b: a.start == b.start and a.end > b.end,
+    AllenRelation.DURING: lambda a, b: a.start > b.start and a.end < b.end,
+    AllenRelation.CONTAINS: lambda a, b: a.start < b.start and a.end > b.end,
+    AllenRelation.FINISHES: lambda a, b: a.end == b.end and a.start > b.start,
+    AllenRelation.FINISHED_BY: lambda a, b: a.end == b.end and a.start < b.start,
+    AllenRelation.EQUALS: lambda a, b: a.start == b.start and a.end == b.end,
+}
+
+#: All thirteen basic relations, in a canonical order.
+ALL_RELATIONS: tuple[AllenRelation, ...] = tuple(AllenRelation)
+
+#: Relations whose truth implies the two intervals share at least one point.
+_SHARING_RELATIONS: frozenset[AllenRelation] = frozenset(
+    {
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.EQUALS,
+    }
+)
+
+
+def relation_between(a: TimeInterval, b: TimeInterval) -> AllenRelation:
+    """Return the unique basic Allen relation holding between ``a`` and ``b``."""
+    for relation in ALL_RELATIONS:
+        if relation.holds(a, b):
+            return relation
+    raise AssertionError(
+        f"no Allen relation holds between {a} and {b}; the thirteen relations "
+        "should partition all interval pairs"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The paper's constraint predicates.  TeCoRe's example constraints use the
+# predicates `before`, `overlaps` and `disjoint` in their *inclusive* reading:
+# `overlaps(t, t')` means the intervals share at least one time point, and
+# `disjoint(t, t')` means they do not (constraint c2: a coach cannot manage two
+# clubs at the same time).  These differ from the strict basic relations, so
+# they get their own helpers.
+# --------------------------------------------------------------------------- #
+def before(a: TimeInterval, b: TimeInterval) -> bool:
+    """Constraint predicate ``before``: ``a`` ends strictly before ``b`` starts."""
+    return a.end < b.start
+
+
+def after(a: TimeInterval, b: TimeInterval) -> bool:
+    """Constraint predicate ``after``: ``a`` starts strictly after ``b`` ends."""
+    return a.start > b.end
+
+
+def overlaps(a: TimeInterval, b: TimeInterval) -> bool:
+    """Inclusive ``overlaps``: the two intervals share at least one time point."""
+    return a.overlaps(b)
+
+
+def disjoint(a: TimeInterval, b: TimeInterval) -> bool:
+    """Inclusive ``disjoint``: the two intervals share no time point."""
+    return a.disjoint(b)
+
+
+def during_or_equal(a: TimeInterval, b: TimeInterval) -> bool:
+    """``a`` fully contained in ``b`` (allowing equality of end points)."""
+    return b.contains(a)
+
+
+#: Named constraint predicates available in rule/constraint conditions.  The
+#: inclusive readings shadow the strict basic relations of the same name on
+#: purpose — this is the semantics used by the paper's constraints c1–c3.
+CONSTRAINT_PREDICATES: dict[str, Callable[[TimeInterval, TimeInterval], bool]] = {
+    "before": before,
+    "after": after,
+    "overlaps": overlaps,
+    "overlap": overlaps,
+    "disjoint": disjoint,
+    "meets": AllenRelation.MEETS.holds,
+    "metBy": AllenRelation.MET_BY.holds,
+    "starts": AllenRelation.STARTS.holds,
+    "startedBy": AllenRelation.STARTED_BY.holds,
+    "during": AllenRelation.DURING.holds,
+    "contains": AllenRelation.CONTAINS.holds,
+    "finishes": AllenRelation.FINISHES.holds,
+    "finishedBy": AllenRelation.FINISHED_BY.holds,
+    "equals": AllenRelation.EQUALS.holds,
+    "within": during_or_equal,
+}
+
+
+def evaluate_predicate(name: str, a: TimeInterval, b: TimeInterval) -> bool:
+    """Evaluate a named temporal predicate; unknown names raise ``KeyError``."""
+    return CONSTRAINT_PREDICATES[name](a, b)
+
+
+def shares_point(relation: AllenRelation) -> bool:
+    """True if the basic relation implies the intervals share a time point."""
+    return relation in _SHARING_RELATIONS
+
+
+# --------------------------------------------------------------------------- #
+# Composition table.  compose(r1, r2) answers: given a r1 b and b r2 c, which
+# basic relations may hold between a and c?  Needed for constraint propagation
+# (e.g. deriving implied orderings before grounding) and exposed for users who
+# build their own temporal reasoning on top of the substrate.
+#
+# Rather than hard-coding the classic 13x13 table we derive it once from the
+# point-algebra encoding of each relation, which is less error-prone and is
+# validated by the property-based tests.
+# --------------------------------------------------------------------------- #
+_SAMPLE_INTERVALS: list[TimeInterval] = [
+    TimeInterval(s, e) for s in range(0, 9) for e in range(s, 9)
+]
+
+
+def _compose_all() -> dict[tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]]:
+    by_relation: dict[AllenRelation, list[tuple[TimeInterval, TimeInterval]]] = {
+        r: [] for r in ALL_RELATIONS
+    }
+    for a in _SAMPLE_INTERVALS:
+        for b in _SAMPLE_INTERVALS:
+            by_relation[relation_between(a, b)].append((a, b))
+
+    table: dict[tuple[AllenRelation, AllenRelation], set[AllenRelation]] = {
+        (r1, r2): set() for r1 in ALL_RELATIONS for r2 in ALL_RELATIONS
+    }
+    # Index pairs by their first interval for the join.
+    second_by_first: dict[AllenRelation, dict[TimeInterval, list[TimeInterval]]] = {}
+    for r2 in ALL_RELATIONS:
+        index: dict[TimeInterval, list[TimeInterval]] = {}
+        for b, c in by_relation[r2]:
+            index.setdefault(b, []).append(c)
+        second_by_first[r2] = index
+    for r1 in ALL_RELATIONS:
+        for a, b in by_relation[r1]:
+            for r2 in ALL_RELATIONS:
+                for c in second_by_first[r2].get(b, ()):
+                    table[(r1, r2)].add(relation_between(a, c))
+    return {key: frozenset(value) for key, value in table.items()}
+
+
+_COMPOSITION_TABLE: dict[tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]] | None = None
+
+
+def compose(r1: AllenRelation, r2: AllenRelation) -> FrozenSet[AllenRelation]:
+    """Possible relations between ``a`` and ``c`` given ``a r1 b`` and ``b r2 c``.
+
+    The table is computed lazily on first use (over a bounded sample of
+    intervals, which is exhaustive for composition purposes) and cached.
+    """
+    global _COMPOSITION_TABLE
+    if _COMPOSITION_TABLE is None:
+        _COMPOSITION_TABLE = _compose_all()
+    return _COMPOSITION_TABLE[(r1, r2)]
+
+
+def possible_relations(
+    a: TimeInterval | None, b: TimeInterval | None
+) -> FrozenSet[AllenRelation]:
+    """Relations possible between two possibly-unknown intervals.
+
+    When both intervals are known the answer is the singleton of their actual
+    relation; when either is unknown, all thirteen relations are possible.
+    """
+    if a is None or b is None:
+        return frozenset(ALL_RELATIONS)
+    return frozenset({relation_between(a, b)})
+
+
+def consistent_scenario(relations: Iterable[AllenRelation]) -> bool:
+    """Cheap necessary condition for a set of relations on one pair to be consistent.
+
+    A single interval pair satisfies exactly one basic relation, so a
+    constraint set over the same ordered pair is satisfiable iff it is
+    non-empty (interpreted as a disjunction).
+    """
+    return bool(set(relations))

@@ -1,0 +1,151 @@
+"""Arithmetic predicates over time points and intervals.
+
+Temporal inference rules in TeCoRe may embed "arithmetic predicates (e.g.
+age > 40)" and interval expressions such as ``t'' = t ∩ t'`` (rule f2) or
+``t' - t < 20`` (rule f3).  This module provides the evaluable vocabulary the
+rule conditions compile to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+from ..errors import LogicError
+from .interval import TimeInterval
+from .timepoint import TimePoint
+
+#: Values an arithmetic expression may take during evaluation.
+NumericValue = Union[int, float]
+
+#: Comparison operators accepted in rule conditions, in surface syntax.
+COMPARATORS: dict[str, Callable[[NumericValue, NumericValue], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def compare(op: str, left: NumericValue, right: NumericValue) -> bool:
+    """Evaluate a comparison operator given in surface syntax."""
+    try:
+        return COMPARATORS[op](left, right)
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise LogicError(f"unknown comparison operator {op!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalExpression:
+    """A symbolic expression producing an interval from bound intervals.
+
+    Supports the expressions used by the paper's rules:
+
+    * ``var`` — an already bound interval variable;
+    * ``intersection`` — ``t ∩ t'`` (rule f2);
+    * ``union`` — span of two intervals;
+    * ``shift`` — translate an interval by a constant.
+    """
+
+    kind: str
+    left: str | None = None
+    right: str | None = None
+    delta: int = 0
+
+    def evaluate(self, bindings: Mapping[str, TimeInterval]) -> TimeInterval | None:
+        """Evaluate against interval variable bindings; None when undefined."""
+        if self.kind == "var":
+            return bindings.get(self.left or "")
+        if self.kind == "intersection":
+            a, b = bindings.get(self.left or ""), bindings.get(self.right or "")
+            if a is None or b is None:
+                return None
+            return a.intersect(b)
+        if self.kind == "union":
+            a, b = bindings.get(self.left or ""), bindings.get(self.right or "")
+            if a is None or b is None:
+                return None
+            return a.span(b)
+        if self.kind == "shift":
+            a = bindings.get(self.left or "")
+            if a is None:
+                return None
+            return a.shift(self.delta)
+        raise LogicError(f"unknown interval expression kind {self.kind!r}")
+
+    @classmethod
+    def variable(cls, name: str) -> "IntervalExpression":
+        return cls(kind="var", left=name)
+
+    @classmethod
+    def intersection(cls, left: str, right: str) -> "IntervalExpression":
+        return cls(kind="intersection", left=left, right=right)
+
+    @classmethod
+    def union(cls, left: str, right: str) -> "IntervalExpression":
+        return cls(kind="union", left=left, right=right)
+
+    @classmethod
+    def shift(cls, name: str, delta: int) -> "IntervalExpression":
+        return cls(kind="shift", left=name, delta=delta)
+
+    def __str__(self) -> str:
+        if self.kind == "var":
+            return str(self.left)
+        if self.kind == "intersection":
+            return f"{self.left} ∩ {self.right}"
+        if self.kind == "union":
+            return f"{self.left} ∪ {self.right}"
+        return f"{self.left} + {self.delta}"
+
+
+def interval_start(interval: TimeInterval) -> TimePoint:
+    """Start point accessor, exposed as the arithmetic function ``start(t)``."""
+    return interval.start
+
+
+def interval_end(interval: TimeInterval) -> TimePoint:
+    """End point accessor, exposed as the arithmetic function ``end(t)``."""
+    return interval.end
+
+
+def interval_duration(interval: TimeInterval) -> int:
+    """Duration accessor, exposed as the arithmetic function ``duration(t)``."""
+    return interval.duration
+
+
+def gap_between(a: TimeInterval, b: TimeInterval) -> int:
+    """Number of time points strictly between two disjoint intervals (0 if overlapping)."""
+    if a.overlaps(b):
+        return 0
+    if a.end < b.start:
+        return b.start - a.end - 1
+    return a.start - b.end - 1
+
+
+def difference(a: TimeInterval, b: TimeInterval) -> int:
+    """The paper's ``t' - t`` reading: distance between interval start points.
+
+    Rule f3 uses ``t' - t < 20`` where ``t`` is a playsFor interval and ``t'``
+    a birthDate interval to state "the player is less than 20 years old at the
+    start of the engagement"; the natural discrete reading is the difference
+    of the two start points.
+    """
+    return a.start - b.start
+
+
+#: Arithmetic functions over a single interval, usable in rule conditions.
+INTERVAL_FUNCTIONS: dict[str, Callable[[TimeInterval], NumericValue]] = {
+    "start": interval_start,
+    "end": interval_end,
+    "duration": interval_duration,
+}
+
+#: Arithmetic functions over two intervals.
+INTERVAL_BINARY_FUNCTIONS: dict[str, Callable[[TimeInterval, TimeInterval], NumericValue]] = {
+    "gap": gap_between,
+    "diff": difference,
+}

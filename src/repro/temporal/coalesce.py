@@ -1,0 +1,78 @@
+"""Temporal coalescing.
+
+Temporal databases coalesce value-equivalent facts whose validity intervals
+overlap or are adjacent into a single fact with a merged interval.  TeCoRe
+uses coalescing when presenting the consistent subset and when dataset
+generators merge duplicate extractions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .interval import TimeInterval
+
+T = TypeVar("T")
+
+
+def coalesce_intervals(intervals: Iterable[TimeInterval]) -> list[TimeInterval]:
+    """Merge overlapping or adjacent intervals into a minimal disjoint cover.
+
+    The result is sorted by start point and contains pairwise disjoint,
+    non-adjacent intervals covering exactly the same time points as the input.
+
+    >>> coalesce_intervals([TimeInterval(1, 3), TimeInterval(4, 6), TimeInterval(9, 9)])
+    [TimeInterval(start=1, end=6), TimeInterval(start=9, end=9)]
+    """
+    ordered = sorted(intervals)
+    merged: list[TimeInterval] = []
+    for interval in ordered:
+        if not merged:
+            merged.append(interval)
+            continue
+        last = merged[-1]
+        joined = last.union(interval)
+        if joined is None:
+            merged.append(interval)
+        else:
+            merged[-1] = joined
+    return merged
+
+
+def coalesce_weighted(
+    items: Sequence[tuple[TimeInterval, float]],
+    combine: Callable[[float, float], float] = max,
+) -> list[tuple[TimeInterval, float]]:
+    """Coalesce (interval, confidence) pairs.
+
+    When intervals merge, their confidences are combined with ``combine``
+    (default: ``max``, matching the "keep the best-supported extraction"
+    behaviour used when loading noisy OIE output).
+    """
+    ordered = sorted(items, key=lambda pair: pair[0])
+    merged: list[tuple[TimeInterval, float]] = []
+    for interval, weight in ordered:
+        if not merged:
+            merged.append((interval, weight))
+            continue
+        last_interval, last_weight = merged[-1]
+        joined = last_interval.union(interval)
+        if joined is None:
+            merged.append((interval, weight))
+        else:
+            merged[-1] = (joined, combine(last_weight, weight))
+    return merged
+
+
+def group_and_coalesce(
+    items: Iterable[tuple[T, TimeInterval]],
+) -> dict[T, list[TimeInterval]]:
+    """Group items by key and coalesce each group's intervals.
+
+    ``items`` yields ``(key, interval)`` pairs; the key is typically the
+    atemporal part of a fact (subject, predicate, object).
+    """
+    groups: dict[T, list[TimeInterval]] = {}
+    for key, interval in items:
+        groups.setdefault(key, []).append(interval)
+    return {key: coalesce_intervals(intervals) for key, intervals in groups.items()}

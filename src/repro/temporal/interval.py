@@ -1,0 +1,200 @@
+"""Closed discrete time intervals.
+
+Every temporal fact in a UTKG is annotated with a validity interval
+``[start, end]`` over the discrete time domain (see
+:mod:`repro.temporal.timepoint`).  Intervals are closed on both ends, as in
+the paper's running example ``(CR, coach, Chelsea, [2000, 2004])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from ..errors import InvalidIntervalError
+from .timepoint import TimePoint
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class TimeInterval:
+    """A closed interval ``[start, end]`` of discrete time points.
+
+    Instances are immutable, hashable and totally ordered (lexicographically
+    by ``(start, end)``), so they can be used as dictionary keys and sorted
+    deterministically — both properties the grounding engine relies on.
+
+    Examples
+    --------
+    >>> a = TimeInterval(2000, 2004)
+    >>> b = TimeInterval(2001, 2003)
+    >>> a.contains(b)
+    True
+    >>> a.intersect(b)
+    TimeInterval(start=2001, end=2003)
+    """
+
+    start: TimePoint
+    end: TimePoint
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise InvalidIntervalError(
+                f"interval end ({self.end}) precedes start ({self.start})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def duration(self) -> int:
+        """Number of time points covered (closed interval, so end-start+1)."""
+        return self.end - self.start + 1
+
+    def is_instant(self) -> bool:
+        """True when the interval covers a single time point."""
+        return self.start == self.end
+
+    def __contains__(self, point: object) -> bool:
+        if not isinstance(point, int) or isinstance(point, bool):
+            return False
+        return self.start <= point <= self.end
+
+    def __iter__(self) -> Iterator[TimePoint]:
+        return iter(range(self.start, self.end + 1))
+
+    def points(self) -> list[TimePoint]:
+        """All time points in the interval, in increasing order."""
+        return list(range(self.start, self.end + 1))
+
+    # ------------------------------------------------------------------ #
+    # Relations with other intervals
+    # ------------------------------------------------------------------ #
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when the two closed intervals share at least one time point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def disjoint(self, other: "TimeInterval") -> bool:
+        """True when the intervals share no time point."""
+        return not self.overlaps(other)
+
+    def contains(self, other: "TimeInterval") -> bool:
+        """True when ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def strictly_before(self, other: "TimeInterval") -> bool:
+        """True when this interval ends before ``other`` starts."""
+        return self.end < other.start
+
+    def strictly_after(self, other: "TimeInterval") -> bool:
+        """True when this interval starts after ``other`` ends."""
+        return self.start > other.end
+
+    def meets(self, other: "TimeInterval") -> bool:
+        """True when this interval ends exactly where ``other`` starts."""
+        return self.end == other.start
+
+    def adjacent(self, other: "TimeInterval") -> bool:
+        """True when the intervals are disjoint but with no gap between them."""
+        return self.end + 1 == other.start or other.end + 1 == self.start
+
+    # ------------------------------------------------------------------ #
+    # Constructive operations
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Intersection ``t ∩ t'`` (used by rule f2 in the paper) or None."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end < start:
+            return None
+        return TimeInterval(start, end)
+
+    def union(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Union when the intervals overlap or are adjacent, else None."""
+        if not (self.overlaps(other) or self.adjacent(other)):
+            return None
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def span(self, other: "TimeInterval") -> "TimeInterval":
+        """Smallest interval covering both intervals (ignores any gap)."""
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def minus(self, other: "TimeInterval") -> list["TimeInterval"]:
+        """Set difference ``self \\ other`` as zero, one or two intervals."""
+        if not self.overlaps(other):
+            return [self]
+        pieces: list[TimeInterval] = []
+        if self.start < other.start:
+            pieces.append(TimeInterval(self.start, other.start - 1))
+        if other.end < self.end:
+            pieces.append(TimeInterval(other.end + 1, self.end))
+        return pieces
+
+    def shift(self, delta: int) -> "TimeInterval":
+        """Translate the interval by ``delta`` time points."""
+        return TimeInterval(self.start + delta, self.end + delta)
+
+    def clamp(self, lower: TimePoint, upper: TimePoint) -> Optional["TimeInterval"]:
+        """Clip the interval to ``[lower, upper]``; None when it falls outside."""
+        start = max(self.start, lower)
+        end = min(self.end, upper)
+        if end < start:
+            return None
+        return TimeInterval(start, end)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers and formatting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def instant(cls, point: TimePoint) -> "TimeInterval":
+        """A single-point interval ``[point, point]``."""
+        return cls(point, point)
+
+    @classmethod
+    def parse(cls, text: str) -> "TimeInterval":
+        """Parse the paper's surface syntax ``[2000,2004]`` (also ``2000-2004``).
+
+        A bare integer is parsed as an instant.
+        """
+        raw = text.strip()
+        if raw.startswith("[") and raw.endswith("]"):
+            raw = raw[1:-1]
+        for sep in (",", "..", "--"):
+            if sep in raw:
+                left, _, right = raw.partition(sep)
+                return cls(int(left.strip()), int(right.strip()))
+        if "-" in raw.lstrip("-")[0:]:  # allow negative start points
+            left, _, right = raw.rpartition("-")
+            if left and not left.endswith("-"):
+                return cls(int(left.strip()), int(right.strip()))
+        return cls.instant(int(raw))
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end}]"
+
+
+def span_of(intervals: Iterable[TimeInterval]) -> Optional[TimeInterval]:
+    """Smallest interval covering every interval in ``intervals`` (None if empty)."""
+    items = list(intervals)
+    if not items:
+        return None
+    return TimeInterval(min(i.start for i in items), max(i.end for i in items))
+
+
+def total_coverage(intervals: Iterable[TimeInterval]) -> int:
+    """Number of distinct time points covered by the union of ``intervals``."""
+    items = sorted(intervals)
+    covered = 0
+    current: Optional[TimeInterval] = None
+    for interval in items:
+        if current is None:
+            current = interval
+            continue
+        merged = current.union(interval)
+        if merged is None:
+            covered += current.duration
+            current = interval
+        else:
+            current = merged
+    if current is not None:
+        covered += current.duration
+    return covered

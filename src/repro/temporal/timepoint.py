@@ -1,0 +1,97 @@
+"""Discrete time domain.
+
+The paper models validity time over "a discrete time domain T as a linearly
+ordered finite sequence of time points, for instance, days, minutes, or
+milliseconds".  :class:`TimeDomain` captures that finite, linearly ordered
+sequence; time points themselves are plain integers so that arithmetic
+predicates in inference rules (``t' - t < 20``) stay trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import TimeDomainError
+
+#: A time point is an integer index into the discrete domain (a year, a day
+#: number, a millisecond offset, ...).  Using a bare ``int`` keeps grounding
+#: and ILP encodings cheap.
+TimePoint = int
+
+
+@dataclass(frozen=True, slots=True)
+class TimeDomain:
+    """A finite, linearly ordered, discrete sequence of time points.
+
+    Parameters
+    ----------
+    start:
+        First valid time point (inclusive).
+    end:
+        Last valid time point (inclusive).
+    granularity:
+        Human-readable unit label ("year", "day", "ms"); informational only.
+
+    Examples
+    --------
+    >>> dom = TimeDomain(1950, 2020, granularity="year")
+    >>> 1984 in dom
+    True
+    >>> dom.clamp(2050)
+    2020
+    """
+
+    start: TimePoint
+    end: TimePoint
+    granularity: str = "year"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TimeDomainError(
+                f"time domain end ({self.end}) precedes start ({self.start})"
+            )
+
+    def __contains__(self, point: object) -> bool:
+        if not isinstance(point, int) or isinstance(point, bool):
+            return False
+        return self.start <= point <= self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __iter__(self) -> Iterator[TimePoint]:
+        return iter(range(self.start, self.end + 1))
+
+    def validate(self, point: TimePoint) -> TimePoint:
+        """Return ``point`` unchanged, raising if it lies outside the domain."""
+        if point not in self:
+            raise TimeDomainError(
+                f"time point {point} outside domain [{self.start}, {self.end}]"
+            )
+        return point
+
+    def clamp(self, point: TimePoint) -> TimePoint:
+        """Clamp ``point`` into the domain."""
+        return min(max(point, self.start), self.end)
+
+    def expand(self, point: TimePoint) -> "TimeDomain":
+        """Return a domain widened (if necessary) to include ``point``."""
+        if point in self:
+            return self
+        return TimeDomain(
+            min(self.start, point), max(self.end, point), self.granularity
+        )
+
+    @classmethod
+    def spanning(cls, points: Iterator[TimePoint] | list[TimePoint], granularity: str = "year") -> "TimeDomain":
+        """Build the smallest domain containing every point in ``points``."""
+        pts = list(points)
+        if not pts:
+            raise TimeDomainError("cannot build a time domain from no points")
+        return cls(min(pts), max(pts), granularity)
+
+
+#: Default domain used by the examples and dataset generators: modern sports
+#: careers expressed in years, matching the paper's running example.
+DEFAULT_DOMAIN = TimeDomain(1900, 2100, granularity="year")

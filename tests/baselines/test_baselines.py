@@ -1,0 +1,101 @@
+"""Unit tests for the baseline resolvers (greedy, drop-lowest, static)."""
+
+import pytest
+
+from repro.baselines import DropLowestResolver, GreedyResolver, StaticResolver
+from repro.kg import TemporalKnowledgeGraph
+from repro.logic import constraint_c2, running_example_constraints, sports_pack
+from repro.metrics import repair_quality
+
+
+class TestGreedyResolver:
+    def test_resolves_running_example(self, ranieri):
+        result = GreedyResolver().resolve(ranieri, running_example_constraints())
+        assert result.violations_found == 1
+        assert result.removed_count == 1
+        assert len(result.consistent_graph) == 4
+        # Greedy drops the lower-confidence member of the conflict.
+        assert str(result.removed_facts[0].object) == "Napoli"
+
+    def test_clean_graph_untouched(self):
+        graph = TemporalKnowledgeGraph()
+        graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+        graph.add(("CR", "coach", "Leicester", (2015, 2017), 0.7))
+        result = GreedyResolver().resolve(graph, [constraint_c2()])
+        assert result.removed_count == 0
+        assert result.violations_found == 0
+
+    def test_hub_fact_removed_first(self):
+        # One low-confidence fact conflicting with two strong ones: greedy
+        # should remove the hub, not the two strong facts.
+        graph = TemporalKnowledgeGraph()
+        graph.add(("CR", "coach", "A", (2000, 2004), 0.9))
+        graph.add(("CR", "coach", "B", (2006, 2010), 0.9))
+        graph.add(("CR", "coach", "C", (2003, 2007), 0.4))
+        result = GreedyResolver().resolve(graph, [constraint_c2()])
+        assert result.removed_count == 1
+        assert str(result.removed_facts[0].object) == "C"
+
+    def test_result_graph_is_conflict_free(self, small_noisy_footballdb):
+        constraints = sports_pack().constraints
+        result = GreedyResolver().resolve(small_noisy_footballdb.graph, constraints)
+        from repro.logic import find_conflicts
+
+        assert find_conflicts(result.consistent_graph, constraints) == []
+
+    def test_reasonable_quality_on_planted_noise(self, small_noisy_footballdb):
+        constraints = sports_pack().constraints
+        result = GreedyResolver().resolve(small_noisy_footballdb.graph, constraints)
+        quality = repair_quality(result.removed_facts, small_noisy_footballdb.noise_facts)
+        assert quality.recall > 0.5
+        assert quality.precision > 0.5
+
+
+class TestDropLowestResolver:
+    def test_drops_weaker_of_each_pair(self, ranieri):
+        result = DropLowestResolver().resolve(ranieri, running_example_constraints())
+        assert str(result.removed_facts[0].object) == "Napoli"
+
+    def test_can_over_remove_compared_to_greedy(self):
+        graph = TemporalKnowledgeGraph()
+        graph.add(("CR", "coach", "A", (2000, 2004), 0.9))
+        graph.add(("CR", "coach", "B", (2006, 2010), 0.8))
+        graph.add(("CR", "coach", "C", (2003, 2007), 0.4))
+        greedy = GreedyResolver().resolve(graph, [constraint_c2()])
+        pairwise = DropLowestResolver().resolve(graph, [constraint_c2()])
+        assert greedy.removed_count <= pairwise.removed_count
+
+
+class TestStaticResolver:
+    def test_collapse_removes_temporal_information(self, ranieri):
+        collapsed = StaticResolver().collapse(ranieri)
+        intervals = {fact.interval for fact in collapsed}
+        assert len(intervals) == 1
+
+    def test_static_over_removes_on_running_example(self, ranieri):
+        """The intro's motivating failure: non-overlapping coaching spells are
+        wrongly treated as conflicting once time is ignored."""
+        temporal = GreedyResolver().resolve(ranieri, running_example_constraints())
+        static = StaticResolver().resolve(ranieri, running_example_constraints())
+        assert static.removed_count > temporal.removed_count
+        # The temporally-consistent Leicester spell is a static casualty.
+        static_removed = {str(fact.object) for fact in static.removed_facts}
+        assert "Leicester" in static_removed or "Chelsea" in static_removed
+
+    def test_static_finds_more_violations(self, small_noisy_footballdb):
+        constraints = sports_pack().constraints
+        temporal = GreedyResolver().resolve(small_noisy_footballdb.graph, constraints)
+        static = StaticResolver().resolve(small_noisy_footballdb.graph, constraints)
+        assert static.violations_found >= temporal.violations_found
+
+    def test_static_precision_is_worse(self, small_noisy_footballdb):
+        constraints = sports_pack().constraints
+        temporal = GreedyResolver().resolve(small_noisy_footballdb.graph, constraints)
+        static = StaticResolver().resolve(small_noisy_footballdb.graph, constraints)
+        quality_temporal = repair_quality(temporal.removed_facts, small_noisy_footballdb.noise_facts)
+        quality_static = repair_quality(static.removed_facts, small_noisy_footballdb.noise_facts)
+        assert quality_static.precision < quality_temporal.precision
+
+    def test_runtime_recorded(self, ranieri):
+        result = StaticResolver().resolve(ranieri, running_example_constraints())
+        assert result.runtime_seconds >= 0.0

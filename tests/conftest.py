@@ -1,0 +1,50 @@
+"""Shared fixtures for the TeCoRe test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TeCoRe
+from repro.datasets import (
+    FootballDBConfig,
+    generate_footballdb,
+    ranieri_extended_graph,
+    ranieri_graph,
+)
+from repro.kg import TemporalKnowledgeGraph
+from repro.logic import ground, running_example_constraints, running_example_rules
+
+
+@pytest.fixture
+def ranieri():
+    """The paper's Figure 1 UTKG (5 facts)."""
+    return ranieri_graph()
+
+
+@pytest.fixture
+def ranieri_extended():
+    """Figure 1 plus club locations (rules f1 and f2 both fire)."""
+    return ranieri_extended_graph()
+
+
+@pytest.fixture
+def running_example_grounding(ranieri):
+    """Grounding of the running example with rules f1-f3 and constraints c1-c3."""
+    return ground(ranieri, running_example_rules(), running_example_constraints())
+
+
+@pytest.fixture
+def running_example_system():
+    """A TeCoRe instance configured exactly as the paper's walk-through."""
+    return TeCoRe.from_pack("running-example", solver="nrockit")
+
+
+@pytest.fixture(scope="session")
+def small_noisy_footballdb():
+    """A small deterministic FootballDB dataset with 50% planted noise."""
+    return generate_footballdb(FootballDBConfig(scale=0.005, noise_ratio=0.5, seed=7))
+
+
+@pytest.fixture
+def empty_graph():
+    return TemporalKnowledgeGraph(name="empty")

@@ -1,0 +1,71 @@
+"""Unit tests for extending the solver registry (the ProbFOL plug-in point).
+
+The paper: "any off-the-shelf probabilistic first-order logic (ProbFOL) system
+... can be seamlessly integrated into the TeCoRe system by extending the
+translator."  Here we register a toy solver and run the full pipeline on it.
+"""
+
+import pytest
+
+from repro import TeCoRe
+from repro.core import available_solvers, describe_solvers, make_solver, register_solver, solver_family
+from repro.core.registry import _REGISTRY
+from repro.logic import running_example_constraints, running_example_rules
+from repro.solvers import MAPSolution, MAPSolver, MLN_CAPABILITIES, SolverStats
+
+
+class KeepEverythingSolver(MAPSolver):
+    """A trivial ProbFOL back-end: keep every fact unless a hard clause objects."""
+
+    name = "keep-everything"
+
+    @property
+    def capabilities(self):
+        return MLN_CAPABILITIES
+
+    def solve(self, program):
+        assignment = [True] * program.num_atoms
+        # Greedily drop the weakest member of each violated hard clause.
+        for _ in range(program.num_clauses):
+            violations = program.hard_violations(assignment)
+            if not violations:
+                break
+            clause = violations[0]
+            weakest = min(clause.literals, key=lambda lit: program.atoms[lit[0]].fact.confidence)
+            assignment[weakest[0]] = weakest[1]
+        assignment = tuple(assignment)
+        return MAPSolution(
+            assignment=assignment,
+            objective=program.objective(assignment),
+            stats=SolverStats(solver=self.name, runtime_seconds=0.0),
+            truth_values=tuple(1.0 if value else 0.0 for value in assignment),
+        )
+
+
+@pytest.fixture
+def registered_toy_solver():
+    register_solver("toy", "custom", "keep everything then repair greedily", KeepEverythingSolver)
+    yield "toy"
+    _REGISTRY.pop("toy", None)
+
+
+class TestRegistryExtension:
+    def test_registration_visible(self, registered_toy_solver):
+        assert "toy" in available_solvers()
+        assert solver_family("toy") == "custom"
+        entry = next(e for e in describe_solvers() if e.name == "toy")
+        assert "greedily" in entry.description
+        assert isinstance(make_solver("toy"), KeepEverythingSolver)
+
+    def test_full_pipeline_on_custom_solver(self, registered_toy_solver, ranieri):
+        system = TeCoRe(
+            rules=running_example_rules(),
+            constraints=running_example_constraints(),
+            solver="toy",
+        )
+        result = system.resolve(ranieri)
+        assert {str(fact.object) for fact in result.removed_facts} == {"Napoli"}
+        assert result.statistics.solver == "toy"
+
+    def test_unregistered_after_fixture(self):
+        assert "toy" not in available_solvers()

@@ -1,0 +1,53 @@
+"""Unit tests for the report rendering (the demo's statistics panels)."""
+
+from repro import TeCoRe, render_graph_summary, render_report
+from repro.core import render_comparison
+from repro.datasets import ranieri_graph
+
+
+class TestRenderReport:
+    def test_report_contains_statistics(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        text = render_report(result)
+        assert "conflicting facts" in text
+        assert "removed facts" in text
+        assert "Napoli" in text
+        assert "nrockit" in text
+
+    def test_report_lists_sections(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        text = render_report(result)
+        assert "removed (conflicting) statements:" in text
+        assert "newly inferred statements:" in text
+        assert "consistent statements:" in text
+
+    def test_report_respects_limit(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        text = render_report(result, limit=1)
+        assert "... 3 more" in text
+
+    def test_threshold_mentioned_when_set(self, ranieri):
+        result = TeCoRe.from_pack("running-example", threshold=0.95).resolve(ranieri)
+        assert "threshold 0.95" in render_report(result)
+
+
+class TestRenderGraphSummary:
+    def test_summary_lists_predicates(self, ranieri):
+        text = render_graph_summary(ranieri)
+        assert "coach" in text
+        assert "playsFor" in text
+        assert "5 facts" in text
+
+    def test_summary_of_empty_graph(self, empty_graph):
+        text = render_graph_summary(empty_graph)
+        assert "0 facts" in text
+
+
+class TestRenderComparison:
+    def test_comparison_table(self, ranieri):
+        mln = TeCoRe.from_pack("running-example", solver="nrockit").resolve(ranieri)
+        psl = TeCoRe.from_pack("running-example", solver="npsl").resolve(ranieri)
+        table = render_comparison([mln, psl])
+        assert "nrockit" in table
+        assert "npsl" in table
+        assert "removed" in table

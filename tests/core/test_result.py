@@ -1,0 +1,64 @@
+"""Unit tests for resolution statistics and result helpers."""
+
+import pytest
+
+from repro.core import ResolutionStatistics
+
+
+def _stats(**overrides) -> ResolutionStatistics:
+    defaults = dict(
+        input_facts=100,
+        consistent_facts=90,
+        removed_facts=10,
+        inferred_facts=5,
+        conflicting_facts=18,
+        violations=12,
+        hard_violations=9,
+        soft_violations=3,
+        objective=123.4,
+        runtime_seconds=0.5,
+        solver="nrockit",
+        ground_atoms=105,
+        ground_clauses=140,
+    )
+    defaults.update(overrides)
+    return ResolutionStatistics(**defaults)
+
+
+class TestResolutionStatistics:
+    def test_rates(self):
+        stats = _stats()
+        assert stats.removal_rate == pytest.approx(0.10)
+        assert stats.conflict_rate == pytest.approx(0.18)
+
+    def test_rates_on_empty_input(self):
+        stats = _stats(input_facts=0, consistent_facts=0, removed_facts=0, conflicting_facts=0)
+        assert stats.removal_rate == 0.0
+        assert stats.conflict_rate == 0.0
+
+    def test_as_dict_round_trips_key_fields(self):
+        data = _stats(threshold=0.7, inferred_below_threshold=2).as_dict()
+        assert data["solver"] == "nrockit"
+        assert data["removed_facts"] == 10
+        assert data["threshold"] == 0.7
+        assert data["inferred_below_threshold"] == 2
+        assert data["removal_rate"] == pytest.approx(0.10)
+
+    def test_hard_and_soft_violations_sum(self):
+        stats = _stats()
+        assert stats.hard_violations + stats.soft_violations == stats.violations
+
+
+class TestResolutionResultHelpers:
+    def test_violations_by_constraint_and_accessors(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        assert result.objective == pytest.approx(result.solution.objective)
+        assert result.solver_stats.solver == "nrockit-ilp"
+        assert result.violations_by_constraint() == {"c2": 1}
+
+    def test_expanded_graph_contains_consistent_and_inferred(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        for fact in result.consistent_graph:
+            assert fact in result.expanded_graph
+        for fact in result.inferred_facts:
+            assert fact in result.expanded_graph

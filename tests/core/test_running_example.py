@@ -1,0 +1,83 @@
+"""End-to-end reproduction of the paper's running example (experiment E1).
+
+Figure 1 (the input UTKG), Figure 4 (rules f1-f3), Figure 6 (constraints
+c1-c3) and Figure 7 (the MAP result keeping facts 1-4 and removing fact 5)
+are all encoded here; every registered solver must reproduce Figure 7.
+"""
+
+import pytest
+
+from repro import TeCoRe
+from repro.core import available_solvers
+from repro.datasets import (
+    RANIERI_EXPECTED_KEPT,
+    RANIERI_EXPECTED_REMOVED,
+    RANIERI_FACTS,
+    ranieri_graph,
+)
+from repro.kg import coerce_fact
+
+
+class TestFigure1Input:
+    def test_graph_matches_figure_1(self, ranieri):
+        assert len(ranieri) == 5
+        assert len(RANIERI_FACTS) == 5
+        for fact in RANIERI_FACTS:
+            assert fact in ranieri
+
+    def test_confidences_match_figure_1(self, ranieri):
+        by_object = {str(fact.object): fact.confidence for fact in ranieri}
+        assert by_object["Chelsea"] == pytest.approx(0.9)
+        assert by_object["Leicester"] == pytest.approx(0.7)
+        assert by_object["Palermo"] == pytest.approx(0.5)
+        assert by_object["1951"] == pytest.approx(1.0)
+        assert by_object["Napoli"] == pytest.approx(0.6)
+
+
+@pytest.mark.parametrize("solver", sorted(available_solvers()))
+class TestFigure7AllSolvers:
+    """Every registered back-end must compute the Figure 7 repair."""
+
+    def test_napoli_fact_removed(self, solver):
+        system = TeCoRe.from_pack("running-example", solver=solver)
+        result = system.resolve(ranieri_graph())
+        removed_objects = {str(fact.object) for fact in result.removed_facts}
+        assert removed_objects == {"Napoli"}
+
+    def test_facts_1_to_4_kept(self, solver):
+        system = TeCoRe.from_pack("running-example", solver=solver)
+        result = system.resolve(ranieri_graph())
+        for raw in RANIERI_EXPECTED_KEPT:
+            assert coerce_fact(raw) in result.consistent_graph
+        assert coerce_fact(RANIERI_EXPECTED_REMOVED) not in result.consistent_graph
+
+
+class TestConflictExplanation:
+    def test_conflict_is_c2_between_chelsea_and_napoli(self, running_example_system, ranieri):
+        result = running_example_system.resolve(ranieri)
+        assert result.statistics.violations == 1
+        assert result.violations_by_constraint() == {"c2": 1}
+        conflicting = {str(fact.object) for fact in result.conflicting_facts}
+        assert conflicting == {"Chelsea", "Napoli"}
+
+    def test_weaker_fact_loses(self, running_example_system, ranieri):
+        # The paper: "the later is removed since it has inferior weight".
+        result = running_example_system.resolve(ranieri)
+        removed = result.removed_facts[0]
+        chelsea = next(fact for fact in ranieri if str(fact.object) == "Chelsea")
+        assert removed.confidence < chelsea.confidence
+
+    def test_statistics_panel_numbers(self, running_example_system, ranieri):
+        statistics = running_example_system.resolve(ranieri).statistics
+        assert statistics.input_facts == 5
+        assert statistics.consistent_facts == 4
+        assert statistics.removed_facts == 1
+        assert statistics.conflicting_facts == 2
+        assert statistics.removal_rate == pytest.approx(0.2)
+
+    def test_rule_expansion_in_inferred_graph(self, running_example_system, ranieri):
+        # f1 derives worksFor(CR, Palermo, [1984,1986]) which survives MAP.
+        result = running_example_system.resolve(ranieri)
+        inferred_predicates = {str(fact.predicate) for fact in result.inferred_facts}
+        assert "worksFor" in inferred_predicates
+        assert len(result.expanded_graph) == len(result.consistent_graph) + len(result.inferred_facts)

@@ -1,0 +1,70 @@
+"""End-to-end behaviour of *soft* constraints.
+
+The paper: constraints "become hard (deterministic) or soft (uncertain)
+formulas in MLNs and PSL".  A soft constraint trades its weight against the
+evidence weights of the facts it would remove, so the MAP repair keeps both
+conflicting facts when the constraint is weak and removes the weaker fact when
+the constraint outweighs it.
+"""
+
+import pytest
+
+from repro import TeCoRe, TemporalKnowledgeGraph
+from repro.core import available_solvers
+from repro.logic import constraint_c2
+
+
+@pytest.fixture
+def overlapping_coaches():
+    graph = TemporalKnowledgeGraph(name="soft")
+    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))   # log-odds ≈ 2.20
+    graph.add(("CR", "coach", "Napoli", (2001, 2003), 0.6))    # log-odds ≈ 0.41
+    return graph
+
+
+class TestSoftConstraintTradeoff:
+    def test_weak_soft_constraint_keeps_both_facts(self, overlapping_coaches):
+        weak = TeCoRe(constraints=[constraint_c2(weight=0.1)], solver="nrockit")
+        result = weak.resolve(overlapping_coaches)
+        assert result.statistics.removed_facts == 0
+        # The violation is still *reported*, it is just not worth repairing.
+        assert result.statistics.violations == 1
+        assert result.statistics.soft_violations == 1
+
+    def test_strong_soft_constraint_removes_weaker_fact(self, overlapping_coaches):
+        strong = TeCoRe(constraints=[constraint_c2(weight=5.0)], solver="nrockit")
+        result = strong.resolve(overlapping_coaches)
+        assert {str(fact.object) for fact in result.removed_facts} == {"Napoli"}
+
+    def test_hard_constraint_always_repairs(self, overlapping_coaches):
+        hard = TeCoRe(constraints=[constraint_c2()], solver="nrockit")
+        result = hard.resolve(overlapping_coaches)
+        assert result.statistics.removed_facts == 1
+        assert result.statistics.hard_violations == 1
+
+    def test_crossover_point_matches_log_odds(self, overlapping_coaches):
+        """The repair flips exactly where the constraint weight crosses the
+        weaker fact's log-odds (≈ 0.41 for confidence 0.6)."""
+        napoli_log_odds = 0.4054651
+        below = TeCoRe(constraints=[constraint_c2(weight=napoli_log_odds - 0.05)], solver="nrockit")
+        above = TeCoRe(constraints=[constraint_c2(weight=napoli_log_odds + 0.05)], solver="nrockit")
+        assert below.resolve(overlapping_coaches).statistics.removed_facts == 0
+        assert above.resolve(overlapping_coaches).statistics.removed_facts == 1
+
+    @pytest.mark.parametrize("solver", sorted(available_solvers()))
+    def test_all_solvers_respect_strong_soft_constraint(self, overlapping_coaches, solver):
+        system = TeCoRe(constraints=[constraint_c2(weight=5.0)], solver=solver)
+        result = system.resolve(overlapping_coaches)
+        assert {str(fact.object) for fact in result.removed_facts} == {"Napoli"}
+
+
+class TestMixedHardAndSoft:
+    def test_soft_violations_counted_separately(self, overlapping_coaches):
+        overlapping_coaches.add(("CR", "coach", "Valencia", (2004, 2005), 0.55))
+        system = TeCoRe(
+            constraints=[constraint_c2(weight=0.05)],
+            solver="nrockit",
+        )
+        result = system.resolve(overlapping_coaches)
+        assert result.statistics.soft_violations >= 2
+        assert result.statistics.hard_violations == 0

@@ -1,0 +1,156 @@
+"""Unit tests for dataset generators, noise injection and the registry."""
+
+import pytest
+
+from repro.datasets import (
+    FootballDBConfig,
+    NoisyDataset,
+    PAPER_RELATION_COUNTS,
+    PAPER_TOTAL_FACTS,
+    WikidataConfig,
+    available_datasets,
+    generate_footballdb,
+    generate_wikidata,
+    load_dataset,
+    make_noisy,
+    paper_relation_shares,
+    ranieri_extended_graph,
+    ranieri_graph,
+)
+from repro.datasets.noise import inject_overlap_noise, inject_value_noise
+from repro.errors import DatasetError
+from repro.kg import graph_stats
+from repro.logic import find_conflicts, sports_pack
+import random
+
+
+class TestRanieri:
+    def test_figure_1_graph(self):
+        graph = ranieri_graph()
+        assert len(graph) == 5
+        assert {p.value for p in graph.predicates()} == {"coach", "playsFor", "birthDate"}
+
+    def test_extended_graph_adds_locations(self):
+        graph = ranieri_extended_graph()
+        assert len(graph) == 9
+        assert "locatedIn" in {p.value for p in graph.predicates()}
+
+
+class TestFootballDB:
+    def test_schema_matches_paper(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, seed=1))
+        predicates = {p.value for p in dataset.graph.predicates()}
+        assert predicates == {"playsFor", "birthDate"}
+
+    def test_relative_cardinalities(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.02, seed=2))
+        stats = graph_stats(dataset.graph)
+        counts = {row["predicate"]: row["facts"] for row in stats.as_rows()}
+        # The paper reports roughly 2x more playsFor facts than birthDate facts.
+        assert counts["playsFor"] > counts["birthDate"]
+        assert counts["playsFor"] < 4 * counts["birthDate"]
+
+    def test_full_scale_player_count(self):
+        config = FootballDBConfig(scale=1.0)
+        assert config.player_count() == FootballDBConfig.FULL_SCALE_PLAYERS
+
+    def test_explicit_player_count_overrides_scale(self):
+        assert FootballDBConfig(scale=1.0, players=10).player_count() == 10
+
+    def test_clean_generation_is_conflict_free(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.0, seed=3))
+        assert dataset.noise_facts == []
+        assert find_conflicts(dataset.graph, sports_pack().constraints) == []
+
+    def test_noise_ratio_respected(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=4))
+        assert dataset.noise_ratio == pytest.approx(1 / 3, abs=0.05)
+        assert len(dataset.noise_facts) > 0
+
+    def test_noise_creates_conflicts(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=5))
+        assert len(find_conflicts(dataset.graph, sports_pack().constraints)) > 0
+
+    def test_deterministic_given_seed(self):
+        first = generate_footballdb(FootballDBConfig(scale=0.005, noise_ratio=0.3, seed=9))
+        second = generate_footballdb(FootballDBConfig(scale=0.005, noise_ratio=0.3, seed=9))
+        assert {f.statement_key for f in first.graph} == {f.statement_key for f in second.graph}
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_footballdb(FootballDBConfig(noise_ratio=-0.1))
+
+    def test_clean_graph_view(self):
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=6))
+        clean = dataset.clean_graph()
+        assert len(clean) == len(dataset.clean_facts)
+
+
+class TestWikidata:
+    def test_relation_mix_matches_paper(self):
+        dataset = generate_wikidata(WikidataConfig(scale=0.001, seed=1))
+        predicates = {p.value for p in dataset.graph.predicates()}
+        assert {"playsFor", "memberOf", "spouse", "educatedAt", "occupation"} <= predicates
+
+    def test_plays_for_dominates(self):
+        dataset = generate_wikidata(WikidataConfig(scale=0.001, seed=2))
+        stats = graph_stats(dataset.graph)
+        counts = {row["predicate"]: row["facts"] for row in stats.as_rows()}
+        assert counts["playsFor"] > counts["memberOf"] > counts["occupation"]
+
+    def test_paper_inventory_constants(self):
+        assert PAPER_RELATION_COUNTS["playsFor"] == 4_000_000
+        assert sum(PAPER_RELATION_COUNTS.values()) == pytest.approx(PAPER_TOTAL_FACTS, rel=0.01)
+        shares = paper_relation_shares()
+        assert shares["playsFor"] == pytest.approx(4_000_000 / 6_300_000)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            generate_wikidata(WikidataConfig(scale=0.0))
+
+    def test_noise_injection(self):
+        dataset = generate_wikidata(WikidataConfig(scale=0.0005, noise_ratio=0.3, seed=3))
+        assert len(dataset.noise_facts) > 0
+
+
+class TestNoiseInjection:
+    def test_overlap_noise_conflicts_with_base(self):
+        dataset = make_noisy(ranieri_graph())
+        rng = random.Random(0)
+        injected = inject_overlap_noise(dataset, "coach", ["Roma", "Juventus", "Milan"], 2, rng)
+        assert len(injected) == 2
+        assert all(fact.predicate.value == "coach" for fact in injected)
+
+    def test_value_noise_changes_value(self):
+        dataset = make_noisy(ranieri_graph())
+        rng = random.Random(0)
+        injected = inject_value_noise(dataset, "birthDate", 1, rng)
+        assert len(injected) == 1
+        assert str(injected[0].object) != "1951"
+
+    def test_noise_on_missing_predicate_is_noop(self):
+        dataset = make_noisy(ranieri_graph())
+        assert inject_overlap_noise(dataset, "spouse", ["A", "B"], 3, random.Random(0)) == []
+
+    def test_summary(self):
+        dataset = make_noisy(ranieri_graph())
+        summary = dataset.summary()
+        assert summary["facts"] == 5
+        assert summary["noise_ratio"] == 0.0
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert set(available_datasets()) == {"ranieri", "ranieri-extended", "footballdb", "wikidata"}
+
+    def test_load_by_name_with_parameters(self):
+        dataset = load_dataset("footballdb", scale=0.005, noise_ratio=0.2, seed=1)
+        assert isinstance(dataset, NoisyDataset)
+        assert len(dataset.noise_facts) > 0
+
+    def test_load_ranieri(self):
+        assert len(load_dataset("ranieri").graph) == 5
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("yago")

@@ -1,0 +1,147 @@
+"""Unit tests for graph serialisation (line format, CSV, JSON)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.kg import TemporalKnowledgeGraph, make_fact
+from repro.kg.io import csv_io, json_io, load_graph, save_graph, tqlines
+from repro.temporal import TimeInterval
+
+
+@pytest.fixture
+def sample_graph():
+    graph = TemporalKnowledgeGraph(name="sample")
+    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+    graph.add(("CR", "birthDate", 1951, (1951, 2017), 1.0))
+    graph.add(("CR", "livesIn", '"Greater London"', (2000, 2004), 0.6))
+    return graph
+
+
+class TestLineFormat:
+    def test_round_trip(self, sample_graph):
+        text = tqlines.dumps(sample_graph)
+        parsed = tqlines.loads(text, name="sample")
+        assert len(parsed) == len(sample_graph)
+        assert ("CR", "coach", "Chelsea", (2000, 2004)) in parsed
+
+    def test_parse_line_paper_syntax(self):
+        fact = tqlines.parse_line("CR coach Chelsea [2000,2004] 0.9")
+        assert fact.interval == TimeInterval(2000, 2004)
+        assert fact.confidence == pytest.approx(0.9)
+
+    def test_parse_line_default_confidence(self):
+        assert tqlines.parse_line("CR coach Chelsea [2000,2004]").confidence == 1.0
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = tqlines.loads("# comment\n\nCR coach Chelsea [2000,2004] 0.9\n")
+        assert len(graph) == 1
+
+    def test_quoted_terms(self):
+        fact = tqlines.parse_line('CR livesIn "Greater London" [2000,2004] 0.5')
+        assert "Greater London" in str(fact.object)
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ParseError):
+            tqlines.parse_line("CR coach", line_number=3)
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ParseError):
+            tqlines.parse_line("CR coach Chelsea [2000,2004] high")
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ParseError):
+            tqlines.parse_line("CR coach Chelsea twentyyears 0.9")
+
+    def test_file_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tq"
+        tqlines.dump(sample_graph, path)
+        loaded = tqlines.load(path)
+        assert len(loaded) == len(sample_graph)
+        assert loaded.name == "graph"
+
+
+class TestCSV:
+    def test_round_trip(self, sample_graph):
+        text = csv_io.dumps(sample_graph)
+        parsed = csv_io.loads(text, name="sample")
+        assert len(parsed) == len(sample_graph)
+
+    def test_alias_columns(self):
+        text = "subject,predicate,object,valid_from,valid_to,score\nCR,coach,Chelsea,2000,2004,0.9\n"
+        graph = csv_io.loads(text)
+        fact = graph.facts()[0]
+        assert fact.interval == TimeInterval(2000, 2004)
+        assert fact.confidence == pytest.approx(0.9)
+
+    def test_missing_end_defaults_to_instant(self):
+        text = "subject,predicate,object,start\nCR,birthDate,1951,1951\n"
+        assert csv_io.loads(text).facts()[0].interval == TimeInterval(1951, 1951)
+
+    def test_missing_confidence_defaults_to_one(self):
+        text = "subject,predicate,object,start,end\nCR,coach,Chelsea,2000,2004\n"
+        assert csv_io.loads(text).facts()[0].confidence == 1.0
+
+    def test_tsv_detection(self):
+        text = "subject\tpredicate\tobject\tstart\tend\nCR\tcoach\tChelsea\t2000\t2004\n"
+        assert len(csv_io.loads(text)) == 1
+
+    def test_missing_required_column_raises(self):
+        with pytest.raises(ParseError):
+            csv_io.loads("subject,predicate,start\nCR,coach,2000\n")
+
+    def test_bad_year_raises(self):
+        with pytest.raises(ParseError):
+            csv_io.loads("subject,predicate,object,start\nCR,coach,Chelsea,soon\n")
+
+    def test_file_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.csv"
+        csv_io.dump(sample_graph, path)
+        assert len(csv_io.load(path)) == len(sample_graph)
+
+
+class TestJSON:
+    def test_round_trip(self, sample_graph):
+        text = json_io.dumps(sample_graph)
+        parsed = json_io.loads(text)
+        assert len(parsed) == len(sample_graph)
+        assert parsed.name == "sample"
+
+    def test_short_and_long_keys(self):
+        document = '{"name": "t", "facts": [{"subject": "a", "predicate": "p", "object": "b", "time": [1, 2], "weight": 0.5}]}'
+        graph = json_io.loads(document)
+        assert graph.facts()[0].confidence == pytest.approx(0.5)
+
+    def test_interval_as_string(self):
+        document = '{"facts": [{"s": "a", "p": "p", "o": "b", "interval": "[3,4]"}]}'
+        assert json_io.loads(document).facts()[0].interval == TimeInterval(3, 4)
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ParseError):
+            json_io.loads('{"facts": [{"s": "a", "p": "p"}]}')
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ParseError):
+            json_io.loads("{not json")
+
+    def test_non_object_top_level_raises(self):
+        with pytest.raises(ParseError):
+            json_io.loads("[1, 2, 3]")
+
+    def test_file_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        json_io.dump(sample_graph, path)
+        assert len(json_io.load(path)) == len(sample_graph)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("extension", [".tq", ".csv", ".json"])
+    def test_load_save_by_extension(self, sample_graph, tmp_path, extension):
+        path = tmp_path / f"graph{extension}"
+        save_graph(sample_graph, path)
+        assert len(load_graph(path)) == len(sample_graph)
+
+    def test_unknown_extension_raises(self, sample_graph, tmp_path):
+        with pytest.raises(ParseError):
+            save_graph(sample_graph, tmp_path / "graph.xml")
+        with pytest.raises(ParseError):
+            load_graph(tmp_path / "graph.xml")

@@ -1,0 +1,63 @@
+"""Unit tests for namespace management."""
+
+import pytest
+
+from repro.errors import InvalidTermError
+from repro.kg import IRI, Namespace, NamespaceManager, default_namespace_manager
+
+
+class TestNamespace:
+    def test_term_building(self):
+        namespace = Namespace("wd", "http://www.wikidata.org/entity/")
+        assert namespace.term("Q42") == IRI("http://www.wikidata.org/entity/Q42")
+
+    def test_getitem(self):
+        namespace = Namespace("ex", "http://example.org/")
+        assert namespace["CR"] == IRI("http://example.org/CR")
+
+
+class TestNamespaceManager:
+    def test_bind_and_contains(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert "ex" in manager
+        assert "other" not in manager
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(InvalidTermError):
+            NamespaceManager().bind("", "http://example.org/")
+
+    def test_expand_known_prefix(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:CR") == IRI("http://example.org/CR")
+
+    def test_expand_unknown_prefix_passes_through(self):
+        manager = NamespaceManager()
+        assert manager.expand("unknown:CR") == IRI("unknown:CR")
+
+    def test_expand_plain_name(self):
+        assert NamespaceManager().expand("CR") == IRI("CR")
+
+    def test_compact_picks_longest_match(self):
+        manager = NamespaceManager()
+        manager.bind("wd", "http://www.wikidata.org/")
+        manager.bind("wde", "http://www.wikidata.org/entity/")
+        compacted = manager.compact(IRI("http://www.wikidata.org/entity/Q42"))
+        assert compacted == "wde:Q42"
+
+    def test_compact_without_match(self):
+        manager = NamespaceManager()
+        assert manager.compact(IRI("http://nowhere.org/x")) == "http://nowhere.org/x"
+
+    def test_iteration(self):
+        manager = NamespaceManager()
+        manager.bind("a", "http://a/")
+        manager.bind("b", "http://b/")
+        assert {namespace.prefix for namespace in manager} == {"a", "b"}
+
+    def test_default_manager_has_well_known_prefixes(self):
+        manager = default_namespace_manager()
+        assert "wd" in manager
+        assert "football" in manager
+        assert manager.expand("wdt:P54").value.startswith("http://www.wikidata.org/prop/")

@@ -1,0 +1,29 @@
+"""Unit tests for the triple pattern helper."""
+
+from repro.kg import IRI, Pattern, make_fact
+
+
+class TestPattern:
+    def test_wildcard_pattern_matches_everything(self):
+        fact = make_fact("CR", "coach", "Chelsea", (2000, 2004), 0.9)
+        assert Pattern().matches(fact)
+
+    def test_subject_filter(self):
+        fact = make_fact("CR", "coach", "Chelsea", (2000, 2004))
+        assert Pattern(subject=IRI("CR")).matches(fact)
+        assert not Pattern(subject=IRI("JM")).matches(fact)
+
+    def test_predicate_filter(self):
+        fact = make_fact("CR", "coach", "Chelsea", (2000, 2004))
+        assert Pattern(predicate=IRI("coach")).matches(fact)
+        assert not Pattern(predicate=IRI("playsFor")).matches(fact)
+
+    def test_object_filter(self):
+        fact = make_fact("CR", "coach", "Chelsea", (2000, 2004))
+        assert Pattern(object=IRI("Chelsea")).matches(fact)
+        assert not Pattern(object=IRI("Napoli")).matches(fact)
+
+    def test_combined_filters(self):
+        fact = make_fact("CR", "coach", "Chelsea", (2000, 2004))
+        assert Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Chelsea")).matches(fact)
+        assert not Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Napoli")).matches(fact)

@@ -1,0 +1,57 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro.kg import TemporalKnowledgeGraph, graph_stats, predicate_stats
+
+
+@pytest.fixture
+def graph():
+    graph = TemporalKnowledgeGraph(name="stats")
+    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+    graph.add(("CR", "coach", "Leicester", (2015, 2017), 0.7))
+    graph.add(("CR", "birthDate", 1951, (1951, 2017), 1.0))
+    graph.add(("JM", "coach", "Porto", (2002, 2004), 0.8))
+    return graph
+
+
+class TestPredicateStats:
+    def test_counts(self, graph):
+        stats = predicate_stats(graph, "coach")
+        assert stats.fact_count == 3
+        assert stats.subject_count == 2
+        assert stats.object_count == 3
+
+    def test_confidence_and_span(self, graph):
+        stats = predicate_stats(graph, "coach")
+        assert stats.mean_confidence == pytest.approx((0.9 + 0.7 + 0.8) / 3)
+        assert stats.min_year == 2000
+        assert stats.max_year == 2017
+
+    def test_missing_predicate(self, graph):
+        stats = predicate_stats(graph, "spouse")
+        assert stats.fact_count == 0
+        assert stats.mean_confidence == 0.0
+
+
+class TestGraphStats:
+    def test_overall_counts(self, graph):
+        stats = graph_stats(graph)
+        assert stats.fact_count == 4
+        assert stats.predicate_count == 2
+        assert stats.certain_fact_count == 1
+        assert stats.uncertain_fact_count == 3
+        assert stats.time_span == (1951, 2017)
+
+    def test_per_predicate_rows(self, graph):
+        stats = graph_stats(graph)
+        rows = stats.as_rows()
+        assert {row["predicate"] for row in rows} == {"coach", "birthDate"}
+        coach_row = next(row for row in rows if row["predicate"] == "coach")
+        assert coach_row["facts"] == 3
+
+    def test_empty_graph(self):
+        stats = graph_stats(TemporalKnowledgeGraph(name="empty"))
+        assert stats.fact_count == 0
+        assert stats.time_span is None
+        assert stats.mean_confidence == 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for UTKG validation."""
+
+import pytest
+
+from repro.kg import Severity, TemporalKnowledgeGraph, validate_graph
+from repro.temporal import TimeDomain
+
+
+@pytest.fixture
+def graph():
+    graph = TemporalKnowledgeGraph(name="validate")
+    graph.add(("CR", "birthDate", 1951, (1951, 2017), 1.0))
+    graph.add(("CR", "birthDate", 1953, (1953, 2017), 0.4))
+    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+    graph.add(("CR", "coach", "Leicester", (2015, 2017), 0.03))
+    return graph
+
+
+class TestValidation:
+    def test_clean_graph_ok(self):
+        graph = TemporalKnowledgeGraph()
+        graph.add(("a", "p", "b", (2000, 2001), 0.9))
+        report = validate_graph(graph)
+        assert report.ok
+        assert len(report) == 0
+
+    def test_out_of_domain_interval_is_error(self, graph):
+        report = validate_graph(graph, domain=TimeDomain(1990, 2020))
+        assert not report.ok
+        assert any(issue.code == "interval-outside-domain" for issue in report.errors)
+
+    def test_functional_predicate_clash_is_warning(self, graph):
+        report = validate_graph(graph, functional_predicates=["birthDate"])
+        assert report.ok  # warnings only
+        assert any(issue.code == "functional-predicate-clash" for issue in report.warnings)
+
+    def test_functional_predicate_without_clash(self):
+        graph = TemporalKnowledgeGraph()
+        graph.add(("a", "birthDate", 1950, (1950, 2000)))
+        graph.add(("b", "birthDate", 1960, (1960, 2000)))
+        report = validate_graph(graph, functional_predicates=["birthDate"])
+        assert not report.warnings
+
+    def test_long_interval_flagged(self, graph):
+        report = validate_graph(graph, max_duration=30)
+        assert any(issue.code == "interval-too-long" for issue in report.warnings)
+
+    def test_low_confidence_is_info(self, graph):
+        report = validate_graph(graph)
+        infos = [issue for issue in report.issues if issue.severity is Severity.INFO]
+        assert any(issue.code == "very-low-confidence" for issue in infos)
+
+    def test_issue_str_mentions_fact(self, graph):
+        report = validate_graph(graph, functional_predicates=["birthDate"])
+        text = str(report.warnings[0])
+        assert "functional-predicate-clash" in text
+        assert "birthDate" in text
+
+    def test_graph_domain_used_when_no_explicit_domain(self):
+        graph = TemporalKnowledgeGraph(domain=TimeDomain(1900, 2100))
+        graph.add(("a", "p", "b", (1950, 1960)))
+        assert validate_graph(graph).ok

@@ -1,0 +1,153 @@
+"""Unit tests for quad atoms and condition atoms."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.kg import IRI, make_fact
+from repro.logic import Substitution, var
+from repro.logic.atom import AllenAtom, Comparison, QuadAtom, TermEquality, evaluate_conditions
+from repro.logic.builder import quad
+from repro.logic.expressions import IntervalStart, Number
+from repro.temporal import TimeInterval
+
+
+@pytest.fixture
+def coach_fact():
+    return make_fact("CR", "coach", "Chelsea", (2000, 2004), 0.9)
+
+
+class TestQuadAtomMatch:
+    def test_match_binds_all_variables(self, coach_fact):
+        atom = quad("x", "coach", "y", "t")
+        result = atom.match(coach_fact, Substitution.empty())
+        assert result is not None
+        assert result.term(var("x")) == IRI("CR")
+        assert result.term(var("y")) == IRI("Chelsea")
+        assert result.interval(var("t")) == TimeInterval(2000, 2004)
+
+    def test_match_fails_on_wrong_predicate(self, coach_fact):
+        assert quad("x", "playsFor", "y", "t").match(coach_fact, Substitution.empty()) is None
+
+    def test_match_respects_existing_bindings(self, coach_fact):
+        atom = quad("x", "coach", "y", "t")
+        bound = Substitution.of({var("x"): IRI("JM")})
+        assert atom.match(coach_fact, bound) is None
+
+    def test_match_with_constant_object(self, coach_fact):
+        assert quad("x", "coach", "Chelsea", "t").match(coach_fact, Substitution.empty()) is not None
+        assert quad("x", "coach", "Arsenal", "t").match(coach_fact, Substitution.empty()) is None
+
+    def test_match_with_fixed_interval(self, coach_fact):
+        matching = QuadAtom(var("x"), IRI("coach"), var("y"), TimeInterval(2000, 2004))
+        not_matching = QuadAtom(var("x"), IRI("coach"), var("y"), TimeInterval(1999, 2004))
+        assert matching.match(coach_fact, Substitution.empty()) is not None
+        assert not_matching.match(coach_fact, Substitution.empty()) is None
+
+    def test_repeated_variable_must_agree(self):
+        fact = make_fact("CR", "knows", "CR", (1, 2))
+        other = make_fact("CR", "knows", "JM", (1, 2))
+        atom = quad("x", "knows", "x", "t")
+        assert atom.match(fact, Substitution.empty()) is not None
+        assert atom.match(other, Substitution.empty()) is None
+
+
+class TestQuadAtomIntrospection:
+    def test_variables(self):
+        atom = quad("x", "coach", "y", "t")
+        assert atom.variables() == {var("x"), var("y"), var("t")}
+        assert atom.entity_variables() == {var("x"), var("y")}
+        assert atom.interval_variable() == var("t")
+
+    def test_is_ground(self):
+        assert not quad("x", "coach", "y", "t").is_ground()
+        ground_atom = QuadAtom(IRI("CR"), IRI("coach"), IRI("Chelsea"), TimeInterval(1, 2))
+        assert ground_atom.is_ground()
+
+    def test_bound_pattern(self, coach_fact):
+        atom = quad("x", "coach", "y", "t")
+        substitution = Substitution.of({var("x"): IRI("CR")})
+        subject, predicate, obj = atom.bound_pattern(substitution)
+        assert subject == IRI("CR")
+        assert predicate == IRI("coach")
+        assert obj is None
+
+    def test_str(self):
+        assert str(quad("x", "coach", "y", "t")) == "quad(x, coach, y, t)"
+
+
+class TestQuadAtomInstantiate:
+    def test_instantiate_from_bindings(self):
+        atom = quad("x", "worksFor", "y", "t")
+        substitution = Substitution.of(
+            {var("x"): IRI("CR"), var("y"): IRI("Chelsea"), var("t"): TimeInterval(2000, 2004)}
+        )
+        fact = atom.instantiate(substitution, confidence=0.8)
+        assert fact.predicate == IRI("worksFor")
+        assert fact.interval == TimeInterval(2000, 2004)
+        assert fact.confidence == pytest.approx(0.8)
+
+    def test_instantiate_with_override_interval(self):
+        atom = quad("x", "livesIn", "z", "t")
+        substitution = Substitution.of({var("x"): IRI("CR"), var("z"): IRI("London")})
+        fact = atom.instantiate(substitution, interval=TimeInterval(2001, 2003))
+        assert fact.interval == TimeInterval(2001, 2003)
+
+    def test_instantiate_unbound_entity_raises(self):
+        atom = quad("x", "worksFor", "y", "t")
+        with pytest.raises(LogicError):
+            atom.instantiate(Substitution.of({var("x"): IRI("CR"), var("t"): TimeInterval(1, 2)}))
+
+    def test_instantiate_unbound_interval_raises(self):
+        atom = quad("x", "worksFor", "y", "t")
+        substitution = Substitution.of({var("x"): IRI("CR"), var("y"): IRI("Chelsea")})
+        with pytest.raises(LogicError):
+            atom.instantiate(substitution)
+
+
+class TestConditionAtoms:
+    def test_allen_atom_holds(self):
+        substitution = Substitution.of(
+            {var("t"): TimeInterval(2000, 2004), var("t2"): TimeInterval(2001, 2003)}
+        )
+        assert AllenAtom("overlaps", var("t"), var("t2")).holds(substitution)
+        assert not AllenAtom("disjoint", var("t"), var("t2")).holds(substitution)
+
+    def test_allen_atom_unknown_relation(self):
+        with pytest.raises(LogicError):
+            AllenAtom("near", var("t"), var("t2"))
+
+    def test_allen_atom_unbound_raises(self):
+        with pytest.raises(LogicError):
+            AllenAtom("overlaps", var("t"), var("t2")).holds(Substitution.empty())
+
+    def test_comparison(self):
+        substitution = Substitution.of({var("t"): TimeInterval(1984, 1986)})
+        condition = Comparison(IntervalStart(var("t")), "<", Number(1990))
+        assert condition.holds(substitution)
+        assert not Comparison(IntervalStart(var("t")), ">", Number(1990)).holds(substitution)
+
+    def test_term_equality(self):
+        substitution = Substitution.of({var("y"): IRI("Chelsea"), var("z"): IRI("Napoli")})
+        assert TermEquality(var("y"), var("z"), negated=True).holds(substitution)
+        assert not TermEquality(var("y"), var("z")).holds(substitution)
+        assert TermEquality(var("y"), IRI("Chelsea")).holds(substitution)
+
+    def test_term_equality_unbound_raises(self):
+        with pytest.raises(LogicError):
+            TermEquality(var("y"), var("z")).holds(Substitution.empty())
+
+    def test_evaluate_conditions_conjunction(self):
+        substitution = Substitution.of(
+            {var("t"): TimeInterval(2000, 2004), var("t2"): TimeInterval(2001, 2003)}
+        )
+        conditions = (
+            AllenAtom("overlaps", var("t"), var("t2")),
+            Comparison(IntervalStart(var("t")), "<", Number(2001)),
+        )
+        assert evaluate_conditions(conditions, substitution)
+        failing = conditions + (AllenAtom("disjoint", var("t"), var("t2")),)
+        assert not evaluate_conditions(failing, substitution)
+
+    def test_condition_str_forms(self):
+        assert str(AllenAtom("before", var("t"), var("t2"))) == "before(t, t2)"
+        assert "!=" in str(TermEquality(var("y"), var("z"), negated=True))

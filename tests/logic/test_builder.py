@@ -1,0 +1,115 @@
+"""Unit tests for the fluent builders and the constraints editor."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.kg import IRI, Literal, TemporalKnowledgeGraph
+from repro.logic import ConstraintEditor, ConstraintKind, Variable
+from repro.logic.builder import (
+    allen,
+    parse_interval_symbol,
+    parse_symbol,
+    quad,
+)
+from repro.temporal import TimeInterval
+
+
+class TestSymbolConventions:
+    def test_short_lowercase_is_variable(self):
+        assert parse_symbol("x") == Variable("x")
+        assert parse_symbol("t2") == Variable("t2")
+        assert parse_symbol("t'") == Variable("t'")
+
+    def test_explicit_question_mark_is_variable(self):
+        assert parse_symbol("?person") == Variable("person")
+
+    def test_longer_names_are_constants(self):
+        assert parse_symbol("playsFor") == IRI("playsFor")
+        assert parse_symbol("Chelsea") == IRI("Chelsea")
+
+    def test_capitalised_single_letter_is_constant(self):
+        assert parse_symbol("X") == IRI("X")
+
+    def test_numbers_become_literals(self):
+        assert parse_symbol(1951) == Literal.integer(1951)
+
+    def test_interval_symbol_variants(self):
+        assert parse_interval_symbol("t") == Variable("t")
+        assert parse_interval_symbol((2000, 2004)) == TimeInterval(2000, 2004)
+        assert parse_interval_symbol("[2000,2004]") == TimeInterval(2000, 2004)
+
+    def test_quad_rejects_literal_predicate(self):
+        with pytest.raises(LogicError):
+            quad("x", 42, "y", "t")
+
+    def test_allen_requires_variables(self):
+        with pytest.raises(LogicError):
+            allen("overlaps", "Chelsea", "t")
+
+
+class TestConstraintEditor:
+    @pytest.fixture
+    def graph(self):
+        graph = TemporalKnowledgeGraph(name="editor")
+        graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))
+        graph.add(("CR", "birthDate", 1951, (1951, 2017), 1.0))
+        graph.add(("CR", "worksFor", "Chelsea", (2000, 2004), 0.9))
+        return graph
+
+    def test_predicate_autocompletion(self, graph):
+        editor = ConstraintEditor(graph)
+        assert editor.complete("co") == ["coach"]
+        assert set(editor.complete("")) == {"coach", "birthDate", "worksFor"}
+
+    def test_relations_listed(self, graph):
+        editor = ConstraintEditor(graph)
+        assert "before" in editor.relations()
+        assert "overlaps" in editor.relations()
+
+    def test_relate_builds_paper_ui_example(self, graph):
+        # The paper's UI example: birthDate must be before worksFor.
+        editor = ConstraintEditor(graph)
+        constraint = editor.relate("birthDate", "worksFor", "before")
+        assert constraint.is_hard
+        assert constraint.predicates() == {"birthDate", "worksFor"}
+        assert constraint.kind is ConstraintKind.INCLUSION_DEPENDENCY
+
+    def test_relate_unknown_predicate_raises(self, graph):
+        editor = ConstraintEditor(graph)
+        with pytest.raises(LogicError):
+            editor.relate("coachedBy", "worksFor", "before")
+
+    def test_relate_unknown_relation_raises(self, graph):
+        editor = ConstraintEditor(graph)
+        with pytest.raises(LogicError):
+            editor.relate("birthDate", "worksFor", "sometimeAround")
+
+    def test_functional_over_time_is_c2_shape(self, graph):
+        constraint = ConstraintEditor(graph).functional_over_time("coach")
+        assert constraint.kind is ConstraintKind.DISJOINTNESS
+        assert constraint.is_hard
+        assert len(constraint.body) == 2
+
+    def test_soft_weight_passthrough(self, graph):
+        constraint = ConstraintEditor(graph).functional_over_time("coach", weight=2.0)
+        assert constraint.weight == 2.0
+
+    def test_unique_value_shape(self, graph):
+        constraint = ConstraintEditor(graph).unique_value("birthDate")
+        assert constraint.kind is ConstraintKind.EQUALITY_GENERATING
+
+    def test_mutually_exclusive(self, graph):
+        constraint = ConstraintEditor(graph).mutually_exclusive("coach", "worksFor")
+        assert constraint.kind is ConstraintKind.DISJOINTNESS
+
+    def test_editor_without_graph_accepts_any_predicate(self):
+        editor = ConstraintEditor()
+        constraint = editor.functional_over_time("coach")
+        assert constraint.predicates() == {"coach"}
+        assert editor.predicates() == []
+
+    def test_generated_names_are_unique(self, graph):
+        editor = ConstraintEditor(graph)
+        first = editor.functional_over_time("coach")
+        second = editor.functional_over_time("worksFor")
+        assert first.name != second.name

@@ -1,0 +1,102 @@
+"""Unit tests for arithmetic expressions in rule conditions."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.kg import IRI, Literal
+from repro.logic import Substitution, var
+from repro.logic.expressions import (
+    BinaryOp,
+    IntervalDuration,
+    IntervalEnd,
+    IntervalStart,
+    Number,
+    TermValue,
+    as_expression,
+)
+from repro.temporal import TimeInterval
+
+
+@pytest.fixture
+def bindings():
+    return Substitution.of(
+        {
+            var("t"): TimeInterval(1984, 1986),
+            var("t2"): TimeInterval(1951, 2017),
+            var("y"): Literal.integer(1951),
+            var("club"): IRI("Chelsea"),
+        }
+    )
+
+
+class TestLeaves:
+    def test_number(self, bindings):
+        assert Number(20).evaluate(bindings) == 20.0
+
+    def test_interval_accessors(self, bindings):
+        assert IntervalStart(var("t")).evaluate(bindings) == 1984
+        assert IntervalEnd(var("t")).evaluate(bindings) == 1986
+        assert IntervalDuration(var("t")).evaluate(bindings) == 3
+
+    def test_unbound_interval_raises(self, bindings):
+        with pytest.raises(LogicError):
+            IntervalStart(var("missing")).evaluate(bindings)
+
+    def test_term_value_numeric_literal(self, bindings):
+        assert TermValue(var("y")).evaluate(bindings) == 1951
+
+    def test_term_value_interval_uses_start(self, bindings):
+        assert TermValue(var("t")).evaluate(bindings) == 1984
+
+    def test_term_value_non_numeric_iri_raises(self, bindings):
+        with pytest.raises(LogicError):
+            TermValue(var("club")).evaluate(bindings)
+
+    def test_term_value_unbound_raises(self, bindings):
+        with pytest.raises(LogicError):
+            TermValue(var("nothing")).evaluate(bindings)
+
+    def test_variables_reported(self):
+        assert IntervalStart(var("t")).variables() == {var("t")}
+        assert Number(1).variables() == set()
+
+
+class TestBinaryOp:
+    def test_arithmetic(self, bindings):
+        expression = BinaryOp("-", IntervalStart(var("t")), TermValue(var("y")))
+        assert expression.evaluate(bindings) == 33  # age at start of Palermo spell
+
+    def test_nested(self, bindings):
+        expression = BinaryOp("*", Number(2), BinaryOp("+", Number(3), Number(4)))
+        assert expression.evaluate(bindings) == 14
+
+    def test_division_by_zero(self, bindings):
+        with pytest.raises(LogicError):
+            BinaryOp("/", Number(1), Number(0)).evaluate(bindings)
+
+    def test_unknown_operator(self):
+        with pytest.raises(LogicError):
+            BinaryOp("%", Number(1), Number(2))
+
+    def test_variables_union(self):
+        expression = BinaryOp("-", IntervalStart(var("t")), TermValue(var("y")))
+        assert expression.variables() == {var("t"), var("y")}
+
+    def test_str(self):
+        assert str(BinaryOp("-", Number(5), Number(2))) == "(5 - 2)"
+
+
+class TestAsExpression:
+    def test_pass_through(self):
+        expression = Number(1)
+        assert as_expression(expression) is expression
+
+    def test_number_coercion(self):
+        assert as_expression(20).evaluate(Substitution.empty()) == 20.0
+
+    def test_variable_coercion(self, bindings):
+        assert as_expression(var("y")).evaluate(bindings) == 1951
+
+    def test_invalid_value(self):
+        with pytest.raises(LogicError):
+            as_expression(object())

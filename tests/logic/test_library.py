@@ -1,0 +1,88 @@
+"""Unit tests for the predefined rule/constraint library."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    available_packs,
+    biography_pack,
+    constraint_c1,
+    constraint_c2,
+    constraint_c3,
+    load_pack,
+    rule_f1,
+    rule_f2,
+    rule_f3,
+    running_example_constraints,
+    running_example_pack,
+    running_example_rules,
+    sports_pack,
+)
+
+
+class TestRunningExampleDefinitions:
+    def test_rule_weights_match_paper(self):
+        assert rule_f1().weight == 2.5
+        assert rule_f2().weight == 1.6
+        assert rule_f3().weight == 2.9
+
+    def test_rule_predicates_match_paper(self):
+        assert rule_f1().predicates() == {"playsFor", "worksFor"}
+        assert rule_f2().predicates() == {"worksFor", "locatedIn", "livesIn"}
+        assert "type" in rule_f3().predicates()
+
+    def test_f2_has_intersection_head_interval(self):
+        assert rule_f2().head_interval is not None
+
+    def test_constraints_are_hard(self):
+        assert constraint_c1().is_hard
+        assert constraint_c2().is_hard
+        assert constraint_c3().is_hard
+
+    def test_c2_can_be_softened(self):
+        assert constraint_c2(weight=2.0).weight == 2.0
+
+    def test_running_example_sets(self):
+        assert [rule.name for rule in running_example_rules()] == ["f1", "f2", "f3"]
+        assert [constraint.name for constraint in running_example_constraints()] == ["c1", "c2", "c3"]
+
+
+class TestPacks:
+    def test_available_packs(self):
+        assert set(available_packs()) == {"running-example", "sports", "biography"}
+
+    def test_load_pack_by_name(self):
+        pack = load_pack("sports")
+        assert pack.name == "sports"
+        assert len(pack.rules) == 3
+        assert len(pack.constraints) >= 5
+
+    def test_unknown_pack_raises(self):
+        with pytest.raises(LogicError):
+            load_pack("astronomy")
+
+    def test_running_example_pack_is_exactly_the_paper(self):
+        pack = running_example_pack()
+        assert len(pack.rules) == 3
+        assert len(pack.constraints) == 3
+
+    def test_sports_pack_has_plays_for_constraint(self):
+        names = {constraint.name for constraint in sports_pack().constraints}
+        assert "onePlaysFor" in names
+        assert "bornBeforePlaying" in names
+
+    def test_biography_pack_relations(self):
+        pack = biography_pack()
+        predicates = set()
+        for constraint in pack.constraints:
+            predicates |= constraint.predicates()
+        assert {"spouse", "educatedAt", "memberOf", "occupation"} <= predicates
+
+    def test_biography_pack_has_soft_constraint(self):
+        pack = biography_pack()
+        assert any(not constraint.is_hard for constraint in pack.constraints)
+
+    def test_pack_constraints_are_independent_instances(self):
+        first = load_pack("running-example").constraints
+        second = load_pack("running-example").constraints
+        assert first is not second

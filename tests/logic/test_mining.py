@@ -1,0 +1,107 @@
+"""Unit tests for the constraint/rule suggestion miner."""
+
+import pytest
+
+from repro import TeCoRe
+from repro.datasets import FootballDBConfig, generate_footballdb
+from repro.kg import TemporalKnowledgeGraph
+from repro.logic import ConstraintKind
+from repro.logic.mining import ConstraintMiner, suggest_constraints
+
+
+@pytest.fixture(scope="module")
+def career_graph():
+    """A clean multi-person career graph with clear temporal regularities."""
+    graph = TemporalKnowledgeGraph(name="mining")
+    for index in range(12):
+        person = f"P{index}"
+        birth = 1950 + index
+        graph.add((person, "birthDate", birth, (birth, birth), 1.0))
+        graph.add((person, "playsFor", f"Club{index % 4}", (birth + 18, birth + 22), 0.9))
+        graph.add((person, "playsFor", f"Club{(index + 1) % 4}", (birth + 23, birth + 27), 0.85))
+        # Every playsFor spell is accompanied by a worksFor spell (implication).
+        graph.add((person, "worksFor", f"Club{index % 4}", (birth + 18, birth + 22), 0.9))
+        graph.add((person, "worksFor", f"Club{(index + 1) % 4}", (birth + 23, birth + 27), 0.85))
+    return graph
+
+
+class TestConstraintMiner:
+    def test_functional_over_time_suggested(self, career_graph):
+        miner = ConstraintMiner(min_support=5)
+        suggestions = miner.suggest_functional(career_graph)
+        by_description = {s.description: s for s in suggestions}
+        assert any("playsFor" in description for description in by_description)
+        plays = next(s for s in suggestions if "playsFor" in s.description)
+        assert plays.confidence == 1.0
+        assert plays.constraint is not None
+        assert plays.constraint.is_hard
+        assert plays.constraint.kind is ConstraintKind.DISJOINTNESS
+
+    def test_precedence_suggested(self, career_graph):
+        miner = ConstraintMiner(min_support=5)
+        suggestions = miner.suggest_precedence(career_graph)
+        descriptions = [s.description for s in suggestions]
+        assert any("birthDate starts before playsFor" in d for d in descriptions)
+        # The converse direction must NOT be suggested.
+        assert not any("playsFor starts before birthDate" in d for d in descriptions)
+
+    def test_implication_rule_suggested(self, career_graph):
+        miner = ConstraintMiner(min_support=5)
+        suggestions = miner.suggest_implications(career_graph)
+        rules = [s for s in suggestions if s.rule is not None]
+        assert any("playsFor(x, y, t) implies worksFor(x, y, t)" in s.description for s in rules)
+        mined = next(s for s in rules if "playsFor(x, y, t) implies worksFor" in s.description)
+        assert mined.rule.weight is not None and mined.rule.weight > 0
+
+    def test_suggest_sorts_by_confidence(self, career_graph):
+        suggestions = suggest_constraints(career_graph, min_support=5)
+        confidences = [s.confidence for s in suggestions]
+        assert confidences == sorted(confidences, reverse=True)
+        assert all(s.support >= 5 for s in suggestions)
+
+    def test_min_support_filters(self, career_graph):
+        strict = ConstraintMiner(min_support=10_000)
+        assert strict.suggest(career_graph) == []
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ConstraintMiner(soft_threshold=0.99, hard_threshold=0.9)
+
+    def test_soft_constraint_for_mostly_functional_predicate(self):
+        graph = TemporalKnowledgeGraph(name="mostly")
+        # 11 conforming subjects, 1 violating subject -> confidence ~0.92.
+        for index in range(11):
+            graph.add((f"P{index}", "spouse", f"A{index}", (1990, 1999), 0.9))
+            graph.add((f"P{index}", "spouse", f"B{index}", (2001, 2010), 0.9))
+        graph.add(("P99", "spouse", "X", (1990, 1999), 0.9))
+        graph.add(("P99", "spouse", "Y", (1995, 2005), 0.9))
+        miner = ConstraintMiner(min_support=5, hard_threshold=0.99, soft_threshold=0.8)
+        suggestions = miner.suggest_functional(graph)
+        assert len(suggestions) == 1
+        constraint = suggestions[0].constraint
+        assert constraint is not None
+        assert not constraint.is_hard
+        assert constraint.weight > 0
+
+    def test_no_suggestions_on_empty_graph(self):
+        assert suggest_constraints(TemporalKnowledgeGraph(name="empty")) == []
+
+
+class TestMinedConstraintsEndToEnd:
+    def test_mined_constraints_repair_noisy_footballdb(self):
+        """Mine constraints from clean data, then use them to debug noisy data."""
+        clean = generate_footballdb(FootballDBConfig(scale=0.02, noise_ratio=0.0, seed=3))
+        miner = ConstraintMiner(min_support=20, hard_threshold=0.97, soft_threshold=0.8)
+        mined = [s.constraint for s in miner.suggest(clean.graph) if s.constraint is not None]
+        assert mined, "mining clean FootballDB must yield at least one constraint"
+
+        noisy = generate_footballdb(FootballDBConfig(scale=0.02, noise_ratio=0.5, seed=4))
+        system = TeCoRe(constraints=mined, solver="nrockit")
+        result = system.resolve(noisy.graph)
+        assert result.statistics.removed_facts > 0
+        # Mined constraints should mostly hit the planted noise.
+        from repro.metrics import repair_quality
+
+        quality = repair_quality(result.removed_facts, noisy.noise_facts)
+        assert quality.precision > 0.6
+        assert quality.recall > 0.4

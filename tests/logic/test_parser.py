@@ -1,0 +1,172 @@
+"""Unit tests for the Datalog-style rule/constraint parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.kg import IRI
+from repro.logic import (
+    Substitution,
+    TemporalConstraint,
+    TemporalRule,
+    parse_constraint,
+    parse_program,
+    parse_rule,
+    parse_statement,
+    var,
+)
+from repro.logic.atom import AllenAtom, Comparison, TermEquality
+from repro.temporal import TimeInterval
+
+
+class TestParseRule:
+    def test_f1(self):
+        rule = parse_rule("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5")
+        assert rule.name == "f1"
+        assert rule.weight == 2.5
+        assert len(rule.body) == 1
+        assert rule.head.predicate == IRI("worksFor")
+
+    def test_f2_with_intersection_head(self):
+        rule = parse_rule(
+            "f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t2) & overlaps(t, t2)"
+            " -> quad(x, livesIn, z, intersection(t, t2)) w=1.6"
+        )
+        assert len(rule.body) == 2
+        assert len(rule.conditions) == 1
+        assert isinstance(rule.conditions[0], AllenAtom)
+        assert rule.head_interval is not None
+        bindings = {"t": TimeInterval(2000, 2004), "t2": TimeInterval(2002, 2010)}
+        assert rule.head_interval.evaluate(bindings) == TimeInterval(2002, 2004)
+
+    def test_f3_with_arithmetic_condition(self):
+        rule = parse_rule(
+            "f3: quad(x, playsFor, y, t) & quad(x, birthDate, z, t2)"
+            " & start(t) - start(t2) < 20 -> quad(x, type, TeenPlayer, t) w=2.9"
+        )
+        assert len(rule.conditions) == 1
+        condition = rule.conditions[0]
+        assert isinstance(condition, Comparison)
+        substitution = Substitution.of(
+            {var("t"): TimeInterval(1970, 1972), var("t2"): TimeInterval(1951, 2017)}
+        )
+        assert condition.holds(substitution)
+
+    def test_default_weight_is_one(self):
+        rule = parse_rule("quad(x, hasP, y, t) -> quad(x, hasQ, y, t)")
+        assert rule.weight == 1.0
+        assert rule.name.startswith("stmt")
+
+    def test_infinite_weight_makes_hard_rule(self):
+        rule = parse_rule("quad(x, hasP, y, t) -> quad(x, hasQ, y, t) w=inf")
+        assert rule.is_hard
+
+    def test_comma_separator(self):
+        rule = parse_rule("r: quad(x, hasP, y, t), quad(y, hasQ, z, t2) -> quad(x, hasR, z, t)")
+        assert len(rule.body) == 2
+
+    def test_parse_rule_rejects_constraint(self):
+        with pytest.raises(ParseError):
+            parse_rule("c: quad(x, hasP, y, t) & quad(x, hasP, z, t2) -> disjoint(t, t2)")
+
+
+class TestParseConstraint:
+    def test_c1(self):
+        constraint = parse_constraint(
+            "c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t2) -> before(t, t2)"
+        )
+        assert constraint.is_hard
+        assert len(constraint.head_conditions) == 1
+
+    def test_c2(self):
+        constraint = parse_constraint(
+            "c2: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z -> disjoint(t, t2)"
+        )
+        assert isinstance(constraint.body_conditions[0], TermEquality)
+        assert constraint.body_conditions[0].negated
+        assert isinstance(constraint.head_conditions[0], AllenAtom)
+        assert constraint.is_hard
+
+    def test_c3(self):
+        constraint = parse_constraint(
+            "c3: quad(x, bornIn, y, t) & quad(x, bornIn, z, t2) & overlaps(t, t2) -> y = z"
+        )
+        head = constraint.head_conditions[0]
+        assert isinstance(head, TermEquality)
+        assert not head.negated
+
+    def test_soft_constraint_weight(self):
+        constraint = parse_constraint(
+            "c: quad(x, hasP, y, t) & quad(x, hasP, z, t2) & y != z -> disjoint(t, t2) w=1.5"
+        )
+        assert constraint.weight == 1.5
+
+    def test_parse_constraint_rejects_rule(self):
+        with pytest.raises(ParseError):
+            parse_constraint("quad(x, hasP, y, t) -> quad(x, hasQ, y, t)")
+
+
+class TestParseStatementErrors:
+    def test_empty_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("   ")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_statement("quad(x, hasP, y, t) & quad(x, hasQ, y, t)")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_statement("quad(x, hasP, y, t -> quad(x, hasQ, y, t)")
+
+    def test_junk_character(self):
+        with pytest.raises(ParseError):
+            parse_statement("quad(x, hasP, y, t) -> quad(x, hasQ, y, t) €")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("quad(x, hasP, y, t) -> quad(x, hasQ, y, t) quad(a, b, c, d)")
+
+    def test_body_without_quad_atom(self):
+        with pytest.raises(ParseError):
+            parse_statement("overlaps(t, t2) -> quad(x, hasP, y, t)")
+
+    def test_bad_weight(self):
+        with pytest.raises(ParseError):
+            parse_statement("quad(x, hasP, y, t) -> quad(x, hasQ, y, t) w=heavy")
+
+
+class TestParseProgram:
+    PROGRAM = """
+    # the running example
+    f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+    f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t2) & overlaps(t, t2)
+        -> quad(x, livesIn, z, intersection(t, t2)) w=1.6
+
+    c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t2) -> before(t, t2)
+    c2: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z -> disjoint(t, t2)
+    """
+
+    def test_rules_and_constraints_split(self):
+        program = parse_program(self.PROGRAM)
+        assert len(program.rules) == 2
+        assert len(program.constraints) == 2
+        assert {rule.name for rule in program.rules} == {"f1", "f2"}
+        assert {constraint.name for constraint in program.constraints} == {"c1", "c2"}
+
+    def test_multiline_statement_joined(self):
+        program = parse_program(self.PROGRAM)
+        f2 = next(rule for rule in program.rules if rule.name == "f2")
+        assert len(f2.body) == 2
+
+    def test_comments_ignored(self):
+        program = parse_program("# only a comment\n\n")
+        assert len(program) == 0
+
+    def test_unlabelled_statements_get_names(self):
+        program = parse_program("quad(x, hasP, y, t) -> quad(x, hasQ, y, t)\n")
+        assert program.rules[0].name == "stmt1"
+
+    def test_round_trip_types(self):
+        program = parse_program(self.PROGRAM)
+        assert all(isinstance(rule, TemporalRule) for rule in program.rules)
+        assert all(isinstance(constraint, TemporalConstraint) for constraint in program.constraints)

@@ -1,0 +1,82 @@
+"""Unit tests for variables and substitutions."""
+
+from repro.kg import IRI, Literal
+from repro.logic import Substitution, Variable, var
+from repro.temporal import TimeInterval
+
+
+class TestVariable:
+    def test_identity(self):
+        assert Variable("x") == var("x")
+        assert Variable("x") != Variable("y")
+
+    def test_str(self):
+        assert str(var("t")) == "?t"
+
+    def test_hashable_and_ordered(self):
+        assert sorted([var("z"), var("a")]) == [var("a"), var("z")]
+        assert len({var("x"), var("x"), var("y")}) == 2
+
+
+class TestSubstitution:
+    def test_empty(self):
+        substitution = Substitution.empty()
+        assert len(substitution) == 0
+        assert substitution.get(var("x")) is None
+        assert var("x") not in substitution
+
+    def test_bind_and_get(self):
+        substitution = Substitution.empty().bind(var("x"), IRI("CR"))
+        assert substitution.get(var("x")) == IRI("CR")
+        assert var("x") in substitution
+
+    def test_bind_same_value_is_noop(self):
+        first = Substitution.empty().bind(var("x"), IRI("CR"))
+        second = first.bind(var("x"), IRI("CR"))
+        assert second is first
+
+    def test_bind_clash_returns_none(self):
+        substitution = Substitution.empty().bind(var("x"), IRI("CR"))
+        assert substitution.bind(var("x"), IRI("JM")) is None
+
+    def test_immutability(self):
+        base = Substitution.empty()
+        extended = base.bind(var("x"), IRI("CR"))
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_of_mapping(self):
+        substitution = Substitution.of({var("x"): IRI("CR"), var("t"): TimeInterval(1, 2)})
+        assert len(substitution) == 2
+
+    def test_term_and_interval_accessors(self):
+        substitution = Substitution.of({var("x"): IRI("CR"), var("t"): TimeInterval(1, 2)})
+        assert substitution.term(var("x")) == IRI("CR")
+        assert substitution.term(var("t")) is None
+        assert substitution.interval(var("t")) == TimeInterval(1, 2)
+        assert substitution.interval(var("x")) is None
+
+    def test_intervals_keyed_by_name(self):
+        substitution = Substitution.of({var("t"): TimeInterval(1, 2), var("x"): Literal("a")})
+        assert substitution.intervals() == {"t": TimeInterval(1, 2)}
+
+    def test_merge_compatible(self):
+        first = Substitution.of({var("x"): IRI("CR")})
+        second = Substitution.of({var("y"): IRI("Chelsea")})
+        merged = first.merge(second)
+        assert merged is not None
+        assert len(merged) == 2
+
+    def test_merge_conflicting(self):
+        first = Substitution.of({var("x"): IRI("CR")})
+        second = Substitution.of({var("x"): IRI("JM")})
+        assert first.merge(second) is None
+
+    def test_as_dict_and_iteration(self):
+        substitution = Substitution.of({var("x"): IRI("CR")})
+        assert substitution.as_dict() == {var("x"): IRI("CR")}
+        assert list(substitution) == [(var("x"), IRI("CR"))]
+
+    def test_str(self):
+        text = str(Substitution.of({var("x"): IRI("CR")}))
+        assert "x=CR" in text

@@ -1,0 +1,165 @@
+"""Unit tests for the MLN MAP back-ends (exact and approximate).
+
+All back-ends are exercised on the same small programs so their answers can be
+compared: the exact solvers must agree on the optimal objective, and the
+approximate ones must produce feasible states that are not wildly worse.
+"""
+
+import pytest
+
+from repro.errors import InfeasibleProgramError, SolverNotAvailableError
+from repro.kg import TemporalKnowledgeGraph, make_fact
+from repro.logic import ClauseKind, GroundProgram, ground, running_example_constraints, running_example_rules
+from repro.mln import (
+    BranchAndBoundSolver,
+    CuttingPlaneSolver,
+    ILPMapSolver,
+    MaxWalkSATSolver,
+    available_backends,
+    make_solver,
+    solve_map,
+)
+
+EXACT_BACKENDS = ["ilp", "cutting-plane", "branch-and-bound"]
+ALL_BACKENDS = EXACT_BACKENDS + ["maxwalksat"]
+
+
+def _conflict_program():
+    """Three facts, two of which conflict (the stronger one should win)."""
+    program = GroundProgram()
+    strong = program.add_atom(make_fact("x", "coach", "A", (1, 5), 0.9), is_evidence=True)
+    weak = program.add_atom(make_fact("x", "coach", "B", (2, 4), 0.6), is_evidence=True)
+    free = program.add_atom(make_fact("x", "birthDate", 1950, (1950, 2000), 0.8), is_evidence=True)
+    for atom in (strong, weak, free):
+        program.add_clause([(atom.index, True)], atom.fact.log_weight, ClauseKind.EVIDENCE, "e")
+    program.add_clause([(strong.index, False), (weak.index, False)], None, ClauseKind.CONSTRAINT, "c2")
+    return program, strong, weak, free
+
+
+def _infeasible_program():
+    """A single certain fact that a hard constraint forbids on both branches."""
+    program = GroundProgram()
+    atom = program.add_atom(make_fact("x", "p", "A", (1, 5), 0.9), is_evidence=True)
+    program.add_clause([(atom.index, True)], None, ClauseKind.CONSTRAINT, "must-be-true")
+    program.add_clause([(atom.index, False)], None, ClauseKind.CONSTRAINT, "must-be-false")
+    return program
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"ilp", "cutting-plane", "branch-and-bound", "maxwalksat"}
+
+    def test_make_solver_unknown(self):
+        with pytest.raises(SolverNotAvailableError):
+            make_solver("gurobi")
+
+    def test_make_solver_kwargs(self):
+        solver = make_solver("maxwalksat", max_flips=10, seed=1)
+        assert solver.max_flips == 10
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestAllBackendsOnConflict:
+    def test_resolves_conflict_keeping_stronger_fact(self, backend):
+        program, strong, weak, free = _conflict_program()
+        solution = solve_map(program, backend=backend)
+        assert solution.assignment[strong.index] is True
+        assert solution.assignment[weak.index] is False
+        assert solution.assignment[free.index] is True
+
+    def test_solution_is_feasible(self, backend):
+        program, *_ = _conflict_program()
+        solution = solve_map(program, backend=backend)
+        assert program.is_feasible(solution.assignment)
+
+    def test_stats_populated(self, backend):
+        program, *_ = _conflict_program()
+        solution = solve_map(program, backend=backend)
+        assert solution.stats.atoms == program.num_atoms
+        assert solution.stats.clauses == program.num_clauses
+        assert solution.stats.runtime_seconds >= 0.0
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+class TestExactBackends:
+    def test_optimal_objective_agrees(self, backend, running_example_grounding):
+        program = running_example_grounding.program
+        reference = solve_map(program, backend="ilp").objective
+        solution = solve_map(program, backend=backend)
+        assert solution.objective == pytest.approx(reference, abs=1e-6)
+
+    def test_running_example_removes_napoli(self, backend, running_example_grounding):
+        program = running_example_grounding.program
+        solution = solve_map(program, backend=backend)
+        removed = {str(fact.object) for fact in solution.removed_facts(program)}
+        assert removed == {"Napoli"}
+
+    def test_infeasible_program_raises(self, backend):
+        with pytest.raises(InfeasibleProgramError):
+            solve_map(_infeasible_program(), backend=backend)
+
+
+class TestMaxWalkSAT:
+    def test_deterministic_given_seed(self, running_example_grounding):
+        program = running_example_grounding.program
+        first = MaxWalkSATSolver(seed=42).solve(program)
+        second = MaxWalkSATSolver(seed=42).solve(program)
+        assert first.assignment == second.assignment
+
+    def test_close_to_optimal_on_running_example(self, running_example_grounding):
+        program = running_example_grounding.program
+        optimal = ILPMapSolver().solve(program).objective
+        approximate = MaxWalkSATSolver(seed=1).solve(program).objective
+        assert approximate >= optimal - 1.0
+
+    def test_not_marked_optimal(self, running_example_grounding):
+        solution = MaxWalkSATSolver().solve(running_example_grounding.program)
+        assert solution.stats.optimal is False
+
+
+class TestCuttingPlane:
+    def test_matches_full_ilp_on_larger_graph(self, small_noisy_footballdb):
+        from repro.logic import sports_pack
+
+        pack = sports_pack()
+        result = ground(small_noisy_footballdb.graph, pack.rules, pack.constraints)
+        full = ILPMapSolver().solve(result.program)
+        cpa = CuttingPlaneSolver().solve(result.program)
+        assert cpa.objective == pytest.approx(full.objective, rel=1e-6)
+
+    def test_reports_active_clause_count(self, running_example_grounding):
+        solution = CuttingPlaneSolver().solve(running_example_grounding.program)
+        extras = dict(solution.stats.extra)
+        assert "active_clauses" in extras
+        assert extras["active_clauses"] <= running_example_grounding.program.num_clauses
+
+
+class TestBranchAndBound:
+    def test_additive_bound_mode(self, running_example_grounding):
+        program = running_example_grounding.program
+        solver = BranchAndBoundSolver(use_lp_bound=False)
+        reference = ILPMapSolver().solve(program).objective
+        assert solver.solve(program).objective == pytest.approx(reference, abs=1e-6)
+
+    def test_respects_node_budget(self, running_example_grounding):
+        solver = BranchAndBoundSolver(max_nodes=1)
+        solution = solver.solve(running_example_grounding.program)
+        # With an exhausted budget the solver still returns a feasible incumbent.
+        assert running_example_grounding.program.is_feasible(solution.assignment)
+
+
+class TestDerivedFactsInSolution:
+    def test_derived_kept_facts_listed(self, running_example_grounding):
+        program = running_example_grounding.program
+        solution = solve_map(program, backend="ilp")
+        derived = {str(fact.predicate) for fact in solution.derived_kept_facts(program)}
+        assert "worksFor" in derived
+
+    def test_kept_plus_removed_covers_evidence(self, running_example_grounding):
+        program = running_example_grounding.program
+        solution = solve_map(program, backend="ilp")
+        kept_keys = {fact.statement_key for fact in solution.kept_facts(program)}
+        removed_keys = {fact.statement_key for fact in solution.removed_facts(program)}
+        evidence_keys = {atom.fact.statement_key for atom in program.evidence_atoms()}
+        assert evidence_keys <= (kept_keys | removed_keys)
+        assert not (kept_keys & removed_keys)

@@ -1,0 +1,62 @@
+"""Property-based round-trip tests for the graph serialisation formats."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kg import TemporalKnowledgeGraph, make_fact
+from repro.kg.io import csv_io, json_io, tqlines
+from repro.temporal import TimeInterval
+
+_names = st.text(
+    alphabet=st.sampled_from("abcdefgXYZ0123456789_"), min_size=1, max_size=12
+).filter(lambda s: not s.startswith("_"))
+
+_facts = st.builds(
+    lambda s, p, o, start, length, confidence: make_fact(
+        s, p, o, TimeInterval(start, start + length), round(confidence, 3)
+    ),
+    _names,
+    _names,
+    _names,
+    st.integers(min_value=1900, max_value=2050),
+    st.integers(min_value=0, max_value=30),
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+)
+
+_graphs = st.lists(_facts, min_size=0, max_size=15).map(
+    lambda facts: TemporalKnowledgeGraph(facts, name="prop")
+)
+
+
+def _statements(graph):
+    return {fact.statement_key for fact in graph}
+
+
+class TestRoundTrips:
+    @given(_graphs)
+    @settings(max_examples=50, deadline=None)
+    def test_tqlines_round_trip(self, graph):
+        restored = tqlines.loads(tqlines.dumps(graph), name=graph.name)
+        assert _statements(restored) == _statements(graph)
+        for original, reloaded in zip(sorted(graph), sorted(restored)):
+            assert abs(original.confidence - reloaded.confidence) < 1e-9
+
+    @given(_graphs)
+    @settings(max_examples=50, deadline=None)
+    def test_csv_round_trip(self, graph):
+        restored = csv_io.loads(csv_io.dumps(graph), name=graph.name)
+        assert _statements(restored) == _statements(graph)
+
+    @given(_graphs)
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip(self, graph):
+        restored = json_io.loads(json_io.dumps(graph), name=graph.name)
+        assert _statements(restored) == _statements(graph)
+        assert restored.name == graph.name
+
+    @given(_graphs)
+    @settings(max_examples=30, deadline=None)
+    def test_formats_agree_with_each_other(self, graph):
+        via_lines = tqlines.loads(tqlines.dumps(graph))
+        via_csv = csv_io.loads(csv_io.dumps(graph))
+        via_json = json_io.loads(json_io.dumps(graph))
+        assert _statements(via_lines) == _statements(via_csv) == _statements(via_json)

@@ -1,0 +1,22 @@
+"""Unit tests for the PSL template program."""
+
+import pytest
+
+from repro.psl import PSLProgram
+from repro.logic import constraint_c2, rule_f1, running_example_constraints, running_example_rules
+
+
+class TestPSLProgram:
+    def test_extend_and_counts(self):
+        program = PSLProgram()
+        program.extend(rules=[rule_f1()], constraints=[constraint_c2()])
+        assert program.num_formulas == 2
+
+    def test_ground_validates_expressivity(self, ranieri):
+        program = PSLProgram(rules=running_example_rules(), constraints=running_example_constraints())
+        result = program.ground(ranieri)
+        assert result.program.num_atoms >= len(ranieri)
+        assert len(result.violations) == 1
+
+    def test_repr(self):
+        assert "rules=1" in repr(PSLProgram(rules=[rule_f1()]))

@@ -1,0 +1,76 @@
+"""Unit tests for solver capabilities and expressivity checks."""
+
+import pytest
+
+from repro.errors import ExpressivityError
+from repro.kg import make_fact
+from repro.logic import ClauseKind, GroundProgram
+from repro.solvers import (
+    LOCAL_SEARCH_CAPABILITIES,
+    MLN_CAPABILITIES,
+    PSL_CAPABILITIES,
+    SolverCapabilities,
+    check_expressivity,
+)
+
+
+def _program_with_clause(literals, weight):
+    program = GroundProgram()
+    for index in range(max(i for i, _ in literals) + 1):
+        program.add_atom(make_fact(f"s{index}", "p", "o", (1, 2), 0.9), is_evidence=True)
+    program.add_clause(literals, weight, ClauseKind.RULE, "test")
+    return program
+
+
+class TestBuiltinCapabilities:
+    def test_mln_is_exact_and_expressive(self):
+        assert MLN_CAPABILITIES.exact
+        assert MLN_CAPABILITIES.max_positive_literals_per_clause is None
+
+    def test_psl_is_scalable_but_restricted(self):
+        assert PSL_CAPABILITIES.scalable
+        assert not PSL_CAPABILITIES.exact
+        assert PSL_CAPABILITIES.max_positive_literals_per_clause == 1
+
+    def test_local_search_not_exact(self):
+        assert not LOCAL_SEARCH_CAPABILITIES.exact
+
+
+class TestCheckExpressivity:
+    def test_conflict_clause_fits_psl(self):
+        program = _program_with_clause([(0, False), (1, False)], None)
+        check_expressivity(program, PSL_CAPABILITIES)  # no error
+
+    def test_rule_clause_fits_psl(self):
+        program = _program_with_clause([(0, False), (1, True)], 2.5)
+        check_expressivity(program, PSL_CAPABILITIES)
+
+    def test_two_positive_literals_rejected_by_psl(self):
+        program = _program_with_clause([(0, True), (1, True)], 2.5)
+        with pytest.raises(ExpressivityError):
+            check_expressivity(program, PSL_CAPABILITIES)
+        check_expressivity(program, MLN_CAPABILITIES)  # fine for MLN
+
+    def test_hard_clause_rejected_when_unsupported(self):
+        no_hard = SolverCapabilities(name="nohard", exact=False, supports_hard_constraints=False)
+        program = _program_with_clause([(0, False), (1, False)], None)
+        with pytest.raises(ExpressivityError):
+            check_expressivity(program, no_hard)
+
+    def test_negative_literals_rejected_when_unsupported(self):
+        positive_only = SolverCapabilities(
+            name="positive", exact=False, supports_negative_clauses=False
+        )
+        program = _program_with_clause([(0, False), (1, True)], 1.0)
+        with pytest.raises(ExpressivityError):
+            check_expressivity(program, positive_only)
+
+    def test_clause_length_bound(self):
+        short_only = SolverCapabilities(name="short", exact=False, max_clause_length=2)
+        program = _program_with_clause([(0, False), (1, False), (2, False)], None)
+        with pytest.raises(ExpressivityError):
+            check_expressivity(program, short_only)
+
+    def test_running_example_fits_both_families(self, running_example_grounding):
+        check_expressivity(running_example_grounding.program, MLN_CAPABILITIES)
+        check_expressivity(running_example_grounding.program, PSL_CAPABILITIES)

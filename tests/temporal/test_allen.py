@@ -1,0 +1,143 @@
+"""Unit tests for Allen's interval algebra."""
+
+import pytest
+
+from repro.temporal import (
+    ALL_RELATIONS,
+    AllenRelation,
+    TimeInterval,
+    before,
+    compose,
+    disjoint,
+    evaluate_predicate,
+    overlaps,
+    relation_between,
+)
+from repro.temporal.allen import CONSTRAINT_PREDICATES, shares_point
+
+
+class TestBasicRelations:
+    def test_thirteen_relations_exist(self):
+        assert len(ALL_RELATIONS) == 13
+
+    def test_before_after(self):
+        a, b = TimeInterval(1, 2), TimeInterval(4, 6)
+        assert AllenRelation.BEFORE.holds(a, b)
+        assert AllenRelation.AFTER.holds(b, a)
+
+    def test_meets_met_by(self):
+        # Discrete reading: "meets" is adjacency with no gap and no shared point.
+        a, b = TimeInterval(1, 2), TimeInterval(3, 6)
+        assert AllenRelation.MEETS.holds(a, b)
+        assert AllenRelation.MET_BY.holds(b, a)
+
+    def test_shared_boundary_point_is_overlap_not_meets(self):
+        # Closed intervals sharing their boundary year overlap in the discrete
+        # algebra (they are simultaneously true at that year).
+        a, b = TimeInterval(1, 3), TimeInterval(3, 6)
+        assert AllenRelation.OVERLAPS.holds(a, b)
+        assert not AllenRelation.MEETS.holds(a, b)
+
+    def test_overlaps_strict(self):
+        a, b = TimeInterval(1, 4), TimeInterval(3, 6)
+        assert AllenRelation.OVERLAPS.holds(a, b)
+        assert not AllenRelation.OVERLAPS.holds(b, a)
+
+    def test_during_contains(self):
+        inner, outer = TimeInterval(3, 4), TimeInterval(1, 6)
+        assert AllenRelation.DURING.holds(inner, outer)
+        assert AllenRelation.CONTAINS.holds(outer, inner)
+
+    def test_starts_finishes(self):
+        assert AllenRelation.STARTS.holds(TimeInterval(1, 3), TimeInterval(1, 6))
+        assert AllenRelation.FINISHES.holds(TimeInterval(4, 6), TimeInterval(1, 6))
+
+    def test_equals(self):
+        assert AllenRelation.EQUALS.holds(TimeInterval(2, 5), TimeInterval(2, 5))
+
+    def test_inverse_pairs(self):
+        for relation in ALL_RELATIONS:
+            assert relation.inverse.inverse is relation
+
+    def test_equals_is_self_inverse(self):
+        assert AllenRelation.EQUALS.inverse is AllenRelation.EQUALS
+
+
+class TestRelationBetween:
+    def test_exactly_one_relation_holds(self):
+        intervals = [TimeInterval(s, e) for s in range(0, 5) for e in range(s, 5)]
+        for a in intervals:
+            for b in intervals:
+                holding = [relation for relation in ALL_RELATIONS if relation.holds(a, b)]
+                assert len(holding) == 1
+                assert relation_between(a, b) is holding[0]
+
+    def test_inverse_consistency(self):
+        a, b = TimeInterval(1, 4), TimeInterval(2, 9)
+        assert relation_between(a, b).inverse is relation_between(b, a)
+
+
+class TestConstraintPredicates:
+    def test_inclusive_overlaps_at_boundary(self):
+        # The paper's overlaps/disjoint are inclusive: sharing one point counts.
+        assert overlaps(TimeInterval(2000, 2004), TimeInterval(2004, 2010))
+        assert not disjoint(TimeInterval(2000, 2004), TimeInterval(2004, 2010))
+
+    def test_paper_c2_conflict(self):
+        # Chelsea [2000,2004] vs Napoli [2001,2003] violate disjointness.
+        assert not disjoint(TimeInterval(2000, 2004), TimeInterval(2001, 2003))
+
+    def test_paper_c2_no_conflict(self):
+        # Chelsea [2000,2004] vs Leicester [2015,2017] are fine.
+        assert disjoint(TimeInterval(2000, 2004), TimeInterval(2015, 2017))
+
+    def test_before_predicate(self):
+        assert before(TimeInterval(1951, 1951), TimeInterval(2000, 2004))
+        assert not before(TimeInterval(1951, 2017), TimeInterval(2000, 2004))
+
+    def test_evaluate_predicate_by_name(self):
+        assert evaluate_predicate("overlaps", TimeInterval(1, 5), TimeInterval(3, 9))
+        assert evaluate_predicate("within", TimeInterval(3, 4), TimeInterval(1, 9))
+        with pytest.raises(KeyError):
+            evaluate_predicate("sometimeNear", TimeInterval(1, 2), TimeInterval(3, 4))
+
+    def test_all_predicates_callable(self):
+        a, b = TimeInterval(1, 4), TimeInterval(2, 6)
+        for name, predicate in CONSTRAINT_PREDICATES.items():
+            assert isinstance(predicate(a, b), bool), name
+
+    def test_shares_point(self):
+        assert shares_point(AllenRelation.OVERLAPS)
+        assert shares_point(AllenRelation.EQUALS)
+        assert not shares_point(AllenRelation.BEFORE)
+        # For closed discrete intervals MEETS shares its boundary point, but the
+        # classic algebra classifies it as non-sharing; we follow the classic table.
+        assert not shares_point(AllenRelation.MEETS)
+
+
+class TestComposition:
+    def test_before_before_is_before(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.BEFORE) == frozenset(
+            {AllenRelation.BEFORE}
+        )
+
+    def test_equals_is_identity(self):
+        for relation in ALL_RELATIONS:
+            assert compose(AllenRelation.EQUALS, relation) == frozenset({relation})
+            assert compose(relation, AllenRelation.EQUALS) == frozenset({relation})
+
+    def test_composition_is_sound(self):
+        # Spot-check: every concrete triple must be consistent with the table.
+        intervals = [TimeInterval(s, e) for s in range(0, 4) for e in range(s, 4)]
+        for a in intervals:
+            for b in intervals:
+                for c in intervals:
+                    r1 = relation_between(a, b)
+                    r2 = relation_between(b, c)
+                    assert relation_between(a, c) in compose(r1, r2)
+
+    def test_during_composed_with_contains_is_wide(self):
+        result = compose(AllenRelation.DURING, AllenRelation.CONTAINS)
+        assert AllenRelation.EQUALS in result
+        assert AllenRelation.DURING in result
+        assert len(result) > 3

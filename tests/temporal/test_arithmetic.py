@@ -1,0 +1,87 @@
+"""Unit tests for temporal arithmetic predicates and interval expressions."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.temporal import (
+    IntervalExpression,
+    TimeInterval,
+    compare,
+    difference,
+    gap_between,
+)
+from repro.temporal.arithmetic import INTERVAL_BINARY_FUNCTIONS, INTERVAL_FUNCTIONS
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<", 2, 2, False),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("=", 5, 5, True),
+            ("==", 5, 6, False),
+            ("!=", 5, 6, True),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        assert compare(op, left, right) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(LogicError):
+            compare("<>", 1, 2)
+
+
+class TestIntervalExpression:
+    def test_variable(self):
+        bindings = {"t": TimeInterval(2000, 2004)}
+        assert IntervalExpression.variable("t").evaluate(bindings) == TimeInterval(2000, 2004)
+
+    def test_intersection_of_paper_rule_f2(self):
+        bindings = {"t": TimeInterval(2000, 2004), "t2": TimeInterval(2001, 2010)}
+        expression = IntervalExpression.intersection("t", "t2")
+        assert expression.evaluate(bindings) == TimeInterval(2001, 2004)
+
+    def test_intersection_empty_returns_none(self):
+        bindings = {"t": TimeInterval(1, 2), "t2": TimeInterval(5, 6)}
+        assert IntervalExpression.intersection("t", "t2").evaluate(bindings) is None
+
+    def test_union_spans(self):
+        bindings = {"a": TimeInterval(1, 2), "b": TimeInterval(5, 6)}
+        assert IntervalExpression.union("a", "b").evaluate(bindings) == TimeInterval(1, 6)
+
+    def test_shift(self):
+        bindings = {"t": TimeInterval(2000, 2002)}
+        assert IntervalExpression.shift("t", 3).evaluate(bindings) == TimeInterval(2003, 2005)
+
+    def test_unbound_variable_gives_none(self):
+        assert IntervalExpression.variable("missing").evaluate({}) is None
+
+    def test_str_forms(self):
+        assert "∩" in str(IntervalExpression.intersection("t", "t2"))
+        assert str(IntervalExpression.variable("t")) == "t"
+
+
+class TestIntervalFunctions:
+    def test_unary_functions(self):
+        interval = TimeInterval(2000, 2004)
+        assert INTERVAL_FUNCTIONS["start"](interval) == 2000
+        assert INTERVAL_FUNCTIONS["end"](interval) == 2004
+        assert INTERVAL_FUNCTIONS["duration"](interval) == 5
+
+    def test_gap_between(self):
+        assert gap_between(TimeInterval(1, 3), TimeInterval(7, 9)) == 3
+        assert gap_between(TimeInterval(7, 9), TimeInterval(1, 3)) == 3
+        assert gap_between(TimeInterval(1, 5), TimeInterval(3, 9)) == 0
+
+    def test_difference_uses_start_points(self):
+        # The paper's f3 reading: age at the start of an engagement.
+        plays = TimeInterval(1984, 1986)
+        birth = TimeInterval(1951, 2017)
+        assert difference(plays, birth) == 33
+
+    def test_binary_function_table(self):
+        assert set(INTERVAL_BINARY_FUNCTIONS) == {"gap", "diff"}

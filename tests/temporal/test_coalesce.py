@@ -1,0 +1,57 @@
+"""Unit tests for temporal coalescing."""
+
+from repro.temporal import TimeInterval, coalesce_intervals, coalesce_weighted, group_and_coalesce
+
+
+class TestCoalesceIntervals:
+    def test_merges_overlapping(self):
+        assert coalesce_intervals([TimeInterval(1, 5), TimeInterval(3, 8)]) == [TimeInterval(1, 8)]
+
+    def test_merges_adjacent(self):
+        assert coalesce_intervals([TimeInterval(1, 3), TimeInterval(4, 6)]) == [TimeInterval(1, 6)]
+
+    def test_keeps_gaps(self):
+        result = coalesce_intervals([TimeInterval(1, 2), TimeInterval(5, 6)])
+        assert result == [TimeInterval(1, 2), TimeInterval(5, 6)]
+
+    def test_unsorted_input(self):
+        result = coalesce_intervals([TimeInterval(5, 6), TimeInterval(1, 2), TimeInterval(2, 5)])
+        assert result == [TimeInterval(1, 6)]
+
+    def test_empty(self):
+        assert coalesce_intervals([]) == []
+
+    def test_preserves_coverage(self):
+        intervals = [TimeInterval(1, 4), TimeInterval(2, 3), TimeInterval(8, 9), TimeInterval(9, 12)]
+        merged = coalesce_intervals(intervals)
+        covered = {point for interval in intervals for point in interval}
+        merged_points = {point for interval in merged for point in interval}
+        assert merged_points == covered
+
+
+class TestCoalesceWeighted:
+    def test_keeps_max_confidence_by_default(self):
+        result = coalesce_weighted([(TimeInterval(1, 3), 0.4), (TimeInterval(2, 6), 0.9)])
+        assert result == [(TimeInterval(1, 6), 0.9)]
+
+    def test_custom_combiner(self):
+        result = coalesce_weighted(
+            [(TimeInterval(1, 3), 0.4), (TimeInterval(2, 6), 0.6)], combine=lambda a, b: a + b
+        )
+        assert result == [(TimeInterval(1, 6), 1.0)]
+
+    def test_disjoint_kept_separate(self):
+        result = coalesce_weighted([(TimeInterval(1, 2), 0.5), (TimeInterval(9, 10), 0.7)])
+        assert len(result) == 2
+
+
+class TestGroupAndCoalesce:
+    def test_groups_by_key(self):
+        items = [
+            ("chelsea", TimeInterval(2000, 2002)),
+            ("chelsea", TimeInterval(2002, 2004)),
+            ("leicester", TimeInterval(2015, 2017)),
+        ]
+        grouped = group_and_coalesce(items)
+        assert grouped["chelsea"] == [TimeInterval(2000, 2004)]
+        assert grouped["leicester"] == [TimeInterval(2015, 2017)]

@@ -1,0 +1,148 @@
+"""Unit tests for closed discrete time intervals."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.temporal import TimeInterval, span_of, total_coverage
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = TimeInterval(2000, 2004)
+        assert interval.start == 2000
+        assert interval.end == 2004
+
+    def test_instant(self):
+        instant = TimeInterval.instant(1951)
+        assert instant.start == instant.end == 1951
+        assert instant.is_instant()
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(2005, 2000)
+
+    def test_duration_is_inclusive(self):
+        assert TimeInterval(2000, 2004).duration == 5
+        assert TimeInterval.instant(3).duration == 1
+
+    def test_equality_and_hash(self):
+        assert TimeInterval(1, 2) == TimeInterval(1, 2)
+        assert hash(TimeInterval(1, 2)) == hash(TimeInterval(1, 2))
+        assert TimeInterval(1, 2) != TimeInterval(1, 3)
+
+    def test_ordering(self):
+        assert sorted([TimeInterval(3, 4), TimeInterval(1, 9), TimeInterval(1, 2)]) == [
+            TimeInterval(1, 2),
+            TimeInterval(1, 9),
+            TimeInterval(3, 4),
+        ]
+
+
+class TestParse:
+    def test_parse_paper_syntax(self):
+        assert TimeInterval.parse("[2000,2004]") == TimeInterval(2000, 2004)
+
+    def test_parse_dash_syntax(self):
+        assert TimeInterval.parse("2000-2004") == TimeInterval(2000, 2004)
+
+    def test_parse_instant(self):
+        assert TimeInterval.parse("1951") == TimeInterval(1951, 1951)
+
+    def test_parse_with_spaces(self):
+        assert TimeInterval.parse("[ 1984 , 1986 ]") == TimeInterval(1984, 1986)
+
+    def test_str_round_trip(self):
+        interval = TimeInterval(2015, 2017)
+        assert TimeInterval.parse(str(interval)) == interval
+
+
+class TestMembershipAndIteration:
+    def test_contains_point(self):
+        interval = TimeInterval(2000, 2004)
+        assert 2000 in interval
+        assert 2004 in interval
+        assert 2005 not in interval
+        assert 1999 not in interval
+
+    def test_contains_rejects_non_ints(self):
+        assert "2001" not in TimeInterval(2000, 2004)
+        assert True not in TimeInterval(0, 1)
+
+    def test_iteration_and_points(self):
+        assert list(TimeInterval(1, 4)) == [1, 2, 3, 4]
+        assert TimeInterval(1, 4).points() == [1, 2, 3, 4]
+
+
+class TestRelations:
+    def test_overlaps_inclusive_boundary(self):
+        assert TimeInterval(2000, 2004).overlaps(TimeInterval(2004, 2010))
+        assert not TimeInterval(2000, 2004).overlaps(TimeInterval(2005, 2010))
+
+    def test_disjoint_is_complement_of_overlaps(self):
+        a, b = TimeInterval(1, 3), TimeInterval(5, 7)
+        assert a.disjoint(b)
+        assert not a.overlaps(b)
+
+    def test_contains_interval(self):
+        assert TimeInterval(2000, 2004).contains(TimeInterval(2001, 2003))
+        assert not TimeInterval(2001, 2003).contains(TimeInterval(2000, 2004))
+        assert TimeInterval(2000, 2004).contains(TimeInterval(2000, 2004))
+
+    def test_strictly_before_after(self):
+        assert TimeInterval(1984, 1986).strictly_before(TimeInterval(2000, 2004))
+        assert TimeInterval(2000, 2004).strictly_after(TimeInterval(1984, 1986))
+
+    def test_meets_and_adjacent(self):
+        assert TimeInterval(1, 3).meets(TimeInterval(3, 5))
+        assert TimeInterval(1, 3).adjacent(TimeInterval(4, 6))
+        assert not TimeInterval(1, 3).adjacent(TimeInterval(5, 6))
+
+
+class TestOperations:
+    def test_intersection_of_paper_conflict(self):
+        # Facts (1) and (5) of the running example overlap in 2001-2003.
+        assert TimeInterval(2000, 2004).intersect(TimeInterval(2001, 2003)) == TimeInterval(2001, 2003)
+
+    def test_intersection_empty(self):
+        assert TimeInterval(1, 2).intersect(TimeInterval(4, 5)) is None
+
+    def test_union_overlapping(self):
+        assert TimeInterval(1, 5).union(TimeInterval(3, 8)) == TimeInterval(1, 8)
+
+    def test_union_adjacent(self):
+        assert TimeInterval(1, 3).union(TimeInterval(4, 6)) == TimeInterval(1, 6)
+
+    def test_union_disjoint_is_none(self):
+        assert TimeInterval(1, 2).union(TimeInterval(9, 10)) is None
+
+    def test_span_ignores_gaps(self):
+        assert TimeInterval(1, 2).span(TimeInterval(9, 10)) == TimeInterval(1, 10)
+
+    def test_minus_middle_split(self):
+        pieces = TimeInterval(1, 10).minus(TimeInterval(4, 6))
+        assert pieces == [TimeInterval(1, 3), TimeInterval(7, 10)]
+
+    def test_minus_no_overlap(self):
+        assert TimeInterval(1, 3).minus(TimeInterval(5, 9)) == [TimeInterval(1, 3)]
+
+    def test_minus_total(self):
+        assert TimeInterval(4, 6).minus(TimeInterval(1, 10)) == []
+
+    def test_shift(self):
+        assert TimeInterval(2000, 2004).shift(10) == TimeInterval(2010, 2014)
+
+    def test_clamp(self):
+        assert TimeInterval(1990, 2010).clamp(2000, 2005) == TimeInterval(2000, 2005)
+        assert TimeInterval(1990, 1995).clamp(2000, 2005) is None
+
+
+class TestAggregates:
+    def test_span_of(self):
+        assert span_of([TimeInterval(3, 4), TimeInterval(1, 2)]) == TimeInterval(1, 4)
+        assert span_of([]) is None
+
+    def test_total_coverage_merges_overlaps(self):
+        assert total_coverage([TimeInterval(1, 3), TimeInterval(2, 5)]) == 5
+
+    def test_total_coverage_disjoint(self):
+        assert total_coverage([TimeInterval(1, 2), TimeInterval(10, 11)]) == 4

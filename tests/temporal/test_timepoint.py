@@ -1,0 +1,62 @@
+"""Unit tests for the discrete time domain."""
+
+import pytest
+
+from repro.errors import TimeDomainError
+from repro.temporal import DEFAULT_DOMAIN, TimeDomain
+
+
+class TestTimeDomain:
+    def test_contains(self):
+        domain = TimeDomain(1950, 2020)
+        assert 1950 in domain
+        assert 2020 in domain
+        assert 1949 not in domain
+        assert 2021 not in domain
+
+    def test_contains_rejects_non_integers(self):
+        domain = TimeDomain(0, 10)
+        assert "5" not in domain
+        assert 5.0 not in domain
+        assert True not in domain
+
+    def test_reversed_domain_rejected(self):
+        with pytest.raises(TimeDomainError):
+            TimeDomain(2000, 1990)
+
+    def test_len_and_iteration(self):
+        domain = TimeDomain(1, 5)
+        assert len(domain) == 5
+        assert list(domain) == [1, 2, 3, 4, 5]
+
+    def test_validate(self):
+        domain = TimeDomain(0, 10)
+        assert domain.validate(5) == 5
+        with pytest.raises(TimeDomainError):
+            domain.validate(11)
+
+    def test_clamp(self):
+        domain = TimeDomain(0, 10)
+        assert domain.clamp(-5) == 0
+        assert domain.clamp(15) == 10
+        assert domain.clamp(7) == 7
+
+    def test_expand(self):
+        domain = TimeDomain(2000, 2010)
+        wider = domain.expand(1990)
+        assert 1990 in wider
+        assert wider.end == 2010
+        assert domain.expand(2005) is domain
+
+    def test_spanning(self):
+        domain = TimeDomain.spanning([1984, 2017, 1951])
+        assert domain.start == 1951
+        assert domain.end == 2017
+
+    def test_spanning_empty_rejected(self):
+        with pytest.raises(TimeDomainError):
+            TimeDomain.spanning([])
+
+    def test_default_domain_covers_modern_years(self):
+        assert 1951 in DEFAULT_DOMAIN
+        assert 2017 in DEFAULT_DOMAIN

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import ranieri_graph
+from repro.kg.io import save_graph
+
+
+@pytest.fixture
+def ranieri_file(tmp_path):
+    path = tmp_path / "ranieri.tq"
+    save_graph(ranieri_graph(), path)
+    return path
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "rules.dl"
+    path.write_text(
+        "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5\n"
+        "c2: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z -> disjoint(t, t2)\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestListingCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "footballdb" in out and "ranieri" in out
+
+    def test_solvers(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "nrockit" in out and "npsl" in out
+
+    def test_packs(self, capsys):
+        assert main(["packs"]) == 0
+        out = capsys.readouterr().out
+        assert "running-example" in out and "sports" in out
+
+
+class TestStats:
+    def test_stats_for_registered_dataset(self, capsys):
+        assert main(["stats", "--dataset", "ranieri"]) == 0
+        out = capsys.readouterr().out
+        assert "5 facts" in out
+
+    def test_stats_for_graph_file(self, capsys, ranieri_file):
+        assert main(["stats", "--graph", str(ranieri_file)]) == 0
+        assert "coach" in capsys.readouterr().out
+
+    def test_stats_requires_input(self, capsys):
+        assert main(["stats"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDetect:
+    def test_detect_with_pack(self, capsys):
+        assert main(["detect", "--dataset", "ranieri", "--pack", "running-example"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicting facts" in out
+
+    def test_detect_json(self, capsys):
+        assert main(["detect", "--dataset", "ranieri", "--pack", "running-example", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == 1
+        assert payload["conflicting_facts"] == 2
+
+    def test_detect_requires_constraints(self, capsys):
+        assert main(["detect", "--dataset", "ranieri"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestResolve:
+    def test_resolve_running_example(self, capsys):
+        exit_code = main(
+            ["resolve", "--dataset", "ranieri", "--pack", "running-example", "--solver", "nrockit"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Napoli" in out
+        assert "removed facts" in out
+
+    def test_resolve_json_output(self, capsys):
+        exit_code = main(
+            ["resolve", "--dataset", "ranieri", "--pack", "running-example", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["statistics"]["removed_facts"] == 1
+
+    def test_resolve_from_files(self, capsys, ranieri_file, program_file):
+        exit_code = main(
+            [
+                "resolve",
+                "--graph", str(ranieri_file),
+                "--program", str(program_file),
+                "--solver", "npsl",
+            ]
+        )
+        assert exit_code == 0
+        assert "Napoli" in capsys.readouterr().out
+
+    def test_resolve_with_threshold(self, capsys):
+        exit_code = main(
+            [
+                "resolve",
+                "--dataset", "ranieri",
+                "--pack", "running-example",
+                "--threshold", "0.95",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["statistics"]["inferred_facts"] == 0
+
+    def test_resolve_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["resolve", "--dataset", "ranieri", "--pack", "running-example", "--solver", "gurobi"])

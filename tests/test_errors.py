@@ -1,0 +1,54 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            errors.TemporalError,
+            errors.InvalidIntervalError,
+            errors.TimeDomainError,
+            errors.KGError,
+            errors.InvalidTermError,
+            errors.InvalidFactError,
+            errors.ParseError,
+            errors.LogicError,
+            errors.UnificationError,
+            errors.GroundingError,
+            errors.UnsafeRuleError,
+            errors.TranslationError,
+            errors.ExpressivityError,
+            errors.SolverError,
+            errors.InfeasibleProgramError,
+            errors.SolverNotAvailableError,
+            errors.DatasetError,
+        ],
+    )
+    def test_everything_derives_from_tecore_error(self, exception_type):
+        assert issubclass(exception_type, errors.TecoreError)
+
+    def test_expressivity_is_translation_error(self):
+        assert issubclass(errors.ExpressivityError, errors.TranslationError)
+
+    def test_infeasible_is_solver_error(self):
+        assert issubclass(errors.InfeasibleProgramError, errors.SolverError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.TecoreError):
+            raise errors.InvalidFactError("boom")
+
+
+class TestParseErrorFormatting:
+    def test_location_information(self):
+        error = errors.ParseError("bad token", line=7, source="rules.dl")
+        assert "rules.dl" in str(error)
+        assert "line 7" in str(error)
+        assert error.line == 7
+        assert error.source == "rules.dl"
+
+    def test_without_location(self):
+        assert str(errors.ParseError("bad token")) == "bad token"

@@ -1,0 +1,49 @@
+"""Smoke tests for the runnable example scripts.
+
+Each example is imported and executed with a tiny workload so the documented
+entry points stay working; the heavier default parameters are exercised by the
+benchmarks instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, argv: list[str]) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script), *argv]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "Reproduced Figure 7" in out
+
+    def test_footballdb_debugging_small_scale(self, capsys):
+        _run_example("footballdb_debugging.py", ["0.005"])
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "static (no time)" in out
+
+    def test_wikidata_inference_small_scale(self, capsys):
+        _run_example("wikidata_inference.py", ["0.0002"])
+        out = capsys.readouterr().out
+        assert "Derived facts surviving each confidence threshold" in out
+
+    def test_custom_constraints(self, capsys):
+        _run_example("custom_constraints.py", [])
+        out = capsys.readouterr().out
+        assert "Editor-built constraints" in out
+        assert "npsl" in out

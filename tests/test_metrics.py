@@ -1,0 +1,68 @@
+"""Unit tests for repair-quality metrics."""
+
+import pytest
+
+from repro.kg import make_fact
+from repro.metrics import RepairQuality, assignment_agreement, jaccard, repair_quality, retention_rate
+
+
+def _facts(names):
+    return [make_fact("s", "p", name, (1, 2), 0.5) for name in names]
+
+
+class TestRepairQuality:
+    def test_perfect_repair(self):
+        noise = _facts(["a", "b"])
+        quality = repair_quality(removed=noise, planted_noise=noise)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_partial_repair(self):
+        noise = _facts(["a", "b", "c", "d"])
+        removed = _facts(["a", "b", "x"])
+        quality = repair_quality(removed, noise)
+        assert quality.true_positives == 2
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 2
+        assert quality.precision == pytest.approx(2 / 3)
+        assert quality.recall == pytest.approx(0.5)
+        assert 0.0 < quality.f1 < 1.0
+
+    def test_no_removals(self):
+        quality = repair_quality([], _facts(["a"]))
+        assert quality.precision == 1.0  # vacuous
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_no_noise(self):
+        quality = repair_quality(_facts(["a"]), [])
+        assert quality.recall == 1.0
+        assert quality.precision == 0.0
+
+    def test_as_dict(self):
+        quality = RepairQuality(1, 1, 0)
+        data = quality.as_dict()
+        assert data["precision"] == pytest.approx(0.5)
+        assert data["recall"] == 1.0
+
+
+class TestOtherMetrics:
+    def test_retention_rate(self):
+        original = _facts(["a", "b", "c", "d"])
+        kept = _facts(["a", "b", "c"])
+        assert retention_rate(kept, original) == pytest.approx(0.75)
+        assert retention_rate([], []) == 1.0
+
+    def test_assignment_agreement(self):
+        assert assignment_agreement([True, False, True], [True, True, True]) == pytest.approx(2 / 3)
+        assert assignment_agreement([], []) == 1.0
+        with pytest.raises(ValueError):
+            assignment_agreement([True], [True, False])
+
+    def test_jaccard(self):
+        first = _facts(["a", "b"])
+        second = _facts(["b", "c"])
+        assert jaccard(first, second) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+        assert jaccard(first, first) == 1.0
