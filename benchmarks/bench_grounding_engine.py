@@ -1,0 +1,203 @@
+"""A8 — indexed grounding engine: semi-naive vs rescan-everything.
+
+Grounding is TeCoRe's scalability bottleneck (the paper's nRockIt-vs-PSL
+discussion is about everything *after* the shared grounding front-end).  This
+benchmark pins the speedup of the indexed semi-naive engine over the naive
+reference engine on the scalability workload — FootballDB plus the sports
+pack, extended with team locations (so rule f2 fires) and a thin geographic
+rule chain that forces multi-round forward chaining, the regime where the
+naive engine re-joins the whole graph every round.
+
+Two guarantees are asserted, not just reported:
+
+* the two engines produce identical ground programs (canonical signatures);
+* the indexed engine grounds the workload at least ``MIN_SPEEDUP`` (3×)
+  faster than the naive engine.
+
+A second section measures the batched serving shape:
+``TeCoRe.resolve_batch`` over many graphs versus one-shot ``resolve`` calls.
+"""
+
+import time
+
+import pytest
+
+from conftest import format_rows, record_report
+from repro import TeCoRe
+from repro.datasets import FootballDBConfig, generate_footballdb
+from repro.datasets.footballdb import TEAM_NAMES
+from repro.logic import (
+    IndexedGrounder,
+    NaiveGrounder,
+    RuleBuilder,
+    quad,
+    sports_pack,
+)
+
+#: The acceptance floor for the indexed engine on the scalability workload.
+MIN_SPEEDUP = 3.0
+
+#: FootballDB scale of the headline workload (≈2.9k facts at 50% noise).
+SCALE = 0.1
+
+#: Thin multi-round rule chain over the team-location facts: each link fires
+#: on only ~32 facts, but forces the naive engine into another full re-join.
+CHAIN_PREDICATES = (
+    "locatedIn",
+    "inCity",
+    "inMetroArea",
+    "inRegion",
+    "inState",
+    "inCountry",
+    "inContinent",
+)
+
+MAX_ROUNDS = 10
+REPEATS = 3
+
+
+def chained_workload(scale: float):
+    """FootballDB + sports pack + locations + geographic chain rules."""
+    dataset = generate_footballdb(
+        FootballDBConfig(scale=scale, noise_ratio=0.5, seed=2017)
+    )
+    graph = dataset.graph.copy(name=f"footballdb-chained-{scale}")
+    for team in TEAM_NAMES:
+        graph.add((team, "locatedIn", f"{team}City", (1940, 2020), 0.95))
+    pack = sports_pack()
+    chain_rules = [
+        RuleBuilder(f"geo{index}")
+        .body(quad("y", source, "z", "t"))
+        .head(quad("y", target, "z", "t"))
+        .weight(1.2)
+        .build()
+        for index, (source, target) in enumerate(
+            zip(CHAIN_PREDICATES, CHAIN_PREDICATES[1:])
+        )
+    ]
+    return graph, list(pack.rules) + chain_rules, list(pack.constraints)
+
+
+def time_grounding(engine_class, graph, rules, constraints, repeats=REPEATS):
+    """Best-of-N wall-clock grounding time plus the last result."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = engine_class(
+            graph, rules=rules, constraints=constraints, max_rounds=MAX_ROUNDS
+        ).ground()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def engine_sweep():
+    """Measure both engines across FootballDB scales (once per session)."""
+    series = {}
+    for scale in (0.02, 0.05, SCALE):
+        graph, rules, constraints = chained_workload(scale)
+        naive_seconds, naive_result = time_grounding(
+            NaiveGrounder, graph, rules, constraints
+        )
+        indexed_seconds, indexed_result = time_grounding(
+            IndexedGrounder, graph, rules, constraints
+        )
+        assert (
+            naive_result.program.canonical_signature()
+            == indexed_result.program.canonical_signature()
+        ), f"engines disagree at scale {scale}"
+        series[scale] = {
+            "facts": len(graph),
+            "rounds": indexed_result.rounds,
+            "atoms": indexed_result.program.num_atoms,
+            "clauses": indexed_result.program.num_clauses,
+            "naive_ms": naive_seconds * 1000.0,
+            "indexed_ms": indexed_seconds * 1000.0,
+        }
+    return series
+
+
+def test_indexed_engine_speedup(benchmark, engine_sweep):
+    """The tentpole claim: ≥3× on the scalability workload, same program."""
+    graph, rules, constraints = chained_workload(SCALE)
+
+    def ground_indexed():
+        return IndexedGrounder(
+            graph, rules=rules, constraints=constraints, max_rounds=MAX_ROUNDS
+        ).ground()
+
+    result = benchmark(ground_indexed)
+    assert result.rounds >= len(CHAIN_PREDICATES) - 2
+
+    entry = engine_sweep[SCALE]
+    speedup = entry["naive_ms"] / entry["indexed_ms"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"indexed grounder only {speedup:.2f}x faster than naive "
+        f"({entry['indexed_ms']:.0f} ms vs {entry['naive_ms']:.0f} ms)"
+    )
+
+    rows = []
+    for scale, data in sorted(engine_sweep.items()):
+        rows.append(
+            [
+                scale,
+                data["facts"],
+                data["rounds"],
+                data["atoms"],
+                data["clauses"],
+                f"{data['naive_ms']:.1f}",
+                f"{data['indexed_ms']:.1f}",
+                f"{data['naive_ms'] / data['indexed_ms']:.2f}x",
+            ]
+        )
+    lines = format_rows(
+        rows,
+        ["scale", "facts", "rounds", "atoms", "clauses", "naive ms", "indexed ms", "speedup"],
+    )
+    lines.append("")
+    lines.append(
+        "Identical ground programs verified per scale (canonical signatures). "
+        "The indexed engine joins each round only against the delta of newly "
+        "derived facts via the graph's insertion-tick indexes; the naive "
+        "engine re-joins the whole working graph every round."
+    )
+    record_report("A8", "indexed vs naive grounding engine", lines)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+
+def test_batched_resolution_throughput(benchmark):
+    """resolve_batch reuses translator + solver across many graphs."""
+    graphs = []
+    for seed in range(12):
+        dataset = generate_footballdb(
+            FootballDBConfig(scale=0.005, noise_ratio=0.5, seed=seed)
+        )
+        graphs.append(dataset.graph.copy(name=f"tenant-{seed}"))
+    pack = sports_pack()
+    system = TeCoRe(rules=list(pack.rules), constraints=list(pack.constraints), solver="npsl")
+
+    one_shot_started = time.perf_counter()
+    singles = [system.resolve(graph) for graph in graphs]
+    one_shot_seconds = time.perf_counter() - one_shot_started
+
+    batch = benchmark(system.resolve_batch, graphs)
+
+    assert len(batch) == len(graphs)
+    for single, batched in zip(singles, batch):
+        assert single.solution.assignment == batched.solution.assignment
+
+    lines = [
+        f"graphs                    : {len(graphs)}",
+        f"one-shot resolve() total  : {one_shot_seconds * 1000:.1f} ms",
+        f"resolve_batch() total     : {batch.runtime_seconds * 1000:.1f} ms",
+        f"batch throughput          : {batch.graphs_per_second:.1f} graphs/s",
+        f"total facts / removed     : {batch.total_input_facts} / {batch.total_removed_facts}",
+        "",
+        "resolve_batch shares one translator (cached expressivity probe) and "
+        "one solver back-end across all graphs — the heavy-traffic serving "
+        "shape; results are assignment-identical to one-shot resolve calls.",
+    ]
+    record_report("A8b", "batched resolution throughput (resolve_batch)", lines)
+    benchmark.extra_info["graphs_per_second"] = round(batch.graphs_per_second, 1)

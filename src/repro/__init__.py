@@ -27,6 +27,7 @@ Package map
 """
 
 from .core import (
+    BatchResolution,
     ResolutionResult,
     ResolutionStatistics,
     TeCoRe,
@@ -35,6 +36,7 @@ from .core import (
     render_graph_summary,
     render_report,
     resolve,
+    resolve_batch,
 )
 from .errors import TecoreError
 from .kg import IRI, Literal, TemporalFact, TemporalKnowledgeGraph, make_fact
@@ -54,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllenRelation",
+    "BatchResolution",
     "ConstraintBuilder",
     "ConstraintEditor",
     "IRI",
@@ -79,4 +82,5 @@ __all__ = [
     "render_graph_summary",
     "render_report",
     "resolve",
+    "resolve_batch",
 ]

@@ -9,6 +9,7 @@ workflow for scripted use::
     tecore detect --dataset footballdb --pack sports
     tecore resolve --dataset ranieri --pack running-example --solver nrockit
     tecore resolve --graph mykg.csv --program rules.dl --solver npsl --threshold 0.5
+    tecore resolve-batch kg1.csv kg2.csv --pack sports --solver npsl
 
 ``--graph`` accepts any file format supported by :mod:`repro.kg.io`;
 ``--program`` accepts the Datalog-style rule/constraint syntax.
@@ -43,7 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def add_input_arguments(sub: argparse.ArgumentParser, with_program: bool = True) -> None:
         sub.add_argument("--dataset", help=f"registered dataset ({', '.join(available_datasets())})")
-        sub.add_argument("--graph", help="path to a graph file (.tq/.csv/.json)")
+        sub.add_argument(
+            "--graph", help="path to a graph file (.tq/.txt/.nq/.csv/.tsv/.json)"
+        )
         sub.add_argument("--scale", type=float, default=0.01, help="dataset scale factor")
         sub.add_argument("--noise", type=float, default=0.0, help="dataset noise ratio")
         sub.add_argument("--seed", type=int, default=2017, help="dataset RNG seed")
@@ -56,14 +59,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     detect = subparsers.add_parser("detect", help="detect temporal conflicts")
     add_input_arguments(detect)
+    detect.add_argument(
+        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+    )
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     resolve = subparsers.add_parser("resolve", help="compute the conflict-free MAP state")
     add_input_arguments(resolve)
-    resolve.add_argument("--solver", default="nrockit", choices=available_solvers())
+    resolve.add_argument(
+        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+    )
     resolve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    resolve.add_argument(
+        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+    )
     resolve.add_argument("--json", action="store_true", help="emit JSON instead of text")
     resolve.add_argument("--limit", type=int, default=20, help="statements shown per section")
+
+    batch = subparsers.add_parser(
+        "resolve-batch",
+        help="resolve many graph files with one shared program and solver",
+    )
+    batch.add_argument(
+        "graphs", nargs="+", help="graph files (.tq/.txt/.nq/.csv/.tsv/.json) to resolve"
+    )
+    batch.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
+    batch.add_argument("--program", help="path to a Datalog-style rule/constraint file")
+    batch.add_argument(
+        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+    )
+    batch.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    batch.add_argument(
+        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+    )
+    batch.add_argument("--json", action="store_true", help="emit JSON instead of text")
     return parser
 
 
@@ -124,7 +153,7 @@ def _command_stats(args: argparse.Namespace) -> int:
 def _command_detect(args: argparse.Namespace) -> int:
     graph = _load_graph_from_args(args)
     _, constraints = _load_program_from_args(args)
-    system = TeCoRe(constraints=constraints)
+    system = TeCoRe(constraints=constraints, engine=args.engine)
     violations = system.detect_conflicts(graph)
     conflicting = {fact.statement_key for violation in violations for fact in violation.facts}
     if args.json:
@@ -154,12 +183,41 @@ def _command_resolve(args: argparse.Namespace) -> int:
         constraints=constraints,
         solver=args.solver,
         threshold=args.threshold,
+        engine=args.engine,
     )
     result = system.resolve(graph)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
     else:
         print(render_report(result, limit=args.limit))
+    return 0
+
+
+def _command_resolve_batch(args: argparse.Namespace) -> int:
+    rules, constraints = _load_program_from_args(args)
+    graphs = [load_graph(Path(path)) for path in args.graphs]
+    system = TeCoRe(
+        rules=rules,
+        constraints=constraints,
+        solver=args.solver,
+        threshold=args.threshold,
+        engine=args.engine,
+    )
+    batch = system.resolve_batch(graphs)
+    if args.json:
+        print(json.dumps(batch.as_dict(), indent=2))
+    else:
+        for result in batch:
+            statistics = result.statistics
+            print(
+                f"{result.input_graph.name:30s} facts={statistics.input_facts:6d} "
+                f"removed={statistics.removed_facts:5d} inferred={statistics.inferred_facts:5d} "
+                f"violations={statistics.violations:5d} {statistics.runtime_seconds * 1000:8.1f} ms"
+            )
+        print(
+            f"batch: {len(batch)} graphs in {batch.runtime_seconds:.3f} s "
+            f"({batch.graphs_per_second:.1f} graphs/s, solver={args.solver})"
+        )
     return 0
 
 
@@ -180,8 +238,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_detect(args)
         if args.command == "resolve":
             return _command_resolve(args)
+        if args.command == "resolve-batch":
+            return _command_resolve_batch(args)
         parser.error(f"unknown command {args.command!r}")
-    except TecoreError as error:
+    except (TecoreError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 0

@@ -6,15 +6,17 @@ from .registry import (
     describe_solvers,
     make_solver,
     register_solver,
+    solver_capabilities,
     solver_family,
 )
 from .report import render_comparison, render_graph_summary, render_report
-from .result import ResolutionResult, ResolutionStatistics
-from .tecore import TeCoRe, detect_conflicts, resolve
+from .result import BatchResolution, ResolutionResult, ResolutionStatistics
+from .tecore import TeCoRe, detect_conflicts, resolve, resolve_batch
 from .threshold import ThresholdFilter, sweep_thresholds
 from .translator import TecoreTranslator, TranslatedProgram
 
 __all__ = [
+    "BatchResolution",
     "ResolutionResult",
     "ResolutionStatistics",
     "SolverEntry",
@@ -31,6 +33,8 @@ __all__ = [
     "render_graph_summary",
     "render_report",
     "resolve",
+    "resolve_batch",
+    "solver_capabilities",
     "solver_family",
     "sweep_thresholds",
 ]

@@ -36,6 +36,7 @@ def register_solver(
 ) -> None:
     """Register (or replace) a solver under ``name``."""
     _REGISTRY[name] = SolverEntry(name=name, family=family, description=description, factory=factory)
+    _CAPABILITY_PROBES.pop(name, None)
 
 
 def available_solvers() -> list[str]:
@@ -66,6 +67,24 @@ def solver_family(name: str) -> str:
             f"unknown solver {name!r}; available: {available_solvers()}"
         )
     return entry.family
+
+
+_CAPABILITY_PROBES: dict[str, MAPSolver] = {}
+
+
+def solver_capabilities(name: str):
+    """Expressivity descriptor of a registered solver.
+
+    Instantiates one probe solver per name (with default options) and caches
+    it, so callers that only need the capabilities — the translator's
+    expressivity check, run per graph in :meth:`repro.core.TeCoRe.resolve_batch`
+    — do not pay for a fresh back-end construction every time.
+    """
+    probe = _CAPABILITY_PROBES.get(name)
+    if probe is None:
+        probe = make_solver(name)
+        _CAPABILITY_PROBES[name] = probe
+    return probe.capabilities
 
 
 # --------------------------------------------------------------------------- #

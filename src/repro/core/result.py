@@ -140,3 +140,71 @@ class ResolutionResult:
             "removed_facts": [str(fact) for fact in self.removed_facts],
             "inferred_facts": [str(fact) for fact in self.inferred_facts],
         }
+
+
+@dataclass(frozen=True)
+class BatchResolution:
+    """Results of resolving many UTKGs with one shared translator/solver.
+
+    Produced by :meth:`repro.core.TeCoRe.resolve_batch` — the heavy-traffic
+    serving shape, where the rule/constraint program and the solver back-end
+    are built once and reused for every incoming graph.
+
+    Attributes
+    ----------
+    results:
+        One :class:`ResolutionResult` per input graph, in input order.
+    runtime_seconds:
+        Wall-clock time for the whole batch (shared setup included).
+    """
+
+    results: tuple[ResolutionResult, ...]
+    runtime_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ResolutionResult:
+        return self.results[index]
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_input_facts(self) -> int:
+        return sum(result.statistics.input_facts for result in self.results)
+
+    @property
+    def total_removed_facts(self) -> int:
+        return sum(result.statistics.removed_facts for result in self.results)
+
+    @property
+    def total_inferred_facts(self) -> int:
+        return sum(result.statistics.inferred_facts for result in self.results)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(result.statistics.violations for result in self.results)
+
+    @property
+    def graphs_per_second(self) -> float:
+        """Batch serving throughput (graphs resolved per wall-clock second)."""
+        if self.runtime_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.runtime_seconds
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly aggregate summary plus per-graph statistics."""
+        return {
+            "graphs": len(self.results),
+            "runtime_seconds": self.runtime_seconds,
+            "graphs_per_second": self.graphs_per_second,
+            "total_input_facts": self.total_input_facts,
+            "total_removed_facts": self.total_removed_facts,
+            "total_inferred_facts": self.total_inferred_facts,
+            "total_violations": self.total_violations,
+            "results": [result.as_dict() for result in self.results],
+        }

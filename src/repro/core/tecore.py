@@ -36,7 +36,7 @@ from ..logic import (
 )
 from ..solvers import MAPSolution
 from .registry import available_solvers, make_solver
-from .result import ResolutionResult, ResolutionStatistics
+from .result import BatchResolution, ResolutionResult, ResolutionStatistics
 from .threshold import ThresholdFilter
 from .translator import TecoreTranslator, TranslatedProgram
 
@@ -57,6 +57,10 @@ class TeCoRe:
         Forward-chaining bound for rule application during grounding.
     solver_options:
         Extra keyword arguments for the solver factory (e.g. ``time_limit``).
+    engine:
+        Grounding engine: ``"indexed"`` (semi-naive, the default) or
+        ``"naive"`` (the reference implementation).  Both produce identical
+        ground programs; the indexed engine is faster.
     """
 
     rules: list[TemporalRule] = field(default_factory=list)
@@ -65,6 +69,7 @@ class TeCoRe:
     threshold: float | None = None
     max_rounds: int = 5
     solver_options: dict = field(default_factory=dict)
+    engine: str = "indexed"
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -111,6 +116,7 @@ class TeCoRe:
             threshold=self.threshold,
             max_rounds=self.max_rounds,
             solver_options=dict(options or self.solver_options),
+            engine=self.engine,
         )
 
     @staticmethod
@@ -122,12 +128,12 @@ class TeCoRe:
     # ------------------------------------------------------------------ #
     def translate(self, graph: TemporalKnowledgeGraph) -> TranslatedProgram:
         """Ground and validate the inputs for the configured solver."""
-        translator = TecoreTranslator(max_rounds=self.max_rounds)
+        translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
         return translator.translate(graph, self.rules, self.constraints, solver=self.solver)
 
     def detect_conflicts(self, graph: TemporalKnowledgeGraph):
         """Constraint violations in ``graph`` (no inference, no repair)."""
-        translator = TecoreTranslator(max_rounds=self.max_rounds)
+        translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
         return translator.detect_conflicts(graph, self.constraints).violations
 
     def expand(self, graph: TemporalKnowledgeGraph) -> TemporalKnowledgeGraph:
@@ -152,6 +158,31 @@ class TeCoRe:
         backend = make_solver(self.solver, **self.solver_options)
         solution = backend.solve(program)
         return self._build_result(graph, translated, solution, started)
+
+    def resolve_batch(self, graphs: Iterable[TemporalKnowledgeGraph]) -> BatchResolution:
+        """Resolve many UTKGs, reusing the translated program template and solver.
+
+        This is the heavy-traffic serving shape: the rule/constraint program,
+        the translator (with its cached expressivity probe), and the solver
+        back-end are constructed once, and each incoming graph only pays for
+        its own (indexed) grounding and MAP solve.  Results come back in
+        input order as a :class:`~repro.core.result.BatchResolution`.
+        """
+        batch_started = time.perf_counter()
+        translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
+        rules = tuple(self.rules)
+        constraints = tuple(self.constraints)
+        backend = make_solver(self.solver, **self.solver_options)
+        results = []
+        for graph in graphs:
+            started = time.perf_counter()
+            translated = translator.translate(graph, rules, constraints, solver=self.solver)
+            solution = backend.solve(translated.program)
+            results.append(self._build_result(graph, translated, solution, started))
+        return BatchResolution(
+            results=tuple(results),
+            runtime_seconds=time.perf_counter() - batch_started,
+        )
 
     # ------------------------------------------------------------------ #
     # Result assembly
@@ -233,6 +264,25 @@ def resolve(
         solver_options=solver_options,
     )
     return system.resolve(graph)
+
+
+def resolve_batch(
+    graphs: Iterable[TemporalKnowledgeGraph],
+    rules: Iterable[TemporalRule] = (),
+    constraints: Iterable[TemporalConstraint] = (),
+    solver: str = "nrockit",
+    threshold: float | None = None,
+    **solver_options,
+) -> BatchResolution:
+    """One-shot batched conflict resolution over many graphs."""
+    system = TeCoRe(
+        rules=list(rules),
+        constraints=list(constraints),
+        solver=solver,
+        threshold=threshold,
+        solver_options=solver_options,
+    )
+    return system.resolve_batch(graphs)
 
 
 def detect_conflicts(

@@ -23,13 +23,13 @@ from typing import Iterable
 from ..kg import TemporalKnowledgeGraph
 from ..logic import (
     ClauseKind,
-    Grounder,
     GroundingResult,
     TemporalConstraint,
     TemporalRule,
+    make_grounder,
 )
 from ..solvers import check_expressivity
-from .registry import make_solver, solver_family
+from .registry import solver_capabilities, solver_family
 
 
 @dataclass
@@ -89,11 +89,22 @@ class TranslatedProgram:
 
 
 class TecoreTranslator:
-    """Grounds and validates inputs for a chosen solver."""
+    """Grounds and validates inputs for a chosen solver.
 
-    def __init__(self, max_rounds: int = 5, keep_bias: float = 1e-3) -> None:
+    ``engine`` selects the grounding engine ("indexed" — the semi-naive
+    default — or "naive", the reference rescan-everything implementation;
+    both emit identical programs).  A translator instance is reusable across
+    graphs: solver capabilities are resolved through the registry's cached
+    probes, which is what makes :meth:`repro.core.TeCoRe.resolve_batch`
+    cheap per graph.
+    """
+
+    def __init__(
+        self, max_rounds: int = 5, keep_bias: float = 1e-3, engine: str = "indexed"
+    ) -> None:
         self.max_rounds = max_rounds
         self.keep_bias = keep_bias
+        self.engine = engine
 
     def translate(
         self,
@@ -106,7 +117,8 @@ class TecoreTranslator:
         rules = tuple(rules)
         constraints = tuple(constraints)
         family = solver_family(solver)
-        grounder = Grounder(
+        grounder = make_grounder(
+            self.engine,
             graph,
             rules=rules,
             constraints=constraints,
@@ -115,8 +127,7 @@ class TecoreTranslator:
         )
         grounding = grounder.ground()
         # Expressivity verification against the actual back-end capabilities.
-        backend = make_solver(solver)
-        check_expressivity(grounding.program, backend.capabilities)
+        check_expressivity(grounding.program, solver_capabilities(solver))
         return TranslatedProgram(
             solver_name=solver,
             family=family,
@@ -131,7 +142,8 @@ class TecoreTranslator:
         constraints: Iterable[TemporalConstraint],
     ) -> GroundingResult:
         """Constraint-only grounding (conflict detection without inference)."""
-        grounder = Grounder(
+        grounder = make_grounder(
+            self.engine,
             graph,
             rules=(),
             constraints=tuple(constraints),

@@ -8,8 +8,11 @@ producing the conflict-free subset after MAP inference.
 Indexes maintained:
 
 * by subject, by predicate, by object (for pattern matching);
-* by (subject, predicate) — the hot path of the grounding engine;
-* insertion order (for deterministic iteration and reporting).
+* by (subject, predicate) and (predicate, object) — the hot paths of the
+  grounding engine;
+* insertion order (for deterministic iteration and reporting);
+* an insertion *tick* per statement, so the semi-naive grounding engine can
+  join against the delta of facts added since a :meth:`TemporalKnowledgeGraph.mark`.
 """
 
 from __future__ import annotations
@@ -72,6 +75,11 @@ class TemporalKnowledgeGraph:
         self._by_predicate: dict[IRI, set[tuple]] = defaultdict(set)
         self._by_object: dict[Term, set[tuple]] = defaultdict(set)
         self._by_subject_predicate: dict[tuple[SubjectTerm, IRI], set[tuple]] = defaultdict(set)
+        self._by_predicate_object: dict[tuple[IRI, Term], set[tuple]] = defaultdict(set)
+        # Monotonic insertion tick per statement key; never reused after a
+        # remove, so a tick bound taken via mark() stays a valid delta cursor.
+        self._added_at: dict[tuple, int] = {}
+        self._tick = 0
         for fact in facts:
             self.add(fact)
 
@@ -102,6 +110,9 @@ class TemporalKnowledgeGraph:
         self._by_predicate[item.predicate].add(key)
         self._by_object[item.object].add(key)
         self._by_subject_predicate[(item.subject, item.predicate)].add(key)
+        self._by_predicate_object[(item.predicate, item.object)].add(key)
+        self._added_at[key] = self._tick
+        self._tick += 1
         return item
 
     def add_all(self, facts: Iterable[FactLike]) -> int:
@@ -123,6 +134,8 @@ class TemporalKnowledgeGraph:
         self._by_predicate[stored.predicate].discard(key)
         self._by_object[stored.object].discard(key)
         self._by_subject_predicate[(stored.subject, stored.predicate)].discard(key)
+        self._by_predicate_object[(stored.predicate, stored.object)].discard(key)
+        self._added_at.pop(key, None)
         return True
 
     def discard_all(self, facts: Iterable[FactLike]) -> int:
@@ -191,8 +204,13 @@ class TemporalKnowledgeGraph:
         predicate: Optional[IRI],
         obj: Optional[Term],
     ) -> Iterable[tuple]:
+        # Callers must not mutate the graph while consuming the result: the
+        # most selective index set is returned without a defensive copy
+        # (find() materialises immediately; iter_matching documents this).
         if subject is not None and predicate is not None:
-            return set(self._by_subject_predicate.get((subject, predicate), set()))
+            return self._by_subject_predicate.get((subject, predicate), ())
+        if predicate is not None and obj is not None:
+            return self._by_predicate_object.get((predicate, obj), ())
         candidates: list[set[tuple]] = []
         if subject is not None:
             candidates.append(self._by_subject.get(subject, set()))
@@ -201,9 +219,61 @@ class TemporalKnowledgeGraph:
         if obj is not None:
             candidates.append(self._by_object.get(obj, set()))
         if not candidates:
-            return list(self._order)
-        smallest = min(candidates, key=len)
-        return set(smallest)
+            return self._order
+        return min(candidates, key=len)
+
+    # ------------------------------------------------------------------ #
+    # Delta views (semi-naive grounding support)
+    # ------------------------------------------------------------------ #
+    def mark(self) -> int:
+        """Current insertion tick; pass to :meth:`iter_matching` as a delta bound.
+
+        Facts added after ``mark()`` was taken satisfy ``since=mark``; facts
+        already present satisfy ``before=mark``.
+        """
+        return self._tick
+
+    def added_at(self, fact: FactLike) -> Optional[int]:
+        """Insertion tick of a stored statement, or ``None`` when absent."""
+        return self._added_at.get(coerce_fact(fact).statement_key)
+
+    def iter_matching(
+        self,
+        subject: Optional[SubjectTerm] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+        since: Optional[int] = None,
+        before: Optional[int] = None,
+    ) -> Iterator[TemporalFact]:
+        """Raw indexed pattern scan for the grounding engine.
+
+        Unlike :meth:`find` this performs no term coercion and no sorting —
+        facts come back in index (hash) order, so callers needing determinism
+        must order the results themselves.  The graph must not be mutated
+        while the generator is being consumed (it iterates the live index).
+        ``since`` (inclusive) and ``before`` (exclusive) bound the insertion
+        tick, giving the semi-naive grounder its delta / pre-delta views for
+        free.
+        """
+        keys = self._candidate_keys(subject, predicate, obj)
+        facts = self._facts
+        if since is not None or before is not None:
+            added_at = self._added_at
+            keys = [
+                key
+                for key in keys
+                if (since is None or added_at[key] >= since)
+                and (before is None or added_at[key] < before)
+            ]
+        for key in keys:
+            fact = facts[key]
+            if subject is not None and fact.subject != subject:
+                continue
+            if predicate is not None and fact.predicate != predicate:
+                continue
+            if obj is not None and fact.object != obj:
+                continue
+            yield fact
 
     def by_predicate(self, predicate: Union[IRI, str]) -> list[TemporalFact]:
         """All facts with the given predicate."""
@@ -237,8 +307,27 @@ class TemporalKnowledgeGraph:
     # Whole-graph operations
     # ------------------------------------------------------------------ #
     def copy(self, name: str | None = None) -> "TemporalKnowledgeGraph":
-        """Shallow copy of the graph (facts are immutable, so this is safe)."""
-        return TemporalKnowledgeGraph(self, name=name or self.name, domain=self.domain)
+        """Shallow copy of the graph (facts are immutable, so this is safe).
+
+        Clones the internal indexes directly instead of re-validating and
+        re-indexing every fact; insertion ticks are preserved, so delta
+        cursors taken on the copy behave as on the original.
+        """
+        clone = TemporalKnowledgeGraph(name=name or self.name, domain=self.domain)
+        clone._facts = dict(self._facts)
+        clone._order = list(self._order)
+        clone._by_subject = defaultdict(set, ((k, set(v)) for k, v in self._by_subject.items() if v))
+        clone._by_predicate = defaultdict(set, ((k, set(v)) for k, v in self._by_predicate.items() if v))
+        clone._by_object = defaultdict(set, ((k, set(v)) for k, v in self._by_object.items() if v))
+        clone._by_subject_predicate = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_subject_predicate.items() if v)
+        )
+        clone._by_predicate_object = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_predicate_object.items() if v)
+        )
+        clone._added_at = dict(self._added_at)
+        clone._tick = self._tick
+        return clone
 
     def filter(
         self, keep: Callable[[TemporalFact], bool], name: str | None = None

@@ -8,7 +8,7 @@ confidence value in ``(0, 1]`` witnessing how likely the fact is to hold.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Union
 
 from ..errors import InvalidFactError
@@ -50,6 +50,7 @@ class TemporalFact:
     object: Term
     interval: TimeInterval
     confidence: float = 1.0
+    _statement_key: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.interval, TimeInterval):
@@ -62,6 +63,19 @@ class TemporalFact:
             raise InvalidFactError(
                 f"confidence must lie in (0, 1], got {self.confidence!r}"
             )
+        # All fields are immutable, so the statement key can be computed once;
+        # it is the hot lookup key of the grounding engine and atom table.
+        object.__setattr__(
+            self,
+            "_statement_key",
+            (
+                term_key(self.subject),
+                self.predicate.value,
+                term_key(self.object),
+                self.interval.start,
+                self.interval.end,
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Views
@@ -78,13 +92,7 @@ class TemporalFact:
         Two facts with the same statement key are the same temporal statement
         possibly extracted with different confidence.
         """
-        return (
-            term_key(self.subject),
-            self.predicate.value,
-            term_key(self.object),
-            self.interval.start,
-            self.interval.end,
-        )
+        return self._statement_key
 
     @property
     def is_certain(self) -> bool:

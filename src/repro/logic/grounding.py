@@ -11,7 +11,21 @@ into a :class:`~repro.logic.ground.GroundProgram`:
 3. constraints are grounded against evidence *and* derived facts; every
    violated instantiation adds a conflict clause ``¬f₁ ∨ … ∨ ¬fₖ``.
 
-The same engine also powers pure conflict *detection* (the Figure 8
+Two interchangeable engines implement this pipeline:
+
+* :class:`IndexedGrounder` (the default, aliased as :class:`Grounder`) —
+  semi-naive forward chaining.  Each round joins rule bodies only against the
+  *delta* of facts derived in the previous round (via the graph's insertion
+  ticks and hash indexes), skips the per-lookup sorting and term coercion of
+  the public :meth:`~repro.kg.graph.TemporalKnowledgeGraph.find` API, and
+  deduplicates ground clauses by firing/violation signature against a cached
+  atom table.  Within every round the collected matches are re-ordered into
+  the naive enumeration order, so the emitted program is bit-for-bit
+  identical to the naive one.
+* :class:`NaiveGrounder` — the original rescan-everything engine, kept as the
+  reference implementation for the differential tests and benchmarks.
+
+The same engines also power pure conflict *detection* (the Figure 8
 statistics) via :func:`find_conflicts`, which skips step 1 and 2 bookkeeping
 and simply reports the violated constraint instances.
 """
@@ -21,13 +35,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
-from ..errors import GroundingError
-from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..errors import GroundingError, LogicError
+from ..kg import IRI, TemporalFact, TemporalKnowledgeGraph
+from ..temporal import TimeInterval
 from .atom import QuadAtom
 from .constraint import TemporalConstraint
 from .ground import ClauseKind, GroundProgram
 from .rule import TemporalRule
 from .substitution import Substitution
+from .terms import Variable
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,11 +138,224 @@ def match_constraint(
     yield from _match_body(constraint.body, graph, Substitution.empty())
 
 
+class _AtomPlan:
+    """A :class:`QuadAtom` compiled for the indexed engine's join loop.
+
+    Each position is split at compile time into a constant or a variable
+    *name*, so the per-candidate work is string-keyed dictionary stores
+    instead of the immutable :class:`Substitution` extension the naive
+    engine performs per fact (variable names hash faster than the dataclass
+    variables, and str caches its hash).
+    """
+
+    __slots__ = ("subject", "predicate", "object", "interval")
+
+    def __init__(self, atom: QuadAtom) -> None:
+        def entry(position):
+            return (True, position.name) if isinstance(position, Variable) else (False, position)
+
+        self.subject = entry(atom.subject)
+        self.predicate = entry(atom.predicate)
+        self.object = entry(atom.object)
+        self.interval = entry(atom.interval)
+
+
+def _compile_body(body: Sequence[QuadAtom]) -> list[_AtomPlan]:
+    return [_AtomPlan(atom) for atom in body]
+
+
+class _BindingsView:
+    """Zero-copy :class:`Substitution` stand-in over the live bindings dict.
+
+    Conditions, interval expressions, and head instantiation only consume a
+    substitution through ``get`` / ``term`` / ``interval`` / ``intervals``;
+    backing those with the matcher's name-keyed dict turns the naive
+    engine's per-lookup linear scans into O(1) hash lookups and avoids
+    materialising a :class:`Substitution` per match.  The view stays current
+    as the matcher backtracks, so consumers must read it before resuming the
+    match generator (the grounder does).
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: dict) -> None:
+        self._bindings = bindings
+
+    def get(self, variable: Variable):
+        return self._bindings.get(variable.name)
+
+    def term(self, variable: Variable):
+        value = self._bindings.get(variable.name)
+        return value if not isinstance(value, TimeInterval) else None
+
+    def interval(self, variable: Variable) -> Optional[TimeInterval]:
+        value = self._bindings.get(variable.name)
+        return value if isinstance(value, TimeInterval) else None
+
+    def intervals(self) -> dict[str, TimeInterval]:
+        return {
+            name: value
+            for name, value in self._bindings.items()
+            if isinstance(value, TimeInterval)
+        }
+
+
+def _match_compiled(
+    plans: Sequence[_AtomPlan],
+    graph: TemporalKnowledgeGraph,
+    order: Sequence[int],
+    bounds: Sequence[tuple[Optional[int], Optional[int]]],
+    bindings: dict,
+    facts: list[Optional[TemporalFact]],
+    step: int = 0,
+) -> Iterator[tuple[TemporalFact, ...]]:
+    """Backtracking join expanding body positions in ``order``.
+
+    ``bounds[position]`` is an insertion-tick window ``(since, before)``
+    restricting which facts the atom at ``position`` may match — the
+    semi-naive delta discipline.  Uses the graph's raw (unsorted, uncoerced)
+    index scans and a mutable name-keyed ``bindings`` dict with trail-based
+    undo; callers needing a deterministic order sort the collected matches
+    afterwards.  At yield time ``bindings`` holds the full match's variable
+    assignment (snapshot it before resuming the generator).
+    """
+    if step == len(order):
+        yield tuple(facts)  # type: ignore[arg-type]
+        return
+    position = order[step]
+    plan = plans[position]
+
+    # Resolve the index lookup pattern under the current bindings.  Positions
+    # passed to iter_matching are guaranteed equal on every returned fact, so
+    # only positions left unbound need per-candidate binding work.
+    is_var, value = plan.subject
+    subject = bindings.get(value) if is_var else value
+    is_var, value = plan.object
+    obj = bindings.get(value) if is_var else value
+    is_var, value = plan.predicate
+    if is_var:
+        predicate = bindings.get(value)
+        if predicate is not None and not isinstance(predicate, IRI):
+            if isinstance(predicate, TimeInterval):
+                return  # an interval can never equal a fact's predicate
+            raise LogicError(f"predicate position bound to non-IRI value {predicate!r}")
+    else:
+        predicate = value
+
+    checks: list[tuple[int, str, bool]] = []  # (field, variable name, check_only)
+    scheduled: set[str] = set()
+    for index, (is_var, value), resolved in (
+        (0, plan.subject, subject),
+        (1, plan.predicate, predicate),
+        (2, plan.object, obj),
+    ):
+        if is_var and resolved is None:
+            checks.append((index, value, value in scheduled))
+            scheduled.add(value)
+
+    required_interval: Optional[TimeInterval] = None
+    is_var, value = plan.interval
+    if is_var:
+        bound = bindings.get(value)
+        if bound is None:
+            checks.append((3, value, value in scheduled))
+            scheduled.add(value)
+        elif isinstance(bound, TimeInterval):
+            required_interval = bound
+        else:
+            return  # interval variable clashed with an entity binding
+    else:
+        required_interval = value
+
+    since, before = bounds[position]
+    last_step = step + 1 == len(order)
+    next_step = step + 1
+    for fact in graph.iter_matching(subject, predicate, obj, since=since, before=before):
+        if required_interval is not None and fact.interval != required_interval:
+            continue
+        matched = True
+        added: list[str] = []
+        for index, name, check_only in checks:
+            candidate = (
+                fact.subject if index == 0
+                else fact.predicate if index == 1
+                else fact.object if index == 2
+                else fact.interval
+            )
+            if check_only:
+                if bindings[name] != candidate:
+                    matched = False
+                    break
+            else:
+                bindings[name] = candidate
+                added.append(name)
+        if matched:
+            facts[position] = fact
+            if last_step:
+                yield tuple(facts)  # type: ignore[arg-type]
+            else:
+                yield from _match_compiled(
+                    plans, graph, order, bounds, bindings, facts, next_step
+                )
+        for name in added:
+            del bindings[name]
+
+
+def _delta_matches(
+    plans: Sequence[_AtomPlan],
+    graph: TemporalKnowledgeGraph,
+    delta_since: int,
+) -> Iterator[tuple[_BindingsView, tuple[TemporalFact, ...]]]:
+    """All body matches using at least one fact added at tick ≥ ``delta_since``.
+
+    Classic semi-naive split: for pivot position ``i`` the pivot atom draws
+    from the delta, positions left of it from the pre-delta facts, and
+    positions right of it from the whole graph — each qualifying match is
+    enumerated exactly once.  The pivot is expanded first, so every
+    derivation starts from the (usually small) delta.
+    """
+    arity = len(plans)
+    bindings: dict = {}
+    view = _BindingsView(bindings)
+    for pivot in range(arity):
+        if delta_since <= 0 and pivot > 0:
+            # No pre-delta facts exist, so any later pivot has an empty
+            # left-hand window; only pivot 0 can produce matches.
+            break
+        bounds = [
+            (delta_since, None) if position == pivot
+            else (None, delta_since) if position < pivot
+            else (None, None)
+            for position in range(arity)
+        ]
+        order = [pivot, *(position for position in range(arity) if position != pivot)]
+        for facts in _match_compiled(plans, graph, order, bounds, bindings, [None] * arity):
+            yield view, facts
+
+
+def _full_matches(
+    plans: Sequence[_AtomPlan], graph: TemporalKnowledgeGraph
+) -> Iterator[tuple[_BindingsView, tuple[TemporalFact, ...]]]:
+    """All body matches against the whole graph (raw index scans, unsorted)."""
+    arity = len(plans)
+    bindings: dict = {}
+    view = _BindingsView(bindings)
+    for facts in _match_compiled(
+        plans, graph, range(arity), [(None, None)] * arity, bindings, [None] * arity
+    ):
+        yield view, facts
+
+
+def _body_sort_key(facts: Sequence[TemporalFact]) -> tuple:
+    """Lexicographic key reproducing the naive engine's enumeration order."""
+    return tuple(fact.sort_key() for fact in facts)
+
+
 # --------------------------------------------------------------------------- #
-# The grounder
+# The grounders
 # --------------------------------------------------------------------------- #
-class Grounder:
-    """Grounds a UTKG with rules and constraints into a propositional program.
+class _GrounderBase:
+    """Shared pipeline of the grounding engines.
 
     Parameters
     ----------
@@ -154,6 +383,9 @@ class Grounder:
         with it a derived fact is only asserted when a rule firing whose body
         survives actually supports it.
     """
+
+    #: Registry name of the engine ("indexed" / "naive").
+    engine: str = "abstract"
 
     def __init__(
         self,
@@ -202,6 +434,33 @@ class Grounder:
         # 3. Ground the constraints over evidence + derived facts.
         self._ground_constraints(program, working, result)
         return result
+
+    # ------------------------------------------------------------------ #
+    def _chain_rules(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> int:
+        raise NotImplementedError
+
+    def _ground_constraints(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> None:
+        raise NotImplementedError
+
+
+class NaiveGrounder(_GrounderBase):
+    """The reference engine: every round re-joins the whole working graph.
+
+    Kept verbatim as the baseline the indexed engine is differentially
+    tested (and benchmarked) against.
+    """
+
+    engine = "naive"
 
     # ------------------------------------------------------------------ #
     def _chain_rules(
@@ -303,6 +562,183 @@ class Grounder:
                 )
 
 
+class IndexedGrounder(_GrounderBase):
+    """Semi-naive, index-driven grounding engine (the default).
+
+    Differences from :class:`NaiveGrounder` — all pure optimisations, the
+    emitted program is identical:
+
+    * **semi-naive chaining** — after the first round, rule bodies are joined
+      only against the delta of facts derived in the previous round, using
+      the graph's insertion-tick windows.  The fix-point check degenerates to
+      an (empty) delta join instead of a full re-scan.
+    * **raw index scans** — body atoms are matched via
+      :meth:`~repro.kg.graph.TemporalKnowledgeGraph.iter_matching`, skipping
+      the per-lookup sorting and term coercion of :meth:`find`.  Matches are
+      re-sorted into the naive enumeration order once per rule and round,
+      which is orders of magnitude cheaper than sorting every index lookup.
+    * **atom-table cache and clause deduplication** — evidence membership is
+      answered from a precomputed statement-key set, and duplicate ground
+      clauses are prevented at the source: rule clauses are deduplicated by
+      firing signature (rule, body keys, head key) and constraint clauses by
+      violation signature (constraint, sorted fact keys), exactly as in the
+      naive engine.
+    """
+
+    engine = "indexed"
+
+    # ------------------------------------------------------------------ #
+    def _chain_rules(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> int:
+        evidence_keys = {fact.statement_key for fact in self.graph}
+        seen_firings: set[tuple] = set()
+        prior_added: set[int] = set()
+        rounds_used = 0
+        delta_since = 0  # round 1: the delta is the entire evidence graph
+        body_plans = [_compile_body(rule.body) for rule in self.rules]
+        for round_number in range(1, self.max_rounds + 1):
+            round_mark = working.mark()
+            new_facts: list[tuple[TemporalRule, tuple[TemporalFact, ...], TemporalFact]] = []
+            for rule, plan in zip(self.rules, body_plans):
+                matches: list[tuple[tuple[TemporalFact, ...], TemporalFact]] = []
+                for substitution, body_facts in _delta_matches(plan, working, delta_since):
+                    if not all(condition.holds(substitution) for condition in rule.conditions):
+                        continue
+                    head_interval = rule.head_interval_for(substitution)
+                    if head_interval is None:
+                        continue
+                    head_fact = rule.head.instantiate(
+                        substitution,
+                        interval=head_interval,
+                        confidence=rule.derived_confidence,
+                    )
+                    signature = (
+                        rule.name,
+                        tuple(fact.statement_key for fact in body_facts),
+                        head_fact.statement_key,
+                    )
+                    if signature in seen_firings:
+                        continue
+                    seen_firings.add(signature)
+                    matches.append((body_facts, head_fact))
+                # Re-establish the naive engine's enumeration order (lexicographic
+                # in the body facts) so both engines emit identical programs.
+                matches.sort(key=lambda match: _body_sort_key(match[0]))
+                new_facts.extend((rule, body, head) for body, head in matches)
+
+            if not new_facts:
+                break
+            rounds_used = round_number
+            for rule, body_facts, head_fact in new_facts:
+                head_atom = program.add_atom(
+                    head_fact,
+                    is_evidence=head_fact.statement_key in evidence_keys,
+                    derived_by=rule.name,
+                )
+                if (
+                    not head_atom.is_evidence
+                    and self.derived_prior > 0
+                    and head_atom.index not in prior_added
+                ):
+                    prior_added.add(head_atom.index)
+                    program.add_clause(
+                        [(head_atom.index, True)],
+                        weight=-self.derived_prior,
+                        kind=ClauseKind.PRIOR,
+                        origin=f"prior:{rule.name}",
+                    )
+                if head_fact not in working:
+                    working.add(head_fact)
+                body_atoms = [
+                    program.add_atom(fact, is_evidence=fact.statement_key in evidence_keys)
+                    for fact in body_facts
+                ]
+                literals = [(atom.index, False) for atom in body_atoms]
+                literals.append((head_atom.index, True))
+                program.add_clause(
+                    literals,
+                    weight=rule.weight,
+                    kind=ClauseKind.RULE,
+                    origin=rule.name,
+                )
+                result.firings.append(
+                    RuleFiring(rule.name, tuple(body_facts), head_fact, rule.weight)
+                )
+            delta_since = round_mark
+        return rounds_used
+
+    # ------------------------------------------------------------------ #
+    def _ground_constraints(
+        self,
+        program: GroundProgram,
+        working: TemporalKnowledgeGraph,
+        result: GroundingResult,
+    ) -> None:
+        evidence_keys = {fact.statement_key for fact in self.graph}
+        for constraint in self.constraints:
+            matches: list[tuple[tuple[TemporalFact, ...], tuple]] = []
+            for substitution, facts in _full_matches(_compile_body(constraint.body), working):
+                # Skip degenerate matches where the same fact fills two body
+                # atoms (e.g. c2 matching a coach fact against itself).
+                keys = tuple(fact.statement_key for fact in facts)
+                if len(set(keys)) != len(keys):
+                    continue
+                if not constraint.violated_by(substitution):
+                    continue
+                matches.append((facts, tuple(sorted(keys))))
+            # Sort before deduplicating: of two symmetric matches the naive
+            # enumeration keeps the lexicographically first one.
+            matches.sort(key=lambda match: _body_sort_key(match[0]))
+            seen: set[tuple] = set()
+            for facts, sorted_keys in matches:
+                if sorted_keys in seen:
+                    continue
+                seen.add(sorted_keys)
+                atoms = [
+                    program.add_atom(fact, is_evidence=fact.statement_key in evidence_keys)
+                    for fact in facts
+                ]
+                program.add_clause(
+                    [(atom.index, False) for atom in atoms],
+                    weight=constraint.weight,
+                    kind=ClauseKind.CONSTRAINT,
+                    origin=constraint.name,
+                )
+                result.violations.append(
+                    ConstraintViolation(constraint.name, tuple(facts), constraint.weight)
+                )
+
+
+#: The default grounding engine.
+Grounder = IndexedGrounder
+
+#: Engine registry used by :func:`make_grounder`, the translator, and the CLI.
+GROUNDING_ENGINES: dict[str, type[_GrounderBase]] = {
+    "indexed": IndexedGrounder,
+    "naive": NaiveGrounder,
+}
+
+
+def make_grounder(
+    engine: str,
+    graph: TemporalKnowledgeGraph,
+    rules: Iterable[TemporalRule] = (),
+    constraints: Iterable[TemporalConstraint] = (),
+    **kwargs,
+) -> _GrounderBase:
+    """Instantiate a grounding engine by name ("indexed" or "naive")."""
+    grounder_class = GROUNDING_ENGINES.get(engine)
+    if grounder_class is None:
+        raise GroundingError(
+            f"unknown grounding engine {engine!r}; available: {sorted(GROUNDING_ENGINES)}"
+        )
+    return grounder_class(graph, rules=rules, constraints=constraints, **kwargs)
+
+
 # --------------------------------------------------------------------------- #
 # Convenience entry points
 # --------------------------------------------------------------------------- #
@@ -311,19 +747,25 @@ def ground(
     rules: Iterable[TemporalRule] = (),
     constraints: Iterable[TemporalConstraint] = (),
     max_rounds: int = 5,
+    engine: str = "indexed",
 ) -> GroundingResult:
     """Ground ``graph`` with ``rules`` and ``constraints`` (full pipeline)."""
-    return Grounder(graph, rules, constraints, max_rounds=max_rounds).ground()
+    return make_grounder(
+        engine, graph, rules=rules, constraints=constraints, max_rounds=max_rounds
+    ).ground()
 
 
 def find_conflicts(
     graph: TemporalKnowledgeGraph,
     constraints: Iterable[TemporalConstraint],
+    engine: str = "indexed",
 ) -> list[ConstraintViolation]:
     """Detect conflicts only (no rule chaining, no MAP).
 
     This is what the demo's statistics panel reports: the number of
     conflicting facts found in the loaded UTKG.
     """
-    grounder = Grounder(graph, rules=(), constraints=constraints, derive_facts=False)
+    grounder = make_grounder(
+        engine, graph, rules=(), constraints=constraints, derive_facts=False
+    )
     return grounder.ground().violations

@@ -1,0 +1,97 @@
+"""Tests for the batched resolution API (`TeCoRe.resolve_batch`)."""
+
+import pytest
+
+from repro import TeCoRe, resolve_batch
+from repro.core import BatchResolution
+from repro.datasets import ranieri_extended_graph, ranieri_graph
+from repro.logic import running_example_constraints, running_example_rules
+
+
+@pytest.fixture
+def graphs():
+    return [ranieri_graph(), ranieri_extended_graph(), ranieri_graph()]
+
+
+@pytest.fixture
+def system():
+    return TeCoRe.from_pack("running-example", solver="nrockit")
+
+
+class TestResolveBatch:
+    def test_returns_batch_resolution(self, system, graphs):
+        batch = system.resolve_batch(graphs)
+        assert isinstance(batch, BatchResolution)
+        assert len(batch) == 3
+
+    def test_results_in_input_order(self, system, graphs):
+        batch = system.resolve_batch(graphs)
+        assert [result.input_graph.name for result in batch] == [
+            graph.name for graph in graphs
+        ]
+        assert batch[1].input_graph is graphs[1]
+
+    def test_matches_individual_resolve(self, system, graphs):
+        """Batching is a pure serving optimisation: per-graph results match."""
+        batch = system.resolve_batch(graphs)
+        for graph, batched in zip(graphs, batch):
+            single = system.resolve(graph)
+            assert batched.solution.assignment == single.solution.assignment
+            assert batched.objective == pytest.approx(single.objective)
+            assert {str(fact) for fact in batched.removed_facts} == {
+                str(fact) for fact in single.removed_facts
+            }
+            assert {str(fact) for fact in batched.inferred_facts} == {
+                str(fact) for fact in single.inferred_facts
+            }
+
+    def test_running_example_repair_in_batch(self, system, graphs):
+        batch = system.resolve_batch(graphs)
+        removed = {str(fact.object) for fact in batch[0].removed_facts}
+        assert removed == {"Napoli"}
+
+    def test_aggregates(self, system, graphs):
+        batch = system.resolve_batch(graphs)
+        assert batch.total_input_facts == sum(len(graph) for graph in graphs)
+        assert batch.total_removed_facts == sum(
+            result.statistics.removed_facts for result in batch
+        )
+        assert batch.total_violations >= 3  # one per ranieri-style graph
+        assert batch.runtime_seconds > 0
+        assert batch.graphs_per_second > 0
+
+    def test_empty_batch(self, system):
+        batch = system.resolve_batch([])
+        assert len(batch) == 0
+        assert batch.total_input_facts == 0
+        assert batch.graphs_per_second == 0 or batch.runtime_seconds > 0
+
+    def test_as_dict(self, system, graphs):
+        payload = system.resolve_batch(graphs).as_dict()
+        assert payload["graphs"] == 3
+        assert len(payload["results"]) == 3
+        assert payload["total_input_facts"] == sum(len(graph) for graph in graphs)
+
+    def test_batch_with_psl_solver(self, graphs):
+        system = TeCoRe.from_pack("running-example", solver="npsl")
+        batch = system.resolve_batch(graphs)
+        removed = {str(fact.object) for fact in batch[0].removed_facts}
+        assert removed == {"Napoli"}
+
+    def test_batch_with_naive_engine_matches_indexed(self, graphs):
+        indexed = TeCoRe.from_pack("running-example", engine="indexed").resolve_batch(graphs)
+        naive = TeCoRe.from_pack("running-example", engine="naive").resolve_batch(graphs)
+        for left, right in zip(indexed, naive):
+            assert left.solution.assignment == right.solution.assignment
+
+
+class TestModuleLevelResolveBatch:
+    def test_convenience_function(self, graphs):
+        batch = resolve_batch(
+            graphs,
+            rules=running_example_rules(),
+            constraints=running_example_constraints(),
+            solver="nrockit",
+        )
+        assert len(batch) == 3
+        assert {str(fact.object) for fact in batch[0].removed_facts} == {"Napoli"}
