@@ -54,6 +54,21 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
             sub.add_argument("--program", help="path to a Datalog-style rule/constraint file")
 
+    def add_decomposition_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--decompose",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="solve connected components of the ground program independently",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the decomposed solve (1 = sequential)",
+        )
+
     stats = subparsers.add_parser("stats", help="show dataset statistics")
     add_input_arguments(stats, with_program=False)
 
@@ -73,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     resolve.add_argument(
         "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
     )
+    add_decomposition_arguments(resolve)
     resolve.add_argument("--json", action="store_true", help="emit JSON instead of text")
     resolve.add_argument("--limit", type=int, default=20, help="statements shown per section")
 
@@ -92,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
     )
+    add_decomposition_arguments(batch)
     batch.add_argument("--json", action="store_true", help="emit JSON instead of text")
     return parser
 
@@ -184,6 +201,8 @@ def _command_resolve(args: argparse.Namespace) -> int:
         solver=args.solver,
         threshold=args.threshold,
         engine=args.engine,
+        decompose=args.decompose,
+        jobs=args.jobs,
     )
     result = system.resolve(graph)
     if args.json:
@@ -202,6 +221,8 @@ def _command_resolve_batch(args: argparse.Namespace) -> int:
         solver=args.solver,
         threshold=args.threshold,
         engine=args.engine,
+        decompose=args.decompose,
+        jobs=args.jobs,
     )
     batch = system.resolve_batch(graphs)
     if args.json:

@@ -15,7 +15,7 @@ from typing import Callable
 from ..errors import SolverNotAvailableError
 from ..mln import BranchAndBoundSolver, CuttingPlaneSolver, ILPMapSolver, MaxWalkSATSolver
 from ..psl import ADMMSolver, ProjectedGradientSolver
-from ..solvers import MAPSolver
+from ..solvers import MAPSolver, instantiate_solver
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,7 +56,7 @@ def make_solver(name: str, **kwargs) -> MAPSolver:
         raise SolverNotAvailableError(
             f"unknown solver {name!r}; available: {available_solvers()}"
         )
-    return entry.factory(**kwargs)
+    return instantiate_solver(entry.factory, f"solver {name!r}", **kwargs)
 
 
 def solver_family(name: str) -> str:

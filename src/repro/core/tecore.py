@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable, Sequence
 
 from ..kg import TemporalFact, TemporalKnowledgeGraph
@@ -34,7 +35,7 @@ from ..logic import (
     load_pack,
     parse_program,
 )
-from ..solvers import MAPSolution
+from ..solvers import MAPSolution, MAPSolver, wrap_decomposed
 from .registry import available_solvers, make_solver
 from .result import BatchResolution, ResolutionResult, ResolutionStatistics
 from .threshold import ThresholdFilter
@@ -61,6 +62,13 @@ class TeCoRe:
         Grounding engine: ``"indexed"`` (semi-naive, the default) or
         ``"naive"`` (the reference implementation).  Both produce identical
         ground programs; the indexed engine is faster.
+    decompose:
+        Solve the connected components of the ground program's interaction
+        graph independently and merge (exact for exact back-ends; see
+        :mod:`repro.logic.decompose`).
+    jobs:
+        Worker processes for the decomposed solve (1 = sequential; only
+        meaningful with ``decompose=True``).
     """
 
     rules: list[TemporalRule] = field(default_factory=list)
@@ -70,6 +78,8 @@ class TeCoRe:
     max_rounds: int = 5
     solver_options: dict = field(default_factory=dict)
     engine: str = "indexed"
+    decompose: bool = False
+    jobs: int = 1
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -117,6 +127,16 @@ class TeCoRe:
             max_rounds=self.max_rounds,
             solver_options=dict(options or self.solver_options),
             engine=self.engine,
+            decompose=self.decompose,
+            jobs=self.jobs,
+        )
+
+    def _make_backend(self) -> MAPSolver:
+        """The configured MAP back-end, optionally decomposition-wrapped."""
+        return wrap_decomposed(
+            partial(make_solver, self.solver, **self.solver_options),
+            self.decompose,
+            self.jobs,
         )
 
     @staticmethod
@@ -155,7 +175,7 @@ class TeCoRe:
         started = time.perf_counter()
         translated = self.translate(graph)
         program = translated.program
-        backend = make_solver(self.solver, **self.solver_options)
+        backend = self._make_backend()
         solution = backend.solve(program)
         return self._build_result(graph, translated, solution, started)
 
@@ -172,7 +192,7 @@ class TeCoRe:
         translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
         rules = tuple(self.rules)
         constraints = tuple(self.constraints)
-        backend = make_solver(self.solver, **self.solver_options)
+        backend = self._make_backend()
         results = []
         for graph in graphs:
             started = time.perf_counter()
@@ -253,6 +273,8 @@ def resolve(
     constraints: Iterable[TemporalConstraint] = (),
     solver: str = "nrockit",
     threshold: float | None = None,
+    decompose: bool = False,
+    jobs: int = 1,
     **solver_options,
 ) -> ResolutionResult:
     """One-shot conflict resolution without building a :class:`TeCoRe` object."""
@@ -262,6 +284,8 @@ def resolve(
         solver=solver,
         threshold=threshold,
         solver_options=solver_options,
+        decompose=decompose,
+        jobs=jobs,
     )
     return system.resolve(graph)
 
@@ -272,6 +296,8 @@ def resolve_batch(
     constraints: Iterable[TemporalConstraint] = (),
     solver: str = "nrockit",
     threshold: float | None = None,
+    decompose: bool = False,
+    jobs: int = 1,
     **solver_options,
 ) -> BatchResolution:
     """One-shot batched conflict resolution over many graphs."""
@@ -281,6 +307,8 @@ def resolve_batch(
         solver=solver,
         threshold=threshold,
         solver_options=solver_options,
+        decompose=decompose,
+        jobs=jobs,
     )
     return system.resolve_batch(graphs)
 

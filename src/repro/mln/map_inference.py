@@ -6,11 +6,18 @@ expressivity check the TeCoRe translator performs before dispatching.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from ..errors import SolverNotAvailableError
 from ..logic.ground import GroundProgram
-from ..solvers import MAPSolution, MAPSolver, check_expressivity
+from ..solvers import (
+    MAPSolution,
+    MAPSolver,
+    check_expressivity,
+    instantiate_solver,
+    wrap_decomposed,
+)
 from .solvers.branch_bound import BranchAndBoundSolver
 from .solvers.cutting_plane import CuttingPlaneSolver
 from .solvers.maxwalksat import MaxWalkSATSolver
@@ -40,21 +47,26 @@ def make_solver(backend: str = DEFAULT_BACKEND, **kwargs) -> MAPSolver:
         raise SolverNotAvailableError(
             f"unknown MLN back-end {backend!r}; available: {available_backends()}"
         )
-    return factory(**kwargs)  # type: ignore[call-arg]
+    return instantiate_solver(factory, f"MLN back-end {backend!r}", **kwargs)
 
 
 def solve_map(
     program: GroundProgram,
     backend: str = DEFAULT_BACKEND,
     validate: bool = True,
+    decompose: bool = False,
+    jobs: int = 1,
     **kwargs,
 ) -> MAPSolution:
     """Run MAP inference on ``program`` with the chosen back-end.
 
     ``validate`` applies the solver's expressivity check first (the paper's
     translator behaviour); disable it only in controlled experiments.
+    ``decompose`` solves the connected components of the program's
+    interaction graph independently (exact for exact back-ends) with ``jobs``
+    worker processes (1 = sequential).
     """
-    solver = make_solver(backend, **kwargs)
+    solver = wrap_decomposed(partial(make_solver, backend, **kwargs), decompose, jobs)
     if validate:
         check_expressivity(program, solver.capabilities)
     return solver.solve(program)

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from ..errors import SolverNotAvailableError
 from ..logic.ground import GroundProgram
-from ..solvers import MAPSolution, MAPSolver, check_expressivity
+from ..solvers import (
+    MAPSolution,
+    MAPSolver,
+    check_expressivity,
+    instantiate_solver,
+    wrap_decomposed,
+)
 from .admm import ADMMSolver
 from .projected_gradient import ProjectedGradientSolver
 
@@ -32,17 +39,24 @@ def make_solver(backend: str = DEFAULT_BACKEND, **kwargs) -> MAPSolver:
         raise SolverNotAvailableError(
             f"unknown PSL back-end {backend!r}; available: {available_backends()}"
         )
-    return factory(**kwargs)  # type: ignore[call-arg]
+    return instantiate_solver(factory, f"PSL back-end {backend!r}", **kwargs)
 
 
 def solve_map(
     program: GroundProgram,
     backend: str = DEFAULT_BACKEND,
     validate: bool = True,
+    decompose: bool = False,
+    jobs: int = 1,
     **kwargs,
 ) -> MAPSolution:
-    """Run PSL MAP inference on ``program`` with the chosen back-end."""
-    solver = make_solver(backend, **kwargs)
+    """Run PSL MAP inference on ``program`` with the chosen back-end.
+
+    ``decompose`` optimises the connected components of the hinge-loss MRF
+    independently with ``jobs`` worker processes (1 = sequential); the
+    components never share a potential, so the relaxation factorises.
+    """
+    solver = wrap_decomposed(partial(make_solver, backend, **kwargs), decompose, jobs)
     if validate:
         check_expressivity(program, solver.capabilities)
     return solver.solve(program)

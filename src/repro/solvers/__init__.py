@@ -8,8 +8,11 @@ from .capabilities import (
     SolverCapabilities,
     check_expressivity,
 )
+from .decomposed import DecomposedSolver, wrap_decomposed
+from .factory import instantiate_solver
 
 __all__ = [
+    "DecomposedSolver",
     "LOCAL_SEARCH_CAPABILITIES",
     "MAPSolution",
     "MAPSolver",
@@ -18,4 +21,6 @@ __all__ = [
     "SolverCapabilities",
     "SolverStats",
     "check_expressivity",
+    "instantiate_solver",
+    "wrap_decomposed",
 ]

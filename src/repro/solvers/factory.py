@@ -1,0 +1,41 @@
+"""Shared back-end factory invocation with precise option diagnostics.
+
+Every solver registry (MLN, PSL, and the unified core registry) instantiates
+back-ends from user-supplied keyword options.  A bare ``factory(**kwargs)``
+raises a generic ``TypeError`` naming neither the back-end nor the offending
+options — and a blanket ``except TypeError`` around the call would also
+swallow genuine bugs inside a constructor.  :func:`instantiate_solver`
+therefore validates the options against the factory's *signature* first:
+only a signature mismatch becomes a :class:`SolverNotAvailableError` (naming
+the back-end and the rejected options); any ``TypeError`` raised while the
+constructor body runs propagates untouched.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, TypeVar
+
+from ..errors import SolverNotAvailableError
+
+T = TypeVar("T")
+
+
+def instantiate_solver(factory: Callable[..., T], description: str, **kwargs) -> T:
+    """Call ``factory(**kwargs)``, wrapping signature mismatches.
+
+    ``description`` names the back-end in the error, e.g. ``"MLN back-end
+    'ilp'"``.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - non-introspectable factory
+        signature = None
+    if signature is not None:
+        try:
+            signature.bind(**kwargs)
+        except TypeError as error:
+            raise SolverNotAvailableError(
+                f"{description} rejected options {sorted(kwargs)}: {error}"
+            ) from error
+    return factory(**kwargs)

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the shared generators in tests/properties/ importable from any test
+# module (the test tree has no packages).
+_PROPERTIES_DIR = str(Path(__file__).resolve().parent / "properties")
+if _PROPERTIES_DIR not in sys.path:
+    sys.path.insert(0, _PROPERTIES_DIR)
 
 from repro import TeCoRe
 from repro.datasets import (

@@ -1,0 +1,160 @@
+"""Property-based tests for the ground-program decomposition itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from program_generators import random_ground_program
+
+from repro.errors import SolverError
+from repro.kg import make_fact
+from repro.logic import ClauseKind, GroundProgram, decompose, interaction_graph
+from repro.mln import ILPMapSolver
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def bfs_components(adjacency):
+    """Connected components of an adjacency dict (reference algorithm)."""
+    seen = set()
+    components = []
+    for start in adjacency:
+        if start in seen:
+            continue
+        stack, component = [start], set()
+        while stack:
+            node = stack.pop()
+            if node in component:
+                continue
+            component.add(node)
+            stack.extend(adjacency[node] - component)
+        seen |= component
+        components.append(frozenset(component))
+    return components
+
+
+class TestDecompositionProperties:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_components_partition_the_atom_set(self, seed):
+        program = random_ground_program(seed)
+        decomposition = decompose(program)
+        covered = []
+        for component in decomposition.components:
+            covered.extend(component.atom_indices)
+        covered.extend(decomposition.unconstrained)
+        assert sorted(covered) == list(range(program.num_atoms))
+        assert len(covered) == len(set(covered))
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_no_clause_spans_two_components(self, seed):
+        program = random_ground_program(seed)
+        decomposition = decompose(program)
+        component_of = {}
+        for component in decomposition.components:
+            for atom_index in component.atom_indices:
+                component_of[atom_index] = component.index
+        claimed = []
+        for component in decomposition.components:
+            claimed.extend(component.clause_indices)
+        # Clause sets partition the program's clauses ...
+        assert sorted(claimed) == list(range(program.num_clauses))
+        # ... and every clause's atoms live in the owning component.
+        for component in decomposition.components:
+            owned = set(component.atom_indices)
+            for clause_index in component.clause_indices:
+                for atom_index, _ in program.clauses[clause_index].literals:
+                    assert atom_index in owned
+                    assert component_of[atom_index] == component.index
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_subprograms_preserve_content(self, seed):
+        program = random_ground_program(seed)
+        for component in decompose(program).components:
+            sub = component.program
+            assert sub.num_atoms == component.num_atoms
+            assert sub.num_clauses == component.num_clauses
+            for local, global_index in enumerate(component.atom_indices):
+                original = program.atoms[global_index]
+                assert sub.atoms[local].fact == original.fact
+                assert sub.atoms[local].is_evidence == original.is_evidence
+            for local_clause, clause_index in zip(sub.clauses, component.clause_indices):
+                original = program.clauses[clause_index]
+                assert local_clause.weight == original.weight
+                assert local_clause.kind is original.kind
+                remapped = tuple(
+                    (component.atom_indices[index], positive)
+                    for index, positive in local_clause.literals
+                )
+                assert remapped == original.literals
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_components_match_interaction_graph(self, seed):
+        program = random_ground_program(seed)
+        adjacency = interaction_graph(program)
+        # Symmetry.
+        for node, neighbours in adjacency.items():
+            for neighbour in neighbours:
+                assert node in adjacency[neighbour]
+        decomposition = decompose(program)
+        in_clause = set()
+        for clause in program.clauses:
+            in_clause.update(index for index, _ in clause.literals)
+        expected = {
+            component for component in bfs_components(adjacency) if component & in_clause
+        }
+        actual = {frozenset(component.atom_indices) for component in decomposition.components}
+        assert actual == expected
+        assert set(decomposition.unconstrained) == set(adjacency) - in_clause
+
+
+class TestSingletonRoundTrip:
+    def test_fully_connected_program_round_trips_unchanged(self):
+        # A chain clause over every atom makes the program one component.
+        program = GroundProgram()
+        for index in range(5):
+            atom = program.add_atom(
+                make_fact(f"s{index}", "rel", f"o{index}", (1, 2), 0.8), is_evidence=True
+            )
+            program.add_clause([(atom.index, True)], 1.0, ClauseKind.EVIDENCE, "e")
+        for index in range(4):
+            program.add_clause(
+                [(index, False), (index + 1, False)], None, ClauseKind.CONSTRAINT, "c"
+            )
+        decomposition = decompose(program)
+        assert decomposition.is_trivial
+        assert decomposition.num_components == 1
+        assert not decomposition.unconstrained
+        component = decomposition.components[0]
+        assert component.atom_indices == tuple(range(5))
+        assert component.program.canonical_signature() == program.canonical_signature()
+        # Merging the single component's solution reproduces it globally.
+        solution = ILPMapSolver().solve(component.program)
+        merged = decomposition.merge([solution])
+        assert merged.assignment == solution.assignment
+        assert merged.objective == solution.objective
+
+    def test_empty_program_decomposes_to_nothing(self):
+        decomposition = decompose(GroundProgram())
+        assert decomposition.num_components == 0
+        assert decomposition.unconstrained == ()
+        merged = decomposition.merge([])
+        assert merged.assignment == ()
+        assert merged.objective == 0.0
+
+    def test_unconstrained_atoms_close_by_weight_sign(self):
+        program = GroundProgram()
+        likely = program.add_atom(make_fact("a", "rel", "x", (1, 2), 0.9), is_evidence=True)
+        unlikely = program.add_atom(make_fact("b", "rel", "y", (1, 2), 0.1), is_evidence=True)
+        decomposition = decompose(program)
+        assert set(decomposition.unconstrained) == {likely.index, unlikely.index}
+        merged = decomposition.merge([])
+        assert merged.assignment[likely.index] is True
+        assert merged.assignment[unlikely.index] is False
+
+    def test_merge_rejects_wrong_solution_count(self):
+        program = random_ground_program(0)
+        decomposition = decompose(program)
+        with pytest.raises(SolverError):
+            decomposition.merge([])

@@ -1,0 +1,59 @@
+"""Factory error reporting: rejected kwargs must name backend and options."""
+
+import pytest
+
+from repro.core.registry import make_solver as registry_make_solver
+from repro.errors import SolverNotAvailableError
+from repro.mln import map_inference as mln_map
+from repro.psl import map_inference as psl_map
+
+
+class TestRejectedKwargs:
+    def test_mln_factory_names_backend_and_kwargs(self):
+        with pytest.raises(SolverNotAvailableError) as excinfo:
+            mln_map.make_solver("ilp", time_limit=5, frobnicate=True)
+        message = str(excinfo.value)
+        assert "'ilp'" in message
+        assert "frobnicate" in message
+
+    def test_psl_factory_names_backend_and_kwargs(self):
+        with pytest.raises(SolverNotAvailableError) as excinfo:
+            psl_map.make_solver("admm", bogus_option=1)
+        message = str(excinfo.value)
+        assert "'admm'" in message
+        assert "bogus_option" in message
+
+    def test_registry_factory_names_solver_and_kwargs(self):
+        with pytest.raises(SolverNotAvailableError) as excinfo:
+            registry_make_solver("nrockit", not_an_option=3)
+        message = str(excinfo.value)
+        assert "'nrockit'" in message
+        assert "not_an_option" in message
+
+    def test_valid_kwargs_still_pass_through(self):
+        solver = mln_map.make_solver("ilp", time_limit=7.5)
+        assert solver.time_limit == 7.5
+
+    def test_unknown_backend_still_reported(self):
+        with pytest.raises(SolverNotAvailableError, match="unknown MLN back-end"):
+            mln_map.make_solver("gurobi")
+
+    def test_solve_map_surfaces_rejected_kwargs(self):
+        from program_generators import random_ground_program
+
+        program = random_ground_program(0, entities=1, isolated_atoms=0)
+        with pytest.raises(SolverNotAvailableError, match="frobnicate"):
+            mln_map.solve_map(program, "ilp", frobnicate=1)
+
+    def test_internal_constructor_typeerror_is_not_masked(self):
+        from repro.core import registry
+
+        def buggy_factory():
+            return len(None)  # a genuine bug inside the constructor body
+
+        registry.register_solver("buggy-test", "mln", "broken on purpose", buggy_factory)
+        try:
+            with pytest.raises(TypeError):
+                registry_make_solver("buggy-test")
+        finally:
+            registry._REGISTRY.pop("buggy-test", None)

@@ -1,0 +1,107 @@
+"""Differential suite: decomposed MAP solve versus monolithic solve.
+
+MAP inference factorises over the connected components of the ground
+program's interaction graph, so for every *exact* MLN back-end the
+decomposed objective must equal the monolithic one bit-for-bit (both sides
+evaluate ``program.objective`` over the same clause order).  The approximate
+paths — MaxWalkSAT and the PSL relaxation — only promise closeness, pinned
+here by tolerances against the exact optimum.
+
+The randomized programs come from the seeded generator in
+``tests/properties/program_generators.py``; seeds are fixed, so every run
+checks the same programs.
+"""
+
+from functools import partial
+
+import pytest
+from program_generators import random_ground_program
+
+from repro.logic import decompose
+from repro.mln import map_inference as mln_map
+from repro.psl import map_inference as psl_map
+from repro.solvers import DecomposedSolver
+
+SEEDS = range(10)
+
+EXACT_MLN_BACKENDS = ["ilp", "cutting-plane", "branch-and-bound"]
+
+
+def programs():
+    return [random_ground_program(seed) for seed in SEEDS]
+
+
+@pytest.fixture(scope="module", name="suite")
+def suite_fixture():
+    """Generated programs plus their exact (ILP) monolithic optima."""
+    generated = programs()
+    optima = [mln_map.solve_map(program, "ilp").objective for program in generated]
+    return list(zip(generated, optima))
+
+
+class TestExactBackends:
+    @pytest.mark.parametrize("backend", EXACT_MLN_BACKENDS)
+    def test_decomposed_objective_is_bit_identical(self, backend, suite):
+        for program, _ in suite:
+            monolithic = mln_map.solve_map(program, backend)
+            decomposed = mln_map.solve_map(program, backend, decompose=True)
+            assert decomposed.objective == monolithic.objective
+            assert program.is_feasible(decomposed.assignment)
+            assert len(decomposed.assignment) == program.num_atoms
+
+    def test_decomposed_matches_across_exact_backends(self, suite):
+        for program, optimum in suite:
+            for backend in EXACT_MLN_BACKENDS:
+                decomposed = mln_map.solve_map(program, backend, decompose=True)
+                assert decomposed.objective == pytest.approx(optimum, abs=1e-9)
+
+    def test_parallel_jobs_match_sequential(self, suite):
+        for program, _ in suite[:3]:
+            sequential = mln_map.solve_map(program, "ilp", decompose=True, jobs=1)
+            parallel = mln_map.solve_map(program, "ilp", decompose=True, jobs=2)
+            assert parallel.objective == sequential.objective
+            assert parallel.assignment == sequential.assignment
+
+    def test_worker_pool_is_reused_across_solves(self, suite):
+        with DecomposedSolver(partial(mln_map.make_solver, "ilp"), jobs=2) as solver:
+            first = solver.solve(suite[0][0])
+            pool = solver._pool
+            assert pool is not None
+            second = solver.solve(suite[1][0])
+            assert solver._pool is pool
+            assert first.objective == suite[0][1]
+            assert second.objective == suite[1][1]
+        assert solver._pool is None
+
+    def test_merged_stats_report_components(self, suite):
+        program, _ = suite[0]
+        decomposition = decompose(program)
+        solution = mln_map.solve_map(program, "ilp", decompose=True)
+        extra = dict(solution.stats.extra)
+        assert extra["components"] == decomposition.num_components
+        assert extra["unconstrained_atoms"] == len(decomposition.unconstrained)
+        assert solution.stats.solver == "decomposed(nrockit-ilp)"
+
+
+class TestApproximateBackends:
+    def test_maxwalksat_within_tolerance(self, suite):
+        for program, optimum in suite:
+            monolithic = mln_map.solve_map(program, "maxwalksat", seed=0)
+            decomposed = mln_map.solve_map(program, "maxwalksat", decompose=True, seed=0)
+            assert program.is_feasible(decomposed.assignment)
+            # Local search on these programs reaches the optimum; keep a thin
+            # tolerance so the assertion survives flip-order changes.
+            assert decomposed.objective >= optimum * (1 - 1e-3)
+            assert abs(decomposed.objective - monolithic.objective) <= optimum * 1e-3
+
+    @pytest.mark.parametrize("backend", ["admm", "projected-gradient"])
+    def test_psl_path_within_tolerance(self, backend, suite):
+        for program, optimum in suite:
+            monolithic = psl_map.solve_map(program, backend)
+            decomposed = psl_map.solve_map(program, backend, decompose=True)
+            assert program.is_feasible(decomposed.assignment)
+            # The relaxation rounds per component; empirically that lands at
+            # or above the monolithic rounding, so the bound is one-sided.
+            assert decomposed.objective >= 0.85 * optimum
+            assert decomposed.objective >= monolithic.objective - 0.1 * optimum
+            assert all(0.0 <= value <= 1.0 for value in decomposed.truth_values)
