@@ -1,0 +1,58 @@
+"""Machine-readable benchmark reports.
+
+Every headline benchmark writes — next to its human-readable ``.txt`` table —
+a ``benchmarks/results/BENCH_<name>.json`` document so the performance
+trajectory of the repository can be tracked across commits (CI uploads the
+files as workflow artifacts).  The schema is deliberately small and stable:
+
+.. code-block:: json
+
+    {
+        "benchmark": "incremental",
+        "workload": {"dataset": "footballdb", "scale": 0.05, "...": "..."},
+        "timings": {"full_seconds": 1.2, "incremental_seconds": 0.2},
+        "speedup": 6.1,
+        "stats": {"components": 300, "cache_hit_rate": 0.98},
+        "python": "3.11.8",
+        "platform": "Linux-..."
+    }
+
+``workload`` describes the input, ``timings`` holds wall-clock seconds,
+``speedup`` the headline ratio (when the benchmark has one), and ``stats``
+any benchmark-specific counters (component/cache statistics, program sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Optional
+
+#: Directory shared with the ``.txt`` experiment tables (see conftest.py).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_bench_json(
+    name: str,
+    workload: dict[str, Any],
+    timings: dict[str, float],
+    speedup: Optional[float] = None,
+    stats: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return the path written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload: dict[str, Any] = {
+        "benchmark": name,
+        "workload": workload,
+        "timings": {key: round(value, 6) for key, value in timings.items()},
+    }
+    if speedup is not None:
+        payload["speedup"] = round(speedup, 3)
+    if stats is not None:
+        payload["stats"] = stats
+    payload["python"] = platform.python_version()
+    payload["platform"] = platform.platform()
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return path

@@ -22,6 +22,7 @@ from functools import partial
 
 import pytest
 
+from _report import write_bench_json
 from conftest import format_rows, record_report
 from repro.datasets import FootballDBConfig, generate_footballdb
 from repro.logic import Grounder, decompose, sports_pack
@@ -139,5 +140,32 @@ def test_decomposed_speedup(benchmark, workload):
         "both ways (components never share a clause, so the MAP factorises)."
     )
     record_report("A9b", "monolithic vs decomposed MAP solve (FootballDB)", lines)
+    summary = decomposition.summary()
+    write_bench_json(
+        "decomposition",
+        workload={
+            "dataset": "footballdb",
+            "scale": SCALE,
+            "noise_ratio": 0.5,
+            "seed": 2017,
+            "solver": BACKEND,
+            "jobs": JOBS,
+            "atoms": summary["atoms"],
+            "clauses": summary["clauses"],
+        },
+        timings={
+            "monolithic_seconds": monolithic_seconds,
+            "decomposed_seconds": decomposed_seconds,
+            "ilp_monolithic_seconds": ilp_monolithic_seconds,
+            "ilp_decomposed_seconds": ilp_decomposed_seconds,
+        },
+        speedup=speedup,
+        stats={
+            "components": summary["components"],
+            "largest_component": summary["largest_component"],
+            "singleton_components": summary["singleton_components"],
+            "unconstrained_atoms": summary["unconstrained_atoms"],
+        },
+    )
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["components"] = decomposition.num_components

@@ -28,7 +28,9 @@ Package map
 
 from .core import (
     BatchResolution,
+    DeltaStatistics,
     ResolutionResult,
+    ResolutionSession,
     ResolutionStatistics,
     TeCoRe,
     available_solvers,
@@ -59,9 +61,11 @@ __all__ = [
     "BatchResolution",
     "ConstraintBuilder",
     "ConstraintEditor",
+    "DeltaStatistics",
     "IRI",
     "Literal",
     "ResolutionResult",
+    "ResolutionSession",
     "ResolutionStatistics",
     "RuleBuilder",
     "TeCoRe",

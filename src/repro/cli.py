@@ -10,9 +10,13 @@ workflow for scripted use::
     tecore resolve --dataset ranieri --pack running-example --solver nrockit
     tecore resolve --graph mykg.csv --program rules.dl --solver npsl --threshold 0.5
     tecore resolve-batch kg1.csv kg2.csv --pack sports --solver npsl
+    tecore resolve-batch kg1.csv kg1b.csv --pack sports --incremental
+    tecore watch edits.stream --dataset ranieri --pack running-example
 
 ``--graph`` accepts any file format supported by :mod:`repro.kg.io`;
-``--program`` accepts the Datalog-style rule/constraint syntax.
+``--program`` accepts the Datalog-style rule/constraint syntax; ``watch``
+consumes a change-stream file (see :mod:`repro.kg.io.changestream`) and
+re-resolves incrementally after every step.
 """
 
 from __future__ import annotations
@@ -27,8 +31,11 @@ from .core import TeCoRe, available_solvers, render_graph_summary, render_report
 from .datasets import available_datasets, load_dataset
 from .errors import TecoreError
 from .kg import TemporalKnowledgeGraph
-from .kg.io import load_graph
+from .kg.io import load_change_stream, load_graph
 from .logic import available_packs, load_pack, parse_program
+
+#: Grounding engines selectable from the command line.
+ENGINE_CHOICES = ("indexed", "naive", "incremental")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,7 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     detect = subparsers.add_parser("detect", help="detect temporal conflicts")
     add_input_arguments(detect)
     detect.add_argument(
-        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+        "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
     )
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
@@ -86,7 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resolve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     resolve.add_argument(
-        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+        "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
     )
     add_decomposition_arguments(resolve)
     resolve.add_argument("--json", action="store_true", help="emit JSON instead of text")
@@ -106,10 +113,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     batch.add_argument(
-        "--engine", default="indexed", choices=("indexed", "naive"), help="grounding engine"
+        "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
     )
     add_decomposition_arguments(batch)
+    batch.add_argument(
+        "--incremental",
+        action="store_true",
+        help="serve the batch through one incremental session, diffing consecutive graphs",
+    )
     batch.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="replay a change stream against a UTKG, re-resolving incrementally",
+    )
+    watch.add_argument(
+        "stream",
+        help="change-stream file (+/- prefixed temporal-quad lines; 'resolve' closes a step)",
+    )
+    add_input_arguments(watch)
+    watch.add_argument(
+        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+    )
+    watch.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    watch.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed dirty-component solves from the previous solution (anytime back-ends)",
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="emit one JSON object per step (JSONL)"
+    )
     return parser
 
 
@@ -224,7 +258,7 @@ def _command_resolve_batch(args: argparse.Namespace) -> int:
         decompose=args.decompose,
         jobs=args.jobs,
     )
-    batch = system.resolve_batch(graphs)
+    batch = system.resolve_batch(graphs, incremental=args.incremental)
     if args.json:
         print(json.dumps(batch.as_dict(), indent=2))
     else:
@@ -238,6 +272,56 @@ def _command_resolve_batch(args: argparse.Namespace) -> int:
         print(
             f"batch: {len(batch)} graphs in {batch.runtime_seconds:.3f} s "
             f"({batch.graphs_per_second:.1f} graphs/s, solver={args.solver})"
+        )
+    return 0
+
+
+def _watch_step_line(label: str, result) -> str:
+    statistics = result.statistics
+    delta = result.delta
+    parts = [
+        f"{label:10s}",
+        f"facts={statistics.input_facts:6d}",
+        f"removed={statistics.removed_facts:4d}",
+        f"inferred={statistics.inferred_facts:4d}",
+        f"violations={statistics.violations:4d}",
+    ]
+    if delta is not None:
+        parts.append(f"changed={delta.facts_changed:4d}")
+        parts.append(
+            f"components={delta.components_cached}/{delta.components_total} cached"
+        )
+    parts.append(f"{statistics.runtime_seconds * 1000:8.1f} ms")
+    return "  ".join(parts)
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    graph = _load_graph_from_args(args)
+    rules, constraints = _load_program_from_args(args)
+    steps = load_change_stream(Path(args.stream))
+    system = TeCoRe(
+        rules=rules,
+        constraints=constraints,
+        solver=args.solver,
+        threshold=args.threshold,
+    )
+    session = system.session(graph, warm_start=args.warm_start)
+    if args.json:
+        print(json.dumps({"step": 0, **session.result.as_dict()}))
+    else:
+        print(_watch_step_line("initial", session.result))
+    for number, step in enumerate(steps, start=1):
+        result = session.apply(adds=step.adds, removes=step.removes)
+        if args.json:
+            print(json.dumps({"step": number, **result.as_dict()}))
+        else:
+            print(_watch_step_line(f"step {number}", result))
+    if not args.json:
+        summary = session.state_summary()
+        print(
+            f"watched {len(steps)} steps: {summary['cache_hits']} component cache "
+            f"hits, {summary['cache_misses']} misses, "
+            f"{summary['firings']} firings / {summary['violations']} violations maintained"
         )
     return 0
 
@@ -261,6 +345,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_resolve(args)
         if args.command == "resolve-batch":
             return _command_resolve_batch(args)
+        if args.command == "watch":
+            return _command_watch(args)
         parser.error(f"unknown command {args.command!r}")
     except (TecoreError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -10,14 +10,23 @@ from .registry import (
     solver_family,
 )
 from .report import render_comparison, render_graph_summary, render_report
-from .result import BatchResolution, ResolutionResult, ResolutionStatistics
+from .result import (
+    BatchResolution,
+    DeltaStatistics,
+    ResolutionResult,
+    ResolutionStatistics,
+)
+from .session import ComponentSolutionCache, ResolutionSession
 from .tecore import TeCoRe, detect_conflicts, resolve, resolve_batch
 from .threshold import ThresholdFilter, sweep_thresholds
 from .translator import TecoreTranslator, TranslatedProgram
 
 __all__ = [
     "BatchResolution",
+    "ComponentSolutionCache",
+    "DeltaStatistics",
     "ResolutionResult",
+    "ResolutionSession",
     "ResolutionStatistics",
     "SolverEntry",
     "TeCoRe",

@@ -68,6 +68,57 @@ class ResolutionStatistics:
         }
 
 
+@dataclass(frozen=True, slots=True)
+class DeltaStatistics:
+    """What one incremental :meth:`ResolutionSession.apply` step did.
+
+    The serving counters of the incremental engine: how big the edit was,
+    how much of the ground program it touched, and how much of the MAP solve
+    the component cache avoided.
+    """
+
+    facts_added: int = 0
+    facts_removed: int = 0
+    facts_updated: int = 0
+    clauses_added: int = 0
+    clauses_retracted: int = 0
+    components_total: int = 0
+    components_dirty: int = 0
+    components_cached: int = 0
+    warm_started: int = 0
+    grounding_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def facts_changed(self) -> int:
+        """Total number of evidence statements touched by the edit."""
+        return self.facts_added + self.facts_removed + self.facts_updated
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of components answered from the solution cache."""
+        if not self.components_total:
+            return 0.0
+        return self.components_cached / self.components_total
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "facts_added": self.facts_added,
+            "facts_removed": self.facts_removed,
+            "facts_updated": self.facts_updated,
+            "facts_changed": self.facts_changed,
+            "clauses_added": self.clauses_added,
+            "clauses_retracted": self.clauses_retracted,
+            "components_total": self.components_total,
+            "components_dirty": self.components_dirty,
+            "components_cached": self.components_cached,
+            "cache_hit_rate": self.cache_hit_rate,
+            "warm_started": self.warm_started,
+            "grounding_seconds": self.grounding_seconds,
+            "solve_seconds": self.solve_seconds,
+        }
+
+
 @dataclass(frozen=True)
 class ResolutionResult:
     """Everything produced by one TeCoRe resolution run.
@@ -91,6 +142,11 @@ class ResolutionResult:
         The raw MAP solution (assignment, objective, solver statistics).
     statistics:
         Aggregated numbers for the statistics panel.
+    delta:
+        For results produced by an incremental
+        :class:`~repro.core.session.ResolutionSession`, the edit and cache
+        statistics of the step that produced this result; ``None`` for
+        one-shot resolutions.
     """
 
     input_graph: TemporalKnowledgeGraph
@@ -103,6 +159,7 @@ class ResolutionResult:
     solution: MAPSolution
     statistics: ResolutionStatistics
     inferred_below_threshold: tuple[TemporalFact, ...] = field(default_factory=tuple)
+    delta: DeltaStatistics | None = None
 
     # ------------------------------------------------------------------ #
     # Convenience accessors
@@ -133,13 +190,16 @@ class ResolutionResult:
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly summary (used by the CLI and benchmark harnesses)."""
-        return {
+        summary = {
             "graph": self.input_graph.name,
             "statistics": self.statistics.as_dict(),
             "violations_by_constraint": self.violations_by_constraint(),
             "removed_facts": [str(fact) for fact in self.removed_facts],
             "inferred_facts": [str(fact) for fact in self.inferred_facts],
         }
+        if self.delta is not None:
+            summary["delta"] = self.delta.as_dict()
+        return summary
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..kg import TemporalFact, TemporalKnowledgeGraph
 from ..logic import (
@@ -40,6 +40,9 @@ from .registry import available_solvers, make_solver
 from .result import BatchResolution, ResolutionResult, ResolutionStatistics
 from .threshold import ThresholdFilter
 from .translator import TecoreTranslator, TranslatedProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (session ← tecore)
+    from .session import ResolutionSession
 
 
 @dataclass
@@ -179,7 +182,31 @@ class TeCoRe:
         solution = backend.solve(program)
         return self._build_result(graph, translated, solution, started)
 
-    def resolve_batch(self, graphs: Iterable[TemporalKnowledgeGraph]) -> BatchResolution:
+    def session(
+        self,
+        graph: TemporalKnowledgeGraph,
+        warm_start: bool = False,
+        cache_size: int = 8192,
+    ) -> "ResolutionSession":
+        """Open a stateful incremental-resolution session on ``graph``.
+
+        The session performs the initial resolve immediately (available as
+        ``session.result``); subsequent edits go through
+        :meth:`~repro.core.session.ResolutionSession.apply`, which re-grounds
+        only the delta and re-solves only the dirty components of the ground
+        program.  ``warm_start`` seeds dirty-component solves from the
+        previous solution on back-ends that support it (MaxWalkSAT, branch &
+        bound, ADMM); ``cache_size`` bounds the component solution cache.
+        """
+        from .session import ResolutionSession
+
+        return ResolutionSession(self, graph, warm_start=warm_start, cache_size=cache_size)
+
+    def resolve_batch(
+        self,
+        graphs: Iterable[TemporalKnowledgeGraph],
+        incremental: bool = False,
+    ) -> BatchResolution:
         """Resolve many UTKGs, reusing the translated program template and solver.
 
         This is the heavy-traffic serving shape: the rule/constraint program,
@@ -187,7 +214,19 @@ class TeCoRe:
         back-end are constructed once, and each incoming graph only pays for
         its own (indexed) grounding and MAP solve.  Results come back in
         input order as a :class:`~repro.core.result.BatchResolution`.
+
+        With ``incremental=True`` the batch is served by one
+        :class:`~repro.core.session.ResolutionSession`: each graph after the
+        first is *diffed* against the previous one and applied as an edit, so
+        near-duplicate graphs (the common case in tenant fan-out and replayed
+        debugging sessions) only pay for the facts that actually differ.
+        Sessions always solve component-decomposed (``jobs`` is not used):
+        results are those of a ``decompose=True`` resolve — identical for
+        exact back-ends, while anytime back-ends (MaxWalkSAT, PSL) may settle
+        in different (typically better) local optima than a monolithic solve.
         """
+        if incremental:
+            return self._resolve_batch_incremental(graphs)
         batch_started = time.perf_counter()
         translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
         rules = tuple(self.rules)
@@ -199,6 +238,36 @@ class TeCoRe:
             translated = translator.translate(graph, rules, constraints, solver=self.solver)
             solution = backend.solve(translated.program)
             results.append(self._build_result(graph, translated, solution, started))
+        return BatchResolution(
+            results=tuple(results),
+            runtime_seconds=time.perf_counter() - batch_started,
+        )
+
+    def _resolve_batch_incremental(
+        self, graphs: Iterable[TemporalKnowledgeGraph]
+    ) -> BatchResolution:
+        """Serve a batch through one session, diffing consecutive graphs."""
+        batch_started = time.perf_counter()
+        session = None
+        results = []
+        for graph in graphs:
+            if session is None:
+                session = self.session(graph)
+                results.append(session.result)
+                continue
+            current = {fact.statement_key: fact for fact in session.graph}
+            incoming = {fact.statement_key: fact for fact in graph}
+            removes = [
+                fact
+                for key, fact in current.items()
+                if key not in incoming or incoming[key].confidence != fact.confidence
+            ]
+            adds = [
+                fact
+                for key, fact in incoming.items()
+                if key not in current or current[key].confidence != fact.confidence
+            ]
+            results.append(session.apply(adds=adds, removes=removes, graph_name=graph.name))
         return BatchResolution(
             results=tuple(results),
             runtime_seconds=time.perf_counter() - batch_started,
@@ -298,6 +367,7 @@ def resolve_batch(
     threshold: float | None = None,
     decompose: bool = False,
     jobs: int = 1,
+    incremental: bool = False,
     **solver_options,
 ) -> BatchResolution:
     """One-shot batched conflict resolution over many graphs."""
@@ -310,7 +380,7 @@ def resolve_batch(
         decompose=decompose,
         jobs=jobs,
     )
-    return system.resolve_batch(graphs)
+    return system.resolve_batch(graphs, incremental=incremental)
 
 
 def detect_conflicts(

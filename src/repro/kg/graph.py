@@ -329,6 +329,34 @@ class TemporalKnowledgeGraph:
         clone._tick = self._tick
         return clone
 
+    def without_statements(
+        self, keys: Iterable[tuple], name: str | None = None
+    ) -> "TemporalKnowledgeGraph":
+        """Clone of the graph minus the given statement keys (bulk removal).
+
+        Index-level: clones the indexes once and discards the dropped keys
+        from their buckets, so the cost is ``O(n + d)`` rather than the
+        ``O(n · d)`` of repeated :meth:`remove` calls (which each rebuild the
+        insertion-order list).  Unknown keys are ignored; insertion ticks of
+        surviving facts are preserved, so delta cursors stay valid.  This is
+        the hot path of incremental result assembly (the consistent subset
+        after a MAP repair).
+        """
+        drop = {key for key in keys if key in self._facts}
+        clone = self.copy(name=name or f"{self.name}-without")
+        if not drop:
+            return clone
+        for key in drop:
+            fact = clone._facts.pop(key)
+            clone._by_subject[fact.subject].discard(key)
+            clone._by_predicate[fact.predicate].discard(key)
+            clone._by_object[fact.object].discard(key)
+            clone._by_subject_predicate[(fact.subject, fact.predicate)].discard(key)
+            clone._by_predicate_object[(fact.predicate, fact.object)].discard(key)
+            clone._added_at.pop(key, None)
+        clone._order = [key for key in clone._order if key not in drop]
+        return clone
+
     def filter(
         self, keep: Callable[[TemporalFact], bool], name: str | None = None
     ) -> "TemporalKnowledgeGraph":

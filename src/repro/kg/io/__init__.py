@@ -7,6 +7,8 @@ Three formats are supported:
 * :mod:`repro.kg.io.json_io` — a JSON interchange document.
 
 :func:`load_graph` / :func:`save_graph` dispatch on file extension.
+:mod:`repro.kg.io.changestream` additionally parses edit-stream files
+(scripted add/remove sequences) for incremental resolution.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from typing import Union
 from ...errors import ParseError
 from ..graph import TemporalKnowledgeGraph
 from . import csv_io, json_io, tqlines
+from .changestream import ChangeStep, iter_change_steps, load_change_stream
 
 _LOADERS = {
     ".tq": tqlines.load,
@@ -55,4 +58,13 @@ def save_graph(graph: TemporalKnowledgeGraph, path: Union[str, Path]) -> Path:
     return saver(graph, destination)
 
 
-__all__ = ["csv_io", "json_io", "load_graph", "save_graph", "tqlines"]
+__all__ = [
+    "ChangeStep",
+    "csv_io",
+    "iter_change_steps",
+    "json_io",
+    "load_change_stream",
+    "load_graph",
+    "save_graph",
+    "tqlines",
+]

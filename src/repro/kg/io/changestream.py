@@ -1,0 +1,92 @@
+"""Change-stream files: scripted edit sequences for incremental resolution.
+
+A change stream is a line-oriented text file describing fact insertions and
+retractions against a base UTKG, grouped into *steps*; ``tecore watch``
+replays it through a :class:`~repro.core.session.ResolutionSession`::
+
+    # repair the Ranieri conflict, then learn a new stint
+    - CR coach Chelsea [2000,2004] 0.9
+    + CR coach Leicester [2015,2017] 0.95
+    resolve
+    + CR coach Fulham [2018,2019] 0.7
+
+Syntax:
+
+* ``+ <fact>`` (or ``add <fact>``) inserts a fact; ``- <fact>`` (or
+  ``remove <fact>``) retracts one.  Facts use the native temporal-quad line
+  format of :mod:`repro.kg.io.tqlines` (confidence optional; retraction
+  ignores it, since statements are identified by key).
+* ``resolve`` (case-insensitive, alone on a line) closes the current step.
+* ``#`` comments and blank lines are ignored.
+* A trailing step without an explicit ``resolve`` is closed at end of input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ...errors import ParseError
+from ..triple import TemporalFact
+from .tqlines import parse_line
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeStep:
+    """One batch of edits applied (and resolved) together."""
+
+    adds: tuple[TemporalFact, ...] = field(default_factory=tuple)
+    removes: tuple[TemporalFact, ...] = field(default_factory=tuple)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.adds and not self.removes
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.removes)
+
+
+def iter_change_steps(
+    lines: Iterable[str], source: str | None = None
+) -> Iterator[ChangeStep]:
+    """Parse a change stream into :class:`ChangeStep` batches."""
+    adds: list[TemporalFact] = []
+    removes: list[TemporalFact] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower() == "resolve":
+            yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
+            adds, removes = [], []
+            continue
+        if line.startswith("+"):
+            op, rest = "add", line[1:]
+        elif line.startswith("-"):
+            op, rest = "remove", line[1:]
+        else:
+            head, _, rest = line.partition(" ")
+            op = head.lower()
+            if op not in ("add", "remove"):
+                raise ParseError(
+                    f"change-stream line must start with '+', '-', 'add', "
+                    f"'remove', or 'resolve'; got {line!r}",
+                    line=number,
+                    source=source,
+                )
+        fact = parse_line(rest, line_number=number, source=source)
+        if fact is None:
+            raise ParseError(
+                f"missing fact after {op!r}", line=number, source=source
+            )
+        (adds if op == "add" else removes).append(fact)
+    if adds or removes:
+        yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
+
+
+def load_change_stream(path_or_file: Union[str, Path]) -> list[ChangeStep]:
+    """Load a change-stream file into a list of steps."""
+    path = Path(path_or_file)
+    with path.open("r", encoding="utf-8") as handle:
+        return list(iter_change_steps(handle, source=str(path)))

@@ -51,6 +51,7 @@ class TemporalFact:
     interval: TimeInterval
     confidence: float = 1.0
     _statement_key: tuple = field(init=False, repr=False, compare=False)
+    _sort_key: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.interval, TimeInterval):
@@ -65,17 +66,17 @@ class TemporalFact:
             )
         # All fields are immutable, so the statement key can be computed once;
         # it is the hot lookup key of the grounding engine and atom table.
-        object.__setattr__(
-            self,
-            "_statement_key",
-            (
-                term_key(self.subject),
-                self.predicate.value,
-                term_key(self.object),
-                self.interval.start,
-                self.interval.end,
-            ),
+        statement_key = (
+            term_key(self.subject),
+            self.predicate.value,
+            term_key(self.object),
+            self.interval.start,
+            self.interval.end,
         )
+        object.__setattr__(self, "_statement_key", statement_key)
+        # The sort key is equally hot: every grounding join re-orders its
+        # matches with it (once per body fact per comparison).
+        object.__setattr__(self, "_sort_key", (*statement_key, -self.confidence))
 
     # ------------------------------------------------------------------ #
     # Views
@@ -125,7 +126,7 @@ class TemporalFact:
     # Ordering / formatting
     # ------------------------------------------------------------------ #
     def sort_key(self) -> tuple:
-        return (*self.statement_key, -self.confidence)
+        return self._sort_key
 
     def __lt__(self, other: "TemporalFact") -> bool:
         if not isinstance(other, TemporalFact):

@@ -1,0 +1,597 @@
+"""Delta-maintained grounding: the incremental engine.
+
+The paper's debugging loop is iterative — resolve, repair facts or receive
+new evidence, resolve again — yet a fresh :class:`IndexedGrounder` pass pays
+for the whole graph every time.  :class:`IncrementalGrounder` instead keeps a
+*materialised match state* between resolutions and maintains it under fact
+insertions **and** retractions, so the grounding cost of an update scales
+with the size of the change, not the size of the graph:
+
+* **Insertions** re-run the semi-naive join only against the delta: the new
+  facts get fresh insertion ticks in the working graph, and the existing
+  pivot discipline of :func:`repro.logic.grounding._delta_matches` enumerates
+  exactly the rule firings and constraint violations that involve at least
+  one new fact (chaining to the rule fix point, so cascading derivations are
+  found too).
+* **Retractions** use support-set bookkeeping: every maintained firing
+  records the statement keys of its body.  Removing a fact re-derives the set
+  of *live* statements (evidence plus anything still derivable through the
+  maintained firings — a least fix point, so cyclic derivations with no
+  remaining evidence support die correctly), drops dead firings, violations,
+  and working-graph facts, and leaves everything else untouched.  A retracted
+  fact that is later re-added gets a fresh tick, so the delta join rebuilds
+  exactly the matches that were dropped.
+* **Emission** rebuilds the :class:`~repro.logic.ground.GroundProgram` from
+  the maintained state in the exact order the from-scratch engines use
+  (evidence in insertion order, then firings layered into semi-naive rounds —
+  rule order, then lexicographic body order inside a round — then constraint
+  clauses per constraint in lexicographic order).  The emitted program is
+  therefore *identical* to a from-scratch grounding of the current graph:
+  same atoms, same clause order, same floats.  Emission is a linear pass with
+  no joins; the joins — the expensive part — only ever run against deltas.
+
+The engine deliberately maintains a *superset* of the matches the bounded
+(``max_rounds``) from-scratch chaining would emit: firings are chained to the
+true fix point and filtered to ``max_rounds`` derivation layers at emission
+time.  That keeps the state closed under future deltas (a new fact that
+shortens a derivation chain can pull an existing deep firing inside the round
+bound without any re-join).  Rule sets that do not reach a fix point within
+``fixpoint_rounds`` flip the engine into a degraded-but-correct mode where
+:meth:`ground` delegates to a fresh :class:`IndexedGrounder` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import InvalidFactError
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..kg.triple import FactLike, coerce_fact
+from .constraint import TemporalConstraint
+from .ground import ClauseKind, GroundAtom, GroundProgram
+from .grounding import (
+    GROUNDING_ENGINES,
+    ConstraintViolation,
+    GroundingResult,
+    IndexedGrounder,
+    RuleFiring,
+    _GrounderBase,
+    _compile_body,
+    _delta_matches,
+)
+from .rule import TemporalRule
+
+
+@dataclass(frozen=True, slots=True)
+class _FiringRecord:
+    """One maintained rule firing (a ground match of a rule body)."""
+
+    rule_index: int
+    rule_name: str
+    body: tuple[TemporalFact, ...]
+    head: TemporalFact
+    body_keys: tuple[tuple, ...]
+    head_key: tuple
+    signature: tuple  # (rule name, body keys, head key) — content identity
+
+
+@dataclass(frozen=True, slots=True)
+class _ViolationRecord:
+    """One maintained constraint violation (a conflict set)."""
+
+    constraint_index: int
+    facts: tuple[TemporalFact, ...]
+    fact_keys: tuple[tuple, ...]
+    order_key: tuple[tuple, ...]  # body-position statement keys (match order)
+    signature: tuple  # (constraint name, sorted fact keys) — content identity
+
+
+@dataclass(frozen=True, slots=True)
+class EmissionPlan:
+    """The maintained state filtered and ordered for program emission.
+
+    The plan *is* the ground program, represented semantically: the atom
+    table in from-scratch order, the emitted firings in round → rule →
+    lexicographic-body order (paired with whether a derived-prior unit clause
+    precedes the firing's rule clause), and the emitted violations in
+    constraint-major lexicographic order.  :meth:`IncrementalGrounder.ground`
+    materialises it into a :class:`~repro.logic.ground.GroundProgram`;
+    :class:`repro.core.session.ResolutionSession` consumes it directly so
+    only *dirty* components ever pay for object construction.
+    """
+
+    atoms: list[GroundAtom]
+    atom_index: dict[tuple, int]
+    evidence_count: int
+    firings: list[tuple[_FiringRecord, bool]]  # (record, emit_prior_clause)
+    violations: list[_ViolationRecord]
+    rounds: int
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_clauses(self) -> int:
+        priors = sum(1 for _, emit_prior in self.firings if emit_prior)
+        return self.evidence_count + len(self.firings) + priors + len(self.violations)
+
+
+@dataclass(frozen=True, slots=True)
+class GroundingDelta:
+    """What one :meth:`IncrementalGrounder.apply` call changed."""
+
+    facts_added: int = 0
+    facts_removed: int = 0
+    facts_updated: int = 0
+    firings_added: int = 0
+    firings_retracted: int = 0
+    violations_added: int = 0
+    violations_retracted: int = 0
+
+    @property
+    def facts_changed(self) -> int:
+        return self.facts_added + self.facts_removed + self.facts_updated
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the apply was a no-op (nothing to re-ground or re-solve)."""
+        return self.facts_changed == 0
+
+
+class IncrementalGrounder(_GrounderBase):
+    """Grounding engine that maintains its result under graph mutations.
+
+    Construction performs the initial full grounding (as one big delta from
+    tick zero); :meth:`apply` folds fact insertions/retractions into the
+    maintained state; :meth:`ground` emits the current
+    :class:`~repro.logic.grounding.GroundingResult`, bit-identical to a
+    from-scratch :class:`IndexedGrounder` pass over the current graph.
+
+    The engine owns private copies of the evidence graph and the working
+    graph (evidence plus derived facts); the caller's graph is never mutated.
+    Registered as ``"incremental"`` in :data:`GROUNDING_ENGINES`, so it also
+    works as a drop-in one-shot engine — but its value is in reuse, via
+    :class:`repro.core.session.ResolutionSession`.
+    """
+
+    engine = "incremental"
+
+    def __init__(
+        self,
+        graph: TemporalKnowledgeGraph,
+        rules: Iterable[TemporalRule] = (),
+        constraints: Iterable[TemporalConstraint] = (),
+        max_rounds: int = 5,
+        derive_facts: bool = True,
+        keep_bias: float = 1e-3,
+        derived_prior: float = 5e-4,
+        fixpoint_rounds: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            graph.copy(name=graph.name),
+            rules=rules,
+            constraints=constraints,
+            max_rounds=max_rounds,
+            derive_facts=derive_facts,
+            keep_bias=keep_bias,
+            derived_prior=derived_prior,
+        )
+        #: Chaining bound for the maintained fix point.  Deliberately looser
+        #: than ``max_rounds``: the match state is kept as the *unbounded*
+        #: fix point and filtered to ``max_rounds`` layers at emission, so a
+        #: later delta can legally shorten a derivation into the bound.
+        self.fixpoint_rounds = (
+            fixpoint_rounds if fixpoint_rounds is not None else max(4 * max_rounds, 32)
+        )
+        #: False when chaining hit ``fixpoint_rounds`` while still productive;
+        #: the engine then degrades to from-scratch grounding (still correct).
+        self.saturated = True
+        self._working = self.graph.copy(name=f"{self.graph.name}-working")
+        self._firings: dict[tuple, _FiringRecord] = {}
+        self._violations: dict[tuple, _ViolationRecord] = {}
+        self._rule_plans = [_compile_body(rule.body) for rule in self.rules]
+        self._constraint_plans = [_compile_body(c.body) for c in self.constraints]
+        self._chain(0)
+        self._match_constraints(0)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def apply(
+        self, adds: Iterable[FactLike] = (), removes: Iterable[FactLike] = ()
+    ) -> GroundingDelta:
+        """Fold fact insertions and retractions into the maintained state.
+
+        ``removes`` are processed first (so a fact in both is replaced and
+        gets a fresh insertion tick).  Re-adding an existing statement with a
+        *higher* confidence is a pure weight update — no re-matching happens
+        because the statement key, the only thing joins see, is unchanged.
+        Returns a :class:`GroundingDelta` summarising the state change.
+
+        The whole edit is validated before any state is touched (coercion
+        and time-domain checks), so a malformed fact raises without leaving
+        the maintained match state half-updated.
+        """
+        removes = [coerce_fact(fact) for fact in removes]
+        adds = [coerce_fact(fact) for fact in adds]
+        if self.graph.domain is not None:
+            domain = self.graph.domain
+            for item in adds:
+                if item.interval.start not in domain or item.interval.end not in domain:
+                    raise InvalidFactError(
+                        f"fact interval {item.interval} outside time domain "
+                        f"[{domain.start}, {domain.end}]"
+                    )
+
+        removed = 0
+        removed_any = False
+        for fact in removes:
+            if self.graph.remove(fact):
+                removed += 1
+                removed_any = True
+        firings_retracted = violations_retracted = 0
+        if removed_any:
+            firings_retracted, violations_retracted = self._retract()
+
+        added = updated = 0
+        mark = self._working.mark()
+        fresh = False
+        for item in adds:
+            key = item.statement_key
+            existing = key in self.graph._facts
+            before = self.graph._facts[key].confidence if existing else None
+            stored = self.graph.add(item)
+            if not existing:
+                added += 1
+            elif stored.confidence != before:
+                updated += 1
+            if key not in self._working._facts:
+                self._working.add(stored)  # fresh tick ⇒ the delta join sees it
+                fresh = True
+            else:
+                # Already live (as evidence or derived): at most a confidence
+                # bump, which never changes what the joins can match.
+                self._working.add(stored)
+
+        firings_added = violations_added = 0
+        if fresh:
+            firings_added = self._chain(mark)
+            violations_added = self._match_constraints(mark)
+
+        return GroundingDelta(
+            facts_added=added,
+            facts_removed=removed,
+            facts_updated=updated,
+            firings_added=firings_added,
+            firings_retracted=firings_retracted,
+            violations_added=violations_added,
+            violations_retracted=violations_retracted,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _live_keys(self) -> set[tuple]:
+        """Least fix point of derivability: evidence plus supported heads.
+
+        Computed over the *maintained* firing set only — no joins.  Derived
+        facts whose every support chain lost an evidence fact (including
+        mutually-supporting cycles) fall out of the result.
+        """
+        live = set(self.graph._facts)
+        pending = [
+            record for record in self._firings.values() if record.head_key not in live
+        ]
+        changed = True
+        while changed and pending:
+            changed = False
+            remaining = []
+            for record in pending:
+                if record.head_key in live:
+                    continue
+                if all(key in live for key in record.body_keys):
+                    live.add(record.head_key)
+                    changed = True
+                else:
+                    remaining.append(record)
+            pending = remaining
+        return live
+
+    def _retract(self) -> tuple[int, int]:
+        """Drop firings, violations, and working facts no longer supported."""
+        live = self._live_keys()
+        dead_firings = [
+            signature
+            for signature, record in self._firings.items()
+            if any(key not in live for key in record.body_keys)
+        ]
+        for signature in dead_firings:
+            del self._firings[signature]
+        dead_violations = [
+            signature
+            for signature, record in self._violations.items()
+            if any(key not in live for key in record.fact_keys)
+        ]
+        for signature in dead_violations:
+            del self._violations[signature]
+        dead_facts = [fact for fact in self._working if fact.statement_key not in live]
+        for fact in dead_facts:
+            self._working.remove(fact)
+        return len(dead_firings), len(dead_violations)
+
+    def _chain(self, delta_since: int) -> int:
+        """Semi-naive forward chaining of the rules against a delta window.
+
+        Matches every rule body against matches using at least one working
+        fact with insertion tick ≥ ``delta_since``, records the firings, adds
+        genuinely new heads to the working graph, and repeats on the new
+        heads until the fix point (or ``fixpoint_rounds``, which flips the
+        engine into degraded mode).  Returns the number of new firings.
+        """
+        if not self.derive_facts or not self.rules:
+            return 0
+        firings = self._firings
+        working = self._working
+        added_firings = 0
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > self.fixpoint_rounds:
+                self.saturated = False
+                break
+            round_mark = working.mark()
+            new_heads: list[TemporalFact] = []
+            for rule_index, (rule, plan) in enumerate(zip(self.rules, self._rule_plans)):
+                for substitution, body_facts in _delta_matches(plan, working, delta_since):
+                    if not all(condition.holds(substitution) for condition in rule.conditions):
+                        continue
+                    head_interval = rule.head_interval_for(substitution)
+                    if head_interval is None:
+                        continue
+                    head_fact = rule.head.instantiate(
+                        substitution,
+                        interval=head_interval,
+                        confidence=rule.derived_confidence,
+                    )
+                    body_keys = tuple(fact.statement_key for fact in body_facts)
+                    signature = (rule.name, body_keys, head_fact.statement_key)
+                    if signature in firings:
+                        continue
+                    firings[signature] = _FiringRecord(
+                        rule_index=rule_index,
+                        rule_name=rule.name,
+                        body=tuple(body_facts),
+                        head=head_fact,
+                        body_keys=body_keys,
+                        head_key=head_fact.statement_key,
+                        signature=signature,
+                    )
+                    added_firings += 1
+                    new_heads.append(head_fact)
+            grew = False
+            for head in new_heads:
+                if head not in working:
+                    working.add(head)
+                    grew = True
+            if not grew:
+                break
+            delta_since = round_mark
+        return added_firings
+
+    def _match_constraints(self, delta_since: int) -> int:
+        """Record constraint violations using at least one delta fact.
+
+        A *new* violation signature necessarily contains a delta fact, so
+        every body permutation of it is enumerated in this pass; the stored
+        representative is the lexicographically smallest one — exactly the
+        match the from-scratch engines keep after sorting and deduplicating.
+        Ordering compares statement keys only: the engines' sort keys add a
+        confidence tie-break, but equal keys always mean the same stored
+        fact, so the tie-break never decides an order.
+        """
+        violations = self._violations
+        added = 0
+        for constraint_index, (constraint, plan) in enumerate(
+            zip(self.constraints, self._constraint_plans)
+        ):
+            for substitution, facts in _delta_matches(plan, self._working, delta_since):
+                keys = tuple(fact.statement_key for fact in facts)
+                if len(set(keys)) != len(keys):
+                    continue  # degenerate: the same fact fills two body atoms
+                if not constraint.violated_by(substitution):
+                    continue
+                signature = (constraint.name, tuple(sorted(keys)))
+                record = violations.get(signature)
+                if record is None:
+                    violations[signature] = _ViolationRecord(
+                        constraint_index=constraint_index,
+                        facts=tuple(facts),
+                        fact_keys=keys,
+                        order_key=keys,
+                        signature=signature,
+                    )
+                    added += 1
+                elif keys < record.order_key:
+                    violations[signature] = _ViolationRecord(
+                        constraint_index=constraint_index,
+                        facts=tuple(facts),
+                        fact_keys=keys,
+                        order_key=keys,
+                        signature=signature,
+                    )
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def emit_plan(self) -> EmissionPlan:
+        """Filter and order the maintained state for emission.
+
+        Firings are layered into semi-naive rounds (a firing belongs to round
+        ``1 + max(availability round of its body facts)``) and ordered
+        round → rule → lexicographic-body; firings deeper than ``max_rounds``
+        layers — and violations touching facts only derivable beyond the
+        bound — are filtered out, reproducing the from-scratch engines'
+        truncation semantics exactly.  The atom table is built here (evidence
+        in graph insertion order, then derived atoms in first-firing order),
+        so plan consumers share one numbering.  Requires :attr:`saturated`.
+        """
+        atoms: list[GroundAtom] = []
+        atom_index: dict[tuple, int] = {}
+        for fact in self.graph:
+            atom_index[fact.statement_key] = len(atoms)
+            atoms.append(GroundAtom(len(atoms), fact, True, None))
+        evidence_count = len(atoms)
+
+        ordered_firings: list[tuple[_FiringRecord, bool]] = []
+        available: set[tuple] = set(atom_index)
+        pending = list(self._firings.values())
+        rounds = 0
+        emit_priors = self.derived_prior > 0
+        for round_number in range(1, self.max_rounds + 1):
+            ready: list[_FiringRecord] = []
+            remaining: list[_FiringRecord] = []
+            for record in pending:
+                if all(key in available for key in record.body_keys):
+                    ready.append(record)
+                else:
+                    remaining.append(record)
+            if not ready:
+                break
+            pending = remaining
+            rounds = round_number
+            ready.sort(key=lambda record: (record.rule_index, record.body_keys))
+            for record in ready:
+                # Body atoms are always present already: every body fact is
+                # available, i.e. evidence or the head of an earlier firing.
+                existing = atom_index.get(record.head_key)
+                if existing is None:
+                    atom_index[record.head_key] = len(atoms)
+                    atoms.append(GroundAtom(len(atoms), record.head, False, record.rule_name))
+                    ordered_firings.append((record, emit_priors))
+                else:
+                    ordered_firings.append((record, False))
+            for record in ready:
+                available.add(record.head_key)
+
+        buckets: dict[int, list[_ViolationRecord]] = {}
+        for record in self._violations.values():
+            if all(key in available for key in record.fact_keys):
+                buckets.setdefault(record.constraint_index, []).append(record)
+        ordered_violations: list[_ViolationRecord] = []
+        for constraint_index in range(len(self.constraints)):
+            records = buckets.get(constraint_index)
+            if records:
+                records.sort(key=lambda record: record.order_key)
+                ordered_violations.extend(records)
+
+        return EmissionPlan(
+            atoms=atoms,
+            atom_index=atom_index,
+            evidence_count=evidence_count,
+            firings=ordered_firings,
+            violations=ordered_violations,
+            rounds=rounds,
+        )
+
+    def fresh_facts(self, facts: Iterable[TemporalFact]) -> tuple[TemporalFact, ...]:
+        """Replace match-time evidence snapshots with current graph objects.
+
+        Maintained records capture fact objects at match time; a later
+        confidence update changes the stored evidence fact but not the
+        record.  Reporting paths route through this so violations and
+        firings show current confidences (derived facts pass through).
+        """
+        stored = self.graph._facts
+        return tuple(stored.get(fact.statement_key, fact) for fact in facts)
+
+    def ground(self) -> GroundingResult:
+        """Materialise the maintained state as a from-scratch-identical result.
+
+        The emitted :class:`~repro.logic.ground.GroundProgram` is identical —
+        same atoms, same clause emission order, same floats — to a fresh
+        :class:`IndexedGrounder` pass over the current graph.
+        """
+        if not self.saturated:
+            # Degraded mode: the rule set outran the maintained fix point;
+            # fall back to an exact from-scratch pass over the current graph.
+            return IndexedGrounder(
+                self.graph,
+                rules=self.rules,
+                constraints=self.constraints,
+                max_rounds=self.max_rounds,
+                derive_facts=self.derive_facts,
+                keep_bias=self.keep_bias,
+                derived_prior=self.derived_prior,
+            ).ground()
+
+        plan = self.emit_plan()
+        program = GroundProgram()
+        result = GroundingResult(program=program, rounds=plan.rounds)
+
+        for atom in plan.atoms[: plan.evidence_count]:
+            added = program.add_atom(atom.fact, is_evidence=True)
+            program.add_clause(
+                [(added.index, True)],
+                weight=atom.fact.log_weight + self.keep_bias,
+                kind=ClauseKind.EVIDENCE,
+                origin="evidence",
+            )
+        for record, emit_prior in plan.firings:
+            rule = self.rules[record.rule_index]
+            # Evidence atoms were all added first, so is_evidence=False can
+            # never downgrade one (evidence status is sticky in add_atom).
+            head_atom = program.add_atom(record.head, False, derived_by=record.rule_name)
+            if emit_prior:
+                program.add_clause(
+                    [(head_atom.index, True)],
+                    weight=-self.derived_prior,
+                    kind=ClauseKind.PRIOR,
+                    origin=f"prior:{record.rule_name}",
+                )
+            body_atoms = [program.add_atom(fact, False) for fact in record.body]
+            literals = [(atom.index, False) for atom in body_atoms]
+            literals.append((head_atom.index, True))
+            program.add_clause(
+                literals, weight=rule.weight, kind=ClauseKind.RULE, origin=record.rule_name
+            )
+            result.firings.append(
+                RuleFiring(
+                    record.rule_name,
+                    self.fresh_facts(record.body),
+                    record.head,
+                    rule.weight,
+                )
+            )
+        for record in plan.violations:
+            constraint = self.constraints[record.constraint_index]
+            violation_atoms = [program.add_atom(fact, False) for fact in record.facts]
+            program.add_clause(
+                [(atom.index, False) for atom in violation_atoms],
+                weight=constraint.weight,
+                kind=ClauseKind.CONSTRAINT,
+                origin=constraint.name,
+            )
+            result.violations.append(
+                ConstraintViolation(
+                    constraint.name, self.fresh_facts(record.facts), constraint.weight
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def state_summary(self) -> dict[str, int]:
+        """Size of the maintained match state (diagnostics)."""
+        return {
+            "evidence_facts": len(self.graph),
+            "working_facts": len(self._working),
+            "firings": len(self._firings),
+            "violations": len(self._violations),
+            "saturated": int(self.saturated),
+        }
+
+
+#: Make the incremental engine selectable wherever "indexed"/"naive" are.
+GROUNDING_ENGINES["incremental"] = IncrementalGrounder

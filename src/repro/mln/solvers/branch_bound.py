@@ -14,7 +14,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy.optimize import linprog
@@ -49,6 +49,7 @@ class BranchAndBoundSolver(MAPSolver):
     """
 
     name = "nrockit-bnb"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -65,10 +66,20 @@ class BranchAndBoundSolver(MAPSolver):
         return MLN_CAPABILITIES
 
     # ------------------------------------------------------------------ #
-    def solve(self, program: GroundProgram) -> MAPSolution:
+    def solve(
+        self, program: GroundProgram, warm_start: Optional[Sequence[float]] = None
+    ) -> MAPSolution:
         started = time.perf_counter()
         encoding = encode(program)
         incumbent, incumbent_value = self._greedy_incumbent(program)
+        if warm_start is not None and len(warm_start) == program.num_atoms:
+            # Warm start: the previous MAP state, if feasible and better than
+            # the greedy incumbent, prunes the tree from the first node.
+            candidate = tuple(value >= 0.5 for value in warm_start)
+            if program.is_feasible(candidate):
+                value = program.objective(candidate)
+                if incumbent is None or value > incumbent_value:
+                    incumbent, incumbent_value = candidate, value
         counter = itertools.count()
 
         root_bound = self._bound(encoding, {})

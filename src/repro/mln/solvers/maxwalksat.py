@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 from ...errors import InfeasibleProgramError
 from ...logic.ground import GroundProgram
@@ -122,6 +122,7 @@ class MaxWalkSATSolver(MAPSolver):
     """
 
     name = "maxwalksat"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -142,16 +143,22 @@ class MaxWalkSATSolver(MAPSolver):
         return LOCAL_SEARCH_CAPABILITIES
 
     # ------------------------------------------------------------------ #
-    def solve(self, program: GroundProgram) -> MAPSolution:
+    def solve(
+        self, program: GroundProgram, warm_start: Optional[Sequence[float]] = None
+    ) -> MAPSolution:
         started = time.perf_counter()
         rng = random.Random(self.seed)
+
+        warm: Optional[list[bool]] = None
+        if warm_start is not None and len(warm_start) == program.num_atoms:
+            warm = [value >= 0.5 for value in warm_start]
 
         best_assignment: Optional[list[bool]] = None
         best_penalty = float("inf")
         flips_done = 0
 
         for restart in range(self.max_restarts):
-            assignment = self._initial_assignment(program, rng, restart)
+            assignment = self._initial_assignment(program, rng, restart, warm)
             state = _SearchState(program, assignment, self.hard_weight)
             if state.penalty < best_penalty:
                 best_assignment, best_penalty = list(state.assignment), state.penalty
@@ -196,9 +203,16 @@ class MaxWalkSATSolver(MAPSolver):
 
     # ------------------------------------------------------------------ #
     def _initial_assignment(
-        self, program: GroundProgram, rng: random.Random, restart: int
+        self,
+        program: GroundProgram,
+        rng: random.Random,
+        restart: int,
+        warm: Optional[list[bool]] = None,
     ) -> list[bool]:
         if restart == 0:
+            if warm is not None:
+                # Warm start: resume the search from the previous MAP state.
+                return list(warm)
             # Informed start: believe all evidence, accept all derivations.
             return [True] * program.num_atoms
         return [rng.random() < 0.5 for _ in range(program.num_atoms)]

@@ -46,6 +46,7 @@ class ADMMSolver(MAPSolver):
     """
 
     name = "npsl-admm"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -66,12 +67,17 @@ class ADMMSolver(MAPSolver):
         return PSL_CAPABILITIES
 
     # ------------------------------------------------------------------ #
-    def solve(self, program: GroundProgram) -> MAPSolution:
+    def solve(self, program: GroundProgram, warm_start=None) -> MAPSolution:
         started = time.perf_counter()
         mrf = HingeLossMRF.from_program(
             program, hard_weight=self.hard_weight, squared=self.squared
         )
-        truth_values, iterations = self._optimise(mrf)
+        initial = None
+        if warm_start is not None and len(warm_start) == program.num_atoms:
+            # Warm start: seed the consensus vector with the previous soft
+            # truth values so ADMM begins near the old optimum.
+            initial = np.clip(np.asarray(warm_start, dtype=float), 0.0, 1.0)
+        truth_values, iterations = self._optimise(mrf, initial=initial)
         assignment = round_solution(program, truth_values)
         elapsed = time.perf_counter() - started
         stats = SolverStats(
@@ -93,10 +99,12 @@ class ADMMSolver(MAPSolver):
     # ------------------------------------------------------------------ #
     # ADMM machinery (vectorised across potentials)
     # ------------------------------------------------------------------ #
-    def _optimise(self, mrf: HingeLossMRF) -> tuple[np.ndarray, int]:
+    def _optimise(
+        self, mrf: HingeLossMRF, initial: np.ndarray | None = None
+    ) -> tuple[np.ndarray, int]:
         from .lukasiewicz import PotentialMatrix
 
-        consensus = mrf.initial_state()
+        consensus = initial.copy() if initial is not None else mrf.initial_state()
         if not mrf.potentials:
             return consensus, 0
         matrix = PotentialMatrix(mrf.potentials, mrf.num_variables)

@@ -91,6 +91,13 @@ class MAPSolver(abc.ABC):
     #: Short identifier used by the solver registry and reports.
     name: str = "abstract"
 
+    #: True when :meth:`solve` accepts a ``warm_start`` keyword — a sequence
+    #: of soft truth values in ``[0, 1]`` (one per atom) used to seed the
+    #: search (initial assignment, incumbent, or consensus vector).  Warm
+    #: starts never change what a solver *accepts*, only where it starts;
+    #: exact back-ends still return an optimum.
+    supports_warm_start: bool = False
+
     @property
     @abc.abstractmethod
     def capabilities(self) -> SolverCapabilities:

@@ -1,0 +1,225 @@
+"""Unit tests for the incremental resolution session and its caches."""
+
+import pytest
+
+from repro import TeCoRe
+from repro.core.session import ComponentSolutionCache, component_content_key
+from repro.datasets import ranieri_graph
+from repro.kg import make_fact
+from repro.logic import Grounder, running_example_constraints, running_example_rules
+
+NAPOLI = ("CR", "coach", "Napoli", (2001, 2003), 0.6)
+LEICESTER = ("CR", "coach", "Leicester", (2015, 2016), 0.97)
+
+
+@pytest.fixture
+def system():
+    return TeCoRe.from_pack("running-example", solver="nrockit")
+
+
+class TestSessionLifecycle:
+    def test_initial_result_matches_one_shot_resolve(self, system):
+        session = system.session(ranieri_graph())
+        reference = system.resolve(ranieri_graph())
+        assert session.result.objective == reference.objective
+        assert {f.statement_key for f in session.result.removed_facts} == {
+            f.statement_key for f in reference.removed_facts
+        }
+        assert session.result.delta is not None
+        assert session.result.delta.components_total >= 1
+        assert session.result.delta.components_dirty == session.result.delta.components_total
+
+    def test_caller_graph_never_mutated(self, system):
+        graph = ranieri_graph()
+        size = len(graph)
+        session = system.session(graph)
+        session.apply(removes=[NAPOLI], adds=[LEICESTER])
+        assert len(graph) == size
+        assert len(session.graph) == size  # one removed, one added
+
+    def test_apply_reports_delta_statistics(self, system):
+        session = system.session(ranieri_graph())
+        result = session.apply(removes=[NAPOLI])
+        delta = result.delta
+        assert delta.facts_removed == 1
+        assert delta.facts_added == 0
+        assert delta.clauses_retracted >= 1
+        assert delta.components_cached > 0  # untouched components reused
+        assert delta.components_dirty + delta.components_cached == delta.components_total
+
+    def test_noop_apply_skips_resolution(self, system):
+        session = system.session(ranieri_graph())
+        hits_before = session.cache.hits
+        misses_before = session.cache.misses
+        result = session.apply()  # empty edit
+        assert result.delta.facts_changed == 0
+        assert session.cache.hits == hits_before
+        assert session.cache.misses == misses_before
+        # Removing an absent statement is also a no-op.
+        result = session.apply(removes=[("Nobody", "coach", "Nowhere", (1900, 1901))])
+        assert result.delta.facts_changed == 0
+
+    def test_edit_then_revert_hits_cache_everywhere(self, system):
+        session = system.session(ranieri_graph())
+        session.apply(removes=[NAPOLI])
+        result = session.apply(adds=[NAPOLI])
+        # The program is back to its initial content: every component was
+        # solved before, so nothing is dirty.
+        assert result.delta.components_dirty == 0
+        assert result.delta.components_cached == result.delta.components_total
+        assert result.objective == system.resolve(ranieri_graph()).objective
+
+    def test_apply_renames_result_graph(self, system):
+        session = system.session(ranieri_graph())
+        result = session.apply(adds=[LEICESTER], graph_name="edited")
+        assert result.input_graph.name == "edited"
+        result = session.apply(graph_name="same-but-renamed")
+        assert result.input_graph.name == "same-but-renamed"
+
+    def test_state_summary_counters(self, system):
+        session = system.session(ranieri_graph())
+        session.apply(removes=[NAPOLI])
+        summary = session.state_summary()
+        assert summary["steps"] == 2
+        assert summary["cache_entries"] == summary["cache_misses"]
+        assert summary["saturated"] == 1
+
+
+class TestDegradedMode:
+    def test_unsaturated_rule_set_served_correctly(self):
+        """Rule chains outrunning the fix-point bound degrade gracefully."""
+        from repro.logic import RuleBuilder, quad
+
+        predicates = [f"hopS{index}" for index in range(6)]
+        rules = [
+            RuleBuilder(f"chainS{index}")
+            .body(quad("x", source, "y", "t"))
+            .head(quad("x", target, "y", "t"))
+            .weight(1.2)
+            .build()
+            for index, (source, target) in enumerate(zip(predicates, predicates[1:]))
+        ]
+        system = TeCoRe(rules=rules, solver="nrockit", max_rounds=2)
+        graph = ranieri_graph()
+        base = graph.add(("X", "hopS0", "Y", (2000, 2001), 0.9))
+        session = system.session(graph)
+        # Force the degraded mode regardless of chain depth.
+        session._grounder.fixpoint_rounds = 1
+        session._grounder.saturated = False
+
+        result = session.apply(adds=[("X", "hopS2", "Y", (2010, 2011), 0.7)])
+        reference_graph = graph.copy()
+        reference_graph.add(("X", "hopS2", "Y", (2010, 2011), 0.7))
+        reference = system.resolve(reference_graph)
+        assert result.objective == reference.objective
+        assert result.delta.components_total == 1
+        assert result.delta.components_dirty == 1
+        # Reverting to a previously seen program hits the whole-program cache.
+        session.apply(removes=[("X", "hopS2", "Y", (2010, 2011))])
+        result = session.apply(adds=[("X", "hopS2", "Y", (2010, 2011), 0.7)])
+        assert result.delta.components_cached == 1
+        assert result.objective == reference.objective
+        assert base in session.graph
+
+
+class TestWarmStarts:
+    @pytest.mark.parametrize("solver", ["maxwalksat", "npsl", "nrockit-bnb"])
+    def test_warm_started_session_stays_feasible(self, solver):
+        system = TeCoRe.from_pack("running-example", solver=solver)
+        session = system.session(ranieri_graph(), warm_start=True)
+        result = session.apply(adds=[LEICESTER])
+        assert result.delta.warm_started > 0
+        program = Grounder(
+            session.graph,
+            rules=running_example_rules(),
+            constraints=running_example_constraints(),
+        ).ground().program
+        assert program.canonical_signature()  # grounding sane
+        assert result.solution.assignment  # solved
+
+    def test_warm_start_keeps_exact_backend_exact(self):
+        """Branch & bound with a warm incumbent still returns the optimum."""
+        cold = TeCoRe.from_pack("running-example", solver="nrockit-bnb")
+        warm_session = cold.session(ranieri_graph(), warm_start=True)
+        warm = warm_session.apply(removes=[NAPOLI])
+        graph = ranieri_graph()
+        graph.remove(NAPOLI)
+        reference = cold.resolve(graph)
+        assert warm.objective == pytest.approx(reference.objective, abs=1e-9)
+
+    def test_cold_session_never_warm_starts(self, system):
+        session = system.session(ranieri_graph(), warm_start=False)
+        result = session.apply(removes=[NAPOLI])
+        assert result.delta.warm_started == 0
+
+
+class TestComponentSolutionCache:
+    def test_lru_eviction(self):
+        cache = ComponentSolutionCache(max_entries=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"  # refresh a
+        cache.put(("c",), "C")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("c",)) == "C"
+        assert len(cache) == 2
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ComponentSolutionCache(max_entries=0)
+
+    def test_component_key_tracks_weight_changes(self, system):
+        """Bumping a confidence must dirty the containing component."""
+        graph = ranieri_graph()
+        program = Grounder(
+            graph,
+            rules=running_example_rules(),
+            constraints=running_example_constraints(),
+        ).ground().program
+        key_before = component_content_key(program)
+        bumped = graph.copy()
+        bumped.add(("CR", "coach", "Napoli", (2001, 2003), 0.8))  # max-confidence merge
+        program_after = Grounder(
+            bumped,
+            rules=running_example_rules(),
+            constraints=running_example_constraints(),
+        ).ground().program
+        assert component_content_key(program_after) != key_before
+
+
+class TestIncrementalBatch:
+    def test_incremental_batch_matches_per_graph_resolution(self):
+        pack_system = TeCoRe.from_pack("running-example", solver="nrockit", decompose=True)
+        base = ranieri_graph()
+        variant = base.copy(name="ranieri-edited")
+        variant.remove(NAPOLI)
+        variant.add(LEICESTER)
+        batch = pack_system.resolve_batch([base, variant, base.copy(name="ranieri-back")],
+                                          incremental=True)
+        assert len(batch) == 3
+        assert [result.input_graph.name for result in batch] == [
+            "ranieri",
+            "ranieri-edited",
+            "ranieri-back",
+        ]
+        for graph, result in zip([base, variant, base], batch):
+            reference = pack_system.resolve(graph.copy(name=graph.name))
+            assert result.objective == reference.objective
+            assert result.solution.assignment == reference.solution.assignment
+        # The edited graph differs by two facts from its predecessor.
+        assert batch[1].delta.facts_changed == 2
+        assert batch[2].delta.facts_changed == 2
+
+    def test_incremental_batch_confidence_downgrade(self):
+        """Lowering a confidence must be served as remove + re-add."""
+        system = TeCoRe.from_pack("running-example", solver="nrockit")
+        base = ranieri_graph()
+        lowered = base.copy(name="ranieri-lowered")
+        lowered.remove(NAPOLI)
+        lowered.add(("CR", "coach", "Napoli", (2001, 2003), 0.4))
+        batch = system.resolve_batch([base, lowered], incremental=True)
+        reference = system.resolve(lowered.copy(name="ranieri-lowered"))
+        assert batch[1].objective == reference.objective
+        assert batch[1].delta.facts_removed == 1
+        assert batch[1].delta.facts_added == 1

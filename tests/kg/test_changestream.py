@@ -1,0 +1,63 @@
+"""Tests for the change-stream parser feeding ``tecore watch``."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.kg import make_fact
+from repro.kg.io import ChangeStep, iter_change_steps, load_change_stream
+
+STREAM = """
+# repair the running example
+- CR coach Napoli [2001,2003] 0.6
++ CR coach Leicester [2015,2016] 0.97
+resolve
+
+add CR coach Fulham [2018,2019] 0.7
+remove CR coach Leicester [2015,2016]
+"""
+
+
+class TestParsing:
+    def test_steps_ops_and_trailing_step(self):
+        steps = list(iter_change_steps(STREAM.splitlines()))
+        assert len(steps) == 2
+        first, second = steps
+        assert [f.statement_key for f in first.removes] == [
+            make_fact("CR", "coach", "Napoli", (2001, 2003)).statement_key
+        ]
+        assert first.adds[0].confidence == 0.97
+        assert len(first) == 2 and not first.is_empty
+        # word-operators and confidence-less removals
+        assert second.adds[0].object.value == "Fulham"
+        assert second.removes[0].confidence == 1.0
+
+    def test_resolve_is_case_insensitive_and_blank_lines_ignored(self):
+        steps = list(iter_change_steps(["+ A p B [1,2] 0.5", "", "RESOLVE"]))
+        assert len(steps) == 1 and len(steps[0].adds) == 1
+
+    def test_empty_step_is_preserved(self):
+        steps = list(iter_change_steps(["resolve"]))
+        assert steps == [ChangeStep()]
+        assert steps[0].is_empty
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ParseError):
+            list(iter_change_steps(["frobnicate A p B [1,2]"]))
+
+    def test_missing_fact_raises(self):
+        with pytest.raises(ParseError):
+            list(iter_change_steps(["+   "]))
+
+    def test_bad_fact_line_raises_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            list(iter_change_steps(["+ only three tokens"]))
+        assert "3" in str(excinfo.value) or "interval" in str(excinfo.value)
+
+
+class TestLoading:
+    def test_load_change_stream_roundtrip(self, tmp_path):
+        path = tmp_path / "edits.stream"
+        path.write_text(STREAM, encoding="utf-8")
+        steps = load_change_stream(path)
+        assert len(steps) == 2
+        assert steps[0].removes and steps[1].adds

@@ -1,0 +1,159 @@
+"""KG mutation invariants the incremental engine leans on.
+
+Three contracts of :class:`~repro.kg.TemporalKnowledgeGraph`:
+
+* insertion ticks are monotonic and never reused — an ``add`` after a
+  ``remove`` gets a strictly larger tick, so a re-added statement always
+  lands inside the current delta window;
+* a ``mark()`` cursor stays a valid delta bound across arbitrary removals;
+* ``copy()`` preserves ticks and the tick counter, so delta views taken on
+  the copy behave exactly as on the original.
+"""
+
+from repro.kg import TemporalKnowledgeGraph, make_fact
+
+FACT = ("CR", "coach", "Chelsea", (2000, 2004), 0.9)
+OTHER = ("CR", "coach", "Napoli", (2001, 2003), 0.6)
+
+
+def keys(facts):
+    return {fact.statement_key for fact in facts}
+
+
+class TestTickMonotonicity:
+    def test_readd_after_remove_gets_fresh_tick(self):
+        graph = TemporalKnowledgeGraph(name="ticks")
+        graph.add(FACT)
+        first_tick = graph.added_at(FACT)
+        assert graph.remove(FACT)
+        assert graph.added_at(FACT) is None
+        graph.add(FACT)
+        assert graph.added_at(FACT) > first_tick
+
+    def test_ticks_never_reused_across_churn(self):
+        graph = TemporalKnowledgeGraph(name="churn")
+        seen = set()
+        for round_number in range(5):
+            graph.add(FACT)
+            tick = graph.added_at(FACT)
+            assert tick not in seen
+            seen.add(tick)
+            graph.remove(FACT)
+
+    def test_confidence_merge_keeps_original_tick(self):
+        """Re-adding a present statement is a merge, not a new insertion."""
+        graph = TemporalKnowledgeGraph(name="merge")
+        graph.add(FACT)
+        tick = graph.added_at(FACT)
+        stored = graph.add(make_fact("CR", "coach", "Chelsea", (2000, 2004), 0.95))
+        assert stored.confidence == 0.95
+        assert graph.added_at(FACT) == tick
+
+    def test_mark_advances_only_on_new_statements(self):
+        graph = TemporalKnowledgeGraph(name="marks")
+        graph.add(FACT)
+        mark = graph.mark()
+        graph.add(FACT)  # duplicate: no new tick
+        assert graph.mark() == mark
+        graph.add(OTHER)
+        assert graph.mark() > mark
+
+
+class TestMarkAcrossRemovals:
+    def test_delta_window_survives_removals(self):
+        graph = TemporalKnowledgeGraph(name="window")
+        old = graph.add(FACT)
+        mark = graph.mark()
+        graph.remove(FACT)
+        new = graph.add(OTHER)
+        since = keys(graph.iter_matching(since=mark))
+        assert since == {new.statement_key}
+        before = keys(graph.iter_matching(before=mark))
+        assert before == set()  # the only pre-mark fact was removed
+
+    def test_removed_then_readded_fact_enters_delta(self):
+        graph = TemporalKnowledgeGraph(name="readd")
+        graph.add(FACT)
+        graph.add(OTHER)
+        mark = graph.mark()
+        graph.remove(FACT)
+        readded = graph.add(FACT)
+        assert keys(graph.iter_matching(since=mark)) == {readded.statement_key}
+        assert keys(graph.iter_matching(before=mark)) == {
+            make_fact(*OTHER).statement_key
+        }
+
+    def test_pattern_delta_combination(self):
+        graph = TemporalKnowledgeGraph(name="pattern")
+        graph.add(FACT)
+        mark = graph.mark()
+        graph.add(OTHER)
+        graph.add(("CR", "playsFor", "Palermo", (1984, 1986), 0.5))
+        from repro.kg import IRI
+
+        matched = keys(graph.iter_matching(predicate=IRI("coach"), since=mark))
+        assert matched == {make_fact(*OTHER).statement_key}
+
+
+class TestBulkRemoval:
+    def test_without_statements_matches_repeated_remove(self):
+        graph = TemporalKnowledgeGraph(name="bulk")
+        graph.add(FACT)
+        graph.add(OTHER)
+        third = graph.add(("CR", "playsFor", "Palermo", (1984, 1986), 0.5))
+        fact_key = make_fact(*FACT).statement_key
+        pruned = graph.without_statements([fact_key, ("bogus",)])
+        slow = graph.copy()
+        slow.remove(FACT)
+        assert keys(pruned) == keys(slow)
+        assert [f.statement_key for f in pruned] == [f.statement_key for f in slow]
+        assert pruned.find(predicate="coach") == slow.find(predicate="coach")
+        # Original untouched; ticks preserved on the survivors.
+        assert FACT in graph
+        assert pruned.added_at(third) == graph.added_at(third)
+
+    def test_without_statements_preserves_delta_cursors(self):
+        graph = TemporalKnowledgeGraph(name="bulk-delta")
+        graph.add(FACT)
+        mark = graph.mark()
+        added = graph.add(OTHER)
+        pruned = graph.without_statements([make_fact(*FACT).statement_key])
+        assert keys(pruned.iter_matching(since=mark)) == {added.statement_key}
+        assert pruned.mark() == graph.mark()
+
+
+class TestCopyPreservesDeltaViews:
+    def test_copy_preserves_ticks_and_counter(self):
+        graph = TemporalKnowledgeGraph(name="original")
+        graph.add(FACT)
+        mark = graph.mark()
+        graph.add(OTHER)
+        clone = graph.copy(name="clone")
+        assert clone.mark() == graph.mark()
+        for fact in graph:
+            assert clone.added_at(fact) == graph.added_at(fact)
+        assert keys(clone.iter_matching(since=mark)) == keys(
+            graph.iter_matching(since=mark)
+        )
+
+    def test_copy_is_independent_after_mutation(self):
+        graph = TemporalKnowledgeGraph(name="original")
+        graph.add(FACT)
+        clone = graph.copy(name="clone")
+        mark = clone.mark()
+        added = clone.add(OTHER)
+        assert keys(clone.iter_matching(since=mark)) == {added.statement_key}
+        assert keys(graph.iter_matching(since=mark)) == set()
+        assert OTHER not in graph and OTHER in clone
+
+    def test_copy_after_removal_keeps_cursor_semantics(self):
+        graph = TemporalKnowledgeGraph(name="original")
+        graph.add(FACT)
+        graph.add(OTHER)
+        mark = graph.mark()
+        graph.remove(FACT)
+        clone = graph.copy(name="clone")
+        readded = clone.add(FACT)
+        assert keys(clone.iter_matching(since=mark)) == {readded.statement_key}
+        # The original, unmodified, still sees an empty delta.
+        assert keys(graph.iter_matching(since=mark)) == set()

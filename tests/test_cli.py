@@ -217,3 +217,112 @@ class TestResolveBatch:
     def test_resolve_batch_requires_program(self, capsys, ranieri_file):
         assert main(["resolve-batch", str(ranieri_file)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_resolve_batch_incremental_matches_plain(self, capsys, ranieri_file, tmp_path):
+        from repro.datasets import ranieri_graph
+        from repro.kg.io import save_graph
+
+        edited = ranieri_graph().copy(name="ranieri-edited")
+        edited.remove(("CR", "coach", "Napoli", (2001, 2003)))
+        edited_file = tmp_path / "ranieri-edited.tq"
+        save_graph(edited, edited_file)
+
+        def run(extra):
+            exit_code = main(
+                [
+                    "resolve-batch",
+                    str(ranieri_file), str(edited_file),
+                    "--pack", "running-example",
+                    "--json",
+                    *extra,
+                ]
+            )
+            assert exit_code == 0
+            return json.loads(capsys.readouterr().out)
+
+        plain = run([])
+        incremental = run(["--incremental"])
+        assert len(incremental["results"]) == 2
+        for one, two in zip(plain["results"], incremental["results"]):
+            assert one["statistics"]["removed_facts"] == two["statistics"]["removed_facts"]
+            assert one["statistics"]["objective"] == two["statistics"]["objective"]
+        assert incremental["results"][1]["delta"]["facts_removed"] == 1
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "edits.stream"
+    path.write_text(
+        "- CR coach Napoli [2001,2003] 0.6\n"
+        "resolve\n"
+        "+ CR coach Napoli [2001,2003] 0.6\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestWatch:
+    def test_watch_text_output(self, capsys, ranieri_file, stream_file):
+        exit_code = main(
+            [
+                "watch", str(stream_file),
+                "--graph", str(ranieri_file),
+                "--pack", "running-example",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "initial" in out
+        assert "step 1" in out and "step 2" in out
+        assert "watched 2 steps" in out
+        assert "cache" in out
+
+    def test_watch_json_stream(self, capsys, ranieri_file, stream_file):
+        exit_code = main(
+            [
+                "watch", str(stream_file),
+                "--graph", str(ranieri_file),
+                "--pack", "running-example",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [entry["step"] for entry in lines] == [0, 1, 2]
+        assert lines[1]["delta"]["facts_removed"] == 1
+        # Step 2 restores the removed fact: the statistics match step 0.
+        assert (
+            lines[2]["statistics"]["objective"] == lines[0]["statistics"]["objective"]
+        )
+
+    def test_watch_warm_start_flag(self, capsys, ranieri_file, stream_file):
+        exit_code = main(
+            [
+                "watch", str(stream_file),
+                "--graph", str(ranieri_file),
+                "--pack", "running-example",
+                "--solver", "maxwalksat",
+                "--warm-start",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert any(entry["delta"]["warm_started"] > 0 for entry in lines[1:])
+
+    def test_watch_bad_stream_reports_error(self, capsys, ranieri_file, tmp_path):
+        bad = tmp_path / "bad.stream"
+        bad.write_text("frobnicate CR coach Napoli [1,2]\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "watch", str(bad),
+                "--graph", str(ranieri_file),
+                "--pack", "running-example",
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_watch_requires_program(self, capsys, ranieri_file, stream_file):
+        assert main(["watch", str(stream_file), "--graph", str(ranieri_file)]) == 1
+        assert "error" in capsys.readouterr().err
