@@ -1,0 +1,304 @@
+"""A11 — concurrent serving: micro-batched `tecore serve` vs per-request loop.
+
+The serving tier's headline claim: under concurrent hot-key traffic (many
+clients asking for resolution of a small set of tenant UTKGs — the demo's
+"many debuggers, few graphs" shape), the micro-batched HTTP service clears
+the same request stream at least ``MIN_SPEEDUP`` (2×) faster than a
+sequential per-request resolve loop, while staying **bit-identical**: every
+served ``/resolve`` payload equals the direct ``TeCoRe.resolve`` payload for
+its graph, and every session response equals the corresponding direct
+:class:`~repro.core.session.ResolutionSession` result (wall-clock timing
+fields excluded — see ``repro.serve.protocol.stable_view``).
+
+Where the speedup comes from: the flush worker serves every batch through
+one shared translator+solver; content-identical in-flight graphs are
+*coalesced* onto a single solve (collapsed forwarding); and the content-
+keyed response cache extends that across batch windows — so a stream of
+``REQUESTS`` hot-key requests over ``TENANTS`` distinct graphs pays for
+roughly ``TENANTS`` resolutions instead of ``REQUESTS``.
+
+Results go to ``results/A11.txt`` (human-readable) and
+``results/BENCH_serve.json`` (machine-readable trajectory record).
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from _report import write_bench_json
+from conftest import format_rows, record_report
+from repro import TeCoRe
+from repro.datasets import FootballDBConfig, generate_footballdb
+from repro.kg.io import json_io
+from repro.logic import sports_pack
+from repro.serve import ServerConfig, encode_result, make_server, stable_view
+
+#: Acceptance floor for micro-batched serving vs the per-request loop.
+MIN_SPEEDUP = 2.0
+
+#: FootballDB workload (same family as the incremental benchmark).
+SCALE = 0.01
+NOISE = 0.5
+SEED = 2017
+
+#: Traffic shape: hot-key fan-out over a few tenant graphs.
+TENANTS = 4
+REQUESTS = 96
+CLIENTS = 16
+
+SOLVER = "nrockit"
+
+#: Micro-batching knobs under test.
+MAX_BATCH = 16
+BATCH_DELAY = 0.02
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = generate_footballdb(
+        FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED)
+    )
+    pack = sports_pack()
+    base = dataset.graph
+    # Tenant variants: distinct graph content per tenant (each drops a
+    # different slice of the evidence), duplicated across the request stream.
+    tenants = []
+    facts = base.facts()
+    for tenant in range(TENANTS):
+        graph = base.copy(name=f"tenant-{tenant}")
+        for fact in facts[tenant * 3 : tenant * 3 + 3]:
+            graph.remove(fact)
+        tenants.append(graph)
+    requests = [tenants[index % TENANTS] for index in range(REQUESTS)]
+    return list(pack.rules), list(pack.constraints), tenants, requests
+
+
+def post_json(address, path, payload, timeout=120.0):
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get_json(address, path, timeout=30.0):
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def test_microbatched_serving_speedup(benchmark, workload):
+    """The tentpole claim: ≥2× vs the sequential loop, bit-identical payloads."""
+    rules, constraints, tenants, requests = workload
+    system = TeCoRe(rules=rules, constraints=constraints, solver=SOLVER)
+
+    # Reference payloads: one direct resolve per tenant (the ground truth
+    # every served response must match bit-for-bit).
+    expected = {
+        graph.name: stable_view(encode_result(system.resolve(graph)))
+        for graph in tenants
+    }
+
+    # Baseline: a sequential per-request resolve loop (one fresh resolve per
+    # incoming request — per-request serving without batching).
+    started = time.perf_counter()
+    for graph in requests:
+        system.resolve(graph)
+    sequential_seconds = time.perf_counter() - started
+
+    # Micro-batched service: CLIENTS concurrent clients drain the same
+    # request stream through POST /resolve.
+    server = make_server(
+        system,
+        ServerConfig(
+            port=0,
+            max_batch=MAX_BATCH,
+            batch_delay=BATCH_DELAY,
+            queue_limit=REQUESTS,
+        ),
+    )
+    server.run_in_thread()
+    try:
+        address = server.server_address[:2]
+        documents = [
+            {"graph": json_io.to_dict(graph)} for graph in requests
+        ]
+        outcomes = [None] * len(requests)
+        cursor = iter(range(len(requests)))
+        cursor_lock = threading.Lock()
+
+        def client():
+            # One keep-alive connection per client, like a real traffic source.
+            connection = http.client.HTTPConnection(*address, timeout=120.0)
+            try:
+                while True:
+                    with cursor_lock:
+                        index = next(cursor, None)
+                    if index is None:
+                        return
+                    connection.request(
+                        "POST",
+                        "/resolve",
+                        body=json.dumps(documents[index]),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read())
+                    outcomes[index] = (response.status, stable_view(payload))
+            finally:
+                connection.close()
+
+        threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        served_seconds = time.perf_counter() - started
+
+        for graph, outcome in zip(requests, outcomes):
+            assert outcome is not None
+            status, payload = outcome
+            assert status == 200
+            assert payload == expected[graph.name], (
+                f"served response for {graph.name} diverged from direct resolve"
+            )
+
+        _, stats = get_json(address, "/stats")
+        batcher = stats["batcher"]
+        assert batcher["requests"] == REQUESTS
+        assert batcher["coalesced"] + batcher["response_cache_hits"] > 0, (
+            "hot-key traffic neither coalesced nor served from the response cache"
+        )
+        assert batcher["resolves"] < REQUESTS
+
+        # Session serving parity: a served session must track a direct one.
+        session_graph = tenants[0]
+        direct = system.session(session_graph)
+        status, created = post_json(
+            address, "/sessions", {"graph": json_io.to_dict(session_graph)}
+        )
+        assert status == 201
+        assert stable_view(created["result"]) == stable_view(
+            encode_result(direct.result)
+        )
+        edits = [json_io.fact_to_dict(fact) for fact in session_graph.facts()[:2]]
+        status, edited = post_json(
+            address,
+            "/sessions/" + created["session_id"] + "/edits",
+            {"removes": edits},
+        )
+        assert status == 200
+        direct_result = direct.apply(
+            removes=[session_graph.facts()[0], session_graph.facts()[1]]
+        )
+        assert stable_view(edited["result"]) == stable_view(
+            encode_result(direct_result)
+        )
+        resolve_p99 = stats["endpoints"]["POST /resolve"]["p99_ms"]
+    finally:
+        server.close()
+
+    speedup = sequential_seconds / served_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batched serving only {speedup:.2f}x faster than the sequential "
+        f"loop ({served_seconds * 1000:.0f} ms vs {sequential_seconds * 1000:.0f} ms)"
+    )
+
+    # One representative request for the pytest-benchmark table.
+    server = make_server(system, ServerConfig(port=0))
+    server.run_in_thread()
+    try:
+        address = server.server_address[:2]
+        benchmark.pedantic(
+            lambda: post_json(address, "/resolve", documents[0]),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        server.close()
+
+    rows = [
+        [
+            "sequential per-request loop",
+            f"{sequential_seconds * 1000:.0f}",
+            f"{REQUESTS / sequential_seconds:.1f}",
+            "1.0x",
+        ],
+        [
+            f"micro-batched serve ({CLIENTS} clients)",
+            f"{served_seconds * 1000:.0f}",
+            f"{REQUESTS / served_seconds:.1f}",
+            f"{speedup:.1f}x",
+        ],
+    ]
+    lines = format_rows(
+        rows, ["server", f"{REQUESTS} requests (ms)", "req/s", "speedup"]
+    )
+    lines += [
+        "",
+        f"workload: {TENANTS} tenant graphs x {REQUESTS // TENANTS} requests each "
+        f"({len(tenants[0])} facts per graph, FootballDB scale={SCALE} noise={NOISE})",
+        f"batching: flush at {MAX_BATCH} or {BATCH_DELAY * 1000:.0f} ms; "
+        f"{batcher['batches']} batches, mean size {batcher['mean_batch_size']}, "
+        f"{batcher['coalesced']} requests coalesced, "
+        f"{batcher['response_cache_hits']} response-cache hits, "
+        f"{batcher['resolves']} solves",
+        f"POST /resolve p99: {resolve_p99:.1f} ms",
+        "",
+        "Every served payload (one-shot and session) is bit-identical to the",
+        "direct TeCoRe.resolve / ResolutionSession result for its graph,",
+        "modulo wall-clock timing fields.",
+    ]
+    record_report(
+        "A11",
+        "micro-batched concurrent serving vs per-request loop (FootballDB tenants)",
+        lines,
+    )
+
+    write_bench_json(
+        "serve",
+        workload={
+            "dataset": "footballdb",
+            "scale": SCALE,
+            "noise_ratio": NOISE,
+            "seed": SEED,
+            "tenants": TENANTS,
+            "requests": REQUESTS,
+            "clients": CLIENTS,
+            "solver": SOLVER,
+            "max_batch": MAX_BATCH,
+            "batch_delay": BATCH_DELAY,
+        },
+        timings={
+            "sequential_seconds": sequential_seconds,
+            "served_seconds": served_seconds,
+        },
+        speedup=speedup,
+        stats={
+            "batches": batcher["batches"],
+            "mean_batch_size": batcher["mean_batch_size"],
+            "coalesced_requests": batcher["coalesced"],
+            "response_cache_hits": batcher["response_cache_hits"],
+            "solves": batcher["resolves"],
+            "resolve_p99_ms": resolve_p99,
+        },
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["mean_batch_size"] = batcher["mean_batch_size"]

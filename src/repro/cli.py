@@ -12,11 +12,13 @@ workflow for scripted use::
     tecore resolve-batch kg1.csv kg2.csv --pack sports --solver npsl
     tecore resolve-batch kg1.csv kg1b.csv --pack sports --incremental
     tecore watch edits.stream --dataset ranieri --pack running-example
+    tecore serve --pack sports --solver nrockit --port 8799
 
 ``--graph`` accepts any file format supported by :mod:`repro.kg.io`;
 ``--program`` accepts the Datalog-style rule/constraint syntax; ``watch``
 consumes a change-stream file (see :mod:`repro.kg.io.changestream`) and
-re-resolves incrementally after every step.
+re-resolves incrementally after every step; ``serve`` runs the concurrent
+resolution HTTP service (see :mod:`repro.serve` and ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -143,6 +145,72 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument(
         "--json", action="store_true", help="emit one JSON object per step (JSONL)"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the concurrent resolution HTTP service (see docs/serving.md)",
+    )
+    serve.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
+    serve.add_argument("--program", help="path to a Datalog-style rule/constraint file")
+    serve.add_argument(
+        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+    )
+    serve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    serve.add_argument(
+        "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
+    )
+    add_decomposition_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8799, help="TCP port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="micro-batch flush size for POST /resolve",
+    )
+    serve.add_argument(
+        "--batch-delay",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="micro-batch flush deadline (max extra latency a request waits for companions)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="waiting-request bound; beyond it POST /resolve returns 503",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable coalescing of content-identical in-flight graphs",
+    )
+    serve.add_argument(
+        "--response-cache",
+        type=int,
+        default=128,
+        metavar="N",
+        help="LRU bound on cached /resolve responses by graph content (0 disables)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU bound on concurrently open sessions",
+    )
+    serve.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for a fixed duration then exit (smoke tests / CI)",
     )
     return parser
 
@@ -326,6 +394,56 @@ def _command_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve import ServerConfig, make_server
+
+    rules, constraints = _load_program_from_args(args)
+    system = TeCoRe(
+        rules=rules,
+        constraints=constraints,
+        solver=args.solver,
+        threshold=args.threshold,
+        engine=args.engine,
+        decompose=args.decompose,
+        jobs=args.jobs,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.batch_max,
+        batch_delay=args.batch_delay,
+        queue_limit=args.queue_limit,
+        coalesce=not args.no_coalesce,
+        response_cache=args.response_cache,
+        max_sessions=args.max_sessions,
+    )
+    try:
+        server = make_server(system, config)
+    except (ValueError, OverflowError) as error:
+        # Bad tuning values (e.g. --batch-max 0) follow the CLI's
+        # `error: <message>` contract instead of surfacing a traceback.
+        raise TecoreError(str(error)) from error
+    print(
+        f"serving on {server.url} (solver={args.solver}, "
+        f"batch={args.batch_max} @ {args.batch_delay * 1000:.0f} ms, "
+        f"queue={args.queue_limit}, sessions={args.max_sessions})",
+        flush=True,
+    )
+    try:
+        if args.for_seconds is not None:
+            server.run_in_thread()
+            _time.sleep(args.for_seconds)
+        else:  # pragma: no cover - interactive serving loop
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -347,6 +465,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_resolve_batch(args)
         if args.command == "watch":
             return _command_watch(args)
+        if args.command == "serve":
+            return _command_serve(args)
         parser.error(f"unknown command {args.command!r}")
     except (TecoreError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

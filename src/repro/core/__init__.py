@@ -17,7 +17,7 @@ from .result import (
     ResolutionStatistics,
 )
 from .session import ComponentSolutionCache, ResolutionSession
-from .tecore import TeCoRe, detect_conflicts, resolve, resolve_batch
+from .tecore import SharedResolver, TeCoRe, detect_conflicts, resolve, resolve_batch
 from .threshold import ThresholdFilter, sweep_thresholds
 from .translator import TecoreTranslator, TranslatedProgram
 
@@ -28,6 +28,7 @@ __all__ = [
     "ResolutionResult",
     "ResolutionSession",
     "ResolutionStatistics",
+    "SharedResolver",
     "SolverEntry",
     "TeCoRe",
     "TecoreTranslator",

@@ -36,6 +36,7 @@ into session edits.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import replace
@@ -86,7 +87,15 @@ class ComponentSolutionCache:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop all entries and reset the hit/miss statistics.
+
+        The statistics are surfaced by ``tecore watch`` summaries and the
+        serving ``/stats`` endpoint; a reset must not leak counters from the
+        previous generation.
+        """
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 class _Component:
@@ -157,6 +166,12 @@ class ResolutionSession:
     ) -> None:
         self._system = system
         self.warm_start = warm_start
+        #: Concurrency seam: a session is single-writer — the grounder's
+        #: match state, the solution cache, and ``result`` all mutate on
+        #: :meth:`apply`.  Concurrent callers (the serving session pool)
+        #: must hold this lock around ``apply``/``result`` accesses; direct
+        #: single-threaded use can ignore it.
+        self.lock = threading.RLock()
         self._grounder = IncrementalGrounder(
             graph,
             rules=tuple(system.rules),

@@ -202,6 +202,18 @@ class TeCoRe:
 
         return ResolutionSession(self, graph, warm_start=warm_start, cache_size=cache_size)
 
+    def shared_resolver(self) -> "SharedResolver":
+        """A reusable translate-and-solve pipeline for serving.
+
+        The returned :class:`SharedResolver` holds one translator (with its
+        cached expressivity probe) and one solver back-end for this system's
+        configuration, so each call only pays for its own grounding and MAP
+        solve.  It is **not thread-safe**: confine each instance to a single
+        thread (the serving micro-batcher runs one on its flush worker) or
+        guard it externally.
+        """
+        return SharedResolver(self)
+
     def resolve_batch(
         self,
         graphs: Iterable[TemporalKnowledgeGraph],
@@ -211,9 +223,10 @@ class TeCoRe:
 
         This is the heavy-traffic serving shape: the rule/constraint program,
         the translator (with its cached expressivity probe), and the solver
-        back-end are constructed once, and each incoming graph only pays for
-        its own (indexed) grounding and MAP solve.  Results come back in
-        input order as a :class:`~repro.core.result.BatchResolution`.
+        back-end are constructed once (one :class:`SharedResolver`), and each
+        incoming graph only pays for its own (indexed) grounding and MAP
+        solve.  Results come back in input order as a
+        :class:`~repro.core.result.BatchResolution`.
 
         With ``incremental=True`` the batch is served by one
         :class:`~repro.core.session.ResolutionSession`: each graph after the
@@ -227,21 +240,7 @@ class TeCoRe:
         """
         if incremental:
             return self._resolve_batch_incremental(graphs)
-        batch_started = time.perf_counter()
-        translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
-        rules = tuple(self.rules)
-        constraints = tuple(self.constraints)
-        backend = self._make_backend()
-        results = []
-        for graph in graphs:
-            started = time.perf_counter()
-            translated = translator.translate(graph, rules, constraints, solver=self.solver)
-            solution = backend.solve(translated.program)
-            results.append(self._build_result(graph, translated, solution, started))
-        return BatchResolution(
-            results=tuple(results),
-            runtime_seconds=time.perf_counter() - batch_started,
-        )
+        return self.shared_resolver().resolve_many(graphs)
 
     def _resolve_batch_incremental(
         self, graphs: Iterable[TemporalKnowledgeGraph]
@@ -330,6 +329,59 @@ class TeCoRe:
             solution=solution,
             statistics=statistics,
             inferred_below_threshold=tuple(below_threshold),
+        )
+
+
+class SharedResolver:
+    """One translator + one solver back-end, reused across many resolves.
+
+    The per-request serving pipeline of :meth:`TeCoRe.resolve_batch` and of
+    the ``tecore serve`` micro-batcher: the rule/constraint tuples, the
+    translator, and the (optionally decomposition-wrapped) back-end are
+    built once, and :meth:`resolve` is then bit-identical to
+    :meth:`TeCoRe.resolve` for every graph — the translator is stateless
+    across graphs and every registered back-end re-seeds per solve.
+
+    **Thread confinement:** instances are not thread-safe (the decomposed
+    wrapper and some back-ends keep per-solve scratch state).  Use one
+    instance per thread, or serialise calls — the serving layer funnels all
+    traffic through the micro-batcher's single flush worker.
+    """
+
+    def __init__(self, system: TeCoRe) -> None:
+        self._system = system
+        self._translator = TecoreTranslator(
+            max_rounds=system.max_rounds, engine=system.engine
+        )
+        self._rules = tuple(system.rules)
+        self._constraints = tuple(system.constraints)
+        self._backend = system._make_backend()
+        #: Number of graphs resolved through this pipeline (serving counter).
+        self.resolves = 0
+
+    @property
+    def solver(self) -> str:
+        return self._system.solver
+
+    def resolve(self, graph: TemporalKnowledgeGraph) -> ResolutionResult:
+        """Resolve one graph through the shared pipeline."""
+        started = time.perf_counter()
+        translated = self._translator.translate(
+            graph, self._rules, self._constraints, solver=self._system.solver
+        )
+        solution = self._backend.solve(translated.program)
+        self.resolves += 1
+        return self._system._build_result(graph, translated, solution, started)
+
+    def resolve_many(
+        self, graphs: Iterable[TemporalKnowledgeGraph]
+    ) -> BatchResolution:
+        """Resolve graphs in order, as one :class:`BatchResolution`."""
+        batch_started = time.perf_counter()
+        results = tuple(self.resolve(graph) for graph in graphs)
+        return BatchResolution(
+            results=results,
+            runtime_seconds=time.perf_counter() - batch_started,
         )
 
 

@@ -16,7 +16,9 @@ Syntax:
   ``remove <fact>``) retracts one.  Facts use the native temporal-quad line
   format of :mod:`repro.kg.io.tqlines` (confidence optional; retraction
   ignores it, since statements are identified by key).
-* ``resolve`` (case-insensitive, alone on a line) closes the current step.
+* ``resolve`` (case-insensitive, alone on a line) closes the current step;
+  a ``resolve`` with no pending edits (leading, or consecutive) is a no-op
+  and produces no step.
 * ``#`` comments and blank lines are ignored.
 * A trailing step without an explicit ``resolve`` is closed at end of input.
 """
@@ -58,8 +60,12 @@ def iter_change_steps(
         if not line or line.startswith("#"):
             continue
         if line.lower() == "resolve":
-            yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
-            adds, removes = [], []
+            # Leading or consecutive ``resolve`` lines close an *empty* step;
+            # emitting it would make replays (``tecore watch``, session edit
+            # replay) pay a resolution round for a no-op, so skip it.
+            if adds or removes:
+                yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
+                adds, removes = [], []
             continue
         if line.startswith("+"):
             op, rest = "add", line[1:]

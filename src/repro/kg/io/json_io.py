@@ -53,6 +53,31 @@ def _fact_from_mapping(entry: Mapping[str, Any], index: int, source: str | None)
         raise ParseError(f"fact #{index}: {exc}", source=source) from exc
 
 
+def fact_from_dict(
+    entry: Mapping[str, Any], index: int = 0, source: str | None = None
+) -> TemporalFact:
+    """Build one fact from a JSON object (the serving edit/graph codec).
+
+    Accepts the same shapes as graph documents: short (``s``/``p``/``o``)
+    or verbose keys, intervals as ``[start, end]`` pairs, instants, or
+    parseable strings, and an optional confidence (default 1.0).
+    """
+    if not isinstance(entry, Mapping):
+        raise ParseError(f"fact #{index} is not an object", source=source)
+    return _fact_from_mapping(entry, index, source)
+
+
+def fact_to_dict(fact: TemporalFact) -> dict[str, Any]:
+    """Convert one fact into its JSON interchange object."""
+    return {
+        "s": str(fact.subject),
+        "p": str(fact.predicate),
+        "o": str(fact.object).strip('"'),
+        "interval": [fact.interval.start, fact.interval.end],
+        "confidence": fact.confidence,
+    }
+
+
 def from_dict(document: Mapping[str, Any], name: str | None = None) -> TemporalKnowledgeGraph:
     """Build a graph from a parsed JSON document."""
     graph_name = name or str(document.get("name", "utkg"))
@@ -71,16 +96,7 @@ def to_dict(graph: TemporalKnowledgeGraph) -> dict[str, Any]:
     """Convert a graph into a JSON-serialisable document."""
     return {
         "name": graph.name,
-        "facts": [
-            {
-                "s": str(fact.subject),
-                "p": str(fact.predicate),
-                "o": str(fact.object).strip('"'),
-                "interval": [fact.interval.start, fact.interval.end],
-                "confidence": fact.confidence,
-            }
-            for fact in graph
-        ],
+        "facts": [fact_to_dict(fact) for fact in graph],
     }
 
 

@@ -29,29 +29,46 @@ def threshold(truth_values: Sequence[float], cutoff: float = 0.5) -> list[bool]:
 def repair_hard(program: GroundProgram, assignment: list[bool]) -> list[bool]:
     """Greedily repair hard-clause violations in ``assignment``.
 
-    For each violated hard clause (taken in order) flip the literal whose atom
-    carries the smallest absolute evidence weight.  Conflict clauses are
-    all-negative, so a flip always satisfies the clause; the loop therefore
-    terminates after at most one pass per clause.
+    For each violated hard clause (taken in order), flip the literal that
+    leaves the fewest hard clauses violated afterwards, breaking ties toward
+    the atom carrying the smallest absolute evidence weight (for conflict
+    clauses this means dropping the least confident fact — exactly the
+    behaviour of the running example, where the weaker Napoli fact is
+    removed).  A violated clause has every literal falsified, so any flip
+    satisfies it; minimising the *resulting* violation count is what keeps
+    two hard clauses that share an atom with opposite satisfying polarities
+    from ping-ponging that atom until the iteration bound.
     """
     state = list(assignment)
+    # Atom → hard clauses containing it: a candidate flip only changes the
+    # satisfaction of these, so the resulting violation count is evaluated
+    # as a delta instead of rescanning the whole clause table per literal.
+    touching: dict[int, list] = {}
+    for clause in program.clauses:
+        if clause.is_hard:
+            for index, _ in clause.literals:
+                touching.setdefault(index, []).append(clause)
     for _ in range(program.num_clauses + 1):
         violations = program.hard_violations(state)
         if not violations:
             return state
+        total = len(violations)
         clause = violations[0]
-        best_index = None
-        best_cost = float("inf")
+        best = None
+        best_key = None
         for index, positive in clause.literals:
+            neighbours = touching.get(index, ())
+            before = sum(1 for other in neighbours if not other.satisfied_by(state))
+            state[index] = positive
+            after = sum(1 for other in neighbours if not other.satisfied_by(state))
+            state[index] = not positive
             cost = abs(program.atoms[index].fact.log_weight)
-            if cost < best_cost:
-                best_index, best_cost = index, cost
-        if best_index is None:  # pragma: no cover - clauses are never empty
+            key = (total - before + after, cost, index)
+            if best_key is None or key < best_key:
+                best, best_key = (index, positive), key
+        if best is None:  # pragma: no cover - clauses are never empty
             break
-        for index, positive in clause.literals:
-            if index == best_index:
-                state[index] = positive
-                break
+        state[best[0]] = best[1]
     if program.hard_violations(state):
         raise InfeasibleProgramError(
             "rounding could not produce an assignment satisfying the hard constraints"

@@ -1,0 +1,51 @@
+"""The TeCoRe resolution service (``tecore serve``).
+
+A stdlib-only concurrent HTTP layer over the library's serving primitives:
+
+* :mod:`repro.serve.server` — the :class:`ThreadingHTTPServer` front-end and
+  endpoint routing (:class:`ResolutionService`);
+* :mod:`repro.serve.batcher` — micro-batching of one-shot ``/resolve``
+  requests through one shared translator+solver, with flush-on-size /
+  flush-on-deadline, request coalescing, and 503 backpressure;
+* :mod:`repro.serve.sessions` — the LRU pool of per-session-locked
+  incremental :class:`~repro.core.session.ResolutionSession` objects;
+* :mod:`repro.serve.protocol` — the JSON wire codecs (reusing
+  :mod:`repro.kg.io.json_io`);
+* :mod:`repro.serve.metrics` — request counters and latency percentiles
+  for ``GET /stats``.
+"""
+
+from .batcher import MicroBatcher, ServiceOverloadedError
+from .metrics import LatencyRecorder, ServiceMetrics
+from .protocol import (
+    ProtocolError,
+    decode_edits,
+    decode_graph,
+    decode_json,
+    encode_result,
+    graph_content_key,
+    stable_view,
+)
+from .server import ResolutionService, ServerConfig, TecoreHTTPServer, make_server
+from .sessions import SessionEntry, SessionPool, UnknownSessionError
+
+__all__ = [
+    "LatencyRecorder",
+    "MicroBatcher",
+    "ProtocolError",
+    "ResolutionService",
+    "ServerConfig",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "SessionEntry",
+    "SessionPool",
+    "TecoreHTTPServer",
+    "UnknownSessionError",
+    "decode_edits",
+    "decode_graph",
+    "decode_json",
+    "encode_result",
+    "graph_content_key",
+    "make_server",
+    "stable_view",
+]

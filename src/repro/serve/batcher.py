@@ -1,0 +1,274 @@
+"""Micro-batching for concurrent one-shot resolution requests.
+
+Concurrent ``POST /resolve`` requests do not each get their own translator
+and solver: they are parked in a bounded queue and drained by a single flush
+worker, which serves every batch through one shared
+:class:`~repro.core.tecore.SharedResolver` (one translator, one back-end —
+the thread-confinement contract of that class is satisfied by construction,
+since only the flush worker ever touches it).
+
+Batching policy
+---------------
+* **flush on size** — a batch is closed as soon as ``max_batch`` requests
+  are waiting;
+* **flush on deadline** — otherwise the oldest waiting request is served at
+  most ``max_delay`` seconds after it arrived (the micro-batching window);
+* **backpressure** — submissions beyond ``queue_limit`` waiting requests
+  fail fast with :class:`ServiceOverloadedError`, which the HTTP layer maps
+  to ``503 Retry-After`` instead of letting the queue grow without bound;
+* **coalescing** — within one batch, requests whose graphs are
+  content-identical (same name, statements, confidences, and statement
+  order — see :func:`repro.serve.protocol.graph_content_key`) share a
+  single resolve: resolution is a pure function of that content, so every
+  coalesced requester receives the bit-identical result it would have
+  gotten from its own solve.  This is the classic collapsed-forwarding
+  optimisation for hot-key traffic;
+* **response caching** — the same purity argument extends across batch
+  windows: resolved results are kept in a content-keyed LRU (reusing the
+  generic :class:`~repro.core.session.ComponentSolutionCache` machinery),
+  so a repeat of a recently served graph returns immediately without even
+  entering the queue.  ``cache_size=0`` disables it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+from ..core.result import ResolutionResult
+from ..core.session import ComponentSolutionCache
+from ..core.tecore import SharedResolver
+from ..errors import TecoreError
+from ..kg import TemporalKnowledgeGraph
+from .protocol import graph_content_key
+
+
+class ServiceOverloadedError(TecoreError):
+    """The request queue is full (served as HTTP 503 with Retry-After)."""
+
+
+class _PendingRequest:
+    __slots__ = ("graph", "key", "arrival", "done", "result", "error")
+
+    def __init__(self, graph: TemporalKnowledgeGraph, keyed: bool) -> None:
+        self.graph = graph
+        self.key = graph_content_key(graph) if keyed else None
+        self.arrival = time.monotonic()
+        self.done = threading.Event()
+        self.result: Optional[ResolutionResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Bounded-queue micro-batcher over one shared resolver.
+
+    Parameters
+    ----------
+    resolver:
+        The :class:`~repro.core.tecore.SharedResolver` every batch is served
+        through.  Only the internal flush worker calls it.
+    max_batch:
+        Flush as soon as this many requests are waiting.
+    max_delay:
+        Maximum seconds a request waits for companions before its batch is
+        flushed anyway.
+    queue_limit:
+        Maximum number of waiting (not yet flushed) requests; submissions
+        beyond it raise :class:`ServiceOverloadedError`.
+    coalesce:
+        Serve content-identical graphs within a batch with one solve.
+    cache_size:
+        LRU bound on recently served results, keyed by graph content
+        (0 disables response caching).
+    """
+
+    def __init__(
+        self,
+        resolver: SharedResolver,
+        max_batch: int = 8,
+        max_delay: float = 0.01,
+        queue_limit: int = 64,
+        coalesce: bool = True,
+        cache_size: int = 128,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._resolver = resolver
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.queue_limit = queue_limit
+        self.coalesce = coalesce
+        self.cache: Optional[ComponentSolutionCache] = (
+            ComponentSolutionCache(max_entries=cache_size) if cache_size else None
+        )
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: deque[_PendingRequest] = deque()
+        self._closed = False
+        # Serving counters (read by /stats; mutated under the lock).
+        self.requests_total = 0
+        self.enqueued_total = 0
+        self.rejected_total = 0
+        self.batches_flushed = 0
+        self.resolves_total = 0
+        self.coalesced_total = 0
+        self.max_batch_seen = 0
+        self._worker = threading.Thread(
+            target=self._run, name="tecore-batch-flush", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, graph: TemporalKnowledgeGraph, timeout: Optional[float] = 60.0
+    ) -> ResolutionResult:
+        """Serve one graph: response cache, else enqueue and await its batch."""
+        pending = _PendingRequest(graph, self.coalesce or self.cache is not None)
+        with self._wakeup:
+            if self._closed:
+                raise TecoreError("micro-batcher is closed")
+            self.requests_total += 1
+            if self.cache is not None:
+                cached = self.cache.get(pending.key)
+                if cached is not None:
+                    return cached
+            if len(self._queue) >= self.queue_limit:
+                self.rejected_total += 1
+                raise ServiceOverloadedError(
+                    f"resolution queue is full ({self.queue_limit} waiting requests)"
+                )
+            self._queue.append(pending)
+            self.enqueued_total += 1
+            self._wakeup.notify()
+        if not pending.done.wait(timeout):
+            raise TecoreError(f"resolution timed out after {timeout:g}s in the batch queue")
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Flush whatever is queued and stop the worker."""
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify()
+        self._worker.join()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            cache_stats: dict[str, Any] = {"response_cache": "disabled"}
+            if self.cache is not None:
+                lookups = self.cache.hits + self.cache.misses
+                cache_stats = {
+                    "response_cache_entries": len(self.cache),
+                    "response_cache_hits": self.cache.hits,
+                    "response_cache_misses": self.cache.misses,
+                    "response_cache_hit_rate": (
+                        round(self.cache.hits / lookups, 4) if lookups else 0.0
+                    ),
+                }
+            return {
+                **cache_stats,
+                "requests": self.requests_total,
+                "rejected": self.rejected_total,
+                "batches": self.batches_flushed,
+                "resolves": self.resolves_total,
+                "coalesced": self.coalesced_total,
+                "max_batch_size": self.max_batch_seen,
+                "mean_batch_size": (
+                    round(self.enqueued_total / self.batches_flushed, 3)
+                    if self.batches_flushed
+                    else 0.0
+                ),
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Flush worker
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> list[_PendingRequest]:
+        """Wait for work, honour the batching window, and drain one batch."""
+        with self._wakeup:
+            while not self._queue:
+                if self._closed:
+                    return []
+                self._wakeup.wait()
+            deadline = self._queue[0].arrival + self.max_delay
+            while len(self._queue) < self.max_batch and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wakeup.wait(timeout=remaining)
+            size = min(self.max_batch, len(self._queue))
+            return [self._queue.popleft() for _ in range(size)]
+
+    def _flush(self, batch: list[_PendingRequest]) -> None:
+        coalesced = 0
+        try:
+            if self.coalesce:
+                groups: dict[tuple, list[_PendingRequest]] = {}
+                order: list[tuple] = []
+                for pending in batch:
+                    members = groups.get(pending.key)
+                    if members is None:
+                        groups[pending.key] = [pending]
+                        order.append(pending.key)
+                    else:
+                        members.append(pending)
+                resolved = self._resolver.resolve_many(
+                    groups[key][0].graph for key in order
+                )
+                for key, result in zip(order, resolved):
+                    for pending in groups[key]:
+                        pending.result = result
+                coalesced = len(batch) - len(order)
+                resolves = len(order)
+            else:
+                resolved = self._resolver.resolve_many(
+                    pending.graph for pending in batch
+                )
+                for pending, result in zip(batch, resolved):
+                    pending.result = result
+                resolves = len(batch)
+            if self.cache is not None:
+                with self._lock:
+                    for pending in batch:
+                        if pending.result is not None and pending.key is not None:
+                            self.cache.put(pending.key, pending.result)
+        except BaseException as exc:  # noqa: BLE001 - delivered to the waiters
+            for pending in batch:
+                pending.error = exc
+            resolves = 0
+        finally:
+            for pending in batch:
+                pending.done.set()
+        with self._lock:
+            self.batches_flushed += 1
+            self.resolves_total += resolves
+            self.coalesced_total += coalesced
+            self.max_batch_seen = max(self.max_batch_seen, len(batch))
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            self._flush(batch)

@@ -1,0 +1,87 @@
+"""Thread-safe serving metrics: request counters and latency percentiles.
+
+Every endpoint observation lands in a :class:`LatencyRecorder` — a bounded
+ring of recent latencies plus monotonic counters — and :class:`ServiceMetrics`
+aggregates one recorder per endpoint into the ``GET /stats`` payload.  The
+percentiles are computed over a sliding window (the last ``window`` samples)
+with the nearest-rank method, which is what most serving dashboards report
+and keeps memory constant under sustained traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+#: Latency percentiles reported by ``GET /stats``.
+PERCENTILES = (50, 90, 99)
+
+
+class LatencyRecorder:
+    """Counters plus a bounded window of recent request latencies."""
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+
+    def observe(self, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+            if error:
+                self.errors += 1
+            self._latencies.append(seconds)
+
+    def percentiles(self) -> dict[str, float]:
+        """Nearest-rank percentiles over the recent-latency window, in ms."""
+        with self._lock:
+            window = sorted(self._latencies)
+        if not window:
+            return {f"p{p}_ms": 0.0 for p in PERCENTILES}
+        return {
+            f"p{p}_ms": round(
+                window[min(len(window) - 1, (p * len(window)) // 100)] * 1000, 3
+            )
+            for p in PERCENTILES
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            count, errors, total = self.count, self.errors, self.total_seconds
+        summary: dict[str, Any] = {
+            "requests": count,
+            "errors": errors,
+            "mean_ms": round(total / count * 1000, 3) if count else 0.0,
+        }
+        summary.update(self.percentiles())
+        return summary
+
+
+class ServiceMetrics:
+    """Per-endpoint latency recorders for the whole service."""
+
+    def __init__(self, window: int = 1024) -> None:
+        self._window = window
+        self._lock = threading.Lock()
+        self._recorders: dict[str, LatencyRecorder] = {}
+
+    def recorder(self, endpoint: str) -> LatencyRecorder:
+        with self._lock:
+            recorder = self._recorders.get(endpoint)
+            if recorder is None:
+                recorder = self._recorders[endpoint] = LatencyRecorder(self._window)
+            return recorder
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        self.recorder(endpoint).observe(seconds, error=error)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            recorders = dict(self._recorders)
+        return {name: recorder.snapshot() for name, recorder in sorted(recorders.items())}

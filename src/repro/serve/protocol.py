@@ -1,0 +1,118 @@
+"""JSON wire protocol of the resolution service.
+
+Requests and responses reuse the graph interchange format of
+:mod:`repro.kg.io.json_io` — a served graph document is exactly what
+``tecore resolve --json`` consumes and what :func:`repro.kg.io.json_io.dumps`
+emits, so clients can round-trip graphs between files and the service
+without translation.
+
+Request shapes
+--------------
+``POST /resolve`` and ``POST /sessions`` take either a bare graph document
+(``{"name": ..., "facts": [...]}``) or an envelope ``{"graph": {...},
+"include_graphs": bool}``.  ``POST /sessions/{id}/edits`` takes
+``{"adds": [fact, ...], "removes": [fact, ...]}`` with facts in the same
+JSON object form (a change-stream step as JSON).
+
+Response stability
+------------------
+:func:`encode_result` embeds wall-clock timings (``runtime_seconds``,
+delta ``grounding_seconds``/``solve_seconds``) that naturally differ between
+runs; :func:`stable_view` strips exactly those, so two payloads produced
+from bit-identical resolutions compare equal — the differential tests and
+``benchmarks/bench_serve.py`` assert on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..core.result import ResolutionResult
+from ..errors import ParseError, TecoreError
+from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..kg.io import json_io
+
+
+class ProtocolError(TecoreError):
+    """A malformed request body (served as HTTP 400)."""
+
+
+def decode_json(body: bytes, what: str = "request") -> Mapping[str, Any]:
+    """Parse a request body into a JSON object."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON in {what}: {exc}") from exc
+    if not isinstance(document, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object")
+    return document
+
+
+def decode_graph(document: Mapping[str, Any], default_name: str = "request") -> TemporalKnowledgeGraph:
+    """Extract the UTKG from a resolve/session request."""
+    payload = document.get("graph", document)
+    if not isinstance(payload, Mapping) or "facts" not in payload:
+        raise ProtocolError("request needs a graph document with a 'facts' list")
+    try:
+        return json_io.from_dict(payload, name=str(payload.get("name", default_name)))
+    except ParseError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def decode_edits(
+    document: Mapping[str, Any],
+) -> tuple[list[TemporalFact], list[TemporalFact]]:
+    """Extract the ``adds``/``removes`` fact lists from an edits request."""
+    adds_raw = document.get("adds", [])
+    removes_raw = document.get("removes", [])
+    if not isinstance(adds_raw, list) or not isinstance(removes_raw, list):
+        raise ProtocolError("'adds' and 'removes' must be lists of fact objects")
+    if not adds_raw and not removes_raw:
+        raise ProtocolError("edit request needs at least one entry in 'adds' or 'removes'")
+    try:
+        adds = [json_io.fact_from_dict(entry, index, source="adds") for index, entry in enumerate(adds_raw)]
+        removes = [
+            json_io.fact_from_dict(entry, index, source="removes")
+            for index, entry in enumerate(removes_raw)
+        ]
+    except ParseError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return adds, removes
+
+
+def encode_result(result: ResolutionResult, include_graphs: bool = False) -> dict[str, Any]:
+    """The response payload for one resolution result."""
+    payload = result.as_dict()
+    if include_graphs:
+        payload["consistent_graph"] = json_io.to_dict(result.consistent_graph)
+        payload["expanded_graph"] = json_io.to_dict(result.expanded_graph)
+    return payload
+
+
+#: Timing fields stripped by :func:`stable_view` (never bit-stable).
+_TIMING_KEYS = ("runtime_seconds", "grounding_seconds", "solve_seconds")
+
+
+def stable_view(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """A result payload minus wall-clock timings, for bit-identity checks."""
+    stable: dict[str, Any] = {}
+    for key, value in payload.items():
+        if key in _TIMING_KEYS:
+            continue
+        stable[key] = stable_view(value) if isinstance(value, Mapping) else value
+    return stable
+
+
+def graph_content_key(graph: TemporalKnowledgeGraph) -> tuple:
+    """Order-sensitive content identity of a request graph.
+
+    Two requests with equal keys describe the same named graph with the same
+    statements, confidences, and statement order — grounding (and therefore
+    the full resolution) is a pure function of exactly that, which is what
+    makes coalescing identical in-flight requests onto one solve sound.
+    """
+    return (
+        graph.name,
+        tuple((fact.statement_key, fact.confidence) for fact in graph),
+    )

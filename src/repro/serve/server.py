@@ -1,0 +1,296 @@
+"""The ``tecore serve`` HTTP service: concurrent resolution over a UTKG API.
+
+A stdlib-only :class:`http.server.ThreadingHTTPServer` front-end over the
+library's serving primitives — one request thread per connection, with all
+actual resolution funnelled into the micro-batcher's single flush worker
+(one-shot requests) or the per-session locks (stateful sessions):
+
+========  ==========================  ===========================================
+method    path                        behaviour
+========  ==========================  ===========================================
+POST      ``/resolve``                one-shot resolution, micro-batched through
+                                      a shared translator+solver
+POST      ``/sessions``               open an incremental session (initial
+                                      resolve included in the response)
+POST      ``/sessions/{id}/edits``    apply a change-stream step (JSON ``adds``/
+                                      ``removes``), returns the new result with
+                                      its delta statistics
+GET       ``/sessions/{id}/result``   latest result of a session
+DELETE    ``/sessions/{id}``          close a session
+GET       ``/healthz``                liveness + configuration summary
+GET       ``/stats``                  per-endpoint latency percentiles, batcher
+                                      counters, session-pool and component-cache
+                                      hit rates
+========  ==========================  ===========================================
+
+Served responses are bit-identical to direct library calls: ``/resolve``
+payloads match :meth:`TeCoRe.resolve <repro.core.tecore.TeCoRe.resolve>` and
+session payloads match :class:`~repro.core.session.ResolutionSession`
+results, modulo wall-clock timing fields (see
+:func:`repro.serve.protocol.stable_view`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import urlsplit
+
+from ..core.tecore import TeCoRe
+from ..errors import TecoreError
+from .batcher import MicroBatcher, ServiceOverloadedError
+from .metrics import ServiceMetrics
+from .protocol import (
+    ProtocolError,
+    decode_edits,
+    decode_graph,
+    decode_json,
+    encode_result,
+)
+from .sessions import SessionPool, UnknownSessionError
+
+_SESSION_ROUTE = re.compile(r"^/sessions/(?P<sid>[0-9a-f]+)(?P<tail>/edits|/result)?$")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the resolution service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8799
+    #: Micro-batching: flush when this many one-shot requests are waiting …
+    max_batch: int = 8
+    #: … or when the oldest waiting request is this old (seconds).
+    batch_delay: float = 0.01
+    #: Waiting-request bound; beyond it ``POST /resolve`` returns 503.
+    queue_limit: int = 64
+    #: Coalesce content-identical in-flight graphs onto one solve.
+    coalesce: bool = True
+    #: LRU bound on cached /resolve responses by graph content (0 disables).
+    response_cache: int = 128
+    #: LRU bound on concurrently open sessions.
+    max_sessions: int = 64
+    #: Per-request wait bound inside the batch queue (seconds).
+    request_timeout: float = 60.0
+    #: Latency samples kept per endpoint for the /stats percentiles.
+    metrics_window: int = 1024
+
+
+class ResolutionService:
+    """Routing and endpoint logic, independent of the HTTP plumbing."""
+
+    def __init__(self, system: TeCoRe, config: ServerConfig | None = None) -> None:
+        self.system = system
+        self.config = config or ServerConfig()
+        self.metrics = ServiceMetrics(window=self.config.metrics_window)
+        self.batcher = MicroBatcher(
+            system.shared_resolver(),
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_delay,
+            queue_limit=self.config.queue_limit,
+            coalesce=self.config.coalesce,
+            cache_size=self.config.response_cache,
+        )
+        self.sessions = SessionPool(system, max_sessions=self.config.max_sessions)
+        self.started = time.monotonic()
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def handle(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Serve one request; returns ``(http_status, json_payload)``."""
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = split.query
+        endpoint, started = self._endpoint_label(method, path), time.perf_counter()
+        try:
+            status, payload = self._dispatch(method, path, query, body)
+        except ProtocolError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except UnknownSessionError as exc:
+            status, payload = 404, {"error": str(exc)}
+        except ServiceOverloadedError as exc:
+            status, payload = 503, {"error": str(exc), "retry_after_seconds": 1}
+        except TecoreError as exc:
+            status, payload = 500, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the connection silently
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        self.metrics.observe(
+            endpoint, time.perf_counter() - started, error=status >= 400
+        )
+        return status, payload
+
+    @staticmethod
+    def _endpoint_label(method: str, path: str) -> str:
+        match = _SESSION_ROUTE.match(path)
+        if match:
+            tail = match.group("tail") or ""
+            return f"{method} /sessions/{{id}}{tail}"
+        if path in ("/healthz", "/stats", "/resolve", "/sessions"):
+            return f"{method} {path}"
+        # One shared bucket for everything unroutable: per-path recorders
+        # would let a crawler grow the metrics map without bound.
+        return "unmatched"
+
+    def _dispatch(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/healthz" and method == "GET":
+            return 200, self._health()
+        if path == "/stats" and method == "GET":
+            return 200, self._stats()
+        if path == "/resolve" and method == "POST":
+            return 200, self._resolve(decode_json(body))
+        if path == "/sessions" and method == "POST":
+            return 201, self._create_session(decode_json(body))
+        match = _SESSION_ROUTE.match(path)
+        if match:
+            sid, tail = match.group("sid"), match.group("tail")
+            if tail == "/edits" and method == "POST":
+                return 200, self._apply_edits(sid, decode_json(body))
+            if tail == "/result" and method == "GET":
+                return 200, self._session_result(sid, query)
+            if tail is None and method == "DELETE":
+                return 200, self._delete_session(sid)
+        return 404, {"error": f"no endpoint {method} {path}"}
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _resolve(self, document: Mapping[str, Any]) -> dict[str, Any]:
+        graph = decode_graph(document)
+        result = self.batcher.submit(graph, timeout=self.config.request_timeout)
+        return encode_result(result, include_graphs=bool(document.get("include_graphs")))
+
+    def _create_session(self, document: Mapping[str, Any]) -> dict[str, Any]:
+        graph = decode_graph(document, default_name="session")
+        cache_size = document.get("cache_size", 8192)
+        if not isinstance(cache_size, int) or cache_size < 1:
+            raise ProtocolError(f"cache_size must be a positive integer, got {cache_size!r}")
+        entry = self.sessions.create(
+            graph,
+            warm_start=bool(document.get("warm_start")),
+            cache_size=cache_size,
+        )
+        with entry.lock:
+            payload = encode_result(
+                entry.session.result,
+                include_graphs=bool(document.get("include_graphs")),
+            )
+        return {"session_id": entry.session_id, "result": payload}
+
+    def _apply_edits(self, sid: str, document: Mapping[str, Any]) -> dict[str, Any]:
+        adds, removes = decode_edits(document)
+        entry = self.sessions.get(sid)
+        with entry.lock:
+            result = entry.session.apply(adds=adds, removes=removes)
+            entry.edits_applied += 1
+            payload = encode_result(
+                result, include_graphs=bool(document.get("include_graphs"))
+            )
+        return {"session_id": sid, "result": payload}
+
+    def _session_result(self, sid: str, query: str) -> dict[str, Any]:
+        entry = self.sessions.get(sid)
+        include_graphs = "include_graphs=1" in query or "include_graphs=true" in query
+        with entry.lock:
+            payload = encode_result(entry.session.result, include_graphs=include_graphs)
+        return {"session_id": sid, "result": payload}
+
+    def _delete_session(self, sid: str) -> dict[str, Any]:
+        entry = self.sessions.delete(sid)
+        with entry.lock:
+            facts = len(entry.session.graph)
+            edits = entry.edits_applied
+        return {"session_id": sid, "deleted": True, "facts": facts, "edits_applied": edits}
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "solver": self.system.solver,
+            "engine": self.system.engine,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "sessions": len(self.sessions),
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "endpoints": self.metrics.snapshot(),
+            "batcher": self.batcher.snapshot(),
+            "sessions": self.sessions.snapshot(),
+        }
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server: "TecoreHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def _serve(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            status, payload = 400, {"error": "invalid Content-Length header"}
+        else:
+            body = self.rfile.read(length) if length else b"{}"
+            status, payload = self.server.service.handle(self.command, self.path, body)
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    do_GET = do_POST = do_DELETE = _serve
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        pass  # request logging is the metrics' job; keep stderr quiet
+
+
+class TecoreHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ResolutionService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: ResolutionService) -> None:
+        self.service = service
+        super().__init__((service.config.host, service.config.port), _RequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def run_in_thread(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests and embedded use)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="tecore-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop serving and release the batcher and the listening socket."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(system: TeCoRe, config: ServerConfig | None = None) -> TecoreHTTPServer:
+    """Build a ready-to-run server (``port=0`` picks a free port)."""
+    return TecoreHTTPServer(ResolutionService(system, config))

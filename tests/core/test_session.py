@@ -169,6 +169,18 @@ class TestComponentSolutionCache:
         with pytest.raises(ValueError):
             ComponentSolutionCache(max_entries=0)
 
+    def test_clear_resets_hit_and_miss_statistics(self):
+        # Regression: clear() kept the old counters, skewing the hit rates
+        # reported by `tecore watch` summaries and the /stats endpoint.
+        cache = ComponentSolutionCache(max_entries=4)
+        cache.put(("a",), "A")
+        cache.get(("a",))
+        cache.get(("missing",))
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
     def test_component_key_tracks_weight_changes(self, system):
         """Bumping a confidence must dirty the containing component."""
         graph = ranieri_graph()

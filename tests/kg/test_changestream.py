@@ -35,10 +35,23 @@ class TestParsing:
         steps = list(iter_change_steps(["+ A p B [1,2] 0.5", "", "RESOLVE"]))
         assert len(steps) == 1 and len(steps[0].adds) == 1
 
-    def test_empty_step_is_preserved(self):
-        steps = list(iter_change_steps(["resolve"]))
-        assert steps == [ChangeStep()]
-        assert steps[0].is_empty
+    def test_leading_resolve_yields_no_empty_step(self):
+        # Regression: a leading `resolve` used to emit an empty ChangeStep,
+        # making watch/session replays pay a resolution round for a no-op.
+        assert list(iter_change_steps(["resolve"])) == []
+
+    def test_consecutive_resolves_yield_no_empty_steps(self):
+        steps = list(
+            iter_change_steps(
+                ["resolve", "+ A p B [1,2] 0.5", "resolve", "resolve", "RESOLVE"]
+            )
+        )
+        assert len(steps) == 1
+        assert len(steps[0].adds) == 1
+        assert not any(step.is_empty for step in steps)
+
+    def test_empty_changestep_is_still_constructible(self):
+        assert ChangeStep().is_empty and len(ChangeStep()) == 0
 
     def test_unknown_operator_raises(self):
         with pytest.raises(ParseError):

@@ -1,0 +1,53 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import http.client
+import json
+
+import pytest
+
+from repro import TeCoRe
+from repro.serve import ServerConfig, make_server
+
+
+@pytest.fixture
+def system():
+    return TeCoRe.from_pack("running-example", solver="nrockit")
+
+
+@pytest.fixture
+def server_factory():
+    """Start servers on free ports; every server is closed at teardown."""
+    servers = []
+
+    def factory(system, **config_kwargs):
+        config_kwargs.setdefault("port", 0)
+        server = make_server(system, ServerConfig(**config_kwargs))
+        servers.append(server)
+        server.run_in_thread()
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture
+def client():
+    """A tiny JSON-over-HTTP client: client(server, method, path[, payload])."""
+
+    def request(server, method, path, payload=None, timeout=30.0):
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            connection.request(
+                method,
+                path,
+                body=json.dumps(payload) if payload is not None else None,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    return request
