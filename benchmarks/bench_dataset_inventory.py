@@ -14,8 +14,6 @@ counts) against the paper's table.  The benchmark times full-scale FootballDB
 generation.
 """
 
-import pytest
-
 from conftest import format_rows, record_report
 from repro.datasets import (
     FootballDBConfig,

@@ -14,6 +14,7 @@ does not.
 """
 
 import statistics
+import time
 
 import pytest
 
@@ -42,12 +43,17 @@ def footballdb_program(footballdb_noisy):
 def test_map_inference_runtime(benchmark, footballdb_program, solver_name, footballdb_noisy):
     solver = make_solver(solver_name)
 
+    started = time.perf_counter()
     solution = benchmark.pedantic(
         solver.solve, args=(footballdb_program,), rounds=ROUNDS, iterations=1, warmup_rounds=1
     )
+    wall_ms = (time.perf_counter() - started) * 1000.0
 
     removed = len(solution.removed_facts(footballdb_program))
-    mean_ms = statistics.mean(benchmark.stats.stats.data) * 1000.0
+    if benchmark.stats is not None and benchmark.stats.stats.data:
+        mean_ms = statistics.mean(benchmark.stats.stats.data) * 1000.0
+    else:  # --benchmark-disable (the CI smoke loop): one un-warmed run
+        mean_ms = wall_ms
     _RESULTS[solver_name] = {
         "mean_ms": mean_ms,
         "objective": solution.objective,

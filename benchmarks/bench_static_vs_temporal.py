@@ -8,8 +8,6 @@ and removed.  We quantify that on clean FootballDB data (where *nothing*
 should be removed) and on noisy data (where precision is what suffers).
 """
 
-import pytest
-
 from conftest import format_rows, record_report
 from repro import TeCoRe
 from repro.baselines import StaticResolver

@@ -1,0 +1,181 @@
+"""Benchmark-regression gate over the ``BENCH_*.json`` records.
+
+The pinned benchmarks write machine-readable speedup records to
+``benchmarks/results/BENCH_<name>.json`` (see ``_report.py``).  CI used to
+only *upload* them; this script *checks* them: every freshly produced record
+is compared against the committed baseline in ``benchmarks/baselines.json``
+and the job fails when a headline speedup regresses below the tolerance
+band.
+
+Usage::
+
+    python benchmarks/check_regression.py                # gate (CI step)
+    python benchmarks/check_regression.py --tolerance 0.5
+    python benchmarks/check_regression.py --update       # refresh baselines
+
+Exit codes: 0 — all gated benchmarks within band; 1 — at least one
+regression; 2 — malformed input (unreadable record or baseline file).
+
+The tolerance is deliberately generous by default (a fresh speedup may fall
+to ``(1 - tolerance) * baseline`` before failing) because CI machines are
+noisy; the point of the gate is to catch *structural* regressions — a
+speedup collapsing from 4x to 1x — not 10% jitter.  Benchmarks without a
+baseline entry warn instead of failing, so adding a new benchmark does not
+require touching the baseline file in the same commit (a later ``--update``
+records it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default locations, relative to this file.
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES_FILE = Path(__file__).parent / "baselines.json"
+
+#: A fresh speedup may fall to (1 - TOLERANCE) * baseline before failing.
+DEFAULT_TOLERANCE = 0.4
+
+
+def load_records(results_dir: Path) -> dict[str, dict]:
+    """All ``BENCH_*.json`` records in ``results_dir``, keyed by benchmark name.
+
+    Raises ``ValueError`` for unreadable or schema-less files — a malformed
+    record means the producing benchmark is broken, which the gate must not
+    paper over.
+    """
+    records: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable benchmark record {path.name}: {exc}") from exc
+        if not isinstance(payload, dict) or "benchmark" not in payload:
+            raise ValueError(f"benchmark record {path.name} has no 'benchmark' field")
+        records[str(payload["benchmark"])] = payload
+    return records
+
+
+def load_baselines(baselines_file: Path) -> dict[str, dict]:
+    """The committed baseline map ``{benchmark: {"speedup": x}}``."""
+    try:
+        payload = json.loads(baselines_file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable baselines file {baselines_file}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"baselines file {baselines_file} must hold an object")
+    for name, entry in payload.items():
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"baseline entry {name!r} must be an object like "
+                f'{{"speedup": 4.2}}, got {entry!r}'
+            )
+    return payload
+
+
+def check(
+    records: dict[str, dict],
+    baselines: dict[str, dict],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Compare records against baselines; returns (report lines, failures)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name, record in sorted(records.items()):
+        speedup = record.get("speedup")
+        if speedup is None:
+            lines.append(f"  - {name}: no speedup field, not gated")
+            continue
+        baseline = baselines.get(name, {}).get("speedup")
+        if baseline is None:
+            lines.append(
+                f"  ? {name}: {speedup:.2f}x, no committed baseline "
+                "(new benchmark? record it with --update)"
+            )
+            continue
+        floor = baseline * (1.0 - tolerance)
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {baseline:.2f}x, tolerance {tolerance:.0%})"
+            )
+            lines.append(f"  ✗ {name}: {speedup:.2f}x < floor {floor:.2f}x  REGRESSION")
+        else:
+            lines.append(
+                f"  ✓ {name}: {speedup:.2f}x (baseline {baseline:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+    for name in sorted(set(baselines) - set(records)):
+        lines.append(f"  ? {name}: baseline present but no fresh record (did it run?)")
+    return lines, failures
+
+
+def update_baselines(records: dict[str, dict], baselines_file: Path) -> None:
+    """Rewrite the baseline file from the fresh records' speedups."""
+    payload = {
+        name: {"speedup": record["speedup"]}
+        for name, record in sorted(records.items())
+        if record.get("speedup") is not None
+    }
+    baselines_file.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a BENCH_*.json speedup regresses below its baseline"
+    )
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR, help="directory of BENCH_*.json"
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=BASELINES_FILE, help="committed baseline file"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below baseline (default 0.4)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline file and exit"
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"error: tolerance must lie in [0, 1), got {args.tolerance}")
+        return 2
+
+    try:
+        records = load_records(args.results_dir)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.update:
+        update_baselines(records, args.baselines)
+        print(f"baselines updated from {len(records)} record(s) -> {args.baselines}")
+        return 0
+    try:
+        baselines = load_baselines(args.baselines)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    lines, failures = check(records, baselines, args.tolerance)
+    print("benchmark-regression gate:")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nall gated benchmarks within the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..kg import TemporalFact, TemporalKnowledgeGraph
-from ..logic import ConstraintViolation, TemporalConstraint, find_conflicts
+from ..logic import TemporalConstraint, find_conflicts
 
 
 @dataclass(frozen=True)

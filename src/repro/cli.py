@@ -37,7 +37,7 @@ from .kg.io import load_change_stream, load_graph
 from .logic import available_packs, load_pack, parse_program
 
 #: Grounding engines selectable from the command line.
-ENGINE_CHOICES = ("indexed", "naive", "incremental")
+ENGINE_CHOICES = ("indexed", "naive", "incremental", "vectorized")
 
 
 def _build_parser() -> argparse.ArgumentParser:

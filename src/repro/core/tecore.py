@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..kg import TemporalFact, TemporalKnowledgeGraph
+from ..kg import TemporalKnowledgeGraph
 from ..logic import (
     TemporalConstraint,
     TemporalRule,
@@ -62,9 +62,10 @@ class TeCoRe:
     solver_options:
         Extra keyword arguments for the solver factory (e.g. ``time_limit``).
     engine:
-        Grounding engine: ``"indexed"`` (semi-naive, the default) or
-        ``"naive"`` (the reference implementation).  Both produce identical
-        ground programs; the indexed engine is faster.
+        Grounding engine: ``"indexed"`` (semi-naive, the default),
+        ``"vectorized"`` (columnar numpy joins, the fastest), ``"naive"``
+        (the reference implementation), or ``"incremental"``.  All produce
+        identical ground programs.
     decompose:
         Solve the connected components of the ground program's interaction
         graph independently and merge (exact for exact back-ends; see

@@ -22,7 +22,6 @@ from typing import Iterable
 
 from ..kg import TemporalKnowledgeGraph
 from ..logic import (
-    ClauseKind,
     GroundingResult,
     TemporalConstraint,
     TemporalRule,
@@ -92,8 +91,9 @@ class TecoreTranslator:
     """Grounds and validates inputs for a chosen solver.
 
     ``engine`` selects the grounding engine ("indexed" — the semi-naive
-    default — or "naive", the reference rescan-everything implementation;
-    both emit identical programs).  A translator instance is reusable across
+    default — "vectorized" (columnar numpy joins), "naive" (the reference
+    rescan-everything implementation), or "incremental"; all emit identical
+    programs).  A translator instance is reusable across
     graphs: solver capabilities are resolved through the registry's cached
     probes, which is what makes :meth:`repro.core.TeCoRe.resolve_batch`
     cheap per graph.

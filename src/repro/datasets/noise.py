@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import DatasetError, InvalidFactError
 from ..kg import TemporalFact, TemporalKnowledgeGraph, make_fact

@@ -1,5 +1,6 @@
 """Knowledge-graph substrate: terms, temporal facts, graph store, IO, stats."""
 
+from .columnar import ColumnarFactStore, RelationBlock, TermInterner, composite_keys, merge_join
 from .graph import Pattern, TemporalKnowledgeGraph
 from .namespace import Namespace, NamespaceManager, default_namespace_manager
 from .stats import GraphStats, PredicateStats, graph_stats, predicate_stats
@@ -10,6 +11,7 @@ from .validation import Severity, ValidationIssue, ValidationReport, validate_gr
 __all__ = [
     "CERTAIN_LOG_WEIGHT",
     "BlankNode",
+    "ColumnarFactStore",
     "GraphStats",
     "IRI",
     "Literal",
@@ -17,17 +19,21 @@ __all__ = [
     "NamespaceManager",
     "Pattern",
     "PredicateStats",
+    "RelationBlock",
     "Severity",
     "TemporalFact",
     "TemporalKnowledgeGraph",
     "Term",
+    "TermInterner",
     "Triple",
     "ValidationIssue",
     "ValidationReport",
     "coerce_fact",
+    "composite_keys",
     "default_namespace_manager",
     "graph_stats",
     "make_fact",
+    "merge_join",
     "predicate_stats",
     "term_key",
     "to_subject",

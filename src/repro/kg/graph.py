@@ -18,7 +18,7 @@ Indexes maintained:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..errors import InvalidFactError

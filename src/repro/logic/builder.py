@@ -12,7 +12,7 @@ grounder.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Optional, Sequence, Union
+from typing import Optional, Union
 
 from ..errors import LogicError
 from ..kg import IRI, TemporalKnowledgeGraph, to_term

@@ -13,7 +13,6 @@ audience can modify.  This module provides them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..errors import LogicError
 from .builder import (

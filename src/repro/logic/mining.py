@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..kg import TemporalFact, TemporalKnowledgeGraph
 from .builder import ConstraintBuilder, RuleBuilder, compare, disjoint, not_equal, quad

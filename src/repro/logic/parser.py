@@ -35,7 +35,7 @@ from ..errors import ParseError
 from ..temporal import CONSTRAINT_PREDICATES, IntervalExpression, TimeInterval
 from .atom import AllenAtom, Comparison, ConditionAtom, QuadAtom, TermEquality
 from .builder import parse_interval_symbol, parse_symbol
-from .constraint import ConstraintKind, TemporalConstraint
+from .constraint import TemporalConstraint
 from .expressions import (
     BinaryOp,
     Expression,

@@ -1,0 +1,1038 @@
+"""The columnar, numpy-vectorized grounding engine.
+
+The indexed engine (:class:`~repro.logic.grounding.IndexedGrounder`) already
+joins semi-naively, but it still enumerates candidate facts one Python object
+at a time.  This engine changes the *data representation* instead of just the
+join strategy: the working graph is mirrored into a
+:class:`~repro.kg.columnar.ColumnarFactStore` — entities, relations and
+predicates interned to dense integer ids, facts laid out as per-relation
+numpy column blocks (subject id, object id, interval begin, interval end,
+forward-chaining round) — and each rule or constraint body is compiled into a
+sequence of sorted-array merge/`searchsorted` equi-joins plus vectorized
+interval masks.
+
+The emitted program is **bit-for-bit identical** to the indexed (and naive)
+engine's — same atoms, clauses, firings, violations and round count — because
+the engine reuses the exact ordering contract those engines share:
+
+* semi-naive rounds with the same pivot/delta discipline (the columnar round
+  column plays the role of the graph's insertion ticks);
+* per-round matches re-sorted into the naive enumeration order by the facts'
+  lexicographic sort keys, with identical firing/violation deduplication.
+
+Conditions (Allen relations, arithmetic comparisons, term equalities) are
+evaluated as numpy masks over the joined columns, short-circuited row-wise in
+condition order exactly like the scalar engines; anything the vectorizer does
+not recognise — unknown condition classes, non-numeric ``TermValue`` terms,
+exotic head-interval expressions — degrades to a per-row evaluation of the
+original scalar code path, and bodies with *variable predicates* fall back to
+the indexed engine's backtracking matcher wholesale.  Correctness therefore
+never depends on a construct being vectorizable.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter, itemgetter
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GroundingError, LogicError
+from ..kg import IRI, TemporalFact, TemporalKnowledgeGraph
+from ..kg.columnar import ColumnarFactStore, RelationBlock, composite_keys, merge_join
+from ..temporal import TimeInterval
+from .atom import AllenAtom, Comparison, QuadAtom, TermEquality
+from .constraint import TemporalConstraint
+from .expressions import (
+    BinaryOp,
+    Expression,
+    IntervalDuration,
+    IntervalEnd,
+    IntervalStart,
+    Number,
+    TermValue,
+)
+from .ground import ClauseKind, GroundAtom, GroundClause, GroundProgram
+from .grounding import (
+    GROUNDING_ENGINES,
+    ConstraintViolation,
+    GroundingResult,
+    RuleFiring,
+    _BindingsView,
+    _body_sort_key,
+    _compile_body,
+    _delta_matches,
+    _full_matches,
+    _GrounderBase,
+)
+from .rule import TemporalRule
+from .terms import Variable
+
+
+class _NotVectorizable(Exception):
+    """Internal signal: evaluate this construct per row instead."""
+
+
+#: Sort key for match entries (their precomputed rank key comes first).
+_first_item = itemgetter(0)
+
+#: Direct slot access to a fact's cached statement key (hot signature path).
+_statement_key_of = attrgetter("_statement_key")
+
+
+# --------------------------------------------------------------------------- #
+# Body compilation
+# --------------------------------------------------------------------------- #
+class _VectorAtom:
+    """One quad atom split into constant / variable-name entries."""
+
+    __slots__ = ("predicate", "subject", "object", "interval", "intra_equal")
+
+    def __init__(self, atom: QuadAtom) -> None:
+        def entry(position):
+            return (True, position.name) if isinstance(position, Variable) else (False, position)
+
+        self.predicate = atom.predicate  # always a constant IRI on this path
+        self.subject = entry(atom.subject)
+        self.object = entry(atom.object)
+        self.interval = entry(atom.interval)
+        self.intra_equal = (
+            self.subject[0] and self.object[0] and self.subject[1] == self.object[1]
+        )
+
+
+class _VectorBody:
+    """A rule/constraint body compiled for the columnar join planner.
+
+    ``fallback`` marks bodies the planner cannot join columnar-ly (variable
+    predicates); ``dead`` marks bodies where one variable name is used in
+    both an entity and an interval position — such a body can never match
+    (the scalar engines reject the clash per candidate), so the planner
+    skips it outright.
+    """
+
+    __slots__ = ("atoms", "fallback", "dead", "plans", "entity_vars", "interval_vars")
+
+    def __init__(self, body: Sequence[QuadAtom]) -> None:
+        self.fallback = any(isinstance(atom.predicate, Variable) for atom in body)
+        self.plans = _compile_body(body) if self.fallback else None
+        self.atoms = None if self.fallback else [_VectorAtom(atom) for atom in body]
+        self.entity_vars: set[str] = set()
+        self.interval_vars: set[str] = set()
+        for atom in body:
+            for position in (atom.subject, atom.object):
+                if isinstance(position, Variable):
+                    self.entity_vars.add(position.name)
+            if isinstance(atom.interval, Variable):
+                self.interval_vars.add(atom.interval.name)
+        self.dead = not self.fallback and bool(self.entity_vars & self.interval_vars)
+
+
+class _MatchTable:
+    """Intermediate join result: variable columns plus per-atom row indices."""
+
+    __slots__ = ("size", "entities", "intervals", "rows", "blocks")
+
+    def __init__(
+        self,
+        size: int,
+        entities: dict[str, np.ndarray],
+        intervals: dict[str, tuple[np.ndarray, np.ndarray]],
+        rows: dict[int, np.ndarray],
+        blocks: dict[int, RelationBlock],
+    ) -> None:
+        self.size = size
+        self.entities = entities
+        self.intervals = intervals
+        self.rows = rows
+        self.blocks = blocks
+
+    def materialize_bodies(self, arity: int, alive: np.ndarray) -> list[tuple[TemporalFact, ...]]:
+        """Body-fact tuples of the alive rows, decoded column-wise.
+
+        One ``map`` over each atom position's row indices plus a ``zip``
+        across positions keeps the per-match Python work at C speed.
+        """
+        per_position = []
+        for position in range(arity):
+            facts = self.blocks[position].facts
+            rows = self.rows[position][alive].tolist()
+            per_position.append(map(facts.__getitem__, rows))
+        return list(zip(*per_position))
+
+
+# --------------------------------------------------------------------------- #
+# The vectorized join
+# --------------------------------------------------------------------------- #
+def _join_body(
+    compiled: _VectorBody,
+    store: ColumnarFactStore,
+    windows: Sequence[str],
+    delta_round: int,
+    order: Sequence[int],
+) -> Optional[_MatchTable]:
+    """Join the body atoms in ``order`` under per-position round windows.
+
+    ``windows[position]`` is ``"delta"`` (round ≥ ``delta_round``), ``"old"``
+    (round < ``delta_round``) or ``"all"`` — the vectorized mirror of the
+    indexed engine's insertion-tick bounds.  Returns ``None`` when the join
+    is empty.
+    """
+    atoms = compiled.atoms
+    table: Optional[_MatchTable] = None
+    for position in order:
+        atom = atoms[position]
+        block = store.block_for(atom.predicate)
+        if block is None or len(block) == 0:
+            return None
+        columns = block.columns()
+        mask: Optional[np.ndarray] = None
+
+        def narrow(mask, condition):
+            return condition if mask is None else mask & condition
+
+        window = windows[position]
+        if window == "delta" and delta_round > 0:
+            mask = narrow(mask, columns["round"] >= delta_round)
+        elif window == "old":
+            mask = narrow(mask, columns["round"] < delta_round)
+
+        for column_name, (is_var, value) in (
+            ("subject", atom.subject),
+            ("object", atom.object),
+        ):
+            if not is_var:
+                term_id = store.entities.lookup(value)
+                if term_id is None:
+                    return None
+                mask = narrow(mask, columns[column_name] == term_id)
+        is_var, value = atom.interval
+        if not is_var:
+            mask = narrow(mask, columns["begin"] == value.start)
+            mask = narrow(mask, columns["end"] == value.end)
+        if atom.intra_equal:
+            mask = narrow(mask, columns["subject"] == columns["object"])
+
+        rows = np.arange(len(block)) if mask is None else np.flatnonzero(mask)
+        if rows.size == 0:
+            return None
+
+        # Split the atom's variables into join keys (already bound) and fresh
+        # bindings, honouring intra-atom repetition (filtered above).
+        join_left: list[np.ndarray] = []
+        join_right: list[np.ndarray] = []
+        fresh_entities: list[tuple[str, str]] = []
+        fresh_interval: Optional[str] = None
+        bound_here: set[str] = set()
+        for column_name, (is_var, name) in (
+            ("subject", atom.subject),
+            ("object", atom.object),
+        ):
+            if not is_var:
+                continue
+            if table is not None and name in table.entities:
+                join_left.append(table.entities[name])
+                join_right.append(columns[column_name][rows])
+            elif name not in bound_here:
+                fresh_entities.append((name, column_name))
+                bound_here.add(name)
+        is_var, name = atom.interval
+        if is_var:
+            if table is not None and name in table.intervals:
+                begins, ends = table.intervals[name]
+                join_left.extend((begins, ends))
+                join_right.extend((columns["begin"][rows], columns["end"][rows]))
+            else:
+                fresh_interval = name
+
+        if table is None:
+            entities = {
+                name: columns[column_name][rows] for name, column_name in fresh_entities
+            }
+            intervals = {}
+            if fresh_interval is not None:
+                intervals[fresh_interval] = (
+                    columns["begin"][rows],
+                    columns["end"][rows],
+                )
+            table = _MatchTable(
+                rows.size, entities, intervals, {position: rows}, {position: block}
+            )
+            continue
+
+        if join_left:
+            left_key, right_key = composite_keys(join_left, join_right)
+            left_index, right_index = merge_join(left_key, right_key)
+        else:  # no shared variables: cartesian product
+            left_index = np.repeat(np.arange(table.size), rows.size)
+            right_index = np.tile(np.arange(rows.size), table.size)
+        if left_index.size == 0:
+            return None
+
+        selected = rows[right_index]
+        entities = {name: column[left_index] for name, column in table.entities.items()}
+        intervals = {
+            name: (begins[left_index], ends[left_index])
+            for name, (begins, ends) in table.intervals.items()
+        }
+        for name, column_name in fresh_entities:
+            entities[name] = columns[column_name][selected]
+        if fresh_interval is not None:
+            intervals[fresh_interval] = (
+                columns["begin"][selected],
+                columns["end"][selected],
+            )
+        new_rows = {p: arr[left_index] for p, arr in table.rows.items()}
+        new_rows[position] = selected
+        blocks = dict(table.blocks)
+        blocks[position] = block
+        table = _MatchTable(left_index.size, entities, intervals, new_rows, blocks)
+    return table
+
+
+def _iter_pivot_tables(
+    compiled: _VectorBody, store: ColumnarFactStore, delta_round: int
+) -> Iterator[_MatchTable]:
+    """Semi-naive split: one join per pivot position, disjoint by window."""
+    arity = len(compiled.atoms)
+    for pivot in range(arity):
+        if delta_round <= 0 and pivot > 0:
+            # Round one: no pre-delta facts exist, only pivot 0 can match.
+            break
+        windows = [
+            "delta" if position == pivot else "old" if position < pivot else "all"
+            for position in range(arity)
+        ]
+        order = [pivot, *(position for position in range(arity) if position != pivot)]
+        table = _join_body(compiled, store, windows, delta_round, order)
+        if table is not None and table.size:
+            yield table
+
+
+def _full_table(compiled: _VectorBody, store: ColumnarFactStore) -> Optional[_MatchTable]:
+    """One unwindowed join over the whole store (constraint grounding)."""
+    arity = len(compiled.atoms)
+    return _join_body(compiled, store, ["all"] * arity, 0, range(arity))
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized condition evaluation
+# --------------------------------------------------------------------------- #
+_ALLEN_MASKS = {
+    # The *inclusive* constraint-predicate readings of repro.temporal.allen.
+    "before": lambda s1, e1, s2, e2: e1 < s2,
+    "after": lambda s1, e1, s2, e2: s1 > e2,
+    "overlaps": lambda s1, e1, s2, e2: (s1 <= e2) & (s2 <= e1),
+    "overlap": lambda s1, e1, s2, e2: (s1 <= e2) & (s2 <= e1),
+    "disjoint": lambda s1, e1, s2, e2: (s1 > e2) | (s2 > e1),
+    "meets": lambda s1, e1, s2, e2: e1 + 1 == s2,
+    "metBy": lambda s1, e1, s2, e2: s1 == e2 + 1,
+    "starts": lambda s1, e1, s2, e2: (s1 == s2) & (e1 < e2),
+    "startedBy": lambda s1, e1, s2, e2: (s1 == s2) & (e1 > e2),
+    "during": lambda s1, e1, s2, e2: (s1 > s2) & (e1 < e2),
+    "contains": lambda s1, e1, s2, e2: (s1 < s2) & (e1 > e2),
+    "finishes": lambda s1, e1, s2, e2: (e1 == e2) & (s1 > s2),
+    "finishedBy": lambda s1, e1, s2, e2: (e1 == e2) & (s1 < s2),
+    "equals": lambda s1, e1, s2, e2: (s1 == s2) & (e1 == e2),
+    "within": lambda s1, e1, s2, e2: (s2 <= s1) & (e1 <= e2),
+}
+
+_COMPARISON_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _row_view(table: _MatchTable, store: ColumnarFactStore, match: int) -> _BindingsView:
+    """Scalar substitution view of one match row (the per-row fallback)."""
+    values: dict = {}
+    for name, column in table.entities.items():
+        values[name] = store.entities.term(int(column[match]))
+    for name, (begins, ends) in table.intervals.items():
+        values[name] = TimeInterval(int(begins[match]), int(ends[match]))
+    return _BindingsView(values)
+
+
+def _per_row_mask(condition, table, store, alive: np.ndarray) -> np.ndarray:
+    out = np.empty(alive.size, dtype=bool)
+    for index, match in enumerate(alive):
+        out[index] = condition.holds(_row_view(table, store, int(match)))
+    return out
+
+
+def _evaluate_expression(
+    expression: Expression, table: _MatchTable, store: ColumnarFactStore, alive: np.ndarray
+):
+    """Vectorized arithmetic-expression evaluation over the alive rows."""
+    if isinstance(expression, Number):
+        return float(expression.value)
+    if isinstance(expression, (IntervalStart, IntervalEnd, IntervalDuration)):
+        pair = table.intervals.get(expression.variable.name)
+        if pair is None:
+            raise _NotVectorizable  # unbound / entity-bound: scalar path raises
+        begins, ends = pair
+        if isinstance(expression, IntervalStart):
+            return begins[alive].astype(np.float64)
+        if isinstance(expression, IntervalEnd):
+            return ends[alive].astype(np.float64)
+        return (ends[alive] - begins[alive] + 1).astype(np.float64)
+    if isinstance(expression, TermValue):
+        name = expression.variable.name
+        pair = table.intervals.get(name)
+        if pair is not None:
+            return pair[0][alive].astype(np.float64)
+        column = table.entities.get(name)
+        if column is None:
+            raise _NotVectorizable
+        ids = column[alive]
+        unique_ids, codes = np.unique(ids, return_inverse=True)
+        # Interpret each distinct term once; non-numeric terms raise the
+        # same LogicError the scalar engines raise.
+        values = np.empty(unique_ids.size, dtype=np.float64)
+        probe = _BindingsView({})
+        for index, term_id in enumerate(unique_ids):
+            probe._bindings[name] = store.entities.term(int(term_id))
+            values[index] = expression.evaluate(probe)
+        return values[codes]
+    if isinstance(expression, BinaryOp):
+        left = _evaluate_expression(expression.left, table, store, alive)
+        right = _evaluate_expression(expression.right, table, store, alive)
+        if expression.operator == "+":
+            return left + right
+        if expression.operator == "-":
+            return left - right
+        if expression.operator == "*":
+            return left * right
+        if np.any(np.asarray(right) == 0):
+            raise LogicError("division by zero in rule condition")
+        return left / right
+    raise _NotVectorizable
+
+
+def _condition_mask(condition, table, store, alive: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``condition`` over the alive rows (vectorized when possible)."""
+    if isinstance(condition, AllenAtom):
+        left = table.intervals.get(condition.left.name)
+        right = table.intervals.get(condition.right.name)
+        if left is None or right is None:
+            return _per_row_mask(condition, table, store, alive)
+        formula = _ALLEN_MASKS[condition.relation]
+        return formula(left[0][alive], left[1][alive], right[0][alive], right[1][alive])
+    if isinstance(condition, TermEquality):
+        sides = []
+        for position in (condition.left, condition.right):
+            if isinstance(position, Variable):
+                column = table.entities.get(position.name)
+                if column is None:
+                    return _per_row_mask(condition, table, store, alive)
+                sides.append(column[alive])
+            else:
+                sides.append(position)
+        left, right = sides
+        if not isinstance(left, np.ndarray) and not isinstance(right, np.ndarray):
+            equal = left == right
+            return np.full(alive.size, equal != condition.negated)
+        if not isinstance(left, np.ndarray):
+            left, right = right, left
+        if not isinstance(right, np.ndarray):
+            right_id = store.entities.lookup(right)
+            if right_id is None:
+                return np.full(alive.size, condition.negated)
+            right = right_id
+        mask = left != right if condition.negated else left == right
+        return mask
+    if isinstance(condition, Comparison):
+        try:
+            left = _evaluate_expression(condition.left, table, store, alive)
+            right = _evaluate_expression(condition.right, table, store, alive)
+        except _NotVectorizable:
+            return _per_row_mask(condition, table, store, alive)
+        result = _COMPARISON_OPS[condition.operator](left, right)
+        if np.ndim(result) == 0:
+            return np.full(alive.size, bool(result))
+        return result
+    return _per_row_mask(condition, table, store, alive)
+
+
+def _apply_conditions(conditions, table, store, alive: np.ndarray) -> np.ndarray:
+    """Filter the alive rows through each condition in order.
+
+    Evaluating condition *k* only on rows that passed conditions 1..k-1
+    reproduces the scalar engines' per-match short-circuit — including which
+    rows ever reach an error-raising condition.
+    """
+    for condition in conditions:
+        if alive.size == 0:
+            return alive
+        alive = alive[_condition_mask(condition, table, store, alive)]
+    return alive
+
+
+def _violated_rows(constraint: TemporalConstraint, table, store, alive: np.ndarray) -> np.ndarray:
+    """Rows whose match violates the constraint (mirrors ``violated_by``)."""
+    alive = _apply_conditions(constraint.body_conditions, table, store, alive)
+    if not constraint.head_conditions:
+        return alive  # pure denial: every applicable match is a conflict
+    violated: list[np.ndarray] = []
+    remaining = alive
+    for condition in constraint.head_conditions:
+        if remaining.size == 0:
+            break
+        mask = _condition_mask(condition, table, store, remaining)
+        violated.append(remaining[~mask])
+        remaining = remaining[mask]
+    if not violated:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(violated))
+
+
+# --------------------------------------------------------------------------- #
+# Head interval computation
+# --------------------------------------------------------------------------- #
+def _head_interval_columns(
+    rule: TemporalRule, table: _MatchTable, store: ColumnarFactStore, alive: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row head intervals ``(alive', begins, ends)``.
+
+    Rows whose head interval is undefined (e.g. an empty intersection) are
+    dropped, exactly like ``head_interval_for`` returning ``None``.
+    """
+    empty = (np.empty(0, dtype=np.int64),) * 3
+    expression = rule.head_interval
+    if expression is not None:
+        kind = expression.kind
+        if kind == "var":
+            pair = table.intervals.get(expression.left or "")
+            if pair is None:
+                return empty
+            return alive, pair[0][alive], pair[1][alive]
+        if kind in ("intersection", "union"):
+            left = table.intervals.get(expression.left or "")
+            right = table.intervals.get(expression.right or "")
+            if left is None or right is None:
+                return empty
+            if kind == "intersection":
+                begins = np.maximum(left[0][alive], right[0][alive])
+                ends = np.minimum(left[1][alive], right[1][alive])
+                keep = ends >= begins
+                return alive[keep], begins[keep], ends[keep]
+            begins = np.minimum(left[0][alive], right[0][alive])
+            ends = np.maximum(left[1][alive], right[1][alive])
+            return alive, begins, ends
+        if kind == "shift":
+            pair = table.intervals.get(expression.left or "")
+            if pair is None:
+                return empty
+            return alive, pair[0][alive] + expression.delta, pair[1][alive] + expression.delta
+        # Unknown expression kind: evaluate the scalar path per row.
+        kept, begins, ends = [], [], []
+        for match in alive:
+            interval = rule.head_interval_for(_row_view(table, store, int(match)))
+            if interval is None:
+                continue
+            kept.append(match)
+            begins.append(interval.start)
+            ends.append(interval.end)
+        return (
+            np.asarray(kept, dtype=np.int64),
+            np.asarray(begins, dtype=np.int64),
+            np.asarray(ends, dtype=np.int64),
+        )
+    interval_variable = rule.head.interval_variable()
+    if interval_variable is not None:
+        pair = table.intervals.get(interval_variable.name)
+        if pair is None:
+            return empty  # bound to an entity: scalar path derives nothing
+        return alive, pair[0][alive], pair[1][alive]
+    interval = rule.head.interval
+    if isinstance(interval, TimeInterval):
+        return (
+            alive,
+            np.full(alive.size, interval.start, dtype=np.int64),
+            np.full(alive.size, interval.end, dtype=np.int64),
+        )
+    return empty
+
+
+def _instantiate_heads(
+    rule: TemporalRule,
+    table: _MatchTable,
+    store: ColumnarFactStore,
+    alive: np.ndarray,
+    begins: np.ndarray,
+    ends: np.ndarray,
+) -> list[TemporalFact]:
+    """Head facts for the surviving rows (fast path + scalar fallback)."""
+    head = rule.head
+    size = alive.size
+    resolved_columns = []
+    fast = True
+    for position in (head.subject, head.predicate, head.object):
+        if isinstance(position, Variable):
+            column = table.entities.get(position.name)
+            if column is None:
+                fast = False  # interval-bound or unbound: scalar path raises
+                break
+            resolved_columns.append(store.entities.terms(column[alive].tolist()))
+        else:
+            resolved_columns.append([position] * size)
+    if not fast:
+        return [
+            head.instantiate(
+                _row_view(table, store, int(match)),
+                interval=TimeInterval(int(begin), int(end)),
+                confidence=rule.derived_confidence,
+            )
+            for match, begin, end in zip(alive, begins, ends)
+        ]
+    facts = []
+    confidence = rule.derived_confidence
+    interval_cache: dict[tuple[int, int], TimeInterval] = {}
+    for subject, predicate, obj, begin, end in zip(
+        *resolved_columns, begins.tolist(), ends.tolist()
+    ):
+        if not isinstance(predicate, IRI):
+            raise LogicError(f"predicate resolved to non-IRI value {predicate!r}")
+        span = interval_cache.get((begin, end))
+        if span is None:
+            span = TimeInterval(begin, end)
+            interval_cache[(begin, end)] = span
+        facts.append(
+            TemporalFact(
+                subject=subject,
+                predicate=predicate,
+                object=obj,
+                interval=span,
+                confidence=confidence,
+            )
+        )
+    return facts
+
+
+# --------------------------------------------------------------------------- #
+# Fast program emission
+# --------------------------------------------------------------------------- #
+def _fast_atom(
+    atoms: list[GroundAtom],
+    atom_index: dict[tuple, int],
+    fact: TemporalFact,
+    is_evidence: bool,
+    derived_by: Optional[str] = None,
+) -> GroundAtom:
+    """Inlined :meth:`GroundProgram.add_atom` (same semantics, fewer layers).
+
+    Registration is idempotent on the statement key with the same sticky
+    evidence-upgrade rule; only the per-call method/property overhead is
+    shaved, which matters on the per-firing emission path.
+    """
+    key = fact.statement_key
+    cached = atom_index.get(key)
+    if cached is not None:
+        atom = atoms[cached]
+        if is_evidence and not atom.is_evidence:
+            atom = GroundAtom(atom.index, fact, True, None)
+            atoms[cached] = atom
+        return atom
+    atom = GroundAtom(len(atoms), fact, is_evidence, derived_by)
+    atoms.append(atom)
+    atom_index[key] = atom.index
+    return atom
+
+
+def _normalized_clause(literals, weight, kind: ClauseKind, origin: str) -> GroundClause:
+    """Inlined :meth:`GroundProgram.add_clause` normalisation.
+
+    Identical weight handling — negative soft units flip their literal,
+    negative non-units raise, zero weights become the 1e-9 epsilon — minus
+    the per-literal bounds check (the engine only emits indexes of atoms it
+    just registered).
+    """
+    items = tuple(literals)
+    if weight is not None and weight < 0:
+        if len(items) != 1:
+            raise GroundingError(
+                f"negative-weight non-unit clause from {origin!r} is not representable"
+            )
+        index, positive = items[0]
+        items = ((index, not positive),)
+        weight = -weight
+    if weight is not None and weight == 0:
+        weight = 1e-9
+    return GroundClause(items, weight, kind, origin)
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+class VectorizedGrounder(_GrounderBase):
+    """Columnar, numpy-vectorized grounding engine.
+
+    A pure optimisation of :class:`~repro.logic.grounding.IndexedGrounder`:
+    the emitted program is bit-for-bit identical (the differential suite in
+    ``tests/test_vectorized_equivalence.py`` proves it); the hot join path
+    runs as sorted-array merge joins and boolean masks over interned integer
+    columns instead of per-fact Python dictionary probes.
+
+    The engine owns the whole pipeline (it overrides :meth:`ground`): when
+    every body is vectorizable it never materialises the working-graph copy
+    the scalar engines maintain — the columnar store *is* the working state.
+    Only bodies with variable predicates bring the row-oriented graph back,
+    for the indexed engine's backtracking matcher.
+    """
+
+    engine = "vectorized"
+
+    # ------------------------------------------------------------------ #
+    def ground(self) -> GroundingResult:
+        program = GroundProgram()
+        result = GroundingResult(program=program)
+
+        # 1. Evidence atoms and their soft unit clauses — bulk construction,
+        # byte-identical to _GrounderBase.ground's add_atom/add_clause loop
+        # (fresh atoms, unit-clause weight normalisation inlined).
+        atoms = program.atoms
+        atom_index = program._atom_index
+        clauses = program.clauses
+        keep_bias = self.keep_bias
+        for fact in self.graph:
+            index = len(atoms)
+            atoms.append(GroundAtom(index, fact, True, None))
+            atom_index[fact.statement_key] = index
+            weight = fact.log_weight + keep_bias
+            literal = (index, True)
+            if weight < 0:
+                literal, weight = (index, False), -weight
+            elif weight == 0:
+                weight = 1e-9
+            clauses.append(
+                GroundClause((literal,), weight, ClauseKind.EVIDENCE, "evidence")
+            )
+
+        chain_rules = bool(self.derive_facts and self.rules)
+        compiled_rules = [_VectorBody(rule.body) for rule in self.rules] if chain_rules else []
+        compiled_constraints = [_VectorBody(c.body) for c in self.constraints]
+        needs_graph = any(c.fallback for c in compiled_rules) or any(
+            c.fallback for c in compiled_constraints
+        )
+        # The columnar store is the working state; the row-oriented working
+        # graph is only maintained alongside it for fallback bodies.
+        working = self.graph.copy(name=f"{self.graph.name}-working") if needs_graph else None
+        store = ColumnarFactStore(self.graph, round_number=0)
+        evidence_keys = set(store._keys)
+        # Tag every evidence row with its ground-atom index (evidence atoms
+        # were created in graph order, so the atom table maps keys to them).
+        for block in store.blocks():
+            block.tags = [atom_index[fact.statement_key] for fact in block.facts]
+
+        if chain_rules:
+            result.rounds = self._chain_rounds(
+                program, result, store, working, compiled_rules, evidence_keys
+            )
+        self._constraint_pass(
+            program, result, store, working, compiled_constraints, evidence_keys
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _rule_matches_vectorized(
+        self,
+        rule: TemporalRule,
+        compiled: _VectorBody,
+        store: ColumnarFactStore,
+        delta_round: int,
+        seen_firings: set[tuple],
+    ) -> list[tuple]:
+        """Matches of one rule this round, in the naive enumeration order.
+
+        Each entry is ``(rank_key, body_facts, head_fact, body_atom_indexes)``
+        — the rank key orders matches identically to the scalar engines'
+        ``_body_sort_key`` (per-block sort-key ranks compare like the keys
+        themselves), and the atom indexes come from the blocks' row tags so
+        emission can skip per-fact atom-table probes.
+        """
+        arity = len(compiled.atoms)
+        matches: list[tuple] = []
+        for pivot_table in _iter_pivot_tables(compiled, store, delta_round):
+            alive = np.arange(pivot_table.size)
+            alive = _apply_conditions(rule.conditions, pivot_table, store, alive)
+            if alive.size == 0:
+                continue
+            alive, begins, ends = _head_interval_columns(rule, pivot_table, store, alive)
+            if alive.size == 0:
+                continue
+            head_facts = _instantiate_heads(rule, pivot_table, store, alive, begins, ends)
+            bodies = pivot_table.materialize_bodies(arity, alive)
+            ranks = zip(
+                *(
+                    pivot_table.blocks[p].rank_array()[pivot_table.rows[p][alive]].tolist()
+                    for p in range(arity)
+                )
+            )
+            indexes = zip(
+                *(
+                    pivot_table.blocks[p].tags_array()[pivot_table.rows[p][alive]].tolist()
+                    for p in range(arity)
+                )
+            )
+            rule_name = rule.name
+            for body_facts, head_fact, rank_key, atom_indexes in zip(
+                bodies, head_facts, ranks, indexes
+            ):
+                signature = (
+                    rule_name,
+                    tuple(map(_statement_key_of, body_facts)),
+                    head_fact.statement_key,
+                )
+                if signature in seen_firings:
+                    continue
+                seen_firings.add(signature)
+                matches.append((rank_key, body_facts, head_fact, atom_indexes))
+        matches.sort(key=_first_item)
+        return matches
+
+    def _rule_matches_fallback(
+        self,
+        rule: TemporalRule,
+        compiled: _VectorBody,
+        working: TemporalKnowledgeGraph,
+        delta_since: int,
+        seen_firings: set[tuple],
+    ) -> list[tuple]:
+        """Variable-predicate bodies: the indexed engine's backtracking join.
+
+        Entries mirror :meth:`_rule_matches_vectorized` with the body sort
+        key itself as the rank key and no precomputed atom indexes.
+        """
+        matches: list[tuple] = []
+        for substitution, body_facts in _delta_matches(compiled.plans, working, delta_since):
+            if not all(condition.holds(substitution) for condition in rule.conditions):
+                continue
+            head_interval = rule.head_interval_for(substitution)
+            if head_interval is None:
+                continue
+            head_fact = rule.head.instantiate(
+                substitution,
+                interval=head_interval,
+                confidence=rule.derived_confidence,
+            )
+            signature = (
+                rule.name,
+                tuple(fact.statement_key for fact in body_facts),
+                head_fact.statement_key,
+            )
+            if signature in seen_firings:
+                continue
+            seen_firings.add(signature)
+            matches.append((_body_sort_key(body_facts), body_facts, head_fact, None))
+        matches.sort(key=_first_item)
+        return matches
+
+    # ------------------------------------------------------------------ #
+    def _chain_rounds(
+        self,
+        program: GroundProgram,
+        result: GroundingResult,
+        store: ColumnarFactStore,
+        working: Optional[TemporalKnowledgeGraph],
+        compiled_bodies: list[_VectorBody],
+        evidence_keys: set[tuple],
+    ) -> int:
+        seen_firings: set[tuple] = set()
+        prior_added: set[int] = set()
+        rounds_used = 0
+        delta_since = 0  # insertion-tick cursor, for fallback bodies only
+        for round_number in range(1, self.max_rounds + 1):
+            round_mark = working.mark() if working is not None else 0
+            delta_round = round_number - 1
+            round_matches: list[tuple[TemporalRule, list[tuple]]] = []
+            any_matches = False
+            for rule, compiled in zip(self.rules, compiled_bodies):
+                if compiled.dead:
+                    continue
+                # Both helpers return matches already re-established in the
+                # naive enumeration order (lexicographic in the body facts),
+                # so all engines emit identical programs.
+                if compiled.fallback:
+                    matches = self._rule_matches_fallback(
+                        rule, compiled, working, delta_since, seen_firings
+                    )
+                else:
+                    matches = self._rule_matches_vectorized(
+                        rule, compiled, store, delta_round, seen_firings
+                    )
+                if matches:
+                    any_matches = True
+                    round_matches.append((rule, matches))
+
+            if not any_matches:
+                break
+            rounds_used = round_number
+            atoms = program.atoms
+            atom_index = program._atom_index
+            clauses = program.clauses
+            firings = result.firings
+            derived_prior = self.derived_prior
+            for rule, matches in round_matches:
+                rule_name = rule.name
+                rule_weight = rule.weight
+                # add_clause's unit normalisation, hoisted: rule clauses have
+                # ≥ 2 literals, so negative weights are unrepresentable and a
+                # zero weight becomes the 1e-9 epsilon.
+                if rule_weight is not None and rule_weight < 0:
+                    raise GroundingError(
+                        f"negative-weight non-unit clause from {rule_name!r} "
+                        "is not representable"
+                    )
+                clause_weight = 1e-9 if rule_weight == 0 else rule_weight
+                prior_origin = f"prior:{rule_name}"
+                for _, body_facts, head_fact, atom_indexes in matches:
+                    head_atom = _fast_atom(
+                        atoms,
+                        atom_index,
+                        head_fact,
+                        head_fact.statement_key in evidence_keys,
+                        rule_name,
+                    )
+                    head_index = head_atom.index
+                    if (
+                        not head_atom.is_evidence
+                        and derived_prior > 0
+                        and head_index not in prior_added
+                    ):
+                        prior_added.add(head_index)
+                        # -prior on (x, True) normalises to +prior on (x, False).
+                        clauses.append(
+                            GroundClause(
+                                ((head_index, False),),
+                                derived_prior,
+                                ClauseKind.PRIOR,
+                                prior_origin,
+                            )
+                        )
+                    if (
+                        store.add(head_fact, round_number, tag=head_index)
+                        and working is not None
+                    ):
+                        working.add(head_fact)
+                    if atom_indexes is None:  # fallback matches carry no row tags
+                        literals = [
+                            (
+                                _fast_atom(
+                                    atoms,
+                                    atom_index,
+                                    fact,
+                                    fact.statement_key in evidence_keys,
+                                ).index,
+                                False,
+                            )
+                            for fact in body_facts
+                        ]
+                        literals.append((head_index, True))
+                    else:
+                        literals = [*((index, False) for index in atom_indexes), (head_index, True)]
+                    clauses.append(
+                        GroundClause(tuple(literals), clause_weight, ClauseKind.RULE, rule_name)
+                    )
+                    firings.append(
+                        RuleFiring(rule_name, body_facts, head_fact, rule_weight)
+                    )
+            delta_since = round_mark
+        return rounds_used
+
+    # ------------------------------------------------------------------ #
+    def _constraint_pass(
+        self,
+        program: GroundProgram,
+        result: GroundingResult,
+        store: ColumnarFactStore,
+        working: Optional[TemporalKnowledgeGraph],
+        compiled_constraints: list[_VectorBody],
+        evidence_keys: set[tuple],
+    ) -> None:
+        atoms = program.atoms
+        atom_index = program._atom_index
+        clauses = program.clauses
+        for constraint, compiled in zip(self.constraints, compiled_constraints):
+            matches: list[tuple] = []
+            if compiled.dead:
+                pass
+            elif compiled.fallback:
+                for substitution, facts in _full_matches(compiled.plans, working):
+                    keys = tuple(fact.statement_key for fact in facts)
+                    if len(set(keys)) != len(keys):
+                        continue
+                    if not constraint.violated_by(substitution):
+                        continue
+                    matches.append((_body_sort_key(facts), facts, tuple(sorted(keys)), None))
+            else:
+                table = _full_table(compiled, store)
+                if table is not None and table.size:
+                    alive = np.arange(table.size)
+                    # Degenerate matches: the same fact filling two body atoms.
+                    arity = len(compiled.atoms)
+                    for first in range(arity):
+                        for second in range(first + 1, arity):
+                            if (
+                                compiled.atoms[first].predicate
+                                != compiled.atoms[second].predicate
+                            ):
+                                continue
+                            if alive.size == 0:
+                                break
+                            alive = alive[
+                                table.rows[first][alive] != table.rows[second][alive]
+                            ]
+                    violated = _violated_rows(constraint, table, store, alive)
+                    bodies = table.materialize_bodies(arity, violated)
+                    ranks = zip(
+                        *(
+                            table.blocks[p].rank_array()[table.rows[p][violated]].tolist()
+                            for p in range(arity)
+                        )
+                    )
+                    indexes = zip(
+                        *(
+                            table.blocks[p].tags_array()[table.rows[p][violated]].tolist()
+                            for p in range(arity)
+                        )
+                    )
+                    for facts, rank_key, atom_indexes in zip(bodies, ranks, indexes):
+                        keys = tuple(fact.statement_key for fact in facts)
+                        matches.append((rank_key, facts, tuple(sorted(keys)), atom_indexes))
+            # Sort before deduplicating: of two symmetric matches the naive
+            # enumeration keeps the lexicographically first one.
+            matches.sort(key=_first_item)
+            seen: set[tuple] = set()
+            for _, facts, sorted_keys, atom_indexes in matches:
+                if sorted_keys in seen:
+                    continue
+                seen.add(sorted_keys)
+                if atom_indexes is None:  # fallback matches carry no row tags
+                    literals = [
+                        (
+                            _fast_atom(
+                                atoms, atom_index, fact, fact.statement_key in evidence_keys
+                            ).index,
+                            False,
+                        )
+                        for fact in facts
+                    ]
+                else:
+                    literals = [(index, False) for index in atom_indexes]
+                clauses.append(
+                    _normalized_clause(
+                        literals, constraint.weight, ClauseKind.CONSTRAINT, constraint.name
+                    )
+                )
+                result.violations.append(
+                    ConstraintViolation(constraint.name, tuple(facts), constraint.weight)
+                )
+
+
+#: Make the vectorized engine selectable wherever the other engines are.
+GROUNDING_ENGINES["vectorized"] = VectorizedGrounder

@@ -1,7 +1,5 @@
 """Unit tests for the baseline resolvers (greedy, drop-lowest, static)."""
 
-import pytest
-
 from repro.baselines import DropLowestResolver, GreedyResolver, StaticResolver
 from repro.kg import TemporalKnowledgeGraph
 from repro.logic import constraint_c2, running_example_constraints, sports_pack

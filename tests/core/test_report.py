@@ -2,7 +2,6 @@
 
 from repro import TeCoRe, render_graph_summary, render_report
 from repro.core import render_comparison
-from repro.datasets import ranieri_graph
 
 
 class TestRenderReport:

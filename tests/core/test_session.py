@@ -5,7 +5,6 @@ import pytest
 from repro import TeCoRe
 from repro.core.session import ComponentSolutionCache, component_content_key
 from repro.datasets import ranieri_graph
-from repro.kg import make_fact
 from repro.logic import Grounder, running_example_constraints, running_example_rules
 
 NAPOLI = ("CR", "coach", "Napoli", (2001, 2003), 0.6)

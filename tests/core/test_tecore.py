@@ -13,7 +13,7 @@ from repro.core import (
     sweep_thresholds,
 )
 from repro.errors import SolverNotAvailableError
-from repro.kg import TemporalKnowledgeGraph, make_fact
+from repro.kg import make_fact
 from repro.logic import running_example_constraints, running_example_rules
 
 

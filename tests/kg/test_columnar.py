@@ -1,0 +1,185 @@
+"""Unit tests for the columnar fact store and its join primitives."""
+
+import numpy as np
+import pytest
+
+from repro.kg import ColumnarFactStore, IRI, TermInterner, make_fact
+from repro.kg.columnar import composite_keys, merge_join
+
+
+def sample_facts():
+    return [
+        make_fact("A", "playsFor", "T1", (2000, 2004), 0.9),
+        make_fact("B", "playsFor", "T1", (2001, 2003), 0.8),
+        make_fact("A", "coach", "T2", (2010, 2012), 0.7),
+        make_fact("B", "playsFor", "T2", (2005, 2006), 0.6),
+    ]
+
+
+class TestTermInterner:
+    def test_roundtrip_and_stability(self):
+        interner = TermInterner()
+        first = interner.intern(IRI("A"))
+        second = interner.intern(IRI("B"))
+        assert first != second
+        assert interner.intern(IRI("A")) == first  # idempotent
+        assert interner.term(first) == IRI("A")
+        assert interner.terms([second, first]) == [IRI("B"), IRI("A")]
+        assert len(interner) == 2
+
+    def test_lookup_does_not_intern(self):
+        interner = TermInterner()
+        assert interner.lookup(IRI("missing")) is None
+        assert len(interner) == 0
+
+
+class TestColumnarFactStore:
+    def test_blocks_and_columns(self):
+        store = ColumnarFactStore(sample_facts())
+        assert len(store) == 4
+        plays = store.block_for(IRI("playsFor"))
+        assert plays is not None and len(plays) == 3
+        columns = plays.columns()
+        assert columns["begin"].tolist() == [2000, 2001, 2005]
+        assert columns["end"].tolist() == [2004, 2003, 2006]
+        # Equal subjects intern to equal ids across blocks.
+        coach = store.block_for(IRI("coach"))
+        assert coach.columns()["subject"][0] == columns["subject"][0]
+
+    def test_statement_dedup(self):
+        store = ColumnarFactStore()
+        fact = make_fact("A", "p", "B", (1, 2), 0.5)
+        assert store.add(fact) is True
+        assert store.add(fact.with_confidence(0.9)) is False  # same statement
+        assert len(store) == 1
+        assert fact in store
+
+    def test_round_labels_and_lazy_rebuild(self):
+        store = ColumnarFactStore(sample_facts(), round_number=0)
+        block = store.block_for(IRI("playsFor"))
+        assert block.columns()["round"].tolist() == [0, 0, 0]
+        store.add(make_fact("C", "playsFor", "T3", (1999, 2000), 0.5), round_number=2)
+        # Columns are rebuilt lazily and include the new row.
+        assert block.columns()["round"].tolist() == [0, 0, 0, 2]
+        assert block.column("subject").shape == (4,)
+
+    def test_tags_and_tagged_add(self):
+        store = ColumnarFactStore()
+        store.add(make_fact("A", "p", "B", (1, 2), 0.5), 0, tag=7)
+        store.add(make_fact("A", "p", "C", (1, 2), 0.5), 1, tag=9)
+        # Re-adding an existing statement keeps the original tag.
+        assert store.add(make_fact("A", "p", "B", (1, 2), 0.6), 1, tag=42) is False
+        block = store.block_for(IRI("p"))
+        assert block.tags_array().tolist() == [7, 9]
+
+    def test_rank_array_orders_like_sort_keys(self):
+        store = ColumnarFactStore(sample_facts())
+        block = store.block_for(IRI("playsFor"))
+        ranks = block.rank_array()
+        by_rank = [fact for _, fact in sorted(zip(ranks.tolist(), block.facts))]
+        assert by_rank == sorted(block.facts, key=lambda fact: fact.sort_key())
+
+    def test_iter_facts_covers_everything(self):
+        facts = sample_facts()
+        store = ColumnarFactStore(facts)
+        assert {f.statement_key for f in store.iter_facts()} == {
+            f.statement_key for f in facts
+        }
+
+
+class TestMergeJoin:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        left = rng.integers(0, 12, size=40)
+        right = rng.integers(0, 12, size=55)
+        left_index, right_index = merge_join(left, right)
+        got = sorted(zip(left_index.tolist(), right_index.tolist()))
+        expected = sorted(
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if left[i] == right[j]
+        )
+        assert got == expected
+
+    def test_precomputed_right_order(self):
+        left = np.asarray([2, 9, 4], dtype=np.int64)
+        right = np.asarray([4, 2, 2, 7], dtype=np.int64)
+        order = np.argsort(right, kind="stable")
+        with_order = merge_join(left, right, right_order=order)
+        without = merge_join(left, right)
+        assert sorted(zip(*map(np.ndarray.tolist, with_order))) == sorted(
+            zip(*map(np.ndarray.tolist, without))
+        )
+
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        keys = np.asarray([1, 2, 3], dtype=np.int64)
+        for left, right in ((empty, keys), (keys, empty), (empty, empty)):
+            left_index, right_index = merge_join(left, right)
+            assert left_index.size == 0 and right_index.size == 0
+
+
+class TestCompositeKeys:
+    def test_equal_tuples_encode_equal(self):
+        left_cols = [np.asarray([1, 2, 1]), np.asarray([5, 5, 6])]
+        right_cols = [np.asarray([1, 1, 2]), np.asarray([5, 6, 5])]
+        left, right = composite_keys(left_cols, right_cols)
+        # (1,5) on the left matches (1,5) on the right and nothing else.
+        assert left[0] == right[0]
+        assert left[0] != right[1]
+        assert left[2] == right[1]
+        assert left[1] == right[2]
+
+    def test_single_column_passthrough(self):
+        column = np.asarray([3, 1, 4])
+        left, right = composite_keys([column], [column])
+        assert left is column and right is column
+
+    def test_overflow_refactorisation(self):
+        """Huge value ranges force the dense-recoding path, keeping joins exact."""
+        big = np.int64(1) << 40
+        left_cols = [np.asarray([0, big, 7]), np.asarray([big, 0, 7]), np.asarray([1, 2, 1])]
+        right_cols = [np.asarray([7, 0, big]), np.asarray([7, big, 0]), np.asarray([1, 1, 2])]
+        left, right = composite_keys(left_cols, right_cols)
+        # The right rows are a rotation of the left rows: (0,big,1),
+        # (big,0,2), (7,7,1) → equal tuples must encode equal...
+        assert left[0] == right[1]
+        assert left[1] == right[2]
+        assert left[2] == right[0]
+        # ...and distinct tuples must stay distinct.
+        assert left[0] != right[0]
+        assert left[1] != right[1]
+        assert left[2] != right[2]
+
+    def test_giant_value_ranges_never_wrap(self):
+        """Even when every column spans ~2^55, equal-tuple encoding is exact.
+
+        Ranges this wide force both re-factorisation paths: the partial-key
+        compression and the per-column dense recoding.
+        """
+        rng = np.random.default_rng(3)
+        huge = np.int64(1) << 55
+        rows = 64
+        columns = [rng.integers(0, huge, size=rows) for _ in range(4)]
+        left_cols = [c.copy() for c in columns]
+        # Right side: a shuffled copy of the left rows plus fresh rows.
+        perm = rng.permutation(rows)
+        right_cols = [
+            np.concatenate([c[perm], rng.integers(0, huge, size=rows)])
+            for c in columns
+        ]
+        left, right = composite_keys(left_cols, right_cols)
+        left_tuples = list(zip(*(c.tolist() for c in left_cols)))
+        right_tuples = list(zip(*(c.tolist() for c in right_cols)))
+        for i, lt in enumerate(left_tuples):
+            for j, rt in enumerate(right_tuples):
+                assert (left[i] == right[j]) == (lt == rt)
+
+    def test_negative_values(self):
+        left_cols = [np.asarray([-5, 3]), np.asarray([2, -2])]
+        right_cols = [np.asarray([3, -5]), np.asarray([-2, 2])]
+        left, right = composite_keys(left_cols, right_cols)
+        assert left[0] == right[1]
+        assert left[1] == right[0]

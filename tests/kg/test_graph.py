@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidFactError
-from repro.kg import IRI, TemporalKnowledgeGraph, make_fact
+from repro.kg import IRI, TemporalKnowledgeGraph
 from repro.temporal import TimeDomain, TimeInterval
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.kg import TemporalKnowledgeGraph, make_fact
+from repro.kg import TemporalKnowledgeGraph
 from repro.kg.io import csv_io, json_io, load_graph, save_graph, tqlines
 from repro.temporal import TimeInterval
 

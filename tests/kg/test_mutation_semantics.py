@@ -62,7 +62,7 @@ class TestTickMonotonicity:
 class TestMarkAcrossRemovals:
     def test_delta_window_survives_removals(self):
         graph = TemporalKnowledgeGraph(name="window")
-        old = graph.add(FACT)
+        graph.add(FACT)
         mark = graph.mark()
         graph.remove(FACT)
         new = graph.add(OTHER)

@@ -13,7 +13,7 @@ from repro.logic import (
     running_example_constraints,
     running_example_rules,
 )
-from repro.logic.builder import ConstraintBuilder, RuleBuilder, disjoint, not_equal, quad
+from repro.logic.builder import ConstraintBuilder, disjoint, not_equal, quad
 from repro.logic.library import constraint_c2, rule_f1
 
 

@@ -22,7 +22,7 @@ from repro.logic.builder import (
     overlaps,
     quad,
 )
-from repro.logic.expressions import IntervalStart, Number
+from repro.logic.expressions import IntervalStart
 from repro.temporal import TimeInterval
 
 

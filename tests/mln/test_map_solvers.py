@@ -8,8 +8,8 @@ approximate ones must produce feasible states that are not wildly worse.
 import pytest
 
 from repro.errors import InfeasibleProgramError, SolverNotAvailableError
-from repro.kg import TemporalKnowledgeGraph, make_fact
-from repro.logic import ClauseKind, GroundProgram, ground, running_example_constraints, running_example_rules
+from repro.kg import make_fact
+from repro.logic import ClauseKind, GroundProgram, ground
 from repro.mln import (
     BranchAndBoundSolver,
     CuttingPlaneSolver,

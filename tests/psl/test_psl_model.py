@@ -1,7 +1,5 @@
 """Unit tests for the PSL template program."""
 
-import pytest
-
 from repro.psl import PSLProgram
 from repro.logic import constraint_c2, rule_f1, running_example_constraints, running_example_rules
 

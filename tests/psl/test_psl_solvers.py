@@ -9,7 +9,6 @@ from repro.mln import ILPMapSolver
 from repro.psl import (
     ADMMSolver,
     HingeLossMRF,
-    ProjectedGradientSolver,
     available_backends,
     make_solver,
     repair_hard,

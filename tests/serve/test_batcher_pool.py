@@ -5,7 +5,6 @@ import time
 
 import pytest
 
-from repro import TeCoRe
 from repro.datasets import ranieri_extended_graph, ranieri_graph
 from repro.serve import (
     LatencyRecorder,

@@ -12,9 +12,6 @@ The load-bearing guarantees:
 
 import threading
 
-import pytest
-
-from repro import TeCoRe
 from repro.datasets import ranieri_extended_graph, ranieri_graph
 from repro.kg import make_fact
 from repro.kg.io import json_io

@@ -1,0 +1,188 @@
+"""Tests for the benchmark reporting/gating tools.
+
+``benchmarks/_report.py`` (the ``BENCH_*.json`` writer) and
+``benchmarks/check_regression.py`` (the CI regression gate) are plain
+scripts, not part of the ``repro`` package, so they are loaded by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+def load_module(name, monkeypatch=None):
+    spec = importlib.util.spec_from_file_location(name, BENCHMARKS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def report(tmp_path, monkeypatch):
+    module = load_module("_report")
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    return module
+
+
+@pytest.fixture
+def gate():
+    return load_module("check_regression")
+
+
+class TestWriteBenchJson:
+    def test_record_schema(self, report, tmp_path):
+        path = report.write_bench_json(
+            "demo",
+            workload={"dataset": "ranieri", "facts": 12},
+            timings={"full_seconds": 1.23456789, "fast_seconds": 0.2},
+            speedup=6.1728,
+            stats={"atoms": 42},
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["benchmark"] == "demo"
+        assert payload["workload"] == {"dataset": "ranieri", "facts": 12}
+        assert payload["timings"] == {"full_seconds": 1.234568, "fast_seconds": 0.2}
+        assert payload["speedup"] == 6.173  # rounded to 3 decimals
+        assert payload["stats"] == {"atoms": 42}
+        assert isinstance(payload["python"], str)
+        assert isinstance(payload["platform"], str)
+
+    def test_optional_fields_omitted(self, report, tmp_path):
+        path = report.write_bench_json("bare", workload={}, timings={"t": 1.0})
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "speedup" not in payload
+        assert "stats" not in payload
+
+    def test_overwrites_existing_record(self, report, tmp_path):
+        target = tmp_path / "BENCH_demo.json"
+        target.write_text("{not json at all", encoding="utf-8")  # stale garbage
+        report.write_bench_json("demo", workload={}, timings={"t": 2.0}, speedup=3.0)
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["speedup"] == 3.0
+
+    def test_creates_results_dir(self, report, tmp_path, monkeypatch):
+        nested = tmp_path / "nested"
+        monkeypatch.setattr(report, "RESULTS_DIR", nested)
+        report.write_bench_json("demo", workload={}, timings={"t": 1.0})
+        assert (nested / "BENCH_demo.json").exists()
+
+
+def write_record(directory, name, speedup=None):
+    payload = {"benchmark": name, "workload": {}, "timings": {"t": 1.0}}
+    if speedup is not None:
+        payload["speedup"] = speedup
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload), encoding="utf-8")
+
+
+def write_baselines(path, mapping):
+    path.write_text(json.dumps(mapping), encoding="utf-8")
+
+
+class TestRegressionGate:
+    def test_passes_within_band(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "alpha", speedup=4.0)
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {"alpha": {"speedup": 5.0}})
+        code = gate.main(
+            ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--tolerance", "0.4"]
+        )
+        assert code == 0
+        assert "within the tolerance band" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "alpha", speedup=1.1)
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {"alpha": {"speedup": 5.0}})
+        code = gate.main(
+            ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--tolerance", "0.4"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exact_floor_is_not_a_regression(self, gate, tmp_path):
+        write_record(tmp_path, "alpha", speedup=3.0)
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {"alpha": {"speedup": 5.0}})
+        code = gate.main(
+            ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--tolerance", "0.4"]
+        )
+        assert code == 0
+
+    def test_missing_baseline_warns_but_passes(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "fresh", speedup=2.0)
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {})
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_missing_record_warns_but_passes(self, gate, tmp_path, capsys):
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {"ghost": {"speedup": 4.0}})
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 0
+        assert "no fresh record" in capsys.readouterr().out
+
+    def test_record_without_speedup_not_gated(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "plain")  # timings only
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {"plain": {"speedup": 9.9}})
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 0
+        assert "not gated" in capsys.readouterr().out
+
+    def test_malformed_record_is_an_error(self, gate, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{broken", encoding="utf-8")
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {})
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 2
+        assert "unreadable benchmark record" in capsys.readouterr().out
+
+    def test_malformed_baselines_is_an_error(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "alpha", speedup=2.0)
+        baselines = tmp_path / "baselines.json"
+        baselines.write_text("[1, 2, 3]", encoding="utf-8")
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 2
+        assert "must hold an object" in capsys.readouterr().out
+
+    def test_malformed_baseline_entry_is_an_error(self, gate, tmp_path, capsys):
+        write_record(tmp_path, "alpha", speedup=2.0)
+        baselines = tmp_path / "baselines.json"
+        baselines.write_text('{"alpha": 2.6}', encoding="utf-8")  # bare number
+        code = gate.main(["--results-dir", str(tmp_path), "--baselines", str(baselines)])
+        assert code == 2
+        assert "must be an object" in capsys.readouterr().out
+
+    def test_bad_tolerance_is_an_error(self, gate, tmp_path):
+        baselines = tmp_path / "baselines.json"
+        write_baselines(baselines, {})
+        code = gate.main(
+            ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--tolerance", "1.5"]
+        )
+        assert code == 2
+
+    def test_update_rewrites_baselines(self, gate, tmp_path):
+        write_record(tmp_path, "alpha", speedup=4.2)
+        write_record(tmp_path, "plain")  # no speedup: not recorded
+        baselines = tmp_path / "baselines.json"
+        code = gate.main(
+            ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--update"]
+        )
+        assert code == 0
+        assert json.loads(baselines.read_text(encoding="utf-8")) == {
+            "alpha": {"speedup": 4.2}
+        }
+
+    def test_repo_baselines_cover_committed_records(self, gate):
+        """Every committed speedup record has a committed baseline entry."""
+        records = gate.load_records(BENCHMARKS_DIR / "results")
+        baselines = gate.load_baselines(BENCHMARKS_DIR / "baselines.json")
+        gated = {name for name, rec in records.items() if rec.get("speedup") is not None}
+        assert gated <= set(baselines)

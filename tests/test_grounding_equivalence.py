@@ -195,7 +195,7 @@ class TestRandomizedEquivalence:
 class TestEngineSelection:
     def test_default_grounder_is_indexed(self):
         assert Grounder is IndexedGrounder
-        assert set(GROUNDING_ENGINES) == {"indexed", "naive", "incremental"}
+        assert set(GROUNDING_ENGINES) == {"indexed", "naive", "incremental", "vectorized"}
 
     def test_make_grounder_dispatch(self):
         graph = ranieri_graph()
