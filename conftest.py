@@ -1,0 +1,57 @@
+"""Root pytest configuration: deterministic-seed plumbing.
+
+``pytest_addoption`` must live in an *initial* conftest (one pytest loads
+before collection starts), which for this layout means the repository
+root — ``tests/conftest.py`` would be too late when running a subset like
+``pytest tests/verify``.
+
+Every randomized test draws its seed through :func:`audited_seed`, so
+
+* a failing run always *prints* the seed it used (pytest shows captured
+  stdout for failures), and
+* any run can be reproduced or varied with ``pytest --seed N`` or
+  ``TECORE_TEST_SEED=N`` without editing test code (the CLI flag wins).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--seed",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the seed of randomized tests "
+        "(default: TECORE_TEST_SEED env var, else each test's baked-in seed)",
+    )
+
+
+@pytest.fixture
+def audited_seed(request: pytest.FixtureRequest):
+    """Resolve and announce the effective seed of a randomized test.
+
+    Usage: ``seed = audited_seed(default)``.  Precedence: ``--seed`` >
+    ``TECORE_TEST_SEED`` > the test's own default.  The announcement line
+    is printed to captured stdout, so every failure report carries the
+    exact reproduction command.
+    """
+
+    def _resolve(default: int) -> int:
+        override = request.config.getoption("--seed")
+        if override is None:
+            env = os.environ.get("TECORE_TEST_SEED")
+            override = int(env) if env else None
+        seed = default if override is None else override
+        print(
+            f"[seed] {request.node.nodeid}: seed={seed} "
+            f"(reproduce with: pytest {request.node.nodeid!r} --seed={seed})"
+        )
+        return seed
+
+    return _resolve

@@ -212,6 +212,66 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="serve for a fixed duration then exit (smoke tests / CI)",
     )
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="check the serving tier for serializability violations "
+        "(see docs/verification.md)",
+    )
+    verify.add_argument(
+        "histories",
+        nargs="*",
+        metavar="HISTORY.json",
+        help="saved history files to re-check (default: record fresh ones)",
+    )
+    verify.add_argument(
+        "--pack",
+        default="running-example",
+        help=f"predefined pack ({', '.join(available_packs())})",
+    )
+    verify.add_argument("--program", help="path to a Datalog-style rule/constraint file")
+    verify.add_argument(
+        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+    )
+    verify.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
+    verify.add_argument(
+        "--runs", type=int, default=25, metavar="N",
+        help="seeded workloads to record and check (ignored with history files)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=2017, help="base workload seed (run i uses seed+i)"
+    )
+    verify.add_argument("--clients", type=int, default=4, help="concurrent trace clients")
+    verify.add_argument(
+        "--ops-per-client", type=int, default=10, help="operations per client"
+    )
+    verify.add_argument("--sessions", type=int, default=3, help="logical sessions per trace")
+    verify.add_argument(
+        "--zipf-alpha", type=float, default=1.1, help="hot-key skew (0 = uniform)"
+    )
+    verify.add_argument(
+        "--noise",
+        default="mixed",
+        choices=("conflict_burst", "churn", "flip", "duplicate", "mixed"),
+        help="adversarial edit-noise model",
+    )
+    verify.add_argument(
+        "--malformed-ratio",
+        type=float,
+        default=0.05,
+        help="fraction of requests issued with malformed bodies",
+    )
+    verify.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="succeed only if violations ARE found (regression-fixture checks)",
+    )
+    verify.add_argument(
+        "--save-failures",
+        metavar="DIR",
+        help="write failing histories and their violation reports to DIR",
+    )
+    verify.add_argument("--json", action="store_true", help="emit a JSON summary")
     return parser
 
 
@@ -444,6 +504,97 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    from .verify import (
+        History,
+        SerializabilityChecker,
+        WorkloadConfig,
+        record_workload,
+    )
+
+    rules, constraints = _load_program_from_args(args)
+    system = TeCoRe(
+        rules=rules,
+        constraints=constraints,
+        solver=args.solver,
+        threshold=args.threshold,
+    )
+    checker = SerializabilityChecker(system)
+    save_dir = Path(args.save_failures) if args.save_failures else None
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    runs: list[tuple[str, History]] = []
+    if args.histories:
+        for path in args.histories:
+            runs.append((path, History.load(Path(path))))
+    else:
+        for index in range(args.runs):
+            seed = args.seed + index
+            workload = WorkloadConfig(
+                seed=seed,
+                clients=args.clients,
+                ops_per_client=args.ops_per_client,
+                sessions=args.sessions,
+                zipf_alpha=args.zipf_alpha,
+                noise=args.noise,
+                malformed_ratio=args.malformed_ratio,
+            )
+            runs.append((f"seed {seed}", record_workload(system, workload)))
+
+    total_violations = 0
+    summaries = []
+    for label, history in runs:
+        report = checker.check(history)
+        total_violations += len(report.violations)
+        summaries.append(
+            {
+                "history": label,
+                "operations": len(history),
+                "ok": report.ok,
+                "violations": [violation.to_dict() for violation in report.violations],
+                "stats": report.stats,
+            }
+        )
+        if not args.json:
+            print(f"{label:30s} {report.summary()}")
+        if not report.ok and save_dir is not None:
+            slug = label.replace(" ", "-").replace("/", "_")
+            history.save(save_dir / f"history-{slug}.json")
+            (save_dir / f"violations-{slug}.json").write_text(
+                json.dumps(
+                    [violation.to_dict() for violation in report.violations], indent=2
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "histories": len(runs),
+                    "violations": total_violations,
+                    "expect_violation": args.expect_violation,
+                    "runs": summaries,
+                },
+                indent=2,
+            )
+        )
+    elif not args.expect_violation:
+        print(
+            f"checked {len(runs)} histories: "
+            + ("all serializable" if not total_violations else f"{total_violations} violation(s)")
+        )
+    if args.expect_violation:
+        if total_violations:
+            if not args.json:
+                print(f"expected violations confirmed ({total_violations} found)")
+            return 0
+        print("error: expected violations, found none", file=sys.stderr)
+        return 1
+    return 1 if total_violations else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (returns a process exit code)."""
     parser = _build_parser()
@@ -467,6 +618,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_watch(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "verify":
+            return _command_verify(args)
         parser.error(f"unknown command {args.command!r}")
     except (TecoreError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -637,6 +637,17 @@ class ResolutionSession:
         )
 
     # ------------------------------------------------------------------ #
+    def state_digest(self) -> tuple:
+        """Content identity of the session's evidence graph.
+
+        Two sessions with equal digests hold bit-identical evidence state:
+        the resolution result is a pure function of exactly this key plus
+        the (fixed) system configuration.  The serializability checker in
+        :mod:`repro.verify` uses it to memoise replay states and to label
+        divergence points in violation reports.
+        """
+        return self.graph.content_key()
+
     def state_summary(self) -> dict[str, int]:
         """Maintained-state and cache sizes (diagnostics)."""
         summary = self._grounder.state_summary()

@@ -306,6 +306,21 @@ class TemporalKnowledgeGraph:
     # ------------------------------------------------------------------ #
     # Whole-graph operations
     # ------------------------------------------------------------------ #
+    def content_key(self) -> tuple:
+        """Order-sensitive content identity of the graph.
+
+        Two graphs with equal keys hold the same name and the same
+        statements with the same confidences in the same insertion order —
+        grounding (and therefore a full resolution) is a pure function of
+        exactly that.  The serving tier coalesces content-identical requests
+        on this key, and the verification harness uses it as the replay
+        state digest.
+        """
+        return (
+            self.name,
+            tuple((fact.statement_key, fact.confidence) for fact in self),
+        )
+
     def copy(self, name: str | None = None) -> "TemporalKnowledgeGraph":
         """Shallow copy of the graph (facts are immutable, so this is safe).
 

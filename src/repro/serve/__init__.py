@@ -15,7 +15,7 @@ A stdlib-only concurrent HTTP layer over the library's serving primitives:
   for ``GET /stats``.
 """
 
-from .batcher import MicroBatcher, ServiceOverloadedError
+from .batcher import BatchObserver, MicroBatcher, ServiceOverloadedError
 from .metrics import LatencyRecorder, ServiceMetrics
 from .protocol import (
     ProtocolError,
@@ -30,6 +30,7 @@ from .server import ResolutionService, ServerConfig, TecoreHTTPServer, make_serv
 from .sessions import SessionEntry, SessionPool, UnknownSessionError
 
 __all__ = [
+    "BatchObserver",
     "LatencyRecorder",
     "MicroBatcher",
     "ProtocolError",

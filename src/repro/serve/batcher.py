@@ -50,15 +50,38 @@ class ServiceOverloadedError(TecoreError):
 
 
 class _PendingRequest:
-    __slots__ = ("graph", "key", "arrival", "done", "result", "error")
+    __slots__ = ("graph", "key", "tag", "arrival", "done", "result", "error")
 
-    def __init__(self, graph: TemporalKnowledgeGraph, keyed: bool) -> None:
+    def __init__(
+        self, graph: TemporalKnowledgeGraph, keyed: bool, tag: Any = None
+    ) -> None:
         self.graph = graph
         self.key = graph_content_key(graph) if keyed else None
+        self.tag = tag
         self.arrival = time.monotonic()
         self.done = threading.Event()
         self.result: Optional[ResolutionResult] = None
         self.error: Optional[BaseException] = None
+
+
+class BatchObserver:
+    """Observation seam for the concurrency-correctness harness.
+
+    An observer sees the *client-visible* serving decisions the batcher makes
+    for tagged requests: which submissions were answered straight from the
+    response cache, and which groups of in-flight requests were coalesced
+    onto a single solve.  Both callbacks run on serving threads (``submit``
+    callers and the flush worker respectively) and must be cheap and
+    exception-free; tags are the opaque values callers passed to
+    :meth:`MicroBatcher.submit`.
+    """
+
+    def on_cache_hit(self, tag: Any) -> None:  # pragma: no cover - interface
+        """A tagged submission was served from the content-keyed cache."""
+
+    def on_flush(self, groups: list[list[Any]]) -> None:  # pragma: no cover - interface
+        """One batch flushed; ``groups`` holds the tags of each coalesced
+        group (singletons included, in resolve order)."""
 
 
 class MicroBatcher:
@@ -82,6 +105,9 @@ class MicroBatcher:
     cache_size:
         LRU bound on recently served results, keyed by graph content
         (0 disables response caching).
+    observer:
+        Optional :class:`BatchObserver` notified of cache hits and
+        coalesced-group membership (the history recorder's seam).
     """
 
     def __init__(
@@ -92,6 +118,7 @@ class MicroBatcher:
         queue_limit: int = 64,
         coalesce: bool = True,
         cache_size: int = 128,
+        observer: Optional[BatchObserver] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -109,10 +136,12 @@ class MicroBatcher:
         self.cache: Optional[ComponentSolutionCache] = (
             ComponentSolutionCache(max_entries=cache_size) if cache_size else None
         )
+        self.observer = observer
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: deque[_PendingRequest] = deque()
         self._closed = False
+        self._paused = False
         # Serving counters (read by /stats; mutated under the lock).
         self.requests_total = 0
         self.enqueued_total = 0
@@ -130,10 +159,18 @@ class MicroBatcher:
     # Client side
     # ------------------------------------------------------------------ #
     def submit(
-        self, graph: TemporalKnowledgeGraph, timeout: Optional[float] = 60.0
+        self,
+        graph: TemporalKnowledgeGraph,
+        timeout: Optional[float] = 60.0,
+        tag: Any = None,
     ) -> ResolutionResult:
-        """Serve one graph: response cache, else enqueue and await its batch."""
-        pending = _PendingRequest(graph, self.coalesce or self.cache is not None)
+        """Serve one graph: response cache, else enqueue and await its batch.
+
+        ``tag`` is an opaque correlation value (e.g. a history-recorder
+        operation id) echoed back through the :class:`BatchObserver`
+        callbacks; it never influences serving decisions.
+        """
+        pending = _PendingRequest(graph, self.coalesce or self.cache is not None, tag)
         with self._wakeup:
             if self._closed:
                 raise TecoreError("micro-batcher is closed")
@@ -141,6 +178,8 @@ class MicroBatcher:
             if self.cache is not None:
                 cached = self.cache.get(pending.key)
                 if cached is not None:
+                    if self.observer is not None and tag is not None:
+                        self.observer.on_cache_hit(tag)
                     return cached
             if len(self._queue) >= self.queue_limit:
                 self.rejected_total += 1
@@ -161,6 +200,40 @@ class MicroBatcher:
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    def wait_for_queue_depth(self, depth: int, timeout: float = 5.0) -> bool:
+        """Block until at least ``depth`` requests are waiting (or timeout).
+
+        Event-based synchronization for tests and the verification harness:
+        every ``submit`` notifies the internal condition, so this never
+        needs a polling sleep loop.  Returns ``False`` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        with self._wakeup:
+            while len(self._queue) < depth:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wakeup.wait(remaining)
+            return True
+
+    def pause(self) -> None:
+        """Hold the flush worker: queued requests accumulate until resume.
+
+        A deterministic scheduling control point for tests and the
+        concurrency harness — with the worker paused, submissions pile up in
+        the bounded queue (eventually hitting backpressure) and a subsequent
+        :meth:`resume` flushes them as one batch, which forces coalescing
+        windows without wall-clock tuning.  ``close`` drains regardless.
+        """
+        with self._wakeup:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Release a paused flush worker."""
+        with self._wakeup:
+            self._paused = False
+            self._wakeup.notify_all()
 
     def close(self) -> None:
         """Flush whatever is queued and stop the worker."""
@@ -207,10 +280,11 @@ class MicroBatcher:
     def _collect(self) -> list[_PendingRequest]:
         """Wait for work, honour the batching window, and drain one batch."""
         with self._wakeup:
-            while not self._queue:
-                if self._closed:
-                    return []
+            # A pause holds the worker here; close always drains the queue.
+            while (not self._queue or self._paused) and not self._closed:
                 self._wakeup.wait()
+            if not self._queue:
+                return []
             deadline = self._queue[0].arrival + self.max_delay
             while len(self._queue) < self.max_batch and not self._closed:
                 remaining = deadline - time.monotonic()
@@ -222,6 +296,7 @@ class MicroBatcher:
 
     def _flush(self, batch: list[_PendingRequest]) -> None:
         coalesced = 0
+        flushed_groups: list[list[Any]] = []
         try:
             if self.coalesce:
                 groups: dict[tuple, list[_PendingRequest]] = {}
@@ -239,6 +314,9 @@ class MicroBatcher:
                 for key, result in zip(order, resolved):
                     for pending in groups[key]:
                         pending.result = result
+                flushed_groups = [
+                    [pending.tag for pending in groups[key]] for key in order
+                ]
                 coalesced = len(batch) - len(order)
                 resolves = len(order)
             else:
@@ -247,6 +325,7 @@ class MicroBatcher:
                 )
                 for pending, result in zip(batch, resolved):
                     pending.result = result
+                flushed_groups = [[pending.tag] for pending in batch]
                 resolves = len(batch)
             if self.cache is not None:
                 with self._lock:
@@ -258,6 +337,10 @@ class MicroBatcher:
                 pending.error = exc
             resolves = 0
         finally:
+            # The observer must see the grouping before any waiter can issue
+            # a follow-up request that depends on this response.
+            if self.observer is not None and flushed_groups:
+                self.observer.on_flush(flushed_groups)
             for pending in batch:
                 pending.done.set()
         with self._lock:

@@ -38,6 +38,19 @@ class LatencyRecorder:
                 self.errors += 1
             self._latencies.append(seconds)
 
+    def clear(self) -> None:
+        """Reset counters and drop the latency window.
+
+        Mirrors ``ComponentSolutionCache.clear``: a generation reset must
+        not leak the previous generation's counters into ``mean_ms`` or the
+        percentiles (long-soak runs clear between phases).
+        """
+        with self._lock:
+            self._latencies.clear()
+            self.count = 0
+            self.errors = 0
+            self.total_seconds = 0.0
+
     def percentiles(self) -> dict[str, float]:
         """Nearest-rank percentiles over the recent-latency window, in ms."""
         with self._lock:
@@ -80,6 +93,13 @@ class ServiceMetrics:
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
         self.recorder(endpoint).observe(seconds, error=error)
+
+    def clear(self) -> None:
+        """Reset every endpoint recorder (the recorder map is kept)."""
+        with self._lock:
+            recorders = list(self._recorders.values())
+        for recorder in recorders:
+            recorder.clear()
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:

@@ -111,8 +111,7 @@ def graph_content_key(graph: TemporalKnowledgeGraph) -> tuple:
     statements, confidences, and statement order — grounding (and therefore
     the full resolution) is a pure function of exactly that, which is what
     makes coalescing identical in-flight requests onto one solve sound.
+    Delegates to :meth:`TemporalKnowledgeGraph.content_key`, which the
+    verification harness shares as its replay state digest.
     """
-    return (
-        graph.name,
-        tuple((fact.statement_key, fact.confidence) for fact in graph),
-    )
+    return graph.content_key()

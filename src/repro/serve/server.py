@@ -82,11 +82,27 @@ class ServerConfig:
 
 
 class ResolutionService:
-    """Routing and endpoint logic, independent of the HTTP plumbing."""
+    """Routing and endpoint logic, independent of the HTTP plumbing.
 
-    def __init__(self, system: TeCoRe, config: ServerConfig | None = None) -> None:
+    ``recorder`` is the concurrency-correctness seam (see
+    :mod:`repro.verify.history`): when given, every client-visible operation
+    — resolve, session create/edit/read/delete — is logged with its
+    invocation/response ordering and stable payload, and the recorder also
+    receives the batcher's coalesced-group membership as its
+    :class:`~repro.serve.batcher.BatchObserver`.  Recording never changes
+    serving behaviour; with ``recorder=None`` (the default) the seams are
+    inert.
+    """
+
+    def __init__(
+        self,
+        system: TeCoRe,
+        config: ServerConfig | None = None,
+        recorder: Any = None,
+    ) -> None:
         self.system = system
         self.config = config or ServerConfig()
+        self.recorder = recorder
         self.metrics = ServiceMetrics(window=self.config.metrics_window)
         self.batcher = MicroBatcher(
             system.shared_resolver(),
@@ -95,6 +111,7 @@ class ResolutionService:
             queue_limit=self.config.queue_limit,
             coalesce=self.config.coalesce,
             cache_size=self.config.response_cache,
+            observer=recorder,
         )
         self.sessions = SessionPool(system, max_sessions=self.config.max_sessions)
         self.started = time.monotonic()
@@ -113,8 +130,11 @@ class ResolutionService:
         path = split.path.rstrip("/") or "/"
         query = split.query
         endpoint, started = self._endpoint_label(method, path), time.perf_counter()
+        op = None
+        if self.recorder is not None:
+            op = self._begin_record(method, path, query, body)
         try:
-            status, payload = self._dispatch(method, path, query, body)
+            status, payload = self._dispatch(method, path, query, body, op)
         except ProtocolError as exc:
             status, payload = 400, {"error": str(exc)}
         except UnknownSessionError as exc:
@@ -128,7 +148,45 @@ class ResolutionService:
         self.metrics.observe(
             endpoint, time.perf_counter() - started, error=status >= 400
         )
+        if op is not None:
+            self.recorder.complete(op, status, payload)
         return status, payload
+
+    #: (method, path) → recorded operation kind for the fixed routes.
+    _RECORDED_KINDS = {
+        ("POST", "/resolve"): "resolve",
+        ("POST", "/sessions"): "session_create",
+    }
+    _RECORDED_TAILS = {
+        ("POST", "/edits"): "session_edit",
+        ("GET", "/result"): "session_read",
+        ("DELETE", ""): "session_delete",
+    }
+
+    def _begin_record(self, method: str, path: str, query: str, body: bytes):
+        """Open a history operation for a client-visible request (or None)."""
+        kind = self._RECORDED_KINDS.get((method, path))
+        session_id = None
+        if kind is None:
+            match = _SESSION_ROUTE.match(path)
+            if match is None:
+                return None  # /healthz, /stats, unroutable paths
+            kind = self._RECORDED_TAILS.get((method, match.group("tail") or ""))
+            if kind is None:
+                return None
+            session_id = match.group("sid")
+        if kind == "session_read":
+            request = {
+                "include_graphs": (
+                    "include_graphs=1" in query or "include_graphs=true" in query
+                )
+            }
+        else:
+            try:
+                request = dict(decode_json(body))
+            except ProtocolError:
+                request = None  # recorded anyway; the dispatch will 400
+        return self.recorder.begin(kind, request=request, session_id=session_id)
 
     @staticmethod
     def _endpoint_label(method: str, path: str) -> str:
@@ -143,14 +201,14 @@ class ResolutionService:
         return "unmatched"
 
     def _dispatch(
-        self, method: str, path: str, query: str, body: bytes
+        self, method: str, path: str, query: str, body: bytes, op: Any = None
     ) -> tuple[int, dict[str, Any]]:
         if path == "/healthz" and method == "GET":
             return 200, self._health()
         if path == "/stats" and method == "GET":
             return 200, self._stats()
         if path == "/resolve" and method == "POST":
-            return 200, self._resolve(decode_json(body))
+            return 200, self._resolve(decode_json(body), op)
         if path == "/sessions" and method == "POST":
             return 201, self._create_session(decode_json(body))
         match = _SESSION_ROUTE.match(path)
@@ -167,9 +225,13 @@ class ResolutionService:
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
-    def _resolve(self, document: Mapping[str, Any]) -> dict[str, Any]:
+    def _resolve(self, document: Mapping[str, Any], op: Any = None) -> dict[str, Any]:
         graph = decode_graph(document)
-        result = self.batcher.submit(graph, timeout=self.config.request_timeout)
+        result = self.batcher.submit(
+            graph,
+            timeout=self.config.request_timeout,
+            tag=op.op_id if op is not None else None,
+        )
         return encode_result(result, include_graphs=bool(document.get("include_graphs")))
 
     def _create_session(self, document: Mapping[str, Any]) -> dict[str, Any]:
@@ -193,6 +255,11 @@ class ResolutionService:
         adds, removes = decode_edits(document)
         entry = self.sessions.get(sid)
         with entry.lock:
+            # Re-check after winning the lock: a concurrent DELETE may have
+            # reported the session's final state in the meantime, and an
+            # edit applied after that response would be unserializable.
+            if entry.closed:
+                raise UnknownSessionError(f"no session {sid!r}")
             result = entry.session.apply(adds=adds, removes=removes)
             entry.edits_applied += 1
             payload = encode_result(
@@ -204,12 +271,15 @@ class ResolutionService:
         entry = self.sessions.get(sid)
         include_graphs = "include_graphs=1" in query or "include_graphs=true" in query
         with entry.lock:
+            if entry.closed:
+                raise UnknownSessionError(f"no session {sid!r}")
             payload = encode_result(entry.session.result, include_graphs=include_graphs)
         return {"session_id": sid, "result": payload}
 
     def _delete_session(self, sid: str) -> dict[str, Any]:
         entry = self.sessions.delete(sid)
         with entry.lock:
+            entry.closed = True
             facts = len(entry.session.graph)
             edits = entry.edits_applied
         return {"session_id": sid, "deleted": True, "facts": facts, "edits_applied": edits}
@@ -291,6 +361,12 @@ class TecoreHTTPServer(ThreadingHTTPServer):
         self.service.close()
 
 
-def make_server(system: TeCoRe, config: ServerConfig | None = None) -> TecoreHTTPServer:
-    """Build a ready-to-run server (``port=0`` picks a free port)."""
-    return TecoreHTTPServer(ResolutionService(system, config))
+def make_server(
+    system: TeCoRe, config: ServerConfig | None = None, recorder: Any = None
+) -> TecoreHTTPServer:
+    """Build a ready-to-run server (``port=0`` picks a free port).
+
+    ``recorder`` optionally attaches a history recorder (see
+    :mod:`repro.verify.history`) to the underlying service.
+    """
+    return TecoreHTTPServer(ResolutionService(system, config, recorder=recorder))

@@ -15,9 +15,15 @@ threaded HTTP server:
 
 The pool is LRU-bounded: creating a session beyond ``max_sessions`` evicts
 the least recently *used* one (creates, edits, and result reads all count
-as use).  An evicted or deleted session that still has an in-flight request
-finishes that request safely — the handler holds the entry reference and
-the per-session lock; the id is simply no longer routable afterwards.
+as use).  A **deleted** session is closed under its own lock
+(:attr:`SessionEntry.closed`), and handlers re-check the flag after
+acquiring the lock: the ``DELETE`` response reports the session's final
+fact and edit counts, so an in-flight edit that loses the lock race must
+answer 404 rather than mutate a session whose final state a client already
+observed (the serializability harness in :mod:`repro.verify` caught
+exactly that).  An **evicted** session merely becomes unroutable — there
+is no client-visible "final state" response, so an in-flight request may
+still finish against the orphaned entry safely.
 """
 
 from __future__ import annotations
@@ -43,13 +49,18 @@ class UnknownSessionError(TecoreError):
 class SessionEntry:
     """One pooled session plus its serving bookkeeping."""
 
-    __slots__ = ("session_id", "session", "created", "edits_applied")
+    __slots__ = ("session_id", "session", "created", "edits_applied", "closed")
 
     def __init__(self, session_id: str, session: ResolutionSession) -> None:
         self.session_id = session_id
         self.session = session
         self.created = time.monotonic()
         self.edits_applied = 0
+        #: Set under :attr:`lock` when the session is deleted.  Handlers
+        #: holding a stale entry reference must re-check it after acquiring
+        #: the lock: the delete response pinned the session's final state,
+        #: so post-delete operations answer 404 instead of mutating.
+        self.closed = False
 
     @property
     def lock(self) -> threading.RLock:

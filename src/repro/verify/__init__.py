@@ -1,0 +1,72 @@
+"""Concurrency-correctness harness for the serving tier.
+
+Black-box serializability checking over recorded operation histories, plus
+the trace-driven workload machinery that produces those histories under
+realistic concurrency (hot-key skew, burst arrivals, adversarial edit
+noise).  Three layers, each usable on its own:
+
+* :mod:`repro.verify.history` — the evidence: client-visible operations on
+  one logical clock, coalesced-group membership, cache hits, and the JSON
+  on-disk format regression fixtures are stored in;
+* :mod:`repro.verify.checker` — the judgement: does a legal serialization
+  of the history exist whose sequential replay (through the library's own
+  resolver and sessions as the oracle) reproduces every observed response
+  bit-for-bit?  On failure, a minimal violating sub-history;
+* :mod:`repro.verify.workloads` / :mod:`repro.verify.harness` — the
+  pressure: seeded multi-client schedules executed against a live
+  instrumented :class:`~repro.serve.server.ResolutionService`.
+
+Driven by ``tecore verify`` (CI smoke and nightly soak), ``tests/verify``,
+and the trace mode of ``benchmarks/bench_serve.py``.  See
+``docs/verification.md`` for the full story.
+"""
+
+from .checker import (
+    CheckReport,
+    SearchBudgetExceeded,
+    SerializabilityChecker,
+    Violation,
+    check_history,
+)
+from .history import (
+    HISTORY_FORMAT_VERSION,
+    History,
+    HistoryRecorder,
+    Operation,
+)
+from .harness import (
+    SessionDirectory,
+    harness_server_config,
+    record_trace,
+    record_workload,
+)
+from .workloads import (
+    NOISE_MODELS,
+    Trace,
+    TraceOp,
+    WorkloadConfig,
+    generate_trace,
+    zipf_weights,
+)
+
+__all__ = [
+    "HISTORY_FORMAT_VERSION",
+    "NOISE_MODELS",
+    "CheckReport",
+    "History",
+    "HistoryRecorder",
+    "Operation",
+    "SearchBudgetExceeded",
+    "SerializabilityChecker",
+    "SessionDirectory",
+    "Trace",
+    "TraceOp",
+    "Violation",
+    "WorkloadConfig",
+    "check_history",
+    "generate_trace",
+    "harness_server_config",
+    "record_trace",
+    "record_workload",
+    "zipf_weights",
+]

@@ -1,0 +1,732 @@
+"""Black-box serializability checking of recorded serving histories.
+
+Given a :class:`~repro.verify.history.History`, the checker decides whether
+the serving tier *could* have been a correctly synchronised single-copy
+resolution system — without ever looking inside it.  The specification is
+executable: the library's own one-shot resolver and
+:class:`~repro.core.session.ResolutionSession` are the oracle, and the
+serving guarantee under test is the bit-for-bit reproducibility contract
+(responses must equal what a fresh, sequential replay produces, modulo the
+wall-clock timing fields stripped by
+:func:`~repro.serve.protocol.stable_view`).
+
+Three obligations are checked:
+
+1. **Coalescing soundness** — every coalesced group must consist of
+   ``/resolve`` operations whose request graphs are content-identical
+   (equal :func:`~repro.serve.protocol.graph_content_key`), and members
+   requesting the same response shape must have received bit-identical
+   payloads.  A group mixing different graphs is precisely the
+   collapsed-forwarding bug class: distinct requests silently answered
+   from one solve.
+2. **Resolve correctness** — every successful ``/resolve`` response must
+   equal the oracle's answer for its own request graph (cached per content
+   key; resolution is a pure function of graph content).
+3. **Session serializability** — for every session, there must exist a
+   *serialization*: a total order of its successful operations that (a)
+   extends the real-time happens-before order of the history (one logical
+   clock; ``a`` precedes ``b`` iff ``a``'s response was delivered before
+   ``b`` was invoked), and (b) when replayed through a fresh
+   ``ResolutionSession``, reproduces every observed response exactly.
+   The search backtracks over the linear extensions, visiting candidates
+   in completion order (the server's lock-acquisition order correlates
+   with response order, so clean histories need almost no backtracking)
+   and memoising visited ``(remaining-ops, evidence-digest)`` states via
+   :meth:`~repro.core.session.ResolutionSession.state_digest`.
+
+When no serialization exists the checker reports a **minimal violating
+sub-history**: the shortest quiescent-cut prefix that still fails, with
+removable reads dropped.  Quiescent cuts (points where every earlier
+operation completed before every later one was invoked) are the only sound
+prefixes — cutting through a concurrency window could orphan an omitted
+edit that a retained response legitimately depends on.  Both reductions
+preserve the witness-restriction property, so a failing sub-history is
+self-contained evidence of the violation and replayable on its own
+(``tecore verify --history``).
+
+Failed operations constrain the search too: a ``404`` on a session that
+was observably deleted *after* the failed call returned is impossible for
+a correct server (``lru_evictions=True`` relaxes this when the session
+pool may evict), and success after an observed delete is unserializable
+because the delete response pins the session's final fact and edit counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..serve.protocol import (
+    ProtocolError,
+    decode_edits,
+    decode_graph,
+    encode_result,
+    graph_content_key,
+    stable_view,
+)
+from .history import History, Operation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.session import ResolutionSession
+    from ..core.tecore import TeCoRe
+
+
+def canonical(payload: dict[str, Any]) -> Any:
+    """A comparison form of a response: timings stripped, JSON-normalised.
+
+    The JSON round-trip makes in-memory payloads (which may hold tuples)
+    comparable with payloads reloaded from saved history files.
+    """
+    return json.loads(json.dumps(stable_view(payload), sort_keys=True))
+
+
+@dataclass
+class Violation:
+    """One checked obligation the history provably breaks."""
+
+    kind: str
+    description: str
+    op_ids: list[int] = field(default_factory=list)
+    expected: Any = None
+    observed: Any = None
+    #: Minimal self-contained violating sub-history (``History.to_dict``
+    #: form), replayable via ``tecore verify --history``.
+    sub_history: Optional[dict[str, Any]] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "op_ids": self.op_ids,
+            "expected": self.expected,
+            "observed": self.observed,
+            "sub_history": self.sub_history,
+        }
+
+
+@dataclass
+class CheckReport:
+    """The outcome of checking one history."""
+
+    violations: list[Violation] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        stats = ", ".join(f"{key}={value}" for key, value in sorted(self.stats.items()))
+        if self.ok:
+            return f"serializable ({stats})"
+        kinds = ", ".join(sorted({violation.kind for violation in self.violations}))
+        return f"{len(self.violations)} violation(s): {kinds} ({stats})"
+
+
+class SearchBudgetExceeded(Exception):
+    """The serialization search exceeded its step budget (inconclusive)."""
+
+
+@dataclass
+class _Mismatch:
+    """Diagnostics of the deepest point a serialization attempt reached."""
+
+    depth: int
+    op_id: int
+    expected: Any
+    observed: Any
+    prefix: list[int]
+
+
+class _SessionSearch:
+    """Backtracking search for one session's serialization witness.
+
+    State restoration is replay-from-scratch: ``ResolutionSession`` has no
+    undo, so after a failed branch the chosen prefix is re-applied to a
+    fresh session (cheap at harness scale, and bit-identical by the
+    incremental-resolution guarantees the oracle itself relies on).
+    """
+
+    def __init__(
+        self,
+        system: "TeCoRe",
+        sid: str,
+        create: Operation,
+        middle: list[Operation],
+        delete: Optional[Operation],
+        budget: int,
+    ) -> None:
+        self.system = system
+        self.sid = sid
+        self.create = create
+        self.middle = list(middle)
+        self.delete = delete
+        self.budget = budget
+        self.steps = 0
+        self.best: Optional[_Mismatch] = None
+        self.session: Optional["ResolutionSession"] = None
+        self._edits_total = sum(1 for op in self.middle if op.kind == "session_edit")
+        sequence = [create, *self.middle] + ([delete] if delete else [])
+        self._preds = {
+            op.op_id: frozenset(
+                other.op_id
+                for other in sequence
+                if other is not op and other.happens_before(op)
+            )
+            for op in sequence
+        }
+        self._memo: set[tuple[frozenset, tuple]] = set()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> bool:
+        mismatch = self._check_create()
+        if mismatch is not None:
+            self.best = mismatch
+            return False
+        remaining = {op.op_id: op for op in self.middle}
+        if self.delete is not None:
+            remaining[self.delete.op_id] = self.delete
+        return self._dfs(remaining, [])
+
+    # ------------------------------------------------------------------ #
+    def _fresh_session(self) -> "ResolutionSession":
+        request = self.create.request or {}
+        graph = decode_graph(request, default_name="session")
+        cache_size = request.get("cache_size", 8192)
+        return self.system.session(
+            graph,
+            warm_start=bool(request.get("warm_start")),
+            cache_size=cache_size if isinstance(cache_size, int) and cache_size >= 1 else 8192,
+        )
+
+    def _check_create(self) -> Optional[_Mismatch]:
+        try:
+            self.session = self._fresh_session()
+        except Exception as exc:  # noqa: BLE001 - any replay failure is a finding
+            return _Mismatch(
+                depth=0,
+                op_id=self.create.op_id,
+                expected="a replayable session_create request",
+                observed=f"replay raised: {exc}",
+                prefix=[],
+            )
+        include = bool((self.create.request or {}).get("include_graphs"))
+        expected = canonical(
+            {
+                "session_id": self.sid,
+                "result": encode_result(self.session.result, include_graphs=include),
+            }
+        )
+        observed = canonical(self.create.response or {})
+        if expected != observed:
+            return _Mismatch(
+                depth=0,
+                op_id=self.create.op_id,
+                expected=expected,
+                observed=observed,
+                prefix=[],
+            )
+        return None
+
+    def _rebuild(self, chosen: list[Operation]) -> None:
+        """Restore the session to the state after the chosen prefix."""
+        self.session = self._fresh_session()
+        for op in chosen:
+            if op.kind == "session_edit":
+                adds, removes = decode_edits(op.request or {})
+                self.session.apply(adds=adds, removes=removes)
+
+    # ------------------------------------------------------------------ #
+    def _try(self, op: Operation) -> tuple[bool, bool, Any, Any]:
+        """Replay one candidate next op: (matched, state_mutated, exp, obs)."""
+        include = bool((op.request or {}).get("include_graphs"))
+        assert self.session is not None
+        if op.kind == "session_edit":
+            try:
+                adds, removes = decode_edits(op.request or {})
+            except ProtocolError as exc:
+                return False, False, "a decodable edit request", f"undecodable: {exc}"
+            try:
+                result = self.session.apply(adds=adds, removes=removes)
+            except Exception as exc:  # noqa: BLE001 - any replay failure is a finding
+                return False, True, "a replayable edit", f"replay raised: {exc}"
+            expected = canonical(
+                {
+                    "session_id": self.sid,
+                    "result": encode_result(result, include_graphs=include),
+                }
+            )
+            return expected == canonical(op.response or {}), True, expected, canonical(
+                op.response or {}
+            )
+        if op.kind == "session_read":
+            expected = canonical(
+                {
+                    "session_id": self.sid,
+                    "result": encode_result(self.session.result, include_graphs=include),
+                }
+            )
+            return expected == canonical(op.response or {}), False, expected, canonical(
+                op.response or {}
+            )
+        # session_delete: the response pins the session's final state.
+        expected = canonical(
+            {
+                "session_id": self.sid,
+                "deleted": True,
+                "facts": len(self.session.graph),
+                "edits_applied": self._edits_total,
+            }
+        )
+        return expected == canonical(op.response or {}), False, expected, canonical(
+            op.response or {}
+        )
+
+    def _dfs(self, remaining: dict[int, Operation], chosen: list[Operation]) -> bool:
+        if not remaining:
+            return True
+        assert self.session is not None
+        state_key = (frozenset(remaining), self.session.state_digest())
+        if state_key in self._memo:
+            return False
+        # Completion order first: the server answered in lock-acquisition
+        # order, so on a correct history the first candidate almost always
+        # extends to a witness.
+        order = sorted(
+            remaining.values(),
+            key=lambda op: (op.completed is None, op.completed or op.invoked),
+        )
+        for op in order:
+            if self._preds[op.op_id] & remaining.keys():
+                continue  # a real-time predecessor is still unplaced
+            if self.delete is not None and op is self.delete and len(remaining) > 1:
+                continue  # every successful op must precede the delete
+            self.steps += 1
+            if self.steps > self.budget:
+                raise SearchBudgetExceeded(
+                    f"session {self.sid}: exceeded {self.budget} search steps"
+                )
+            matched, mutated, expected, observed = self._try(op)
+            if matched:
+                del remaining[op.op_id]
+                chosen.append(op)
+                if self._dfs(remaining, chosen):
+                    return True
+                chosen.pop()
+                remaining[op.op_id] = op
+                if mutated:
+                    self._rebuild(chosen)
+            else:
+                depth = len(chosen) + 1
+                if self.best is None or depth > self.best.depth:
+                    self.best = _Mismatch(
+                        depth=depth,
+                        op_id=op.op_id,
+                        expected=expected,
+                        observed=observed,
+                        prefix=[placed.op_id for placed in chosen],
+                    )
+                if mutated:
+                    self._rebuild(chosen)
+        self._memo.add(state_key)
+        return False
+
+
+class SerializabilityChecker:
+    """Check recorded histories against the sequential resolution oracle.
+
+    Parameters
+    ----------
+    system:
+        The same :class:`~repro.core.tecore.TeCoRe` configuration the
+        recorded service ran with (rules, constraints, solver, threshold
+        must match — the oracle replays through it).
+    max_search_steps:
+        Budget per session serialization search; exceeding it reports a
+        ``search_budget_exhausted`` violation instead of looping.
+    lru_evictions:
+        The recorded service ran with a session pool small enough to evict
+        live sessions; unexplained 404s are then legal and not flagged.
+
+    One instance may check many histories; the resolve oracle cache is
+    shared across calls (resolution is pure in the graph content).
+    """
+
+    def __init__(
+        self,
+        system: "TeCoRe",
+        max_search_steps: int = 100_000,
+        lru_evictions: bool = False,
+    ) -> None:
+        self._system = system
+        self.max_search_steps = max_search_steps
+        self.lru_evictions = lru_evictions
+        self._resolve_cache: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def check(self, history: History) -> CheckReport:
+        """Check every obligation; returns all violations found."""
+        violations: list[Violation] = []
+        stats = {
+            "operations": len(history.operations),
+            "groups": len(history.groups),
+            "cache_hits": len(history.cache_hits),
+            "search_steps": 0,
+        }
+        violations.extend(self._check_groups(history))
+        resolve_violations, resolves_checked = self._check_resolves(history)
+        violations.extend(resolve_violations)
+        stats["resolves_checked"] = resolves_checked
+        session_ids = history.session_ids()
+        stats["sessions_checked"] = len(session_ids)
+        for sid in session_ids:
+            session_violations, steps = self._check_session(history, sid)
+            violations.extend(session_violations)
+            stats["search_steps"] += steps
+        return CheckReport(violations=violations, stats=stats)
+
+    # ------------------------------------------------------------------ #
+    # Obligation 1: coalescing soundness
+    # ------------------------------------------------------------------ #
+    def _check_groups(self, history: History) -> list[Violation]:
+        violations: list[Violation] = []
+        seen: set[int] = set()
+        cache_hit_ids = set(history.cache_hits)
+        for group in history.groups:
+            members: list[Operation] = []
+            for op_id in group:
+                if op_id in seen:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"operation {op_id} appears in more than one "
+                            "coalesced group (one submission, one flush)",
+                            op_ids=[op_id],
+                        )
+                    )
+                seen.add(op_id)
+                if op_id in cache_hit_ids:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"operation {op_id} was reported both as a "
+                            "cache hit and as a flushed group member",
+                            op_ids=[op_id],
+                        )
+                    )
+                try:
+                    members.append(history.by_id(op_id))
+                except KeyError:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"coalesced group references unknown operation {op_id}",
+                            op_ids=list(group),
+                        )
+                    )
+            keys: list[tuple[Operation, tuple]] = []
+            for op in members:
+                if op.kind != "resolve":
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"non-resolve operation {op.op_id} "
+                            f"({op.kind}) inside a coalesced group",
+                            op_ids=list(group),
+                        )
+                    )
+                    continue
+                if op.request is None:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"coalesced operation {op.op_id} has no "
+                            "decodable request graph",
+                            op_ids=list(group),
+                        )
+                    )
+                    continue
+                try:
+                    keys.append((op, graph_content_key(decode_graph(op.request))))
+                except ProtocolError as exc:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"coalesced operation {op.op_id} has a "
+                            f"malformed request graph: {exc}",
+                            op_ids=list(group),
+                        )
+                    )
+            distinct = {key for _, key in keys}
+            if len(distinct) > 1:
+                names = sorted({str(key[0]) for key in distinct})
+                violations.append(
+                    Violation(
+                        kind="coalescing",
+                        description="coalesced group mixes content-distinct request "
+                        f"graphs ({', '.join(names)}): distinct requests were "
+                        "answered from one solve",
+                        op_ids=[op.op_id for op, _ in keys],
+                        sub_history=self._sub_history(
+                            [op for op, _ in keys],
+                            groups=[[op.op_id for op, _ in keys]],
+                            note="coalesced group with mixed content keys",
+                        ),
+                    )
+                )
+            by_flag: dict[bool, tuple[int, Any]] = {}
+            for op, _ in keys:
+                if not op.ok:
+                    continue
+                flag = bool((op.request or {}).get("include_graphs"))
+                observed = canonical(op.response or {})
+                previous = by_flag.get(flag)
+                if previous is None:
+                    by_flag[flag] = (op.op_id, observed)
+                elif previous[1] != observed:
+                    violations.append(
+                        Violation(
+                            kind="coalescing",
+                            description=f"coalesced operations {previous[0]} and "
+                            f"{op.op_id} requested the same response shape but "
+                            "received different payloads",
+                            op_ids=[previous[0], op.op_id],
+                            expected=previous[1],
+                            observed=observed,
+                        )
+                    )
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # Obligation 2: resolve correctness against the oracle
+    # ------------------------------------------------------------------ #
+    def _check_resolves(self, history: History) -> tuple[list[Violation], int]:
+        violations: list[Violation] = []
+        checked = 0
+        for op in history.operations:
+            if op.kind != "resolve" or not op.ok:
+                continue
+            if op.request is None:
+                violations.append(
+                    Violation(
+                        kind="resolve_mismatch",
+                        description=f"resolve {op.op_id} succeeded without a "
+                        "decodable request body",
+                        op_ids=[op.op_id],
+                    )
+                )
+                continue
+            try:
+                graph = decode_graph(op.request)
+            except ProtocolError as exc:
+                violations.append(
+                    Violation(
+                        kind="resolve_mismatch",
+                        description=f"resolve {op.op_id} succeeded on a malformed "
+                        f"graph document: {exc}",
+                        op_ids=[op.op_id],
+                    )
+                )
+                continue
+            include = bool(op.request.get("include_graphs"))
+            key = (graph_content_key(graph), include)
+            expected = self._resolve_cache.get(key)
+            if expected is None:
+                expected = canonical(
+                    encode_result(self._system.resolve(graph), include_graphs=include)
+                )
+                self._resolve_cache[key] = expected
+            checked += 1
+            observed = canonical(op.response or {})
+            if observed != expected:
+                violations.append(
+                    Violation(
+                        kind="resolve_mismatch",
+                        description=f"resolve {op.op_id} returned a payload that "
+                        "differs from the sequential oracle for its request graph",
+                        op_ids=[op.op_id],
+                        expected=expected,
+                        observed=observed,
+                        sub_history=self._sub_history([op], note="resolve oracle mismatch"),
+                    )
+                )
+        return violations, checked
+
+    # ------------------------------------------------------------------ #
+    # Obligation 3: per-session serializability
+    # ------------------------------------------------------------------ #
+    def _check_session(self, history: History, sid: str) -> tuple[list[Violation], int]:
+        violations: list[Violation] = []
+        ops = [op for op in history.operations if op.session_id == sid]
+        creates = [
+            op
+            for op in history.operations
+            if op.kind == "session_create"
+            and op.ok
+            and (op.response or {}).get("session_id") == sid
+        ]
+        if len(creates) > 1:
+            violations.append(
+                Violation(
+                    kind="duplicate_session_id",
+                    description=f"session id {sid} was issued by "
+                    f"{len(creates)} create operations",
+                    op_ids=[op.op_id for op in creates],
+                )
+            )
+            return violations, 0
+        create = creates[0] if creates else None
+        ok_ops = [op for op in ops if op.ok]
+        if create is None:
+            if ok_ops:
+                violations.append(
+                    Violation(
+                        kind="phantom_session",
+                        description=f"operations succeeded on session {sid} "
+                        "which no create operation issued",
+                        op_ids=[op.op_id for op in ok_ops],
+                    )
+                )
+            return violations, 0
+        deletes = [op for op in ok_ops if op.kind == "session_delete"]
+        if len(deletes) > 1:
+            violations.append(
+                Violation(
+                    kind="double_delete",
+                    description=f"session {sid} was deleted successfully "
+                    f"{len(deletes)} times (ids are never reissued)",
+                    op_ids=[op.op_id for op in deletes],
+                )
+            )
+            return violations, 0
+        delete = deletes[0] if deletes else None
+        if not self.lru_evictions:
+            for op in ops:
+                if op.status != 404:
+                    continue
+                if delete is None or op.happens_before(delete):
+                    violations.append(
+                        Violation(
+                            kind="spurious_not_found",
+                            description=f"operation {op.op_id} got 404 on session "
+                            f"{sid} although the session was live for the "
+                            "operation's whole duration",
+                            op_ids=[op.op_id] + ([delete.op_id] if delete else []),
+                        )
+                    )
+        middle = [op for op in ok_ops if op.kind in ("session_edit", "session_read")]
+        search = _SessionSearch(
+            self._system, sid, create, middle, delete, self.max_search_steps
+        )
+        try:
+            feasible = search.run()
+        except SearchBudgetExceeded as exc:
+            violations.append(
+                Violation(
+                    kind="search_budget_exhausted",
+                    description=str(exc),
+                    op_ids=[op.op_id for op in [create, *middle] if op is not None],
+                )
+            )
+            return violations, search.steps
+        if feasible:
+            return violations, search.steps
+        minimal = self._minimise_session(sid, create, middle, delete)
+        best = search.best
+        detail = ""
+        if best is not None:
+            detail = (
+                f"; deepest attempt placed {best.depth - 1} op(s) then failed on "
+                f"operation {best.op_id}"
+            )
+        violations.append(
+            Violation(
+                kind="unserializable",
+                description=f"no legal serialization of session {sid} reproduces "
+                f"the observed responses{detail}",
+                op_ids=[op.op_id for op in minimal],
+                expected=best.expected if best is not None else None,
+                observed=best.observed if best is not None else None,
+                sub_history=self._sub_history(
+                    minimal, note=f"minimal violating sub-history of session {sid}"
+                ),
+            )
+        )
+        return violations, search.steps
+
+    def _session_fails(
+        self,
+        sid: str,
+        create: Operation,
+        subset: list[Operation],
+    ) -> bool:
+        """Does this sub-history (create + subset) provably fail too?"""
+        middle = [op for op in subset if op.kind in ("session_edit", "session_read")]
+        deletes = [op for op in subset if op.kind == "session_delete"]
+        search = _SessionSearch(
+            self._system,
+            sid,
+            create,
+            middle,
+            deletes[0] if deletes else None,
+            self.max_search_steps,
+        )
+        try:
+            return not search.run()
+        except SearchBudgetExceeded:
+            return False  # cannot *prove* the smaller set fails; keep the larger
+
+    def _minimise_session(
+        self,
+        sid: str,
+        create: Operation,
+        middle: list[Operation],
+        delete: Optional[Operation],
+    ) -> list[Operation]:
+        """Shrink a failing session history to minimal self-contained evidence.
+
+        Only quiescent-cut prefixes and read removals are tried: both
+        preserve "any witness of the full history restricts to a witness
+        of the sub-history", so a failing sub-history is genuine evidence.
+        """
+        sequence = sorted(
+            [create, *middle] + ([delete] if delete else []),
+            key=lambda op: op.invoked,
+        )
+        best = sequence
+        for cut in range(1, len(sequence)):
+            prefix, suffix = sequence[:cut], sequence[cut:]
+            if any(op.completed is None for op in prefix):
+                break  # an unfinished op can never precede a quiescent cut
+            if max(op.completed for op in prefix) >= min(op.invoked for op in suffix):
+                continue  # not quiescent: some prefix op overlaps the suffix
+            if create not in prefix:
+                continue
+            if self._session_fails(sid, create, [op for op in prefix if op is not create]):
+                best = prefix
+                break
+        for op in [op for op in reversed(best) if op.kind == "session_read"]:
+            trial = [kept for kept in best if kept is not op]
+            if self._session_fails(sid, create, [kept for kept in trial if kept is not create]):
+                best = trial
+        return best
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sub_history(
+        operations: list[Operation],
+        groups: Optional[list[list[int]]] = None,
+        note: str = "",
+    ) -> dict[str, Any]:
+        return History(
+            operations=sorted(operations, key=lambda op: op.invoked),
+            groups=groups or [],
+            cache_hits=[],
+            metadata={"note": note} if note else {},
+        ).to_dict()
+
+
+def check_history(system: "TeCoRe", history: History, **kwargs: Any) -> CheckReport:
+    """One-shot convenience: check ``history`` against ``system``'s oracle."""
+    return SerializabilityChecker(system, **kwargs).check(history)

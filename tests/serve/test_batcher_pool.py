@@ -125,18 +125,20 @@ class TestMicroBatcher:
             cache_size=0,
         )
         try:
+            # Hold the flush worker so the queue can only grow: backpressure
+            # becomes deterministic instead of racing the batching window.
+            batcher.pause()
             fillers = [
                 threading.Thread(target=batcher.submit, args=(item,))
                 for item in ("a", "b")
             ]
             for thread in fillers:
                 thread.start()
-            deadline = time.monotonic() + 2.0
-            while batcher.queue_depth < 2 and time.monotonic() < deadline:
-                time.sleep(0.001)
+            assert batcher.wait_for_queue_depth(2)
             with pytest.raises(ServiceOverloadedError):
                 batcher.submit("c")
             assert batcher.snapshot()["rejected"] == 1
+            batcher.resume()
             for thread in fillers:
                 thread.join()
         finally:

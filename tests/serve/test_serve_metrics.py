@@ -1,0 +1,102 @@
+"""Edge-case tests for the serving metrics recorders.
+
+The ``/stats`` payload is assembled from these recorders under concurrent
+traffic, so the boundary conditions — empty window, single sample, window
+overflow, generation resets — must be exact, not merely plausible.
+"""
+
+import pytest
+
+from repro.serve.metrics import PERCENTILES, LatencyRecorder, ServiceMetrics
+
+
+class TestLatencyRecorder:
+    def test_empty_window_reports_zeroes(self):
+        snapshot = LatencyRecorder().snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["errors"] == 0
+        assert snapshot["mean_ms"] == 0.0
+        for p in PERCENTILES:
+            assert snapshot[f"p{p}_ms"] == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.25)
+        snapshot = recorder.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["mean_ms"] == 250.0
+        for p in PERCENTILES:
+            assert snapshot[f"p{p}_ms"] == 250.0
+
+    def test_nearest_rank_on_known_distribution(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1..100 ms, inserted out of sorted order
+            recorder.observe(((ms * 37) % 100 + 1) / 1000)
+        snapshot = recorder.snapshot()
+        assert snapshot["p50_ms"] == 51.0
+        assert snapshot["p90_ms"] == 91.0
+        assert snapshot["p99_ms"] == 100.0
+
+    def test_window_overflow_drops_old_samples_but_keeps_counters(self):
+        recorder = LatencyRecorder(window=4)
+        for _ in range(10):
+            recorder.observe(1.0)
+        for _ in range(4):
+            recorder.observe(0.001)
+        snapshot = recorder.snapshot()
+        # Counters are monotonic over the recorder's lifetime...
+        assert snapshot["requests"] == 14
+        assert snapshot["mean_ms"] > 500.0
+        # ...but percentiles see only the sliding window of recent samples.
+        assert snapshot["p99_ms"] == 1.0
+
+    def test_clear_resets_counters_and_window(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.5, error=True)
+        recorder.observe(0.1)
+        recorder.clear()
+        assert recorder.snapshot() == {
+            "requests": 0,
+            "errors": 0,
+            "mean_ms": 0.0,
+            **{f"p{p}_ms": 0.0 for p in PERCENTILES},
+        }
+        # The recorder keeps working after a generation reset.
+        recorder.observe(0.2)
+        snapshot = recorder.snapshot()
+        assert snapshot["requests"] == 1 and snapshot["errors"] == 0
+        assert snapshot["p50_ms"] == 200.0
+
+    def test_error_observations_count_in_both_buckets(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.01, error=True)
+        recorder.observe(0.01)
+        snapshot = recorder.snapshot()
+        assert snapshot["requests"] == 2 and snapshot["errors"] == 1
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(window=0)
+
+
+class TestServiceMetrics:
+    def test_clear_resets_every_endpoint_but_keeps_the_map(self):
+        metrics = ServiceMetrics(window=8)
+        metrics.observe("GET /a", 0.01)
+        metrics.observe("POST /b", 0.02, error=True)
+        metrics.clear()
+        snapshot = metrics.snapshot()
+        assert set(snapshot) == {"GET /a", "POST /b"}
+        for entry in snapshot.values():
+            assert entry["requests"] == 0 and entry["errors"] == 0
+            assert entry["mean_ms"] == 0.0
+
+    def test_snapshot_is_sorted_by_endpoint(self):
+        metrics = ServiceMetrics()
+        metrics.observe("POST /resolve", 0.01)
+        metrics.observe("GET /stats", 0.01)
+        assert list(metrics.snapshot()) == ["GET /stats", "POST /resolve"]
+
+    def test_recorder_identity_is_stable(self):
+        metrics = ServiceMetrics()
+        assert metrics.recorder("x") is metrics.recorder("x")

@@ -139,33 +139,36 @@ class TestResolveEndpoint:
         self, system, server_factory, client
     ):
         server = server_factory(
-            system, max_batch=64, batch_delay=0.4, queue_limit=1, coalesce=False
+            system, max_batch=64, batch_delay=0.01, queue_limit=1, coalesce=False
         )
         graph = ranieri_graph()
         expected = stable(encode_result(system.resolve(graph)))
-        outcomes = [None] * 6
+        body = {"graph": json_io.to_dict(graph)}
 
-        def worker(index):
-            status, payload = client(
-                server, "POST", "/resolve", {"graph": json_io.to_dict(graph)}
-            )
-            outcomes[index] = (status, payload)
+        # Hold the flush worker so the single queue slot fills and *stays*
+        # full: backpressure becomes deterministic instead of a race against
+        # the batching window.
+        batcher = server.service.batcher
+        batcher.pause()
+        occupant = [None]
 
-        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        statuses = [status for status, _ in outcomes]
-        assert 503 in statuses, "bounded queue never pushed back"
-        assert 200 in statuses, "every request was rejected"
-        for status, payload in outcomes:
-            if status == 200:
-                assert stable(payload) == expected
-            else:
-                assert status == 503 and "error" in payload
+        def worker():
+            occupant[0] = client(server, "POST", "/resolve", body)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert batcher.wait_for_queue_depth(1)
+        rejected = [client(server, "POST", "/resolve", body) for _ in range(3)]
+        batcher.resume()
+        thread.join()
+
+        status, payload = occupant[0]
+        assert status == 200, "the queued request must still be served"
+        assert stable(payload) == expected
+        for status, payload in rejected:
+            assert status == 503 and "error" in payload
         _, stats = client(server, "GET", "/stats")
-        assert stats["batcher"]["rejected"] >= 1
+        assert stats["batcher"]["rejected"] == 3
 
     def test_malformed_requests_are_400(self, system, server_factory, client):
         server = server_factory(system)

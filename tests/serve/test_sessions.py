@@ -1,0 +1,186 @@
+"""Session lifecycle races: delete-vs-edit and eviction-under-concurrent-edit.
+
+The delete/edit interleaving here is the bug class the serializability
+harness (:mod:`repro.verify`) caught live: an edit that looked up its pool
+entry *before* a concurrent ``DELETE`` popped it used to mutate the orphaned
+session and answer 200, after the delete response had already reported the
+session's final fact and edit counts — no serial order explains both.  The
+fix is the :attr:`~repro.serve.sessions.SessionEntry.closed` flag; these
+tests pin its semantics deterministically, and
+``tests/verify/test_regression_fixtures.py`` keeps the checker-level
+evidence.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.datasets import ranieri_graph
+from repro.kg import make_fact
+from repro.kg.io import json_io
+from repro.serve import ServerConfig
+from repro.serve.server import ResolutionService
+from repro.serve.sessions import SessionPool, UnknownSessionError
+
+
+def _body(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _edit_body(index: int) -> bytes:
+    return _body(
+        {
+            "adds": [
+                {
+                    "s": "Marker",
+                    "p": "editedAt",
+                    "o": f"v{index}",
+                    "interval": [2000 + index, 2001 + index],
+                    "confidence": 0.9,
+                }
+            ]
+        }
+    )
+
+
+@pytest.fixture
+def service(system):
+    service = ResolutionService(
+        system, ServerConfig(max_sessions=2, batch_delay=0.001)
+    )
+    yield service
+    service.close()
+
+
+def _create_session(service) -> str:
+    status, payload = service.handle(
+        "POST", "/sessions", _body({"graph": json_io.to_dict(ranieri_graph())})
+    )
+    assert status == 201
+    return payload["session_id"]
+
+
+class TestDeleteVersusEdit:
+    def test_delete_closes_the_entry_under_its_lock(self, service):
+        sid = _create_session(service)
+        stale = service.sessions.get(sid)  # an in-flight handler's lookup
+        status, payload = service.handle("DELETE", f"/sessions/{sid}", b"")
+        assert status == 200
+        # The delete response pins the session's final state...
+        assert payload["edits_applied"] == 0
+        assert payload["facts"] == len(stale.session.graph)
+        # ...so the entry is closed and late operations must see 404.
+        assert stale.closed
+
+    def test_operations_after_delete_are_404_and_do_not_mutate(self, service):
+        sid = _create_session(service)
+        stale = service.sessions.get(sid)
+        assert service.handle("DELETE", f"/sessions/{sid}", b"")[0] == 200
+        facts_before = len(stale.session.graph)
+        assert service.handle("POST", f"/sessions/{sid}/edits", _edit_body(0))[0] == 404
+        assert service.handle("GET", f"/sessions/{sid}/result", b"")[0] == 404
+        assert service.handle("DELETE", f"/sessions/{sid}", b"")[0] == 404
+        assert len(stale.session.graph) == facts_before
+        assert stale.edits_applied == 0
+
+    def test_concurrent_edits_and_delete_stay_serializable(self, service):
+        # A thread-race soak of the exact caught interleaving: however the
+        # lock race lands, every 200 edit must be counted in the delete's
+        # final ``edits_applied`` and every uncounted edit must answer 404.
+        for round_index in range(5):
+            sid = _create_session(service)
+            entry = service.sessions.get(sid)
+            barrier = threading.Barrier(3)
+            statuses = [None, None]
+
+            def edit(slot, sid=sid, barrier=barrier, statuses=statuses):
+                barrier.wait()
+                statuses[slot] = service.handle(
+                    "POST", f"/sessions/{sid}/edits", _edit_body(slot)
+                )[0]
+
+            deleted = {}
+
+            def delete(sid=sid, barrier=barrier, deleted=deleted):
+                barrier.wait()
+                status, payload = service.handle("DELETE", f"/sessions/{sid}", b"")
+                deleted.update(payload, status=status)
+
+            threads = [
+                threading.Thread(target=edit, args=(0,)),
+                threading.Thread(target=edit, args=(1,)),
+                threading.Thread(target=delete),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert deleted["status"] == 200
+            succeeded = sum(1 for status in statuses if status == 200)
+            assert all(status in (200, 404) for status in statuses)
+            # The invariant the harness caught being violated: the final
+            # report counts exactly the edits that were acknowledged.
+            assert deleted["edits_applied"] == succeeded == entry.edits_applied
+
+
+class TestEvictionUnderConcurrentEdit:
+    def test_evicted_entry_is_unroutable_but_not_closed(self, system):
+        pool = SessionPool(system, max_sessions=1)
+        first = pool.create(ranieri_graph())
+        pool.create(ranieri_graph())  # evicts ``first``
+        with pytest.raises(UnknownSessionError):
+            pool.get(first.session_id)
+        # Eviction produces no client-visible final-state response, so an
+        # in-flight request holding the entry may still finish against it.
+        assert not first.closed
+        assert pool.evicted_total == 1
+
+    def test_in_flight_edit_survives_eviction(self, service):
+        sid = _create_session(service)
+        stale = service.sessions.get(sid)
+        # Fill the pool (max_sessions=2) until ``sid`` is evicted.
+        _create_session(service)
+        _create_session(service)
+        assert service.handle("GET", f"/sessions/{sid}/result", b"")[0] == 404
+        # The orphaned session object still accepts the edit an in-flight
+        # handler would apply — no corruption, no close.
+        facts_before = len(stale.session.graph)
+        extra = make_fact("Marker", "editedAt", "post-evict", (2100, 2101), 0.5)
+        with stale.lock:
+            stale.session.apply(adds=[extra], removes=[])
+        assert not stale.closed
+        assert len(stale.session.graph) == facts_before + 1
+
+    def test_eviction_races_with_edit_storm(self, service):
+        # One writer hammers a session while another thread churns creates
+        # that will evict it.  Every edit must answer 200 (applied and
+        # counted) or 404 (post-eviction routing miss) — never a 5xx — and
+        # the entry's count must equal the number of 200s.
+        sid = _create_session(service)
+        entry = service.sessions.get(sid)
+        results = []
+        stop = threading.Event()
+
+        def writer():
+            for index in range(30):
+                status, _ = service.handle(
+                    "POST", f"/sessions/{sid}/edits", _edit_body(index)
+                )
+                results.append(status)
+            stop.set()
+
+        def churner():
+            while not stop.is_set():
+                _create_session(service)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=churner)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert all(status in (200, 404) for status in results)
+        assert entry.edits_applied == sum(1 for status in results if status == 200)
+        assert not entry.closed

@@ -109,7 +109,8 @@ def random_fact(rng: random.Random) -> tuple:
 # --------------------------------------------------------------------------- #
 class TestRandomEditStreams:
     @pytest.mark.parametrize("seed", [1, 2, 3])
-    def test_random_add_remove_sequences(self, seed):
+    def test_random_add_remove_sequences(self, seed, audited_seed):
+        seed = audited_seed(seed)
         rng = random.Random(100 + seed)
         graph = random_sports_graph(seed)
         rules = running_example_rules()
@@ -143,8 +144,9 @@ class TestRandomEditStreams:
                 replica.add(fact)
             assert_state_matches(incremental, replica, rules, constraints)
 
-    def test_sports_pack_edit_stream(self):
-        rng = random.Random(42)
+    def test_sports_pack_edit_stream(self, audited_seed):
+        seed = audited_seed(42)
+        rng = random.Random(seed)
         graph = random_sports_graph(9, facts=100)
         pack = sports_pack()
         incremental = IncrementalGrounder(

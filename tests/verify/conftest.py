@@ -1,0 +1,40 @@
+"""Shared fixtures for the concurrency-correctness harness tests.
+
+``system`` and ``checker`` are module-scoped: one oracle serves every test
+in a module and its resolve cache amortises across checks (resolution is a
+pure function of graph content).  ``clean_history`` is one real recorded
+execution shared by all the corruption-injection tests — each test reloads
+it through the JSON codec before mutating, so the fixture stays pristine.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import TeCoRe
+from repro.verify import SerializabilityChecker, WorkloadConfig, record_workload
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TeCoRe.from_pack("running-example", solver="nrockit")
+
+
+@pytest.fixture(scope="module")
+def checker(system):
+    return SerializabilityChecker(system)
+
+
+@pytest.fixture(scope="module")
+def clean_history(system):
+    workload = WorkloadConfig(
+        seed=7, clients=3, ops_per_client=6, sessions=2, malformed_ratio=0.1
+    )
+    return record_workload(system, workload)
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES_DIR

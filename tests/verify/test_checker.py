@@ -1,0 +1,218 @@
+"""Serializability-checker tests: clean histories pass, injected bugs fail.
+
+Every injection starts from one real recorded execution
+(``clean_history``), reloaded through the JSON codec so mutations never
+leak between tests.  The injections are the bug classes the checker
+exists to catch: tampered responses, miscounted deletes, corrupted
+resolves, unsound coalescing, and impossible 404s.
+"""
+
+import json
+
+import pytest
+
+from repro.verify import (
+    History,
+    Operation,
+    SerializabilityChecker,
+)
+from repro.serve.protocol import decode_graph, graph_content_key
+from repro.verify.checker import canonical
+
+
+def reload(history):
+    # Through the JSON codec, not just to_dict/from_dict: the dict forms
+    # alias the operations' nested request/response objects, and these
+    # tests mutate them — the shared fixture must stay pristine.
+    return History.from_dict(json.loads(json.dumps(history.to_dict())))
+
+
+def first_op(history, predicate):
+    for op in history.operations:
+        if predicate(op):
+            return op
+    raise AssertionError("recorded history lacks the op shape this test needs")
+
+
+def next_op_id(history):
+    return max(op.op_id for op in history.operations) + 1
+
+
+class TestCleanHistories:
+    def test_recorded_history_is_serializable(self, checker, clean_history):
+        report = checker.check(clean_history)
+        assert report.ok, report.summary()
+        assert report.stats["operations"] == len(clean_history)
+        assert report.stats["sessions_checked"] == 2
+        assert "serializable" in report.summary()
+
+    def test_round_tripped_history_still_passes(self, checker, clean_history, tmp_path):
+        path = tmp_path / "history.json"
+        clean_history.save(path)
+        report = checker.check(History.load(path))
+        assert report.ok, report.summary()
+
+
+class TestInjectedSessionViolations:
+    def test_tampered_edit_response_is_unserializable(self, checker, clean_history):
+        history = reload(clean_history)
+        victim = first_op(history, lambda op: op.kind == "session_edit" and op.ok)
+        victim.response["result"]["tampered"] = True
+        report = checker.check(history)
+        unserializable = [v for v in report.violations if v.kind == "unserializable"]
+        assert unserializable, report.summary()
+        violation = unserializable[0]
+        assert victim.op_id in violation.op_ids
+        # The minimal sub-history is self-contained evidence: smaller than
+        # the full history and still failing when checked on its own.
+        sub = History.from_dict(violation.sub_history)
+        assert len(sub) <= len(history)
+        assert any(op.op_id == victim.op_id for op in sub)
+        assert not checker.check(sub).ok
+
+    def test_miscounted_delete_is_unserializable(self, checker, clean_history):
+        # The exact signature of the delete/edit race the harness caught
+        # live: the delete's final edit count disagrees with the 200s.
+        history = reload(clean_history)
+        victim = first_op(history, lambda op: op.kind == "session_delete" and op.ok)
+        victim.response["edits_applied"] += 1
+        report = checker.check(history)
+        assert any(v.kind == "unserializable" for v in report.violations)
+
+    def test_spurious_404_on_a_live_session_is_flagged(self, checker, system, clean_history):
+        history = reload(clean_history)
+        delete = first_op(history, lambda op: op.kind == "session_delete" and op.ok)
+        ghost = Operation(
+            op_id=next_op_id(history),
+            kind="session_read",
+            invoked=delete.invoked - 2,
+            session_id=delete.session_id,
+            completed=delete.invoked - 1,  # completed before the delete began
+            status=404,
+            response={"error": "no session"},
+        )
+        history.operations.append(ghost)
+        report = checker.check(history)
+        assert any(v.kind == "spurious_not_found" for v in report.violations)
+        # With an eviction-capable pool the same 404 is legal.
+        relaxed = SerializabilityChecker(system, lru_evictions=True)
+        assert relaxed.check(history).ok
+
+    def test_phantom_session_is_flagged(self, checker):
+        history = History(
+            operations=[
+                Operation(
+                    op_id=0,
+                    kind="session_read",
+                    invoked=1,
+                    session_id="feedface00000000",
+                    completed=2,
+                    status=200,
+                    response={"session_id": "feedface00000000", "result": {}},
+                )
+            ]
+        )
+        report = checker.check(history)
+        assert [v.kind for v in report.violations] == ["phantom_session"]
+
+    def test_double_delete_is_flagged(self, checker, clean_history):
+        history = reload(clean_history)
+        delete = first_op(history, lambda op: op.kind == "session_delete" and op.ok)
+        clone = Operation(
+            op_id=next_op_id(history),
+            kind="session_delete",
+            invoked=delete.completed + 1,
+            session_id=delete.session_id,
+            completed=delete.completed + 2,
+            status=200,
+            response=dict(delete.response),
+        )
+        history.operations.append(clone)
+        report = checker.check(history)
+        assert any(v.kind == "double_delete" for v in report.violations)
+
+    def test_duplicate_session_id_is_flagged(self, checker, clean_history):
+        history = reload(clean_history)
+        create = first_op(history, lambda op: op.kind == "session_create" and op.ok)
+        clone = Operation(
+            op_id=next_op_id(history),
+            kind="session_create",
+            invoked=create.completed + 1,
+            request=dict(create.request or {}),
+            completed=create.completed + 2,
+            status=201,
+            response=dict(create.response),
+        )
+        history.operations.append(clone)
+        report = checker.check(history)
+        assert any(v.kind == "duplicate_session_id" for v in report.violations)
+
+    def test_search_budget_exhaustion_is_reported_not_hung(self, system, clean_history):
+        strapped = SerializabilityChecker(system, max_search_steps=0)
+        report = strapped.check(reload(clean_history))
+        assert any(v.kind == "search_budget_exhausted" for v in report.violations)
+
+
+class TestInjectedBatchingViolations:
+    def test_corrupted_resolve_response_is_flagged(self, checker, clean_history):
+        history = reload(clean_history)
+        victim = first_op(history, lambda op: op.kind == "resolve" and op.ok)
+        victim.response["forged_field"] = True
+        report = checker.check(history)
+        mismatches = [v for v in report.violations if v.kind == "resolve_mismatch"]
+        assert mismatches
+        assert victim.op_id in mismatches[0].op_ids
+
+    def test_mixed_content_coalesced_group_is_flagged(self, checker, clean_history):
+        history = reload(clean_history)
+        resolves = [
+            op
+            for op in history.operations
+            if op.kind == "resolve" and op.ok and op.request is not None
+        ]
+        distinct = {}
+        for op in resolves:
+            distinct.setdefault(graph_content_key(decode_graph(op.request)), op)
+        assert len(distinct) >= 2, "workload produced fewer than 2 resolve variants"
+        first, second = list(distinct.values())[:2]
+        merged = {first.op_id, second.op_id}
+        # Forge the bug: pull the victims out of their genuine groups and
+        # cache-hit records, then report them as one coalesced group.
+        history.groups = [
+            [op_id for op_id in group if op_id not in merged]
+            for group in history.groups
+        ]
+        history.groups = [group for group in history.groups if group]
+        history.cache_hits = [
+            op_id for op_id in history.cache_hits if op_id not in merged
+        ]
+        history.groups.append(sorted(merged))
+        report = checker.check(history)
+        coalescing = [v for v in report.violations if v.kind == "coalescing"]
+        assert coalescing
+        assert any("content-distinct" in v.description for v in coalescing)
+
+    def test_duplicate_group_membership_is_flagged(self, checker, clean_history):
+        history = reload(clean_history)
+        grouped = [group for group in history.groups if group]
+        assert grouped, "recorded history flushed no groups"
+        history.groups.append([grouped[0][0]])  # one submission, two flushes
+        report = checker.check(history)
+        assert any(
+            v.kind == "coalescing" and "more than one" in v.description
+            for v in report.violations
+        )
+
+
+class TestCanonicalForm:
+    def test_strips_timings_and_normalises_sequences(self):
+        payload = {
+            "grounding_seconds": 3.0,
+            "result": {"runtime_seconds": 1.2, "objective": (1, 2)},
+        }
+        assert canonical(payload) == {"result": {"objective": [1, 2]}}
+
+    def test_equal_content_compares_equal_across_codecs(self):
+        in_memory = {"a": (1, 2), "solve_seconds": 0.5}
+        reloaded = {"a": [1, 2]}
+        assert canonical(in_memory) == canonical(reloaded)

@@ -1,0 +1,99 @@
+"""Live end-to-end runs: record real concurrent executions, then check them.
+
+These are the tests that quantify over scheduler nondeterminism: every run
+drives a real :class:`~repro.serve.server.ResolutionService` (batcher,
+session pool, per-session locks) from concurrent client threads and asserts
+the recorded history admits a serialization.  The seed is drawn through
+``audited_seed``, so a failing schedule prints its reproduction command.
+"""
+
+import pytest
+
+from repro.verify import (
+    WorkloadConfig,
+    check_history,
+    harness_server_config,
+    record_workload,
+)
+from repro.verify.workloads import generate_trace
+from repro.datasets import ranieri_extended_graph
+
+
+class TestRecordedWorkloads:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_workloads_are_serializable(self, system, checker, seed, audited_seed):
+        workload = WorkloadConfig(
+            seed=audited_seed(seed),
+            clients=3,
+            ops_per_client=5,
+            sessions=2,
+            malformed_ratio=0.1,
+        )
+        history = record_workload(system, workload)
+        report = checker.check(history)
+        assert report.ok, report.summary()
+
+    def test_every_trace_op_is_recorded_with_provenance(self, clean_history):
+        assert clean_history.metadata["workload"]["seed"] == 7
+        assert clean_history.metadata["total_ops"] == len(clean_history)
+        assert all(op.completed is not None for op in clean_history)
+
+    def test_batcher_decisions_reference_recorded_resolves(self, clean_history):
+        resolve_ids = {
+            op.op_id for op in clean_history if op.kind == "resolve" and op.ok
+        }
+        grouped = {op_id for group in clean_history.groups for op_id in group}
+        assert grouped <= resolve_ids
+        assert set(clean_history.cache_hits) <= resolve_ids
+        # One submission, one serving decision: no overlap, no duplicates.
+        assert not (grouped & set(clean_history.cache_hits))
+        flat = [op_id for group in clean_history.groups for op_id in group]
+        assert len(flat) == len(set(flat))
+
+    def test_malformed_bodies_answer_400_and_poison_nothing(self, system, checker):
+        workload = WorkloadConfig(
+            seed=5,
+            clients=2,
+            ops_per_client=8,
+            sessions=1,
+            malformed_ratio=1.0,
+            resolve_ratio=0.5,
+            read_ratio=0.0,
+        )
+        history = record_workload(system, workload)
+        poisoned = [
+            op for op in history if op.kind in ("resolve", "session_edit")
+        ]
+        assert poisoned
+        assert all(op.status == 400 for op in poisoned)
+        report = checker.check(history)
+        assert report.ok, report.summary()
+
+    def test_hot_key_workload_exercises_coalescing_or_cache(self, system, checker, audited_seed):
+        # Heavy resolve skew over few variants against a slow batching
+        # window: the serving decisions under test (coalesced groups or
+        # response-cache hits) must actually occur, and stay sound.
+        workload = WorkloadConfig(
+            seed=audited_seed(31),
+            clients=4,
+            ops_per_client=6,
+            sessions=1,
+            resolve_ratio=0.9,
+            resolve_variants=2,
+            zipf_alpha=2.0,
+            burst_gap=0.0,
+        )
+        trace = generate_trace(ranieri_extended_graph(), workload)
+        config = harness_server_config(trace, batch_delay=0.02, max_batch=16)
+        from repro.verify import record_trace
+
+        history = record_trace(system, trace, config=config)
+        shared = sum(len(group) - 1 for group in history.groups) + len(
+            history.cache_hits
+        )
+        assert shared > 0, "hot-key workload never shared a solve"
+        report = checker.check(history)
+        assert report.ok, report.summary()
+
+    def test_check_history_convenience_wrapper(self, system, clean_history):
+        assert check_history(system, clean_history).ok

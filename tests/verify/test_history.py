@@ -1,0 +1,145 @@
+"""Unit tests for the operation-history model and the thread-safe recorder."""
+
+import pytest
+
+from repro.verify import HISTORY_FORMAT_VERSION, History, HistoryRecorder, Operation
+
+
+class TestRecorderClock:
+    def test_every_event_draws_a_distinct_increasing_tick(self):
+        recorder = HistoryRecorder()
+        first = recorder.begin("resolve", request={"facts": []})
+        second = recorder.begin("session_read", session_id="abc")
+        recorder.complete(first, 200, {"answer": 1})
+        recorder.complete(second, 200, {"answer": 2})
+        ticks = [first.invoked, second.invoked, first.completed, second.completed]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 4
+
+    def test_happens_before_is_real_time_order(self):
+        recorder = HistoryRecorder()
+        first = recorder.begin("resolve")
+        second = recorder.begin("resolve")  # overlaps ``first``
+        recorder.complete(first, 200, {})
+        third = recorder.begin("resolve")  # invoked after ``first`` completed
+        recorder.complete(second, 200, {})
+        recorder.complete(third, 200, {})
+        assert first.happens_before(third)
+        assert not first.happens_before(second)
+        assert not second.happens_before(first)
+        assert not third.happens_before(first)
+
+    def test_in_flight_operation_precedes_nothing(self):
+        recorder = HistoryRecorder()
+        open_op = recorder.begin("resolve")
+        later = recorder.begin("resolve")
+        assert open_op.completed is None
+        assert not open_op.happens_before(later)
+        assert not open_op.ok
+
+    def test_observer_seam_drops_untagged_submissions(self):
+        # Requests submitted without a recorder tag (op is None) reach the
+        # batcher with tag None; the recorder must not fabricate op-ids.
+        recorder = HistoryRecorder()
+        recorder.on_flush([[3, None, 4], [None], [7]])
+        recorder.on_cache_hit(9)
+        history = recorder.history()
+        assert history.groups == [[3, 4], [7]]
+        assert history.cache_hits == [9]
+
+    def test_snapshot_is_isolated_from_later_operations(self):
+        recorder = HistoryRecorder()
+        recorder.complete(recorder.begin("resolve"), 200, {})
+        snapshot = recorder.history(metadata={"run": 1})
+        recorder.begin("resolve")
+        assert len(snapshot) == 1
+        assert snapshot.metadata == {"run": 1}
+        assert len(recorder.history()) == 2
+
+    def test_status_classifies_ok(self):
+        recorder = HistoryRecorder()
+        ok = recorder.begin("session_edit", session_id="s")
+        recorder.complete(ok, 200, {})
+        failed = recorder.begin("session_edit", session_id="s")
+        recorder.complete(failed, 404, {"error": "no session"})
+        assert ok.ok and not failed.ok
+
+
+class TestHistorySerialization:
+    def _sample(self):
+        return History(
+            operations=[
+                Operation(
+                    op_id=0,
+                    kind="session_create",
+                    invoked=1,
+                    request={"graph": {"name": "g", "facts": []}},
+                    completed=2,
+                    status=201,
+                    response={"session_id": "aa", "result": {}},
+                ),
+                Operation(
+                    op_id=1,
+                    kind="resolve",
+                    invoked=3,
+                    request={"name": "v", "facts": []},
+                    completed=4,
+                    status=200,
+                    response={"objective": 0.0},
+                ),
+            ],
+            groups=[[1]],
+            cache_hits=[],
+            metadata={"seed": 7},
+        )
+
+    def test_save_load_round_trip_is_exact(self, tmp_path):
+        history = self._sample()
+        path = tmp_path / "history.json"
+        history.save(path)
+        assert History.load(path).to_dict() == history.to_dict()
+
+    def test_version_mismatch_is_rejected(self):
+        document = self._sample().to_dict()
+        document["version"] = HISTORY_FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            History.from_dict(document)
+
+    def test_by_id_lookup(self):
+        history = self._sample()
+        assert history.by_id(1).kind == "resolve"
+        with pytest.raises(KeyError):
+            history.by_id(99)
+
+    def test_session_ids_cover_create_responses_and_routed_ops(self):
+        history = History(
+            operations=[
+                Operation(
+                    op_id=0,
+                    kind="session_create",
+                    invoked=1,
+                    completed=2,
+                    status=201,
+                    response={"session_id": "aa"},
+                ),
+                Operation(
+                    op_id=1,
+                    kind="session_edit",
+                    invoked=3,
+                    session_id="bb",
+                    completed=4,
+                    status=404,
+                    response={},
+                ),
+                Operation(
+                    op_id=2,
+                    kind="session_read",
+                    invoked=5,
+                    session_id="aa",
+                    completed=6,
+                    status=200,
+                    response={},
+                ),
+            ]
+        )
+        assert history.session_ids() == ["aa", "bb"]

@@ -1,0 +1,106 @@
+"""Committed violating histories must keep failing — forever.
+
+Two fixtures pin real bug classes of the serving tier:
+
+* ``regression_coalescing_history.json`` — a recorded run doctored into the
+  collapsed-forwarding bug: two content-distinct resolves reported as one
+  coalesced group, with one response overwritten by the other's payload.
+  This is the bug class a missing ``graph_content_key`` guard reintroduces.
+* ``regression_delete_race_history.json`` — the *actual* minimal
+  sub-history of the delete/edit race the harness caught live (an edit
+  acknowledged with 200 after the DELETE response had already pinned the
+  session's final ``edits_applied``).  The fix is the
+  ``SessionEntry.closed`` re-check; if it regresses, this history's bug
+  class comes back.
+
+If the checker ever reports these as serializable, the *checker* has
+regressed, even if the server is fine — either way this must stay red in
+the failing direction and green here.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.verify import History
+
+
+def load_fixture(fixtures_dir, name):
+    return History.load(fixtures_dir / name)
+
+
+class TestCoalescingFixture:
+    def test_checker_flags_the_forged_group(self, checker, fixtures_dir):
+        history = load_fixture(fixtures_dir, "regression_coalescing_history.json")
+        report = checker.check(history)
+        kinds = {violation.kind for violation in report.violations}
+        assert "coalescing" in kinds
+        # The overwritten member also disagrees with the resolve oracle.
+        assert "resolve_mismatch" in kinds
+
+    def test_fixture_documents_its_provenance(self, fixtures_dir):
+        history = load_fixture(fixtures_dir, "regression_coalescing_history.json")
+        assert "note" in history.metadata
+
+
+class TestDeleteRaceFixture:
+    def test_checker_flags_the_race_as_unserializable(self, checker, fixtures_dir):
+        history = load_fixture(fixtures_dir, "regression_delete_race_history.json")
+        report = checker.check(history)
+        kinds = {violation.kind for violation in report.violations}
+        assert "unserializable" in kinds
+
+    def test_race_evidence_is_minimal_session_history(self, fixtures_dir):
+        history = load_fixture(fixtures_dir, "regression_delete_race_history.json")
+        kinds = [op.kind for op in history]
+        assert kinds[0] == "session_create"
+        assert kinds[-1] == "session_delete"
+        assert set(kinds[1:-1]) == {"session_edit"}
+        # The caught contradiction: more acknowledged edits than the
+        # delete's final count admits.
+        delete = history.operations[-1]
+        acknowledged = sum(1 for op in history if op.kind == "session_edit" and op.ok)
+        assert delete.response["edits_applied"] < acknowledged
+
+
+class TestVerifyCli:
+    def test_expect_violation_passes_on_fixtures(self, fixtures_dir, capsys):
+        exit_code = main(
+            [
+                "verify",
+                str(fixtures_dir / "regression_coalescing_history.json"),
+                str(fixtures_dir / "regression_delete_race_history.json"),
+                "--expect-violation",
+            ]
+        )
+        assert exit_code == 0
+        assert "expected violations confirmed" in capsys.readouterr().out
+
+    def test_fixtures_fail_a_plain_verify_run(self, fixtures_dir, capsys):
+        exit_code = main(
+            ["verify", str(fixtures_dir / "regression_delete_race_history.json")]
+        )
+        assert exit_code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_save_failures_writes_history_and_report(self, fixtures_dir, tmp_path, capsys):
+        save_dir = tmp_path / "failures"
+        exit_code = main(
+            [
+                "verify",
+                str(fixtures_dir / "regression_delete_race_history.json"),
+                "--expect-violation",
+                "--save-failures",
+                str(save_dir),
+            ]
+        )
+        assert exit_code == 0
+        saved = sorted(path.name for path in save_dir.iterdir())
+        assert any(name.startswith("history-") for name in saved)
+        assert any(name.startswith("violations-") for name in saved)
+
+    def test_expect_violation_rejects_clean_histories(self, clean_history, tmp_path, capsys):
+        path = tmp_path / "clean.json"
+        clean_history.save(path)
+        exit_code = main(["verify", str(path), "--expect-violation"])
+        assert exit_code == 1
+        assert "found none" in capsys.readouterr().err

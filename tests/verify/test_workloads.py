@@ -1,0 +1,199 @@
+"""Determinism and shape tests for the trace-driven workload generator."""
+
+import pytest
+
+from repro.datasets import ranieri_extended_graph
+from repro.verify import WorkloadConfig, generate_trace, zipf_weights
+
+
+def trace_for(**kwargs):
+    return generate_trace(ranieri_extended_graph(), WorkloadConfig(**kwargs))
+
+
+class TestZipfWeights:
+    def test_weights_are_positive_and_strictly_decreasing(self):
+        weights = zipf_weights(5, 1.1)
+        assert all(weight > 0 for weight in weights)
+        assert weights == sorted(weights, reverse=True)
+        assert len(set(weights)) == 5
+
+    def test_alpha_zero_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0] * 4
+
+    def test_rejects_empty_rank_set(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"sessions": 0},
+            {"noise": "white"},
+            {"burst_size": 0},
+            {"resolve_span": (0.9, 0.2)},
+            {"resolve_span": (-0.1, 1.0)},
+            {"resolve_span": (0.5, 1.5)},
+        ],
+    )
+    def test_invalid_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        first = trace_for(seed=11)
+        second = trace_for(seed=11)
+        assert first.programs == second.programs
+        assert first.owners == second.owners
+
+    def test_different_seeds_differ(self):
+        assert trace_for(seed=1).programs != trace_for(seed=2).programs
+
+
+class TestTraceShape:
+    def test_op_budget_and_session_ownership(self):
+        trace = trace_for(seed=3, clients=3, ops_per_client=5, sessions=4)
+        assert trace.total_ops == 3 * 5 + 4 + 4  # ops + creates + deletes
+        assert set(trace.owners) == set(range(4))
+        for session, owner in trace.owners.items():
+            program = trace.programs[owner]
+            kinds_for_session = [
+                op.kind for op in program if op.session == session
+            ]
+            # The owner creates first and deletes last.
+            assert kinds_for_session[0] == "session_create"
+            assert kinds_for_session[-1] == "session_delete"
+            assert kinds_for_session.count("session_create") == 1
+            assert kinds_for_session.count("session_delete") == 1
+
+    def test_delete_sessions_can_be_disabled(self):
+        trace = trace_for(seed=3, delete_sessions=False)
+        assert all(
+            op.kind != "session_delete"
+            for program in trace.programs
+            for op in program
+        )
+
+    def test_burst_arrival_delays(self):
+        trace = trace_for(
+            seed=5,
+            clients=2,
+            ops_per_client=7,
+            burst_size=3,
+            burst_gap=0.01,
+            intra_gap=0.001,
+        )
+        for program in trace.programs:
+            for index, op in enumerate(program):
+                if index == 0:
+                    assert op.delay == 0.0
+                elif index % 3 == 0:
+                    assert op.delay == 0.01
+                else:
+                    assert op.delay == 0.001
+
+    def test_resolve_span_bounds_variant_sizes(self):
+        pool_size = len(ranieri_extended_graph())
+        trace = trace_for(
+            seed=17, clients=2, ops_per_client=10, resolve_ratio=1.0,
+            resolve_span=(0.8, 1.0),
+        )
+        resolves = [
+            op
+            for program in trace.programs
+            for op in program
+            if op.kind == "resolve"
+        ]
+        assert resolves
+        floor = int(0.8 * pool_size)
+        for op in resolves:
+            assert floor <= len(op.body["facts"]) <= pool_size
+
+    def test_malformed_ratio_one_poisons_every_body_carrying_op(self):
+        trace = trace_for(seed=9, clients=2, ops_per_client=8, malformed_ratio=1.0)
+        flagged = [
+            op
+            for program in trace.programs
+            for op in program
+            if op.kind in ("resolve", "session_edit")
+        ]
+        assert flagged
+        assert all(op.malformed for op in flagged)
+        # Creates, reads, and deletes never carry adversarial bodies.
+        assert all(
+            not op.malformed
+            for program in trace.programs
+            for op in program
+            if op.kind not in ("resolve", "session_edit")
+        )
+
+
+class TestNoiseModels:
+    def _edit_bodies(self, noise, seed=13):
+        trace = trace_for(
+            seed=seed,
+            noise=noise,
+            clients=2,
+            ops_per_client=12,
+            resolve_ratio=0.0,
+            read_ratio=0.0,
+        )
+        return [
+            op.body
+            for program in trace.programs
+            for op in program
+            if op.kind == "session_edit"
+        ]
+
+    def test_conflict_burst_adds_overlapping_same_predicate_pairs(self):
+        bodies = self._edit_bodies("conflict_burst")
+        assert bodies
+        for body in bodies:
+            assert body["removes"] == []
+            assert body["adds"] and len(body["adds"]) % 2 == 0
+            for first, second in zip(body["adds"][::2], body["adds"][1::2]):
+                assert (first["s"], first["p"]) == (second["s"], second["p"])
+                assert first["o"] != second["o"]
+                a_start, a_end = first["interval"]
+                b_start, b_end = second["interval"]
+                assert a_start <= b_end and b_start <= a_end  # they overlap
+
+    def test_flip_bodies_remove_and_re_add_the_same_facts(self):
+        bodies = self._edit_bodies("flip")
+        assert bodies
+        for body in bodies:
+            assert body["adds"] == body["removes"]
+
+    def test_duplicate_bodies_only_re_add_with_bounded_confidence(self):
+        bodies = self._edit_bodies("duplicate")
+        assert bodies
+        for body in bodies:
+            assert body["removes"] == []
+            assert all(0.0 < fact["confidence"] <= 1.0 for fact in body["adds"])
+
+    def test_churn_only_removes_what_the_same_client_added(self):
+        trace = trace_for(
+            seed=21,
+            noise="churn",
+            clients=2,
+            ops_per_client=15,
+            resolve_ratio=0.0,
+            read_ratio=0.0,
+        )
+        for program in trace.programs:
+            ledgers = {}
+            for op in program:
+                if op.kind != "session_edit":
+                    continue
+                ledger = ledgers.setdefault(op.session, [])
+                ledger.extend(op.body["adds"])
+                for fact in op.body["removes"]:
+                    assert fact in ledger, (
+                        "churn removed a fact this client never added to "
+                        f"session {op.session}"
+                    )
+                    ledger.remove(fact)
