@@ -39,6 +39,11 @@ from .logic import available_packs, load_pack, parse_program
 #: Grounding engines selectable from the command line.
 ENGINE_CHOICES = ("indexed", "naive", "incremental", "vectorized")
 
+#: Solver kernels selectable from the command line: ``object`` walks the
+#: per-clause object graph, ``array`` substitutes the array-native variant
+#: of the chosen solver when one exists (see ``repro.core.ARRAY_VARIANTS``).
+KERNEL_CHOICES = ("object", "array")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -62,6 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
         if with_program:
             sub.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
             sub.add_argument("--program", help="path to a Datalog-style rule/constraint file")
+
+    def add_solver_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
+        )
+        sub.add_argument(
+            "--kernel",
+            default="object",
+            choices=KERNEL_CHOICES,
+            help="solver kernel: per-clause objects or array-native (columnar) variants",
+        )
 
     def add_decomposition_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -90,9 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     resolve = subparsers.add_parser("resolve", help="compute the conflict-free MAP state")
     add_input_arguments(resolve)
-    resolve.add_argument(
-        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
-    )
+    add_solver_arguments(resolve)
     resolve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     resolve.add_argument(
         "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
@@ -110,9 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
     batch.add_argument("--program", help="path to a Datalog-style rule/constraint file")
-    batch.add_argument(
-        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
-    )
+    add_solver_arguments(batch)
     batch.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     batch.add_argument(
         "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
@@ -134,9 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="change-stream file (+/- prefixed temporal-quad lines; 'resolve' closes a step)",
     )
     add_input_arguments(watch)
-    watch.add_argument(
-        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
-    )
+    add_solver_arguments(watch)
     watch.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     watch.add_argument(
         "--warm-start",
@@ -153,9 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--pack", help=f"predefined pack ({', '.join(available_packs())})")
     serve.add_argument("--program", help="path to a Datalog-style rule/constraint file")
-    serve.add_argument(
-        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
-    )
+    add_solver_arguments(serve)
     serve.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     serve.add_argument(
         "--engine", default="indexed", choices=ENGINE_CHOICES, help="grounding engine"
@@ -230,9 +238,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"predefined pack ({', '.join(available_packs())})",
     )
     verify.add_argument("--program", help="path to a Datalog-style rule/constraint file")
-    verify.add_argument(
-        "--solver", default="nrockit", choices=available_solvers(), help="MAP back-end"
-    )
+    add_solver_arguments(verify)
     verify.add_argument("--threshold", type=float, default=None, help="derived-fact threshold")
     verify.add_argument(
         "--runs", type=int, default=25, metavar="N",
@@ -361,6 +367,7 @@ def _command_resolve(args: argparse.Namespace) -> int:
         rules=rules,
         constraints=constraints,
         solver=args.solver,
+        kernel=args.kernel,
         threshold=args.threshold,
         engine=args.engine,
         decompose=args.decompose,
@@ -381,6 +388,7 @@ def _command_resolve_batch(args: argparse.Namespace) -> int:
         rules=rules,
         constraints=constraints,
         solver=args.solver,
+        kernel=args.kernel,
         threshold=args.threshold,
         engine=args.engine,
         decompose=args.decompose,
@@ -431,6 +439,7 @@ def _command_watch(args: argparse.Namespace) -> int:
         rules=rules,
         constraints=constraints,
         solver=args.solver,
+        kernel=args.kernel,
         threshold=args.threshold,
     )
     session = system.session(graph, warm_start=args.warm_start)
@@ -464,6 +473,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         rules=rules,
         constraints=constraints,
         solver=args.solver,
+        kernel=args.kernel,
         threshold=args.threshold,
         engine=args.engine,
         decompose=args.decompose,
@@ -517,6 +527,7 @@ def _command_verify(args: argparse.Namespace) -> int:
         rules=rules,
         constraints=constraints,
         solver=args.solver,
+        kernel=args.kernel,
         threshold=args.threshold,
     )
     checker = SerializabilityChecker(system)

@@ -1,11 +1,13 @@
 """TeCoRe core: translator, solver registry, resolution facade, reports."""
 
 from .registry import (
+    ARRAY_VARIANTS,
     SolverEntry,
     available_solvers,
     describe_solvers,
     make_solver,
     register_solver,
+    resolve_kernel,
     solver_capabilities,
     solver_family,
 )
@@ -22,6 +24,7 @@ from .threshold import ThresholdFilter, sweep_thresholds
 from .translator import TecoreTranslator, TranslatedProgram
 
 __all__ = [
+    "ARRAY_VARIANTS",
     "BatchResolution",
     "ComponentSolutionCache",
     "DeltaStatistics",
@@ -44,6 +47,7 @@ __all__ = [
     "render_report",
     "resolve",
     "resolve_batch",
+    "resolve_kernel",
     "solver_capabilities",
     "solver_family",
     "sweep_thresholds",

@@ -12,9 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from functools import partial
+
 from ..errors import SolverNotAvailableError
-from ..mln import BranchAndBoundSolver, CuttingPlaneSolver, ILPMapSolver, MaxWalkSATSolver
-from ..psl import ADMMSolver, ProjectedGradientSolver
+from ..mln import (
+    ArrayMaxWalkSATSolver,
+    BranchAndBoundSolver,
+    CuttingPlaneSolver,
+    ILPMapSolver,
+    MaxWalkSATSolver,
+)
+from ..psl import ADMMSolver, ArrayADMMSolver, ProjectedGradientSolver
 from ..solvers import MAPSolver, instantiate_solver
 
 
@@ -109,3 +117,46 @@ register_solver(
 register_solver(
     "npsl-pgd", "psl", "PSL/nPSL MAP via projected subgradient descent", ProjectedGradientSolver
 )
+register_solver(
+    "nrockit-bnb-array",
+    "mln",
+    "branch & bound with array-native objective/feasibility evaluation (bit-identical)",
+    partial(BranchAndBoundSolver, kernel="array"),
+)
+register_solver(
+    "maxwalksat-array",
+    "mln",
+    "batched array-kernel MaxWalkSAT over the columnar ground program",
+    ArrayMaxWalkSATSolver,
+)
+register_solver(
+    "npsl-array",
+    "psl",
+    "consensus ADMM over a potential matrix lowered from the columnar arrays (bit-identical)",
+    ArrayADMMSolver,
+)
+
+#: Object solver → its array-kernel counterpart.  Exact variants are
+#: bit-identical; ``maxwalksat-array`` is tolerance-pinned (stochastic).
+ARRAY_VARIANTS: dict[str, str] = {
+    "nrockit-bnb": "nrockit-bnb-array",
+    "maxwalksat": "maxwalksat-array",
+    "npsl": "npsl-array",
+}
+
+
+def resolve_kernel(name: str, kernel: str = "object") -> str:
+    """Map a solver name to the requested kernel's registry name.
+
+    ``"object"`` returns ``name`` unchanged.  ``"array"`` substitutes the
+    array-native variant when one exists and otherwise falls back to the
+    object solver (ILP and cutting-plane already run on compiled encodings,
+    so an array request is not an error for them).
+    """
+    if kernel == "object":
+        return name
+    if kernel == "array":
+        return ARRAY_VARIANTS.get(name, name)
+    raise SolverNotAvailableError(
+        f"unknown solver kernel {kernel!r}; expected 'object' or 'array'"
+    )

@@ -36,7 +36,7 @@ from ..logic import (
     parse_program,
 )
 from ..solvers import MAPSolution, MAPSolver, wrap_decomposed
-from .registry import available_solvers, make_solver
+from .registry import available_solvers, make_solver, resolve_kernel
 from .result import BatchResolution, ResolutionResult, ResolutionStatistics
 from .threshold import ThresholdFilter
 from .translator import TecoreTranslator, TranslatedProgram
@@ -73,6 +73,12 @@ class TeCoRe:
     jobs:
         Worker processes for the decomposed solve (1 = sequential; only
         meaningful with ``decompose=True``).
+    kernel:
+        Solver kernel: ``"object"`` (the default back-ends) or ``"array"``
+        (the columnar kernels over :class:`~repro.logic.GroundProgramArrays`
+        — see :func:`repro.core.registry.resolve_kernel`).  Exact solvers
+        return bit-identical results either way; solvers without an array
+        variant (ILP, cutting-plane) fall back to their object form.
     """
 
     rules: list[TemporalRule] = field(default_factory=list)
@@ -84,6 +90,7 @@ class TeCoRe:
     engine: str = "indexed"
     decompose: bool = False
     jobs: int = 1
+    kernel: str = "object"
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -133,12 +140,17 @@ class TeCoRe:
             engine=self.engine,
             decompose=self.decompose,
             jobs=self.jobs,
+            kernel=self.kernel,
         )
 
     def _make_backend(self) -> MAPSolver:
         """The configured MAP back-end, optionally decomposition-wrapped."""
         return wrap_decomposed(
-            partial(make_solver, self.solver, **self.solver_options),
+            partial(
+                make_solver,
+                resolve_kernel(self.solver, self.kernel),
+                **self.solver_options,
+            ),
             self.decompose,
             self.jobs,
         )
@@ -397,6 +409,7 @@ def resolve(
     threshold: float | None = None,
     decompose: bool = False,
     jobs: int = 1,
+    kernel: str = "object",
     **solver_options,
 ) -> ResolutionResult:
     """One-shot conflict resolution without building a :class:`TeCoRe` object."""
@@ -408,6 +421,7 @@ def resolve(
         solver_options=solver_options,
         decompose=decompose,
         jobs=jobs,
+        kernel=kernel,
     )
     return system.resolve(graph)
 
@@ -421,6 +435,7 @@ def resolve_batch(
     decompose: bool = False,
     jobs: int = 1,
     incremental: bool = False,
+    kernel: str = "object",
     **solver_options,
 ) -> BatchResolution:
     """One-shot batched conflict resolution over many graphs."""
@@ -432,6 +447,7 @@ def resolve_batch(
         solver_options=solver_options,
         decompose=decompose,
         jobs=jobs,
+        kernel=kernel,
     )
     return system.resolve_batch(graphs, incremental=incremental)
 

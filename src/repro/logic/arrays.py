@@ -1,0 +1,310 @@
+"""Array-native compiled view of a ground program.
+
+:class:`GroundProgramArrays` lowers a :class:`~repro.logic.ground.GroundProgram`
+into the same interned-id / numpy-block layout the columnar grounding engine
+uses (``kg/columnar.py``, ``logic/vectorized.py``), so MAP solver kernels can
+stay vectorized end-to-end instead of walking per-clause Python objects:
+
+* a clause→literal CSR matrix (``clause_offsets`` / ``literal_atoms`` /
+  ``literal_signs``) plus the flat ``literal_clauses`` inverse, giving both
+  "literals of clause c" slices and one-shot gathers over all literals;
+* per-clause ``weights`` / ``is_hard`` vectors for masked objective sums;
+* a lazily-built atom→occurrence CSR (``occurrence_offsets`` /
+  ``occurrence_clauses`` / ``occurrence_signs``) for WalkSAT flip deltas.
+
+Float contract: :meth:`objective` is **bit-identical** to
+:meth:`GroundProgram.objective`.  The satisfied mask is computed vectorized,
+but the selected soft weights are summed left-to-right in clause order over
+the original Python floats — numpy's pairwise summation would produce a
+different (better-conditioned, but unequal) float, and the exact solvers,
+the decomposition equivalence suite, and the session cache all compare
+objectives for equality across kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import GroundingError
+from .ground import GroundProgram
+
+
+def ragged_slices(offsets: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Flat positions of CSR rows ``indices``: concat of ``range(off[i], off[i+1])``.
+
+    The standard trick for gathering many variable-length CSR rows without a
+    Python loop: materialise one ``arange`` over the total length and shift
+    each segment to its row's start offset.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    starts = offsets[indices]
+    lengths = offsets[indices + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # positions = arange(total) rebased so each segment begins at its start.
+    seg_begin = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - seg_begin, lengths)
+
+
+def ordered_weight_sum(weights: Sequence[Optional[float]], indices: np.ndarray) -> float:
+    """Left-to-right sum of ``weights[i]`` for ascending ``indices``.
+
+    Matches the sequential ``sum()`` in :meth:`GroundProgram.objective`
+    float-for-float; do not replace with ``np.sum`` (pairwise summation).
+    """
+    return float(sum(weights[int(i)] for i in indices))
+
+
+def soft_objective(
+    literal_atoms: Sequence[int],
+    literal_signs: Sequence[bool],
+    literal_clauses: Sequence[int],
+    weights: Sequence[float],
+    assignment: Sequence[bool],
+) -> float:
+    """Satisfied-weight sum over flat soft-clause literal blocks.
+
+    The masked-dot-product evaluation of :meth:`GroundProgramArrays.objective`
+    for callers that already hold flat literal columns (the session cache's
+    objective walk) without a materialised program: one vectorized satisfied
+    mask, then the ordered left-to-right weight sum that keeps the result
+    bit-identical to the per-clause object walk.
+    """
+    num_clauses = len(weights)
+    if num_clauses == 0:
+        return 0.0
+    values = np.asarray(assignment, dtype=bool)
+    atoms = np.asarray(literal_atoms, dtype=np.int64)
+    signs = np.asarray(literal_signs, dtype=bool)
+    clauses = np.asarray(literal_clauses, dtype=np.int64)
+    true_literals = values[atoms] == signs
+    counts = np.bincount(
+        clauses, weights=true_literals.astype(np.float64), minlength=num_clauses
+    )
+    return ordered_weight_sum(weights, np.flatnonzero(counts > 0))
+
+
+@dataclass
+class GroundProgramArrays:
+    """Columnar (CSR) view of a ground program for array solver kernels."""
+
+    num_atoms: int
+    #: CSR row pointers: literals of clause ``c`` live at
+    #: ``literal_*[clause_offsets[c]:clause_offsets[c+1]]``.
+    clause_offsets: np.ndarray
+    literal_atoms: np.ndarray
+    #: True for a positive literal (satisfied when the atom is true).
+    literal_signs: np.ndarray
+    #: Inverse map: owning clause of each flat literal.
+    literal_clauses: np.ndarray
+    #: Soft weights, ``0.0`` where hard (mask with ``is_hard``).
+    weights: np.ndarray
+    is_hard: np.ndarray
+    #: Original per-clause Python weights (``None`` for hard), in clause
+    #: order — the bit-identity source for :meth:`objective`.
+    weight_list: list[Optional[float]]
+    #: Originating program, kept for atom metadata (facts, ``derived_by``)
+    #: and for solvers that fall back to object-path evaluation.
+    program: Optional[GroundProgram] = None
+
+    _occurrence: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+    _components: Optional[tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_program(cls, program: GroundProgram) -> "GroundProgramArrays":
+        """Lower an object-graph program into the CSR layout.
+
+        Clause order, literal order within a clause, and weights are
+        preserved exactly, so every array evaluation can be mapped back to
+        the object path index-for-index.
+        """
+        num_clauses = len(program.clauses)
+        lengths = np.fromiter(
+            (len(clause.literals) for clause in program.clauses),
+            dtype=np.int64,
+            count=num_clauses,
+        )
+        clause_offsets = np.zeros(num_clauses + 1, dtype=np.int64)
+        np.cumsum(lengths, out=clause_offsets[1:])
+        total = int(clause_offsets[-1])
+
+        literal_atoms = np.empty(total, dtype=np.int64)
+        literal_signs = np.empty(total, dtype=bool)
+        cursor = 0
+        for clause in program.clauses:
+            for index, positive in clause.literals:
+                literal_atoms[cursor] = index
+                literal_signs[cursor] = positive
+                cursor += 1
+        literal_clauses = np.repeat(
+            np.arange(num_clauses, dtype=np.int64), lengths
+        )
+
+        weight_list = [clause.weight for clause in program.clauses]
+        is_hard = np.fromiter(
+            (weight is None for weight in weight_list), dtype=bool, count=num_clauses
+        )
+        weights = np.fromiter(
+            (0.0 if weight is None else weight for weight in weight_list),
+            dtype=np.float64,
+            count=num_clauses,
+        )
+        return cls(
+            num_atoms=len(program.atoms),
+            clause_offsets=clause_offsets,
+            literal_atoms=literal_atoms,
+            literal_signs=literal_signs,
+            literal_clauses=literal_clauses,
+            weights=weights,
+            is_hard=is_hard,
+            weight_list=weight_list,
+            program=program,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def num_clauses(self) -> int:
+        return len(self.weight_list)
+
+    @property
+    def num_literals(self) -> int:
+        return int(self.clause_offsets[-1])
+
+    @property
+    def occurrence(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Atom→occurrence CSR ``(offsets, clauses, signs)``.
+
+        Row ``a`` lists, in clause order (stable sort), every clause that
+        mentions atom ``a`` together with the literal's sign.  Built lazily —
+        only the WalkSAT kernel needs it.
+        """
+        if self._occurrence is None:
+            order = np.argsort(self.literal_atoms, kind="stable")
+            counts = np.bincount(self.literal_atoms, minlength=self.num_atoms)
+            offsets = np.zeros(self.num_atoms + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._occurrence = (
+                offsets,
+                self.literal_clauses[order],
+                self.literal_signs[order],
+            )
+        return self._occurrence
+
+    @property
+    def components(self) -> tuple[np.ndarray, np.ndarray]:
+        """Connected components of the clause–atom interaction graph, as
+        ``(atom_labels, clause_labels)`` with contiguous component ids.
+
+        Two atoms share a component when some chain of clauses links them
+        — the same factorisation :func:`repro.logic.decompose` computes over
+        objects.  Built lazily with a union–find over the flat literal
+        arrays; the batched WalkSAT kernel uses it to schedule conflict-free
+        simultaneous moves (at most one clause repair per component).
+        """
+        if self._components is None:
+            parent = np.arange(self.num_atoms, dtype=np.int64)
+
+            def find(node: int) -> int:
+                root = node
+                while parent[root] != root:
+                    root = parent[root]
+                while parent[node] != root:  # path compression
+                    parent[node], node = root, int(parent[node])
+                return root
+
+            atoms = self.literal_atoms
+            clauses = self.literal_clauses
+            # Chain-union adjacent literals of the same clause: enough to
+            # connect every atom a clause mentions.
+            for position in range(1, atoms.size):
+                if clauses[position] == clauses[position - 1]:
+                    left, right = find(int(atoms[position - 1])), find(int(atoms[position]))
+                    if left != right:
+                        parent[right] = left
+            roots = np.fromiter(
+                (find(index) for index in range(self.num_atoms)),
+                dtype=np.int64,
+                count=self.num_atoms,
+            )
+            _, atom_labels = np.unique(roots, return_inverse=True)
+            if self.num_clauses:
+                clause_labels = atom_labels[
+                    self.literal_atoms[self.clause_offsets[:-1]]
+                ]
+            else:
+                clause_labels = np.empty(0, dtype=np.int64)
+            self._components = (atom_labels, clause_labels)
+        return self._components
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def _as_assignment(self, assignment: Sequence[bool]) -> np.ndarray:
+        values = np.asarray(assignment, dtype=bool)
+        if values.shape != (self.num_atoms,):
+            raise GroundingError(
+                f"assignment has {values.size} values for {self.num_atoms} atoms"
+            )
+        return values
+
+    def satisfied_counts(self, assignment: Sequence[bool]) -> np.ndarray:
+        """Per-clause count of true literals (float64, from one bincount)."""
+        values = self._as_assignment(assignment)
+        true_literals = values[self.literal_atoms] == self.literal_signs
+        return np.bincount(
+            self.literal_clauses,
+            weights=true_literals.astype(np.float64),
+            minlength=self.num_clauses,
+        )
+
+    def satisfied_mask(self, assignment: Sequence[bool]) -> np.ndarray:
+        """Boolean mask: clause satisfied under ``assignment``."""
+        return self.satisfied_counts(assignment) > 0
+
+    def objective(self, assignment: Sequence[bool]) -> float:
+        """Sum of satisfied soft-clause weights — bit-identical to the
+        object path (see module docstring for why the final sum is ordered)."""
+        mask = self.satisfied_mask(assignment)
+        soft_satisfied = np.flatnonzero(mask & ~self.is_hard)
+        return ordered_weight_sum(self.weight_list, soft_satisfied)
+
+    def hard_violation_indices(self, assignment: Sequence[bool]) -> np.ndarray:
+        """Indices of violated hard clauses, ascending (= clause order, the
+        same order :meth:`GroundProgram.hard_violations` returns them in)."""
+        mask = self.satisfied_mask(assignment)
+        return np.flatnonzero(self.is_hard & ~mask)
+
+    def is_feasible(self, assignment: Sequence[bool]) -> bool:
+        return self.hard_violation_indices(assignment).size == 0
+
+    def evaluate(self, assignment: Sequence[bool]) -> tuple[float, int]:
+        """One-shot ``(objective, #hard violations)`` from a single pass."""
+        mask = self.satisfied_mask(assignment)
+        soft_satisfied = np.flatnonzero(mask & ~self.is_hard)
+        violations = int(np.count_nonzero(self.is_hard & ~mask))
+        return ordered_weight_sum(self.weight_list, soft_satisfied), violations
+
+    def clause_literals(self, clause_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(atoms, signs)`` of one clause, as array slices (no copies)."""
+        start = int(self.clause_offsets[clause_index])
+        stop = int(self.clause_offsets[clause_index + 1])
+        return self.literal_atoms[start:stop], self.literal_signs[start:stop]
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundProgramArrays(atoms={self.num_atoms}, "
+            f"clauses={self.num_clauses}, literals={self.num_literals})"
+        )

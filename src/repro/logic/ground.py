@@ -20,6 +20,25 @@ from typing import Iterable, Iterator, Optional, Sequence
 from ..errors import GroundingError
 from ..kg import TemporalFact
 
+#: Weight substituted for zero-weight soft clauses.  A weight of exactly zero
+#: carries no information but would make the clause indistinguishable from a
+#: hard clause in encoders keyed on truthiness; the epsilon keeps the clause
+#: soft (and the objective finite) while perturbing sums by well under any
+#: confidence resolution.  Every grounding engine and solver lowering must
+#: route zero weights through :func:`nonzero_weight` so programs built by
+#: different paths stay float-for-float identical.
+ZERO_WEIGHT_EPSILON = 1e-9
+
+
+def nonzero_weight(weight: Optional[float]) -> Optional[float]:
+    """Normalise a soft-clause weight: exact zero becomes the shared epsilon.
+
+    ``None`` (hard) and non-zero weights pass through unchanged.  This is the
+    single definition of the zero-weight rewrite used by every grounding
+    engine, the incremental session's objective walk, and the array lowering.
+    """
+    return ZERO_WEIGHT_EPSILON if weight == 0 else weight
+
 
 class ClauseKind(str, Enum):
     """Provenance of a ground clause (used in reports and ablations)."""
@@ -124,9 +143,11 @@ class GroundProgram:
         if existing is not None:
             atom = self.atoms[existing]
             # Evidence status is sticky: once a fact is known to be evidence it
-            # stays evidence even if a rule also derives it.
+            # stays evidence even if a rule also derives it.  The deriving
+            # rule's name is kept through the upgrade so summary()/reports can
+            # still attribute the atom to the rule that (also) produced it.
             if is_evidence and not atom.is_evidence:
-                upgraded = GroundAtom(atom.index, fact, True, None)
+                upgraded = GroundAtom(atom.index, fact, True, atom.derived_by)
                 self.atoms[existing] = upgraded
                 return upgraded
             return atom
@@ -165,9 +186,9 @@ class GroundProgram:
             index, positive = items[0]
             items = ((index, not positive),)
             weight = -weight
-        if weight is not None and weight == 0:
-            # Zero-weight clauses carry no information; keep the program lean.
-            weight = 1e-9
+        # Zero-weight clauses carry no information; substitute the shared
+        # epsilon so they stay soft (see ZERO_WEIGHT_EPSILON).
+        weight = nonzero_weight(weight)
         clause = GroundClause(items, weight, kind, origin)
         self.clauses.append(clause)
         return clause
@@ -232,7 +253,13 @@ class GroundProgram:
         return not self.hard_violations(assignment)
 
     def max_soft_weight(self) -> float:
-        """Sum of all positive soft weights (upper bound on the objective)."""
+        """Sum of *all* soft-clause weights (upper bound on the objective).
+
+        Every stored soft weight is positive by construction —
+        :meth:`add_clause` flips negative unit clauses and rewrites exact
+        zeros to :data:`ZERO_WEIGHT_EPSILON` — so summing all of them is the
+        same as summing the positive ones.
+        """
         return sum(clause.weight for clause in self.clauses if clause.weight is not None)
 
     def canonical_signature(self) -> tuple:

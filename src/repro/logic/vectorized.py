@@ -52,7 +52,7 @@ from .expressions import (
     Number,
     TermValue,
 )
-from .ground import ClauseKind, GroundAtom, GroundClause, GroundProgram
+from .ground import ClauseKind, GroundAtom, GroundClause, GroundProgram, nonzero_weight
 from .grounding import (
     GROUNDING_ENGINES,
     ConstraintViolation,
@@ -635,7 +635,9 @@ def _fast_atom(
     if cached is not None:
         atom = atoms[cached]
         if is_evidence and not atom.is_evidence:
-            atom = GroundAtom(atom.index, fact, True, None)
+            # Sticky evidence upgrade; the deriving rule's name is preserved
+            # (same semantics as GroundProgram.add_atom).
+            atom = GroundAtom(atom.index, fact, True, atom.derived_by)
             atoms[cached] = atom
         return atom
     atom = GroundAtom(len(atoms), fact, is_evidence, derived_by)
@@ -648,7 +650,7 @@ def _normalized_clause(literals, weight, kind: ClauseKind, origin: str) -> Groun
     """Inlined :meth:`GroundProgram.add_clause` normalisation.
 
     Identical weight handling — negative soft units flip their literal,
-    negative non-units raise, zero weights become the 1e-9 epsilon — minus
+    negative non-units raise, zero weights become the shared epsilon — minus
     the per-literal bounds check (the engine only emits indexes of atoms it
     just registered).
     """
@@ -661,9 +663,7 @@ def _normalized_clause(literals, weight, kind: ClauseKind, origin: str) -> Groun
         index, positive = items[0]
         items = ((index, not positive),)
         weight = -weight
-    if weight is not None and weight == 0:
-        weight = 1e-9
-    return GroundClause(items, weight, kind, origin)
+    return GroundClause(items, nonzero_weight(weight), kind, origin)
 
 
 # --------------------------------------------------------------------------- #
@@ -707,8 +707,8 @@ class VectorizedGrounder(_GrounderBase):
             literal = (index, True)
             if weight < 0:
                 literal, weight = (index, False), -weight
-            elif weight == 0:
-                weight = 1e-9
+            else:
+                weight = nonzero_weight(weight)
             clauses.append(
                 GroundClause((literal,), weight, ClauseKind.EVIDENCE, "evidence")
             )
@@ -882,13 +882,13 @@ class VectorizedGrounder(_GrounderBase):
                 rule_weight = rule.weight
                 # add_clause's unit normalisation, hoisted: rule clauses have
                 # ≥ 2 literals, so negative weights are unrepresentable and a
-                # zero weight becomes the 1e-9 epsilon.
+                # zero weight becomes the shared epsilon.
                 if rule_weight is not None and rule_weight < 0:
                     raise GroundingError(
                         f"negative-weight non-unit clause from {rule_name!r} "
                         "is not representable"
                     )
-                clause_weight = 1e-9 if rule_weight == 0 else rule_weight
+                clause_weight = nonzero_weight(rule_weight)
                 prior_origin = f"prior:{rule_name}"
                 for _, body_facts, head_fact, atom_indexes in matches:
                     head_atom = _fast_atom(

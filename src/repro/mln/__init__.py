@@ -11,6 +11,7 @@ from .map_inference import (
 from .marginal import GibbsSampler, MarginalResult, marginals
 from .model import MarkovLogicNetwork, WeightedFormula
 from .solvers import (
+    ArrayMaxWalkSATSolver,
     BranchAndBoundSolver,
     CuttingPlaneSolver,
     ILPMapSolver,
@@ -19,6 +20,7 @@ from .solvers import (
 
 __all__ = [
     "BACKENDS",
+    "ArrayMaxWalkSATSolver",
     "BranchAndBoundSolver",
     "CuttingPlaneSolver",
     "DEFAULT_BACKEND",

@@ -21,14 +21,19 @@ from ..solvers import (
 from .solvers.branch_bound import BranchAndBoundSolver
 from .solvers.cutting_plane import CuttingPlaneSolver
 from .solvers.maxwalksat import MaxWalkSATSolver
+from .solvers.maxwalksat_array import ArrayMaxWalkSATSolver
 from .solvers.milp_backend import ILPMapSolver
 
-#: Back-end registry: name → zero-argument factory.
+#: Back-end registry: name → zero-argument factory.  The ``*-array`` entries
+#: are the columnar kernels over :class:`GroundProgramArrays`; the object
+#: back-ends stay registered as their differential baseline.
 BACKENDS: dict[str, Callable[[], MAPSolver]] = {
     "ilp": ILPMapSolver,
     "cutting-plane": CuttingPlaneSolver,
     "branch-and-bound": BranchAndBoundSolver,
+    "branch-and-bound-array": partial(BranchAndBoundSolver, kernel="array"),
     "maxwalksat": MaxWalkSATSolver,
+    "maxwalksat-array": ArrayMaxWalkSATSolver,
 }
 
 #: Back-end used when none is requested (matches nRockIt's Gurobi-backed ILP).

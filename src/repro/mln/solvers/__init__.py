@@ -3,9 +3,11 @@
 from .branch_bound import BranchAndBoundSolver
 from .cutting_plane import CuttingPlaneSolver
 from .maxwalksat import MaxWalkSATSolver
+from .maxwalksat_array import ArrayMaxWalkSATSolver
 from .milp_backend import ILPMapSolver
 
 __all__ = [
+    "ArrayMaxWalkSATSolver",
     "BranchAndBoundSolver",
     "CuttingPlaneSolver",
     "ILPMapSolver",

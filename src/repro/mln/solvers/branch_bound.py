@@ -20,6 +20,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ...errors import InfeasibleProgramError
+from ...logic.arrays import GroundProgramArrays
 from ...logic.ground import GroundProgram
 from ...solvers import MAPSolution, MAPSolver, MLN_CAPABILITIES, SolverCapabilities, SolverStats
 from ..ilp import ILPEncoding, encode
@@ -46,6 +47,14 @@ class BranchAndBoundSolver(MAPSolver):
         Hard cap on explored nodes (safety valve for large programs).
     use_lp_bound:
         When False, use the cheaper (weaker) additive bound instead of LP.
+    kernel:
+        ``"object"`` evaluates candidate assignments through the
+        :class:`GroundProgram` object graph; ``"array"`` routes every
+        objective / feasibility evaluation (incumbent checks, leaf
+        completions, greedy repair) through :class:`GroundProgramArrays`.
+        The two are bit-identical — the array objective sums the same
+        weights in the same order — so the search explores the same tree
+        and returns the same assignment either way.
     """
 
     name = "nrockit-bnb"
@@ -56,10 +65,16 @@ class BranchAndBoundSolver(MAPSolver):
         time_limit: float = 60.0,
         max_nodes: int = 200_000,
         use_lp_bound: bool = True,
+        kernel: str = "object",
     ) -> None:
+        if kernel not in ("object", "array"):
+            raise ValueError(f"unknown branch-and-bound kernel {kernel!r}")
         self.time_limit = time_limit
         self.max_nodes = max_nodes
         self.use_lp_bound = use_lp_bound
+        self.kernel = kernel
+        if kernel == "array":
+            self.name = "nrockit-bnb-array"
 
     @property
     def capabilities(self) -> SolverCapabilities:
@@ -71,15 +86,22 @@ class BranchAndBoundSolver(MAPSolver):
     ) -> MAPSolution:
         started = time.perf_counter()
         encoding = encode(program)
-        incumbent, incumbent_value = self._greedy_incumbent(program)
+        arrays = (
+            GroundProgramArrays.from_program(program) if self.kernel == "array" else None
+        )
+        incumbent, incumbent_value = self._greedy_incumbent(program, arrays)
         if warm_start is not None and len(warm_start) == program.num_atoms:
             # Warm start: the previous MAP state, if feasible and better than
             # the greedy incumbent, prunes the tree from the first node.
             candidate = tuple(value >= 0.5 for value in warm_start)
-            if program.is_feasible(candidate):
-                value = program.objective(candidate)
-                if incumbent is None or value > incumbent_value:
-                    incumbent, incumbent_value = candidate, value
+            if arrays is not None:
+                value, num_violations = arrays.evaluate(candidate)
+                feasible = num_violations == 0
+            else:
+                feasible = program.is_feasible(candidate)
+                value = program.objective(candidate) if feasible else -math.inf
+            if feasible and (incumbent is None or value > incumbent_value):
+                incumbent, incumbent_value = candidate, value
         counter = itertools.count()
 
         root_bound = self._bound(encoding, {})
@@ -105,9 +127,16 @@ class BranchAndBoundSolver(MAPSolver):
                 assignment = self._complete(program, node.fixed)
                 if assignment is None:
                     continue
-                value = program.objective(assignment)
-                if value > incumbent_value and program.is_feasible(assignment):
-                    incumbent, incumbent_value = assignment, value
+                if arrays is not None:
+                    # One-shot masked evaluation: objective and hard
+                    # violations from a single pass over the CSR blocks.
+                    value, num_violations = arrays.evaluate(assignment)
+                    if value > incumbent_value and num_violations == 0:
+                        incumbent, incumbent_value = assignment, value
+                else:
+                    value = program.objective(assignment)
+                    if value > incumbent_value and program.is_feasible(assignment):
+                        incumbent, incumbent_value = assignment, value
                 continue
             for value in (1, 0):
                 fixed = dict(node.fixed)
@@ -182,29 +211,45 @@ class BranchAndBoundSolver(MAPSolver):
     ) -> Optional[tuple[bool, ...]]:
         return tuple(bool(fixed.get(index, 0)) for index in range(program.num_atoms))
 
-    def _greedy_incumbent(self, program: GroundProgram) -> tuple[Optional[tuple[bool, ...]], float]:
+    def _greedy_incumbent(
+        self, program: GroundProgram, arrays: Optional[GroundProgramArrays] = None
+    ) -> tuple[Optional[tuple[bool, ...]], float]:
         """A quick feasible starting point: keep everything, then repair.
 
         Greedily falsify the cheapest atom of each violated hard clause until
-        feasible; gives branch & bound an incumbent to prune against.
+        feasible; gives branch & bound an incumbent to prune against.  With
+        ``arrays``, the violated clause comes from the vectorized evaluation:
+        ``hard_violation_indices`` lists violated clauses in the same (clause)
+        order ``hard_violations`` returns them in, so both kernels repair the
+        same clause each round.
         """
         assignment = [True] * program.num_atoms
         for _ in range(program.num_clauses + 1):
-            violations = program.hard_violations(assignment)
-            if not violations:
-                value = program.objective(assignment)
-                return tuple(assignment), value
-            clause = violations[0]
+            if arrays is not None:
+                violated = arrays.hard_violation_indices(assignment)
+                if violated.size == 0:
+                    return tuple(assignment), arrays.objective(assignment)
+                atoms, signs = arrays.clause_literals(int(violated[0]))
+                literals = list(zip(atoms.tolist(), signs.tolist()))
+            else:
+                violations = program.hard_violations(assignment)
+                if not violations:
+                    return tuple(assignment), program.objective(assignment)
+                literals = list(violations[0].literals)
             # All literals are false; flip the atom whose flip costs least.
             best_index, best_cost = None, math.inf
-            for index, positive in clause.literals:
+            for index, positive in literals:
                 cost = abs(program.atoms[index].fact.log_weight)
                 if cost < best_cost:
                     best_index, best_cost = index, cost
-            for index, positive in clause.literals:
+            for index, positive in literals:
                 if index == best_index:
                     assignment[index] = positive
                     break
+        if arrays is not None:
+            if arrays.is_feasible(assignment):
+                return tuple(assignment), arrays.objective(assignment)
+            return None, -math.inf
         violations = program.hard_violations(assignment)
         if violations:
             return None, -math.inf

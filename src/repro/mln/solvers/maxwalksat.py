@@ -16,6 +16,7 @@ necessary, repaired greedily before being returned.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from typing import Optional, Sequence
@@ -34,10 +35,17 @@ from ...solvers import (
 class _SearchState:
     """Incremental bookkeeping for one restart of the local search."""
 
-    def __init__(self, program: GroundProgram, assignment: list[bool], hard_weight: float) -> None:
+    def __init__(
+        self,
+        program: GroundProgram,
+        assignment: list[bool],
+        hard_weight: float,
+        debug: bool = False,
+    ) -> None:
         self.program = program
         self.assignment = assignment
         self.hard_weight = hard_weight
+        self.debug = debug
         self.weights = [
             hard_weight if clause.is_hard else float(clause.weight or 0.0)
             for clause in program.clauses
@@ -62,15 +70,38 @@ class _SearchState:
                 self._mark_unsatisfied(clause_index)
 
     def _mark_unsatisfied(self, clause_index: int) -> None:
+        # Membership guard: only clauses not already tracked contribute to
+        # the penalty, so a repeated call cannot double-add.
+        if clause_index in self.unsatisfied:
+            return
         self.unsatisfied.add(clause_index)
         if self.program.clauses[clause_index].is_hard:
             self.unsatisfied_hard.add(clause_index)
         self.penalty += self.weights[clause_index]
 
     def _mark_satisfied(self, clause_index: int) -> None:
-        self.unsatisfied.discard(clause_index)
+        # Symmetric guard: ``discard`` tolerates absent members but the
+        # unconditional subtraction did not — a second call for the same
+        # clause silently corrupted the penalty.  Only subtract when the
+        # clause was actually tracked as unsatisfied.
+        if clause_index not in self.unsatisfied:
+            return
+        self.unsatisfied.remove(clause_index)
         self.unsatisfied_hard.discard(clause_index)
         self.penalty -= self.weights[clause_index]
+
+    def check_invariant(self) -> None:
+        """Assert ``penalty == sum(weights of unsatisfied)`` (debug only).
+
+        Incremental float accumulation can drift from the exact sum, so the
+        comparison is ``math.isclose`` rather than equality.
+        """
+        expected = sum(self.weights[index] for index in sorted(self.unsatisfied))
+        if not math.isclose(self.penalty, expected, rel_tol=1e-9, abs_tol=1e-6):
+            raise AssertionError(
+                f"penalty bookkeeping drifted: tracked {self.penalty!r}, "
+                f"recomputed {expected!r} over {len(self.unsatisfied)} unsatisfied clauses"
+            )
 
     # ------------------------------------------------------------------ #
     def flip(self, atom_index: int) -> None:
@@ -88,6 +119,8 @@ class _SearchState:
                 self._mark_unsatisfied(clause_index)
             elif not was_satisfied and now_satisfied:
                 self._mark_satisfied(clause_index)
+        if self.debug:
+            self.check_invariant()
 
     def flip_delta(self, atom_index: int) -> float:
         """Penalty reduction achieved by flipping ``atom_index`` (higher is better)."""
@@ -119,6 +152,10 @@ class MaxWalkSATSolver(MAPSolver):
         Penalty used for hard clauses during the search.
     seed:
         RNG seed (runs are deterministic given the seed).
+    debug:
+        Re-check the penalty bookkeeping invariant after every flip
+        (``penalty == sum(weights of unsatisfied)``); O(clauses) per flip,
+        for tests and debugging only.
     """
 
     name = "maxwalksat"
@@ -131,12 +168,14 @@ class MaxWalkSATSolver(MAPSolver):
         noise: float = 0.2,
         hard_weight: float = 1_000.0,
         seed: int = 2017,
+        debug: bool = False,
     ) -> None:
         self.max_flips = max_flips
         self.max_restarts = max_restarts
         self.noise = noise
         self.hard_weight = hard_weight
         self.seed = seed
+        self.debug = debug
 
     @property
     def capabilities(self) -> SolverCapabilities:
@@ -159,7 +198,7 @@ class MaxWalkSATSolver(MAPSolver):
 
         for restart in range(self.max_restarts):
             assignment = self._initial_assignment(program, rng, restart, warm)
-            state = _SearchState(program, assignment, self.hard_weight)
+            state = _SearchState(program, assignment, self.hard_weight, debug=self.debug)
             if state.penalty < best_penalty:
                 best_assignment, best_penalty = list(state.assignment), state.penalty
             for _ in range(self.max_flips):

@@ -1,8 +1,14 @@
 """Probabilistic Soft Logic engine over hinge-loss MRFs (the nPSL path)."""
 
-from .admm import ADMMSolver
+from .admm import ADMMSolver, ArrayADMMSolver
 from .hlmrf import HingeLossMRF
-from .lukasiewicz import HingePotential, clause_to_potential, program_to_potentials, total_penalty
+from .lukasiewicz import (
+    HingePotential,
+    PotentialMatrix,
+    clause_to_potential,
+    program_to_potentials,
+    total_penalty,
+)
 from .map_inference import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -16,11 +22,13 @@ from .rounding import repair_hard, round_solution, threshold
 
 __all__ = [
     "ADMMSolver",
+    "ArrayADMMSolver",
     "BACKENDS",
     "DEFAULT_BACKEND",
     "HingeLossMRF",
     "HingePotential",
     "PSLProgram",
+    "PotentialMatrix",
     "ProjectedGradientSolver",
     "available_backends",
     "clause_to_potential",

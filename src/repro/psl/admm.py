@@ -108,6 +108,20 @@ class ADMMSolver(MAPSolver):
         if not mrf.potentials:
             return consensus, 0
         matrix = PotentialMatrix(mrf.potentials, mrf.num_variables)
+        return self._admm(matrix, consensus)
+
+    def _admm(
+        self, matrix: "PotentialMatrix", consensus: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Run the ADMM iterations over a prebuilt :class:`PotentialMatrix`.
+
+        The loop touches only the matrix's flat arrays, so object-built and
+        array-lowered matrices with equal contents produce bit-identical
+        iterates (the array solver relies on this for its differential
+        guarantee).
+        """
+        if matrix.num_potentials == 0:
+            return consensus, 0
 
         # Flat per-literal state: each potential's local copy of the variables
         # it touches, plus the corresponding scaled dual variables.
@@ -170,3 +184,52 @@ class ADMMSolver(MAPSolver):
             if primal_residual < primal_epsilon and dual_residual < dual_epsilon:
                 break
         return consensus, iterations_run
+
+
+class ArrayADMMSolver(ADMMSolver):
+    """ADMM over a :class:`PotentialMatrix` lowered directly from the
+    columnar ground-program arrays.
+
+    Identical optimisation to :class:`ADMMSolver` — the matrix holds the
+    same values in the same order (see :meth:`PotentialMatrix.from_arrays`),
+    and the shared :meth:`_admm` loop only reads those arrays — so the
+    consensus iterates, final truth values, and rounded assignment are
+    bit-identical to the object path.  What changes is construction cost:
+    no per-clause ``HingePotential`` objects, no Python flattening loops.
+    """
+
+    name = "npsl-admm-array"
+    supports_warm_start = True
+
+    def solve(self, program: GroundProgram, warm_start=None) -> MAPSolution:
+        from ..logic.arrays import GroundProgramArrays
+        from .lukasiewicz import PotentialMatrix
+
+        started = time.perf_counter()
+        arrays = GroundProgramArrays.from_program(program)
+        matrix = PotentialMatrix.from_arrays(
+            arrays, hard_weight=self.hard_weight, squared=self.squared
+        )
+        if warm_start is not None and len(warm_start) == program.num_atoms:
+            consensus = np.clip(np.asarray(warm_start, dtype=float), 0.0, 1.0)
+        else:
+            consensus = np.ones(program.num_atoms, dtype=float)
+        truth_values, iterations = self._admm(matrix, consensus)
+        assignment = round_solution(program, truth_values)
+        elapsed = time.perf_counter() - started
+        soft_energy = float(matrix.penalties(truth_values)[~matrix.hard].sum())
+        stats = SolverStats(
+            solver=self.name,
+            runtime_seconds=elapsed,
+            iterations=iterations,
+            atoms=program.num_atoms,
+            clauses=program.num_clauses,
+            optimal=False,
+            objective_bound=float(program.max_soft_weight() - soft_energy),
+        )
+        return MAPSolution(
+            assignment=assignment,
+            objective=arrays.objective(assignment),
+            stats=stats,
+            truth_values=tuple(float(value) for value in truth_values),
+        )

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..logic.arrays import GroundProgramArrays
 from ..logic.ground import GroundClause, GroundProgram
 
 
@@ -151,6 +152,54 @@ class PotentialMatrix:
         self.variable_counts = np.bincount(
             self.literal_variable, minlength=num_variables
         ).astype(float)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: GroundProgramArrays,
+        hard_weight: float = 1_000.0,
+        squared: bool = False,
+    ) -> "PotentialMatrix":
+        """Build the flat-array view straight from :class:`GroundProgramArrays`.
+
+        This skips the per-clause :class:`HingePotential` object explosion
+        entirely: every field is derived from the CSR blocks with the same
+        values, in the same order, as ``PotentialMatrix(program_to_potentials
+        (program, ...), ...)`` would produce — so the downstream optimisers
+        are bit-identical between the object and array paths.  ``squared``
+        follows :meth:`HingeLossMRF.from_program`: soft potentials switch to
+        squared hinges, hard potentials always stay linear.  The
+        ``potentials`` object list is empty on this path.
+        """
+        matrix = cls.__new__(cls)
+        matrix.potentials = []
+        matrix.num_variables = arrays.num_atoms
+        matrix.num_potentials = arrays.num_clauses
+        matrix.literal_potential = arrays.literal_clauses
+        matrix.literal_variable = arrays.literal_atoms
+        # Positive literal → coefficient −1; negative → +1 and the constant
+        # drops by 1 (the clause_to_potential normalisation, vectorized).
+        matrix.literal_coefficient = np.where(arrays.literal_signs, -1.0, 1.0)
+        negatives = np.bincount(
+            arrays.literal_clauses,
+            weights=(~arrays.literal_signs).astype(float),
+            minlength=arrays.num_clauses,
+        )
+        matrix.constants = 1.0 - negatives
+        matrix.weights = np.where(arrays.is_hard, hard_weight, arrays.weights)
+        matrix.hard = arrays.is_hard.copy()
+        matrix.squared = (
+            ~arrays.is_hard if squared else np.zeros(arrays.num_clauses, dtype=bool)
+        )
+        matrix.norms = np.bincount(
+            matrix.literal_potential,
+            weights=matrix.literal_coefficient**2,
+            minlength=matrix.num_potentials,
+        )
+        matrix.variable_counts = np.bincount(
+            matrix.literal_variable, minlength=matrix.num_variables
+        ).astype(float)
+        return matrix
 
     def values(self, truth_values: np.ndarray) -> np.ndarray:
         """Per-potential linear values ``cᵀy + b``."""

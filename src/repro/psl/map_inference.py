@@ -14,12 +14,15 @@ from ..solvers import (
     instantiate_solver,
     wrap_decomposed,
 )
-from .admm import ADMMSolver
+from .admm import ADMMSolver, ArrayADMMSolver
 from .projected_gradient import ProjectedGradientSolver
 
-#: Back-end registry: name → zero-argument factory.
+#: Back-end registry: name → zero-argument factory.  ``admm-array`` runs the
+#: same ADMM over a potential matrix lowered from the columnar arrays
+#: (bit-identical iterates); ``admm`` stays as the differential baseline.
 BACKENDS: dict[str, Callable[[], MAPSolver]] = {
     "admm": ADMMSolver,
+    "admm-array": ArrayADMMSolver,
     "projected-gradient": ProjectedGradientSolver,
 }
 

@@ -47,7 +47,14 @@ def _infeasible_program():
 
 class TestRegistry:
     def test_available_backends(self):
-        assert set(available_backends()) == {"ilp", "cutting-plane", "branch-and-bound", "maxwalksat"}
+        assert set(available_backends()) == {
+            "ilp",
+            "cutting-plane",
+            "branch-and-bound",
+            "branch-and-bound-array",
+            "maxwalksat",
+            "maxwalksat-array",
+        }
 
     def test_make_solver_unknown(self):
         with pytest.raises(SolverNotAvailableError):

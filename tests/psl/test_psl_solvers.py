@@ -33,7 +33,7 @@ def _conflict_program():
 
 class TestRegistry:
     def test_backends(self):
-        assert set(available_backends()) == {"admm", "projected-gradient"}
+        assert set(available_backends()) == {"admm", "admm-array", "projected-gradient"}
 
     def test_unknown_backend(self):
         with pytest.raises(SolverNotAvailableError):

@@ -24,7 +24,7 @@ from repro.solvers import DecomposedSolver
 
 SEEDS = range(10)
 
-EXACT_MLN_BACKENDS = ["ilp", "cutting-plane", "branch-and-bound"]
+EXACT_MLN_BACKENDS = ["ilp", "cutting-plane", "branch-and-bound", "branch-and-bound-array"]
 
 
 def programs():
@@ -84,17 +84,18 @@ class TestExactBackends:
 
 
 class TestApproximateBackends:
-    def test_maxwalksat_within_tolerance(self, suite):
+    @pytest.mark.parametrize("backend", ["maxwalksat", "maxwalksat-array"])
+    def test_maxwalksat_within_tolerance(self, backend, suite):
         for program, optimum in suite:
-            monolithic = mln_map.solve_map(program, "maxwalksat", seed=0)
-            decomposed = mln_map.solve_map(program, "maxwalksat", decompose=True, seed=0)
+            monolithic = mln_map.solve_map(program, backend, seed=0)
+            decomposed = mln_map.solve_map(program, backend, decompose=True, seed=0)
             assert program.is_feasible(decomposed.assignment)
             # Local search on these programs reaches the optimum; keep a thin
             # tolerance so the assertion survives flip-order changes.
             assert decomposed.objective >= optimum * (1 - 1e-3)
             assert abs(decomposed.objective - monolithic.objective) <= optimum * 1e-3
 
-    @pytest.mark.parametrize("backend", ["admm", "projected-gradient"])
+    @pytest.mark.parametrize("backend", ["admm", "admm-array", "projected-gradient"])
     def test_psl_path_within_tolerance(self, backend, suite):
         for program, optimum in suite:
             monolithic = psl_map.solve_map(program, backend)
