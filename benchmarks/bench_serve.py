@@ -42,6 +42,7 @@ from repro.verify import (
     SessionDirectory,
     WorkloadConfig,
     generate_trace,
+    request_with_retry,
 )
 
 #: Acceptance floor for micro-batched serving vs the per-request loop.
@@ -353,7 +354,13 @@ def trace_setup():
 
 
 class _HttpTraceClient(threading.Thread):
-    """One trace client over a keep-alive HTTP connection."""
+    """One trace client over a keep-alive HTTP connection.
+
+    Responded 503/504s (backpressure, deadline expiry) are retried with
+    capped exponential backoff honouring the server's ``Retry-After``
+    hint — the shared policy of ``repro.verify.chaos`` — instead of being
+    treated as terminal; retry counts surface in the benchmark record.
+    """
 
     def __init__(self, client_id, program, address, directory, barrier):
         super().__init__(name=f"http-trace-{client_id}", daemon=True)
@@ -362,6 +369,7 @@ class _HttpTraceClient(threading.Thread):
         self.address = address
         self.directory = directory
         self.barrier = barrier
+        self.retries = 0
         self.error = None
 
     def run(self):
@@ -379,14 +387,9 @@ class _HttpTraceClient(threading.Thread):
             self.error = exc
 
     def _request(self, connection, method, path, document=None):
-        connection.request(
-            method,
-            path,
-            body=json.dumps(document) if document is not None else None,
-            headers={"Content-Type": "application/json"},
-        )
-        response = connection.getresponse()
-        return response.status, json.loads(response.read())
+        status, payload, retries = request_with_retry(connection, method, path, document)
+        self.retries += retries
+        return status, payload
 
     def _issue(self, connection, op):
         if op.kind == "resolve":
@@ -483,10 +486,12 @@ def test_trace_driven_serving(trace_setup):
     finally:
         server.close()
 
+    total_retries = sum(client.retries for client in clients)
     history = recorder.history(
         {"workload": "bench trace", "seed": SEED, "transport": "http"}
     )
-    assert len(history) == trace.total_ops
+    # Every retried attempt is its own server-recorded operation.
+    assert len(history) == trace.total_ops + total_retries
     report = SerializabilityChecker(system).check(history)
     assert report.ok, f"trace run is not serializable: {report.summary()}"
 
@@ -523,7 +528,7 @@ def test_trace_driven_serving(trace_setup):
         f"serving decisions: {batcher['batches']} batches, "
         f"{batcher['coalesced']} coalesced, "
         f"{batcher['response_cache_hits']} response-cache hits, "
-        f"{batcher['resolves']} solves",
+        f"{batcher['resolves']} solves, {total_retries} client retries",
         f"serializability: {report.summary()}",
     ]
     record_report(
@@ -560,6 +565,7 @@ def test_trace_driven_serving(trace_setup):
             "response_cache_hits": batcher["response_cache_hits"],
             "shared_solves": shared_solves,
             "solves": batcher["resolves"],
+            "retries": total_retries,
             "checker_search_steps": report.stats["search_steps"],
             "checker_violations": 0,
         },

@@ -13,12 +13,17 @@ workflow for scripted use::
     tecore resolve-batch kg1.csv kg1b.csv --pack sports --incremental
     tecore watch edits.stream --dataset ranieri --pack running-example
     tecore serve --pack sports --solver nrockit --port 8799
+    tecore serve --pack sports --wal-dir /var/lib/tecore/wal   # durable sessions
+    tecore verify --runs 25 --seed 2017   # serializability smoke
+    tecore chaos --seed 2017 --save-history chaos.json   # kill/restart/certify
 
 ``--graph`` accepts any file format supported by :mod:`repro.kg.io`;
 ``--program`` accepts the Datalog-style rule/constraint syntax; ``watch``
 consumes a change-stream file (see :mod:`repro.kg.io.changestream`) and
 re-resolves incrementally after every step; ``serve`` runs the concurrent
-resolution HTTP service (see :mod:`repro.serve` and ``docs/serving.md``).
+resolution HTTP service (see :mod:`repro.serve` and ``docs/serving.md``);
+``chaos`` SIGKILLs a served workload mid-flight and certifies the combined
+pre/post-restart history (see :mod:`repro.verify.chaos`).
 """
 
 from __future__ import annotations
@@ -220,6 +225,114 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="serve for a fixed duration then exit (smoke tests / CI)",
     )
+    serve.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="write-ahead session log directory; enables crash recovery "
+        "by replay on restart (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--fsync-policy",
+        default="batch",
+        choices=("always", "batch", "never"),
+        help="when WAL appends are fsynced (default: batch)",
+    )
+    serve.add_argument(
+        "--fsync-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="records per fsync under --fsync-policy batch",
+    )
+    serve.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="max seconds between fsyncs under --fsync-policy batch",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="fold the WAL into session snapshots every N records",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; expiry answers 504 with Retry-After",
+    )
+    serve.add_argument(
+        "--shed-resolve-at",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed POST /resolve (503) once the batch queue holds N requests, "
+        "keeping headroom for session traffic (response-cache hits still served)",
+    )
+    serve.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="deterministic fault schedule, e.g. 'crash@wal.append:3,"
+        "solver_slow@batcher.solve:1x5' (testing/chaos only)",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="SIGKILL a live `tecore serve --wal-dir` mid-workload, restart "
+        "it, and certify the combined history (see docs/verification.md)",
+    )
+    chaos.add_argument(
+        "--pack",
+        default="running-example",
+        help=f"predefined pack ({', '.join(available_packs())})",
+    )
+    add_solver_arguments(chaos)
+    chaos.add_argument("--seed", type=int, default=2017, help="workload + fault seed")
+    chaos.add_argument("--clients", type=int, default=3, help="concurrent trace clients")
+    chaos.add_argument(
+        "--ops-per-client", type=int, default=8, help="operations per client"
+    )
+    chaos.add_argument("--sessions", type=int, default=2, help="logical sessions per trace")
+    chaos.add_argument(
+        "--kill-after",
+        type=int,
+        default=8,
+        metavar="N",
+        help="SIGKILL the server once N operations have completed",
+    )
+    chaos.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="explicit fault schedule for the pre-crash server "
+        "(default: derive one from --seed)",
+    )
+    chaos.add_argument(
+        "--fault-count",
+        type=int,
+        default=2,
+        metavar="N",
+        help="seeded faults to derive when --faults is not given",
+    )
+    chaos.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="WAL directory to use (default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--save-history",
+        metavar="HISTORY.json",
+        help="write the combined history (re-checkable via `tecore verify`)",
+    )
+    chaos.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the in-process serializability check (record only)",
+    )
+    chaos.add_argument("--json", action="store_true", help="emit a JSON report")
 
     verify = subparsers.add_parser(
         "verify",
@@ -488,17 +601,37 @@ def _command_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_coalesce,
         response_cache=args.response_cache,
         max_sessions=args.max_sessions,
+        wal_dir=args.wal_dir,
+        fsync_policy=args.fsync_policy,
+        fsync_batch=args.fsync_batch,
+        fsync_interval=args.fsync_interval,
+        compact_every=args.compact_every,
+        request_deadline=args.request_deadline,
+        shed_resolve_at=args.shed_resolve_at,
     )
+    injector = None
+    if args.faults:
+        from .verify.faults import FaultInjector, parse_fault_spec
+
+        try:
+            injector = FaultInjector(parse_fault_spec(args.faults))
+        except ValueError as error:
+            raise TecoreError(str(error)) from error
     try:
-        server = make_server(system, config)
+        server = make_server(system, config, injector=injector)
     except (ValueError, OverflowError) as error:
         # Bad tuning values (e.g. --batch-max 0) follow the CLI's
         # `error: <message>` contract instead of surfacing a traceback.
         raise TecoreError(str(error)) from error
+    durability = ""
+    if args.wal_dir:
+        recovery = server.service.recovery
+        restored = recovery.sessions_restored if recovery is not None else 0
+        durability = f", wal={args.wal_dir} ({restored} sessions recovered)"
     print(
         f"serving on {server.url} (solver={args.solver}, "
         f"batch={args.batch_max} @ {args.batch_delay * 1000:.0f} ms, "
-        f"queue={args.queue_limit}, sessions={args.max_sessions})",
+        f"queue={args.queue_limit}, sessions={args.max_sessions}{durability})",
         flush=True,
     )
     try:
@@ -511,6 +644,49 @@ def _command_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from .verify.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        clients=args.clients,
+        ops_per_client=args.ops_per_client,
+        sessions=args.sessions,
+        kill_after=args.kill_after,
+        faults=args.faults,
+        fault_count=args.fault_count,
+        pack=args.pack,
+        solver=args.solver,
+    )
+    report, _history = run_chaos(
+        config,
+        wal_dir=args.wal_dir,
+        history_path=args.save_history,
+        check=not args.no_check,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"chaos seed {report.seed}: {report.total_ops} ops "
+            f"({report.pending_ops} pending), killed after {report.killed_after}, "
+            f"{report.recovered_sessions} sessions recovered, "
+            f"{report.retries} retries, faults [{report.fault_spec}]"
+        )
+        if report.serializable is not None:
+            verdict = (
+                "combined history serializable"
+                if report.serializable
+                else f"{len(report.violations)} violation(s)"
+            )
+            print(verdict)
+        if report.history_path:
+            print(f"history saved to {report.history_path}")
+    if report.serializable is False:
+        return 1
     return 0
 
 
@@ -629,6 +805,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_watch(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
         if args.command == "verify":
             return _command_verify(args)
         parser.error(f"unknown command {args.command!r}")

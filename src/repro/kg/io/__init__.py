@@ -19,7 +19,13 @@ from typing import Union
 from ...errors import ParseError
 from ..graph import TemporalKnowledgeGraph
 from . import csv_io, json_io, tqlines
-from .changestream import ChangeStep, iter_change_steps, load_change_stream
+from .changestream import (
+    ChangeStep,
+    append_change_step,
+    format_change_step,
+    iter_change_steps,
+    load_change_stream,
+)
 
 _LOADERS = {
     ".tq": tqlines.load,
@@ -60,7 +66,9 @@ def save_graph(graph: TemporalKnowledgeGraph, path: Union[str, Path]) -> Path:
 
 __all__ = [
     "ChangeStep",
+    "append_change_step",
     "csv_io",
+    "format_change_step",
     "iter_change_steps",
     "json_io",
     "load_change_stream",

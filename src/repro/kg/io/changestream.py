@@ -21,17 +21,29 @@ Syntax:
   and produces no step.
 * ``#`` comments and blank lines are ignored.
 * A trailing step without an explicit ``resolve`` is closed at end of input.
+
+Torn tails: a writer that dies mid-append (power loss, SIGKILL) leaves a
+final line without a terminating newline.  :func:`iter_change_steps` treats
+an unparsable *final, unterminated* line as such a torn write — it warns
+and stops instead of raising, so a recovering reader keeps every complete
+step.  A bad line anywhere else is still a hard :class:`ParseError`.
+
+Writing: :func:`append_change_step` appends one step as a single
+``write`` + ``flush`` (atomic with respect to same-process readers and,
+up to the torn-tail rule above, crash-tolerant), and
+:func:`format_change_step` renders the textual form it writes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
 from ...errors import ParseError
 from ..triple import TemporalFact
-from .tqlines import parse_line
+from .tqlines import format_fact, parse_line
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,13 +62,38 @@ class ChangeStep:
 
 
 def iter_change_steps(
-    lines: Iterable[str], source: str | None = None
+    lines: Iterable[str],
+    source: str | None = None,
+    tolerate_torn_tail: bool | None = None,
 ) -> Iterator[ChangeStep]:
-    """Parse a change stream into :class:`ChangeStep` batches."""
+    """Parse a change stream into :class:`ChangeStep` batches.
+
+    A *final* line that fails to parse and lacks a terminating newline is
+    taken for a torn write (the producer died mid-append): it is dropped
+    with a :class:`RuntimeWarning` instead of raising, and parsing stops.
+    ``tolerate_torn_tail`` controls when that applies — ``None`` (the
+    default) auto-detects newline-framed input (file iteration keeps the
+    ``\\n`` on every complete line, so an unterminated tail is evidence of
+    a torn append; ``splitlines()``-style input carries no newlines at all
+    and stays strict), ``True`` forces tolerance, ``False`` forces strict
+    parsing.
+    """
     adds: list[TemporalFact] = []
     removes: list[TemporalFact] = []
-    for number, raw in enumerate(lines, start=1):
+    iterator = iter(lines)
+    raw = next(iterator, None)
+    number = 0
+    framed = False  # has any earlier line carried its newline?
+    while raw is not None:
+        number += 1
+        lookahead = next(iterator, None)
+        tolerant = framed if tolerate_torn_tail is None else tolerate_torn_tail
+        is_torn_candidate = (
+            lookahead is None and not raw.endswith("\n") and tolerant
+        )
+        framed = framed or raw.endswith("\n")
         line = raw.strip()
+        raw = lookahead
         if not line or line.startswith("#"):
             continue
         if line.lower() == "resolve":
@@ -67,25 +104,37 @@ def iter_change_steps(
                 yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
                 adds, removes = [], []
             continue
-        if line.startswith("+"):
-            op, rest = "add", line[1:]
-        elif line.startswith("-"):
-            op, rest = "remove", line[1:]
-        else:
-            head, _, rest = line.partition(" ")
-            op = head.lower()
-            if op not in ("add", "remove"):
+        try:
+            if line.startswith("+"):
+                op, rest = "add", line[1:]
+            elif line.startswith("-"):
+                op, rest = "remove", line[1:]
+            else:
+                head, _, rest = line.partition(" ")
+                op = head.lower()
+                if op not in ("add", "remove"):
+                    raise ParseError(
+                        f"change-stream line must start with '+', '-', 'add', "
+                        f"'remove', or 'resolve'; got {line!r}",
+                        line=number,
+                        source=source,
+                    )
+            fact = parse_line(rest, line_number=number, source=source)
+            if fact is None:
                 raise ParseError(
-                    f"change-stream line must start with '+', '-', 'add', "
-                    f"'remove', or 'resolve'; got {line!r}",
-                    line=number,
-                    source=source,
+                    f"missing fact after {op!r}", line=number, source=source
                 )
-        fact = parse_line(rest, line_number=number, source=source)
-        if fact is None:
-            raise ParseError(
-                f"missing fact after {op!r}", line=number, source=source
-            )
+        except ParseError:
+            if is_torn_candidate:
+                warnings.warn(
+                    f"change stream {source or '<stream>'}: dropping torn "
+                    f"final line {number} ({line!r}); the producer likely "
+                    f"died mid-append",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
         (adds if op == "add" else removes).append(fact)
     if adds or removes:
         yield ChangeStep(adds=tuple(adds), removes=tuple(removes))
@@ -96,3 +145,27 @@ def load_change_stream(path_or_file: Union[str, Path]) -> list[ChangeStep]:
     path = Path(path_or_file)
     with path.open("r", encoding="utf-8") as handle:
         return list(iter_change_steps(handle, source=str(path)))
+
+
+def format_change_step(step: ChangeStep) -> str:
+    """Render one step in the change-stream text form, ``resolve``-closed."""
+    lines = [f"- {format_fact(fact)}" for fact in step.removes]
+    lines += [f"+ {format_fact(fact)}" for fact in step.adds]
+    lines.append("resolve")
+    return "\n".join(lines) + "\n"
+
+
+def append_change_step(path_or_file: Union[str, Path], step: ChangeStep) -> int:
+    """Append one step to a change-stream file; returns bytes written.
+
+    The whole step is rendered first and appended with a single ``write``
+    followed by ``flush``, so a reader never observes a half-step through
+    the same file object and a crash can tear at most the final line —
+    which :func:`iter_change_steps` tolerates.
+    """
+    payload = format_change_step(step)
+    path = Path(path_or_file)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+    return len(payload.encode("utf-8"))

@@ -12,11 +12,23 @@ A stdlib-only concurrent HTTP layer over the library's serving primitives:
 * :mod:`repro.serve.protocol` — the JSON wire codecs (reusing
   :mod:`repro.kg.io.json_io`);
 * :mod:`repro.serve.metrics` — request counters and latency percentiles
-  for ``GET /stats``.
+  for ``GET /stats``;
+* :mod:`repro.serve.wal` — the write-ahead session log behind
+  ``tecore serve --wal-dir`` (checksummed frames, fsync policies,
+  compaction);
+* :mod:`repro.serve.recovery` — crash recovery by replaying the log
+  through :class:`~repro.core.session.ResolutionSession`.
 """
 
-from .batcher import BatchObserver, MicroBatcher, ServiceOverloadedError
+from .batcher import (
+    BatchObserver,
+    MicroBatcher,
+    RequestDeadlineExceeded,
+    ServiceOverloadedError,
+)
 from .metrics import LatencyRecorder, ServiceMetrics
+from .recovery import RecoveryReport, compact_records, fold_records, recover_sessions
+from .wal import WalError, WriteAheadLog
 from .protocol import (
     ProtocolError,
     decode_edits,
@@ -34,6 +46,8 @@ __all__ = [
     "LatencyRecorder",
     "MicroBatcher",
     "ProtocolError",
+    "RecoveryReport",
+    "RequestDeadlineExceeded",
     "ResolutionService",
     "ServerConfig",
     "ServiceMetrics",
@@ -42,11 +56,16 @@ __all__ = [
     "SessionPool",
     "TecoreHTTPServer",
     "UnknownSessionError",
+    "WalError",
+    "WriteAheadLog",
+    "compact_records",
     "decode_edits",
     "decode_graph",
     "decode_json",
     "encode_result",
+    "fold_records",
     "graph_content_key",
     "make_server",
+    "recover_sessions",
     "stable_view",
 ]

@@ -49,6 +49,16 @@ class ServiceOverloadedError(TecoreError):
     """The request queue is full (served as HTTP 503 with Retry-After)."""
 
 
+class RequestDeadlineExceeded(TecoreError):
+    """A request overran its deadline (served as HTTP 504 with Retry-After).
+
+    Raised both by :meth:`MicroBatcher.submit` when the batch-queue wait
+    exceeds its timeout and by the session endpoints when a per-session
+    lock cannot be acquired within the configured ``request_deadline``.
+    The work already enqueued may still complete server-side — the client
+    only loses the response, exactly like a real gateway timeout."""
+
+
 class _PendingRequest:
     __slots__ = ("graph", "key", "tag", "arrival", "done", "result", "error")
 
@@ -108,6 +118,11 @@ class MicroBatcher:
     observer:
         Optional :class:`BatchObserver` notified of cache hits and
         coalesced-group membership (the history recorder's seam).
+    injector:
+        Optional fault-injection seam (see :mod:`repro.verify.faults`);
+        fires at ``batcher.submit`` (before queueing, on the caller's
+        thread) and ``batcher.solve`` (before each batch resolve, on the
+        flush worker — whose errors are delivered to every waiter).
     """
 
     def __init__(
@@ -119,6 +134,7 @@ class MicroBatcher:
         coalesce: bool = True,
         cache_size: int = 128,
         observer: Optional[BatchObserver] = None,
+        injector: Any = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -137,6 +153,7 @@ class MicroBatcher:
             ComponentSolutionCache(max_entries=cache_size) if cache_size else None
         )
         self.observer = observer
+        self.injector = injector
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: deque[_PendingRequest] = deque()
@@ -163,13 +180,23 @@ class MicroBatcher:
         graph: TemporalKnowledgeGraph,
         timeout: Optional[float] = 60.0,
         tag: Any = None,
+        shed_depth: Optional[int] = None,
     ) -> ResolutionResult:
         """Serve one graph: response cache, else enqueue and await its batch.
 
         ``tag`` is an opaque correlation value (e.g. a history-recorder
         operation id) echoed back through the :class:`BatchObserver`
         callbacks; it never influences serving decisions.
+
+        ``shed_depth`` lowers the admission bound for *this* submission
+        below ``queue_limit`` — graceful degradation: the service sheds
+        one-shot ``/resolve`` traffic at a shallower queue depth so session
+        edits (which never enter this queue) keep their request threads.
+        The response cache is consulted before admission, so repeats of
+        recently served graphs are answered even under full saturation.
         """
+        if self.injector is not None:
+            self.injector.fire("batcher.submit", tag=tag)
         pending = _PendingRequest(graph, self.coalesce or self.cache is not None, tag)
         with self._wakeup:
             if self._closed:
@@ -181,16 +208,21 @@ class MicroBatcher:
                     if self.observer is not None and tag is not None:
                         self.observer.on_cache_hit(tag)
                     return cached
-            if len(self._queue) >= self.queue_limit:
+            limit = self.queue_limit
+            if shed_depth is not None:
+                limit = min(limit, shed_depth)
+            if len(self._queue) >= limit:
                 self.rejected_total += 1
                 raise ServiceOverloadedError(
-                    f"resolution queue is full ({self.queue_limit} waiting requests)"
+                    f"resolution queue is full ({limit} waiting requests)"
                 )
             self._queue.append(pending)
             self.enqueued_total += 1
             self._wakeup.notify()
         if not pending.done.wait(timeout):
-            raise TecoreError(f"resolution timed out after {timeout:g}s in the batch queue")
+            raise RequestDeadlineExceeded(
+                f"resolution timed out after {timeout:g}s in the batch queue"
+            )
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None
@@ -298,6 +330,8 @@ class MicroBatcher:
         coalesced = 0
         flushed_groups: list[list[Any]] = []
         try:
+            if self.injector is not None:
+                self.injector.fire("batcher.solve", size=len(batch))
             if self.coalesce:
                 groups: dict[tuple, list[_PendingRequest]] = {}
                 order: list[tuple] = []

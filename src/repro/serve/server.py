@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import re
+import secrets
 import threading
 import time
 from dataclasses import dataclass
@@ -43,7 +44,8 @@ from urllib.parse import urlsplit
 
 from ..core.tecore import TeCoRe
 from ..errors import TecoreError
-from .batcher import MicroBatcher, ServiceOverloadedError
+from ..kg.io import json_io
+from .batcher import MicroBatcher, RequestDeadlineExceeded, ServiceOverloadedError
 from .metrics import ServiceMetrics
 from .protocol import (
     ProtocolError,
@@ -52,7 +54,9 @@ from .protocol import (
     decode_json,
     encode_result,
 )
+from .recovery import RecoveryReport, compact_records, recover_from_dir
 from .sessions import SessionPool, UnknownSessionError
+from .wal import WalError, WriteAheadLog
 
 _SESSION_ROUTE = re.compile(r"^/sessions/(?P<sid>[0-9a-f]+)(?P<tail>/edits|/result)?$")
 
@@ -79,6 +83,21 @@ class ServerConfig:
     request_timeout: float = 60.0
     #: Latency samples kept per endpoint for the /stats percentiles.
     metrics_window: int = 1024
+    #: Durability: directory of the write-ahead session log (None disables).
+    wal_dir: str | None = None
+    #: WAL fsync policy: "always", "batch", or "never" (see serve/wal.py).
+    fsync_policy: str = "batch"
+    #: "batch" policy: fsync every this many records …
+    fsync_batch: int = 8
+    #: … or this many seconds after the last fsync, whichever first.
+    fsync_interval: float = 0.05
+    #: Compact the log once this many uncompacted records accumulate.
+    compact_every: int = 256
+    #: End-to-end deadline per request (seconds); overruns answer 504.
+    request_deadline: float | None = None
+    #: Shed /resolve at this queue depth (< queue_limit) so session edits
+    #: keep their request threads under saturation (None disables).
+    shed_resolve_at: int | None = None
 
 
 class ResolutionService:
@@ -99,10 +118,12 @@ class ResolutionService:
         system: TeCoRe,
         config: ServerConfig | None = None,
         recorder: Any = None,
+        injector: Any = None,
     ) -> None:
         self.system = system
         self.config = config or ServerConfig()
         self.recorder = recorder
+        self.injector = injector
         self.metrics = ServiceMetrics(window=self.config.metrics_window)
         self.batcher = MicroBatcher(
             system.shared_resolver(),
@@ -112,12 +133,31 @@ class ResolutionService:
             coalesce=self.config.coalesce,
             cache_size=self.config.response_cache,
             observer=recorder,
+            injector=injector,
         )
-        self.sessions = SessionPool(system, max_sessions=self.config.max_sessions)
+        self.sessions = SessionPool(
+            system, max_sessions=self.config.max_sessions, injector=injector
+        )
+        # Durability: replay whatever a previous process left in the log
+        # *before* opening it for appends (the WAL constructor also trims a
+        # torn tail so new frames never follow damaged bytes).
+        self.wal: WriteAheadLog | None = None
+        self.recovery: RecoveryReport | None = None
+        if self.config.wal_dir is not None:
+            self.recovery = recover_from_dir(system, self.sessions, self.config.wal_dir)
+            self.wal = WriteAheadLog(
+                self.config.wal_dir,
+                fsync_policy=self.config.fsync_policy,
+                fsync_batch=self.config.fsync_batch,
+                fsync_interval=self.config.fsync_interval,
+                injector=injector,
+            )
         self.started = time.monotonic()
 
     def close(self) -> None:
         self.batcher.close()
+        if self.wal is not None:
+            self.wal.close()
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -130,17 +170,24 @@ class ResolutionService:
         path = split.path.rstrip("/") or "/"
         query = split.query
         endpoint, started = self._endpoint_label(method, path), time.perf_counter()
+        deadline = (
+            time.monotonic() + self.config.request_deadline
+            if self.config.request_deadline is not None
+            else None
+        )
         op = None
         if self.recorder is not None:
             op = self._begin_record(method, path, query, body)
         try:
-            status, payload = self._dispatch(method, path, query, body, op)
+            status, payload = self._dispatch(method, path, query, body, op, deadline)
         except ProtocolError as exc:
             status, payload = 400, {"error": str(exc)}
         except UnknownSessionError as exc:
             status, payload = 404, {"error": str(exc)}
-        except ServiceOverloadedError as exc:
+        except (ServiceOverloadedError, WalError) as exc:
             status, payload = 503, {"error": str(exc), "retry_after_seconds": 1}
+        except RequestDeadlineExceeded as exc:
+            status, payload = 504, {"error": str(exc), "retry_after_seconds": 1}
         except TecoreError as exc:
             status, payload = 500, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - a request must never kill the connection silently
@@ -150,7 +197,26 @@ class ResolutionService:
         )
         if op is not None:
             self.recorder.complete(op, status, payload)
+        self._maybe_compact()
         return status, payload
+
+    def _maybe_compact(self) -> None:
+        """Fold the log into per-session snapshots once it grows long enough.
+
+        Runs on the request thread that tipped the counter, after its
+        response is recorded and with no session locks held; the fold
+        itself needs only the WAL's own lock (it replays graph mutations,
+        never solves), so concurrent requests keep flowing — at worst one
+        racing thread compacts an already-fresh segment, which is a no-op.
+        """
+        if (
+            self.wal is not None
+            and self.wal.records_since_compaction >= self.config.compact_every
+        ):
+            try:
+                self.wal.compact(compact_records)
+            except (TecoreError, OSError):
+                pass  # never fail a request over housekeeping; retried next time
 
     #: (method, path) → recorded operation kind for the fixed routes.
     _RECORDED_KINDS = {
@@ -201,37 +267,86 @@ class ResolutionService:
         return "unmatched"
 
     def _dispatch(
-        self, method: str, path: str, query: str, body: bytes, op: Any = None
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        op: Any = None,
+        deadline: float | None = None,
     ) -> tuple[int, dict[str, Any]]:
+        if self.injector is not None:
+            self.injector.fire("server.dispatch", method=method, path=path)
         if path == "/healthz" and method == "GET":
             return 200, self._health()
         if path == "/stats" and method == "GET":
             return 200, self._stats()
         if path == "/resolve" and method == "POST":
-            return 200, self._resolve(decode_json(body), op)
+            return 200, self._resolve(decode_json(body), op, deadline)
         if path == "/sessions" and method == "POST":
             return 201, self._create_session(decode_json(body))
         match = _SESSION_ROUTE.match(path)
         if match:
             sid, tail = match.group("sid"), match.group("tail")
             if tail == "/edits" and method == "POST":
-                return 200, self._apply_edits(sid, decode_json(body))
+                return 200, self._apply_edits(sid, decode_json(body), deadline)
             if tail == "/result" and method == "GET":
-                return 200, self._session_result(sid, query)
+                return 200, self._session_result(sid, query, deadline)
             if tail is None and method == "DELETE":
-                return 200, self._delete_session(sid)
+                return 200, self._delete_session(sid, deadline)
         return 404, {"error": f"no endpoint {method} {path}"}
+
+    # ------------------------------------------------------------------ #
+    # Deadlines
+    # ------------------------------------------------------------------ #
+    def _remaining(self, deadline: float | None) -> float | None:
+        """Seconds left before ``deadline`` (None = no deadline)."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RequestDeadlineExceeded(
+                f"request deadline of {self.config.request_deadline:g}s exceeded"
+            )
+        return remaining
+
+    def _acquire(self, entry: Any, deadline: float | None) -> None:
+        """Take a session lock within the request deadline (else 504)."""
+        remaining = self._remaining(deadline)
+        if remaining is None:
+            entry.lock.acquire()
+        elif not entry.lock.acquire(timeout=remaining):
+            raise RequestDeadlineExceeded(
+                f"request deadline of {self.config.request_deadline:g}s exceeded "
+                "waiting for the session lock"
+            )
 
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
-    def _resolve(self, document: Mapping[str, Any], op: Any = None) -> dict[str, Any]:
+    def _resolve(
+        self,
+        document: Mapping[str, Any],
+        op: Any = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
         graph = decode_graph(document)
+        timeout = self.config.request_timeout
+        remaining = self._remaining(deadline)
+        if remaining is not None:
+            timeout = min(timeout, remaining)
         result = self.batcher.submit(
             graph,
-            timeout=self.config.request_timeout,
+            timeout=timeout,
             tag=op.op_id if op is not None else None,
+            shed_depth=self.config.shed_resolve_at,
         )
+        if self.wal is not None:
+            # Audit record of an *accepted* resolve — stateless, so it is
+            # appended after success and folded away by compaction.
+            self.wal.append(
+                {"kind": "resolve", "name": graph.name, "facts": len(graph)}
+            )
         return encode_result(result, include_graphs=bool(document.get("include_graphs")))
 
     def _create_session(self, document: Mapping[str, Any]) -> dict[str, Any]:
@@ -239,10 +354,27 @@ class ResolutionService:
         cache_size = document.get("cache_size", 8192)
         if not isinstance(cache_size, int) or cache_size < 1:
             raise ProtocolError(f"cache_size must be a positive integer, got {cache_size!r}")
+        warm_start = bool(document.get("warm_start"))
+        session_id = None
+        if self.wal is not None:
+            # Log-before-apply: pin the id, make the create durable, and
+            # only then run the initial resolve.  A crash in between is
+            # replayed deterministically at the next startup.
+            session_id = secrets.token_hex(8)
+            self.wal.append(
+                {
+                    "kind": "create",
+                    "session_id": session_id,
+                    "graph": json_io.to_dict(graph),
+                    "warm_start": warm_start,
+                    "cache_size": cache_size,
+                }
+            )
         entry = self.sessions.create(
             graph,
-            warm_start=bool(document.get("warm_start")),
+            warm_start=warm_start,
             cache_size=cache_size,
+            session_id=session_id,
         )
         with entry.lock:
             payload = encode_result(
@@ -251,56 +383,100 @@ class ResolutionService:
             )
         return {"session_id": entry.session_id, "result": payload}
 
-    def _apply_edits(self, sid: str, document: Mapping[str, Any]) -> dict[str, Any]:
+    def _apply_edits(
+        self, sid: str, document: Mapping[str, Any], deadline: float | None = None
+    ) -> dict[str, Any]:
         adds, removes = decode_edits(document)
         entry = self.sessions.get(sid)
-        with entry.lock:
+        self._acquire(entry, deadline)
+        try:
             # Re-check after winning the lock: a concurrent DELETE may have
             # reported the session's final state in the meantime, and an
             # edit applied after that response would be unserializable.
             if entry.closed:
                 raise UnknownSessionError(f"no session {sid!r}")
+            if self.wal is not None:
+                # Log-before-apply, under the session lock: the per-session
+                # record order in the log is exactly the apply order.
+                self.wal.append(
+                    {
+                        "kind": "edit",
+                        "session_id": sid,
+                        "adds": [json_io.fact_to_dict(fact) for fact in adds],
+                        "removes": [json_io.fact_to_dict(fact) for fact in removes],
+                    }
+                )
+            if self.injector is not None:
+                self.injector.fire("session.apply", session_id=sid)
             result = entry.session.apply(adds=adds, removes=removes)
             entry.edits_applied += 1
             payload = encode_result(
                 result, include_graphs=bool(document.get("include_graphs"))
             )
+        finally:
+            entry.lock.release()
         return {"session_id": sid, "result": payload}
 
-    def _session_result(self, sid: str, query: str) -> dict[str, Any]:
+    def _session_result(
+        self, sid: str, query: str, deadline: float | None = None
+    ) -> dict[str, Any]:
         entry = self.sessions.get(sid)
         include_graphs = "include_graphs=1" in query or "include_graphs=true" in query
-        with entry.lock:
+        self._acquire(entry, deadline)
+        try:
             if entry.closed:
                 raise UnknownSessionError(f"no session {sid!r}")
             payload = encode_result(entry.session.result, include_graphs=include_graphs)
+        finally:
+            entry.lock.release()
         return {"session_id": sid, "result": payload}
 
-    def _delete_session(self, sid: str) -> dict[str, Any]:
-        entry = self.sessions.delete(sid)
-        with entry.lock:
+    def _delete_session(self, sid: str, deadline: float | None = None) -> dict[str, Any]:
+        # Tombstone-before-unroute: the delete must be durable *before* the
+        # final state is reported (and before the id stops routing), so a
+        # post-crash recovery can never resurrect a session whose deletion
+        # a client observed.  A WAL failure here leaves the session alive.
+        entry = self.sessions.get(sid)
+        self._acquire(entry, deadline)
+        try:
+            if entry.closed:
+                raise UnknownSessionError(f"no session {sid!r}")
+            if self.wal is not None:
+                self.wal.append({"kind": "delete", "session_id": sid})
             entry.closed = True
             facts = len(entry.session.graph)
             edits = entry.edits_applied
+        finally:
+            entry.lock.release()
+        self.sessions.discard(sid)
         return {"session_id": sid, "deleted": True, "facts": facts, "edits_applied": edits}
 
     def _health(self) -> dict[str, Any]:
-        return {
+        health = {
             "status": "ok",
             "solver": self.system.solver,
             "engine": self.system.engine,
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "sessions": len(self.sessions),
             "queue_depth": self.batcher.queue_depth,
+            "durable": self.wal is not None,
         }
+        if self.recovery is not None:
+            health["recovered_sessions"] = self.recovery.sessions_restored
+        return health
 
     def _stats(self) -> dict[str, Any]:
-        return {
+        stats = {
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "endpoints": self.metrics.snapshot(),
             "batcher": self.batcher.snapshot(),
             "sessions": self.sessions.snapshot(),
         }
+        if self.wal is not None:
+            stats["wal"] = self.wal.snapshot()
+        if self.recovery is not None:
+            stats["recovery"] = self.recovery.as_dict()
+        return stats
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -321,7 +497,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
-        if status == 503:
+        if status in (503, 504):
             self.send_header("Retry-After", "1")
         self.end_headers()
         self.wfile.write(encoded)
@@ -362,11 +538,17 @@ class TecoreHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    system: TeCoRe, config: ServerConfig | None = None, recorder: Any = None
+    system: TeCoRe,
+    config: ServerConfig | None = None,
+    recorder: Any = None,
+    injector: Any = None,
 ) -> TecoreHTTPServer:
     """Build a ready-to-run server (``port=0`` picks a free port).
 
     ``recorder`` optionally attaches a history recorder (see
-    :mod:`repro.verify.history`) to the underlying service.
+    :mod:`repro.verify.history`); ``injector`` a fault-injection schedule
+    (see :mod:`repro.verify.faults`) — both default to inert.
     """
-    return TecoreHTTPServer(ResolutionService(system, config, recorder=recorder))
+    return TecoreHTTPServer(
+        ResolutionService(system, config, recorder=recorder, injector=injector)
+    )

@@ -68,18 +68,28 @@ class SessionEntry:
 
 
 class SessionPool:
-    """LRU-bounded, per-session-locked pool of resolution sessions."""
+    """LRU-bounded, per-session-locked pool of resolution sessions.
 
-    def __init__(self, system: "TeCoRe", max_sessions: int = 64) -> None:
+    ``injector`` is the fault-injection seam (see
+    :mod:`repro.verify.faults`); when given, it fires at ``pool.create``
+    (before the initial resolve) and ``pool.evict`` (under the pool lock,
+    as an entry falls off the LRU end).
+    """
+
+    def __init__(
+        self, system: "TeCoRe", max_sessions: int = 64, injector: Any = None
+    ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         self._system = system
         self.max_sessions = max_sessions
+        self.injector = injector
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
         self.created_total = 0
         self.evicted_total = 0
         self.deleted_total = 0
+        self.restored_total = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -91,21 +101,55 @@ class SessionPool:
         graph: TemporalKnowledgeGraph,
         warm_start: bool = False,
         cache_size: int = 8192,
+        session_id: str | None = None,
     ) -> SessionEntry:
-        """Open a session (runs the initial resolve) and register it."""
+        """Open a session (runs the initial resolve) and register it.
+
+        ``session_id`` lets the durable serve path pin the id it already
+        wrote to the write-ahead log; by default a fresh random id is
+        generated here.
+        """
+        if self.injector is not None:
+            self.injector.fire("pool.create", session_id=session_id)
         # The initial resolve is the expensive part — do it outside the pool
         # lock so concurrent creates don't serialise on each other.
         session = self._system.session(
             graph, warm_start=warm_start, cache_size=cache_size
         )
-        session_id = secrets.token_hex(8)
+        if session_id is None:
+            session_id = secrets.token_hex(8)
         entry = SessionEntry(session_id, session)
         with self._lock:
             self._entries[session_id] = entry
             self.created_total += 1
             while len(self._entries) > self.max_sessions:
-                self._entries.popitem(last=False)
+                evicted_id, _ = self._entries.popitem(last=False)
                 self.evicted_total += 1
+                if self.injector is not None:
+                    self.injector.fire("pool.evict", session_id=evicted_id)
+        return entry
+
+    def restore(
+        self,
+        session_id: str,
+        graph: TemporalKnowledgeGraph,
+        warm_start: bool = False,
+        cache_size: int = 8192,
+        edits_applied: int = 0,
+    ) -> SessionEntry:
+        """Re-open a recovered session under its original id.
+
+        Used only by crash recovery (:mod:`repro.serve.recovery`):
+        identical to :meth:`create` except the id is pinned and the
+        ``edits_applied`` counter is seeded from the log (compaction bakes
+        earlier edits into the snapshot graph).
+        """
+        entry = self.create(
+            graph, warm_start=warm_start, cache_size=cache_size, session_id=session_id
+        )
+        entry.edits_applied = edits_applied
+        with self._lock:
+            self.restored_total += 1
         return entry
 
     def get(self, session_id: str) -> SessionEntry:
@@ -125,6 +169,17 @@ class SessionPool:
             self.deleted_total += 1
             return entry
 
+    def discard(self, session_id: str) -> None:
+        """Unroute a session if still present (no error when evicted).
+
+        The durable delete path closes the entry under its own lock *after*
+        logging the tombstone, then unroutes it here — by which time an LRU
+        eviction may already have dropped it from the map.
+        """
+        with self._lock:
+            if self._entries.pop(session_id, None) is not None:
+                self.deleted_total += 1
+
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict[str, Any]:
         """Pool and aggregated component-cache statistics for ``/stats``."""
@@ -136,6 +191,7 @@ class SessionPool:
                 "created": self.created_total,
                 "evicted": self.evicted_total,
                 "deleted": self.deleted_total,
+                "restored": self.restored_total,
             }
         hits = misses = edits = steps = 0
         for entry in entries:

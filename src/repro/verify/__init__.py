@@ -14,19 +14,38 @@ noise).  Three layers, each usable on its own:
   bit-for-bit?  On failure, a minimal violating sub-history;
 * :mod:`repro.verify.workloads` / :mod:`repro.verify.harness` — the
   pressure: seeded multi-client schedules executed against a live
-  instrumented :class:`~repro.serve.server.ResolutionService`.
+  instrumented :class:`~repro.serve.server.ResolutionService`;
+* :mod:`repro.verify.faults` / :mod:`repro.verify.chaos` — the violence:
+  deterministic fault injection over the serving seams, and end-to-end
+  kill-restart-certify runs against a real ``tecore serve`` subprocess
+  (``tecore chaos``).
 
 Driven by ``tecore verify`` (CI smoke and nightly soak), ``tests/verify``,
 and the trace mode of ``benchmarks/bench_serve.py``.  See
 ``docs/verification.md`` for the full story.
 """
 
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    RetryPolicy,
+    request_with_retry,
+    run_chaos,
+)
 from .checker import (
     CheckReport,
     SearchBudgetExceeded,
     SerializabilityChecker,
     Violation,
     check_history,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    parse_fault_spec,
+    seeded_schedule,
 )
 from .history import (
     HISTORY_FORMAT_VERSION,
@@ -50,12 +69,19 @@ from .workloads import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
     "HISTORY_FORMAT_VERSION",
     "NOISE_MODELS",
+    "ChaosConfig",
+    "ChaosReport",
     "CheckReport",
+    "FaultInjector",
+    "FaultRule",
     "History",
     "HistoryRecorder",
+    "InjectedCrash",
     "Operation",
+    "RetryPolicy",
     "SearchBudgetExceeded",
     "SerializabilityChecker",
     "SessionDirectory",
@@ -66,7 +92,11 @@ __all__ = [
     "check_history",
     "generate_trace",
     "harness_server_config",
+    "parse_fault_spec",
     "record_trace",
     "record_workload",
+    "request_with_retry",
+    "run_chaos",
+    "seeded_schedule",
     "zipf_weights",
 ]

@@ -49,6 +49,17 @@ was observably deleted *after* the failed call returned is impossible for
 a correct server (``lru_evictions=True`` relaxes this when the session
 pool may evict), and success after an observed delete is unserializable
 because the delete response pins the session's final fact and edit counts.
+
+**Crash histories.** An operation with ``completed is None`` was in flight
+when the recorded process died (see :mod:`repro.verify.faults` and the
+WAL recovery of :mod:`repro.serve.recovery`).  Such *pending* operations
+get the textbook linearizability treatment: a pending edit may take
+effect at any legal point of the serialization **or not at all** (the
+crash may have hit before or after its write-ahead record became
+durable), it has no response to reproduce, and a pending delete whose
+tombstone survived legally explains later 404s on its session.  This is
+what lets one combined pre-crash + post-recovery history be certified as
+a single serializable whole.
 """
 
 from __future__ import annotations
@@ -156,18 +167,25 @@ class _SessionSearch:
         middle: list[Operation],
         delete: Optional[Operation],
         budget: int,
+        pending: Optional[list[Operation]] = None,
     ) -> None:
         self.system = system
         self.sid = sid
         self.create = create
         self.middle = list(middle)
         self.delete = delete
+        #: In-flight edits (no response recorded — the process crashed with
+        #: the request open).  Textbook pending-operation semantics: each
+        #: may take effect at any legal point of the serialization *or not
+        #: at all* (the crash may have hit before or after the mutation
+        #: became durable), and there is no response to reproduce.
+        self.pending = list(pending or ())
+        self._optional_ids = {op.op_id for op in self.pending}
         self.budget = budget
         self.steps = 0
         self.best: Optional[_Mismatch] = None
         self.session: Optional["ResolutionSession"] = None
-        self._edits_total = sum(1 for op in self.middle if op.kind == "session_edit")
-        sequence = [create, *self.middle] + ([delete] if delete else [])
+        sequence = [create, *self.middle, *self.pending] + ([delete] if delete else [])
         self._preds = {
             op.op_id: frozenset(
                 other.op_id
@@ -185,6 +203,8 @@ class _SessionSearch:
             self.best = mismatch
             return False
         remaining = {op.op_id: op for op in self.middle}
+        for op in self.pending:
+            remaining[op.op_id] = op
         if self.delete is not None:
             remaining[self.delete.op_id] = self.delete
         return self._dfs(remaining, [])
@@ -238,7 +258,9 @@ class _SessionSearch:
                 self.session.apply(adds=adds, removes=removes)
 
     # ------------------------------------------------------------------ #
-    def _try(self, op: Operation) -> tuple[bool, bool, Any, Any]:
+    def _try(
+        self, op: Operation, chosen: list[Operation]
+    ) -> tuple[bool, bool, Any, Any]:
         """Replay one candidate next op: (matched, state_mutated, exp, obs)."""
         include = bool((op.request or {}).get("include_graphs"))
         assert self.session is not None
@@ -270,21 +292,53 @@ class _SessionSearch:
             return expected == canonical(op.response or {}), False, expected, canonical(
                 op.response or {}
             )
-        # session_delete: the response pins the session's final state.
+        # session_delete: the response pins the session's final state.  The
+        # edit counter is whatever the serialization actually placed before
+        # the delete — including any pending edits whose effect survived a
+        # crash (recovery replays them and counts them exactly once).
         expected = canonical(
             {
                 "session_id": self.sid,
                 "deleted": True,
                 "facts": len(self.session.graph),
-                "edits_applied": self._edits_total,
+                "edits_applied": sum(
+                    1 for placed in chosen if placed.kind == "session_edit"
+                ),
             }
         )
         return expected == canonical(op.response or {}), False, expected, canonical(
             op.response or {}
         )
 
+    def _place_pending(
+        self, op: Operation, remaining: dict[int, Operation], chosen: list[Operation]
+    ) -> bool:
+        """Try the optional branch where a pending edit's effect survived.
+
+        No response to check — the client never got one.  An edit that
+        raises here would have raised identically live (and during
+        recovery), i.e. it never mutates state, so placing it is a no-op
+        and the unplaced branch already covers it."""
+        assert self.session is not None
+        try:
+            adds, removes = decode_edits(op.request or {})
+            self.session.apply(adds=adds, removes=removes)
+        except Exception:  # noqa: BLE001 - undecodable/invalid: effect impossible
+            return False
+        del remaining[op.op_id]
+        chosen.append(op)
+        if self._dfs(remaining, chosen):
+            return True
+        chosen.pop()
+        remaining[op.op_id] = op
+        self._rebuild(chosen)
+        return False
+
     def _dfs(self, remaining: dict[int, Operation], chosen: list[Operation]) -> bool:
-        if not remaining:
+        # Pending ops are optional: a serialization may leave any of them
+        # unplaced (their effect died with the crash), so only required ops
+        # have to be consumed for the search to succeed.
+        if all(op.op_id in self._optional_ids for op in remaining.values()):
             return True
         assert self.session is not None
         state_key = (frozenset(remaining), self.session.state_digest())
@@ -292,7 +346,7 @@ class _SessionSearch:
             return False
         # Completion order first: the server answered in lock-acquisition
         # order, so on a correct history the first candidate almost always
-        # extends to a witness.
+        # extends to a witness (pending ops sort last).
         order = sorted(
             remaining.values(),
             key=lambda op: (op.completed is None, op.completed or op.invoked),
@@ -300,14 +354,24 @@ class _SessionSearch:
         for op in order:
             if self._preds[op.op_id] & remaining.keys():
                 continue  # a real-time predecessor is still unplaced
-            if self.delete is not None and op is self.delete and len(remaining) > 1:
-                continue  # every successful op must precede the delete
+            if self.delete is not None and op is self.delete:
+                required_left = sum(
+                    1
+                    for other in remaining.values()
+                    if other.op_id not in self._optional_ids
+                )
+                if required_left > 1:
+                    continue  # every successful op must precede the delete
             self.steps += 1
             if self.steps > self.budget:
                 raise SearchBudgetExceeded(
                     f"session {self.sid}: exceeded {self.budget} search steps"
                 )
-            matched, mutated, expected, observed = self._try(op)
+            if op.op_id in self._optional_ids:
+                if self._place_pending(op, remaining, chosen):
+                    return True
+                continue
+            matched, mutated, expected, observed = self._try(op, chosen)
             if matched:
                 del remaining[op.op_id]
                 chosen.append(op)
@@ -601,11 +665,29 @@ class SerializabilityChecker:
             )
             return violations, 0
         delete = deletes[0] if deletes else None
+        # In-flight ops (no response — the process crashed with the request
+        # open).  Pending edits are optional placements for the search;
+        # a pending delete may have tombstoned the session durably even
+        # though no client ever saw its response.
+        pending = [
+            op for op in ops if op.completed is None and op.kind == "session_edit"
+        ]
+        pending_deletes = [
+            op for op in ops if op.completed is None and op.kind == "session_delete"
+        ]
         if not self.lru_evictions:
             for op in ops:
                 if op.status != 404:
                     continue
                 if delete is None or op.happens_before(delete):
+                    if any(
+                        op.completed is None or pd.invoked < op.completed
+                        for pd in pending_deletes
+                    ):
+                        # A crashed DELETE whose tombstone survived explains
+                        # the 404: its effect lands anywhere after its
+                        # invocation, which overlaps this op.
+                        continue
                     violations.append(
                         Violation(
                             kind="spurious_not_found",
@@ -617,7 +699,13 @@ class SerializabilityChecker:
                     )
         middle = [op for op in ok_ops if op.kind in ("session_edit", "session_read")]
         search = _SessionSearch(
-            self._system, sid, create, middle, delete, self.max_search_steps
+            self._system,
+            sid,
+            create,
+            middle,
+            delete,
+            self.max_search_steps,
+            pending=pending,
         )
         try:
             feasible = search.run()
@@ -632,7 +720,7 @@ class SerializabilityChecker:
             return violations, search.steps
         if feasible:
             return violations, search.steps
-        minimal = self._minimise_session(sid, create, middle, delete)
+        minimal = self._minimise_session(sid, create, middle, delete, pending)
         best = search.best
         detail = ""
         if best is not None:
@@ -662,8 +750,19 @@ class SerializabilityChecker:
         subset: list[Operation],
     ) -> bool:
         """Does this sub-history (create + subset) provably fail too?"""
-        middle = [op for op in subset if op.kind in ("session_edit", "session_read")]
-        deletes = [op for op in subset if op.kind == "session_delete"]
+        middle = [
+            op
+            for op in subset
+            if op.kind in ("session_edit", "session_read") and op.completed is not None
+        ]
+        pending = [
+            op for op in subset if op.kind == "session_edit" and op.completed is None
+        ]
+        deletes = [
+            op
+            for op in subset
+            if op.kind == "session_delete" and op.completed is not None
+        ]
         search = _SessionSearch(
             self._system,
             sid,
@@ -671,6 +770,7 @@ class SerializabilityChecker:
             middle,
             deletes[0] if deletes else None,
             self.max_search_steps,
+            pending=pending,
         )
         try:
             return not search.run()
@@ -683,6 +783,7 @@ class SerializabilityChecker:
         create: Operation,
         middle: list[Operation],
         delete: Optional[Operation],
+        pending: Optional[list[Operation]] = None,
     ) -> list[Operation]:
         """Shrink a failing session history to minimal self-contained evidence.
 
@@ -691,7 +792,7 @@ class SerializabilityChecker:
         of the sub-history", so a failing sub-history is genuine evidence.
         """
         sequence = sorted(
-            [create, *middle] + ([delete] if delete else []),
+            [create, *middle, *(pending or [])] + ([delete] if delete else []),
             key=lambda op: op.invoked,
         )
         best = sequence

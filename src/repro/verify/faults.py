@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the serving tier.
+
+The serve modules expose named **seams** — call points that, when a
+:class:`FaultInjector` is attached, invoke :meth:`FaultInjector.fire`
+with the seam name before proceeding:
+
+==================  =========================================================
+seam                where it fires
+==================  =========================================================
+``server.dispatch``  entry of every routed request (request thread)
+``session.apply``    before a session edit is applied (under the session lock)
+``pool.create``      before a session's initial resolve
+``pool.evict``       as an LRU eviction drops an entry (under the pool lock)
+``batcher.submit``   before a one-shot resolve is queued (request thread)
+``batcher.solve``    before a batch is resolved (flush worker; an error here
+                     is delivered to every waiter in the batch)
+``wal.append``       before a log frame is written (under the WAL lock)
+``wal.sync``         before an fsync
+``wal.commit``       after a record is durable per the fsync policy
+==================  =========================================================
+
+A :class:`FaultRule` binds a fault *kind* to a seam with an arrival window:
+the rule fires on the ``at``-th arrival at its seam (1-based) and keeps
+firing for ``count`` consecutive arrivals.  Kinds:
+
+* ``crash``          — raise :class:`InjectedCrash` (a ``BaseException``:
+  it deliberately escapes the service's ``except Exception`` request guard,
+  simulating the process dying at exactly that point — the request thread
+  never answers, just like a SIGKILL between two instructions);
+* ``fsync_delay``    — sleep ``delay`` seconds (a stalling disk);
+* ``disk_full``      — raise ``OSError(ENOSPC)`` (meaningful at ``wal.*``
+  seams, where the log maps it to a 503 without applying the mutation);
+* ``solver_slow``    — sleep ``delay`` seconds (a degenerate MAP instance);
+* ``solver_fail``    — raise :class:`~repro.errors.TecoreError` (a solver
+  back-end blowing up; served as 500);
+* ``queue_saturate`` — raise
+  :class:`~repro.serve.batcher.ServiceOverloadedError` (backpressure as if
+  the queue were full; served as 503 with Retry-After).
+
+Schedules are **deterministic**: a rule list is explicit, and
+:func:`seeded_schedule` derives one from a seed via ``random.Random`` — the
+same seed always yields the same faults at the same arrival counts, so a
+failing chaos run is replayable bit-for-bit.  Every firing is recorded in
+:attr:`FaultInjector.fired` for assertions and reports.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..errors import TecoreError
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at an injection point.
+
+    Derives from ``BaseException`` on purpose: the service's request
+    handler catches ``Exception`` to keep connections alive, and a crash
+    must not be survivable — it propagates out of ``handle`` exactly the
+    way a killed process stops mid-instruction.
+    """
+
+    def __init__(self, point: str, arrival: int) -> None:
+        super().__init__(f"injected crash at {point} (arrival #{arrival})")
+        self.point = point
+        self.arrival = arrival
+
+
+FAULT_KINDS = (
+    "crash",
+    "fsync_delay",
+    "disk_full",
+    "solver_slow",
+    "solver_fail",
+    "queue_saturate",
+)
+
+#: Seams a seeded schedule draws from, per fault kind (kept meaningful:
+#: disk faults hit the log, solver faults hit the flush worker, …).
+_KIND_SEAMS = {
+    "crash": ("wal.append", "wal.commit", "session.apply", "server.dispatch"),
+    "fsync_delay": ("wal.sync",),
+    "disk_full": ("wal.append",),
+    "solver_slow": ("batcher.solve",),
+    "solver_fail": ("batcher.solve",),
+    "queue_saturate": ("batcher.submit",),
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Fire ``kind`` on arrivals ``at .. at+count-1`` at seam ``point``."""
+
+    point: str
+    kind: str
+    at: int = 1
+    count: int = 1
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})")
+        if self.at < 1:
+            raise ValueError(f"'at' is a 1-based arrival index, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def spec(self) -> str:
+        """The ``kind@point:at[xcount]`` form :func:`parse_fault_spec` reads."""
+        suffix = f"x{self.count}" if self.count != 1 else ""
+        return f"{self.kind}@{self.point}:{self.at}{suffix}"
+
+
+def parse_fault_spec(spec: str) -> list[FaultRule]:
+    """Parse a comma-separated CLI fault schedule.
+
+    Each item is ``kind@point[:at][xcount]`` — e.g.
+    ``crash@wal.append:3`` (crash on the third log append) or
+    ``solver_slow@batcher.solve:1x5`` (stall the first five batches).
+    """
+    rules = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "@" not in item:
+            raise ValueError(f"fault spec {item!r} needs the form kind@point[:at][xcount]")
+        kind, _, where = item.partition("@")
+        at, count = 1, 1
+        if ":" in where:
+            where, _, position = where.partition(":")
+            if "x" in position:
+                position, _, repeat = position.partition("x")
+                count = int(repeat)
+            at = int(position)
+        if not where:
+            raise ValueError(f"fault spec {item!r} names no injection point")
+        rules.append(FaultRule(point=where, kind=kind, at=at, count=count))
+    return rules
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One injected fault occurrence (for assertions and chaos reports)."""
+
+    point: str
+    kind: str
+    arrival: int
+
+
+class FaultInjector:
+    """Seeded, thread-safe fault schedule over the serving seams.
+
+    Duck-typed on ``fire(point, **info)`` so the serve modules never import
+    this package — an attached injector is just "an object with fire".
+    Arrival counting is per seam and global across threads, which is what
+    makes a schedule meaningful under concurrency: "the 3rd WAL append"
+    is well-defined because appends are serialised by the WAL lock.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = ()) -> None:
+        self.rules = list(rules)
+        self._lock = threading.Lock()
+        self._arrivals: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    def arrivals(self, point: str) -> int:
+        with self._lock:
+            return self._arrivals.get(point, 0)
+
+    def fire(self, point: str, **info: Any) -> None:
+        """Count one arrival at ``point`` and execute any due fault."""
+        with self._lock:
+            arrival = self._arrivals.get(point, 0) + 1
+            self._arrivals[point] = arrival
+            due = [
+                rule
+                for rule in self.rules
+                if rule.point == point and rule.at <= arrival < rule.at + rule.count
+            ]
+            for rule in due:
+                self.fired.append(FiredFault(point, rule.kind, arrival))
+        for rule in due:
+            self._execute(rule, point, arrival)
+
+    def _execute(self, rule: FaultRule, point: str, arrival: int) -> None:
+        if rule.kind == "crash":
+            raise InjectedCrash(point, arrival)
+        if rule.kind == "disk_full":
+            raise OSError(errno.ENOSPC, f"injected disk full at {point}")
+        if rule.kind == "solver_fail":
+            raise TecoreError(f"injected solver failure at {point}")
+        if rule.kind == "queue_saturate":
+            from ..serve.batcher import ServiceOverloadedError
+
+            raise ServiceOverloadedError(f"injected queue saturation at {point}")
+        if rule.kind in ("fsync_delay", "solver_slow"):
+            time.sleep(rule.delay)
+
+    def summary(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "rules": [rule.spec() for rule in self.rules],
+                "fired": [
+                    {"point": hit.point, "kind": hit.kind, "arrival": hit.arrival}
+                    for hit in self.fired
+                ],
+                "arrivals": dict(self._arrivals),
+            }
+
+
+def seeded_schedule(
+    seed: int,
+    faults: int = 3,
+    kinds: Sequence[str] = FAULT_KINDS,
+    max_arrival: int = 20,
+    delay: float = 0.02,
+) -> FaultInjector:
+    """Derive a deterministic fault schedule from a seed.
+
+    Draws ``faults`` rules with kinds from ``kinds``, each bound to a
+    kind-appropriate seam (see the module table) at a uniform arrival in
+    ``[1, max_arrival]``.  The same seed always produces the same
+    schedule — replayability is the whole point of seeding.
+    """
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(faults):
+        kind = rng.choice(list(kinds))
+        point = rng.choice(_KIND_SEAMS[kind])
+        rules.append(
+            FaultRule(point=point, kind=kind, at=rng.randint(1, max_arrival), delay=delay)
+        )
+    return FaultInjector(rules)

@@ -4,7 +4,13 @@ import pytest
 
 from repro.errors import ParseError
 from repro.kg import make_fact
-from repro.kg.io import ChangeStep, iter_change_steps, load_change_stream
+from repro.kg.io import (
+    ChangeStep,
+    append_change_step,
+    format_change_step,
+    iter_change_steps,
+    load_change_stream,
+)
 
 STREAM = """
 # repair the running example
@@ -74,3 +80,76 @@ class TestLoading:
         steps = load_change_stream(path)
         assert len(steps) == 2
         assert steps[0].removes and steps[1].adds
+
+
+class TestTornTail:
+    """A producer killed mid-append must not poison the whole stream."""
+
+    def test_torn_final_line_warns_and_keeps_complete_steps(self, tmp_path):
+        path = tmp_path / "edits.stream"
+        # A complete step, then a write torn mid-fact (no trailing newline).
+        path.write_text(
+            "+ CR coach Leicester [2015,2016] 0.97\nresolve\n+ CR coach Ful",
+            encoding="utf-8",
+        )
+        with pytest.warns(RuntimeWarning, match="torn"):
+            steps = load_change_stream(path)
+        assert len(steps) == 1
+        assert steps[0].adds[0].object.value == "Leicester"
+
+    def test_newline_terminated_bad_final_line_still_raises(self, tmp_path):
+        path = tmp_path / "edits.stream"
+        # The final line carries its newline, so the write completed — the
+        # garbage is real corruption, not a torn append.
+        path.write_text(
+            "+ CR coach Leicester [2015,2016] 0.97\n+ CR coach Ful\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ParseError):
+            load_change_stream(path)
+
+    def test_bad_line_before_the_tail_still_raises(self, tmp_path):
+        path = tmp_path / "edits.stream"
+        path.write_text(
+            "frobnicate A p B [1,2]\n+ CR coach Leicester [2015,2016] 0.97",
+            encoding="utf-8",
+        )
+        with pytest.raises(ParseError):
+            load_change_stream(path)
+
+    def test_explicit_override_controls_tolerance(self):
+        lines = ["+ A p B [1,2] 0.5\n", "+ garb"]
+        with pytest.raises(ParseError):
+            list(iter_change_steps(lines, tolerate_torn_tail=False))
+        with pytest.warns(RuntimeWarning):
+            steps = list(iter_change_steps(["+ garb"], tolerate_torn_tail=True))
+        assert steps == []
+
+
+class TestWriting:
+    def test_append_change_step_roundtrips_through_the_parser(self, tmp_path):
+        path = tmp_path / "edits.stream"
+        step = ChangeStep(
+            adds=(make_fact("CR", "coach", "Fulham", (2018, 2019), 0.7),),
+            removes=(make_fact("CR", "coach", "Napoli", (2001, 2003), 0.6),),
+        )
+        written = append_change_step(path, step)
+        assert written == path.stat().st_size
+        written += append_change_step(path, ChangeStep(adds=step.adds))
+        assert written == path.stat().st_size
+
+        steps = load_change_stream(path)
+        assert len(steps) == 2
+        assert steps[0].removes[0].statement_key == step.removes[0].statement_key
+        assert steps[0].adds[0].confidence == pytest.approx(0.7)
+        assert steps[1].removes == ()
+
+    def test_format_change_step_orders_removes_first_and_closes(self):
+        step = ChangeStep(
+            adds=(make_fact("A", "p", "B", (1, 2), 0.5),),
+            removes=(make_fact("C", "q", "D", (3, 4), 0.9),),
+        )
+        text = format_change_step(step)
+        lines = text.splitlines()
+        assert lines[0].startswith("- ") and lines[1].startswith("+ ")
+        assert lines[-1] == "resolve" and text.endswith("\n")

@@ -184,3 +184,80 @@ class TestEvictionUnderConcurrentEdit:
         assert all(status in (200, 404) for status in results)
         assert entry.edits_applied == sum(1 for status in results if status == 200)
         assert not entry.closed
+
+
+class TestEvictionVersusWal:
+    """LRU eviction drops only the in-memory entry — never log history.
+
+    Eviction is a capacity decision, deletion a client decision; the WAL
+    records the latter and ignores the former.  So an evicted session is
+    recoverable from the log by a restart with more capacity, while an
+    explicitly deleted one must never come back (its ``delete`` record is
+    a tombstone replay honours unconditionally).
+    """
+
+    def _durable_service(self, system, wal_dir, max_sessions):
+        return ResolutionService(
+            system,
+            ServerConfig(
+                wal_dir=str(wal_dir), max_sessions=max_sessions, batch_delay=0.001
+            ),
+        )
+
+    def test_evicted_session_is_recoverable_from_the_log(self, system, tmp_path):
+        service = self._durable_service(system, tmp_path, max_sessions=2)
+        first = _create_session(service)
+        assert (
+            service.handle("POST", f"/sessions/{first}/edits", _edit_body(1))[0] == 200
+        )
+        _create_session(service)
+        _create_session(service)  # evicts ``first`` from the pool...
+        assert service.handle("GET", f"/sessions/{first}/result", b"")[0] == 404
+        service.close()
+
+        # ...but not from the log: a restart with headroom replays it,
+        # edits included.
+        restarted = ResolutionService(
+            system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8)
+        )
+        try:
+            assert restarted.recovery.sessions_restored == 3
+            status, payload = restarted.handle("GET", f"/sessions/{first}/result", b"")
+            assert status == 200
+            assert restarted.sessions.get(first).edits_applied == 1
+        finally:
+            restarted.close()
+
+    def test_recovery_respects_the_pool_bound_by_recency(self, system, tmp_path):
+        service = self._durable_service(system, tmp_path, max_sessions=2)
+        oldest = _create_session(service)
+        newer = [_create_session(service) for _ in range(2)]
+        service.close()
+
+        restarted = self._durable_service(system, tmp_path, max_sessions=2)
+        try:
+            # Only the most recently logged sessions fit; the rest are
+            # skipped (recovery must not itself trigger evictions).
+            assert restarted.recovery.sessions_restored == 2
+            assert restarted.recovery.sessions_skipped == 1
+            assert restarted.handle("GET", f"/sessions/{oldest}/result", b"")[0] == 404
+            for sid in newer:
+                assert restarted.handle("GET", f"/sessions/{sid}/result", b"")[0] == 200
+        finally:
+            restarted.close()
+
+    def test_deleted_session_is_never_resurrected(self, system, tmp_path):
+        service = self._durable_service(system, tmp_path, max_sessions=2)
+        doomed = _create_session(service)
+        assert service.handle("DELETE", f"/sessions/{doomed}", b"")[0] == 200
+        service.close()
+
+        restarted = ResolutionService(
+            system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8)
+        )
+        try:
+            assert restarted.recovery.sessions_restored == 0
+            assert restarted.recovery.sessions_deleted == 1
+            assert restarted.handle("GET", f"/sessions/{doomed}/result", b"")[0] == 404
+        finally:
+            restarted.close()

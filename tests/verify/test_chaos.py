@@ -1,0 +1,94 @@
+"""The chaos harness end-to-end: kill a real server, recover, certify.
+
+One small in-process run of :func:`repro.verify.run_chaos` — a live
+``tecore serve --wal-dir`` subprocess under a seeded fault schedule,
+concurrent retrying HTTP clients, a SIGKILL mid-workload, a fault-free
+restart on the same WAL directory, and a serializability check of the
+combined client-visible history.  The CI chaos smoke and the nightly
+crash-recovery soak run bigger shapes of the same cycle; this test keeps
+the harness itself honest on every test run with the smallest shape that
+still crosses the crash.
+"""
+
+import pytest
+
+from repro.verify import History, run_chaos
+from repro.verify.chaos import ChaosConfig, ChaosReport, _fault_spec, free_port
+from repro.verify.faults import parse_fault_spec
+
+SMALL = ChaosConfig(
+    seed=2017,
+    clients=2,
+    ops_per_client=3,
+    sessions=1,
+    kill_after=2,
+    fault_count=1,
+    request_deadline=10.0,
+)
+
+
+class TestHelpers:
+    def test_fault_spec_prefers_the_explicit_override(self):
+        config = ChaosConfig(faults="disk_full@wal.append:2")
+        assert _fault_spec(config) == "disk_full@wal.append:2"
+
+    def test_seeded_fault_spec_is_deterministic_and_parseable(self):
+        spec = _fault_spec(SMALL)
+        assert spec == _fault_spec(SMALL)
+        assert len(parse_fault_spec(spec)) == SMALL.fault_count
+
+    def test_free_port_is_bindable(self):
+        import socket
+
+        port = free_port()
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+            sock.bind(("127.0.0.1", port))
+
+    def test_report_as_dict_round_trips_every_field(self):
+        report = ChaosReport(
+            seed=1,
+            port=2,
+            wal_dir="w",
+            fault_spec="s",
+            total_ops=3,
+            completed_ops=2,
+            pending_ops=1,
+            retries=0,
+            disconnects=4,
+            killed_after=2,
+            recovered_sessions=1,
+        )
+        payload = report.as_dict()
+        assert payload["seed"] == 1 and payload["disconnects"] == 4
+        assert payload["serializable"] is None and payload["history_path"] is None
+
+
+class TestChaosEndToEnd:
+    @pytest.fixture(scope="class")
+    def chaos_run(self, tmp_path_factory):
+        history_path = tmp_path_factory.mktemp("chaos") / "history.json"
+        report, history = run_chaos(SMALL, history_path=history_path, check=True)
+        return report, history, history_path
+
+    def test_recovered_history_is_serializable(self, chaos_run):
+        report, _, _ = chaos_run
+        assert report.serializable is True, report.violations
+        assert report.violations == []
+
+    def test_the_kill_really_interrupted_the_workload(self, chaos_run):
+        report, history, _ = chaos_run
+        # The SIGKILL landed mid-run: some client-visible work completed
+        # before it, and every client still drained its whole program
+        # (completed or pending-at-the-crash, never silently dropped).
+        assert report.killed_after >= SMALL.kill_after
+        assert report.total_ops >= SMALL.clients * SMALL.ops_per_client
+        assert report.completed_ops + report.pending_ops == report.total_ops
+        assert len(history) == report.total_ops
+
+    def test_saved_history_reloads_with_chaos_provenance(self, chaos_run):
+        report, _, history_path = chaos_run
+        reloaded = History.load(history_path)
+        assert reloaded.metadata["workload"] == "chaos"
+        assert reloaded.metadata["fault_spec"] == report.fault_spec
+        assert reloaded.metadata["killed_after_ops"] == report.killed_after
+        assert len(reloaded) == report.total_ops

@@ -1,0 +1,165 @@
+"""Deterministic fault injection: schedules, seams, and client backoff.
+
+Every fault class must be reproducible from its spec alone — the chaos
+harness replays failing runs bit-for-bit from a seed, which only works if
+``kind@point:at`` schedules fire at exactly the promised arrivals.  The
+service-level tests here drive each class through a real
+:class:`~repro.serve.server.ResolutionService` and pin the client-visible
+outcome (escaping crash, 503 + Retry-After, 500, 504) that the retry
+policy and the serializability checker are built around.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.datasets import ranieri_graph
+from repro.errors import TecoreError
+from repro.kg.io import json_io
+from repro.serve import RequestDeadlineExceeded, ServerConfig, ServiceOverloadedError
+from repro.serve.server import ResolutionService
+from repro.verify import RetryPolicy
+from repro.verify.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    parse_fault_spec,
+    seeded_schedule,
+)
+
+
+def _body(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestSpecsAndSchedules:
+    def test_spec_roundtrip(self):
+        rules = parse_fault_spec(
+            "crash@wal.append:3,solver_slow@batcher.solve:1x5,disk_full@wal.append"
+        )
+        assert [rule.spec() for rule in rules] == [
+            "crash@wal.append:3",
+            "solver_slow@batcher.solve:1x5",
+            "disk_full@wal.append:1",
+        ]
+        assert rules[1].count == 5
+
+    @pytest.mark.parametrize(
+        "bad", ["crash", "@wal.append", "made_up@wal.append", "crash@wal.append:0"]
+    )
+    def test_invalid_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+    def test_seeded_schedule_is_deterministic(self):
+        first = seeded_schedule(2017, faults=4)
+        second = seeded_schedule(2017, faults=4)
+        assert [r.spec() for r in first.rules] == [r.spec() for r in second.rules]
+        assert [r.spec() for r in seeded_schedule(2018, faults=4).rules] != [
+            r.spec() for r in first.rules
+        ]
+
+    def test_rule_fires_exactly_in_its_arrival_window(self):
+        injector = FaultInjector([FaultRule("wal.append", "disk_full", at=2, count=2)])
+        injector.fire("wal.append")  # arrival 1: clean
+        for _ in range(2):  # arrivals 2 and 3: fault
+            with pytest.raises(OSError):
+                injector.fire("wal.append")
+        injector.fire("wal.append")  # arrival 4: clean again
+        assert injector.arrivals("wal.append") == 4
+        assert [hit.arrival for hit in injector.fired] == [2, 3]
+
+    def test_every_fault_kind_has_a_deterministic_effect(self):
+        effects = {
+            "crash": InjectedCrash,
+            "disk_full": OSError,
+            "solver_fail": TecoreError,
+            "queue_saturate": ServiceOverloadedError,
+        }
+        for kind in FAULT_KINDS:
+            point = f"seam.{kind}"
+            injector = FaultInjector([FaultRule(point, kind, delay=0.01)])
+            if kind in effects:
+                with pytest.raises(effects[kind]):
+                    injector.fire(point)
+            else:  # fsync_delay / solver_slow stall instead of raising
+                started = time.perf_counter()
+                injector.fire(point)
+                assert time.perf_counter() - started >= 0.01
+            assert injector.summary()["fired"] == [
+                {"point": point, "kind": kind, "arrival": 1}
+            ]
+
+
+@pytest.fixture
+def faulted_service(system):
+    services = []
+
+    def factory(rules, **config_kwargs):
+        config_kwargs.setdefault("batch_delay", 0.001)
+        service = ResolutionService(
+            system, ServerConfig(**config_kwargs), injector=FaultInjector(rules)
+        )
+        services.append(service)
+        return service
+
+    yield factory
+    for service in services:
+        service.close()
+
+
+class TestServiceSeams:
+    def test_solver_fail_answers_500_without_killing_the_batcher(
+        self, faulted_service
+    ):
+        service = faulted_service([FaultRule("batcher.solve", "solver_fail", at=1)])
+        graph = json_io.to_dict(ranieri_graph())
+        status, payload = service.handle("POST", "/resolve", _body(graph))
+        assert status == 500
+        # The flush worker survived: the next batch resolves normally.
+        status, _ = service.handle("POST", "/resolve", _body(graph))
+        assert status == 200
+
+    def test_queue_saturation_answers_503_with_retry_hint(self, faulted_service):
+        service = faulted_service([FaultRule("batcher.submit", "queue_saturate", at=1)])
+        status, payload = service.handle(
+            "POST", "/resolve", _body(json_io.to_dict(ranieri_graph()))
+        )
+        assert status == 503
+        assert payload["retry_after_seconds"] >= 1
+
+    def test_solver_slow_trips_the_request_deadline(self, faulted_service):
+        service = faulted_service(
+            [FaultRule("batcher.solve", "solver_slow", at=1, count=5, delay=0.3)],
+            request_deadline=0.05,
+        )
+        status, payload = service.handle(
+            "POST", "/resolve", _body(json_io.to_dict(ranieri_graph()))
+        )
+        assert status == 504
+        assert payload["retry_after_seconds"] >= 1
+
+    def test_dispatch_crash_escapes_the_request_guard(self, faulted_service):
+        service = faulted_service([FaultRule("server.dispatch", "crash", at=1)])
+        with pytest.raises(InjectedCrash):
+            service.handle("GET", "/healthz", b"")
+
+    def test_deadline_exceeded_is_a_tecore_error(self):
+        assert issubclass(RequestDeadlineExceeded, TecoreError)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(10) == pytest.approx(1.0)
+
+    def test_retry_after_hint_sets_the_floor(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        assert policy.delay(0, retry_after=0.5) == pytest.approx(0.5)
+        # ...but the hint is still capped, and never lowers a larger backoff.
+        assert policy.delay(10, retry_after=30.0) == pytest.approx(1.0)
+        assert policy.delay(3, retry_after=0.01) == pytest.approx(0.8)
