@@ -1,0 +1,42 @@
+"""Static analysis (``tecore lint``) over temporal rule programs.
+
+The analyzer inspects a program *before* grounding: safety and schema
+conformance, point-algebra temporal satisfiability, hard-conflict
+feasibility, duplicate/subsumption hygiene, and vectorization-coverage
+performance lints.  Findings carry stable diagnostic codes (see
+:data:`~repro.analysis.findings.DIAGNOSTICS` and ``docs/analysis.md``),
+default severities, and — for programs parsed from text — source spans.
+"""
+
+from .analyzer import (
+    analyze_parsed,
+    analyze_program,
+    analyze_text,
+    analyze_units,
+)
+from .findings import DIAGNOSTICS, Diagnostic, Finding, LintReport, Severity
+from .groundcheck import check_ground_program, propagate_hard_clauses
+from .model import (
+    Unit,
+    unit_from_constraint,
+    unit_from_raw,
+    unit_from_rule,
+)
+
+__all__ = [
+    "DIAGNOSTICS",
+    "Diagnostic",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Unit",
+    "analyze_parsed",
+    "analyze_program",
+    "analyze_text",
+    "analyze_units",
+    "check_ground_program",
+    "propagate_hard_clauses",
+    "unit_from_constraint",
+    "unit_from_raw",
+    "unit_from_rule",
+]

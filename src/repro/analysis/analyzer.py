@@ -1,0 +1,130 @@
+"""The analyzer driver: run every pass over a program and merge findings.
+
+Three entry points, by what the caller holds:
+
+* :func:`analyze_text` — program source text (spans available; parse errors
+  become E001 findings instead of aborting);
+* :func:`analyze_parsed` — a :class:`~repro.logic.parser.ParsedProgram`
+  (spans available via its ``annotated`` list);
+* :func:`analyze_program` — built rule/constraint objects (no spans).
+
+All three accept an optional loaded graph, which enables the
+predicate-existence (W205) and grounding-estimate (I605) checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from ..errors import ParseError
+from ..logic.constraint import TemporalConstraint
+from ..logic.parser import (
+    ParsedProgram,
+    SourceSpan,
+    parse_raw_statement,
+    split_statements,
+)
+from ..logic.rule import TemporalRule
+from .duplicates import check_duplicates
+from .findings import Finding, LintReport
+from .hardcore import check_hard_conflicts
+from .model import Unit, unit_from_constraint, unit_from_raw, unit_from_rule
+from .performance import check_performance
+from .safety import check_safety
+from .schema import check_schema, derived_predicate_names, predicate_cardinalities
+from .temporal_sat import check_temporal
+
+
+def analyze_units(
+    units: Sequence[Unit], graph: Optional[object] = None
+) -> LintReport:
+    """Run every analysis pass over normalised units."""
+    report = LintReport()
+    cardinalities: Optional[Dict[str, int]] = None
+    known_predicates: Optional[Set[str]] = None
+    if graph is not None:
+        cardinalities = predicate_cardinalities(graph)
+        known_predicates = set(cardinalities)
+    derived = derived_predicate_names(units)
+
+    for unit in units:
+        report.extend(check_safety(unit))
+        report.extend(check_schema(unit, known_predicates, derived))
+        report.extend(check_temporal(unit))
+        report.extend(check_performance(unit, cardinalities))
+    report.extend(check_hard_conflicts(units))
+    report.extend(check_duplicates(units))
+    return report.sorted()
+
+
+def analyze_program(
+    rules: Iterable[TemporalRule],
+    constraints: Iterable[TemporalConstraint],
+    graph: Optional[object] = None,
+    source: Optional[str] = None,
+) -> LintReport:
+    """Analyze built rule/constraint objects (no source spans)."""
+    units = [unit_from_rule(rule, source=source) for rule in rules]
+    units.extend(
+        unit_from_constraint(constraint, source=source) for constraint in constraints
+    )
+    return analyze_units(units, graph)
+
+
+def analyze_parsed(
+    parsed: ParsedProgram,
+    graph: Optional[object] = None,
+    source: Optional[str] = None,
+) -> LintReport:
+    """Analyze an already-parsed program, using its recorded spans."""
+    units = []
+    for annotated in parsed.annotated:
+        statement = annotated.statement
+        if isinstance(statement, TemporalRule):
+            units.append(unit_from_rule(statement, annotated.spans, source))
+        else:
+            units.append(unit_from_constraint(statement, annotated.spans, source))
+    return analyze_units(units, graph)
+
+
+def analyze_text(
+    text: str, source: Optional[str] = None, graph: Optional[object] = None
+) -> LintReport:
+    """Analyze program source text.
+
+    Statements that fail to parse produce **E001** findings (with the error
+    position) while the remaining statements are still analyzed — unlike
+    :func:`~repro.logic.parser.parse_program`, which aborts on the first
+    error.  Statements that parse but fail rule/constraint validation are
+    analyzed anyway: the safety pass reports the violation as a finding.
+    """
+    report = LintReport()
+    units = []
+    for block in split_statements(text):
+        try:
+            raw = parse_raw_statement(
+                block.text,
+                source=None,
+                default_name=block.default_name,
+                block=block,
+            )
+        except ParseError as error:
+            offset = getattr(error, "offset", None)
+            if offset is not None:
+                line, column = block.locate(offset)
+            else:
+                line, column = block.first_line, 1
+            report.findings.append(
+                Finding(
+                    code="E001",
+                    message=str(error),
+                    statement=block.default_name,
+                    span=SourceSpan(line, column, line, column + 1),
+                    source=source,
+                )
+            )
+            continue
+        units.append(unit_from_raw(raw, source=source))
+    deep = analyze_units(units, graph)
+    report.extend(deep)
+    return report.sorted()

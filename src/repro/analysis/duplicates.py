@@ -1,0 +1,201 @@
+"""Pass 5: duplicate and subsumed statements.
+
+**W501** — two statements identical up to a consistent renaming of their
+variables.  Both translate to the same ground clauses, so their weights
+stack silently (for soft statements) or one is pure dead weight (hard).
+
+**W502** — a statement whose body strictly contains another statement's
+body under a variable substitution, with the same (substituted) head and a
+subset of its conditions: every match of the specific statement already
+fires the general one.
+
+Both lints are syntactic and conservative: condition and head comparison
+happens on substituted renderings, so anything the renderer cannot prove
+equal is treated as different (no spurious findings).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..logic.terms import Variable
+from .findings import Finding, LintReport
+from .hardcore import _embeddings
+from .model import Unit
+
+#: Identifier tokens in rendered statements; variables print *bare* (no
+#: ``?`` sigil), so rewriting filters tokens against the unit's known
+#: variable names.
+_WORD_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+
+
+def _unit_variable_names(unit: Unit) -> Set[str]:
+    names: Set[str] = set()
+    atoms = list(unit.body)
+    if unit.head_atom is not None:
+        atoms.append(unit.head_atom)
+    for atom in atoms:
+        for position in (atom.subject, atom.predicate, atom.object, atom.interval):
+            if isinstance(position, Variable):
+                names.add(position.name)
+    for _group, _index, condition in unit.all_conditions():
+        names.update(v.name for v in condition.variables())
+    if unit.head_interval is not None:
+        for side in (unit.head_interval.left, unit.head_interval.right):
+            if isinstance(side, str):
+                names.add(side)
+    return names
+
+
+def _canonical_text(unit: Unit) -> str:
+    """The statement rendered with variables renamed in occurrence order."""
+    parts: List[str] = [unit.kind, "|".join(str(atom) for atom in unit.body)]
+    parts.append("|".join(str(condition) for condition in unit.conditions))
+    parts.append(str(unit.head_atom) if unit.head_atom is not None else "")
+    parts.append("|".join(str(c) for c in unit.head_conditions))
+    if unit.head_interval is not None:
+        interval = unit.head_interval
+        parts.append(
+            f"{interval.kind}({interval.left},{interval.right},{interval.delta})"
+        )
+    parts.append("hard" if unit.is_hard else f"w={unit.weight:g}")
+    text = " ;; ".join(parts)
+
+    names = _unit_variable_names(unit)
+    mapping: Dict[str, str] = {}
+
+    def rename(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        if token not in names:
+            return token
+        if token not in mapping:
+            # \x00 cannot occur in an identifier, so renamed variables can
+            # never collide with constants spelled ``_c0`` etc.
+            mapping[token] = f"\x00{len(mapping)}"
+        return mapping[token]
+
+    return _WORD_TOKEN.sub(rename, text)
+
+
+def _substituted_text(value: object, subst: Dict[str, object], names: Set[str]) -> str:
+    """str(value) with the general statement's variables rewritten via ``subst``."""
+
+    def rewrite(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        if token not in names:
+            return token
+        target = subst.get(token)
+        if target is None:
+            return token
+        if isinstance(target, Variable):
+            return target.name
+        return str(target)
+
+    return _WORD_TOKEN.sub(rewrite, str(value))
+
+
+def _subsumes(general: Unit, specific: Unit) -> bool:
+    """True when every match of ``specific`` already fires ``general``."""
+    if general.kind != specific.kind:
+        return False
+    if len(general.body) >= len(specific.body):
+        return False
+    names = _unit_variable_names(general)
+    for subst in _embeddings(general.body, specific.body, {}, frozenset()):
+        if general.head_atom is not None:
+            if specific.head_atom is None or _substituted_text(
+                general.head_atom, subst, names
+            ) != str(specific.head_atom):
+                continue
+        if (general.head_interval is None) != (specific.head_interval is None):
+            continue
+        if general.head_interval is not None and _substituted_interval(
+            general, subst
+        ) != _interval_text(specific):
+            continue
+        specific_conditions: Set[str] = {
+            str(condition) for condition in specific.conditions
+        }
+        specific_head_conditions: Set[str] = {
+            str(condition) for condition in specific.head_conditions
+        }
+        if all(
+            _substituted_text(condition, subst, names) in specific_conditions
+            for condition in general.conditions
+        ) and all(
+            _substituted_text(condition, subst, names) in specific_head_conditions
+            for condition in general.head_conditions
+        ):
+            return True
+    return False
+
+
+def _interval_text(unit: Unit) -> Optional[str]:
+    if unit.head_interval is None:
+        return None
+    interval = unit.head_interval
+    return f"{interval.kind}({interval.left},{interval.right},{interval.delta})"
+
+
+def _substituted_interval(unit: Unit, subst: Dict[str, object]) -> Optional[str]:
+    if unit.head_interval is None:
+        return None
+    interval = unit.head_interval
+    sides: List[Optional[str]] = []
+    for side in (interval.left, interval.right):
+        if isinstance(side, str):
+            target = subst.get(side)
+            if isinstance(target, Variable):
+                sides.append(target.name)
+            elif target is None:
+                sides.append(side)
+            else:
+                return None  # bound to a constant: not comparable here
+        else:
+            sides.append(side)
+    return f"{interval.kind}({sides[0]},{sides[1]},{interval.delta})"
+
+
+def check_duplicates(units: Sequence[Unit]) -> LintReport:
+    report = LintReport()
+    canon: Dict[str, Unit] = {}
+    for unit in units:
+        text = _canonical_text(unit)
+        original = canon.get(text)
+        if original is not None:
+            report.findings.append(
+                Finding(
+                    code="W501",
+                    message=(
+                        f"{unit.kind} {unit.name} duplicates {original.name} up "
+                        "to variable renaming; their weights stack silently"
+                    ),
+                    statement=unit.name,
+                    span=unit.statement_span,
+                    source=unit.source,
+                )
+            )
+        else:
+            canon[text] = unit
+
+    for specific in units:
+        for general in units:
+            if general is specific:
+                continue
+            if _subsumes(general, specific):
+                report.findings.append(
+                    Finding(
+                        code="W502",
+                        message=(
+                            f"{specific.kind} {specific.name} is subsumed by "
+                            f"{general.name}: every match already fires the "
+                            "more general statement"
+                        ),
+                        statement=specific.name,
+                        span=specific.statement_span,
+                        source=specific.source,
+                    )
+                )
+                break
+    return report

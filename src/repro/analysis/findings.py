@@ -1,0 +1,380 @@
+"""The structured finding model of the ``tecore lint`` static analyzer.
+
+Every diagnostic the analyzer can emit has a *stable* code registered in
+:data:`DIAGNOSTICS` — codes are part of the tool's public contract (CI
+pipelines grep for them, ``--expect-findings`` matches on them) and must
+never be renumbered.  The letter encodes the default severity family
+(``E`` error, ``W`` warning, ``I`` info); the hundreds digit groups codes
+by analysis pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..logic.parser import SourceSpan
+
+
+class Severity(str, Enum):
+    """Finding severity: errors gate by default, warnings under ``--strict``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """Catalogue entry for one stable diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    description: str
+
+
+def _catalogue(entries: Tuple[Diagnostic, ...]) -> Dict[str, Diagnostic]:
+    table: Dict[str, Diagnostic] = {}
+    for entry in entries:
+        if entry.code in table:  # pragma: no cover - authoring guard
+            raise ValueError(f"duplicate diagnostic code {entry.code}")
+        table[entry.code] = entry
+    return table
+
+
+#: Every diagnostic the analyzer can emit, by stable code.
+DIAGNOSTICS: Dict[str, Diagnostic] = _catalogue(
+    (
+        # -- parse / structure (0xx) ------------------------------------- #
+        Diagnostic(
+            "E001",
+            Severity.ERROR,
+            "parse error",
+            "The statement could not be parsed as a rule or constraint.",
+        ),
+        # -- safety / range restriction (1xx) ----------------------------- #
+        Diagnostic(
+            "E101",
+            Severity.ERROR,
+            "unsafe head variable",
+            "A head variable (or head-interval argument) is not bound by any "
+            "positive body atom, so the rule cannot be grounded.",
+        ),
+        Diagnostic(
+            "E102",
+            Severity.ERROR,
+            "unsafe condition variable",
+            "A condition references a variable that no body atom binds.",
+        ),
+        Diagnostic(
+            "E103",
+            Severity.ERROR,
+            "empty body",
+            "The statement's body contains no quad atom to ground against.",
+        ),
+        Diagnostic(
+            "E104",
+            Severity.ERROR,
+            "trivial denial",
+            "A single-atom constraint with no conditions would delete every "
+            "fact of its predicate — almost certainly a mistake.",
+        ),
+        Diagnostic(
+            "I105",
+            Severity.INFO,
+            "singleton variable",
+            "A body variable occurs exactly once in the statement; if it is "
+            "not an intentional projection, it may be a typo.",
+        ),
+        # -- schema conformance (2xx) ------------------------------------- #
+        Diagnostic(
+            "E201",
+            Severity.ERROR,
+            "entity/interval sort clash",
+            "The same variable is used in both an entity position and an "
+            "interval position; no fact tuple can bind both, so the body "
+            "never matches.",
+        ),
+        Diagnostic(
+            "E202",
+            Severity.ERROR,
+            "temporal predicate over entity variable",
+            "An Allen-relation condition is applied to a variable bound in an "
+            "entity position; grounding raises on evaluation.",
+        ),
+        Diagnostic(
+            "E203",
+            Severity.ERROR,
+            "term equality over interval variable",
+            "A term (in)equality compares a variable bound in an interval "
+            "position; grounding raises on evaluation.",
+        ),
+        Diagnostic(
+            "E204",
+            Severity.ERROR,
+            "interval accessor over entity variable",
+            "start()/end()/duration() is applied to a variable bound only in "
+            "entity positions; grounding raises on evaluation.",
+        ),
+        Diagnostic(
+            "W205",
+            Severity.WARNING,
+            "unknown predicate",
+            "A body predicate occurs neither in the loaded graph nor as any "
+            "rule's head predicate, so the atom can never match.",
+        ),
+        # -- temporal satisfiability (3xx) --------------------------------- #
+        Diagnostic(
+            "E301",
+            Severity.ERROR,
+            "temporally unsatisfiable body",
+            "The body's interval/order conditions are jointly unsatisfiable "
+            "(point-algebra closure is inconsistent): the statement is dead "
+            "and can never fire.",
+        ),
+        Diagnostic(
+            "W302",
+            Severity.WARNING,
+            "tautological constraint",
+            "The constraint's head conditions are entailed by its body "
+            "conditions, so it can never be violated (dead weight).",
+        ),
+        Diagnostic(
+            "W303",
+            Severity.WARNING,
+            "constraint reduces to a denial",
+            "The head conditions are unsatisfiable together with the body "
+            "conditions: every applicable match is a violation.  If a pure "
+            "denial is intended, drop the head conditions.",
+        ),
+        Diagnostic(
+            "I304",
+            Severity.INFO,
+            "redundant condition",
+            "A condition is entailed by the statement's other conditions and "
+            "can be removed without changing its meaning.",
+        ),
+        # -- hard-conflict analysis (4xx) ---------------------------------- #
+        Diagnostic(
+            "E401",
+            Severity.ERROR,
+            "statically infeasible hard core",
+            "Every firing of this hard rule necessarily violates a hard "
+            "constraint using only the rule's own body facts and derived "
+            "head — the opposite-polarity coupling class behind the "
+            "repair_hard ping-pong bug.  The MAP state can only escape by "
+            "deleting the rule's body evidence.",
+        ),
+        Diagnostic(
+            "W402",
+            Severity.WARNING,
+            "opposite-polarity hard coupling",
+            "A hard rule's head predicate feeds a hard constraint's body: "
+            "hard-clause repair must coordinate opposite polarities on the "
+            "shared atoms (the class that made greedy repair ping-pong).",
+        ),
+        Diagnostic(
+            "E403",
+            Severity.ERROR,
+            "infeasible hard clauses",
+            "Unit propagation over the ground program's hard clauses derives "
+            "a contradiction: no assignment satisfies them, and every MAP "
+            "solver will raise InfeasibleProgramError.",
+        ),
+        # -- subsumption / duplicates (5xx) -------------------------------- #
+        Diagnostic(
+            "W501",
+            Severity.WARNING,
+            "duplicate statement",
+            "Two statements are identical up to variable renaming; their "
+            "weights stack silently.",
+        ),
+        Diagnostic(
+            "W502",
+            Severity.WARNING,
+            "subsumed statement",
+            "A statement's body is a superset of another statement with the "
+            "same head, so every one of its matches already fires the more "
+            "general statement.",
+        ),
+        # -- performance lints (6xx) --------------------------------------- #
+        Diagnostic(
+            "W601",
+            Severity.WARNING,
+            "variable predicate forces backtracking fallback",
+            "A body atom with a variable in predicate position cannot be "
+            "joined columnar-ly; the vectorized grounder falls back to "
+            "indexed backtracking for the whole body.",
+        ),
+        Diagnostic(
+            "W602",
+            Severity.WARNING,
+            "condition forces per-row fallback",
+            "A condition outside the vectorizable forms (Allen atom, "
+            "comparison, term equality) is evaluated per match row on the "
+            "scalar path.",
+        ),
+        Diagnostic(
+            "W603",
+            Severity.WARNING,
+            "head interval forces per-row fallback",
+            "The head-interval expression is outside the vectorized kinds "
+            "(variable, intersection, union, shift) and is evaluated per "
+            "match row on the scalar path.",
+        ),
+        Diagnostic(
+            "W604",
+            Severity.WARNING,
+            "unbounded cross product",
+            "Groups of body atoms share no variables (directly or through "
+            "conditions): grounding enumerates their full cross product.",
+        ),
+        Diagnostic(
+            "I605",
+            Severity.INFO,
+            "large grounding estimate",
+            "The relation cardinalities of the loaded graph put the naive "
+            "join-candidate estimate for this body above the reporting "
+            "threshold.",
+        ),
+    )
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic instance, anchored to a statement (and span when known)."""
+
+    code: str
+    message: str
+    statement: str = ""
+    span: Optional[SourceSpan] = None
+    source: Optional[str] = None
+    hint: str = ""
+
+    @property
+    def severity(self) -> Severity:
+        return DIAGNOSTICS[self.code].severity
+
+    @property
+    def title(self) -> str:
+        return DIAGNOSTICS[self.code].title
+
+    def location(self) -> str:
+        """``source:line:column`` (best effort) for text output."""
+        parts: List[str] = []
+        if self.source:
+            parts.append(self.source)
+        if self.span is not None:
+            parts.append(f"{self.span.line}:{self.span.column}")
+        return ":".join(parts)
+
+    def render(self) -> str:
+        location = self.location()
+        prefix = f"{location}: " if location else ""
+        statement = f" [{self.statement}]" if self.statement else ""
+        text = f"{prefix}{self.severity.value} {self.code}{statement}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "title": self.title,
+            "message": self.message,
+            "statement": self.statement,
+        }
+        if self.span is not None:
+            payload["span"] = {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            }
+        if self.source:
+            payload["source"] = self.source
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+@dataclass
+class LintReport:
+    """All findings of one analyzer run, with severity roll-ups."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def extend(self, findings: "LintReport") -> None:
+        self.findings.extend(findings.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when nothing gates: no errors (nor warnings under strict)."""
+        if self.errors:
+            return False
+        return not (strict and self.warnings)
+
+    def codes(self) -> List[str]:
+        return [finding.code for finding in self.findings]
+
+    def sorted(self) -> "LintReport":
+        """Findings ordered by source position, then severity, then code."""
+        rank = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+        def key(finding: Finding) -> Tuple[str, int, int, int, str]:
+            span = finding.span
+            return (
+                finding.source or "",
+                span.line if span else 0,
+                span.column if span else 0,
+                rank[finding.severity],
+                finding.code,
+            )
+
+        return LintReport(findings=sorted(self.findings, key=key))
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.sorted()]
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable JSON shape of ``tecore lint --json`` (see docs/analysis.md)."""
+        return {
+            "version": 1,
+            "findings": [finding.to_dict() for finding in self.sorted()],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "ok": self.ok(),
+                "ok_strict": self.ok(strict=True),
+            },
+        }

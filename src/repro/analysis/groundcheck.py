@@ -1,0 +1,90 @@
+"""Ground-program feasibility pre-check (E403).
+
+Unit propagation over a :class:`~repro.logic.ground.GroundProgram`'s hard
+clauses: hard unit clauses force literals, forced literals shrink other
+hard clauses, and an emptied hard clause is a contradiction.  Propagation
+is sound but incomplete — **E403 implies every MAP solver raises
+``InfeasibleProgramError``** (the differential tests assert exactly this),
+while silence proves nothing.
+
+Programs built by the pipeline's translator are immune by construction
+(every hard clause it emits carries a negative literal, so the all-false
+assignment satisfies them); the check exists for hand-built programs fed
+straight to the solver layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..logic.ground import GroundProgram
+from .findings import Finding, LintReport
+
+
+def propagate_hard_clauses(program: GroundProgram) -> Optional[List[str]]:
+    """Run unit propagation; the contradiction trail, or None when consistent.
+
+    The returned trail renders the propagation chain (clause origins) that
+    derived the contradiction, newest last.
+    """
+    hard = [clause for clause in program.clauses if clause.is_hard]
+    forced: Dict[int, bool] = {}
+    reasons: Dict[int, str] = {}
+
+    watch: List[Optional[object]] = list(hard)
+
+    changed = True
+    while changed:
+        changed = False
+        for position, clause in enumerate(watch):
+            if clause is None:
+                continue
+            unassigned: List[tuple] = []
+            satisfied = False
+            for atom, positive in clause.literals:  # type: ignore[union-attr]
+                value = forced.get(atom)
+                if value is None:
+                    unassigned.append((atom, positive))
+                elif value == positive:
+                    satisfied = True
+                    break
+            if satisfied:
+                watch[position] = None
+                continue
+            if not unassigned:
+                origin = clause.origin or str(clause)  # type: ignore[union-attr]
+                conflicting = [
+                    reasons[atom]
+                    for atom, _positive in clause.literals  # type: ignore[union-attr]
+                    if atom in reasons
+                ]
+                return [*dict.fromkeys(conflicting), f"falsified hard clause {origin}"]
+            if len(unassigned) == 1:
+                atom, positive = unassigned[0]
+                forced[atom] = positive
+                origin = clause.origin or str(clause)  # type: ignore[union-attr]
+                reasons[atom] = (
+                    f"hard clause {origin} forces x{atom}={'true' if positive else 'false'}"
+                )
+                watch[position] = None
+                changed = True
+    return None
+
+
+def check_ground_program(program: GroundProgram) -> LintReport:
+    """E403 when unit propagation refutes the program's hard clauses."""
+    report = LintReport()
+    trail = propagate_hard_clauses(program)
+    if trail is not None:
+        rendered = "; ".join(trail)
+        report.findings.append(
+            Finding(
+                code="E403",
+                message=(
+                    "hard clauses are unsatisfiable — unit propagation derives "
+                    f"a contradiction ({rendered}); every MAP solver will raise "
+                    "InfeasibleProgramError"
+                ),
+            )
+        )
+    return report

@@ -1,0 +1,276 @@
+"""Pass 4: hard-conflict analysis over the rule/constraint coupling graph.
+
+The greedy hard-clause repair bug class fixed in the solver layer (the
+``repair_hard`` ping-pong) has a *static* signature: a hard rule whose every
+firing necessarily violates a hard constraint, using only the rule's own
+body facts and derived head.  Repair can then only escape by deleting the
+rule's body evidence — flipping the same atoms back and forth.
+
+**E401** flags exactly this: a homomorphism from the hard constraint's body
+into ``rule.body ∪ {head}`` (covering the head) under which the constraint's
+body conditions are entailed by the rule's conditions and its head
+conditions cannot hold.  All entailment is delegated to the point-algebra
+machinery of :mod:`.temporal_sat`; everything that cannot be verified makes
+the check bail *without* a finding, so E401 never fires spuriously.
+
+**W402** is the coarse coupling lint: a hard rule's head predicate feeds a
+hard constraint's body (opposite polarities on shared ground atoms) but the
+strong E401 conditions were not established.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.atom import ConditionAtom, QuadAtom, TermEquality
+from ..logic.terms import Variable
+from ..temporal.pointalgebra import Relation
+from .findings import Finding, LintReport
+from .model import Unit
+from .temporal_sat import ConditionNetwork, encode_condition
+
+#: Substitution: constraint variable name → rule-side term (Variable/constant).
+_Subst = Dict[str, object]
+
+
+def _match_term(pattern: object, target: object, subst: _Subst) -> Optional[_Subst]:
+    """One-way match of a constraint term against a rule term."""
+    if isinstance(pattern, Variable):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            extended = dict(subst)
+            extended[pattern.name] = target
+            return extended
+        return subst if bound == target else None
+    return subst if pattern == target else None
+
+
+def _match_atom(pattern: QuadAtom, target: QuadAtom, subst: _Subst) -> Optional[_Subst]:
+    for pattern_term, target_term in (
+        (pattern.subject, target.subject),
+        (pattern.predicate, target.predicate),
+        (pattern.object, target.object),
+        (pattern.interval, target.interval),
+    ):
+        next_subst = _match_term(pattern_term, target_term, subst)
+        if next_subst is None:
+            return None
+        subst = next_subst
+    return subst
+
+
+def _embeddings(
+    patterns: Sequence[QuadAtom],
+    targets: Sequence[QuadAtom],
+    subst: _Subst,
+    used: frozenset,
+) -> List[_Subst]:
+    """All injective embeddings of ``patterns`` into ``targets``.
+
+    Injectivity (distinct targets) guards against degenerate matches where
+    two constraint atoms collapse onto the same rule atom.
+    """
+    if not patterns:
+        return [subst]
+    head, *rest = patterns
+    results: List[_Subst] = []
+    for index, target in enumerate(targets):
+        if index in used:
+            continue
+        extended = _match_atom(head, target, subst)
+        if extended is not None:
+            results.extend(_embeddings(rest, targets, extended, used | {index}))
+    return results
+
+
+def _rename_encoding(
+    encoded: Tuple[bool, Tuple[Tuple[object, Relation, object], ...]],
+    subst: _Subst,
+) -> Optional[Tuple[bool, Tuple[Tuple[object, Relation, object], ...]]]:
+    """Rewrite an encoding's nodes through the substitution.
+
+    Bails (None) when a constrained variable maps to a non-variable — a
+    constant interval cannot be represented in the point network.
+    """
+    exact, constraints = encoded
+    renamed: List[Tuple[object, Relation, object]] = []
+    for left, relation, right in constraints:
+        nodes: List[object] = []
+        for node in (left, right):
+            name, point = node  # type: ignore[misc]
+            if name == "const":
+                nodes.append(node)
+                continue
+            target = subst.get(name, Variable(name))
+            if not isinstance(target, Variable):
+                return None
+            nodes.append((target.name, point))
+        renamed.append((nodes[0], relation, nodes[1]))
+    return exact, tuple(renamed)
+
+
+def _equality_after(condition: TermEquality, subst: _Subst) -> Optional[bool]:
+    """Truth of a substituted term (in)equality, when statically decidable."""
+
+    def resolve(term: object) -> object:
+        if isinstance(term, Variable):
+            return subst.get(term.name, term)
+        return term
+
+    left = resolve(condition.left)
+    right = resolve(condition.right)
+    if left == right:
+        return not condition.negated
+    if not isinstance(left, Variable) and not isinstance(right, Variable):
+        return condition.negated
+    return None
+
+
+def _rule_network(rule: Unit) -> Optional[ConditionNetwork]:
+    """The rule's closed condition network; None when inconsistent."""
+    network = ConditionNetwork()
+    _entity, interval_vars = rule.body_variable_positions()
+    for name in interval_vars:
+        network.add_interval_variable(name)
+    for condition in rule.conditions:
+        encoded = encode_condition(condition)
+        if encoded is not None:
+            network.add_encoded(encoded)
+    if not network.finalise():
+        return None
+    return network
+
+
+def _body_conditions_entailed(
+    constraint: Unit, subst: _Subst, network: ConditionNetwork
+) -> bool:
+    """Every constraint body condition provably holds whenever the rule fires."""
+    for condition in constraint.conditions:
+        if isinstance(condition, TermEquality):
+            if _equality_after(condition, subst) is not True:
+                return False
+            continue
+        encoded = encode_condition(condition)
+        if encoded is None:
+            return False
+        renamed = _rename_encoding(encoded, subst)
+        if renamed is None or not network.entails_encoded(renamed):
+            return False
+    return True
+
+
+def _head_conditions_refuted(
+    constraint: Unit, subst: _Subst, rule: Unit
+) -> bool:
+    """The constraint's head conditions cannot all hold given the rule.
+
+    True for pure denials (no head conditions), for a statically-false
+    substituted (in)equality, and when the head conditions' necessary
+    encodings are jointly unsatisfiable with the rule's network.
+    """
+    if not constraint.head_conditions:
+        return True
+    for condition in constraint.head_conditions:
+        if isinstance(condition, TermEquality) and (
+            _equality_after(condition, subst) is False
+        ):
+            return True
+
+    network = ConditionNetwork()
+    _entity, interval_vars = rule.body_variable_positions()
+    for name in interval_vars:
+        network.add_interval_variable(name)
+    for condition in rule.conditions:
+        encoded = encode_condition(condition)
+        if encoded is not None:
+            network.add_encoded(encoded)
+    for condition in constraint.head_conditions:
+        encoded = encode_condition(condition)
+        if encoded is None:
+            continue
+        renamed = _rename_encoding(encoded, subst)
+        if renamed is not None:
+            network.add_encoded(renamed)
+    return not network.finalise()
+
+
+def _predicate_name(atom: QuadAtom) -> Optional[str]:
+    if isinstance(atom.predicate, Variable):
+        return None
+    return getattr(atom.predicate, "value", str(atom.predicate))
+
+
+def _infeasible_pair(rule: Unit, constraint: Unit) -> bool:
+    """True when every firing of ``rule`` necessarily violates ``constraint``."""
+    if rule.head_atom is None:
+        return False
+    network = _rule_network(rule)
+    if network is None:
+        return False  # rule is dead (E301 covers it); nothing ever fires
+    targets: List[QuadAtom] = [rule.head_atom, *rule.body]
+    for anchor_index, anchor in enumerate(constraint.body):
+        subst = _match_atom(anchor, rule.head_atom, {})
+        if subst is None:
+            continue
+        rest = [
+            atom
+            for index, atom in enumerate(constraint.body)
+            if index != anchor_index
+        ]
+        for embedding in _embeddings(rest, targets, subst, frozenset({0})):
+            if _body_conditions_entailed(
+                constraint, embedding, network
+            ) and _head_conditions_refuted(constraint, embedding, rule):
+                return True
+    return False
+
+
+def check_hard_conflicts(units: Sequence[Unit]) -> LintReport:
+    """E401/W402 over all hard rule × hard constraint pairs of a program."""
+    report = LintReport()
+    hard_rules = [u for u in units if u.is_rule and u.is_hard and u.head_atom]
+    hard_constraints = [u for u in units if not u.is_rule and u.is_hard]
+    for rule in hard_rules:
+        head_predicate = _predicate_name(rule.head_atom)  # type: ignore[arg-type]
+        for constraint in hard_constraints:
+            couples = head_predicate is not None and any(
+                _predicate_name(atom) in (head_predicate, None)
+                for atom in constraint.body
+            )
+            if not couples:
+                continue
+            if _infeasible_pair(rule, constraint):
+                report.findings.append(
+                    Finding(
+                        code="E401",
+                        message=(
+                            f"every firing of hard rule {rule.name} necessarily "
+                            f"violates hard constraint {constraint.name}; the "
+                            "MAP state can only escape by deleting the rule's "
+                            "body evidence"
+                        ),
+                        statement=rule.name,
+                        span=rule.head_span(),
+                        source=rule.source,
+                        hint=(
+                            "soften the rule or the constraint, or restrict "
+                            "the rule's conditions so the constraint cannot match"
+                        ),
+                    )
+                )
+            else:
+                report.findings.append(
+                    Finding(
+                        code="W402",
+                        message=(
+                            f"hard rule {rule.name} derives {head_predicate}, "
+                            f"which hard constraint {constraint.name} penalises; "
+                            "hard-clause repair must coordinate opposite "
+                            "polarities on the shared atoms"
+                        ),
+                        statement=rule.name,
+                        span=rule.head_span(),
+                        source=rule.source,
+                    )
+                )
+    return report

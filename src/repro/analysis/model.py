@@ -1,0 +1,204 @@
+"""The analyzer's statement model.
+
+All passes consume :class:`Unit` — a normalised view of one rule or
+constraint that exists *independently* of whether the statement came from
+built objects (``TeCoRe(rules=…)``), a pack, or program text (where it may
+even have failed rule/constraint validation).  Units built from text carry
+:class:`~repro.logic.parser.StatementSpans` so findings can point at the
+offending atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..logic.atom import ConditionAtom, QuadAtom
+from ..logic.constraint import TemporalConstraint
+from ..logic.parser import RawStatement, SourceSpan, StatementSpans
+from ..logic.rule import TemporalRule
+from ..logic.terms import Variable
+from ..temporal import IntervalExpression
+
+
+@dataclass
+class Unit:
+    """One statement normalised for analysis.
+
+    ``conditions`` holds a rule's conditions or a constraint's *body*
+    conditions; ``head_conditions`` is non-empty only for constraints.
+    ``weight`` follows the library convention: ``None`` means hard.
+    """
+
+    name: str
+    kind: str  # "rule" | "constraint"
+    body: Tuple[QuadAtom, ...]
+    conditions: Tuple[ConditionAtom, ...]
+    head_atom: Optional[QuadAtom] = None
+    head_conditions: Tuple[ConditionAtom, ...] = ()
+    head_interval: Optional[IntervalExpression] = None
+    weight: Optional[float] = None
+    spans: Optional[StatementSpans] = None
+    source: Optional[str] = None
+    statement: Optional[Union[TemporalRule, TemporalConstraint]] = None
+    _position_cache: Optional[Tuple[Set[str], Set[str]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_rule(self) -> bool:
+        return self.kind == "rule"
+
+    @property
+    def is_hard(self) -> bool:
+        return self.weight is None
+
+    # -- span helpers --------------------------------------------------- #
+    @property
+    def statement_span(self) -> Optional[SourceSpan]:
+        return self.spans.statement if self.spans is not None else None
+
+    def body_span(self, index: int) -> Optional[SourceSpan]:
+        if self.spans is not None and index < len(self.spans.body):
+            return self.spans.body[index]
+        return self.statement_span
+
+    def condition_span(self, index: int) -> Optional[SourceSpan]:
+        if self.spans is not None and index < len(self.spans.conditions):
+            return self.spans.conditions[index]
+        return self.statement_span
+
+    def head_span(self) -> Optional[SourceSpan]:
+        if self.spans is not None and self.spans.head is not None:
+            return self.spans.head
+        return self.statement_span
+
+    def head_condition_span(self, index: int) -> Optional[SourceSpan]:
+        if self.spans is not None and index < len(self.spans.head_conditions):
+            return self.spans.head_conditions[index]
+        return self.statement_span
+
+    # -- variable classification ---------------------------------------- #
+    def body_variable_positions(self) -> Tuple[Set[str], Set[str]]:
+        """Names of body variables by sort: (entity positions, interval positions)."""
+        if self._position_cache is None:
+            entity: Set[str] = set()
+            interval: Set[str] = set()
+            for atom in self.body:
+                for position in (atom.subject, atom.predicate, atom.object):
+                    if isinstance(position, Variable):
+                        entity.add(position.name)
+                if isinstance(atom.interval, Variable):
+                    interval.add(atom.interval.name)
+            self._position_cache = (entity, interval)
+        return self._position_cache
+
+    def body_variable_names(self) -> Set[str]:
+        entity, interval = self.body_variable_positions()
+        return entity | interval
+
+    def all_conditions(self) -> Tuple[Tuple[str, int, ConditionAtom], ...]:
+        """Every condition with its group ("condition"/"head") and index."""
+        items: List[Tuple[str, int, ConditionAtom]] = []
+        for index, condition in enumerate(self.conditions):
+            items.append(("condition", index, condition))
+        for index, condition in enumerate(self.head_conditions):
+            items.append(("head", index, condition))
+        return tuple(items)
+
+    def span_for(self, group: str, index: int) -> Optional[SourceSpan]:
+        if group == "head":
+            return self.head_condition_span(index)
+        return self.condition_span(index)
+
+
+# --------------------------------------------------------------------------- #
+# Constructors
+# --------------------------------------------------------------------------- #
+def unit_from_rule(
+    rule: TemporalRule,
+    spans: Optional[StatementSpans] = None,
+    source: Optional[str] = None,
+) -> Unit:
+    return Unit(
+        name=rule.name,
+        kind="rule",
+        body=tuple(rule.body),
+        conditions=tuple(rule.conditions),
+        head_atom=rule.head,
+        head_interval=rule.head_interval,
+        weight=rule.weight,
+        spans=spans,
+        source=source,
+        statement=rule,
+    )
+
+
+def unit_from_constraint(
+    constraint: TemporalConstraint,
+    spans: Optional[StatementSpans] = None,
+    source: Optional[str] = None,
+) -> Unit:
+    return Unit(
+        name=constraint.name,
+        kind="constraint",
+        body=tuple(constraint.body),
+        conditions=tuple(constraint.body_conditions),
+        head_conditions=tuple(constraint.head_conditions),
+        weight=constraint.weight,
+        spans=spans,
+        source=source,
+        statement=constraint,
+    )
+
+
+def unit_from_raw(raw: RawStatement, source: Optional[str] = None) -> Unit:
+    """A unit from a pre-validation parse result (safety may not hold)."""
+    if raw.is_rule:
+        head_atom = raw.head if isinstance(raw.head, QuadAtom) else None
+        return Unit(
+            name=raw.name,
+            kind="rule",
+            body=raw.body,
+            conditions=raw.conditions,
+            head_atom=head_atom,
+            head_interval=raw.head_interval,
+            weight=raw.effective_weight,
+            spans=raw.spans,
+            source=source,
+        )
+    return Unit(
+        name=raw.name,
+        kind="constraint",
+        body=raw.body,
+        conditions=raw.conditions,
+        head_conditions=raw.head_conditions,
+        weight=raw.effective_weight,
+        spans=raw.spans,
+        source=source,
+    )
+
+
+def variable_occurrences(unit: Unit) -> Dict[str, int]:
+    """How often each variable name occurs across the whole statement."""
+    counts: Dict[str, int] = {}
+
+    def bump(variable: Variable) -> None:
+        counts[variable.name] = counts.get(variable.name, 0) + 1
+
+    atoms: List[QuadAtom] = list(unit.body)
+    if unit.head_atom is not None:
+        atoms.append(unit.head_atom)
+    for atom in atoms:
+        for position in (atom.subject, atom.predicate, atom.object, atom.interval):
+            if isinstance(position, Variable):
+                bump(position)
+    for _group, _index, condition in unit.all_conditions():
+        for variable in condition.variables():
+            bump(variable)
+    if unit.head_interval is not None:
+        for name in (unit.head_interval.left, unit.head_interval.right):
+            if isinstance(name, str):
+                counts[name] = counts.get(name, 0) + 1
+    return counts

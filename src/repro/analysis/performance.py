@@ -1,0 +1,213 @@
+"""Pass 6: performance lints mirroring the VectorizedGrounder's fast paths.
+
+The W6xx codes are *exactly* the constructs that push
+:class:`~repro.logic.vectorized.VectorizedGrounder` off its columnar path
+(see ``_CompiledBody``, ``_condition_mask`` and ``_head_interval_columns``):
+
+* **W601** — a variable in predicate position compiles the whole body to
+  the indexed-backtracking fallback;
+* **W602** — a condition outside {Allen atom, comparison over supported
+  expressions, term equality} is evaluated per match row;
+* **W603** — a head-interval expression outside {var, intersection, union,
+  shift} is evaluated per match row;
+* **W604** — body atoms that share no variables (directly or through
+  conditions) make grounding enumerate their full cross product;
+* **I605** — with a loaded graph, the naive join-candidate estimate
+  (product of the body predicates' fact counts) exceeds the reporting
+  threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..logic.atom import AllenAtom, Comparison, TermEquality
+from ..logic.expressions import (
+    BinaryOp,
+    Expression,
+    IntervalDuration,
+    IntervalEnd,
+    IntervalStart,
+    Number,
+    TermValue,
+)
+from ..logic.terms import Variable
+from .findings import Finding, LintReport
+from .model import Unit
+
+#: Head-interval kinds `_head_interval_columns` evaluates columnar-ly.
+VECTORIZED_INTERVAL_KINDS = frozenset({"var", "intersection", "union", "shift"})
+
+#: Default I605 reporting threshold for the naive join-candidate estimate.
+ESTIMATE_THRESHOLD = 1_000_000
+
+
+def _expression_vectorizable(expression: Expression) -> bool:
+    """True when `_evaluate_expression` handles every node of the tree."""
+    stack: List[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp):
+            stack.extend((node.left, node.right))
+        elif not isinstance(
+            node,
+            (Number, IntervalStart, IntervalEnd, IntervalDuration, TermValue),
+        ):
+            return False
+    return True
+
+
+def _condition_vectorizable(condition: object) -> bool:
+    if isinstance(condition, (AllenAtom, TermEquality)):
+        return True
+    if isinstance(condition, Comparison):
+        return _expression_vectorizable(
+            condition.left
+        ) and _expression_vectorizable(condition.right)
+    return False
+
+
+def _connected_components(unit: Unit) -> int:
+    """Number of variable-connected groups of body atoms.
+
+    *Body* conditions count as connectors: an Allen condition over two
+    intervals links the atoms that bind them during the join.  A
+    constraint's head conditions do not — they are only checked on the
+    already-enumerated matches, so they cannot shrink the cross product.
+    """
+    if len(unit.body) < 2:
+        return len(unit.body)
+    atom_vars: List[Set[str]] = []
+    for atom in unit.body:
+        names = {
+            position.name
+            for position in (atom.subject, atom.predicate, atom.object, atom.interval)
+            if isinstance(position, Variable)
+        }
+        atom_vars.append(names)
+
+    # Union-find over atoms; conditions merge the atoms binding their vars.
+    parent = list(range(len(unit.body)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    def union(first: int, second: int) -> None:
+        parent[find(first)] = find(second)
+
+    by_variable: Dict[str, int] = {}
+    for index, names in enumerate(atom_vars):
+        for name in names:
+            if name in by_variable:
+                union(index, by_variable[name])
+            else:
+                by_variable[name] = index
+    for condition in unit.conditions:
+        anchors = [
+            by_variable[v.name]
+            for v in condition.variables()
+            if v.name in by_variable
+        ]
+        for anchor in anchors[1:]:
+            union(anchors[0], anchor)
+    return len({find(index) for index in range(len(unit.body))})
+
+
+def check_performance(
+    unit: Unit, cardinalities: Optional[Dict[str, int]] = None
+) -> LintReport:
+    report = LintReport()
+
+    for index, atom in enumerate(unit.body):
+        if isinstance(atom.predicate, Variable):
+            report.findings.append(
+                Finding(
+                    code="W601",
+                    message=(
+                        f"variable predicate ?{atom.predicate.name} forces the "
+                        "vectorized grounder onto the indexed-backtracking "
+                        "fallback for the whole body"
+                    ),
+                    statement=unit.name,
+                    span=unit.body_span(index),
+                    source=unit.source,
+                )
+            )
+            break  # one fallback note per body is enough
+
+    for group, index, condition in unit.all_conditions():
+        if not _condition_vectorizable(condition):
+            report.findings.append(
+                Finding(
+                    code="W602",
+                    message=(
+                        f"condition {condition} is outside the vectorizable "
+                        "forms and is evaluated per match row"
+                    ),
+                    statement=unit.name,
+                    span=unit.span_for(group, index),
+                    source=unit.source,
+                )
+            )
+
+    if (
+        unit.head_interval is not None
+        and unit.head_interval.kind not in VECTORIZED_INTERVAL_KINDS
+    ):
+        report.findings.append(
+            Finding(
+                code="W603",
+                message=(
+                    f"head-interval kind {unit.head_interval.kind!r} is outside "
+                    "the vectorized kinds and is evaluated per match row"
+                ),
+                statement=unit.name,
+                span=unit.head_span(),
+                source=unit.source,
+            )
+        )
+
+    if _connected_components(unit) > 1:
+        report.findings.append(
+            Finding(
+                code="W604",
+                message=(
+                    "body atoms form disconnected groups; grounding enumerates "
+                    "their full cross product"
+                ),
+                statement=unit.name,
+                span=unit.body_span(0),
+                source=unit.source,
+                hint="join the groups through a shared variable or condition",
+            )
+        )
+
+    if cardinalities:
+        estimate = 1
+        known_any = False
+        for atom in unit.body:
+            if isinstance(atom.predicate, Variable):
+                estimate *= max(1, sum(cardinalities.values()))
+                known_any = True
+                continue
+            name = getattr(atom.predicate, "value", str(atom.predicate))
+            if name in cardinalities:
+                estimate *= max(1, cardinalities[name])
+                known_any = True
+        if known_any and estimate > ESTIMATE_THRESHOLD:
+            report.findings.append(
+                Finding(
+                    code="I605",
+                    message=(
+                        f"naive join-candidate estimate is {estimate:,} rows "
+                        "for this body against the loaded graph"
+                    ),
+                    statement=unit.name,
+                    span=unit.body_span(0),
+                    source=unit.source,
+                )
+            )
+    return report

@@ -1,0 +1,124 @@
+"""Pass 1: safety / range restriction and singleton-variable hygiene.
+
+Mirrors the eager validation in :class:`~repro.logic.rule.TemporalRule` /
+:class:`~repro.logic.constraint.TemporalConstraint` ``__post_init__`` but
+reports findings with source spans instead of raising, so a whole program
+can be vetted in one run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..logic.terms import Variable
+from .findings import Finding, LintReport
+from .model import Unit, variable_occurrences
+
+
+def check_safety(unit: Unit) -> LintReport:
+    report = LintReport()
+    if not unit.body:
+        report.findings.append(
+            Finding(
+                code="E103",
+                message=f"{unit.kind} body contains no quad atom",
+                statement=unit.name,
+                span=unit.statement_span,
+                source=unit.source,
+            )
+        )
+        return report
+
+    if (
+        not unit.is_rule
+        and len(unit.body) < 2
+        and not unit.conditions
+        and not unit.head_conditions
+    ):
+        report.findings.append(
+            Finding(
+                code="E104",
+                message=(
+                    "single-atom constraint with no conditions would mark every "
+                    "fact of its predicate as a conflict"
+                ),
+                statement=unit.name,
+                span=unit.statement_span,
+                source=unit.source,
+                hint="add a second body atom or a body/head condition",
+            )
+        )
+
+    body_vars = {variable.name for atom in unit.body for variable in atom.variables()}
+    unsafe: Set[str] = set()
+
+    # Head quad variables (interval position only when no head-interval
+    # expression overrides it) plus the head-interval's own arguments.
+    if unit.head_atom is not None:
+        head_vars: Set[str] = {v.name for v in unit.head_atom.entity_variables()}
+        interval_variable = unit.head_atom.interval_variable()
+        if interval_variable is not None and unit.head_interval is None:
+            head_vars.add(interval_variable.name)
+        if unit.head_interval is not None:
+            for argument in (unit.head_interval.left, unit.head_interval.right):
+                if isinstance(argument, str):
+                    head_vars.add(argument)
+        unsafe = head_vars - body_vars
+        if unsafe:
+            names = ", ".join(sorted(unsafe))
+            report.findings.append(
+                Finding(
+                    code="E101",
+                    message=f"head variable(s) {names} do not appear in the body",
+                    statement=unit.name,
+                    span=unit.head_span(),
+                    source=unit.source,
+                )
+            )
+
+    for group, index, condition in unit.all_conditions():
+        loose = {v.name for v in condition.variables()} - body_vars
+        if loose:
+            names = ", ".join(sorted(loose))
+            label = "head condition" if group == "head" else "condition"
+            report.findings.append(
+                Finding(
+                    code="E102",
+                    message=f"{label} variable(s) {names} do not appear in the body",
+                    statement=unit.name,
+                    span=unit.span_for(group, index),
+                    source=unit.source,
+                )
+            )
+            unsafe |= loose
+
+    # Singletons: body-bound variables used exactly once anywhere.  Variables
+    # already reported unsafe are skipped, as are parser-generated interval
+    # variables (``_t…``) for triple-style atoms.
+    counts = variable_occurrences(unit)
+    singletons: List[str] = sorted(
+        name
+        for name, count in counts.items()
+        if count == 1 and name in body_vars and name not in unsafe
+        and not name.startswith("_")
+    )
+    for name in singletons:
+        span = unit.statement_span
+        for index, atom in enumerate(unit.body):
+            if any(
+                isinstance(p, Variable) and p.name == name
+                for p in (atom.subject, atom.predicate, atom.object, atom.interval)
+            ):
+                span = unit.body_span(index)
+                break
+        report.findings.append(
+            Finding(
+                code="I105",
+                message=f"variable {name} occurs only once",
+                statement=unit.name,
+                span=span,
+                source=unit.source,
+                hint="rename to something meaningful or reuse it if this is a typo",
+            )
+        )
+    return report

@@ -1,0 +1,170 @@
+"""Pass 2: schema conformance — sort (term-kind) checks and KG relations.
+
+Quad atoms are fixed-arity, so the interesting conformance property is the
+*sort* of each variable: a variable bound in an entity position cannot also
+stand in an interval position (the vectorized grounder marks such bodies
+``dead``), feed an Allen condition, or be dereferenced with ``start()`` /
+``end()`` / ``duration()`` — all of which raise at grounding time.  With a
+loaded graph, body predicates are additionally checked against the graph's
+relations (:mod:`repro.kg.stats` cardinalities) and the program's own
+derived head predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..logic.atom import AllenAtom, Comparison, TermEquality
+from ..logic.expressions import (
+    BinaryOp,
+    Expression,
+    IntervalDuration,
+    IntervalEnd,
+    IntervalStart,
+)
+from ..logic.terms import Variable
+from .findings import Finding, LintReport
+from .model import Unit
+
+
+def _interval_accessors(expression: Expression) -> List[Expression]:
+    """All start()/end()/duration() nodes inside an expression tree."""
+    found: List[Expression] = []
+    stack: List[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (IntervalStart, IntervalEnd, IntervalDuration)):
+            found.append(node)
+        elif isinstance(node, BinaryOp):
+            stack.extend((node.left, node.right))
+    return found
+
+
+def check_schema(
+    unit: Unit,
+    known_predicates: Optional[Set[str]] = None,
+    derived_predicates: Optional[Set[str]] = None,
+) -> LintReport:
+    """Sort clashes for one statement, plus unknown-predicate checks.
+
+    ``known_predicates`` are the loaded graph's relations (None skips the
+    W205 check); ``derived_predicates`` the head predicates of the whole
+    program, which are legitimately absent from the input graph.
+    """
+    report = LintReport()
+    entity_vars, interval_vars = unit.body_variable_positions()
+
+    clashed = sorted(entity_vars & interval_vars)
+    for name in clashed:
+        span = unit.statement_span
+        for index, atom in enumerate(unit.body):
+            if isinstance(atom.interval, Variable) and atom.interval.name == name:
+                span = unit.body_span(index)
+                break
+        report.findings.append(
+            Finding(
+                code="E201",
+                message=(
+                    f"variable {name} is used in both an entity and an interval "
+                    "position; the body can never match"
+                ),
+                statement=unit.name,
+                span=span,
+                source=unit.source,
+            )
+        )
+
+    entity_only = entity_vars - interval_vars
+    for group, index, condition in unit.all_conditions():
+        span = unit.span_for(group, index)
+        if isinstance(condition, AllenAtom):
+            for argument in (condition.left, condition.right):
+                if isinstance(argument, Variable) and argument.name in entity_only:
+                    report.findings.append(
+                        Finding(
+                            code="E202",
+                            message=(
+                                f"temporal predicate {condition.relation}() applied "
+                                f"to entity variable {argument.name}"
+                            ),
+                            statement=unit.name,
+                            span=span,
+                            source=unit.source,
+                        )
+                    )
+        elif isinstance(condition, TermEquality):
+            for side in (condition.left, condition.right):
+                if isinstance(side, Variable) and side.name in interval_vars:
+                    report.findings.append(
+                        Finding(
+                            code="E203",
+                            message=(
+                                f"term (in)equality over interval variable {side.name}"
+                            ),
+                            statement=unit.name,
+                            span=span,
+                            source=unit.source,
+                            hint="compare intervals with equals()/overlaps() instead",
+                        )
+                    )
+        elif isinstance(condition, Comparison):
+            for expression in (condition.left, condition.right):
+                for accessor in _interval_accessors(expression):
+                    variable = getattr(accessor, "variable", None)
+                    if isinstance(variable, Variable) and variable.name in entity_only:
+                        accessor_name = type(accessor).__name__.replace(
+                            "Interval", ""
+                        ).lower()
+                        report.findings.append(
+                            Finding(
+                                code="E204",
+                                message=(
+                                    f"{accessor_name}({variable.name}) dereferences an "
+                                    "entity variable as an interval"
+                                ),
+                                statement=unit.name,
+                                span=span,
+                                source=unit.source,
+                            )
+                        )
+
+    if known_predicates is not None:
+        derived = derived_predicates or set()
+        for index, atom in enumerate(unit.body):
+            predicate = atom.predicate
+            if isinstance(predicate, Variable):
+                continue
+            name = getattr(predicate, "value", str(predicate))
+            if name not in known_predicates and name not in derived:
+                report.findings.append(
+                    Finding(
+                        code="W205",
+                        message=(
+                            f"predicate {name} occurs neither in the graph nor as "
+                            "any rule's head; this atom never matches"
+                        ),
+                        statement=unit.name,
+                        span=unit.body_span(index),
+                        source=unit.source,
+                    )
+                )
+    return report
+
+
+def derived_predicate_names(units: Iterable[Unit]) -> Set[str]:
+    """Constant head predicates of all rules (program-derivable relations)."""
+    names: Set[str] = set()
+    for unit in units:
+        if unit.head_atom is not None and not isinstance(
+            unit.head_atom.predicate, Variable
+        ):
+            names.add(getattr(unit.head_atom.predicate, "value", ""))
+    return names
+
+
+def predicate_cardinalities(graph: object) -> Dict[str, int]:
+    """Per-predicate fact counts from a graph (for W205/I605)."""
+    from ..kg.stats import graph_stats
+
+    stats = graph_stats(graph)  # type: ignore[arg-type]
+    return {entry.predicate: entry.fact_count for entry in stats.per_predicate}

@@ -1,0 +1,284 @@
+"""Pass 3: temporal satisfiability via point-algebra closure.
+
+Each statement's interval conditions become a point network over the
+``start``/``end`` points of its interval variables (plus numeric constants
+from comparisons); the path-consistency closure then decides:
+
+* **E301** — the network is inconsistent: the body can never be satisfied
+  by any intervals (a dead rule/constraint);
+* **W302** — a constraint's head conditions are entailed by its body
+  network: the constraint can never be violated;
+* **W303** — the head conditions are unsatisfiable together with the body:
+  the constraint is a denial in disguise;
+* **I304** — a condition is entailed by the other conditions (redundant).
+
+Soundness hinges on the encoding split documented in
+:mod:`repro.temporal.pointalgebra`: *necessary* encodings feed
+unsatisfiability checks, only *exact* encodings support entailment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..logic.atom import AllenAtom, Comparison, ConditionAtom, TermEquality
+from ..logic.expressions import Expression, IntervalEnd, IntervalStart, Number
+from ..logic.terms import Variable
+from ..temporal.pointalgebra import (
+    LE,
+    LT,
+    OPERATOR_RELATIONS,
+    PREDICATE_ENCODINGS,
+    PointNetwork,
+    Relation,
+)
+from .findings import Finding, LintReport
+from .model import Unit
+
+#: One encoded condition: point constraints plus whether they are exact.
+_Encoded = Tuple[bool, Tuple[Tuple[object, Relation, object], ...]]
+
+_CONST = "const"
+
+
+def _point(expression: Expression) -> Optional[object]:
+    """Network node for a bare start()/end()/number expression, else None."""
+    if isinstance(expression, IntervalStart) and isinstance(
+        expression.variable, Variable
+    ):
+        return (expression.variable.name, "s")
+    if isinstance(expression, IntervalEnd) and isinstance(
+        expression.variable, Variable
+    ):
+        return (expression.variable.name, "e")
+    if isinstance(expression, Number):
+        return (_CONST, float(expression.value))
+    return None
+
+
+def encode_condition(condition: ConditionAtom) -> Optional[_Encoded]:
+    """Point-algebra encoding of one condition; None when inexpressible.
+
+    ``TermEquality`` is handled separately (it is not temporal); returning
+    None here keeps it out of the network.
+    """
+    if isinstance(condition, AllenAtom):
+        encoding = PREDICATE_ENCODINGS.get(condition.relation)
+        if encoding is None:
+            return None
+        left = condition.left
+        right = condition.right
+        if not isinstance(left, Variable) or not isinstance(right, Variable):
+            return None
+        sides = {"l": left.name, "r": right.name}
+        constraints = tuple(
+            ((sides[a[0]], a[1]), relation, (sides[b[0]], b[1]))
+            for a, relation, b in encoding.constraints
+        )
+        return encoding.exact, constraints
+    if isinstance(condition, Comparison):
+        relation = OPERATOR_RELATIONS.get(condition.operator)
+        if relation is None:
+            return None
+        left = _point(condition.left)
+        right = _point(condition.right)
+        if left is None or right is None:
+            return None
+        return True, ((left, relation, right),)
+    return None
+
+
+class ConditionNetwork:
+    """The point network of one statement's conditions."""
+
+    def __init__(self) -> None:
+        self.network = PointNetwork()
+        self._interval_vars: set = set()
+        self._constants: set = set()
+
+    def _register(self, node: object) -> None:
+        if isinstance(node, tuple) and len(node) == 2:
+            key, point = node
+            if key == _CONST:
+                self._constants.add(point)
+            elif point in ("s", "e"):
+                self._interval_vars.add(key)
+
+    def add_interval_variable(self, name: str) -> None:
+        self._interval_vars.add(name)
+
+    def add_encoded(self, encoded: _Encoded) -> None:
+        for left, relation, right in encoded[1]:
+            self._register(left)
+            self._register(right)
+            self.network.constrain(left, right, relation)
+
+    def finalise(self) -> bool:
+        """Add intrinsic constraints and close; False when inconsistent."""
+        for name in self._interval_vars:
+            self.network.constrain((name, "s"), (name, "e"), LE)
+        ordered = sorted(self._constants)
+        for previous, current in zip(ordered, ordered[1:]):
+            self.network.constrain((_CONST, previous), (_CONST, current), LT)
+        return self.network.close()
+
+    def entails_encoded(self, encoded: _Encoded) -> bool:
+        """True when the (closed) network entails an *exact* encoding."""
+        exact, constraints = encoded
+        if not exact:
+            return False
+        return all(
+            self.network.entails(left, right, relation)
+            for left, relation, right in constraints
+        )
+
+
+def _build_network(
+    unit: Unit, conditions: List[ConditionAtom], extra: List[ConditionAtom]
+) -> Tuple[ConditionNetwork, bool]:
+    """Network over ``conditions`` + ``extra``; returns (network, consistent)."""
+    network = ConditionNetwork()
+    _entity, interval_vars = unit.body_variable_positions()
+    for name in interval_vars:
+        network.add_interval_variable(name)
+    for condition in (*conditions, *extra):
+        encoded = encode_condition(condition)
+        if encoded is not None:
+            network.add_encoded(encoded)
+    return network, network.finalise()
+
+
+def _equality_verdict(condition: TermEquality) -> Optional[bool]:
+    """Statically decided truth of a term (in)equality, when possible."""
+    left, right = condition.left, condition.right
+    if isinstance(left, Variable) or isinstance(right, Variable):
+        if isinstance(left, Variable) and isinstance(right, Variable) and left == right:
+            return not condition.negated
+        return None
+    # Two constants: decidable outright.
+    return (left == right) != condition.negated
+
+
+def check_temporal(unit: Unit) -> LintReport:
+    report = LintReport()
+    body_conditions = list(unit.conditions)
+    head_conditions = list(unit.head_conditions)
+
+    # Statically false (in)equalities in the body are dead-rule conditions.
+    for group, index, condition in unit.all_conditions():
+        if group != "condition" or not isinstance(condition, TermEquality):
+            continue
+        verdict = _equality_verdict(condition)
+        if verdict is False:
+            report.findings.append(
+                Finding(
+                    code="E301",
+                    message=f"condition {condition} can never hold",
+                    statement=unit.name,
+                    span=unit.span_for(group, index),
+                    source=unit.source,
+                )
+            )
+        elif verdict is True:
+            report.findings.append(
+                Finding(
+                    code="I304",
+                    message=f"condition {condition} always holds",
+                    statement=unit.name,
+                    span=unit.span_for(group, index),
+                    source=unit.source,
+                )
+            )
+
+    body_network, consistent = _build_network(unit, body_conditions, [])
+    if not consistent:
+        span = (
+            unit.condition_span(0)
+            if body_conditions
+            else unit.statement_span
+        )
+        rendered = " & ".join(str(c) for c in body_conditions)
+        report.findings.append(
+            Finding(
+                code="E301",
+                message=(
+                    "interval conditions are jointly unsatisfiable "
+                    f"({rendered}); the {unit.kind} can never fire"
+                ),
+                statement=unit.name,
+                span=span,
+                source=unit.source,
+            )
+        )
+        return report  # entailment over an inconsistent network is vacuous
+
+    # Redundant conditions: entailed (exactly) by the remaining network.
+    for index, condition in enumerate(body_conditions):
+        encoded = encode_condition(condition)
+        if encoded is None or not encoded[0]:
+            continue
+        others = body_conditions[:index] + body_conditions[index + 1 :]
+        rest_network, rest_consistent = _build_network(unit, others, [])
+        if rest_consistent and rest_network.entails_encoded(encoded):
+            report.findings.append(
+                Finding(
+                    code="I304",
+                    message=f"condition {condition} is entailed by the other conditions",
+                    statement=unit.name,
+                    span=unit.condition_span(index),
+                    source=unit.source,
+                )
+            )
+
+    if unit.is_rule or not head_conditions:
+        return report
+
+    # W302: every head condition entailed by the body network (exactly).
+    entailed = [
+        encode_condition(condition) is not None
+        and body_network.entails_encoded(encode_condition(condition))  # type: ignore[arg-type]
+        for condition in head_conditions
+    ]
+    equality_true = [
+        isinstance(condition, TermEquality) and _equality_verdict(condition) is True
+        for condition in head_conditions
+    ]
+    if head_conditions and all(
+        is_entailed or is_true
+        for is_entailed, is_true in zip(entailed, equality_true)
+    ):
+        report.findings.append(
+            Finding(
+                code="W302",
+                message=(
+                    "head conditions are entailed by the body conditions; the "
+                    "constraint can never be violated"
+                ),
+                statement=unit.name,
+                span=unit.head_condition_span(0),
+                source=unit.source,
+            )
+        )
+        return report
+
+    # W303: body ∧ head unsatisfiable — necessarily violated when applicable.
+    _network, head_consistent = _build_network(unit, body_conditions, head_conditions)
+    equality_false = any(
+        isinstance(condition, TermEquality) and _equality_verdict(condition) is False
+        for condition in head_conditions
+    )
+    if not head_consistent or equality_false:
+        report.findings.append(
+            Finding(
+                code="W303",
+                message=(
+                    "head conditions cannot hold together with the body "
+                    "conditions; every applicable match is a violation"
+                ),
+                statement=unit.name,
+                span=unit.head_condition_span(0),
+                source=unit.source,
+                hint="drop the head conditions if a pure denial is intended",
+            )
+        )
+    return report

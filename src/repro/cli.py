@@ -279,6 +279,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministic fault schedule, e.g. 'crash@wal.append:3,"
         "solver_slow@batcher.solve:1x5' (testing/chaos only)",
     )
+    serve.add_argument(
+        "--lint",
+        default="strict",
+        choices=("strict", "off"),
+        help="boot-time static analysis: refuse to serve a program with "
+        "error-severity findings (default strict)",
+    )
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -333,6 +340,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the in-process serializability check (record only)",
     )
     chaos.add_argument("--json", action="store_true", help="emit a JSON report")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyze rule programs before grounding "
+        "(see docs/analysis.md)",
+    )
+    lint.add_argument(
+        "programs",
+        nargs="*",
+        metavar="PROGRAM.dl",
+        help="Datalog-style rule/constraint files to analyze",
+    )
+    lint.add_argument(
+        "--pack",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help=f"predefined pack to analyze ({', '.join(available_packs())}); repeatable",
+    )
+    lint.add_argument(
+        "--all-packs",
+        action="store_true",
+        help="analyze every predefined pack (the built-in rule library)",
+    )
+    lint.add_argument("--dataset", help="load this dataset for graph-aware checks")
+    lint.add_argument("--graph", help="load this graph file for graph-aware checks")
+    lint.add_argument("--scale", type=float, default=0.01, help="dataset scale factor")
+    lint.add_argument("--noise", type=float, default=0.0, help="dataset noise ratio")
+    lint.add_argument("--seed", type=int, default=2017, help="dataset RNG seed")
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also gate the exit code (errors always do)",
+    )
+    lint.add_argument(
+        "--expect-findings",
+        metavar="CODES",
+        help="comma-separated diagnostic codes; succeed only if ALL are "
+        "reported (fixture checks, like verify's --expect-violation)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     verify = subparsers.add_parser(
         "verify",
@@ -608,6 +656,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         compact_every=args.compact_every,
         request_deadline=args.request_deadline,
         shed_resolve_at=args.shed_resolve_at,
+        lint=args.lint,
     )
     injector = None
     if args.faults:
@@ -688,6 +737,62 @@ def _command_chaos(args: argparse.Namespace) -> int:
     if report.serializable is False:
         return 1
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis import DIAGNOSTICS, LintReport, analyze_program, analyze_text
+
+    graph = None
+    if args.graph or args.dataset:
+        graph = _load_graph_from_args(args)
+
+    report = LintReport()
+    inputs = 0
+    for path_str in args.programs:
+        text = Path(path_str).read_text(encoding="utf-8")
+        report.extend(analyze_text(text, source=path_str, graph=graph))
+        inputs += 1
+    pack_names = list(args.pack)
+    if args.all_packs:
+        pack_names.extend(
+            name for name in available_packs() if name not in pack_names
+        )
+    for name in pack_names:
+        pack = load_pack(name)
+        report.extend(
+            analyze_program(
+                pack.rules, pack.constraints, graph, source=f"pack:{name}"
+            )
+        )
+        inputs += 1
+    if not inputs:
+        raise TecoreError(
+            "nothing to lint; give program files, --pack, or --all-packs"
+        )
+
+    report = report.sorted()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+
+    if args.expect_findings:
+        expected = {
+            code.strip() for code in args.expect_findings.split(",") if code.strip()
+        }
+        unknown = sorted(expected - set(DIAGNOSTICS))
+        if unknown:
+            raise TecoreError(f"unknown diagnostic code(s): {', '.join(unknown)}")
+        reported = set(report.codes())
+        missing = sorted(expected - reported)
+        if missing:
+            print(
+                f"expected finding(s) not reported: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 0 if report.ok(strict=args.strict) else 1
 
 
 def _command_verify(args: argparse.Namespace) -> int:
@@ -807,6 +912,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_serve(args)
         if args.command == "chaos":
             return _command_chaos(args)
+        if args.command == "lint":
+            return _command_lint(args)
         if args.command == "verify":
             return _command_verify(args)
         parser.error(f"unknown command {args.command!r}")

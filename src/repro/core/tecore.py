@@ -24,10 +24,12 @@ Example
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..errors import ProgramLintError
 from ..kg import TemporalKnowledgeGraph
 from ..logic import (
     TemporalConstraint,
@@ -79,6 +81,13 @@ class TeCoRe:
         — see :func:`repro.core.registry.resolve_kernel`).  Exact solvers
         return bit-identical results either way; solvers without an array
         variant (ILP, cutting-plane) fall back to their object form.
+    lint:
+        Static-analysis mode for the rule program (see
+        :mod:`repro.analysis`): ``"off"`` (default) skips analysis,
+        ``"warn"`` emits a Python warning when the analyzer finds problems,
+        ``"strict"`` raises :class:`~repro.errors.ProgramLintError` on
+        error-severity findings (and warns on warning-severity ones).
+        The report is computed once per rule/constraint set and cached.
     """
 
     rules: list[TemporalRule] = field(default_factory=list)
@@ -91,6 +100,10 @@ class TeCoRe:
     decompose: bool = False
     jobs: int = 1
     kernel: str = "object"
+    lint: str = "off"
+    _lint_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -141,6 +154,7 @@ class TeCoRe:
             decompose=self.decompose,
             jobs=self.jobs,
             kernel=self.kernel,
+            lint=self.lint,
         )
 
     def _make_backend(self) -> MAPSolver:
@@ -160,10 +174,52 @@ class TeCoRe:
         return available_solvers()
 
     # ------------------------------------------------------------------ #
+    # Static analysis
+    # ------------------------------------------------------------------ #
+    def lint_report(self, graph: TemporalKnowledgeGraph | None = None):
+        """The static analyzer's :class:`~repro.analysis.LintReport`.
+
+        Graph-independent reports (``graph=None``) are cached per
+        rule/constraint set; passing a graph additionally enables the
+        unknown-predicate and grounding-estimate checks.
+        """
+        translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
+        if graph is not None:
+            return translator.lint_program(self.rules, self.constraints, graph)
+        key = (tuple(self.rules), tuple(self.constraints))
+        if self._lint_cache is None or self._lint_cache[0] != key:
+            report = translator.lint_program(self.rules, self.constraints)
+            self._lint_cache = (key, report)
+        return self._lint_cache[1]
+
+    def _enforce_lint(self) -> None:
+        """Apply the configured ``lint`` mode (called before translation)."""
+        if self.lint == "off":
+            return
+        if self.lint not in ("warn", "strict"):
+            raise ValueError(f"unknown lint mode {self.lint!r} (off/warn/strict)")
+        report = self.lint_report()
+        if not report.findings:
+            return
+        if self.lint == "strict" and report.errors:
+            raise ProgramLintError(
+                "static analysis found "
+                f"{len(report.errors)} error(s) in the rule program:\n"
+                + report.render(),
+                report=report,
+            )
+        if report.errors or report.warnings:
+            warnings.warn(
+                f"tecore lint: {report.summary_line()}\n{report.render()}",
+                stacklevel=3,
+            )
+
+    # ------------------------------------------------------------------ #
     # Main operations
     # ------------------------------------------------------------------ #
     def translate(self, graph: TemporalKnowledgeGraph) -> TranslatedProgram:
         """Ground and validate the inputs for the configured solver."""
+        self._enforce_lint()
         translator = TecoreTranslator(max_rounds=self.max_rounds, engine=self.engine)
         return translator.translate(graph, self.rules, self.constraints, solver=self.solver)
 
@@ -363,6 +419,7 @@ class SharedResolver:
 
     def __init__(self, system: TeCoRe) -> None:
         self._system = system
+        system._enforce_lint()
         self._translator = TecoreTranslator(
             max_rounds=system.max_rounds, engine=system.engine
         )

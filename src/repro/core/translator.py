@@ -136,6 +136,23 @@ class TecoreTranslator:
             constraints=constraints,
         )
 
+    def lint_program(
+        self,
+        rules: Iterable[TemporalRule],
+        constraints: Iterable[TemporalConstraint],
+        graph: TemporalKnowledgeGraph | None = None,
+    ):
+        """Static analysis of the rule program *before* any grounding.
+
+        Returns the :class:`~repro.analysis.LintReport` of the full analyzer
+        (safety, schema, temporal satisfiability, hard-conflict coupling,
+        duplicates, vectorization-coverage lints).  Passing ``graph`` enables
+        the graph-dependent checks (unknown predicates, grounding estimate).
+        """
+        from ..analysis import analyze_program
+
+        return analyze_program(tuple(rules), tuple(constraints), graph)
+
     def detect_conflicts(
         self,
         graph: TemporalKnowledgeGraph,

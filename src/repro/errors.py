@@ -70,6 +70,20 @@ class TranslationError(TecoreError):
     """The translator could not map the input onto a solver program."""
 
 
+class ProgramLintError(TecoreError):
+    """Static analysis found gating findings in a rule program.
+
+    Raised by the ``lint="strict"`` / ``lint="warn"`` modes of
+    :class:`~repro.core.tecore.TeCoRe` and by the serve tier's boot-time
+    validation.  The offending :class:`~repro.analysis.LintReport` is
+    attached as :attr:`report`.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        self.report = report
+        super().__init__(message)
+
+
 class ExpressivityError(TranslationError):
     """The input uses features outside the chosen solver's expressivity.
 

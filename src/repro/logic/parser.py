@@ -70,6 +70,10 @@ class Token:
     text: str
     position: int
 
+    @property
+    def end(self) -> int:
+        return self.position + len(self.text)
+
 
 def tokenize(text: str, source: str | None = None) -> list[Token]:
     """Tokenise one statement; raises :class:`ParseError` on junk characters."""
@@ -78,14 +82,52 @@ def tokenize(text: str, source: str | None = None) -> list[Token]:
     while position < len(text):
         match = _TOKEN_PATTERN.match(text, position)
         if match is None:
-            raise ParseError(
+            error = ParseError(
                 f"unexpected character {text[position]!r} at column {position}", source=source
             )
+            error.offset = position  # type: ignore[attr-defined]
+            raise error
         kind = match.lastgroup or "space"
         if kind != "space":
             tokens.append(Token(kind, match.group(), position))
         position = match.end()
     return tokens
+
+
+# --------------------------------------------------------------------------- #
+# Source spans
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A 1-based line/column range in the original program text.
+
+    ``end_column`` is exclusive (the column just past the last character),
+    matching the convention of most editors and LSP diagnostics.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class StatementSpans:
+    """Per-atom source spans of one parsed statement.
+
+    ``body`` aligns index-for-index with the statement's body quad atoms,
+    ``conditions`` with its (body) condition atoms, and ``head_conditions``
+    with a constraint's head conditions; ``head`` covers a rule's head quad.
+    """
+
+    statement: SourceSpan
+    body: tuple[SourceSpan, ...] = ()
+    conditions: tuple[SourceSpan, ...] = ()
+    head: Optional[SourceSpan] = None
+    head_conditions: tuple[SourceSpan, ...] = ()
 
 
 # --------------------------------------------------------------------------- #
@@ -103,8 +145,21 @@ class _StatementParser:
         self._tokens = list(tokens)
         self._index = 0
         self._source = source
+        self._last_end = 0
+        #: Character-offset spans (start, end) recorded while parsing; the
+        #: public span API converts them to line/column through a locator.
+        self.body_spans: list[tuple[int, int]] = []
+        self.condition_spans: list[tuple[int, int]] = []
+        self.head_span: Optional[tuple[int, int]] = None
+        self.head_condition_spans: list[tuple[int, int]] = []
 
     # -- token plumbing --------------------------------------------------- #
+    def _fail(self, message: str, token: Optional[Token] = None) -> ParseError:
+        error = ParseError(message, source=self._source)
+        offset = token.position if token is not None else self._last_end
+        error.offset = offset  # type: ignore[attr-defined]
+        return error
+
     def _peek(self, offset: int = 0) -> Optional[Token]:
         position = self._index + offset
         return self._tokens[position] if position < len(self._tokens) else None
@@ -112,16 +167,15 @@ class _StatementParser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of statement", source=self._source)
+            raise self._fail("unexpected end of statement")
         self._index += 1
+        self._last_end = token.end
         return token
 
     def _expect(self, text: str) -> Token:
         token = self._next()
         if token.text != text:
-            raise ParseError(
-                f"expected {text!r} but found {token.text!r}", source=self._source
-            )
+            raise self._fail(f"expected {text!r} but found {token.text!r}", token)
         return token
 
     def _at(self, text: str) -> bool:
@@ -148,9 +202,8 @@ class _StatementParser:
         weight = self._parse_weight()
         if not self._done():
             token = self._peek()
-            raise ParseError(
-                f"trailing input starting at {token.text!r}", source=self._source
-            )
+            assert token is not None
+            raise self._fail(f"trailing input starting at {token.text!r}", token)
         return label, body_atoms, conditions, head, head_interval, weight
 
     def _parse_label(self) -> Optional[str]:
@@ -172,10 +225,14 @@ class _StatementParser:
         atoms: list[QuadAtom] = []
         conditions: list[ConditionAtom] = []
         while True:
+            start_token = self._peek()
+            start = start_token.position if start_token is not None else self._last_end
             if self._at("quad"):
                 atoms.append(self._parse_quad())
+                self.body_spans.append((start, self._last_end))
             else:
                 conditions.append(self._parse_condition())
+                self.condition_spans.append((start, self._last_end))
             if self._at("&") or self._at(","):
                 self._next()
                 continue
@@ -186,11 +243,21 @@ class _StatementParser:
         self,
     ) -> tuple[Union[QuadAtom, list[ConditionAtom]], Optional[IntervalExpression]]:
         if self._at("quad"):
-            return self._parse_head_quad()
-        conditions = [self._parse_condition()]
-        while self._at("&") or self._at(","):
-            self._next()
+            start_token = self._peek()
+            start = start_token.position if start_token is not None else self._last_end
+            head = self._parse_head_quad()
+            self.head_span = (start, self._last_end)
+            return head
+        conditions: list[ConditionAtom] = []
+        while True:
+            start_token = self._peek()
+            start = start_token.position if start_token is not None else self._last_end
             conditions.append(self._parse_condition())
+            self.head_condition_spans.append((start, self._last_end))
+            if self._at("&") or self._at(","):
+                self._next()
+                continue
+            break
         return conditions, None
 
     def _parse_weight(self) -> Optional[float]:
@@ -204,7 +271,7 @@ class _StatementParser:
             if value.kind == "name" and value.text.lower() in ("inf", "infinity", "hard"):
                 return float("inf")
             if value.kind != "number":
-                raise ParseError(f"invalid weight {value.text!r}", source=self._source)
+                raise self._fail(f"invalid weight {value.text!r}", value)
             return float(value.text)
         if token is not None and token.text == ".":
             self._next()
@@ -290,7 +357,7 @@ class _StatementParser:
         token = self._next()
         if token.kind in ("name", "number", "string"):
             return token.text
-        raise ParseError(f"expected a term but found {token.text!r}", source=self._source)
+        raise self._fail(f"expected a term but found {token.text!r}", token)
 
     def _parse_interval_position(self) -> Union[Variable, TimeInterval]:
         token = self._next()
@@ -302,16 +369,15 @@ class _StatementParser:
                 return value
         if token.kind == "number":
             return TimeInterval.instant(int(float(token.text)))
-        raise ParseError(
-            f"expected an interval variable or literal, found {token.text!r}",
-            source=self._source,
+        raise self._fail(
+            f"expected an interval variable or literal, found {token.text!r}", token
         )
 
     # -- conditions -------------------------------------------------------- #
     def _parse_condition(self) -> ConditionAtom:
         token = self._peek()
         if token is None:
-            raise ParseError("expected a condition", source=self._source)
+            raise self._fail("expected a condition")
         # Temporal predicate: name(t, t2) where name is a known Allen predicate.
         if (
             token.kind == "name"
@@ -330,9 +396,9 @@ class _StatementParser:
         left_expression = self._parse_expression()
         operator_token = self._next()
         if operator_token.text not in _COMPARATORS:
-            raise ParseError(
+            raise self._fail(
                 f"expected a comparison operator, found {operator_token.text!r}",
-                source=self._source,
+                operator_token,
             )
         right_expression = self._parse_expression()
         operator = operator_token.text
@@ -387,11 +453,10 @@ class _StatementParser:
             try:
                 return Number(float(token.text))
             except ValueError as exc:
-                raise ParseError(
-                    f"cannot use constant {token.text!r} in an arithmetic expression",
-                    source=self._source,
+                raise self._fail(
+                    f"cannot use constant {token.text!r} in an arithmetic expression", token
                 ) from exc
-        raise ParseError(f"unexpected token {token.text!r} in expression", source=self._source)
+        raise self._fail(f"unexpected token {token.text!r} in expression", token)
 
 
 # --------------------------------------------------------------------------- #
@@ -399,13 +464,27 @@ class _StatementParser:
 # --------------------------------------------------------------------------- #
 @dataclass
 class ParsedProgram:
-    """Rules and constraints parsed from a text document."""
+    """Rules and constraints parsed from a text document.
+
+    ``annotated`` pairs every parsed statement (in document order) with its
+    :class:`StatementSpans`, for tools — the linter above all — that need to
+    point back into the original source text.
+    """
 
     rules: list[TemporalRule] = field(default_factory=list)
     constraints: list[TemporalConstraint] = field(default_factory=list)
+    annotated: list["AnnotatedStatement"] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.rules) + len(self.constraints)
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedStatement:
+    """One parsed statement together with its source spans."""
+
+    statement: Union[TemporalRule, TemporalConstraint]
+    spans: StatementSpans
 
 
 def _normalise_weight(weight: Optional[float], default: Optional[float]) -> Optional[float]:
@@ -420,34 +499,208 @@ def _split_conditions(conditions: Iterable[ConditionAtom]) -> tuple[ConditionAto
     return tuple(conditions)
 
 
-def parse_statement(
-    text: str, source: str | None = None, default_name: str = "stmt"
-) -> Union[TemporalRule, TemporalConstraint]:
-    """Parse a single rule or constraint statement."""
-    tokens = tokenize(text.strip(), source=source)
+# --------------------------------------------------------------------------- #
+# Statement blocks: line-aware splitting of a program document
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class StatementBlock:
+    """One statement's text plus the offset → line/column mapping.
+
+    Multi-line statements are joined with single spaces for parsing;
+    ``segments`` remembers where each physical line landed in the joined
+    text so token offsets map back to real source positions.
+    """
+
+    text: str
+    #: (start_offset_in_joined_text, line_number, column_base) per line.
+    segments: tuple[tuple[int, int, int], ...]
+    default_name: str
+
+    @property
+    def first_line(self) -> int:
+        return self.segments[0][1] if self.segments else 1
+
+    def locate(self, offset: int) -> tuple[int, int]:
+        """Map a character offset in the joined text to (line, column), 1-based."""
+        line, column = 1, offset + 1
+        for start, line_number, column_base in self.segments:
+            if offset < start and line != 1:
+                break
+            if offset >= start:
+                line, column = line_number, offset - start + column_base + 1
+        return line, column
+
+    def span(self, start: int, end: int) -> SourceSpan:
+        """Convert an offset range into a :class:`SourceSpan`."""
+        line, column = self.locate(start)
+        end_line, end_column = self.locate(max(start, end - 1))
+        return SourceSpan(line, column, end_line, end_column + 1)
+
+
+_LABEL_START = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*:")
+
+
+def split_statements(text: str) -> list[StatementBlock]:
+    """Split a program document into per-statement blocks with line maps.
+
+    Statement boundaries follow :func:`parse_program`'s rules: blank lines
+    end a statement, and a ``label:`` line starts a new one.
+    """
+    blocks: list[StatementBlock] = []
+    buffer: list[tuple[int, str]] = []
+    counter = 0
+
+    def flush() -> None:
+        nonlocal counter
+        if not buffer:
+            return
+        joined = " ".join(chunk for _, chunk in buffer)
+        segments: list[tuple[int, int, int]] = []
+        offset = 0
+        for line_number, chunk in buffer:
+            segments.append((offset, line_number, 0))
+            offset += len(chunk) + 1
+        buffer.clear()
+        if not joined.strip():
+            return
+        counter += 1
+        blocks.append(
+            StatementBlock(
+                text=joined,
+                segments=tuple(segments),
+                default_name=f"stmt{counter}",
+            )
+        )
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            flush()
+            continue
+        if _LABEL_START.match(stripped) and buffer:
+            flush()
+        buffer.append((line_number, stripped))
+    flush()
+    return blocks
+
+
+# --------------------------------------------------------------------------- #
+# Raw statements (pre-validation parse results)
+# --------------------------------------------------------------------------- #
+@dataclass
+class RawStatement:
+    """A parsed statement *before* rule/constraint validation.
+
+    The static analyzer consumes these so it can report safety violations as
+    findings with source spans instead of letting
+    :class:`~repro.errors.UnsafeRuleError` abort the whole parse.
+    :meth:`build` performs the same construction (and validation) as
+    :func:`parse_statement`.
+    """
+
+    name: str
+    label: Optional[str]
+    body: tuple[QuadAtom, ...]
+    conditions: tuple[ConditionAtom, ...]
+    head: Union[QuadAtom, list[ConditionAtom]]
+    head_interval: Optional[IntervalExpression]
+    weight: Optional[float]
+    spans: StatementSpans
+    source: Optional[str] = None
+
+    @property
+    def is_rule(self) -> bool:
+        return isinstance(self.head, QuadAtom)
+
+    @property
+    def head_conditions(self) -> tuple[ConditionAtom, ...]:
+        if isinstance(self.head, QuadAtom):
+            return ()
+        return tuple(self.head)
+
+    @property
+    def effective_weight(self) -> Optional[float]:
+        """The weight after defaulting: rules default to 1.0, constraints to hard."""
+        default = 1.0 if self.is_rule else None
+        return _normalise_weight(self.weight, default)
+
+    @property
+    def is_hard(self) -> bool:
+        return self.effective_weight is None
+
+    def build(self) -> Union[TemporalRule, TemporalConstraint]:
+        """Construct the validated rule or constraint (may raise)."""
+        if not self.body:
+            raise ParseError(
+                f"statement {self.name}: body contains no quad atom", source=self.source
+            )
+        if isinstance(self.head, QuadAtom):
+            return TemporalRule(
+                name=self.name,
+                body=self.body,
+                head=self.head,
+                conditions=_split_conditions(self.conditions),
+                weight=_normalise_weight(self.weight, default=1.0),
+                head_interval=self.head_interval,
+            )
+        return TemporalConstraint(
+            name=self.name,
+            body=self.body,
+            body_conditions=_split_conditions(self.conditions),
+            head_conditions=tuple(self.head),
+            weight=_normalise_weight(self.weight, default=None),
+        )
+
+
+def parse_raw_statement(
+    text: str,
+    source: str | None = None,
+    default_name: str = "stmt",
+    block: StatementBlock | None = None,
+) -> RawStatement:
+    """Parse one statement into a :class:`RawStatement` (no validation).
+
+    ``block`` supplies the offset → line/column mapping for span conversion;
+    without one, offsets are interpreted as columns on line 1.
+    """
+    if block is None:
+        block = StatementBlock(
+            text=text, segments=((0, 1, 0),), default_name=default_name
+        )
+    tokens = tokenize(text, source=source)
     if not tokens:
         raise ParseError("empty statement", source=source)
     parser = _StatementParser(tokens, source=source)
     label, body, conditions, head, head_interval, weight = parser.parse_statement()
-    name = label or default_name
-    if not body:
-        raise ParseError(f"statement {name}: body contains no quad atom", source=source)
-    if isinstance(head, QuadAtom):
-        return TemporalRule(
-            name=name,
-            body=tuple(body),
-            head=head,
-            conditions=_split_conditions(conditions),
-            weight=_normalise_weight(weight, default=1.0),
-            head_interval=head_interval,
-        )
-    return TemporalConstraint(
-        name=name,
-        body=tuple(body),
-        body_conditions=_split_conditions(conditions),
-        head_conditions=tuple(head),
-        weight=_normalise_weight(weight, default=None),
+    statement_span = block.span(tokens[0].position, tokens[-1].end)
+    spans = StatementSpans(
+        statement=statement_span,
+        body=tuple(block.span(s, e) for s, e in parser.body_spans),
+        conditions=tuple(block.span(s, e) for s, e in parser.condition_spans),
+        head=block.span(*parser.head_span) if parser.head_span is not None else None,
+        head_conditions=tuple(
+            block.span(s, e) for s, e in parser.head_condition_spans
+        ),
     )
+    return RawStatement(
+        name=label or default_name,
+        label=label,
+        body=tuple(body),
+        conditions=tuple(conditions),
+        head=head,
+        head_interval=head_interval,
+        weight=weight,
+        spans=spans,
+        source=source,
+    )
+
+
+def parse_statement(
+    text: str, source: str | None = None, default_name: str = "stmt"
+) -> Union[TemporalRule, TemporalConstraint]:
+    """Parse a single rule or constraint statement."""
+    raw = parse_raw_statement(text.strip(), source=source, default_name=default_name)
+    return raw.build()
 
 
 def parse_rule(text: str, source: str | None = None) -> TemporalRule:
@@ -470,35 +723,30 @@ def parse_program(text: str, source: str | None = None) -> ParsedProgram:
     """Parse a document of newline-separated statements (comments allowed).
 
     A statement may span several physical lines; a new statement starts on a
-    line containing ``label:`` or on a blank-line boundary.
+    line containing ``label:`` or on a blank-line boundary.  Parse errors
+    carry the line (and column) of the offending token in the original
+    document.
     """
     program = ParsedProgram()
-    buffer: list[str] = []
-    counter = 0
-
-    def flush() -> None:
-        nonlocal counter
-        if not buffer:
-            return
-        statement_text = " ".join(buffer).strip()
-        buffer.clear()
-        if not statement_text:
-            return
-        counter += 1
-        statement = parse_statement(statement_text, source=source, default_name=f"stmt{counter}")
+    for parsed_block in split_statements(text):
+        try:
+            raw = parse_raw_statement(
+                parsed_block.text,
+                source=None,
+                default_name=parsed_block.default_name,
+                block=parsed_block,
+            )
+            statement = raw.build()
+        except ParseError as error:
+            offset = getattr(error, "offset", None)
+            if offset is not None:
+                line, _column = parsed_block.locate(offset)
+            else:
+                line = parsed_block.first_line
+            raise ParseError(str(error), line=line, source=source) from error
+        program.annotated.append(AnnotatedStatement(statement, raw.spans))
         if isinstance(statement, TemporalRule):
             program.rules.append(statement)
         else:
             program.constraints.append(statement)
-
-    label_start = re.compile(r"^\s*[A-Za-z_][A-Za-z0-9_]*\s*:")
-    for line in text.splitlines():
-        stripped = line.split("#", 1)[0].rstrip()
-        if not stripped.strip():
-            flush()
-            continue
-        if label_start.match(stripped) and buffer:
-            flush()
-        buffer.append(stripped)
-    flush()
     return program

@@ -43,7 +43,7 @@ from typing import Any, Mapping
 from urllib.parse import urlsplit
 
 from ..core.tecore import TeCoRe
-from ..errors import TecoreError
+from ..errors import ProgramLintError, TecoreError
 from ..kg.io import json_io
 from .batcher import MicroBatcher, RequestDeadlineExceeded, ServiceOverloadedError
 from .metrics import ServiceMetrics
@@ -98,6 +98,9 @@ class ServerConfig:
     #: Shed /resolve at this queue depth (< queue_limit) so session edits
     #: keep their request threads under saturation (None disables).
     shed_resolve_at: int | None = None
+    #: Boot-time static analysis of the rule program: "strict" (default)
+    #: refuses to start on error-severity findings, "off" disables.
+    lint: str = "strict"
 
 
 class ResolutionService:
@@ -124,6 +127,18 @@ class ResolutionService:
         self.config = config or ServerConfig()
         self.recorder = recorder
         self.injector = injector
+        # Boot-time validation: a program the static analyzer proves broken
+        # (dead rules, infeasible hard cores, …) must not reach the solver
+        # loop where every request would hit the same failure.
+        if self.config.lint != "off":
+            report = system.lint_report()
+            if report.errors:
+                raise ProgramLintError(
+                    "refusing to serve a rule program with "
+                    f"{len(report.errors)} static-analysis error(s):\n"
+                    + report.render(),
+                    report=report,
+                )
         self.metrics = ServiceMetrics(window=self.config.metrics_window)
         self.batcher = MicroBatcher(
             system.shared_resolver(),

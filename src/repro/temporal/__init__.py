@@ -21,6 +21,14 @@ from .arithmetic import (
     gap_between,
 )
 from .coalesce import coalesce_intervals, coalesce_weighted, group_and_coalesce
+from .pointalgebra import (
+    OPERATOR_RELATIONS,
+    PREDICATE_ENCODINGS,
+    PointNetwork,
+    PredicateEncoding,
+    compose_relations,
+    invert_relation,
+)
 from .interval import TimeInterval, span_of, total_coverage
 from .timepoint import DEFAULT_DOMAIN, TimeDomain, TimePoint
 
@@ -33,6 +41,10 @@ __all__ = [
     "INTERVAL_FUNCTIONS",
     "AllenRelation",
     "IntervalExpression",
+    "OPERATOR_RELATIONS",
+    "PREDICATE_ENCODINGS",
+    "PointNetwork",
+    "PredicateEncoding",
     "TimeDomain",
     "TimeInterval",
     "TimePoint",
@@ -41,10 +53,12 @@ __all__ = [
     "coalesce_weighted",
     "compare",
     "compose",
+    "compose_relations",
     "difference",
     "disjoint",
     "evaluate_predicate",
     "gap_between",
+    "invert_relation",
     "group_and_coalesce",
     "overlaps",
     "relation_between",

@@ -1,0 +1,232 @@
+"""Point algebra over interval end points.
+
+The static analyzer (:mod:`repro.analysis`) decides *temporal satisfiability*
+of a rule body without grounding anything: every interval variable ``t``
+contributes two points (``start(t)``, ``end(t)``), each Allen/comparison
+condition contributes a binary order constraint between points, and the
+transitive closure of the resulting network either stays consistent or
+collapses to the empty relation — in which case the body can never be
+satisfied by any intervals at all (a *dead* rule).
+
+A point-algebra relation is a non-empty subset of ``{<, =, >}``; the empty
+set is the inconsistent relation.  Composition and intersection are the two
+operations needed for the (polynomial) path-consistency closure, which is
+complete for satisfiability of the convex pointisable fragment used here.
+
+Two kinds of interval-predicate encodings are distinguished:
+
+* **exact** encodings are equivalent to the predicate (``before(a, b)`` iff
+  ``end(a) < start(b)`` for the paper's inclusive reading) — usable both for
+  unsatisfiability *and* entailment/tautology checks;
+* **necessary** encodings are merely implied by the predicate (discrete
+  ``meets(a, b)`` means ``end(a) + 1 == start(b)``, of which only
+  ``end(a) < start(b)`` is expressible) — sound for unsatisfiability but
+  never used to conclude entailment.
+
+The inclusive predicate semantics mirror
+:data:`repro.temporal.allen.CONSTRAINT_PREDICATES` over closed discrete
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+# --------------------------------------------------------------------------- #
+# Relations
+# --------------------------------------------------------------------------- #
+#: A point relation: which of ``<``, ``=``, ``>`` may hold between two points.
+Relation = FrozenSet[str]
+
+LT: Relation = frozenset({"<"})
+EQ: Relation = frozenset({"="})
+GT: Relation = frozenset({">"})
+LE: Relation = frozenset({"<", "="})
+GE: Relation = frozenset({">", "="})
+NE: Relation = frozenset({"<", ">"})
+FULL: Relation = frozenset({"<", "=", ">"})
+EMPTY: Relation = frozenset()
+
+#: Comparison operators of the rule language mapped onto point relations.
+OPERATOR_RELATIONS: Dict[str, Relation] = {
+    "<": LT,
+    "<=": LE,
+    ">": GT,
+    ">=": GE,
+    "=": EQ,
+    "==": EQ,
+    "!=": NE,
+}
+
+_BASE_COMPOSE: Dict[Tuple[str, str], Relation] = {
+    ("<", "<"): LT,
+    ("<", "="): LT,
+    ("<", ">"): FULL,
+    ("=", "<"): LT,
+    ("=", "="): EQ,
+    ("=", ">"): GT,
+    (">", "<"): FULL,
+    (">", "="): GT,
+    (">", ">"): GT,
+}
+
+_INVERT: Dict[str, str] = {"<": ">", "=": "=", ">": "<"}
+
+
+def compose_relations(first: Relation, second: Relation) -> Relation:
+    """Relation between ``a`` and ``c`` given ``a first b`` and ``b second c``."""
+    result: Set[str] = set()
+    for r1 in first:
+        for r2 in second:
+            result |= _BASE_COMPOSE[(r1, r2)]
+            if len(result) == 3:
+                return FULL
+    return frozenset(result)
+
+
+def invert_relation(relation: Relation) -> Relation:
+    """The converse relation (swap ``<`` and ``>``)."""
+    return frozenset(_INVERT[r] for r in relation)
+
+
+# --------------------------------------------------------------------------- #
+# Interval-predicate encodings
+# --------------------------------------------------------------------------- #
+#: One point constraint of an encoding: (side, point) rel (side, point) where
+#: side is "l"/"r" (left/right predicate argument) and point is "s"/"e".
+PointConstraint = Tuple[Tuple[str, str], Relation, Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class PredicateEncoding:
+    """Point-algebra reading of one named interval predicate."""
+
+    #: True when the conjunction is *equivalent* to the predicate (usable for
+    #: entailment); False when it is merely *implied* by it (unsat-only).
+    exact: bool
+    constraints: Tuple[PointConstraint, ...]
+
+
+_L_S = ("l", "s")
+_L_E = ("l", "e")
+_R_S = ("r", "s")
+_R_E = ("r", "e")
+
+#: Encodings of every predicate in
+#: :data:`repro.temporal.allen.CONSTRAINT_PREDICATES`.  ``disjoint`` is a
+#: disjunction and has no conjunctive point encoding (empty, non-exact):
+#: it constrains nothing for unsatisfiability purposes.
+PREDICATE_ENCODINGS: Dict[str, PredicateEncoding] = {
+    "before": PredicateEncoding(True, ((_L_E, LT, _R_S),)),
+    "after": PredicateEncoding(True, ((_L_S, GT, _R_E),)),
+    "overlaps": PredicateEncoding(True, ((_L_S, LE, _R_E), (_R_S, LE, _L_E))),
+    "overlap": PredicateEncoding(True, ((_L_S, LE, _R_E), (_R_S, LE, _L_E))),
+    "disjoint": PredicateEncoding(False, ()),
+    # Discrete adjacency (end + 1 == start) is not a pure order constraint;
+    # only the strict ordering it implies is kept (non-exact).
+    "meets": PredicateEncoding(False, ((_L_E, LT, _R_S),)),
+    "metBy": PredicateEncoding(False, ((_L_S, GT, _R_E),)),
+    "starts": PredicateEncoding(True, ((_L_S, EQ, _R_S), (_L_E, LT, _R_E))),
+    "startedBy": PredicateEncoding(True, ((_L_S, EQ, _R_S), (_L_E, GT, _R_E))),
+    "during": PredicateEncoding(True, ((_L_S, GT, _R_S), (_L_E, LT, _R_E))),
+    "contains": PredicateEncoding(True, ((_L_S, LT, _R_S), (_L_E, GT, _R_E))),
+    "finishes": PredicateEncoding(True, ((_L_E, EQ, _R_E), (_L_S, GT, _R_S))),
+    "finishedBy": PredicateEncoding(True, ((_L_E, EQ, _R_E), (_L_S, LT, _R_S))),
+    "equals": PredicateEncoding(True, ((_L_S, EQ, _R_S), (_L_E, EQ, _R_E))),
+    "within": PredicateEncoding(True, ((_L_S, GE, _R_S), (_L_E, LE, _R_E))),
+}
+
+
+# --------------------------------------------------------------------------- #
+# The constraint network
+# --------------------------------------------------------------------------- #
+class PointNetwork:
+    """A binary point-algebra constraint network with path-consistency closure.
+
+    Nodes are interned by arbitrary hashable keys (the analyzer uses
+    ``(variable_name, "s"|"e")`` and ``("const", value)``).  Constraints
+    intersect; :meth:`close` propagates to a fixpoint and reports
+    consistency.  Networks here are tiny (a handful of interval variables
+    per rule body), so the cubic closure is effectively free.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+        self._relations: Dict[Tuple[int, int], Relation] = {}
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def node(self, key: Hashable) -> int:
+        """Intern ``key`` as a node and return its index."""
+        index = self._index.get(key)
+        if index is None:
+            index = len(self._keys)
+            self._index[key] = index
+            self._keys.append(key)
+        return index
+
+    def _get(self, i: int, j: int) -> Relation:
+        if i == j:
+            return self._relations.get((i, j), EQ)
+        return self._relations.get((i, j), FULL)
+
+    def constrain(self, left: Hashable, right: Hashable, relation: Relation) -> None:
+        """Intersect the constraint between two (auto-interned) nodes."""
+        i = self.node(left)
+        j = self.node(right)
+        self._closed = False
+        self._relations[(i, j)] = self._get(i, j) & relation
+        self._relations[(j, i)] = self._get(j, i) & invert_relation(relation)
+
+    def close(self) -> bool:
+        """Path-consistency closure; returns False when inconsistent."""
+        n = len(self._keys)
+        changed = True
+        while changed:
+            changed = False
+            for k in range(n):
+                for i in range(n):
+                    r_ik = self._get(i, k)
+                    if r_ik is FULL or r_ik == FULL:
+                        continue
+                    for j in range(n):
+                        composed = compose_relations(r_ik, self._get(k, j))
+                        current = self._get(i, j)
+                        refined = current & composed
+                        if refined != current:
+                            self._relations[(i, j)] = refined
+                            self._relations[(j, i)] = invert_relation(refined)
+                            changed = True
+                        if not refined:
+                            return False
+        self._closed = True
+        return all(self._get(i, i) == EQ for i in range(n))
+
+    def relation(self, left: Hashable, right: Hashable) -> Relation:
+        """The (closed) relation between two nodes; FULL for unknown nodes."""
+        i = self._index.get(left)
+        j = self._index.get(right)
+        if i is None or j is None:
+            return FULL
+        return self._get(i, j)
+
+    def entails(self, left: Hashable, right: Hashable, relation: Relation) -> bool:
+        """True when every consistent assignment satisfies ``left rel right``.
+
+        Only meaningful after a successful :meth:`close` — an unclosed
+        network answers from the raw (unpropagated) constraints.
+        """
+        current = self.relation(left, right)
+        return bool(current) and current <= relation
+
+    def copy(self) -> "PointNetwork":
+        duplicate = PointNetwork()
+        duplicate._index = dict(self._index)
+        duplicate._keys = list(self._keys)
+        duplicate._relations = dict(self._relations)
+        duplicate._closed = self._closed
+        return duplicate

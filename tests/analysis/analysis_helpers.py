@@ -1,0 +1,23 @@
+"""Plain-function helpers shared by the analyzer tests.
+
+Kept out of ``conftest.py`` so test modules can import them directly
+(pytest puts each test's directory on ``sys.path`` in the packageless
+layout this suite uses).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_text
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint(text: str, graph=None):
+    """Analyze inline program text and return the (sorted) report."""
+    return analyze_text(text, source="<test>", graph=graph)
+
+
+def codes_of(report) -> list[str]:
+    return report.codes()

@@ -1,0 +1,12 @@
+"""Shared fixtures for the static-analyzer tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return Path(__file__).resolve().parent / "fixtures"

@@ -1,0 +1,82 @@
+"""The ``tecore lint`` subcommand: exit codes, JSON shape, --expect-findings."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+from analysis_helpers import FIXTURES
+
+CLEAN = str(FIXTURES / "clean.dl")
+DEAD_RULE = str(FIXTURES / "e301_dead_rule.dl")
+SINGLETON = str(FIXTURES / "i105_singleton.dl")
+CROSS_PRODUCT = str(FIXTURES / "w604_cross_product.dl")
+
+
+class TestExitCodes:
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["lint", CLEAN, "--strict"]) == 0
+
+    def test_errors_gate_by_default(self, capsys):
+        assert main(["lint", DEAD_RULE]) == 1
+
+    def test_warnings_gate_only_under_strict(self, capsys):
+        assert main(["lint", CROSS_PRODUCT]) == 0
+        assert main(["lint", CROSS_PRODUCT, "--strict"]) == 1
+
+    def test_infos_never_gate(self, capsys):
+        assert main(["lint", SINGLETON, "--strict"]) == 0
+
+    def test_nothing_to_lint_is_an_error(self, capsys):
+        assert main(["lint"]) == 1
+
+    def test_builtin_packs_are_strict_clean(self, capsys):
+        assert main(["lint", "--all-packs", "--strict"]) == 0
+
+
+class TestJsonOutput:
+    def test_json_shape_is_version_1(self, capsys):
+        assert main(["lint", DEAD_RULE, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["errors"] >= 1
+        finding = next(f for f in payload["findings"] if f["code"] == "E301")
+        assert finding["severity"] == "error"
+        assert {"line", "column", "end_line", "end_column"} <= set(finding["span"])
+        assert finding["source"].endswith("e301_dead_rule.dl")
+
+    def test_text_output_names_the_location(self, capsys):
+        main(["lint", DEAD_RULE])
+        out = capsys.readouterr().out
+        assert "error E301" in out
+        assert "e301_dead_rule.dl:" in out
+
+
+class TestExpectFindings:
+    def test_present_codes_exit_zero(self, capsys):
+        assert main(["lint", DEAD_RULE, "--expect-findings", "E301"]) == 0
+
+    def test_missing_codes_exit_one(self, capsys):
+        assert main(["lint", CLEAN, "--expect-findings", "E301"]) == 1
+        assert "E301" in capsys.readouterr().err
+
+    def test_comma_separated_codes(self, capsys):
+        assert (
+            main(["lint", DEAD_RULE, SINGLETON, "--expect-findings", "E301,I105"]) == 0
+        )
+
+    def test_unknown_code_is_rejected(self, capsys):
+        assert main(["lint", DEAD_RULE, "--expect-findings", "E999"]) == 1
+        assert "E999" in capsys.readouterr().err
+
+
+class TestGraphAwareLinting:
+    def test_dataset_enables_unknown_predicate_check(self, capsys):
+        fixture = str(FIXTURES / "w205_unknown_predicate.dl")
+        assert main(["lint", fixture, "--dataset", "ranieri",
+                     "--expect-findings", "W205"]) == 0
+
+    def test_without_a_graph_w205_stays_silent(self, capsys):
+        fixture = str(FIXTURES / "w205_unknown_predicate.dl")
+        assert main(["lint", fixture, "--expect-findings", "W205"]) == 1

@@ -1,0 +1,76 @@
+"""Pass 5: duplicates up to renaming (W501) and subsumption (W502)."""
+
+from __future__ import annotations
+
+from analysis_helpers import codes_of, lint
+
+
+class TestDuplicates:
+    def test_w501_identical_up_to_renaming(self):
+        program = """\
+a: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+
+b: quad(s, playsFor, o, u) -> quad(s, worksFor, o, u) w=2.5
+"""
+        report = lint(program)
+        flagged = [f for f in report if f.code == "W501"]
+        assert len(flagged) == 1
+        assert flagged[0].statement == "b"  # the second occurrence is flagged
+
+    def test_different_weights_are_not_duplicates(self):
+        program = """\
+a: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+
+b: quad(s, playsFor, o, u) -> quad(s, worksFor, o, u) w=1.0
+"""
+        assert "W501" not in codes_of(lint(program))
+
+    def test_different_conditions_are_not_duplicates(self):
+        program = """\
+a: quad(x, playsFor, y, t) & quad(y, locatedIn, z, t2) & overlaps(t, t2)
+    -> quad(x, livesIn, z, t) w=1.0
+
+b: quad(x, playsFor, y, t) & quad(y, locatedIn, z, t2) & before(t, t2)
+    -> quad(x, livesIn, z, t) w=1.0
+"""
+        assert "W501" not in codes_of(lint(program))
+
+    def test_inconsistent_renaming_is_not_a_duplicate(self):
+        # `b` merges the two variables `a` keeps distinct.
+        program = """\
+a: quad(x, knows, y, t) & quad(y, knows, z, t) -> quad(x, knows, z, t) w=1.0
+
+b: quad(x, knows, y, t) & quad(y, knows, x, t) -> quad(x, knows, x, t) w=1.0
+"""
+        assert "W501" not in codes_of(lint(program))
+
+
+class TestSubsumption:
+    def test_w502_strictly_larger_body_same_head(self):
+        program = """\
+general: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.0
+
+specific: quad(x, playsFor, y, t) & quad(x, captainOf, y, t) -> quad(x, worksFor, y, t) w=1.0
+"""
+        report = lint(program)
+        flagged = [f for f in report if f.code == "W502"]
+        assert len(flagged) == 1
+        assert flagged[0].statement == "specific"
+
+    def test_extra_conditions_on_the_general_statement_block_w502(self):
+        # The general rule demands overlaps(t, t2); the specific one doesn't,
+        # so its matches do NOT all fire the general rule.
+        program = """\
+general: quad(x, playsFor, y, t) & overlaps(t, t) -> quad(x, worksFor, y, t) w=2.0
+
+specific: quad(x, playsFor, y, t) & quad(x, captainOf, y, t) -> quad(x, worksFor, y, t) w=1.0
+"""
+        assert "W502" not in codes_of(lint(program))
+
+    def test_different_heads_block_w502(self):
+        program = """\
+general: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.0
+
+specific: quad(x, playsFor, y, t) & quad(x, captainOf, y, t) -> quad(x, leads, y, t) w=1.0
+"""
+        assert "W502" not in codes_of(lint(program))

@@ -1,0 +1,116 @@
+"""The finding model: stable codes, severity families, rendering, JSON."""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis import DIAGNOSTICS, Finding, LintReport, Severity
+from repro.logic.parser import SourceSpan
+
+_LETTER_SEVERITY = {"E": Severity.ERROR, "W": Severity.WARNING, "I": Severity.INFO}
+
+
+class TestCatalogue:
+    def test_codes_follow_the_letter_plus_three_digits_contract(self):
+        for code in DIAGNOSTICS:
+            assert re.fullmatch(r"[EWI]\d{3}", code), code
+
+    def test_severity_matches_the_code_letter(self):
+        for code, diagnostic in DIAGNOSTICS.items():
+            assert diagnostic.severity is _LETTER_SEVERITY[code[0]], code
+
+    def test_every_documented_pass_family_is_present(self):
+        families = {code[1] for code in DIAGNOSTICS}
+        assert families == {"0", "1", "2", "3", "4", "5", "6"}
+
+    def test_titles_and_descriptions_are_non_empty(self):
+        for diagnostic in DIAGNOSTICS.values():
+            assert diagnostic.title
+            assert diagnostic.description
+
+
+class TestFinding:
+    def test_render_includes_location_code_and_hint(self):
+        finding = Finding(
+            code="E101",
+            message="head variable(s) z do not appear in the body",
+            statement="f9",
+            span=SourceSpan(3, 5, 3, 20),
+            source="prog.dl",
+            hint="bind z in the body",
+        )
+        text = finding.render()
+        assert "prog.dl:3:5" in text
+        assert "error E101 [f9]" in text
+        assert "hint: bind z" in text
+
+    def test_render_without_span_or_source(self):
+        finding = Finding(code="W501", message="dup", statement="a")
+        assert finding.render() == "warning W501 [a]: dup"
+
+    def test_to_dict_span_shape(self):
+        finding = Finding(
+            code="E301", message="dead", span=SourceSpan(2, 1, 2, 9), source="x.dl"
+        )
+        payload = finding.to_dict()
+        assert payload["span"] == {
+            "line": 2,
+            "column": 1,
+            "end_line": 2,
+            "end_column": 9,
+        }
+        assert payload["severity"] == "error"
+        assert payload["title"] == DIAGNOSTICS["E301"].title
+
+
+class TestLintReport:
+    def _report(self) -> LintReport:
+        return LintReport(
+            findings=[
+                Finding(code="I105", message="singleton"),
+                Finding(code="W501", message="dup"),
+                Finding(code="E101", message="unsafe"),
+            ]
+        )
+
+    def test_severity_rollups(self):
+        report = self._report()
+        assert [f.code for f in report.errors] == ["E101"]
+        assert [f.code for f in report.warnings] == ["W501"]
+        assert [f.code for f in report.infos] == ["I105"]
+
+    def test_ok_gating(self):
+        report = self._report()
+        assert not report.ok()
+        warnings_only = LintReport(findings=report.warnings + report.infos)
+        assert warnings_only.ok()
+        assert not warnings_only.ok(strict=True)
+        infos_only = LintReport(findings=report.infos)
+        assert infos_only.ok(strict=True)  # infos never gate
+
+    def test_sorted_orders_by_position_then_severity(self):
+        report = LintReport(
+            findings=[
+                Finding(code="I105", message="late", span=SourceSpan(9, 1, 9, 2)),
+                Finding(code="W501", message="early", span=SourceSpan(1, 1, 1, 2)),
+                Finding(code="E101", message="early", span=SourceSpan(1, 1, 1, 2)),
+            ]
+        )
+        assert report.sorted().codes() == ["E101", "W501", "I105"]
+
+    def test_to_dict_is_version_1_with_summary(self):
+        payload = self._report().to_dict()
+        assert payload["version"] == 1
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 1,
+            "infos": 1,
+            "ok": False,
+            "ok_strict": False,
+        }
+        assert len(payload["findings"]) == 3
+
+    def test_render_ends_with_the_summary_line(self):
+        assert self._report().render().endswith(
+            "1 error(s), 1 warning(s), 1 info(s)"
+        )

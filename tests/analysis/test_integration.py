@@ -1,0 +1,101 @@
+"""Lint enforcement through the stack: translator, TeCoRe modes, serve boot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintReport
+from repro.core.tecore import TeCoRe
+from repro.core.translator import TecoreTranslator
+from repro.datasets import ranieri_graph
+from repro.errors import ProgramLintError
+from repro.logic.parser import parse_program
+from repro.serve import ResolutionService, ServerConfig
+
+from analysis_helpers import FIXTURES
+
+_DEAD = parse_program((FIXTURES / "e301_dead_rule.dl").read_text())
+
+
+def _dead_system(**kwargs) -> TeCoRe:
+    return TeCoRe(
+        rules=list(_DEAD.rules), constraints=list(_DEAD.constraints), **kwargs
+    )
+
+
+class TestTranslatorHook:
+    def test_lint_program_returns_the_full_report(self):
+        translator = TecoreTranslator()
+        report = translator.lint_program(_DEAD.rules, _DEAD.constraints)
+        assert isinstance(report, LintReport)
+        assert "E301" in report.codes()
+
+    def test_graph_aware_lint_adds_schema_checks(self):
+        parsed = parse_program(
+            "c: quad(x, fliesTo, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
+        )
+        translator = TecoreTranslator()
+        report = translator.lint_program(
+            parsed.rules, parsed.constraints, ranieri_graph()
+        )
+        assert "W205" in report.codes()
+
+
+class TestTeCoReModes:
+    def test_off_is_the_default_and_never_raises(self):
+        system = _dead_system()
+        assert system.lint == "off"
+        result = system.resolve(ranieri_graph())
+        assert result is not None
+
+    def test_strict_raises_with_the_report_attached(self):
+        system = _dead_system(lint="strict")
+        with pytest.raises(ProgramLintError) as excinfo:
+            system.resolve(ranieri_graph())
+        assert "E301" in str(excinfo.value)
+        assert "E301" in excinfo.value.report.codes()
+
+    def test_warn_emits_a_warning_and_still_resolves(self):
+        system = _dead_system(lint="warn")
+        with pytest.warns(UserWarning, match="E301"):
+            result = system.resolve(ranieri_graph())
+        assert result is not None
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="lint mode"):
+            _dead_system(lint="pedantic").resolve(ranieri_graph())
+
+    def test_clean_pack_resolves_under_strict(self):
+        system = TeCoRe.from_pack("running-example", lint="strict")
+        result = system.resolve(ranieri_graph())
+        assert len(result.consistent_graph) > 0
+
+    def test_lint_report_is_cached_per_program(self):
+        system = _dead_system()
+        assert system.lint_report() is system.lint_report()
+
+    def test_with_solver_preserves_the_lint_mode(self):
+        system = _dead_system(lint="strict").with_solver("nrockit")
+        assert system.lint == "strict"
+
+
+class TestServeBoot:
+    def test_error_programs_are_rejected_at_boot(self):
+        with pytest.raises(ProgramLintError, match="refusing to serve"):
+            ResolutionService(_dead_system(), ServerConfig(batch_delay=0.001))
+
+    def test_lint_off_boots_the_same_program(self):
+        service = ResolutionService(
+            _dead_system(), ServerConfig(batch_delay=0.001, lint="off")
+        )
+        try:
+            status, payload = service.handle("GET", "/healthz", b"")
+            assert status == 200
+        finally:
+            service.close()
+
+    def test_clean_pack_boots_with_the_default_strict_gate(self):
+        config = ServerConfig(batch_delay=0.001)
+        assert config.lint == "strict"
+        service = ResolutionService(TeCoRe.from_pack("running-example"), config)
+        service.close()

@@ -1,0 +1,173 @@
+"""Pass 6: W6xx performance lints mirror the vectorized grounder's fallbacks.
+
+The acceptance property: every scalar-fallback construct the fallback-parity
+suite (``tests/test_vectorized_equivalence.py::TestErrorAndFallbackParity``)
+exercises maps to a W-series lint — variable predicates to W601, unknown
+condition classes to W602, unknown head-interval kinds to W603.  The units
+here are built with the same builders those parity cases use.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_units, unit_from_constraint, unit_from_rule
+from repro.analysis.performance import (
+    ESTIMATE_THRESHOLD,
+    VECTORIZED_INTERVAL_KINDS,
+    check_performance,
+)
+from repro.logic import ConstraintBuilder, RuleBuilder, allen, not_equal, quad, var
+from repro.logic.atom import ConditionAtom
+from repro.logic.terms import Variable
+from repro.logic.vectorized import VectorizedGrounder  # noqa: F401 - contract anchor
+from repro.temporal.arithmetic import IntervalExpression
+
+from analysis_helpers import codes_of, lint
+
+
+class _UnknownCondition(ConditionAtom):
+    """A condition class the vectorizer has never heard of (parity twin)."""
+
+    def holds(self, substitution):  # pragma: no cover - never evaluated
+        return True
+
+    def variables(self):
+        return {Variable("t")}
+
+
+class TestVariablePredicate:
+    def test_w601_text_program(self):
+        report = lint(
+            "c: quad(x, p, y, t) & quad(x, p, z, t2) & y != z -> disjoint(t, t2)"
+        )
+        assert "W601" in codes_of(report)
+
+    def test_w601_builder_constraint_mirrors_fallback_parity(self):
+        constraint = (
+            ConstraintBuilder("metaConflict")
+            .body(quad("x", var("p"), "y", "t"), quad("x", var("p"), "z", "t2"))
+            .when(not_equal("y", "z"))
+            .require(allen("disjoint", "t", "t2"))
+            .build()
+        )
+        report = check_performance(unit_from_constraint(constraint))
+        assert report.codes().count("W601") == 1  # one note per body
+
+    def test_constant_predicates_do_not_fire_w601(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z "
+            "-> disjoint(t, t2)"
+        )
+        assert "W601" not in codes_of(report)
+
+
+class TestPerRowConditions:
+    def test_w602_unknown_condition_class(self):
+        rule = (
+            RuleBuilder("custom")
+            .body(quad("x", "playsFor", "y", "t"))
+            .when(_UnknownCondition())
+            .head(quad("x", "type", "LongTimer", "t"))
+            .weight(1.0)
+            .build()
+        )
+        report = check_performance(unit_from_rule(rule))
+        assert "W602" in report.codes()
+
+    def test_vectorizable_conditions_are_clean(self):
+        report = lint(
+            "r: quad(x, coach, y, t) & duration(t) >= 3 "
+            "-> quad(x, headCoach, y, t) w=1.0"
+        )
+        assert "W602" not in codes_of(report)
+
+
+class TestHeadInterval:
+    def test_w603_unknown_head_interval_kind(self):
+        rule = (
+            RuleBuilder("strange")
+            .body(quad("x", "coach", "y", "t"))
+            .head(
+                quad("x", "managed", "y", "t"),
+                interval=IntervalExpression(kind="mystery", left="t"),
+            )
+            .weight(1.0)
+            .build()
+        )
+        report = check_performance(unit_from_rule(rule))
+        assert "W603" in report.codes()
+
+    def test_all_vectorized_kinds_are_clean(self):
+        for kind in sorted(VECTORIZED_INTERVAL_KINDS - {"var"}):
+            rule = (
+                RuleBuilder(f"via_{kind}")
+                .body(quad("x", "coach", "y", "t"), quad("x", "coach", "y", "t2"))
+                .head(
+                    quad("x", "managed", "y", "t"),
+                    interval=IntervalExpression(kind=kind, left="t", right="t2"),
+                )
+                .weight(1.0)
+                .build()
+            )
+            assert "W603" not in check_performance(unit_from_rule(rule)).codes()
+
+    def test_intersection_head_interval_from_text_is_clean(self):
+        report = lint(
+            "r: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t2) "
+            "& overlaps(t, t2) -> quad(x, livesIn, z, intersection(t, t2)) w=1.6"
+        )
+        assert "W603" not in codes_of(report)
+
+
+class TestCrossProduct:
+    def test_w604_disconnected_body_groups(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)"
+        )
+        assert "W604" in codes_of(report)
+
+    def test_body_conditions_connect_groups(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) & overlaps(t, t2) "
+            "-> x = a"
+        )
+        assert "W604" not in codes_of(report)
+
+    def test_head_conditions_do_not_connect_groups(self):
+        # disjoint(t, t2) is only *checked* on enumerated matches; it cannot
+        # shrink the cross product, so the lint still fires.
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)"
+        )
+        assert "W604" in codes_of(report)
+
+
+class TestGroundingEstimate:
+    def _unit(self):
+        constraint = (
+            ConstraintBuilder("big")
+            .body(quad("x", "coach", "y", "t"), quad("y", "locatedIn", "z", "t2"))
+            .require(allen("overlaps", "t", "t2"))
+            .build()
+        )
+        return unit_from_constraint(constraint)
+
+    def test_i605_fires_above_the_threshold(self):
+        cardinalities = {"coach": 2_000, "locatedIn": 2_000}
+        report = check_performance(self._unit(), cardinalities=cardinalities)
+        flagged = [f for f in report if f.code == "I605"]
+        assert len(flagged) == 1
+        assert "4,000,000" in flagged[0].message
+
+    def test_i605_silent_below_the_threshold(self):
+        cardinalities = {"coach": 10, "locatedIn": 10}
+        assert ESTIMATE_THRESHOLD > 100
+        report = check_performance(self._unit(), cardinalities=cardinalities)
+        assert "I605" not in report.codes()
+
+    def test_i605_needs_known_cardinalities(self):
+        report = check_performance(self._unit(), cardinalities={"unrelated": 10**9})
+        assert "I605" not in report.codes()
+
+    def test_no_graph_means_no_estimate(self):
+        report = analyze_units((self._unit(),))
+        assert "I605" not in codes_of(report)

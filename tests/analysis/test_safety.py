@@ -1,0 +1,94 @@
+"""Pass 1: safety / range restriction, including the text-inexpressible codes.
+
+E103 (empty body) and E104 (trivial denial) cannot be written as program
+text — the parser and statement validation reject them — so those cases
+build :class:`~repro.analysis.Unit` values directly, which is exactly how
+they can reach the analyzer through the programmatic API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import analyze_units, unit_from_raw
+from repro.analysis.safety import check_safety
+from repro.logic.parser import parse_raw_statement
+
+from analysis_helpers import codes_of, lint
+
+
+def _unit(text: str):
+    return unit_from_raw(parse_raw_statement(text))
+
+
+class TestUnsafeVariables:
+    def test_e101_head_variable_not_in_body(self):
+        report = lint("r: quad(x, p, y, t) -> quad(x, p, z, t) w=1.0")
+        assert "E101" in codes_of(report)
+
+    def test_e101_head_interval_argument_not_in_body(self):
+        report = lint(
+            "r: quad(x, p, y, t) -> quad(x, p, y, intersection(t, t9)) w=1.0"
+        )
+        assert "E101" in codes_of(report)
+
+    def test_e102_condition_over_unbound_variable(self):
+        report = lint(
+            "c: quad(x, p, y, t) & quad(x, p, z, t2) & before(t, t9) -> y = z"
+        )
+        assert "E102" in codes_of(report)
+
+    def test_safe_rule_is_clean(self):
+        report = lint("r: quad(x, p, y, t) -> quad(y, p, x, t) w=1.0")
+        assert not [f for f in report if f.code.startswith("E1")]
+
+
+class TestStructuralCodes:
+    def test_e103_empty_body(self):
+        unit = dataclasses.replace(_unit("r: quad(x, p, y, t) -> quad(y, p, x, t) w=1"), body=())
+        assert check_safety(unit).codes() == ["E103"]
+
+    def test_e104_trivial_denial(self):
+        base = _unit("c: quad(x, p, y, t) & quad(x, q, y, t2) -> before(t, t2)")
+        unit = dataclasses.replace(
+            base, body=base.body[:1], conditions=(), head_conditions=()
+        )
+        assert "E104" in check_safety(unit).codes()
+
+    def test_two_atom_denial_is_not_e104(self):
+        unit = dataclasses.replace(
+            _unit("c: quad(x, p, y, t) & quad(x, q, y, t2) -> before(t, t2)"),
+            head_conditions=(),
+        )
+        assert "E104" not in check_safety(unit).codes()
+
+
+class TestSingletons:
+    def test_i105_flags_each_singleton_once(self):
+        report = lint(
+            "c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
+        )
+        flagged = [f for f in report if f.code == "I105"]
+        assert sorted(f.message.split()[1] for f in flagged) == ["y", "z"]
+
+    def test_i105_skips_parser_generated_interval_variables(self):
+        # Triple-style atoms get a synthetic `_t…` interval variable.
+        report = lint("r: triple(x, p, y) -> triple(y, p, x) w=1.0")
+        assert "I105" not in codes_of(report)
+
+    def test_i105_is_info_so_it_never_gates(self):
+        report = lint(
+            "c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
+        )
+        assert report.ok(strict=True)
+
+
+class TestProgramLevel:
+    def test_analyze_units_aggregates_per_statement_findings(self):
+        units = (
+            _unit("r: quad(x, p, y, t) -> quad(x, p, z, t) w=1.0"),
+            _unit("c: quad(a, p, b, t) & quad(a, p, c, t2) & before(t, t9) -> b = c"),
+        )
+        report = analyze_units(units)
+        assert "E101" in codes_of(report)
+        assert "E102" in codes_of(report)

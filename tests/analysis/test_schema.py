@@ -1,0 +1,85 @@
+"""Pass 2: sort (term-kind) conformance and known-predicate checks."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_text, unit_from_raw
+from repro.analysis.schema import check_schema, derived_predicate_names
+from repro.datasets import ranieri_graph
+from repro.logic.parser import parse_raw_statement
+
+from analysis_helpers import codes_of, lint
+
+
+def _unit(text: str):
+    return unit_from_raw(parse_raw_statement(text))
+
+
+class TestSortClashes:
+    def test_e201_entity_and_interval_positions(self):
+        report = lint("r: quad(x, marriedTo, t, t) -> quad(t, marriedTo, x, t) w=1.0")
+        assert "E201" in codes_of(report)
+
+    def test_e202_allen_over_entity_variable(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(x, coach, z, t2) & before(x, t) -> y = z"
+        )
+        assert "E202" in codes_of(report)
+
+    def test_e203_term_equality_over_interval_variable(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & t != t2 "
+            "-> before(t, t2)"
+        )
+        assert "E203" in codes_of(report)
+
+    def test_e204_interval_accessor_over_entity_variable(self):
+        report = lint(
+            "r: quad(x, coach, y, t) & start(x) < 1990 -> quad(x, veteran, y, t) w=1.0"
+        )
+        assert "E204" in codes_of(report)
+
+    def test_clean_temporal_conditions_pass(self):
+        report = lint(
+            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & duration(t) >= 3 "
+            "-> before(t, t2)"
+        )
+        assert not [code for code in codes_of(report) if code.startswith("E2")]
+
+
+class TestKnownPredicates:
+    def test_w205_unknown_predicate_with_loaded_graph(self):
+        report = analyze_text(
+            "c: quad(x, fliesTo, y, t) & quad(x, coach, z, t2) -> before(t, t2)",
+            graph=ranieri_graph(),
+        )
+        flagged = [f for f in report if f.code == "W205"]
+        assert len(flagged) == 1
+        assert "fliesTo" in flagged[0].message
+
+    def test_w205_skips_program_derived_predicates(self):
+        # worksFor is no graph relation but is derived by the first rule.
+        report = analyze_text(
+            "f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5\n"
+            "\n"
+            "c: quad(x, worksFor, y, t) & quad(x, playsFor, y, t2) -> before(t, t2)",
+            graph=ranieri_graph(),
+        )
+        assert "W205" not in codes_of(report)
+
+    def test_no_w205_without_a_graph(self):
+        report = lint("c: quad(x, fliesTo, y, t) & quad(x, fliesTo, z, t2) -> y = z")
+        assert "W205" not in codes_of(report)
+
+    def test_variable_predicates_are_never_unknown(self):
+        unit = _unit("c: quad(x, p, y, t) & quad(x, p, z, t2) -> y = z")
+        report = check_schema(unit, known_predicates={"coach"}, derived_predicates=set())
+        assert "W205" not in report.codes()
+
+
+class TestDerivedPredicates:
+    def test_constant_head_predicates_are_collected(self):
+        units = (
+            _unit("f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5"),
+            _unit("c: quad(x, coach, y, t) & quad(x, coach, z, t2) -> y = z"),
+        )
+        assert derived_predicate_names(units) == {"worksFor"}

@@ -1,0 +1,96 @@
+"""Pass 3: point-algebra satisfiability over body/head interval conditions."""
+
+from __future__ import annotations
+
+from analysis_helpers import codes_of, lint
+
+
+class TestDeadBodies:
+    def test_e301_contradictory_allen_conditions(self):
+        report = lint(
+            "deadRule: quad(x, playsFor, y, t) & quad(x, worksFor, y, t2) "
+            "& before(t, t2) & before(t2, t) -> quad(x, type, Weird, t) w=2.0"
+        )
+        flagged = [f for f in report if f.code == "E301"]
+        assert len(flagged) == 1
+        assert flagged[0].span is not None  # anchored without running anything
+
+    def test_e301_transitive_contradiction_through_a_chain(self):
+        # t < t2, t2 < t3, t3 < t — only the closure sees the cycle.
+        report = lint(
+            "r: quad(x, a1, y, t) & quad(x, a2, y, t2) & quad(x, a3, y, t3) "
+            "& before(t, t2) & before(t2, t3) & before(t3, t) "
+            "-> quad(x, type, Weird, t) w=1.0"
+        )
+        assert "E301" in codes_of(report)
+
+    def test_e301_statically_false_equality(self):
+        report = lint(
+            "r: quad(x, bornIn, y, t) & x != x -> quad(x, type, Roman, t) w=1.0"
+        )
+        assert "E301" in codes_of(report)
+
+    def test_satisfiable_conditions_are_clean(self):
+        report = lint(
+            "r: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) "
+            "& duration(t) >= 3 -> quad(x, type, Ok, t) w=1.0"
+        )
+        assert "E301" not in codes_of(report)
+
+    def test_mixed_comparison_and_allen_contradiction(self):
+        # end(t) < 1990 together with start(t2) > 2000 and t2 before t.
+        report = lint(
+            "r: quad(x, a1, y, t) & quad(x, a2, y, t2) & end(t) < 1990 "
+            "& start(t2) > 2000 & before(t2, t) -> quad(x, type, Weird, t) w=1.0"
+        )
+        assert "E301" in codes_of(report)
+
+
+class TestConstraintHeads:
+    def test_w302_tautological_constraint(self):
+        report = lint(
+            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) "
+            "-> before(t, t2)"
+        )
+        assert "W302" in codes_of(report)
+
+    def test_w303_denial_in_disguise(self):
+        report = lint(
+            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) "
+            "-> before(t2, t)"
+        )
+        flagged = [f for f in report if f.code == "W303"]
+        assert len(flagged) == 1
+        assert "denial" in flagged[0].hint
+
+    def test_plain_refutable_constraint_is_clean(self):
+        report = lint(
+            "c: quad(x, birthDate, b, t) & quad(x, deathDate, d, t2) "
+            "-> before(t, t2)"
+        )
+        assert not {"W302", "W303"} & set(codes_of(report))
+
+
+class TestRedundancy:
+    def test_i304_condition_entailed_by_the_others(self):
+        report = lint(
+            "r: quad(x, a1, y, t) & quad(x, a2, y, t2) & quad(x, a3, y, t3) "
+            "& before(t, t2) & before(t2, t3) & before(t, t3) "
+            "-> quad(x, type, Ok, t) w=1.0"
+        )
+        flagged = [f for f in report if f.code == "I304"]
+        assert len(flagged) == 1
+        assert "before(t, t3)" in flagged[0].message
+
+    def test_i304_always_true_equality(self):
+        report = lint(
+            "r: quad(x, a1, y, t) & x = x -> quad(x, type, Ok, t) w=1.0"
+        )
+        assert "I304" in codes_of(report)
+
+    def test_independent_conditions_are_not_redundant(self):
+        report = lint(
+            "r: quad(x, a1, y, t) & quad(x, a2, y, t2) & quad(x, a3, y, t3) "
+            "& before(t, t2) & before(t2, t3) -> quad(x, type, Ok, t) w=1.0"
+        )
+        assert "I304" not in codes_of(report)

@@ -1,0 +1,117 @@
+"""Span-accuracy regression tests for the statement parser.
+
+Every span reported by :class:`~repro.logic.parser.StatementSpans` must
+point at the exact source text of the construct it names — the analyzer's
+findings are only as trustworthy as these line/column ranges.  The tests
+slice the original program text by the reported spans and compare against
+the expected fragments, so any drift in offset bookkeeping fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.parser import (
+    SourceSpan,
+    parse_program,
+    parse_raw_statement,
+    split_statements,
+)
+
+
+def _slice(text: str, span: SourceSpan) -> str:
+    """Cut the exact source fragment a (possibly multi-line) span covers."""
+    lines = text.splitlines()
+    if span.line == span.end_line:
+        return lines[span.line - 1][span.column - 1 : span.end_column - 1]
+    parts = [lines[span.line - 1][span.column - 1 :]]
+    parts.extend(lines[number] for number in range(span.line, span.end_line - 1))
+    parts.append(lines[span.end_line - 1][: span.end_column - 1])
+    return "\n".join(parts)
+
+
+PROGRAM = """\
+# The running example, spread over comments and blank lines.
+
+f1: quad(x, playsFor, y, t) -> quad(x, worksFor, y, t) w=2.5
+
+f2: quad(x, worksFor, y, t) & quad(y, locatedIn, z, t2) & overlaps(t, t2)
+    -> quad(x, livesIn, z, intersection(t, t2)) w=1.6
+
+c1: quad(x, birthDate, b, t) & quad(x, deathDate, d, t2) -> before(t, t2)
+"""
+
+
+def test_body_atom_spans_cover_exact_source_text():
+    parsed = parse_program(PROGRAM)
+    spans = parsed.annotated[0].spans
+    assert _slice(PROGRAM, spans.body[0]) == "quad(x, playsFor, y, t)"
+    assert _slice(PROGRAM, spans.head) == "quad(x, worksFor, y, t)"
+
+    spans = parsed.annotated[1].spans
+    assert _slice(PROGRAM, spans.body[0]) == "quad(x, worksFor, y, t)"
+    assert _slice(PROGRAM, spans.body[1]) == "quad(y, locatedIn, z, t2)"
+    assert _slice(PROGRAM, spans.conditions[0]) == "overlaps(t, t2)"
+
+
+def test_multiline_statement_spans_cross_the_line_break():
+    parsed = parse_program(PROGRAM)
+    spans = parsed.annotated[1].spans
+    # The statement starts on the `f2:` line and its head sits on the
+    # continuation line — both coordinates must be physical-line accurate.
+    assert spans.statement.line == 5
+    assert spans.statement.end_line == 6
+    assert spans.head.line == 6
+    assert _slice(PROGRAM, spans.head) == "quad(x, livesIn, z, intersection(t, t2))"
+
+
+def test_constraint_head_condition_span():
+    parsed = parse_program(PROGRAM)
+    spans = parsed.annotated[2].spans
+    assert _slice(PROGRAM, spans.head_conditions[0]) == "before(t, t2)"
+    assert spans.head_conditions[0].line == 8
+
+
+def test_statement_span_excludes_comments_and_blank_lines():
+    parsed = parse_program(PROGRAM)
+    spans = parsed.annotated[0].spans
+    assert spans.statement.line == 3
+    assert _slice(PROGRAM, spans.statement).startswith("f1: quad")
+
+
+def test_spans_are_one_based_and_end_exclusive():
+    text = "r: quad(a, p, b, t) -> quad(b, p, a, t) w=1.0"
+    block = next(iter(split_statements(text)))
+    raw = parse_raw_statement(block.text, block=block, default_name=block.default_name)
+    body = raw.spans.body[0]
+    assert (body.line, body.column) == (1, 4)
+    assert text[body.column - 1 : body.end_column - 1] == "quad(a, p, b, t)"
+
+
+def test_parse_error_reports_the_physical_line():
+    broken = "\n".join(
+        [
+            "# comment",
+            "ok: quad(x, p, y, t) -> quad(y, p, x, t) w=1.0",
+            "",
+            "bad: quad(x, p, y, t & -> quad(y, p, x, t)",
+        ]
+    )
+    with pytest.raises(ParseError) as excinfo:
+        parse_program(broken)
+    assert excinfo.value.line == 4
+
+
+def test_locate_maps_joined_offsets_back_to_source_lines():
+    text = "r: quad(x, p, y, t) &\n    before(t, t)\n    -> quad(y, p, x, t) w=1.0"
+    block = next(iter(split_statements(text)))
+    # Offset 0 is the first character of the label on line 1.
+    assert block.locate(0) == (1, 1)
+    # The joined text replaces the newline with one space, so the first
+    # character after the `&` maps onto line 2's indentation-stripped start.
+    joined = block.text
+    offset = joined.index("before")
+    line, column = block.locate(offset)
+    assert line == 2
+    assert text.splitlines()[1][column - 1 :].startswith("before")
