@@ -29,9 +29,7 @@ def statistics_workload():
     # Empirically a ~5.5% noise ratio yields ≈8% of facts in conflict (each
     # erroneous fact typically clashes with at least one correct fact).
     players = int(target_facts / 3.1)
-    return generate_footballdb(
-        FootballDBConfig(players=players, noise_ratio=0.055, seed=1734)
-    )
+    return generate_footballdb(FootballDBConfig(players=players, noise_ratio=0.055, seed=1734))
 
 
 def test_conflict_statistics_panel(benchmark, statistics_workload):
@@ -40,24 +38,32 @@ def test_conflict_statistics_panel(benchmark, statistics_workload):
     violations = benchmark(find_conflicts, statistics_workload.graph, constraints)
 
     total_facts = len(statistics_workload.graph)
-    conflicting = {
-        fact.statement_key for violation in violations for fact in violation.facts
-    }
+    conflicting = {fact.statement_key for violation in violations for fact in violation.facts}
     measured_rate = len(conflicting) / total_facts
 
     # Shape check: the measured conflict rate is in the same band as Figure 8.
     assert 0.5 * PAPER_CONFLICT_RATE <= measured_rate <= 2.0 * PAPER_CONFLICT_RATE
 
     rows = [
-        ["paper (Figure 8)", f"{PAPER_TOTAL_FACTS:,}", f"{PAPER_CONFLICTING_FACTS:,}",
-         f"{PAPER_CONFLICT_RATE * 100:.1f}%"],
-        [f"measured (1/{SCALE_DIVISOR} scale)", f"{total_facts:,}", f"{len(conflicting):,}",
-         f"{measured_rate * 100:.1f}%"],
+        [
+            "paper (Figure 8)",
+            f"{PAPER_TOTAL_FACTS:,}",
+            f"{PAPER_CONFLICTING_FACTS:,}",
+            f"{PAPER_CONFLICT_RATE * 100:.1f}%",
+        ],
+        [
+            f"measured (1/{SCALE_DIVISOR} scale)",
+            f"{total_facts:,}",
+            f"{len(conflicting):,}",
+            f"{measured_rate * 100:.1f}%",
+        ],
     ]
     lines = format_rows(rows, ["setting", "temporal facts", "conflicting facts", "conflict rate"])
     lines.append("")
-    lines.append(f"{len(violations):,} grounded constraint violations across "
-                 f"{len(constraints)} constraints")
+    lines.append(
+        f"{len(violations):,} grounded constraint violations across "
+        f"{len(constraints)} constraints"
+    )
     record_report("E3", "conflict statistics panel (Figure 8)", lines)
 
     benchmark.extra_info["total_facts"] = total_facts

@@ -54,7 +54,9 @@ def _record(name: str, removed_facts, constraint_count: int, dataset) -> None:
             ]
             for name in sorted(_RESULTS)
         ]
-        lines = format_rows(rows, ["constraint set", "constraints", "removed", "precision", "recall", "F1"])
+        lines = format_rows(
+            rows, ["constraint set", "constraints", "removed", "precision", "recall", "F1"]
+        )
         lines.append("")
         lines.append(
             "Constraints are mined from an independent clean FootballDB sample "

@@ -50,9 +50,7 @@ def workload():
     dataset = generate_footballdb(FootballDBConfig(scale=SCALE, noise_ratio=0.5, seed=2017))
     pack = sports_pack()
     program = (
-        Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints)
-        .ground()
-        .program
+        Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints).ground().program
     )
     return program, decompose(program)
 
@@ -92,7 +90,9 @@ def test_decomposed_speedup(benchmark, workload):
     decomposed_solver = DecomposedSolver(
         partial(mln_map.make_solver, BACKEND, **BACKEND_OPTIONS), jobs=JOBS
     )
-    decomposed = benchmark.pedantic(decomposed_solver.solve, args=(program,), rounds=1, iterations=1)
+    decomposed = benchmark.pedantic(
+        decomposed_solver.solve, args=(program,), rounds=1, iterations=1
+    )
     decomposed_seconds = decomposed.stats.runtime_seconds
 
     assert decomposed.objective == monolithic.objective

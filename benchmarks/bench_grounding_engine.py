@@ -59,9 +59,7 @@ REPEATS = 3
 
 def chained_workload(scale: float):
     """FootballDB + sports pack + locations + geographic chain rules."""
-    dataset = generate_footballdb(
-        FootballDBConfig(scale=scale, noise_ratio=0.5, seed=2017)
-    )
+    dataset = generate_footballdb(FootballDBConfig(scale=scale, noise_ratio=0.5, seed=2017))
     graph = dataset.graph.copy(name=f"footballdb-chained-{scale}")
     for team in TEAM_NAMES:
         graph.add((team, "locatedIn", f"{team}City", (1940, 2020), 0.95))
@@ -72,9 +70,7 @@ def chained_workload(scale: float):
         .head(quad("y", target, "z", "t"))
         .weight(1.2)
         .build()
-        for index, (source, target) in enumerate(
-            zip(CHAIN_PREDICATES, CHAIN_PREDICATES[1:])
-        )
+        for index, (source, target) in enumerate(zip(CHAIN_PREDICATES, CHAIN_PREDICATES[1:]))
     ]
     return graph, list(pack.rules) + chain_rules, list(pack.constraints)
 
@@ -99,12 +95,8 @@ def engine_sweep():
     series = {}
     for scale in (0.02, 0.05, SCALE):
         graph, rules, constraints = chained_workload(scale)
-        naive_seconds, naive_result = time_grounding(
-            NaiveGrounder, graph, rules, constraints
-        )
-        indexed_seconds, indexed_result = time_grounding(
-            IndexedGrounder, graph, rules, constraints
-        )
+        naive_seconds, naive_result = time_grounding(NaiveGrounder, graph, rules, constraints)
+        indexed_seconds, indexed_result = time_grounding(IndexedGrounder, graph, rules, constraints)
         assert (
             naive_result.program.canonical_signature()
             == indexed_result.program.canonical_signature()
@@ -195,9 +187,7 @@ def test_batched_resolution_throughput(benchmark):
     """resolve_batch reuses translator + solver across many graphs."""
     graphs = []
     for seed in range(12):
-        dataset = generate_footballdb(
-            FootballDBConfig(scale=0.005, noise_ratio=0.5, seed=seed)
-        )
+        dataset = generate_footballdb(FootballDBConfig(scale=0.005, noise_ratio=0.5, seed=seed))
         graphs.append(dataset.graph.copy(name=f"tenant-{seed}"))
     pack = sports_pack()
     system = TeCoRe(rules=list(pack.rules), constraints=list(pack.constraints), solver="npsl")

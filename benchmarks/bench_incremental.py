@@ -86,9 +86,7 @@ def build_edit_stream(graph, steps=STEPS, ratio=MUTATION_RATIO, seed=SEED):
 
 @pytest.fixture(scope="module")
 def workload():
-    dataset = generate_footballdb(
-        FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED)
-    )
+    dataset = generate_footballdb(FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED))
     pack = sports_pack()
     graph = dataset.graph
     return graph, list(pack.rules), list(pack.constraints), build_edit_stream(graph)
@@ -189,9 +187,7 @@ def test_incremental_session_speedup(benchmark, workload):
             f"{ilp_full_seconds / ilp_incremental_seconds:.1f}x",
         ],
     ]
-    lines = format_rows(
-        rows, ["backend", "full ms (6 steps)", "incremental ms", "speedup"]
-    )
+    lines = format_rows(rows, ["backend", "full ms (6 steps)", "incremental ms", "speedup"])
     lines += [
         "",
         f"facts / mutated per step : {len(graph)} / {per_step * 2} "

@@ -23,7 +23,9 @@ def backend_workload():
     """A small-but-non-trivial noisy FootballDB ground program."""
     dataset = generate_footballdb(FootballDBConfig(scale=0.02, noise_ratio=0.5, seed=99))
     pack = sports_pack()
-    program = Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints).ground().program
+    program = (
+        Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints).ground().program
+    )
     return program
 
 
@@ -69,7 +71,9 @@ def test_mln_backend(benchmark, backend_workload, backend):
             ]
             for name in BACKENDS
         ]
-        lines = format_rows(rows, ["backend", "MAP objective", "removed facts", "proven optimal", "ms"])
+        lines = format_rows(
+            rows, ["backend", "MAP objective", "removed facts", "proven optimal", "ms"]
+        )
         lines.append("")
         lines.append(
             f"workload: {program.num_atoms:,} ground atoms, {program.num_clauses:,} clauses "

@@ -38,7 +38,9 @@ def test_running_example_repair(benchmark, ranieri, solver):
                 "kept" if index <= 4 else "removed",
             ]
         )
-    lines = format_rows(rows, ["fact", "statement", "conf", f"measured ({solver})", "paper (Fig. 7)"])
+    lines = format_rows(
+        rows, ["fact", "statement", "conf", f"measured ({solver})", "paper (Fig. 7)"]
+    )
     lines.append("")
     lines.append(
         f"runtime {result.statistics.runtime_seconds * 1000:.1f} ms, "

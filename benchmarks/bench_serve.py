@@ -76,9 +76,7 @@ TRACE_MIN_SPEEDUP = 1.25
 
 @pytest.fixture(scope="module")
 def workload():
-    dataset = generate_footballdb(
-        FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED)
-    )
+    dataset = generate_footballdb(FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED))
     pack = sports_pack()
     base = dataset.graph
     # Tenant variants: distinct graph content per tenant (each drops a
@@ -128,10 +126,7 @@ def test_microbatched_serving_speedup(benchmark, workload):
 
     # Reference payloads: one direct resolve per tenant (the ground truth
     # every served response must match bit-for-bit).
-    expected = {
-        graph.name: stable_view(encode_result(system.resolve(graph)))
-        for graph in tenants
-    }
+    expected = {graph.name: stable_view(encode_result(system.resolve(graph))) for graph in tenants}
 
     # Baseline: a sequential per-request resolve loop (one fresh resolve per
     # incoming request — per-request serving without batching).
@@ -154,9 +149,7 @@ def test_microbatched_serving_speedup(benchmark, workload):
     server.run_in_thread()
     try:
         address = server.server_address[:2]
-        documents = [
-            {"graph": json_io.to_dict(graph)} for graph in requests
-        ]
+        documents = [{"graph": json_io.to_dict(graph)} for graph in requests]
         outcomes = [None] * len(requests)
         cursor = iter(range(len(requests)))
         cursor_lock = threading.Lock()
@@ -209,13 +202,9 @@ def test_microbatched_serving_speedup(benchmark, workload):
         # Session serving parity: a served session must track a direct one.
         session_graph = tenants[0]
         direct = system.session(session_graph)
-        status, created = post_json(
-            address, "/sessions", {"graph": json_io.to_dict(session_graph)}
-        )
+        status, created = post_json(address, "/sessions", {"graph": json_io.to_dict(session_graph)})
         assert status == 201
-        assert stable_view(created["result"]) == stable_view(
-            encode_result(direct.result)
-        )
+        assert stable_view(created["result"]) == stable_view(encode_result(direct.result))
         edits = [json_io.fact_to_dict(fact) for fact in session_graph.facts()[:2]]
         status, edited = post_json(
             address,
@@ -223,12 +212,8 @@ def test_microbatched_serving_speedup(benchmark, workload):
             {"removes": edits},
         )
         assert status == 200
-        direct_result = direct.apply(
-            removes=[session_graph.facts()[0], session_graph.facts()[1]]
-        )
-        assert stable_view(edited["result"]) == stable_view(
-            encode_result(direct_result)
-        )
+        direct_result = direct.apply(removes=[session_graph.facts()[0], session_graph.facts()[1]])
+        assert stable_view(edited["result"]) == stable_view(encode_result(direct_result))
         resolve_p99 = stats["endpoints"]["POST /resolve"]["p99_ms"]
     finally:
         server.close()
@@ -266,9 +251,7 @@ def test_microbatched_serving_speedup(benchmark, workload):
             f"{speedup:.1f}x",
         ],
     ]
-    lines = format_rows(
-        rows, ["server", f"{REQUESTS} requests (ms)", "req/s", "speedup"]
-    )
+    lines = format_rows(rows, ["server", f"{REQUESTS} requests (ms)", "req/s", "speedup"])
     lines += [
         "",
         f"workload: {TENANTS} tenant graphs x {REQUESTS // TENANTS} requests each "
@@ -330,9 +313,7 @@ def test_microbatched_serving_speedup(benchmark, workload):
 @pytest.fixture(scope="module")
 def trace_setup():
     """A seeded multi-client trace (see repro.verify.workloads) over FootballDB."""
-    dataset = generate_footballdb(
-        FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED)
-    )
+    dataset = generate_footballdb(FootballDBConfig(scale=SCALE, noise_ratio=NOISE, seed=SEED))
     pack = sports_pack()
     config = WorkloadConfig(
         seed=SEED,
@@ -399,9 +380,7 @@ class _HttpTraceClient(threading.Thread):
             self._request(connection, "POST", "/resolve", body)
         elif op.kind == "session_create":
             status, payload = self._request(connection, "POST", "/sessions", op.body)
-            self.directory.publish(
-                op.session, payload.get("session_id") if status == 201 else None
-            )
+            self.directory.publish(op.session, payload.get("session_id") if status == 201 else None)
         else:
             sid = self.directory.resolve(op.session)
             if op.kind == "session_edit":
@@ -441,9 +420,7 @@ def test_trace_driven_serving(trace_setup):
     started = time.perf_counter()
     for graph in resolve_graphs:
         system.resolve(graph)
-    direct_sessions = {
-        index: system.session(graph) for index, graph in creates.items()
-    }
+    direct_sessions = {index: system.session(graph) for index, graph in creates.items()}
     for session_index, adds, removes in edit_stream:
         direct_sessions[session_index].apply(adds=adds, removes=removes)
     sequential_seconds = time.perf_counter() - started
@@ -478,18 +455,14 @@ def test_trace_driven_serving(trace_setup):
             client.join()
         served_seconds = time.perf_counter() - started
         for client in clients:
-            assert client.error is None, (
-                f"trace client {client.client_id} failed: {client.error}"
-            )
+            assert client.error is None, f"trace client {client.client_id} failed: {client.error}"
         _, stats = get_json(address, "/stats")
         batcher = stats["batcher"]
     finally:
         server.close()
 
     total_retries = sum(client.retries for client in clients)
-    history = recorder.history(
-        {"workload": "bench trace", "seed": SEED, "transport": "http"}
-    )
+    history = recorder.history({"workload": "bench trace", "seed": SEED, "transport": "http"})
     # Every retried attempt is its own server-recorded operation.
     assert len(history) == trace.total_ops + total_retries
     report = SerializabilityChecker(system).check(history)

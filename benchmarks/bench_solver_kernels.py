@@ -45,9 +45,7 @@ def workload():
     dataset = generate_footballdb(FootballDBConfig(scale=SCALE, noise_ratio=0.5, seed=2017))
     pack = sports_pack()
     program = (
-        Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints)
-        .ground()
-        .program
+        Grounder(dataset.graph, rules=pack.rules, constraints=pack.constraints).ground().program
     )
     return program, GroundProgramArrays.from_program(program)
 
@@ -62,9 +60,7 @@ def test_maxwalksat_kernel_speedup(benchmark, workload):
     object_seconds = time.perf_counter() - started
 
     array_solver = mln_map.make_solver("maxwalksat-array", **SEARCH_OPTIONS)
-    array_solution = benchmark.pedantic(
-        array_solver.solve, args=(program,), rounds=1, iterations=1
-    )
+    array_solution = benchmark.pedantic(array_solver.solve, args=(program,), rounds=1, iterations=1)
     array_seconds = array_solution.stats.runtime_seconds
 
     assert program.is_feasible(array_solution.assignment)

@@ -18,9 +18,7 @@ _ROWS: list[list[object]] = []
 
 
 def _finalise(dataset_noisy) -> None:
-    lines = format_rows(
-        _ROWS, ["setting", "method", "removed facts", "precision", "recall"]
-    )
+    lines = format_rows(_ROWS, ["setting", "method", "removed facts", "precision", "recall"])
     lines.append("")
     lines.append(
         "On clean data the temporal reasoner removes nothing while the static check "
@@ -50,8 +48,13 @@ def test_temporal_on_noisy_data(benchmark, footballdb_noisy):
     result = benchmark(system.resolve, footballdb_noisy.graph)
     quality = repair_quality(result.removed_facts, footballdb_noisy.noise_facts)
     _ROWS.append(
-        ["noisy", "temporal (nrockit)", result.statistics.removed_facts,
-         f"{quality.precision:.3f}", f"{quality.recall:.3f}"]
+        [
+            "noisy",
+            "temporal (nrockit)",
+            result.statistics.removed_facts,
+            f"{quality.precision:.3f}",
+            f"{quality.recall:.3f}",
+        ]
     )
     assert quality.precision > 0.75
 
@@ -61,8 +64,13 @@ def test_static_on_noisy_data(benchmark, footballdb_noisy):
     result = benchmark(resolver.resolve, footballdb_noisy.graph, sports_pack().constraints)
     quality = repair_quality(result.removed_facts, footballdb_noisy.noise_facts)
     _ROWS.append(
-        ["noisy", "static (no time)", result.removed_count,
-         f"{quality.precision:.3f}", f"{quality.recall:.3f}"]
+        [
+            "noisy",
+            "static (no time)",
+            result.removed_count,
+            f"{quality.precision:.3f}",
+            f"{quality.recall:.3f}",
+        ]
     )
     assert quality.precision < 0.75
     _finalise(footballdb_noisy)

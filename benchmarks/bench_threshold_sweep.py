@@ -60,8 +60,10 @@ def test_threshold_sweep(benchmark, wikidata_dataset, inference_system):
     assert counts == sorted(counts, reverse=True)
     assert counts[0] > counts[-1]
 
-    rows = [[f"{threshold:.1f}", count, f"{count / max(counts[0], 1) * 100:.0f}%"]
-            for threshold, count in sweep]
+    rows = [
+        [f"{threshold:.1f}", count, f"{count / max(counts[0], 1) * 100:.0f}%"]
+        for threshold, count in sweep
+    ]
     lines = format_rows(rows, ["threshold", "derived facts kept", "fraction of all derived"])
     lines.append("")
     lines.append(

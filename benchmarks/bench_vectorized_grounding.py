@@ -58,9 +58,7 @@ def duplicate_registration_audit():
         ConstraintBuilder("duplicateRegistration")
         .body(quad("x", "playsFor", "y", "t"), quad("z", "playsFor", "y", "t2"))
         .when(not_equal("x", "z"))
-        .require(
-            compare(IntervalStart(Variable("t")), "!=", IntervalStart(Variable("t2")))
-        )
+.require(compare(IntervalStart(Variable("t")), "!=", IntervalStart(Variable("t2"))))
         .description(
             "two distinct players registered to one club with identical start "
             "dates look like duplicate extractions"
@@ -97,9 +95,7 @@ def engine_sweep():
     series = {}
     for scale in (0.02, 0.05, SCALE):
         graph, rules, constraints = audited_workload(scale)
-        indexed_seconds, indexed_result = time_grounding(
-            IndexedGrounder, graph, rules, constraints
-        )
+        indexed_seconds, indexed_result = time_grounding(IndexedGrounder, graph, rules, constraints)
         vectorized_seconds, vectorized_result = time_grounding(
             VectorizedGrounder, graph, rules, constraints
         )

@@ -12,6 +12,12 @@ Usage::
     python benchmarks/check_regression.py                # gate (CI step)
     python benchmarks/check_regression.py --tolerance 0.5
     python benchmarks/check_regression.py --update       # refresh baselines
+    python benchmarks/check_regression.py --summary out.md   # markdown table
+
+``--summary`` additionally writes a GitHub-flavoured markdown table of every
+fresh speedup against its baseline and floor — CI points it at
+``$GITHUB_STEP_SUMMARY`` so the numbers land on the run's summary page
+without digging through logs.
 
 Exit codes: 0 — all gated benchmarks within band; 1 — at least one
 regression; 2 — malformed input (unreadable record or baseline file).
@@ -105,12 +111,35 @@ def check(
             lines.append(f"  ✗ {name}: {speedup:.2f}x < floor {floor:.2f}x  REGRESSION")
         else:
             lines.append(
-                f"  ✓ {name}: {speedup:.2f}x (baseline {baseline:.2f}x, "
-                f"floor {floor:.2f}x)"
+                f"  ✓ {name}: {speedup:.2f}x (baseline {baseline:.2f}x, " f"floor {floor:.2f}x)"
             )
     for name in sorted(set(baselines) - set(records)):
         lines.append(f"  ? {name}: baseline present but no fresh record (did it run?)")
     return lines, failures
+
+
+def summary_table(
+    records: dict[str, dict],
+    baselines: dict[str, dict],
+    tolerance: float,
+) -> str:
+    """GitHub-flavoured markdown table of fresh speedups vs baselines."""
+    rows = ["| benchmark | speedup | baseline | floor | status |", "|---|---|---|---|---|"]
+    for name, record in sorted(records.items()):
+        speedup = record.get("speedup")
+        if speedup is None:
+            rows.append(f"| {name} | — | — | — | not gated |")
+            continue
+        baseline = baselines.get(name, {}).get("speedup")
+        if baseline is None:
+            rows.append(f"| {name} | {speedup:.2f}x | — | — | ⚠️ no baseline |")
+            continue
+        floor = baseline * (1.0 - tolerance)
+        status = "✅" if speedup >= floor else "❌ regression"
+        rows.append(f"| {name} | {speedup:.2f}x | {baseline:.2f}x | {floor:.2f}x | {status} |")
+    for name in sorted(set(baselines) - set(records)):
+        rows.append(f"| {name} | missing | {baselines[name]['speedup']:.2f}x | — | ⚠️ no record |")
+    return "### Benchmark speedups\n\n" + "\n".join(rows) + "\n"
 
 
 def update_baselines(records: dict[str, dict], baselines_file: Path) -> None:
@@ -141,8 +170,13 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="allowed fractional drop below baseline (default 0.4)",
     )
+    parser.add_argument("--update", action="store_true", help="rewrite the baseline file and exit")
     parser.add_argument(
-        "--update", action="store_true", help="rewrite the baseline file and exit"
+        "--summary",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append a markdown speedup table to FILE (use $GITHUB_STEP_SUMMARY in CI)",
     )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
@@ -163,6 +197,10 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+
+    if args.summary is not None:
+        with args.summary.open("a", encoding="utf-8") as handle:
+            handle.write(summary_table(records, baselines, args.tolerance))
 
     lines, failures = check(records, baselines, args.tolerance)
     print("benchmark-regression gate:")

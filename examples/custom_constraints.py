@@ -25,7 +25,7 @@ def build_graph() -> TemporalKnowledgeGraph:
         [
             ("Ada", "birthDate", 1815, (1815, 1815), 1.0),
             ("Ada", "worksFor", "AnalyticalEngines", (1833, 1842), 0.9),
-            ("Ada", "worksFor", "RoyalSociety", (1840, 1845), 0.55),   # overlaps the first job
+            ("Ada", "worksFor", "RoyalSociety", (1840, 1845), 0.55),  # overlaps the first job
             ("Ada", "deathDate", 1852, (1852, 1852), 1.0),
             ("Ada", "educatedAt", "HomeSchooling", (1820, 1832), 0.8),
             ("Grace", "birthDate", 1906, (1906, 1906), 1.0),
@@ -33,7 +33,9 @@ def build_graph() -> TemporalKnowledgeGraph:
             ("Grace", "worksFor", "EckertMauchly", (1949, 1971), 0.6),  # overlaps the Navy job
             ("Grace", "deathDate", 1992, (1992, 1992), 1.0),
             ("Grace", "educatedAt", "Yale", (1928, 1934), 0.9),
-            ("Grace", "educatedAt", "Yale", (1990, 1995), 0.3),         # after retirement: extraction error
+            (
+                "Grace", "educatedAt", "Yale", (1990, 1995), 0.3
+            ),  # after retirement: extraction error
         ]
     )
     return graph
@@ -52,7 +54,9 @@ def main() -> None:
 
     one_employer = editor.functional_over_time("worksFor", weight=2.0, name="oneEmployer")
     born_before_work = editor.relate("birthDate", "worksFor", "before", name="bornBeforeWork")
-    die_after_school = editor.relate("educatedAt", "deathDate", "before", name="educatedBeforeDeath")
+    die_after_school = editor.relate(
+        "educatedAt", "deathDate", "before", name="educatedBeforeDeath"
+    )
     print("Editor-built constraints:")
     for constraint in (one_employer, born_before_work, die_after_school):
         print(f"  {constraint}")
@@ -69,7 +73,9 @@ def main() -> None:
     c1: quad(x, birthDate, y, t) & quad(x, deathDate, z, t2) -> start(t) < start(t2)
     """
     parsed = parse_program(program_text)
-    print(f"Parsed {len(parsed.rules)} rule(s) and {len(parsed.constraints)} constraint(s) from text.")
+    print(
+        f"Parsed {len(parsed.rules)} rule(s) and {len(parsed.constraints)} constraint(s) from text."
+    )
     print()
 
     # ------------------------------------------------------------------ #
@@ -84,8 +90,10 @@ def main() -> None:
         )
         result = system.resolve(graph)
         print("=" * 72)
-        print(f"{solver}: {result.statistics.removed_facts} facts removed, "
-              f"{result.statistics.inferred_facts} facts inferred")
+        print(
+            f"{solver}: {result.statistics.removed_facts} facts removed, "
+            f"{result.statistics.inferred_facts} facts inferred"
+        )
         print("=" * 72)
         print(render_report(result, limit=8))
         print()

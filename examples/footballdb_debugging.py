@@ -43,7 +43,9 @@ def main(scale: float = 0.02) -> None:
 
     def record(name: str, removed_facts, seconds: float) -> None:
         quality = repair_quality(removed_facts, dataset.noise_facts)
-        rows.append((name, len(removed_facts), quality.precision, quality.recall, quality.f1, seconds))
+        rows.append(
+            (name, len(removed_facts), quality.precision, quality.recall, quality.f1, seconds)
+        )
 
     for solver in ("nrockit", "npsl"):
         system = TeCoRe.from_pack("sports", solver=solver)

@@ -35,9 +35,7 @@ from .schema import check_schema, derived_predicate_names, predicate_cardinaliti
 from .temporal_sat import check_temporal
 
 
-def analyze_units(
-    units: Sequence[Unit], graph: Optional[object] = None
-) -> LintReport:
+def analyze_units(units: Sequence[Unit], graph: Optional[object] = None) -> LintReport:
     """Run every analysis pass over normalised units."""
     report = LintReport()
     cardinalities: Optional[Dict[str, int]] = None
@@ -65,9 +63,7 @@ def analyze_program(
 ) -> LintReport:
     """Analyze built rule/constraint objects (no source spans)."""
     units = [unit_from_rule(rule, source=source) for rule in rules]
-    units.extend(
-        unit_from_constraint(constraint, source=source) for constraint in constraints
-    )
+    units.extend(unit_from_constraint(constraint, source=source) for constraint in constraints)
     return analyze_units(units, graph)
 
 

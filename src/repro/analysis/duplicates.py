@@ -56,9 +56,7 @@ def _canonical_text(unit: Unit) -> str:
     parts.append("|".join(str(c) for c in unit.head_conditions))
     if unit.head_interval is not None:
         interval = unit.head_interval
-        parts.append(
-            f"{interval.kind}({interval.left},{interval.right},{interval.delta})"
-        )
+        parts.append(f"{interval.kind}({interval.left},{interval.right},{interval.delta})")
     parts.append("hard" if unit.is_hard else f"w={unit.weight:g}")
     text = " ;; ".join(parts)
 
@@ -114,9 +112,7 @@ def _subsumes(general: Unit, specific: Unit) -> bool:
             general, subst
         ) != _interval_text(specific):
             continue
-        specific_conditions: Set[str] = {
-            str(condition) for condition in specific.conditions
-        }
+        specific_conditions: Set[str] = {str(condition) for condition in specific.conditions}
         specific_head_conditions: Set[str] = {
             str(condition) for condition in specific.head_conditions
         }

@@ -141,9 +141,7 @@ def _rule_network(rule: Unit) -> Optional[ConditionNetwork]:
     return network
 
 
-def _body_conditions_entailed(
-    constraint: Unit, subst: _Subst, network: ConditionNetwork
-) -> bool:
+def _body_conditions_entailed(constraint: Unit, subst: _Subst, network: ConditionNetwork) -> bool:
     """Every constraint body condition provably holds whenever the rule fires."""
     for condition in constraint.conditions:
         if isinstance(condition, TermEquality):
@@ -159,9 +157,7 @@ def _body_conditions_entailed(
     return True
 
 
-def _head_conditions_refuted(
-    constraint: Unit, subst: _Subst, rule: Unit
-) -> bool:
+def _head_conditions_refuted(constraint: Unit, subst: _Subst, rule: Unit) -> bool:
     """The constraint's head conditions cannot all hold given the rule.
 
     True for pure denials (no head conditions), for a statically-false
@@ -171,9 +167,7 @@ def _head_conditions_refuted(
     if not constraint.head_conditions:
         return True
     for condition in constraint.head_conditions:
-        if isinstance(condition, TermEquality) and (
-            _equality_after(condition, subst) is False
-        ):
+        if isinstance(condition, TermEquality) and (_equality_after(condition, subst) is False):
             return True
 
     network = ConditionNetwork()
@@ -212,11 +206,7 @@ def _infeasible_pair(rule: Unit, constraint: Unit) -> bool:
         subst = _match_atom(anchor, rule.head_atom, {})
         if subst is None:
             continue
-        rest = [
-            atom
-            for index, atom in enumerate(constraint.body)
-            if index != anchor_index
-        ]
+        rest = [atom for index, atom in enumerate(constraint.body) if index != anchor_index]
         for embedding in _embeddings(rest, targets, subst, frozenset({0})):
             if _body_conditions_entailed(
                 constraint, embedding, network
@@ -234,8 +224,7 @@ def check_hard_conflicts(units: Sequence[Unit]) -> LintReport:
         head_predicate = _predicate_name(rule.head_atom)  # type: ignore[arg-type]
         for constraint in hard_constraints:
             couples = head_predicate is not None and any(
-                _predicate_name(atom) in (head_predicate, None)
-                for atom in constraint.body
+                _predicate_name(atom) in (head_predicate, None) for atom in constraint.body
             )
             if not couples:
                 continue

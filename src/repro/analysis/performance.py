@@ -106,19 +106,13 @@ def _connected_components(unit: Unit) -> int:
             else:
                 by_variable[name] = index
     for condition in unit.conditions:
-        anchors = [
-            by_variable[v.name]
-            for v in condition.variables()
-            if v.name in by_variable
-        ]
+        anchors = [by_variable[v.name] for v in condition.variables() if v.name in by_variable]
         for anchor in anchors[1:]:
             union(anchors[0], anchor)
     return len({find(index) for index in range(len(unit.body))})
 
 
-def check_performance(
-    unit: Unit, cardinalities: Optional[Dict[str, int]] = None
-) -> LintReport:
+def check_performance(unit: Unit, cardinalities: Optional[Dict[str, int]] = None) -> LintReport:
     report = LintReport()
 
     for index, atom in enumerate(unit.body):
@@ -154,8 +148,7 @@ def check_performance(
             )
 
     if (
-        unit.head_interval is not None
-        and unit.head_interval.kind not in VECTORIZED_INTERVAL_KINDS
+        unit.head_interval is not None and unit.head_interval.kind not in VECTORIZED_INTERVAL_KINDS
     ):
         report.findings.append(
             Finding(

@@ -30,10 +30,7 @@ def check_safety(unit: Unit) -> LintReport:
         return report
 
     if (
-        not unit.is_rule
-        and len(unit.body) < 2
-        and not unit.conditions
-        and not unit.head_conditions
+        not unit.is_rule and len(unit.body) < 2 and not unit.conditions and not unit.head_conditions
     ):
         report.findings.append(
             Finding(

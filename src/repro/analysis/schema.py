@@ -98,9 +98,7 @@ def check_schema(
                     report.findings.append(
                         Finding(
                             code="E203",
-                            message=(
-                                f"term (in)equality over interval variable {side.name}"
-                            ),
+message=(f"term (in)equality over interval variable {side.name}"),
                             statement=unit.name,
                             span=span,
                             source=unit.source,
@@ -112,9 +110,7 @@ def check_schema(
                 for accessor in _interval_accessors(expression):
                     variable = getattr(accessor, "variable", None)
                     if isinstance(variable, Variable) and variable.name in entity_only:
-                        accessor_name = type(accessor).__name__.replace(
-                            "Interval", ""
-                        ).lower()
+                        accessor_name = type(accessor).__name__.replace("Interval", "").lower()
                         report.findings.append(
                             Finding(
                                 code="E204",
@@ -155,9 +151,7 @@ def derived_predicate_names(units: Iterable[Unit]) -> Set[str]:
     """Constant head predicates of all rules (program-derivable relations)."""
     names: Set[str] = set()
     for unit in units:
-        if unit.head_atom is not None and not isinstance(
-            unit.head_atom.predicate, Variable
-        ):
+        if unit.head_atom is not None and not isinstance(unit.head_atom.predicate, Variable):
             names.add(getattr(unit.head_atom.predicate, "value", ""))
     return names
 

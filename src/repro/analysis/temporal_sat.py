@@ -43,13 +43,9 @@ _CONST = "const"
 
 def _point(expression: Expression) -> Optional[object]:
     """Network node for a bare start()/end()/number expression, else None."""
-    if isinstance(expression, IntervalStart) and isinstance(
-        expression.variable, Variable
-    ):
+    if isinstance(expression, IntervalStart) and isinstance(expression.variable, Variable):
         return (expression.variable.name, "s")
-    if isinstance(expression, IntervalEnd) and isinstance(
-        expression.variable, Variable
-    ):
+    if isinstance(expression, IntervalEnd) and isinstance(expression.variable, Variable):
         return (expression.variable.name, "e")
     if isinstance(expression, Number):
         return (_CONST, float(expression.value))
@@ -128,8 +124,7 @@ class ConditionNetwork:
         if not exact:
             return False
         return all(
-            self.network.entails(left, right, relation)
-            for left, relation, right in constraints
+            self.network.entails(left, right, relation) for left, relation, right in constraints
         )
 
 
@@ -192,11 +187,7 @@ def check_temporal(unit: Unit) -> LintReport:
 
     body_network, consistent = _build_network(unit, body_conditions, [])
     if not consistent:
-        span = (
-            unit.condition_span(0)
-            if body_conditions
-            else unit.statement_span
-        )
+        span = unit.condition_span(0) if body_conditions else unit.statement_span
         rendered = " & ".join(str(c) for c in body_conditions)
         report.findings.append(
             Finding(
@@ -244,8 +235,7 @@ def check_temporal(unit: Unit) -> LintReport:
         for condition in head_conditions
     ]
     if head_conditions and all(
-        is_entailed or is_true
-        for is_entailed, is_true in zip(entailed, equality_true)
+        is_entailed or is_true for is_entailed, is_true in zip(entailed, equality_true)
     ):
         report.findings.append(
             Finding(

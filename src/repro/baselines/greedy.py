@@ -103,9 +103,7 @@ class DropLowestResolver:
         violations = find_conflicts(graph, list(constraints))
         removed: dict[tuple, TemporalFact] = {}
         for violation in violations:
-            surviving = [
-                fact for fact in violation.facts if fact.statement_key not in removed
-            ]
+            surviving = [fact for fact in violation.facts if fact.statement_key not in removed]
             if len(surviving) < len(violation.facts):
                 continue  # already resolved by an earlier removal
             weakest = min(surviving, key=lambda fact: (fact.confidence, fact.statement_key))

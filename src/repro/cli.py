@@ -62,10 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("packs", help="list predefined rule/constraint packs")
 
     def add_input_arguments(sub: argparse.ArgumentParser, with_program: bool = True) -> None:
-        sub.add_argument("--dataset", help=f"registered dataset ({', '.join(available_datasets())})")
         sub.add_argument(
-            "--graph", help="path to a graph file (.tq/.txt/.nq/.csv/.tsv/.json)"
+            "--dataset", help=f"registered dataset ({', '.join(available_datasets())})"
         )
+        sub.add_argument("--graph", help="path to a graph file (.tq/.txt/.nq/.csv/.tsv/.json)")
         sub.add_argument("--scale", type=float, default=0.01, help="dataset scale factor")
         sub.add_argument("--noise", type=float, default=0.0, help="dataset noise ratio")
         sub.add_argument("--seed", type=int, default=2017, help="dataset RNG seed")
@@ -158,9 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="seed dirty-component solves from the previous solution (anytime back-ends)",
     )
-    watch.add_argument(
-        "--json", action="store_true", help="emit one JSON object per step (JSONL)"
-    )
+    watch.add_argument("--json", action="store_true", help="emit one JSON object per step (JSONL)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -175,9 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_decomposition_arguments(serve)
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
-    serve.add_argument(
-        "--port", type=int, default=8799, help="TCP port (0 picks a free port)"
-    )
+    serve.add_argument("--port", type=int, default=8799, help="TCP port (0 picks a free port)")
     serve.add_argument(
         "--batch-max",
         type=int,
@@ -286,6 +282,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="boot-time static analysis: refuse to serve a program with "
         "error-severity findings (default strict)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="resolver worker processes for sharded serving: sessions get "
+        "consistent-hash worker affinity, /resolve fans out round-robin, "
+        "a killed worker is respawned from a shard-scoped WAL replay "
+        "(0 = in-process, the default; see docs/serving.md)",
+    )
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -300,9 +306,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_solver_arguments(chaos)
     chaos.add_argument("--seed", type=int, default=2017, help="workload + fault seed")
     chaos.add_argument("--clients", type=int, default=3, help="concurrent trace clients")
-    chaos.add_argument(
-        "--ops-per-client", type=int, default=8, help="operations per client"
-    )
+    chaos.add_argument("--ops-per-client", type=int, default=8, help="operations per client")
     chaos.add_argument("--sessions", type=int, default=2, help="logical sessions per trace")
     chaos.add_argument(
         "--kill-after",
@@ -328,6 +332,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wal-dir",
         metavar="DIR",
         help="WAL directory to use (default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve the workload with N resolver worker processes "
+        "(0 = in-process)",
+    )
+    chaos.add_argument(
+        "--kill",
+        default="server",
+        choices=("server", "worker"),
+        help="what the SIGKILL hits: the whole server (then restarted) or "
+        "one resolver worker (front-end stays up and respawns it; needs "
+        "--workers >= 1)",
     )
     chaos.add_argument(
         "--save-history",
@@ -409,13 +429,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2017, help="base workload seed (run i uses seed+i)"
     )
     verify.add_argument("--clients", type=int, default=4, help="concurrent trace clients")
-    verify.add_argument(
-        "--ops-per-client", type=int, default=10, help="operations per client"
-    )
+    verify.add_argument("--ops-per-client", type=int, default=10, help="operations per client")
     verify.add_argument("--sessions", type=int, default=3, help="logical sessions per trace")
-    verify.add_argument(
-        "--zipf-alpha", type=float, default=1.1, help="hot-key skew (0 = uniform)"
-    )
+    verify.add_argument("--zipf-alpha", type=float, default=1.1, help="hot-key skew (0 = uniform)")
     verify.add_argument(
         "--noise",
         default="mixed",
@@ -446,7 +462,9 @@ def _load_graph_from_args(args: argparse.Namespace) -> TemporalKnowledgeGraph:
     if args.graph:
         return load_graph(Path(args.graph))
     if args.dataset:
-        dataset = load_dataset(args.dataset, scale=args.scale, noise_ratio=args.noise, seed=args.seed)
+        dataset = load_dataset(
+            args.dataset, scale=args.scale, noise_ratio=args.noise, seed=args.seed
+        )
         return dataset.graph
     raise TecoreError("either --dataset or --graph must be given")
 
@@ -585,9 +603,7 @@ def _watch_step_line(label: str, result) -> str:
     ]
     if delta is not None:
         parts.append(f"changed={delta.facts_changed:4d}")
-        parts.append(
-            f"components={delta.components_cached}/{delta.components_total} cached"
-        )
+        parts.append(f"components={delta.components_cached}/{delta.components_total} cached")
     parts.append(f"{statistics.runtime_seconds * 1000:8.1f} ms")
     return "  ".join(parts)
 
@@ -657,6 +673,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         request_deadline=args.request_deadline,
         shed_resolve_at=args.shed_resolve_at,
         lint=args.lint,
+        workers=args.workers,
     )
     injector = None
     if args.faults:
@@ -677,10 +694,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         recovery = server.service.recovery
         restored = recovery.sessions_restored if recovery is not None else 0
         durability = f", wal={args.wal_dir} ({restored} sessions recovered)"
+    sharding = f", workers={args.workers}" if args.workers else ""
     print(
         f"serving on {server.url} (solver={args.solver}, "
         f"batch={args.batch_max} @ {args.batch_delay * 1000:.0f} ms, "
-        f"queue={args.queue_limit}, sessions={args.max_sessions}{durability})",
+        f"queue={args.queue_limit}, sessions={args.max_sessions}"
+        f"{sharding}{durability})",
         flush=True,
     )
     try:
@@ -709,6 +728,8 @@ def _command_chaos(args: argparse.Namespace) -> int:
         fault_count=args.fault_count,
         pack=args.pack,
         solver=args.solver,
+        workers=args.workers,
+        kill=args.kill,
     )
     report, _history = run_chaos(
         config,
@@ -719,9 +740,11 @@ def _command_chaos(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
+        target = f"worker of {report.workers}" if report.kill == "worker" else "server"
         print(
             f"chaos seed {report.seed}: {report.total_ops} ops "
-            f"({report.pending_ops} pending), killed after {report.killed_after}, "
+            f"({report.pending_ops} pending), killed {target} after "
+            f"{report.killed_after}, "
             f"{report.recovered_sessions} sessions recovered, "
             f"{report.retries} retries, faults [{report.fault_spec}]"
         )
@@ -754,21 +777,13 @@ def _command_lint(args: argparse.Namespace) -> int:
         inputs += 1
     pack_names = list(args.pack)
     if args.all_packs:
-        pack_names.extend(
-            name for name in available_packs() if name not in pack_names
-        )
+        pack_names.extend(name for name in available_packs() if name not in pack_names)
     for name in pack_names:
         pack = load_pack(name)
-        report.extend(
-            analyze_program(
-                pack.rules, pack.constraints, graph, source=f"pack:{name}"
-            )
-        )
+        report.extend(analyze_program(pack.rules, pack.constraints, graph, source=f"pack:{name}"))
         inputs += 1
     if not inputs:
-        raise TecoreError(
-            "nothing to lint; give program files, --pack, or --all-packs"
-        )
+        raise TecoreError("nothing to lint; give program files, --pack, or --all-packs")
 
     report = report.sorted()
     if args.json:
@@ -777,9 +792,7 @@ def _command_lint(args: argparse.Namespace) -> int:
         print(report.render())
 
     if args.expect_findings:
-        expected = {
-            code.strip() for code in args.expect_findings.split(",") if code.strip()
-        }
+        expected = {code.strip() for code in args.expect_findings.split(",") if code.strip()}
         unknown = sorted(expected - set(DIAGNOSTICS))
         if unknown:
             raise TecoreError(f"unknown diagnostic code(s): {', '.join(unknown)}")
@@ -854,9 +867,7 @@ def _command_verify(args: argparse.Namespace) -> int:
             slug = label.replace(" ", "-").replace("/", "_")
             history.save(save_dir / f"history-{slug}.json")
             (save_dir / f"violations-{slug}.json").write_text(
-                json.dumps(
-                    [violation.to_dict() for violation in report.violations], indent=2
-                )
+                json.dumps([violation.to_dict() for violation in report.violations], indent=2)
                 + "\n",
                 encoding="utf-8",
             )

@@ -43,7 +43,9 @@ def register_solver(
     name: str, family: str, description: str, factory: Callable[..., MAPSolver]
 ) -> None:
     """Register (or replace) a solver under ``name``."""
-    _REGISTRY[name] = SolverEntry(name=name, family=family, description=description, factory=factory)
+    _REGISTRY[name] = SolverEntry(
+        name=name, family=family, description=description, factory=factory
+    )
     _CAPABILITY_PROBES.pop(name, None)
 
 
@@ -61,9 +63,7 @@ def make_solver(name: str, **kwargs) -> MAPSolver:
     """Instantiate a registered solver by name."""
     entry = _REGISTRY.get(name)
     if entry is None:
-        raise SolverNotAvailableError(
-            f"unknown solver {name!r}; available: {available_solvers()}"
-        )
+        raise SolverNotAvailableError(f"unknown solver {name!r}; available: {available_solvers()}")
     return instantiate_solver(entry.factory, f"solver {name!r}", **kwargs)
 
 
@@ -71,9 +71,7 @@ def solver_family(name: str) -> str:
     """The family ("mln" or "psl") a registered solver belongs to."""
     entry = _REGISTRY.get(name)
     if entry is None:
-        raise SolverNotAvailableError(
-            f"unknown solver {name!r}; available: {available_solvers()}"
-        )
+        raise SolverNotAvailableError(f"unknown solver {name!r}; available: {available_solvers()}")
     return entry.family
 
 
@@ -157,6 +155,4 @@ def resolve_kernel(name: str, kernel: str = "object") -> str:
         return name
     if kernel == "array":
         return ARRAY_VARIANTS.get(name, name)
-    raise SolverNotAvailableError(
-        f"unknown solver kernel {kernel!r}; expected 'object' or 'array'"
-    )
+    raise SolverNotAvailableError(f"unknown solver kernel {kernel!r}; expected 'object' or 'array'")

@@ -34,8 +34,14 @@ def render_graph_summary(graph: TemporalKnowledgeGraph) -> str:
         f"mean confidence {stats.mean_confidence:.2f}"
     )
     rows = [
-        [row["predicate"], row["facts"], row["subjects"], row["objects"],
-         row["mean_confidence"], row["span"]]
+        [
+            row["predicate"],
+            row["facts"],
+            row["subjects"],
+            row["objects"],
+            row["mean_confidence"],
+            row["span"],
+        ]
         for row in stats.as_rows()
     ]
     table = _format_table(rows, ["predicate", "facts", "subjects", "objects", "conf", "span"])

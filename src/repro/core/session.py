@@ -223,9 +223,7 @@ class ResolutionSession:
         if grounding_delta.is_empty:
             result = replace(self.result, delta=DeltaStatistics())
             if graph_name is not None and result.input_graph.name != graph_name:
-                result = replace(
-                    result, input_graph=result.input_graph.copy(name=graph_name)
-                )
+                result = replace(result, input_graph=result.input_graph.copy(name=graph_name))
             self.result = result
             return self.result
         self.result = self._resolve(grounding_delta)
@@ -476,9 +474,7 @@ class ResolutionSession:
             weight = grounder.rules[record.rule_index].weight
             if weight is None:
                 continue
-            if assignment[head] or any(
-                not assignment[atom_index[key]] for key in record.body_keys
-            ):
+            if assignment[head] or any(not assignment[atom_index[key]] for key in record.body_keys):
                 total += nonzero_weight(weight)
         for record in plan.violations:
             weight = grounder.constraints[record.constraint_index].weight
@@ -539,9 +535,7 @@ class ResolutionSession:
                 [(atom_index[key], False) for key in record.fact_keys],
                 nonzero_weight(weight),
             )
-        return soft_objective(
-            literal_atoms, literal_signs, literal_clauses, weights, assignment
-        )
+        return soft_objective(literal_atoms, literal_signs, literal_clauses, weights, assignment)
 
     def _clause_identities(self, plan: EmissionPlan) -> set:
         """Content identities of the emitted clauses (for delta statistics)."""
@@ -566,8 +560,7 @@ class ResolutionSession:
             and getattr(self._solver, "supports_warm_start", False)
         ):
             warm = [
-                self._previous_truth.get(atom.fact.statement_key, 1.0)
-                for atom in program.atoms
+                self._previous_truth.get(atom.fact.statement_key, 1.0) for atom in program.atoms
             ]
             return self._solver.solve(program, warm_start=warm), 1
         return self._solver.solve(program), 0
@@ -636,9 +629,7 @@ class ResolutionSession:
         grounder = self._grounder
         assignment = solution.assignment
         removed = tuple(
-            atom.fact
-            for atom in plan.atoms
-            if atom.is_evidence and not assignment[atom.index]
+            atom.fact for atom in plan.atoms if atom.is_evidence and not assignment[atom.index]
         )
         snapshot = self.graph.copy(name=self.graph.name)
         consistent = snapshot.without_statements(
@@ -647,9 +638,7 @@ class ResolutionSession:
         )
 
         derived_kept = [
-            atom.fact
-            for atom in plan.atoms
-            if not atom.is_evidence and assignment[atom.index]
+            atom.fact for atom in plan.atoms if not atom.is_evidence and assignment[atom.index]
         ]
         inferred, below_threshold = self._threshold.split(derived_kept)
         expanded = consistent.copy(name=f"{snapshot.name}-inferred")

@@ -101,9 +101,7 @@ class TeCoRe:
     jobs: int = 1
     kernel: str = "object"
     lint: str = "off"
-    _lint_cache: tuple | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    _lint_cache: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -420,9 +418,7 @@ class SharedResolver:
     def __init__(self, system: TeCoRe) -> None:
         self._system = system
         system._enforce_lint()
-        self._translator = TecoreTranslator(
-            max_rounds=system.max_rounds, engine=system.engine
-        )
+        self._translator = TecoreTranslator(max_rounds=system.max_rounds, engine=system.engine)
         self._rules = tuple(system.rules)
         self._constraints = tuple(system.constraints)
         self._backend = system._make_backend()
@@ -443,9 +439,7 @@ class SharedResolver:
         self.resolves += 1
         return self._system._build_result(graph, translated, solution, started)
 
-    def resolve_many(
-        self, graphs: Iterable[TemporalKnowledgeGraph]
-    ) -> BatchResolution:
+    def resolve_many(self, graphs: Iterable[TemporalKnowledgeGraph]) -> BatchResolution:
         """Resolve graphs in order, as one :class:`BatchResolution`."""
         batch_started = time.perf_counter()
         results = tuple(self.resolve(graph) for graph in graphs)

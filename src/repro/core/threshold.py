@@ -33,9 +33,7 @@ class ThresholdFilter:
             return True
         return fact.confidence >= self.threshold
 
-    def split(
-        self, facts: Iterable[TemporalFact]
-    ) -> tuple[list[TemporalFact], list[TemporalFact]]:
+    def split(self, facts: Iterable[TemporalFact]) -> tuple[list[TemporalFact], list[TemporalFact]]:
         """Partition ``facts`` into (accepted, rejected)."""
         accepted: list[TemporalFact] = []
         rejected: list[TemporalFact] = []

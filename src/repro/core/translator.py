@@ -60,9 +60,7 @@ class TranslatedProgram:
     def ground_listing(self, limit: int | None = 50) -> str:
         """Ground-clause listing (truncated to ``limit`` clauses by default)."""
         program = self.program
-        lines = [
-            f"// {program.num_atoms} ground atoms, {program.num_clauses} ground clauses"
-        ]
+        lines = [f"// {program.num_atoms} ground atoms, {program.num_clauses} ground clauses"]
         clauses = program.clauses if limit is None else program.clauses[:limit]
         for clause in clauses:
             lines.append(str(clause))

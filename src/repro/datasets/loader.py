@@ -82,7 +82,5 @@ def load_dataset(name: str, **parameters) -> NoisyDataset:
     """Instantiate a registered dataset by name with optional parameters."""
     entry = _REGISTRY.get(name)
     if entry is None:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {available_datasets()}"
-        )
+        raise DatasetError(f"unknown dataset {name!r}; available: {available_datasets()}")
     return entry.factory(**parameters)

@@ -102,23 +102,47 @@ def generate_wikidata(config: WikidataConfig | None = None) -> NoisyDataset:
 
     generators = {
         "playsFor": lambda person: make_fact(
-            person, "playsFor", rng.choice(_CLUBS), random_interval(person, 16, 6),
-            round(rng.uniform(0.6, 0.99), 2)),
+            person,
+            "playsFor",
+            rng.choice(_CLUBS),
+            random_interval(person, 16, 6),
+            round(rng.uniform(0.6, 0.99), 2),
+        ),
         "memberOf": lambda person: make_fact(
-            person, "memberOf", rng.choice(_ORGANISATIONS), random_interval(person, 18, 15),
-            round(rng.uniform(0.6, 0.99), 2)),
+            person,
+            "memberOf",
+            rng.choice(_ORGANISATIONS),
+            random_interval(person, 18, 15),
+            round(rng.uniform(0.6, 0.99), 2),
+        ),
         "spouse": lambda person: make_fact(
-            person, "spouse", _person(rng.randrange(_PEOPLE_POOL)), random_interval(person, 20, 30),
-            round(rng.uniform(0.7, 0.99), 2)),
+            person,
+            "spouse",
+            _person(rng.randrange(_PEOPLE_POOL)),
+            random_interval(person, 20, 30),
+            round(rng.uniform(0.7, 0.99), 2),
+        ),
         "educatedAt": lambda person: make_fact(
-            person, "educatedAt", rng.choice(_SCHOOLS), random_interval(person, 6, 8),
-            round(rng.uniform(0.7, 0.99), 2)),
+            person,
+            "educatedAt",
+            rng.choice(_SCHOOLS),
+            random_interval(person, 6, 8),
+            round(rng.uniform(0.7, 0.99), 2),
+        ),
         "occupation": lambda person: make_fact(
-            person, "occupation", rng.choice(_OCCUPATIONS), random_interval(person, 18, 40),
-            round(rng.uniform(0.7, 0.99), 2)),
+            person,
+            "occupation",
+            rng.choice(_OCCUPATIONS),
+            random_interval(person, 18, 40),
+            round(rng.uniform(0.7, 0.99), 2),
+        ),
         "other": lambda person: make_fact(
-            person, "relatedTo", _person(rng.randrange(_PEOPLE_POOL)), random_interval(person, 0, 50),
-            round(rng.uniform(0.5, 0.99), 2)),
+            person,
+            "relatedTo",
+            _person(rng.randrange(_PEOPLE_POOL)),
+            random_interval(person, 0, 50),
+            round(rng.uniform(0.5, 0.99), 2),
+        ),
     }
 
     for relation, target in counts.items():
@@ -143,7 +167,9 @@ def generate_wikidata(config: WikidataConfig | None = None) -> NoisyDataset:
         overlap_spouse = int(noise_target * 0.3)
         value_count = noise_target - overlap_plays - overlap_spouse
         inject_overlap_noise(dataset, "playsFor", _CLUBS, overlap_plays, rng)
-        inject_overlap_noise(dataset, "spouse", [_person(i) for i in range(200)], overlap_spouse, rng)
+        inject_overlap_noise(
+            dataset, "spouse", [_person(i) for i in range(200)], overlap_spouse, rng
+        )
         inject_value_noise(dataset, "birthDate", value_count, rng)
     return dataset
 
@@ -151,6 +177,5 @@ def generate_wikidata(config: WikidataConfig | None = None) -> NoisyDataset:
 def paper_relation_shares() -> dict[str, float]:
     """Each relation's share of the paper's 6.3M-fact inventory."""
     return {
-        relation: count / PAPER_TOTAL_FACTS
-        for relation, count in PAPER_RELATION_COUNTS.items()
+        relation: count / PAPER_TOTAL_FACTS for relation, count in PAPER_RELATION_COUNTS.items()
     }

@@ -309,8 +309,9 @@ class ColumnarFactStore:
 # --------------------------------------------------------------------------- #
 # Vectorized join primitives
 # --------------------------------------------------------------------------- #
-def merge_join(left_keys: np.ndarray, right_keys: np.ndarray,
-               right_order: Optional[np.ndarray] = None) -> tuple[np.ndarray, np.ndarray]:
+def merge_join(
+    left_keys: np.ndarray, right_keys: np.ndarray, right_order: Optional[np.ndarray] = None
+) -> tuple[np.ndarray, np.ndarray]:
     """All index pairs ``(i, j)`` with ``left_keys[i] == right_keys[j]``.
 
     The classic sorted-array join: sort the right side once, then locate each
@@ -380,9 +381,7 @@ def composite_keys(
         if radix_so_far * radix >= _OVERFLOW_LIMIT:
             # The column's own value range is enormous; dense-code it too so
             # the fold stays within int64 (distinct values ≤ row count).
-            merged_column = np.concatenate(
-                [left_col.astype(np.int64), right_col.astype(np.int64)]
-            )
+            merged_column = np.concatenate([left_col.astype(np.int64), right_col.astype(np.int64)])
             _, column_codes = np.unique(merged_column, return_inverse=True)
             split = len(left_col)
             left_col = column_codes[:split].astype(np.int64)

@@ -331,8 +331,12 @@ class TemporalKnowledgeGraph:
         clone = TemporalKnowledgeGraph(name=name or self.name, domain=self.domain)
         clone._facts = dict(self._facts)
         clone._order = list(self._order)
-        clone._by_subject = defaultdict(set, ((k, set(v)) for k, v in self._by_subject.items() if v))
-        clone._by_predicate = defaultdict(set, ((k, set(v)) for k, v in self._by_predicate.items() if v))
+        clone._by_subject = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_subject.items() if v)
+        )
+        clone._by_predicate = defaultdict(
+            set, ((k, set(v)) for k, v in self._by_predicate.items() if v)
+        )
         clone._by_object = defaultdict(set, ((k, set(v)) for k, v in self._by_object.items() if v))
         clone._by_subject_predicate = defaultdict(
             set, ((k, set(v)) for k, v in self._by_subject_predicate.items() if v)
@@ -384,9 +388,13 @@ class TemporalKnowledgeGraph:
 
     def above_confidence(self, threshold: float) -> "TemporalKnowledgeGraph":
         """Facts whose confidence is at least ``threshold`` (the UI's slider)."""
-        return self.filter(lambda fact: fact.confidence >= threshold, name=f"{self.name}>={threshold}")
+        return self.filter(
+            lambda fact: fact.confidence >= threshold, name=f"{self.name}>={threshold}"
+        )
 
-    def merge(self, other: "TemporalKnowledgeGraph", name: str | None = None) -> "TemporalKnowledgeGraph":
+    def merge(
+        self, other: "TemporalKnowledgeGraph", name: str | None = None
+    ) -> "TemporalKnowledgeGraph":
         """Union of two graphs (max confidence on shared statements)."""
         merged = self.copy(name=name or f"{self.name}+{other.name}")
         merged.add_all(other)

@@ -60,7 +60,9 @@ def save_graph(graph: TemporalKnowledgeGraph, path: Union[str, Path]) -> Path:
     destination = Path(path)
     saver = _SAVERS.get(destination.suffix.lower())
     if saver is None:
-        raise ParseError(f"unsupported graph format {destination.suffix!r}", source=str(destination))
+        raise ParseError(
+            f"unsupported graph format {destination.suffix!r}", source=str(destination)
+        )
     return saver(graph, destination)
 
 

@@ -88,9 +88,7 @@ def iter_change_steps(
         number += 1
         lookahead = next(iterator, None)
         tolerant = framed if tolerate_torn_tail is None else tolerate_torn_tail
-        is_torn_candidate = (
-            lookahead is None and not raw.endswith("\n") and tolerant
-        )
+        is_torn_candidate = lookahead is None and not raw.endswith("\n") and tolerant
         framed = framed or raw.endswith("\n")
         line = raw.strip()
         raw = lookahead
@@ -121,9 +119,7 @@ def iter_change_steps(
                     )
             fact = parse_line(rest, line_number=number, source=source)
             if fact is None:
-                raise ParseError(
-                    f"missing fact after {op!r}", line=number, source=source
-                )
+                raise ParseError(f"missing fact after {op!r}", line=number, source=source)
         except ParseError:
             if is_torn_candidate:
                 warnings.warn(

@@ -36,7 +36,9 @@ def _pick(row: Mapping[str, str], names: Iterable[str]) -> str | None:
 
 def _row_to_fact(row: Mapping[str, str], line_number: int, source: str | None) -> TemporalFact:
     normalised = {key.strip().lower(): (value or "").strip() for key, value in row.items() if key}
-    missing = [column for column in ("subject", "predicate", "object") if not normalised.get(column)]
+    missing = [
+        column for column in ("subject", "predicate", "object") if not normalised.get(column)
+    ]
     if missing:
         raise ParseError(f"missing column(s) {missing}", line=line_number, source=source)
     start_text = _pick(normalised, _START_ALIASES)

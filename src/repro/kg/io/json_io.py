@@ -48,7 +48,9 @@ def _fact_from_mapping(entry: Mapping[str, Any], index: int, source: str | None)
     else:
         raise ParseError(f"fact #{index} has an unparseable interval {interval!r}", source=source)
     try:
-        return make_fact(subject, predicate, obj, span, float(confidence) if confidence is not None else 1.0)
+        return make_fact(
+            subject, predicate, obj, span, float(confidence) if confidence is not None else 1.0
+        )
     except Exception as exc:
         raise ParseError(f"fact #{index}: {exc}", source=source) from exc
 

@@ -23,7 +23,9 @@ from ..graph import TemporalKnowledgeGraph
 from ..triple import TemporalFact, make_fact
 
 
-def parse_line(line: str, line_number: int | None = None, source: str | None = None) -> TemporalFact | None:
+def parse_line(
+    line: str, line_number: int | None = None, source: str | None = None
+) -> TemporalFact | None:
     """Parse one line into a fact; comments and blank lines return None."""
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):

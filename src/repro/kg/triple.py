@@ -61,9 +61,7 @@ class TemporalFact:
         if not isinstance(self.confidence, (int, float)) or isinstance(self.confidence, bool):
             raise InvalidFactError("confidence must be a number")
         if math.isnan(self.confidence) or not (0.0 < self.confidence <= 1.0):
-            raise InvalidFactError(
-                f"confidence must lie in (0, 1], got {self.confidence!r}"
-            )
+            raise InvalidFactError(f"confidence must lie in (0, 1], got {self.confidence!r}")
         # All fields are immutable, so the statement key can be computed once;
         # it is the hot lookup key of the grounding engine and atom table.
         statement_key = (

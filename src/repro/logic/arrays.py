@@ -82,9 +82,7 @@ def soft_objective(
     signs = np.asarray(literal_signs, dtype=bool)
     clauses = np.asarray(literal_clauses, dtype=np.int64)
     true_literals = values[atoms] == signs
-    counts = np.bincount(
-        clauses, weights=true_literals.astype(np.float64), minlength=num_clauses
-    )
+    counts = np.bincount(clauses, weights=true_literals.astype(np.float64), minlength=num_clauses)
     return ordered_weight_sum(weights, np.flatnonzero(counts > 0))
 
 
@@ -114,9 +112,7 @@ class GroundProgramArrays:
     _occurrence: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
         default=None, repr=False
     )
-    _components: Optional[tuple[np.ndarray, np.ndarray]] = field(
-        default=None, repr=False
-    )
+    _components: Optional[tuple[np.ndarray, np.ndarray]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -147,9 +143,7 @@ class GroundProgramArrays:
                 literal_atoms[cursor] = index
                 literal_signs[cursor] = positive
                 cursor += 1
-        literal_clauses = np.repeat(
-            np.arange(num_clauses, dtype=np.int64), lengths
-        )
+        literal_clauses = np.repeat(np.arange(num_clauses, dtype=np.int64), lengths)
 
         weight_list = [clause.weight for clause in program.clauses]
         is_hard = np.fromiter(
@@ -241,9 +235,7 @@ class GroundProgramArrays:
             )
             _, atom_labels = np.unique(roots, return_inverse=True)
             if self.num_clauses:
-                clause_labels = atom_labels[
-                    self.literal_atoms[self.clause_offsets[:-1]]
-                ]
+                clause_labels = atom_labels[self.literal_atoms[self.clause_offsets[:-1]]]
             else:
                 clause_labels = np.empty(0, dtype=np.int64)
             self._components = (atom_labels, clause_labels)
@@ -255,9 +247,7 @@ class GroundProgramArrays:
     def _as_assignment(self, assignment: Sequence[bool]) -> np.ndarray:
         values = np.asarray(assignment, dtype=bool)
         if values.shape != (self.num_atoms,):
-            raise GroundingError(
-                f"assignment has {values.size} values for {self.num_atoms} atoms"
-            )
+            raise GroundingError(f"assignment has {values.size} values for {self.num_atoms} atoms")
         return values
 
     def satisfied_counts(self, assignment: Sequence[bool]) -> np.ndarray:

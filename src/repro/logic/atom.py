@@ -222,7 +222,9 @@ class Comparison(ConditionAtom):
     right: Expression
 
     def holds(self, substitution: Substitution) -> bool:
-        return compare(self.operator, self.left.evaluate(substitution), self.right.evaluate(substitution))
+        return compare(
+            self.operator, self.left.evaluate(substitution), self.right.evaluate(substitution)
+        )
 
     def variables(self) -> set[Variable]:
         return self.left.variables() | self.right.variables()
@@ -252,9 +254,7 @@ class TermEquality(ConditionAtom):
         return not equal if self.negated else equal
 
     def variables(self) -> set[Variable]:
-        return {
-            position for position in (self.left, self.right) if isinstance(position, Variable)
-        }
+        return {position for position in (self.left, self.right) if isinstance(position, Variable)}
 
     def __str__(self) -> str:
         operator = "!=" if self.negated else "="

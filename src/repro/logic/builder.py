@@ -92,7 +92,9 @@ def quad(
 
 def allen(relation: str, left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
     """Build a temporal predicate atom, e.g. ``allen("overlaps", "t", "t2")``."""
-    return AllenAtom(relation, _require_variable(left, "interval"), _require_variable(right, "interval"))
+    return AllenAtom(
+        relation, _require_variable(left, "interval"), _require_variable(right, "interval")
+    )
 
 
 def overlaps(left: Union[str, Variable], right: Union[str, Variable]) -> AllenAtom:
@@ -257,11 +259,15 @@ class ConstraintBuilder:
         return self
 
     def _infer_kind(self) -> ConstraintKind:
-        if any(isinstance(condition, TermEquality) and not condition.negated
-               for condition in self._head_conditions):
+        if any(
+            isinstance(condition, TermEquality) and not condition.negated
+            for condition in self._head_conditions
+        ):
             return ConstraintKind.EQUALITY_GENERATING
-        if any(isinstance(condition, AllenAtom) and condition.relation in ("disjoint",)
-               for condition in self._head_conditions):
+        if any(
+            isinstance(condition, AllenAtom) and condition.relation in ("disjoint",)
+            for condition in self._head_conditions
+        ):
             return ConstraintKind.DISJOINTNESS
         if not self._head_conditions:
             return ConstraintKind.DENIAL
@@ -347,9 +353,7 @@ class ConstraintEditor:
                 quad("x", second_predicate, "z", "t2"),
             )
             .require(allen(relation, "t", "t2"))
-            .description(
-                f"{first_predicate} must be {relation} {second_predicate} for the same subject"
-            )
+.description(f"{first_predicate} must be {relation} {second_predicate} for the same subject")
             .kind(ConstraintKind.INCLUSION_DEPENDENCY)
         )
         return builder.weight(weight).build() if weight is not None else builder.hard().build()

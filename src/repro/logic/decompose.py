@@ -73,8 +73,7 @@ class Component:
 
     def __repr__(self) -> str:
         return (
-            f"Component(index={self.index}, atoms={self.num_atoms}, "
-            f"clauses={self.num_clauses})"
+            f"Component(index={self.index}, atoms={self.num_atoms}, " f"clauses={self.num_clauses})"
         )
 
 
@@ -134,8 +133,7 @@ class Decomposition:
 
         if len(solutions) != len(self.components):
             raise SolverError(
-                f"merge got {len(solutions)} solutions for "
-                f"{len(self.components)} components"
+                f"merge got {len(solutions)} solutions for " f"{len(self.components)} components"
             )
         assignment = [False] * self.program.num_atoms
         truth_values = [0.0] * self.program.num_atoms

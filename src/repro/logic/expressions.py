@@ -133,9 +133,7 @@ class TermValue(Expression):
             try:
                 return float(value.local_name)
             except ValueError as exc:
-                raise LogicError(
-                    f"IRI {value} bound to {self.variable} is not numeric"
-                ) from exc
+                raise LogicError(f"IRI {value} bound to {self.variable} is not numeric") from exc
         raise LogicError(f"cannot interpret {value!r} numerically")
 
     def variables(self) -> set[Variable]:

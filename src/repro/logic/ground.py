@@ -108,9 +108,7 @@ class GroundClause:
 
     def satisfied_by(self, assignment: Sequence[bool]) -> bool:
         """Evaluate the clause under a Boolean assignment (indexed by atom)."""
-        return any(
-            assignment[index] == positive for index, positive in self.literals
-        )
+        return any(assignment[index] == positive for index, positive in self.literals)
 
     def __str__(self) -> str:
         parts = " ∨ ".join(

@@ -194,9 +194,7 @@ class _BindingsView:
 
     def intervals(self) -> dict[str, TimeInterval]:
         return {
-            name: value
-            for name, value in self._bindings.items()
-            if isinstance(value, TimeInterval)
+            name: value for name, value in self._bindings.items() if isinstance(value, TimeInterval)
         }
 
 
@@ -294,9 +292,7 @@ def _match_compiled(
             if last_step:
                 yield tuple(facts)  # type: ignore[arg-type]
             else:
-                yield from _match_compiled(
-                    plans, graph, order, bounds, bindings, facts, next_step
-                )
+                yield from _match_compiled(plans, graph, order, bounds, bindings, facts, next_step)
         for name in added:
             del bindings[name]
 
@@ -515,7 +511,9 @@ class NaiveGrounder(_GrounderBase):
                     )
                 if head_fact not in working:
                     working.add(head_fact)
-                body_atoms = [program.add_atom(fact, is_evidence=fact in self.graph) for fact in body_facts]
+                body_atoms = [
+                    program.add_atom(fact, is_evidence=fact in self.graph) for fact in body_facts
+                ]
                 literals = [(atom.index, False) for atom in body_atoms]
                 literals.append((head_atom.index, True))
                 program.add_clause(
@@ -765,7 +763,5 @@ def find_conflicts(
     This is what the demo's statistics panel reports: the number of
     conflicting facts found in the loaded UTKG.
     """
-    grounder = make_grounder(
-        engine, graph, rules=(), constraints=constraints, derive_facts=False
-    )
+    grounder = make_grounder(engine, graph, rules=(), constraints=constraints, derive_facts=False)
     return grounder.ground().violations

@@ -279,9 +279,7 @@ class IncrementalGrounder(_GrounderBase):
         mutually-supporting cycles) fall out of the result.
         """
         live = set(self.graph._facts)
-        pending = [
-            record for record in self._firings.values() if record.head_key not in live
-        ]
+        pending = [record for record in self._firings.values() if record.head_key not in live]
         changed = True
         while changed and pending:
             changed = False

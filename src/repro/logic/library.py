@@ -79,8 +79,7 @@ def rule_f3() -> TemporalRule:
             quad("x", "playsFor", "y", "t"),
             quad("x", "birthDate", "z", "t2"),
         )
-        .when(compare(IntervalStart(Variable("t")), "<",
-                      _plus(IntervalStart(Variable("t2")), 20)))
+.when(compare(IntervalStart(Variable("t")), "<", _plus(IntervalStart(Variable("t2")), 20)))
         .head(quad("x", "type", "TeenPlayer", "t"))
         .weight(2.9)
         .build()

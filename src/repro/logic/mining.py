@@ -145,7 +145,9 @@ class ConstraintMiner:
             )
         return suggestions
 
-    def _functional_constraint(self, predicate: str, confidence: float) -> Optional[TemporalConstraint]:
+    def _functional_constraint(
+        self, predicate: str, confidence: float
+    ) -> Optional[TemporalConstraint]:
         if confidence < self.soft_threshold:
             return None
         builder = (
@@ -195,7 +197,9 @@ class ConstraintMiner:
                 )
         return suggestions
 
-    def _precedence_constraint(self, earlier: str, later: str, confidence: float) -> TemporalConstraint:
+    def _precedence_constraint(
+        self, earlier: str, later: str, confidence: float
+    ) -> TemporalConstraint:
         builder = (
             ConstraintBuilder(f"mined_{earlier}_before_{later}")
             .body(quad("x", earlier, "y", "t"), quad("x", later, "z", "t2"))

@@ -211,10 +211,7 @@ class _StatementParser:
         second = self._peek(1)
         # A label looks like ``name :`` but ``quad(`` must not be mistaken for one.
         if (
-            first is not None
-            and second is not None
-            and first.kind == "name"
-            and second.text == ":"
+            first is not None and second is not None and first.kind == "name" and second.text == ":"
         ):
             self._next()
             self._next()
@@ -369,9 +366,7 @@ class _StatementParser:
                 return value
         if token.kind == "number":
             return TimeInterval.instant(int(float(token.text)))
-        raise self._fail(
-            f"expected an interval variable or literal, found {token.text!r}", token
-        )
+        raise self._fail(f"expected an interval variable or literal, found {token.text!r}", token)
 
     # -- conditions -------------------------------------------------------- #
     def _parse_condition(self) -> ConditionAtom:
@@ -664,9 +659,7 @@ def parse_raw_statement(
     without one, offsets are interpreted as columns on line 1.
     """
     if block is None:
-        block = StatementBlock(
-            text=text, segments=((0, 1, 0),), default_name=default_name
-        )
+        block = StatementBlock(text=text, segments=((0, 1, 0),), default_name=default_name)
     tokens = tokenize(text, source=source)
     if not tokens:
         raise ParseError("empty statement", source=source)
@@ -678,9 +671,7 @@ def parse_raw_statement(
         body=tuple(block.span(s, e) for s, e in parser.body_spans),
         conditions=tuple(block.span(s, e) for s, e in parser.condition_spans),
         head=block.span(*parser.head_span) if parser.head_span is not None else None,
-        head_conditions=tuple(
-            block.span(s, e) for s, e in parser.head_condition_spans
-        ),
+        head_conditions=tuple(block.span(s, e) for s, e in parser.head_condition_spans),
     )
     return RawStatement(
         name=label or default_name,

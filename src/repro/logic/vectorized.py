@@ -246,18 +246,14 @@ def _join_body(
                 fresh_interval = name
 
         if table is None:
-            entities = {
-                name: columns[column_name][rows] for name, column_name in fresh_entities
-            }
+            entities = {name: columns[column_name][rows] for name, column_name in fresh_entities}
             intervals = {}
             if fresh_interval is not None:
                 intervals[fresh_interval] = (
                     columns["begin"][rows],
                     columns["end"][rows],
                 )
-            table = _MatchTable(
-                rows.size, entities, intervals, {position: rows}, {position: block}
-            )
+            table = _MatchTable(rows.size, entities, intervals, {position: rows}, {position: block})
             continue
 
         if join_left:
@@ -709,9 +705,7 @@ class VectorizedGrounder(_GrounderBase):
                 literal, weight = (index, False), -weight
             else:
                 weight = nonzero_weight(weight)
-            clauses.append(
-                GroundClause((literal,), weight, ClauseKind.EVIDENCE, "evidence")
-            )
+            clauses.append(GroundClause((literal,), weight, ClauseKind.EVIDENCE, "evidence"))
 
         chain_rules = bool(self.derive_facts and self.rules)
         compiled_rules = [_VectorBody(rule.body) for rule in self.rules] if chain_rules else []
@@ -733,9 +727,7 @@ class VectorizedGrounder(_GrounderBase):
             result.rounds = self._chain_rounds(
                 program, result, store, working, compiled_rules, evidence_keys
             )
-        self._constraint_pass(
-            program, result, store, working, compiled_constraints, evidence_keys
-        )
+        self._constraint_pass(program, result, store, working, compiled_constraints, evidence_keys)
         return result
 
     # ------------------------------------------------------------------ #
@@ -914,10 +906,7 @@ class VectorizedGrounder(_GrounderBase):
                                 prior_origin,
                             )
                         )
-                    if (
-                        store.add(head_fact, round_number, tag=head_index)
-                        and working is not None
-                    ):
+                    if (store.add(head_fact, round_number, tag=head_index) and working is not None):
                         working.add(head_fact)
                     if atom_indexes is None:  # fallback matches carry no row tags
                         literals = [
@@ -938,9 +927,7 @@ class VectorizedGrounder(_GrounderBase):
                     clauses.append(
                         GroundClause(tuple(literals), clause_weight, ClauseKind.RULE, rule_name)
                     )
-                    firings.append(
-                        RuleFiring(rule_name, body_facts, head_fact, rule_weight)
-                    )
+                    firings.append(RuleFiring(rule_name, body_facts, head_fact, rule_weight))
             delta_since = round_mark
         return rounds_used
 
@@ -978,15 +965,12 @@ class VectorizedGrounder(_GrounderBase):
                     for first in range(arity):
                         for second in range(first + 1, arity):
                             if (
-                                compiled.atoms[first].predicate
-                                != compiled.atoms[second].predicate
+                                compiled.atoms[first].predicate != compiled.atoms[second].predicate
                             ):
                                 continue
                             if alive.size == 0:
                                 break
-                            alive = alive[
-                                table.rows[first][alive] != table.rows[second][alive]
-                            ]
+                            alive = alive[table.rows[first][alive] != table.rows[second][alive]]
                     violated = _violated_rows(constraint, table, store, alive)
                     bodies = table.materialize_bodies(arity, violated)
                     ranks = zip(

@@ -84,9 +84,7 @@ def retention_rate(kept: Sequence[TemporalFact], original: Sequence[TemporalFact
 def assignment_agreement(first: Sequence[bool], second: Sequence[bool]) -> float:
     """Fraction of atoms on which two MAP assignments agree."""
     if len(first) != len(second):
-        raise ValueError(
-            f"assignments have different lengths ({len(first)} vs {len(second)})"
-        )
+        raise ValueError(f"assignments have different lengths ({len(first)} vs {len(second)})")
     if not first:
         return 1.0
     return sum(1 for a, b in zip(first, second) if a == b) / len(first)

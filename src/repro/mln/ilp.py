@@ -110,7 +110,9 @@ def encode(program: GroundProgram) -> ILPEncoding:
         if not clause.is_hard and not clause.is_unit:
             aux_clauses.append(clause_index)
     num_aux = len(aux_clauses)
-    aux_position = {clause_index: num_atoms + offset for offset, clause_index in enumerate(aux_clauses)}
+    aux_position = {
+        clause_index: num_atoms + offset for offset, clause_index in enumerate(aux_clauses)
+    }
 
     objective = np.zeros(num_atoms + num_aux, dtype=float)
     offset = 0.0
@@ -159,9 +161,7 @@ def encode(program: GroundProgram) -> ILPEncoding:
         # matrix has a valid shape for downstream solvers.
         add_row([0], [0.0], -1.0)
 
-    matrix = sparse.csr_matrix(
-        (values, (rows, columns)), shape=(row_count, num_atoms + num_aux)
-    )
+    matrix = sparse.csr_matrix((values, (rows, columns)), shape=(row_count, num_atoms + num_aux))
     return ILPEncoding(
         objective=objective,
         constraint_matrix=matrix,

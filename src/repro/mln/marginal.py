@@ -47,9 +47,7 @@ class GibbsSampler:
         self.seed = seed
 
     # ------------------------------------------------------------------ #
-    def run(
-        self, program: GroundProgram, initial: Sequence[bool] | None = None
-    ) -> MarginalResult:
+    def run(self, program: GroundProgram, initial: Sequence[bool] | None = None) -> MarginalResult:
         rng = random.Random(self.seed)
         if initial is not None:
             state = list(initial)
@@ -75,7 +73,9 @@ class GibbsSampler:
                     if value:
                         counts[index] += 1
         probabilities = tuple(count / max(total_kept, 1) for count in counts)
-        return MarginalResult(probabilities=probabilities, samples=self.samples, burn_in=self.burn_in)
+        return MarginalResult(
+            probabilities=probabilities, samples=self.samples, burn_in=self.burn_in
+        )
 
     # ------------------------------------------------------------------ #
     def _local_energy(

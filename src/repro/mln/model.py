@@ -89,9 +89,7 @@ class MarkovLogicNetwork:
 
     def formulas(self) -> list[WeightedFormula]:
         """Template formulas in display form (the nRockIt-style program listing)."""
-        listing = [
-            WeightedFormula(str(rule), rule.weight, "rule") for rule in self.rules
-        ]
+        listing = [WeightedFormula(str(rule), rule.weight, "rule") for rule in self.rules]
         listing += [
             WeightedFormula(str(constraint), constraint.weight, "constraint")
             for constraint in self.constraints
@@ -138,6 +136,5 @@ class MarkovLogicNetwork:
 
     def __repr__(self) -> str:
         return (
-            f"MarkovLogicNetwork(rules={len(self.rules)}, "
-            f"constraints={len(self.constraints)})"
+            f"MarkovLogicNetwork(rules={len(self.rules)}, " f"constraints={len(self.constraints)})"
         )

@@ -86,9 +86,7 @@ class BranchAndBoundSolver(MAPSolver):
     ) -> MAPSolution:
         started = time.perf_counter()
         encoding = encode(program)
-        arrays = (
-            GroundProgramArrays.from_program(program) if self.kernel == "array" else None
-        )
+        arrays = GroundProgramArrays.from_program(program) if self.kernel == "array" else None
         incumbent, incumbent_value = self._greedy_incumbent(program, arrays)
         if warm_start is not None and len(warm_start) == program.num_atoms:
             # Warm start: the previous MAP state, if feasible and better than

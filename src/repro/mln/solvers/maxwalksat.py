@@ -256,9 +256,7 @@ class MaxWalkSATSolver(MAPSolver):
             return [True] * program.num_atoms
         return [rng.random() < 0.5 for _ in range(program.num_atoms)]
 
-    def _repair_hard(
-        self, program: GroundProgram, assignment: list[bool]
-    ) -> Optional[list[bool]]:
+    def _repair_hard(self, program: GroundProgram, assignment: list[bool]) -> Optional[list[bool]]:
         """Greedy repair of any remaining hard violations (conflict clauses are
         all-negative, so falsifying one member always works)."""
         assignment = list(assignment)

@@ -80,9 +80,7 @@ class ArraySearchState:
         # O(clauses) vectorized passes, far cheaper per flip than the
         # scatter/gather transition bookkeeping they replace.
         deltas = np.where(np.repeat(new_values, occ_lengths) == signs, 1.0, -1.0)
-        self.counts += np.bincount(
-            clauses, weights=deltas, minlength=self.counts.size
-        )
+        self.counts += np.bincount(clauses, weights=deltas, minlength=self.counts.size)
         self.unsat = self.counts == 0
         self.penalty = float(self.weights_eff @ self.unsat)
         self.assignment[atoms] = new_values
@@ -236,18 +234,14 @@ class ArrayMaxWalkSATSolver(MaxWalkSATSolver):
         order = np.lexsort((rng.random(unsat_indices.size), soft_rank, components))
         ranked = unsat_indices[order]
         ranked_components = components[order]
-        is_first = np.concatenate(
-            ([True], ranked_components[1:] != ranked_components[:-1])
-        )
+        is_first = np.concatenate(([True], ranked_components[1:] != ranked_components[:-1]))
         selected = ranked[is_first]
         batch = min(self.batch_size, flips_left)
         if selected.size > batch:
             selected = rng.choice(selected, size=batch, replace=False)
 
         # Candidate literals of every selected clause, as one ragged block.
-        cand_lengths = (
-            arrays.clause_offsets[selected + 1] - arrays.clause_offsets[selected]
-        )
+        cand_lengths = arrays.clause_offsets[selected + 1] - arrays.clause_offsets[selected]
         cand_positions = ragged_slices(arrays.clause_offsets, selected)
         cand_atoms = arrays.literal_atoms[cand_positions]
         seg_starts = np.concatenate(([0], np.cumsum(cand_lengths)[:-1]))

@@ -69,9 +69,7 @@ class ADMMSolver(MAPSolver):
     # ------------------------------------------------------------------ #
     def solve(self, program: GroundProgram, warm_start=None) -> MAPSolution:
         started = time.perf_counter()
-        mrf = HingeLossMRF.from_program(
-            program, hard_weight=self.hard_weight, squared=self.squared
-        )
+        mrf = HingeLossMRF.from_program(program, hard_weight=self.hard_weight, squared=self.squared)
         initial = None
         if warm_start is not None and len(warm_start) == program.num_atoms:
             # Warm start: seed the consensus vector with the previous soft
@@ -110,9 +108,7 @@ class ADMMSolver(MAPSolver):
         matrix = PotentialMatrix(mrf.potentials, mrf.num_variables)
         return self._admm(matrix, consensus)
 
-    def _admm(
-        self, matrix: "PotentialMatrix", consensus: np.ndarray
-    ) -> tuple[np.ndarray, int]:
+    def _admm(self, matrix: "PotentialMatrix", consensus: np.ndarray) -> tuple[np.ndarray, int]:
         """Run the ADMM iterations over a prebuilt :class:`PotentialMatrix`.
 
         The loop touches only the matrix's flat arrays, so object-built and
@@ -152,10 +148,10 @@ class ADMMSolver(MAPSolver):
             interior_scale = weights / self.rho
             interior_values = reference_values - interior_scale * norms
             linear_case = np.where(interior_values >= 0.0, interior_scale, projection_scale)
-            squared_case = (2.0 * weights * reference_values) / (
-                self.rho + 2.0 * weights * norms
+            squared_case = (2.0 * weights * reference_values) / (self.rho + 2.0 * weights * norms)
+            scale = np.where(
+                matrix.hard, projection_scale, np.where(matrix.squared, squared_case, linear_case)
             )
-            scale = np.where(matrix.hard, projection_scale, np.where(matrix.squared, squared_case, linear_case))
             scale = np.where(reference_values <= 0.0, 0.0, scale)
             local = reference - scale[matrix.literal_potential] * matrix.literal_coefficient
 
@@ -178,9 +174,7 @@ class ADMMSolver(MAPSolver):
             primal_epsilon = size * self.tolerance + 1e-3 * max(
                 float(np.linalg.norm(local)), float(np.linalg.norm(consensus_slice))
             )
-            dual_epsilon = size * self.tolerance + 1e-3 * float(
-                self.rho * np.linalg.norm(duals)
-            )
+            dual_epsilon = size * self.tolerance + 1e-3 * float(self.rho * np.linalg.norm(duals))
             if primal_residual < primal_epsilon and dual_residual < dual_epsilon:
                 break
         return consensus, iterations_run

@@ -59,7 +59,10 @@ class HingePotential:
         if total <= 0.0:
             return {}
         scale = self.weight * (2.0 * total if self.squared else 1.0)
-        return {index: scale * coefficient for index, coefficient in zip(self.indexes, self.coefficients)}
+        return {
+            index: scale * coefficient
+            for index, coefficient in zip(self.indexes, self.coefficients)
+        }
 
 
 def clause_to_potential(
@@ -99,9 +102,7 @@ def total_penalty(potentials: Sequence[HingePotential], truth_values: Sequence[f
     return float(sum(potential.penalty(truth_values) for potential in potentials))
 
 
-def dense_subgradient(
-    potentials: Sequence[HingePotential], truth_values: np.ndarray
-) -> np.ndarray:
+def dense_subgradient(potentials: Sequence[HingePotential], truth_values: np.ndarray) -> np.ndarray:
     """Dense subgradient of the total penalty (for the projected-gradient solver)."""
     gradient = np.zeros_like(truth_values)
     for potential in potentials:
@@ -139,7 +140,9 @@ class PotentialMatrix:
         self.literal_potential = np.asarray(literal_potential, dtype=np.int64)
         self.literal_variable = np.asarray(literal_variable, dtype=np.int64)
         self.literal_coefficient = np.asarray(literal_coefficient, dtype=float)
-        self.constants = np.asarray([potential.constant for potential in self.potentials], dtype=float)
+        self.constants = np.asarray(
+            [potential.constant for potential in self.potentials], dtype=float
+        )
         self.weights = np.asarray([potential.weight for potential in self.potentials], dtype=float)
         self.hard = np.asarray([potential.hard for potential in self.potentials], dtype=bool)
         self.squared = np.asarray([potential.squared for potential in self.potentials], dtype=bool)
@@ -188,9 +191,7 @@ class PotentialMatrix:
         matrix.constants = 1.0 - negatives
         matrix.weights = np.where(arrays.is_hard, hard_weight, arrays.weights)
         matrix.hard = arrays.is_hard.copy()
-        matrix.squared = (
-            ~arrays.is_hard if squared else np.zeros(arrays.num_clauses, dtype=bool)
-        )
+        matrix.squared = ~arrays.is_hard if squared else np.zeros(arrays.num_clauses, dtype=bool)
         matrix.norms = np.bincount(
             matrix.literal_potential,
             weights=matrix.literal_coefficient**2,
@@ -223,6 +224,4 @@ class PotentialMatrix:
         active = values > 0.0
         scale = np.where(self.squared, 2.0 * values, 1.0) * self.weights * active
         per_literal = scale[self.literal_potential] * self.literal_coefficient
-        return np.bincount(
-            self.literal_variable, weights=per_literal, minlength=self.num_variables
-        )
+        return np.bincount(self.literal_variable, weights=per_literal, minlength=self.num_variables)

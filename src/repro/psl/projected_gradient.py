@@ -45,9 +45,7 @@ class ProjectedGradientSolver(MAPSolver):
 
     def solve(self, program: GroundProgram) -> MAPSolution:
         started = time.perf_counter()
-        mrf = HingeLossMRF.from_program(
-            program, hard_weight=self.hard_weight, squared=self.squared
-        )
+        mrf = HingeLossMRF.from_program(program, hard_weight=self.hard_weight, squared=self.squared)
         matrix = PotentialMatrix(mrf.potentials, mrf.num_variables)
         state = mrf.initial_state()
         best_state = state.copy()

@@ -17,7 +17,11 @@ A stdlib-only concurrent HTTP layer over the library's serving primitives:
   ``tecore serve --wal-dir`` (checksummed frames, fsync policies,
   compaction);
 * :mod:`repro.serve.recovery` — crash recovery by replaying the log
-  through :class:`~repro.core.session.ResolutionSession`.
+  through :class:`~repro.core.session.ResolutionSession`;
+* :mod:`repro.serve.sharding` / :mod:`repro.serve.worker` — the
+  multi-process front-end behind ``tecore serve --workers N``: consistent-
+  hash session affinity, per-worker micro-batchers, shard-scoped WAL
+  replay after a worker crash.
 """
 
 from .batcher import (
@@ -27,7 +31,13 @@ from .batcher import (
     ServiceOverloadedError,
 )
 from .metrics import LatencyRecorder, ServiceMetrics
-from .recovery import RecoveryReport, compact_records, fold_records, recover_sessions
+from .recovery import (
+    RecoveryReport,
+    compact_records,
+    decode_edit_record,
+    fold_records,
+    recover_sessions,
+)
 from .wal import WalError, WriteAheadLog
 from .protocol import (
     ProtocolError,
@@ -38,11 +48,22 @@ from .protocol import (
     graph_content_key,
     stable_view,
 )
-from .server import ResolutionService, ServerConfig, TecoreHTTPServer, make_server
+from .server import (
+    DropConnection,
+    ResolutionService,
+    ServerConfig,
+    ServiceCore,
+    TecoreHTTPServer,
+    make_server,
+)
 from .sessions import SessionEntry, SessionPool, UnknownSessionError
+from .sharding import ConsistentHashRing, ShardedResolutionService, WorkerHandle
+from .worker import WorkerRuntime, worker_main
 
 __all__ = [
     "BatchObserver",
+    "ConsistentHashRing",
+    "DropConnection",
     "LatencyRecorder",
     "MicroBatcher",
     "ProtocolError",
@@ -50,15 +71,20 @@ __all__ = [
     "RequestDeadlineExceeded",
     "ResolutionService",
     "ServerConfig",
+    "ServiceCore",
     "ServiceMetrics",
     "ServiceOverloadedError",
     "SessionEntry",
     "SessionPool",
+    "ShardedResolutionService",
     "TecoreHTTPServer",
     "UnknownSessionError",
     "WalError",
+    "WorkerHandle",
+    "WorkerRuntime",
     "WriteAheadLog",
     "compact_records",
+    "decode_edit_record",
     "decode_edits",
     "decode_graph",
     "decode_json",
@@ -68,4 +94,5 @@ __all__ = [
     "make_server",
     "recover_sessions",
     "stable_view",
+    "worker_main",
 ]

@@ -62,9 +62,7 @@ class RequestDeadlineExceeded(TecoreError):
 class _PendingRequest:
     __slots__ = ("graph", "key", "tag", "arrival", "done", "result", "error")
 
-    def __init__(
-        self, graph: TemporalKnowledgeGraph, keyed: bool, tag: Any = None
-    ) -> None:
+    def __init__(self, graph: TemporalKnowledgeGraph, keyed: bool, tag: Any = None) -> None:
         self.graph = graph
         self.key = graph_content_key(graph) if keyed else None
         self.tag = tag
@@ -167,9 +165,7 @@ class MicroBatcher:
         self.resolves_total = 0
         self.coalesced_total = 0
         self.max_batch_seen = 0
-        self._worker = threading.Thread(
-            target=self._run, name="tecore-batch-flush", daemon=True
-        )
+        self._worker = threading.Thread(target=self._run, name="tecore-batch-flush", daemon=True)
         self._worker.start()
 
     # ------------------------------------------------------------------ #
@@ -213,9 +209,7 @@ class MicroBatcher:
                 limit = min(limit, shed_depth)
             if len(self._queue) >= limit:
                 self.rejected_total += 1
-                raise ServiceOverloadedError(
-                    f"resolution queue is full ({limit} waiting requests)"
-                )
+                raise ServiceOverloadedError(f"resolution queue is full ({limit} waiting requests)")
             self._queue.append(pending)
             self.enqueued_total += 1
             self._wakeup.notify()
@@ -342,21 +336,15 @@ class MicroBatcher:
                         order.append(pending.key)
                     else:
                         members.append(pending)
-                resolved = self._resolver.resolve_many(
-                    groups[key][0].graph for key in order
-                )
+                resolved = self._resolver.resolve_many(groups[key][0].graph for key in order)
                 for key, result in zip(order, resolved):
                     for pending in groups[key]:
                         pending.result = result
-                flushed_groups = [
-                    [pending.tag for pending in groups[key]] for key in order
-                ]
+                flushed_groups = [[pending.tag for pending in groups[key]] for key in order]
                 coalesced = len(batch) - len(order)
                 resolves = len(order)
             else:
-                resolved = self._resolver.resolve_many(
-                    pending.graph for pending in batch
-                )
+                resolved = self._resolver.resolve_many(pending.graph for pending in batch)
                 for pending, result in zip(batch, resolved):
                     pending.result = result
                 flushed_groups = [[pending.tag] for pending in batch]

@@ -58,9 +58,7 @@ class LatencyRecorder:
         if not window:
             return {f"p{p}_ms": 0.0 for p in PERCENTILES}
         return {
-            f"p{p}_ms": round(
-                window[min(len(window) - 1, (p * len(window)) // 100)] * 1000, 3
-            )
+f"p{p}_ms": round(window[min(len(window) - 1, (p * len(window)) // 100)] * 1000, 3)
             for p in PERCENTILES
         }
 

@@ -49,7 +49,9 @@ def decode_json(body: bytes, what: str = "request") -> Mapping[str, Any]:
     return document
 
 
-def decode_graph(document: Mapping[str, Any], default_name: str = "request") -> TemporalKnowledgeGraph:
+def decode_graph(
+    document: Mapping[str, Any], default_name: str = "request"
+) -> TemporalKnowledgeGraph:
     """Extract the UTKG from a resolve/session request."""
     payload = document.get("graph", document)
     if not isinstance(payload, Mapping) or "facts" not in payload:
@@ -71,7 +73,10 @@ def decode_edits(
     if not adds_raw and not removes_raw:
         raise ProtocolError("edit request needs at least one entry in 'adds' or 'removes'")
     try:
-        adds = [json_io.fact_from_dict(entry, index, source="adds") for index, entry in enumerate(adds_raw)]
+        adds = [
+            json_io.fact_from_dict(entry, index, source="adds")
+            for index, entry in enumerate(adds_raw)
+        ]
         removes = [
             json_io.fact_from_dict(entry, index, source="removes")
             for index, entry in enumerate(removes_raw)

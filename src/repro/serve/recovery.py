@@ -149,9 +149,15 @@ def fold_records(records: Iterable[Mapping[str, Any]]) -> FoldState:
     return state
 
 
-def _decode_edit(
+def decode_edit_record(
     record: Mapping[str, Any],
 ) -> tuple[list[TemporalFact], list[TemporalFact]]:
+    """Decode one WAL ``edit`` record into ``(adds, removes)`` fact lists.
+
+    The record shape is the change-stream JSON form (``adds``/``removes``
+    fact dictionaries); this is also how edits travel to resolver workers
+    during sharded crash recovery (see :mod:`repro.serve.worker`).
+    """
     adds = [
         json_io.fact_from_dict(entry, index, source="wal:adds")
         for index, entry in enumerate(record.get("adds") or [])
@@ -164,9 +170,7 @@ def _decode_edit(
 
 
 def _decode_graph(fold: SessionFold) -> TemporalKnowledgeGraph:
-    return json_io.from_dict(
-        fold.graph_doc, name=str(fold.graph_doc.get("name", "session"))
-    )
+    return json_io.from_dict(fold.graph_doc, name=str(fold.graph_doc.get("name", "session")))
 
 
 def recover_sessions(
@@ -186,9 +190,7 @@ def recover_sessions(
     """
     started = time.perf_counter()
     records = list(records)
-    report = RecoveryReport(
-        wal_dir=wal_dir, records_scanned=len(records), torn_tail=torn_tail
-    )
+    report = RecoveryReport(wal_dir=wal_dir, records_scanned=len(records), torn_tail=torn_tail)
     state = fold_records(records)
     report.sessions_deleted = len(state.deleted)
     report.resolves_logged = state.resolves
@@ -211,7 +213,7 @@ def recover_sessions(
             continue
         for edit in fold.edits:
             try:
-                adds, removes = _decode_edit(edit)
+                adds, removes = decode_edit_record(edit)
                 entry.session.apply(adds=adds, removes=removes)
             except TecoreError:
                 # The same edit failed the same validation when served live
@@ -239,13 +241,8 @@ def _fold_edit(
     """
     if graph.domain is not None:
         for item in adds:
-            if (
-                item.interval.start not in graph.domain
-                or item.interval.end not in graph.domain
-            ):
-                raise TecoreError(
-                    f"fact interval {item.interval} outside time domain"
-                )
+            if (item.interval.start not in graph.domain or item.interval.end not in graph.domain):
+                raise TecoreError(f"fact interval {item.interval} outside time domain")
     for fact in removes:
         graph.remove(fact)
     for fact in adds:
@@ -273,7 +270,7 @@ def compact_records(
         edits_applied = fold.base_edits
         for edit in fold.edits:
             try:
-                adds, removes = _decode_edit(edit)
+                adds, removes = decode_edit_record(edit)
                 _fold_edit(graph, adds, removes)
             except TecoreError:
                 continue

@@ -101,19 +101,31 @@ class ServerConfig:
     #: Boot-time static analysis of the rule program: "strict" (default)
     #: refuses to start on error-severity findings, "off" disables.
     lint: str = "strict"
+    #: Resolver worker processes for sharded serving (see
+    #: :mod:`repro.serve.sharding`); 0 (the default) serves in-process.
+    workers: int = 0
 
 
-class ResolutionService:
-    """Routing and endpoint logic, independent of the HTTP plumbing.
+class DropConnection(TecoreError):
+    """Internal: abandon the connection without sending any HTTP response.
 
-    ``recorder`` is the concurrency-correctness seam (see
-    :mod:`repro.verify.history`): when given, every client-visible operation
-    — resolve, session create/edit/read/delete — is logged with its
-    invocation/response ordering and stable payload, and the recorder also
-    receives the batcher's coalesced-group membership as its
-    :class:`~repro.serve.batcher.BatchObserver`.  Recording never changes
-    serving behaviour; with ``recorder=None`` (the default) the seams are
-    inert.
+    Raised by the sharded service when a mutating request's worker died
+    *after* the write-ahead append: the operation may or may not take
+    effect (crash recovery replays the logged record), so any definite
+    status — success or failure — could be a lie.  The client observes a
+    dropped connection and must treat the operation as pending, exactly
+    the ambiguity the serializability checker's pending-operation
+    semantics admit.  Never raised by the single-process service.
+    """
+
+
+class ServiceCore:
+    """Request plumbing shared by the in-process and sharded services.
+
+    Owns the pieces both front-ends need — config, boot-time program lint,
+    per-endpoint metrics, the history-recorder seam, optional WAL handles —
+    and the :meth:`handle` loop with its exception → HTTP-status mapping.
+    Subclasses implement ``_dispatch`` (endpoint routing) and ``close``.
     """
 
     def __init__(
@@ -140,47 +152,36 @@ class ResolutionService:
                     report=report,
                 )
         self.metrics = ServiceMetrics(window=self.config.metrics_window)
-        self.batcher = MicroBatcher(
-            system.shared_resolver(),
-            max_batch=self.config.max_batch,
-            max_delay=self.config.batch_delay,
-            queue_limit=self.config.queue_limit,
-            coalesce=self.config.coalesce,
-            cache_size=self.config.response_cache,
-            observer=recorder,
-            injector=injector,
-        )
-        self.sessions = SessionPool(
-            system, max_sessions=self.config.max_sessions, injector=injector
-        )
-        # Durability: replay whatever a previous process left in the log
-        # *before* opening it for appends (the WAL constructor also trims a
-        # torn tail so new frames never follow damaged bytes).
         self.wal: WriteAheadLog | None = None
         self.recovery: RecoveryReport | None = None
-        if self.config.wal_dir is not None:
-            self.recovery = recover_from_dir(system, self.sessions, self.config.wal_dir)
-            self.wal = WriteAheadLog(
-                self.config.wal_dir,
-                fsync_policy=self.config.fsync_policy,
-                fsync_batch=self.config.fsync_batch,
-                fsync_interval=self.config.fsync_interval,
-                injector=injector,
-            )
         self.started = time.monotonic()
 
-    def close(self) -> None:
-        self.batcher.close()
-        if self.wal is not None:
-            self.wal.close()
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        body: bytes,
+        op: Any = None,
+        deadline: float | None = None,
+    ) -> tuple[int, dict[str, Any]]:  # pragma: no cover - interface
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
     def handle(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
-        """Serve one request; returns ``(http_status, json_payload)``."""
+    ) -> tuple[int | None, dict[str, Any] | None]:
+        """Serve one request; returns ``(http_status, json_payload)``.
+
+        A ``(None, None)`` return tells the HTTP layer to drop the
+        connection without responding (see :class:`DropConnection`); the
+        recorded operation is then left pending in the history.
+        """
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = split.query
@@ -199,6 +200,10 @@ class ResolutionService:
             status, payload = 400, {"error": str(exc)}
         except UnknownSessionError as exc:
             status, payload = 404, {"error": str(exc)}
+        except DropConnection:
+            self.metrics.observe(endpoint, time.perf_counter() - started, error=True)
+            self._maybe_compact()
+            return None, None  # op stays pending: its effect is undecided
         except (ServiceOverloadedError, WalError) as exc:
             status, payload = 503, {"error": str(exc), "retry_after_seconds": 1}
         except RequestDeadlineExceeded as exc:
@@ -207,9 +212,7 @@ class ResolutionService:
             status, payload = 500, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - a request must never kill the connection silently
             status, payload = 500, {"error": f"internal error: {exc}"}
-        self.metrics.observe(
-            endpoint, time.perf_counter() - started, error=status >= 400
-        )
+        self.metrics.observe(endpoint, time.perf_counter() - started, error=status >= 400)
         if op is not None:
             self.recorder.complete(op, status, payload)
         self._maybe_compact()
@@ -225,8 +228,7 @@ class ResolutionService:
         racing thread compacts an already-fresh segment, which is a no-op.
         """
         if (
-            self.wal is not None
-            and self.wal.records_since_compaction >= self.config.compact_every
+            self.wal is not None and self.wal.records_since_compaction >= self.config.compact_every
         ):
             try:
                 self.wal.compact(compact_records)
@@ -258,9 +260,7 @@ class ResolutionService:
             session_id = match.group("sid")
         if kind == "session_read":
             request = {
-                "include_graphs": (
-                    "include_graphs=1" in query or "include_graphs=true" in query
-                )
+                "include_graphs": ("include_graphs=1" in query or "include_graphs=true" in query)
             }
         else:
             try:
@@ -281,6 +281,87 @@ class ResolutionService:
         # would let a crawler grow the metrics map without bound.
         return "unmatched"
 
+    # ------------------------------------------------------------------ #
+    # Deadlines
+    # ------------------------------------------------------------------ #
+    def _remaining(self, deadline: float | None) -> float | None:
+        """Seconds left before ``deadline`` (None = no deadline)."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RequestDeadlineExceeded(
+                f"request deadline of {self.config.request_deadline:g}s exceeded"
+            )
+        return remaining
+
+    def _acquire(self, entry: Any, deadline: float | None) -> None:
+        """Take a session lock within the request deadline (else 504)."""
+        remaining = self._remaining(deadline)
+        if remaining is None:
+            entry.lock.acquire()
+        elif not entry.lock.acquire(timeout=remaining):
+            raise RequestDeadlineExceeded(
+                f"request deadline of {self.config.request_deadline:g}s exceeded "
+                "waiting for the session lock"
+            )
+
+
+class ResolutionService(ServiceCore):
+    """Routing and endpoint logic, independent of the HTTP plumbing.
+
+    ``recorder`` is the concurrency-correctness seam (see
+    :mod:`repro.verify.history`): when given, every client-visible operation
+    — resolve, session create/edit/read/delete — is logged with its
+    invocation/response ordering and stable payload, and the recorder also
+    receives the batcher's coalesced-group membership as its
+    :class:`~repro.serve.batcher.BatchObserver`.  Recording never changes
+    serving behaviour; with ``recorder=None`` (the default) the seams are
+    inert.
+    """
+
+    def __init__(
+        self,
+        system: TeCoRe,
+        config: ServerConfig | None = None,
+        recorder: Any = None,
+        injector: Any = None,
+    ) -> None:
+        super().__init__(system, config, recorder=recorder, injector=injector)
+        self.batcher = MicroBatcher(
+            system.shared_resolver(),
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_delay,
+            queue_limit=self.config.queue_limit,
+            coalesce=self.config.coalesce,
+            cache_size=self.config.response_cache,
+            observer=recorder,
+            injector=injector,
+        )
+        self.sessions = SessionPool(
+            system, max_sessions=self.config.max_sessions, injector=injector
+        )
+        # Durability: replay whatever a previous process left in the log
+        # *before* opening it for appends (the WAL constructor also trims a
+        # torn tail so new frames never follow damaged bytes).
+        if self.config.wal_dir is not None:
+            self.recovery = recover_from_dir(system, self.sessions, self.config.wal_dir)
+            self.wal = WriteAheadLog(
+                self.config.wal_dir,
+                fsync_policy=self.config.fsync_policy,
+                fsync_batch=self.config.fsync_batch,
+                fsync_interval=self.config.fsync_interval,
+                injector=injector,
+            )
+
+    def close(self) -> None:
+        self.batcher.close()
+        if self.wal is not None:
+            self.wal.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
     def _dispatch(
         self,
         method: str,
@@ -312,31 +393,6 @@ class ResolutionService:
         return 404, {"error": f"no endpoint {method} {path}"}
 
     # ------------------------------------------------------------------ #
-    # Deadlines
-    # ------------------------------------------------------------------ #
-    def _remaining(self, deadline: float | None) -> float | None:
-        """Seconds left before ``deadline`` (None = no deadline)."""
-        if deadline is None:
-            return None
-        remaining = deadline - time.monotonic()
-        if remaining <= 0:
-            raise RequestDeadlineExceeded(
-                f"request deadline of {self.config.request_deadline:g}s exceeded"
-            )
-        return remaining
-
-    def _acquire(self, entry: Any, deadline: float | None) -> None:
-        """Take a session lock within the request deadline (else 504)."""
-        remaining = self._remaining(deadline)
-        if remaining is None:
-            entry.lock.acquire()
-        elif not entry.lock.acquire(timeout=remaining):
-            raise RequestDeadlineExceeded(
-                f"request deadline of {self.config.request_deadline:g}s exceeded "
-                "waiting for the session lock"
-            )
-
-    # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
     def _resolve(
@@ -359,9 +415,7 @@ class ResolutionService:
         if self.wal is not None:
             # Audit record of an *accepted* resolve — stateless, so it is
             # appended after success and folded away by compaction.
-            self.wal.append(
-                {"kind": "resolve", "name": graph.name, "facts": len(graph)}
-            )
+            self.wal.append({"kind": "resolve", "name": graph.name, "facts": len(graph)})
         return encode_result(result, include_graphs=bool(document.get("include_graphs")))
 
     def _create_session(self, document: Mapping[str, Any]) -> dict[str, Any]:
@@ -425,9 +479,7 @@ class ResolutionService:
                 self.injector.fire("session.apply", session_id=sid)
             result = entry.session.apply(adds=adds, removes=removes)
             entry.edits_applied += 1
-            payload = encode_result(
-                result, include_graphs=bool(document.get("include_graphs"))
-            )
+            payload = encode_result(result, include_graphs=bool(document.get("include_graphs")))
         finally:
             entry.lock.release()
         return {"session_id": sid, "result": payload}
@@ -508,6 +560,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         else:
             body = self.rfile.read(length) if length else b"{}"
             status, payload = self.server.service.handle(self.command, self.path, body)
+        if status is None:
+            # Sharded serving dropped this connection on purpose: the
+            # request's worker died after the write-ahead append, so the
+            # mutation may or may not take effect after recovery.  Any
+            # definite status would over-promise; the client must treat
+            # the operation as pending.
+            self.close_connection = True
+            return
         encoded = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -524,11 +584,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
 
 class TecoreHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`ResolutionService`."""
+    """Threaded HTTP server bound to one service front-end.
+
+    ``service`` is any :class:`ServiceCore` — the in-process
+    :class:`ResolutionService` or the multi-process
+    :class:`~repro.serve.sharding.ShardedResolutionService`; the HTTP layer
+    only ever calls ``handle`` and ``close``.
+    """
 
     daemon_threads = True
 
-    def __init__(self, service: ResolutionService) -> None:
+    def __init__(self, service: ServiceCore) -> None:
         self.service = service
         super().__init__((service.config.host, service.config.port), _RequestHandler)
 
@@ -539,9 +605,7 @@ class TecoreHTTPServer(ThreadingHTTPServer):
 
     def run_in_thread(self) -> threading.Thread:
         """Start serving on a daemon thread (tests and embedded use)."""
-        thread = threading.Thread(
-            target=self.serve_forever, name="tecore-serve", daemon=True
-        )
+        thread = threading.Thread(target=self.serve_forever, name="tecore-serve", daemon=True)
         thread.start()
         return thread
 
@@ -560,10 +624,19 @@ def make_server(
 ) -> TecoreHTTPServer:
     """Build a ready-to-run server (``port=0`` picks a free port).
 
+    ``config.workers > 0`` selects the sharded multi-process front-end
+    (see :mod:`repro.serve.sharding`); the default serves in-process.
     ``recorder`` optionally attaches a history recorder (see
     :mod:`repro.verify.history`); ``injector`` a fault-injection schedule
     (see :mod:`repro.verify.faults`) — both default to inert.
     """
-    return TecoreHTTPServer(
-        ResolutionService(system, config, recorder=recorder, injector=injector)
-    )
+    config = config or ServerConfig()
+    if config.workers > 0:
+        from .sharding import ShardedResolutionService
+
+        service: ServiceCore = ShardedResolutionService(
+            system, config, recorder=recorder, injector=injector
+        )
+    else:
+        service = ResolutionService(system, config, recorder=recorder, injector=injector)
+    return TecoreHTTPServer(service)

@@ -76,9 +76,7 @@ class SessionPool:
     as an entry falls off the LRU end).
     """
 
-    def __init__(
-        self, system: "TeCoRe", max_sessions: int = 64, injector: Any = None
-    ) -> None:
+    def __init__(self, system: "TeCoRe", max_sessions: int = 64, injector: Any = None) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         self._system = system
@@ -113,9 +111,7 @@ class SessionPool:
             self.injector.fire("pool.create", session_id=session_id)
         # The initial resolve is the expensive part — do it outside the pool
         # lock so concurrent creates don't serialise on each other.
-        session = self._system.session(
-            graph, warm_start=warm_start, cache_size=cache_size
-        )
+        session = self._system.session(graph, warm_start=warm_start, cache_size=cache_size)
         if session_id is None:
             session_id = secrets.token_hex(8)
         entry = SessionEntry(session_id, session)

@@ -193,9 +193,7 @@ class WriteAheadLog:
         injector: Any = None,
     ) -> None:
         if fsync_policy not in FSYNC_POLICIES:
-            raise ValueError(
-                f"fsync_policy must be one of {FSYNC_POLICIES}, got {fsync_policy!r}"
-            )
+            raise ValueError(f"fsync_policy must be one of {FSYNC_POLICIES}, got {fsync_policy!r}")
         if fsync_batch < 1:
             raise ValueError(f"fsync_batch must be >= 1, got {fsync_batch}")
         if fsync_interval < 0:
@@ -223,9 +221,7 @@ class WriteAheadLog:
                 data = handle.read()
             records, torn, good = _scan_frames(data)
             self._next_seq = max((r.get("seq", -1) for r in records), default=-1) + 1
-            self.records_since_compaction = sum(
-                1 for r in records if r.get("kind") != "snapshot"
-            )
+            self.records_since_compaction = sum(1 for r in records if r.get("kind") != "snapshot")
             if torn:
                 # Truncate the damaged tail so new appends follow the last
                 # good frame instead of garbage the scanner would stop at.
@@ -312,6 +308,21 @@ class WriteAheadLog:
         self._unsynced = 0
         self._last_sync = time.monotonic()
 
+    def records(self) -> tuple[list[dict[str, Any]], bool]:
+        """Read the active segment back; returns ``(records, torn_tail)``.
+
+        Used by sharded crash recovery to replay one worker's shard while
+        the log keeps serving appends: the read happens under the log's own
+        lock after a flush, so it observes every record appended before the
+        call and never a half-written frame (``torn_tail`` can only report
+        pre-existing external damage).
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            self._handle.flush()
+            return read_records(self._segment_path(self._segment_number))
+
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""
         with self._lock:
@@ -333,9 +344,7 @@ class WriteAheadLog:
             self._handle.close()
 
     # ------------------------------------------------------------------ #
-    def compact(
-        self, fold: Callable[[list[dict[str, Any]]], Iterable[Mapping[str, Any]]]
-    ) -> int:
+    def compact(self, fold: Callable[[list[dict[str, Any]]], Iterable[Mapping[str, Any]]]) -> int:
         """Fold the active segment into a fresh one; returns records written.
 
         ``fold`` receives every record of the current segment and yields the

@@ -62,11 +62,7 @@ class MAPSolution:
 
     def kept_facts(self, program: GroundProgram) -> list[TemporalFact]:
         """Facts set to true in the MAP state."""
-        return [
-            atom.fact
-            for atom, value in zip(program.atoms, self.assignment)
-            if value
-        ]
+        return [atom.fact for atom, value in zip(program.atoms, self.assignment) if value]
 
     def removed_facts(self, program: GroundProgram) -> list[TemporalFact]:
         """Evidence facts set to false in the MAP state (the repairs)."""
@@ -110,9 +106,7 @@ class MAPSolver(abc.ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
-    def _check_feasibility(
-        self, program: GroundProgram, assignment: Sequence[bool]
-    ) -> None:
+    def _check_feasibility(self, program: GroundProgram, assignment: Sequence[bool]) -> None:
         violations = program.hard_violations(assignment)
         if violations:
             raise SolverError(

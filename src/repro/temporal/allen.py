@@ -226,7 +226,9 @@ def _compose_all() -> dict[tuple[AllenRelation, AllenRelation], FrozenSet[AllenR
     return {key: frozenset(value) for key, value in table.items()}
 
 
-_COMPOSITION_TABLE: dict[tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]] | None = None
+_COMPOSITION_TABLE: dict[
+    tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]
+] | None = None
 
 
 def compose(r1: AllenRelation, r2: AllenRelation) -> FrozenSet[AllenRelation]:
@@ -241,9 +243,7 @@ def compose(r1: AllenRelation, r2: AllenRelation) -> FrozenSet[AllenRelation]:
     return _COMPOSITION_TABLE[(r1, r2)]
 
 
-def possible_relations(
-    a: TimeInterval | None, b: TimeInterval | None
-) -> FrozenSet[AllenRelation]:
+def possible_relations(a: TimeInterval | None, b: TimeInterval | None) -> FrozenSet[AllenRelation]:
     """Relations possible between two possibly-unknown intervals.
 
     When both intervals are known the answer is the singleton of their actual

@@ -38,9 +38,7 @@ class TimeInterval:
 
     def __post_init__(self) -> None:
         if self.end < self.start:
-            raise InvalidIntervalError(
-                f"interval end ({self.end}) precedes start ({self.start})"
-            )
+            raise InvalidIntervalError(f"interval end ({self.end}) precedes start ({self.start})")
 
     # ------------------------------------------------------------------ #
     # Basic properties

@@ -48,9 +48,7 @@ class TimeDomain:
 
     def __post_init__(self) -> None:
         if self.end < self.start:
-            raise TimeDomainError(
-                f"time domain end ({self.end}) precedes start ({self.start})"
-            )
+            raise TimeDomainError(f"time domain end ({self.end}) precedes start ({self.start})")
 
     def __contains__(self, point: object) -> bool:
         if not isinstance(point, int) or isinstance(point, bool):
@@ -66,9 +64,7 @@ class TimeDomain:
     def validate(self, point: TimePoint) -> TimePoint:
         """Return ``point`` unchanged, raising if it lies outside the domain."""
         if point not in self:
-            raise TimeDomainError(
-                f"time point {point} outside domain [{self.start}, {self.end}]"
-            )
+            raise TimeDomainError(f"time point {point} outside domain [{self.start}, {self.end}]")
         return point
 
     def clamp(self, point: TimePoint) -> TimePoint:
@@ -79,12 +75,12 @@ class TimeDomain:
         """Return a domain widened (if necessary) to include ``point``."""
         if point in self:
             return self
-        return TimeDomain(
-            min(self.start, point), max(self.end, point), self.granularity
-        )
+        return TimeDomain(min(self.start, point), max(self.end, point), self.granularity)
 
     @classmethod
-    def spanning(cls, points: Iterator[TimePoint] | list[TimePoint], granularity: str = "year") -> "TimeDomain":
+    def spanning(
+        cls, points: Iterator[TimePoint] | list[TimePoint], granularity: str = "year"
+    ) -> "TimeDomain":
         """Build the smallest domain containing every point in ``points``."""
         pts = list(points)
         if not pts:

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -111,9 +113,7 @@ def request_with_retry(
     body = json.dumps(document) if document is not None else None
     retries = 0
     while True:
-        connection.request(
-            method, path, body=body, headers={"Content-Type": "application/json"}
-        )
+        connection.request(method, path, body=body, headers={"Content-Type": "application/json"})
         response = connection.getresponse()
         payload = json.loads(response.read())
         retry_after = _parse_retry_after(response.getheader("Retry-After"))
@@ -143,6 +143,7 @@ class ServeProcess:
         host: str = "127.0.0.1",
         faults: Optional[str] = None,
         request_deadline: Optional[float] = None,
+        workers: int = 0,
         extra_args: Optional[list[str]] = None,
     ) -> None:
         self.wal_dir = Path(wal_dir)
@@ -166,6 +167,8 @@ class ServeProcess:
         ]
         if request_deadline is not None:
             command += ["--request-deadline", str(request_deadline)]
+        if workers:
+            command += ["--workers", str(workers)]
         if faults:
             command += ["--faults", faults]
         command += list(extra_args or ())
@@ -209,6 +212,14 @@ class ServeProcess:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=10.0)
         try:
             connection.request("GET", "/stats")
+            return json.loads(connection.getresponse().read())
+        finally:
+            connection.close()
+
+    def healthz(self) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=10.0)
+        try:
+            connection.request("GET", "/healthz")
             return json.loads(connection.getresponse().read())
         finally:
             connection.close()
@@ -276,9 +287,7 @@ class _ChaosClient(threading.Thread):
 
     def _connect(self) -> http.client.HTTPConnection:
         if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                *self.address, timeout=RECONNECT_SECONDS
-            )
+            self._connection = http.client.HTTPConnection(*self.address, timeout=RECONNECT_SECONDS)
         return self._connection
 
     def _drop_connection(self) -> None:
@@ -324,17 +333,13 @@ class _ChaosClient(threading.Thread):
 
     def _issue(self, op: TraceOp) -> None:
         method, path, body, recorded, kind, sid = self._wire_form(op)
-        status, payload = self._attempt_with_retries(
-            method, path, body, recorded, kind, sid
-        )
+        status, payload = self._attempt_with_retries(method, path, body, recorded, kind, sid)
         if op.kind == "session_create":
             assert op.session is not None
             session_id = (payload or {}).get("session_id") if status == 201 else None
             self.directory.publish(op.session, session_id)
 
-    def _wire_form(
-        self, op: TraceOp
-    ) -> tuple[
+    def _wire_form(self, op: TraceOp) -> tuple[
         str, str, Optional[dict[str, Any]], Optional[dict[str, Any]], str, Optional[str]
     ]:
         """Wire form plus the request document the history records.
@@ -436,6 +441,13 @@ class ChaosConfig:
     solver: str = "nrockit"
     zipf_alpha: float = 1.1
     noise: str = "mixed"
+    #: Resolver worker processes of the served system (0 = in-process).
+    workers: int = 0
+    #: What the SIGKILL hits: "server" (the whole process, then restart)
+    #: or "worker" (one resolver worker; the front-end stays up and must
+    #: respawn it from a shard-scoped WAL replay).  "worker" needs
+    #: ``workers >= 1``.
+    kill: str = "server"
 
 
 @dataclass
@@ -453,6 +465,9 @@ class ChaosReport:
     disconnects: int
     killed_after: int
     recovered_sessions: int
+    workers: int = 0
+    kill: str = "server"
+    worker_respawns: int = 0
     serializable: Optional[bool] = None
     violations: list[dict[str, Any]] = field(default_factory=list)
     checker_stats: dict[str, Any] = field(default_factory=dict)
@@ -471,6 +486,9 @@ class ChaosReport:
             "disconnects": self.disconnects,
             "killed_after": self.killed_after,
             "recovered_sessions": self.recovered_sessions,
+            "workers": self.workers,
+            "kill": self.kill,
+            "worker_respawns": self.worker_respawns,
             "serializable": self.serializable,
             "violations": self.violations,
             "checker_stats": self.checker_stats,
@@ -486,9 +504,7 @@ def _fault_spec(config: ChaosConfig) -> str:
 
 
 def _completed_ops(recorder: HistoryRecorder) -> int:
-    return sum(
-        1 for op in recorder.history().operations if op.completed is not None
-    )
+    return sum(1 for op in recorder.history().operations if op.completed is not None)
 
 
 def run_chaos(
@@ -505,8 +521,21 @@ def run_chaos(
     the server (fault-free) on the same port and WAL directory → let the
     clients finish → snapshot the combined history and (optionally) check
     it for serializability violations.
+
+    With ``config.kill == "worker"`` (requires ``workers >= 1``) the
+    SIGKILL hits one *resolver worker* instead of the server: the
+    front-end stays up, detects the death, respawns the worker, and
+    replays only its session shard from the live log before re-admitting
+    traffic — the clients observe at most a burst of retryable 503s and
+    (for mutations in flight on the dying worker) dropped connections,
+    and the combined history must still be serializable.
     """
     from ..datasets.ranieri import ranieri_extended_graph
+
+    if config.kill not in ("server", "worker"):
+        raise ValueError(f"kill must be 'server' or 'worker', got {config.kill!r}")
+    if config.kill == "worker" and config.workers < 1:
+        raise ValueError("kill='worker' needs a sharded server (workers >= 1)")
 
     workload = WorkloadConfig(
         seed=config.seed,
@@ -551,9 +580,11 @@ def run_chaos(
         solver=config.solver,
         faults=spec,
         request_deadline=config.request_deadline,
+        workers=config.workers,
     )
     recovered_sessions = 0
     killed_after = 0
+    worker_respawns = 0
     try:
         server.wait_healthy()
         for client in clients:
@@ -567,28 +598,50 @@ def run_chaos(
         ):
             time.sleep(0.02)
         killed_after = _completed_ops(recorder)
-        server.kill()
 
-        # Restart, fault-free, on the same port and WAL directory; the
-        # clients' reconnect loops pick it up from /healthz.
-        server = ServeProcess(
-            wal_dir,
-            port,
-            pack=config.pack,
-            solver=config.solver,
-            faults=None,
-            request_deadline=config.request_deadline,
-        )
-        health = server.wait_healthy()
-        recovered_sessions = int(health.get("recovered_sessions", 0))
+        if config.kill == "worker":
+            # SIGKILL one resolver worker; the front-end stays up and must
+            # respawn it after a shard-scoped replay of the live log.
+            health = server.healthz()
+            pids = [pid for pid in health.get("worker_pids", []) if pid]
+            if not pids:
+                raise TecoreError("sharded server reported no worker pids")
+            os.kill(pids[config.seed % len(pids)], signal.SIGKILL)
+            deadline = time.monotonic() + RECONNECT_SECONDS
+            while time.monotonic() < deadline:
+                health = server.healthz()
+                worker_respawns = int(health.get("respawns", 0))
+                if (health.get("workers_ready") == config.workers and worker_respawns >= 1):
+                    break
+                time.sleep(0.1)
+            else:
+                raise TecoreError(
+                    "front-end did not respawn the killed worker within " f"{RECONNECT_SECONDS:g}s"
+                )
+            replay = server.stats().get("sharding", {}).get("last_replay", {})
+            recovered_sessions = int(replay.get("sessions_restored", 0))
+        else:
+            server.kill()
+
+            # Restart, fault-free, on the same port and WAL directory; the
+            # clients' reconnect loops pick it up from /healthz.
+            server = ServeProcess(
+                wal_dir,
+                port,
+                pack=config.pack,
+                solver=config.solver,
+                faults=None,
+                request_deadline=config.request_deadline,
+                workers=config.workers,
+            )
+            health = server.wait_healthy()
+            recovered_sessions = int(health.get("recovered_sessions", 0))
 
         for client in clients:
             client.join(timeout=RECONNECT_SECONDS * 2)
         for client in clients:
             if client.is_alive():
-                raise TecoreError(
-                    f"chaos client {client.client_id} did not finish"
-                )
+                raise TecoreError(f"chaos client {client.client_id} did not finish")
             if client.error is not None:
                 raise TecoreError(
                     f"chaos client {client.client_id} failed: {client.error}"
@@ -604,6 +657,8 @@ def run_chaos(
             "killed_after_ops": killed_after,
             "recovered_sessions": recovered_sessions,
             "transport": "http-subprocess",
+            "workers": config.workers,
+            "kill": config.kill,
         }
     )
     if history_path is not None:
@@ -621,6 +676,9 @@ def run_chaos(
         disconnects=sum(client.disconnects for client in clients),
         killed_after=killed_after,
         recovered_sessions=recovered_sessions,
+        workers=config.workers,
+        kill=config.kill,
+        worker_respawns=worker_respawns,
         history_path=str(history_path) if history_path is not None else None,
     )
 

@@ -188,9 +188,7 @@ class _SessionSearch:
         sequence = [create, *self.middle, *self.pending] + ([delete] if delete else [])
         self._preds = {
             op.op_id: frozenset(
-                other.op_id
-                for other in sequence
-                if other is not op and other.happens_before(op)
+                other.op_id for other in sequence if other is not op and other.happens_before(op)
             )
             for op in sequence
         }
@@ -258,9 +256,7 @@ class _SessionSearch:
                 self.session.apply(adds=adds, removes=removes)
 
     # ------------------------------------------------------------------ #
-    def _try(
-        self, op: Operation, chosen: list[Operation]
-    ) -> tuple[bool, bool, Any, Any]:
+    def _try(self, op: Operation, chosen: list[Operation]) -> tuple[bool, bool, Any, Any]:
         """Replay one candidate next op: (matched, state_mutated, exp, obs)."""
         include = bool((op.request or {}).get("include_graphs"))
         assert self.session is not None
@@ -301,9 +297,7 @@ class _SessionSearch:
                 "session_id": self.sid,
                 "deleted": True,
                 "facts": len(self.session.graph),
-                "edits_applied": sum(
-                    1 for placed in chosen if placed.kind == "session_edit"
-                ),
+                "edits_applied": sum(1 for placed in chosen if placed.kind == "session_edit"),
             }
         )
         return expected == canonical(op.response or {}), False, expected, canonical(
@@ -356,9 +350,7 @@ class _SessionSearch:
                 continue  # a real-time predecessor is still unplaced
             if self.delete is not None and op is self.delete:
                 required_left = sum(
-                    1
-                    for other in remaining.values()
-                    if other.op_id not in self._optional_ids
+                    1 for other in remaining.values() if other.op_id not in self._optional_ids
                 )
                 if required_left > 1:
                     continue  # every successful op must precede the delete
@@ -669,20 +661,15 @@ class SerializabilityChecker:
         # open).  Pending edits are optional placements for the search;
         # a pending delete may have tombstoned the session durably even
         # though no client ever saw its response.
-        pending = [
-            op for op in ops if op.completed is None and op.kind == "session_edit"
-        ]
-        pending_deletes = [
-            op for op in ops if op.completed is None and op.kind == "session_delete"
-        ]
+        pending = [op for op in ops if op.completed is None and op.kind == "session_edit"]
+        pending_deletes = [op for op in ops if op.completed is None and op.kind == "session_delete"]
         if not self.lru_evictions:
             for op in ops:
                 if op.status != 404:
                     continue
                 if delete is None or op.happens_before(delete):
                     if any(
-                        op.completed is None or pd.invoked < op.completed
-                        for pd in pending_deletes
+                        op.completed is None or pd.invoked < op.completed for pd in pending_deletes
                     ):
                         # A crashed DELETE whose tombstone survived explains
                         # the 404: its effect lands anywhere after its
@@ -755,14 +742,8 @@ class SerializabilityChecker:
             for op in subset
             if op.kind in ("session_edit", "session_read") and op.completed is not None
         ]
-        pending = [
-            op for op in subset if op.kind == "session_edit" and op.completed is None
-        ]
-        deletes = [
-            op
-            for op in subset
-            if op.kind == "session_delete" and op.completed is not None
-        ]
+        pending = [op for op in subset if op.kind == "session_edit" and op.completed is None]
+        deletes = [op for op in subset if op.kind == "session_delete" and op.completed is not None]
         search = _SessionSearch(
             self._system,
             sid,

@@ -233,7 +233,5 @@ def seeded_schedule(
     for _ in range(faults):
         kind = rng.choice(list(kinds))
         point = rng.choice(_KIND_SEAMS[kind])
-        rules.append(
-            FaultRule(point=point, kind=kind, at=rng.randint(1, max_arrival), delay=delay)
-        )
+        rules.append(FaultRule(point=point, kind=kind, at=rng.randint(1, max_arrival), delay=delay))
     return FaultInjector(rules)

@@ -99,18 +99,14 @@ class _TraceClient(threading.Thread):
             return
         if op.kind == "session_create":
             assert op.session is not None
-            status, payload = self.service.handle(
-                "POST", "/sessions", _encode_body(op.body)
-            )
+            status, payload = self.service.handle("POST", "/sessions", _encode_body(op.body))
             session_id = payload.get("session_id") if status == 201 else None
             self.directory.publish(op.session, session_id)
             return
         assert op.session is not None
         sid = self.directory.resolve(op.session)
         if op.kind == "session_edit":
-            self.service.handle(
-                "POST", f"/sessions/{sid}/edits", _encode_body(op.body)
-            )
+            self.service.handle("POST", f"/sessions/{sid}/edits", _encode_body(op.body))
         elif op.kind == "session_read":
             query = "?include_graphs=1" if op.include_graphs else ""
             self.service.handle("GET", f"/sessions/{sid}/result{query}", b"")
@@ -148,9 +144,7 @@ def record_trace(
     harness bug, not a serving violation).
     """
     recorder = HistoryRecorder()
-    service = ResolutionService(
-        system, config or harness_server_config(trace), recorder=recorder
-    )
+    service = ResolutionService(system, config or harness_server_config(trace), recorder=recorder)
     directory = SessionDirectory(trace.config.sessions)
     barrier = threading.Barrier(len(trace.programs))
     clients = [

@@ -82,6 +82,10 @@ class Operation:
     completed: Optional[int] = None
     status: Optional[int] = None
     response: Optional[dict[str, Any]] = None
+    #: Resolver worker index that served the operation under sharded
+    #: serving (``tecore serve --workers N``); None in-process.  Purely
+    #: diagnostic provenance — the checker never reads it.
+    worker: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -93,7 +97,7 @@ class Operation:
         return self.completed is not None and self.completed < other.invoked
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        entry = {
             "op_id": self.op_id,
             "kind": self.kind,
             "invoked": self.invoked,
@@ -103,6 +107,9 @@ class Operation:
             "status": self.status,
             "response": self.response,
         }
+        if self.worker is not None:
+            entry["worker"] = self.worker
+        return entry
 
     @classmethod
     def from_dict(cls, entry: dict[str, Any]) -> "Operation":
@@ -115,6 +122,7 @@ class Operation:
             completed=entry.get("completed"),
             status=entry.get("status"),
             response=entry.get("response"),
+            worker=entry.get("worker"),
         )
 
 

@@ -62,9 +62,7 @@ class TestExpectFindings:
         assert "E301" in capsys.readouterr().err
 
     def test_comma_separated_codes(self, capsys):
-        assert (
-            main(["lint", DEAD_RULE, SINGLETON, "--expect-findings", "E301,I105"]) == 0
-        )
+        assert (main(["lint", DEAD_RULE, SINGLETON, "--expect-findings", "E301,I105"]) == 0)
 
     def test_unknown_code_is_rejected(self, capsys):
         assert main(["lint", DEAD_RULE, "--expect-findings", "E999"]) == 1
@@ -74,8 +72,7 @@ class TestExpectFindings:
 class TestGraphAwareLinting:
     def test_dataset_enables_unknown_predicate_check(self, capsys):
         fixture = str(FIXTURES / "w205_unknown_predicate.dl")
-        assert main(["lint", fixture, "--dataset", "ranieri",
-                     "--expect-findings", "W205"]) == 0
+        assert main(["lint", fixture, "--dataset", "ranieri", "--expect-findings", "W205"]) == 0
 
     def test_without_a_graph_w205_stays_silent(self, capsys):
         fixture = str(FIXTURES / "w205_unknown_predicate.dl")

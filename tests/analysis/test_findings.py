@@ -49,9 +49,7 @@ class TestFinding:
         assert finding.render() == "warning W501 [a]: dup"
 
     def test_to_dict_span_shape(self):
-        finding = Finding(
-            code="E301", message="dead", span=SourceSpan(2, 1, 2, 9), source="x.dl"
-        )
+        finding = Finding(code="E301", message="dead", span=SourceSpan(2, 1, 2, 9), source="x.dl")
         payload = finding.to_dict()
         assert payload["span"] == {
             "line": 2,
@@ -111,6 +109,4 @@ class TestLintReport:
         assert len(payload["findings"]) == 3
 
     def test_render_ends_with_the_summary_line(self):
-        assert self._report().render().endswith(
-            "1 error(s), 1 warning(s), 1 info(s)"
-        )
+        assert self._report().render().endswith("1 error(s), 1 warning(s), 1 info(s)")

@@ -53,9 +53,7 @@ def test_the_fixture_directory_is_populated():
     } <= covered
 
 
-@pytest.mark.parametrize(
-    "path", _FIXTURE_FILES, ids=[path.stem for path in _FIXTURE_FILES]
-)
+@pytest.mark.parametrize("path", _FIXTURE_FILES, ids=[path.stem for path in _FIXTURE_FILES])
 def test_each_fixture_matches_its_filename(path: Path):
     report = _analyze(path)
     expected = _expected_code(path)
@@ -65,9 +63,7 @@ def test_each_fixture_matches_its_filename(path: Path):
         assert expected in report.codes(), report.render()
 
 
-@pytest.mark.parametrize(
-    "path", _FIXTURE_FILES, ids=[path.stem for path in _FIXTURE_FILES]
-)
+@pytest.mark.parametrize("path", _FIXTURE_FILES, ids=[path.stem for path in _FIXTURE_FILES])
 def test_findings_carry_spans_and_statements(path: Path):
     for finding in _analyze(path):
         assert finding.source == path.name

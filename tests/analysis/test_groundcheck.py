@@ -20,9 +20,7 @@ SOLVERS = ("branch-and-bound", "maxwalksat")
 
 
 def _atom(program: GroundProgram, name: str):
-    return program.add_atom(
-        make_fact(name, "p", "A", (1, 5), 0.9), is_evidence=True
-    )
+    return program.add_atom(make_fact(name, "p", "A", (1, 5), 0.9), is_evidence=True)
 
 
 def _direct_contradiction() -> GroundProgram:

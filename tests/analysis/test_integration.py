@@ -18,9 +18,7 @@ _DEAD = parse_program((FIXTURES / "e301_dead_rule.dl").read_text())
 
 
 def _dead_system(**kwargs) -> TeCoRe:
-    return TeCoRe(
-        rules=list(_DEAD.rules), constraints=list(_DEAD.constraints), **kwargs
-    )
+    return TeCoRe(rules=list(_DEAD.rules), constraints=list(_DEAD.constraints), **kwargs)
 
 
 class TestTranslatorHook:
@@ -31,13 +29,9 @@ class TestTranslatorHook:
         assert "E301" in report.codes()
 
     def test_graph_aware_lint_adds_schema_checks(self):
-        parsed = parse_program(
-            "c: quad(x, fliesTo, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
-        )
+        parsed = parse_program("c: quad(x, fliesTo, y, t) & quad(x, coach, z, t2) -> before(t, t2)")
         translator = TecoreTranslator()
-        report = translator.lint_program(
-            parsed.rules, parsed.constraints, ranieri_graph()
-        )
+        report = translator.lint_program(parsed.rules, parsed.constraints, ranieri_graph())
         assert "W205" in report.codes()
 
 
@@ -85,9 +79,7 @@ class TestServeBoot:
             ResolutionService(_dead_system(), ServerConfig(batch_delay=0.001))
 
     def test_lint_off_boots_the_same_program(self):
-        service = ResolutionService(
-            _dead_system(), ServerConfig(batch_delay=0.001, lint="off")
-        )
+        service = ResolutionService(_dead_system(), ServerConfig(batch_delay=0.001, lint="off"))
         try:
             status, payload = service.handle("GET", "/healthz", b"")
             assert status == 200

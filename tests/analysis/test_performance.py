@@ -36,9 +36,7 @@ class _UnknownCondition(ConditionAtom):
 
 class TestVariablePredicate:
     def test_w601_text_program(self):
-        report = lint(
-            "c: quad(x, p, y, t) & quad(x, p, z, t2) & y != z -> disjoint(t, t2)"
-        )
+        report = lint("c: quad(x, p, y, t) & quad(x, p, z, t2) & y != z -> disjoint(t, t2)")
         assert "W601" in codes_of(report)
 
     def test_w601_builder_constraint_mirrors_fallback_parity(self):
@@ -54,8 +52,7 @@ class TestVariablePredicate:
 
     def test_constant_predicates_do_not_fire_w601(self):
         report = lint(
-            "c: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z "
-            "-> disjoint(t, t2)"
+            "c: quad(x, coach, y, t) & quad(x, coach, z, t2) & y != z " "-> disjoint(t, t2)"
         )
         assert "W601" not in codes_of(report)
 
@@ -75,8 +72,7 @@ class TestPerRowConditions:
 
     def test_vectorizable_conditions_are_clean(self):
         report = lint(
-            "r: quad(x, coach, y, t) & duration(t) >= 3 "
-            "-> quad(x, headCoach, y, t) w=1.0"
+            "r: quad(x, coach, y, t) & duration(t) >= 3 " "-> quad(x, headCoach, y, t) w=1.0"
         )
         assert "W602" not in codes_of(report)
 
@@ -120,24 +116,19 @@ class TestHeadInterval:
 
 class TestCrossProduct:
     def test_w604_disconnected_body_groups(self):
-        report = lint(
-            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)"
-        )
+        report = lint("c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)")
         assert "W604" in codes_of(report)
 
     def test_body_conditions_connect_groups(self):
         report = lint(
-            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) & overlaps(t, t2) "
-            "-> x = a"
+            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) & overlaps(t, t2) " "-> x = a"
         )
         assert "W604" not in codes_of(report)
 
     def test_head_conditions_do_not_connect_groups(self):
         # disjoint(t, t2) is only *checked* on enumerated matches; it cannot
         # shrink the cross product, so the lint still fires.
-        report = lint(
-            "c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)"
-        )
+        report = lint("c: quad(x, coach, y, t) & quad(a, playsFor, b, t2) -> disjoint(t, t2)")
         assert "W604" in codes_of(report)
 
 

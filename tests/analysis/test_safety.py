@@ -27,15 +27,11 @@ class TestUnsafeVariables:
         assert "E101" in codes_of(report)
 
     def test_e101_head_interval_argument_not_in_body(self):
-        report = lint(
-            "r: quad(x, p, y, t) -> quad(x, p, y, intersection(t, t9)) w=1.0"
-        )
+        report = lint("r: quad(x, p, y, t) -> quad(x, p, y, intersection(t, t9)) w=1.0")
         assert "E101" in codes_of(report)
 
     def test_e102_condition_over_unbound_variable(self):
-        report = lint(
-            "c: quad(x, p, y, t) & quad(x, p, z, t2) & before(t, t9) -> y = z"
-        )
+        report = lint("c: quad(x, p, y, t) & quad(x, p, z, t2) & before(t, t9) -> y = z")
         assert "E102" in codes_of(report)
 
     def test_safe_rule_is_clean(self):
@@ -50,9 +46,7 @@ class TestStructuralCodes:
 
     def test_e104_trivial_denial(self):
         base = _unit("c: quad(x, p, y, t) & quad(x, q, y, t2) -> before(t, t2)")
-        unit = dataclasses.replace(
-            base, body=base.body[:1], conditions=(), head_conditions=()
-        )
+        unit = dataclasses.replace(base, body=base.body[:1], conditions=(), head_conditions=())
         assert "E104" in check_safety(unit).codes()
 
     def test_two_atom_denial_is_not_e104(self):
@@ -65,9 +59,7 @@ class TestStructuralCodes:
 
 class TestSingletons:
     def test_i105_flags_each_singleton_once(self):
-        report = lint(
-            "c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
-        )
+        report = lint("c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)")
         flagged = [f for f in report if f.code == "I105"]
         assert sorted(f.message.split()[1] for f in flagged) == ["y", "z"]
 
@@ -77,9 +69,7 @@ class TestSingletons:
         assert "I105" not in codes_of(report)
 
     def test_i105_is_info_so_it_never_gates(self):
-        report = lint(
-            "c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)"
-        )
+        report = lint("c: quad(x, playsFor, y, t) & quad(x, coach, z, t2) -> before(t, t2)")
         assert report.ok(strict=True)
 
 

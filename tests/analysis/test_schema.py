@@ -20,28 +20,22 @@ class TestSortClashes:
         assert "E201" in codes_of(report)
 
     def test_e202_allen_over_entity_variable(self):
-        report = lint(
-            "c: quad(x, coach, y, t) & quad(x, coach, z, t2) & before(x, t) -> y = z"
-        )
+        report = lint("c: quad(x, coach, y, t) & quad(x, coach, z, t2) & before(x, t) -> y = z")
         assert "E202" in codes_of(report)
 
     def test_e203_term_equality_over_interval_variable(self):
         report = lint(
-            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & t != t2 "
-            "-> before(t, t2)"
+            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & t != t2 " "-> before(t, t2)"
         )
         assert "E203" in codes_of(report)
 
     def test_e204_interval_accessor_over_entity_variable(self):
-        report = lint(
-            "r: quad(x, coach, y, t) & start(x) < 1990 -> quad(x, veteran, y, t) w=1.0"
-        )
+        report = lint("r: quad(x, coach, y, t) & start(x) < 1990 -> quad(x, veteran, y, t) w=1.0")
         assert "E204" in codes_of(report)
 
     def test_clean_temporal_conditions_pass(self):
         report = lint(
-            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & duration(t) >= 3 "
-            "-> before(t, t2)"
+            "c: quad(x, coach, y, t) & quad(x, coach, y, t2) & duration(t) >= 3 " "-> before(t, t2)"
         )
         assert not [code for code in codes_of(report) if code.startswith("E2")]
 

@@ -25,9 +25,7 @@ class TestDeadBodies:
         assert "E301" in codes_of(report)
 
     def test_e301_statically_false_equality(self):
-        report = lint(
-            "r: quad(x, bornIn, y, t) & x != x -> quad(x, type, Roman, t) w=1.0"
-        )
+        report = lint("r: quad(x, bornIn, y, t) & x != x -> quad(x, type, Roman, t) w=1.0")
         assert "E301" in codes_of(report)
 
     def test_satisfiable_conditions_are_clean(self):
@@ -49,25 +47,20 @@ class TestDeadBodies:
 class TestConstraintHeads:
     def test_w302_tautological_constraint(self):
         report = lint(
-            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) "
-            "-> before(t, t2)"
+            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) " "-> before(t, t2)"
         )
         assert "W302" in codes_of(report)
 
     def test_w303_denial_in_disguise(self):
         report = lint(
-            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) "
-            "-> before(t2, t)"
+            "c: quad(x, a1, y, t) & quad(x, a2, y, t2) & before(t, t2) " "-> before(t2, t)"
         )
         flagged = [f for f in report if f.code == "W303"]
         assert len(flagged) == 1
         assert "denial" in flagged[0].hint
 
     def test_plain_refutable_constraint_is_clean(self):
-        report = lint(
-            "c: quad(x, birthDate, b, t) & quad(x, deathDate, d, t2) "
-            "-> before(t, t2)"
-        )
+        report = lint("c: quad(x, birthDate, b, t) & quad(x, deathDate, d, t2) " "-> before(t, t2)")
         assert not {"W302", "W303"} & set(codes_of(report))
 
 
@@ -83,9 +76,7 @@ class TestRedundancy:
         assert "before(t, t3)" in flagged[0].message
 
     def test_i304_always_true_equality(self):
-        report = lint(
-            "r: quad(x, a1, y, t) & x = x -> quad(x, type, Ok, t) w=1.0"
-        )
+        report = lint("r: quad(x, a1, y, t) & x = x -> quad(x, type, Ok, t) w=1.0")
         assert "I304" in codes_of(report)
 
     def test_independent_conditions_are_not_redundant(self):

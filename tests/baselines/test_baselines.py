@@ -90,7 +90,9 @@ class TestStaticResolver:
         constraints = sports_pack().constraints
         temporal = GreedyResolver().resolve(small_noisy_footballdb.graph, constraints)
         static = StaticResolver().resolve(small_noisy_footballdb.graph, constraints)
-        quality_temporal = repair_quality(temporal.removed_facts, small_noisy_footballdb.noise_facts)
+        quality_temporal = repair_quality(
+            temporal.removed_facts, small_noisy_footballdb.noise_facts
+        )
         quality_static = repair_quality(static.removed_facts, small_noisy_footballdb.noise_facts)
         assert quality_static.precision < quality_temporal.precision
 

@@ -26,9 +26,7 @@ class TestResolveBatch:
 
     def test_results_in_input_order(self, system, graphs):
         batch = system.resolve_batch(graphs)
-        assert [result.input_graph.name for result in batch] == [
-            graph.name for graph in graphs
-        ]
+        assert [result.input_graph.name for result in batch] == [graph.name for graph in graphs]
         assert batch[1].input_graph is graphs[1]
 
     def test_matches_individual_resolve(self, system, graphs):
@@ -53,9 +51,7 @@ class TestResolveBatch:
     def test_aggregates(self, system, graphs):
         batch = system.resolve_batch(graphs)
         assert batch.total_input_facts == sum(len(graph) for graph in graphs)
-        assert batch.total_removed_facts == sum(
-            result.statistics.removed_facts for result in batch
-        )
+        assert batch.total_removed_facts == sum(result.statistics.removed_facts for result in batch)
         assert batch.total_violations >= 3  # one per ranieri-style graph
         assert batch.runtime_seconds > 0
         assert batch.graphs_per_second > 0

@@ -8,7 +8,13 @@ translator."  Here we register a toy solver and run the full pipeline on it.
 import pytest
 
 from repro import TeCoRe
-from repro.core import available_solvers, describe_solvers, make_solver, register_solver, solver_family
+from repro.core import (
+    available_solvers,
+    describe_solvers,
+    make_solver,
+    register_solver,
+    solver_family,
+)
 from repro.core.registry import _REGISTRY
 from repro.logic import running_example_constraints, running_example_rules
 from repro.solvers import MAPSolution, MAPSolver, MLN_CAPABILITIES, SolverStats

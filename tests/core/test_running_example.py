@@ -80,4 +80,6 @@ class TestConflictExplanation:
         result = running_example_system.resolve(ranieri)
         inferred_predicates = {str(fact.predicate) for fact in result.inferred_facts}
         assert "worksFor" in inferred_predicates
-        assert len(result.expanded_graph) == len(result.consistent_graph) + len(result.inferred_facts)
+        assert len(result.expanded_graph) == len(result.consistent_graph) + len(
+            result.inferred_facts
+        )

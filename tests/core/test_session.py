@@ -206,8 +206,9 @@ class TestIncrementalBatch:
         variant = base.copy(name="ranieri-edited")
         variant.remove(NAPOLI)
         variant.add(LEICESTER)
-        batch = pack_system.resolve_batch([base, variant, base.copy(name="ranieri-back")],
-                                          incremental=True)
+        batch = pack_system.resolve_batch(
+            [base, variant, base.copy(name="ranieri-back")], incremental=True
+        )
         assert len(batch) == 3
         assert [result.input_graph.name for result in batch] == [
             "ranieri",

@@ -17,8 +17,8 @@ from repro.logic import constraint_c2
 @pytest.fixture
 def overlapping_coaches():
     graph = TemporalKnowledgeGraph(name="soft")
-    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))   # log-odds ≈ 2.20
-    graph.add(("CR", "coach", "Napoli", (2001, 2003), 0.6))    # log-odds ≈ 0.41
+    graph.add(("CR", "coach", "Chelsea", (2000, 2004), 0.9))  # log-odds ≈ 2.20
+    graph.add(("CR", "coach", "Napoli", (2001, 2003), 0.6))  # log-odds ≈ 0.41
     return graph
 
 

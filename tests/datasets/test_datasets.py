@@ -141,7 +141,9 @@ class TestNoiseInjection:
 
 class TestRegistry:
     def test_available_datasets(self):
-        assert set(available_datasets()) == {"ranieri", "ranieri-extended", "footballdb", "wikidata"}
+        assert set(available_datasets()) == {
+            "ranieri", "ranieri-extended", "footballdb", "wikidata"
+        }
 
     def test_load_by_name_with_parameters(self):
         dataset = load_dataset("footballdb", scale=0.005, noise_ratio=0.2, seed=1)

@@ -48,9 +48,7 @@ class TestParsing:
 
     def test_consecutive_resolves_yield_no_empty_steps(self):
         steps = list(
-            iter_change_steps(
-                ["resolve", "+ A p B [1,2] 0.5", "resolve", "resolve", "RESOLVE"]
-            )
+iter_change_steps(["resolve", "+ A p B [1,2] 0.5", "resolve", "resolve", "RESOLVE"])
         )
         assert len(steps) == 1
         assert len(steps[0].adds) == 1

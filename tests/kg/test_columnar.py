@@ -82,9 +82,7 @@ class TestColumnarFactStore:
     def test_iter_facts_covers_everything(self):
         facts = sample_facts()
         store = ColumnarFactStore(facts)
-        assert {f.statement_key for f in store.iter_facts()} == {
-            f.statement_key for f in facts
-        }
+        assert {f.statement_key for f in store.iter_facts()} == {f.statement_key for f in facts}
 
 
 class TestMergeJoin:
@@ -96,10 +94,7 @@ class TestMergeJoin:
         left_index, right_index = merge_join(left, right)
         got = sorted(zip(left_index.tolist(), right_index.tolist()))
         expected = sorted(
-            (i, j)
-            for i in range(len(left))
-            for j in range(len(right))
-            if left[i] == right[j]
+            (i, j) for i in range(len(left)) for j in range(len(right)) if left[i] == right[j]
         )
         assert got == expected
 
@@ -166,10 +161,7 @@ class TestCompositeKeys:
         left_cols = [c.copy() for c in columns]
         # Right side: a shuffled copy of the left rows plus fresh rows.
         perm = rng.permutation(rows)
-        right_cols = [
-            np.concatenate([c[perm], rng.integers(0, huge, size=rows)])
-            for c in columns
-        ]
+        right_cols = [np.concatenate([c[perm], rng.integers(0, huge, size=rows)]) for c in columns]
         left, right = composite_keys(left_cols, right_cols)
         left_tuples = list(zip(*(c.tolist() for c in left_cols)))
         right_tuples = list(zip(*(c.tolist() for c in right_cols)))

@@ -79,9 +79,7 @@ class TestMarkAcrossRemovals:
         graph.remove(FACT)
         readded = graph.add(FACT)
         assert keys(graph.iter_matching(since=mark)) == {readded.statement_key}
-        assert keys(graph.iter_matching(before=mark)) == {
-            make_fact(*OTHER).statement_key
-        }
+        assert keys(graph.iter_matching(before=mark)) == {make_fact(*OTHER).statement_key}
 
     def test_pattern_delta_combination(self):
         graph = TemporalKnowledgeGraph(name="pattern")
@@ -132,9 +130,7 @@ class TestCopyPreservesDeltaViews:
         assert clone.mark() == graph.mark()
         for fact in graph:
             assert clone.added_at(fact) == graph.added_at(fact)
-        assert keys(clone.iter_matching(since=mark)) == keys(
-            graph.iter_matching(since=mark)
-        )
+        assert keys(clone.iter_matching(since=mark)) == keys(graph.iter_matching(since=mark))
 
     def test_copy_is_independent_after_mutation(self):
         graph = TemporalKnowledgeGraph(name="original")

@@ -25,5 +25,9 @@ class TestPattern:
 
     def test_combined_filters(self):
         fact = make_fact("CR", "coach", "Chelsea", (2000, 2004))
-        assert Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Chelsea")).matches(fact)
-        assert not Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Napoli")).matches(fact)
+        assert Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Chelsea")).matches(
+            fact
+        )
+        assert not Pattern(subject=IRI("CR"), predicate=IRI("coach"), object=IRI("Napoli")).matches(
+            fact
+        )

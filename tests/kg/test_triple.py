@@ -64,7 +64,9 @@ class TestFactProperties:
         assert first.statement_key == second.statement_key
 
     def test_statement_key_distinguishes_intervals(self):
-        assert make_fact("a", "p", "b", (1, 2)).statement_key != make_fact("a", "p", "b", (1, 3)).statement_key
+        assert make_fact("a", "p", "b", (1, 2)).statement_key != make_fact(
+            "a", "p", "b", (1, 3)
+        ).statement_key
 
     def test_log_weight_symmetry(self):
         high = make_fact("a", "p", "b", (1, 2), 0.9).log_weight

@@ -34,7 +34,9 @@ class TestQuadAtomMatch:
         assert atom.match(coach_fact, bound) is None
 
     def test_match_with_constant_object(self, coach_fact):
-        assert quad("x", "coach", "Chelsea", "t").match(coach_fact, Substitution.empty()) is not None
+        assert quad("x", "coach", "Chelsea", "t").match(
+            coach_fact, Substitution.empty()
+        ) is not None
         assert quad("x", "coach", "Arsenal", "t").match(coach_fact, Substitution.empty()) is None
 
     def test_match_with_fixed_interval(self, coach_fact):

@@ -101,9 +101,7 @@ class TestDecompositionProperties:
         in_clause = set()
         for clause in program.clauses:
             in_clause.update(index for index, _ in clause.literals)
-        expected = {
-            component for component in bfs_components(adjacency) if component & in_clause
-        }
+        expected = {component for component in bfs_components(adjacency) if component & in_clause}
         actual = {frozenset(component.atom_indices) for component in decomposition.components}
         assert actual == expected
         assert set(decomposition.unconstrained) == set(adjacency) - in_clause

@@ -97,7 +97,9 @@ class TestGrounderRunningExample:
 
     def test_rule_f1_fires(self, running_example_grounding):
         derived = running_example_grounding.derived_facts()
-        assert any(str(fact.predicate) == "worksFor" and str(fact.object) == "Palermo" for fact in derived)
+        assert any(
+            str(fact.predicate) == "worksFor" and str(fact.object) == "Palermo" for fact in derived
+        )
 
     def test_clause_kinds(self, running_example_grounding):
         program = running_example_grounding.program

@@ -44,7 +44,9 @@ class TestRunningExampleDefinitions:
 
     def test_running_example_sets(self):
         assert [rule.name for rule in running_example_rules()] == ["f1", "f2", "f3"]
-        assert [constraint.name for constraint in running_example_constraints()] == ["c1", "c2", "c3"]
+        assert [constraint.name for constraint in running_example_constraints()] == [
+            "c1", "c2", "c3"
+        ]
 
 
 class TestPacks:

@@ -36,7 +36,13 @@ class TestTemporalRule:
         assert rule.predicates() == {"playsFor", "worksFor"}
 
     def test_hard_rule(self):
-        rule = RuleBuilder("r").body(quad("x", "hasP", "y", "t")).head(quad("x", "hasQ", "y", "t")).hard().build()
+        rule = (
+            RuleBuilder("r")
+            .body(quad("x", "hasP", "y", "t"))
+            .head(quad("x", "hasQ", "y", "t"))
+            .hard()
+            .build()
+        )
         assert rule.is_hard
 
     def test_empty_body_rejected(self):
@@ -45,7 +51,8 @@ class TestTemporalRule:
 
     def test_unsafe_head_variable_rejected(self):
         with pytest.raises(UnsafeRuleError):
-            RuleBuilder("bad").body(quad("x", "hasP", "y", "t")).head(quad("x", "hasQ", "z", "t")).build()
+            builder = RuleBuilder("bad").body(quad("x", "hasP", "y", "t"))
+            builder.head(quad("x", "hasQ", "z", "t")).build()
 
     def test_unsafe_condition_variable_rejected(self):
         with pytest.raises(UnsafeRuleError):
@@ -67,7 +74,12 @@ class TestTemporalRule:
         assert rule.head_interval_for(Substitution.empty()) == TimeInterval(1990, 1999)
 
     def test_head_interval_from_body_variable(self):
-        rule = RuleBuilder("f1").body(quad("x", "hasP", "y", "t")).head(quad("x", "hasQ", "y", "t")).build()
+        rule = (
+            RuleBuilder("f1")
+            .body(quad("x", "hasP", "y", "t"))
+            .head(quad("x", "hasQ", "y", "t"))
+            .build()
+        )
         substitution = Substitution.of({var("t"): TimeInterval(2000, 2004)})
         assert rule.head_interval_for(substitution) == TimeInterval(2000, 2004)
 
@@ -96,7 +108,13 @@ class TestTemporalRule:
         assert rule.head_interval_for(substitution) is None
 
     def test_str_includes_weight(self):
-        rule = RuleBuilder("f1").body(quad("x", "hasP", "y", "t")).head(quad("x", "hasQ", "y", "t")).weight(2.5).build()
+        rule = (
+            RuleBuilder("f1")
+            .body(quad("x", "hasP", "y", "t"))
+            .head(quad("x", "hasQ", "y", "t"))
+            .weight(2.5)
+            .build()
+        )
         assert "2.5" in str(rule)
         assert "f1" in str(rule)
 
@@ -169,8 +187,12 @@ class TestTemporalConstraint:
             .hard()
             .build()
         )
-        ok = Substitution.of({var("t"): TimeInterval(1951, 2017), var("t2"): TimeInterval(1984, 1986)})
-        bad = Substitution.of({var("t"): TimeInterval(1990, 2017), var("t2"): TimeInterval(1984, 1986)})
+        ok = Substitution.of(
+            {var("t"): TimeInterval(1951, 2017), var("t2"): TimeInterval(1984, 1986)}
+        )
+        bad = Substitution.of(
+            {var("t"): TimeInterval(1990, 2017), var("t2"): TimeInterval(1984, 1986)}
+        )
         assert not constraint.violated_by(ok)
         assert constraint.violated_by(bad)
 

@@ -74,9 +74,19 @@ class TestIntervalProperties:
 
 
 class TestGraphProperties:
-    @given(st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("pq"),
-                              st.sampled_from("xyz"), intervals, confidences),
-                    min_size=0, max_size=20))
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from("abcd"),
+                st.sampled_from("pq"),
+                st.sampled_from("xyz"),
+                intervals,
+                confidences,
+            ),
+            min_size=0,
+            max_size=20,
+        )
+    )
     def test_graph_deduplicates_statements(self, rows):
         graph = TemporalKnowledgeGraph()
         facts = [make_fact(s, f"rel{p}", o, interval, c) for s, p, o, interval, c in rows]
@@ -148,8 +158,7 @@ program_data = st.fixed_dictionaries(
     }
 ).filter(
     lambda data: all(
-        i < len(data["confidences"]) and j < len(data["confidences"])
-        for i, j in data["conflicts"]
+        i < len(data["confidences"]) and j < len(data["confidences"]) for i, j in data["conflicts"]
     )
 )
 

@@ -35,7 +35,11 @@ _people = st.sampled_from(["CR", "JM", "PG"])
 def _build_graph(person, spells):
     graph = TemporalKnowledgeGraph(name="prop")
     for club, start, length, confidence in spells:
-        graph.add(make_fact(person, "coach", club, TimeInterval(start, start + length), round(confidence, 2)))
+        graph.add(
+            make_fact(
+                person, "coach", club, TimeInterval(start, start + length), round(confidence, 2)
+            )
+        )
     return graph
 
 

@@ -119,9 +119,7 @@ class TestArraySearchState:
     def test_object_and_array_kernels_agree(self, seed, flips):
         program = random_ground_program(seed, entities=3)
         arrays = GroundProgramArrays.from_program(program)
-        object_state = _SearchState(
-            program, [True] * program.num_atoms, HARD_WEIGHT, debug=True
-        )
+        object_state = _SearchState(program, [True] * program.num_atoms, HARD_WEIGHT, debug=True)
         array_state = ArraySearchState(
             arrays, np.ones(program.num_atoms, dtype=bool), HARD_WEIGHT, debug=True
         )

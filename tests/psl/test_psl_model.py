@@ -11,7 +11,9 @@ class TestPSLProgram:
         assert program.num_formulas == 2
 
     def test_ground_validates_expressivity(self, ranieri):
-        program = PSLProgram(rules=running_example_rules(), constraints=running_example_constraints())
+        program = PSLProgram(
+            rules=running_example_rules(), constraints=running_example_constraints()
+        )
         result = program.ground(ranieri)
         assert result.program.num_atoms >= len(ranieri)
         assert len(result.violations) == 1

@@ -27,7 +27,9 @@ def _conflict_program():
     free = program.add_atom(make_fact("x", "birthDate", 1950, (1950, 2000), 0.8), is_evidence=True)
     for atom in (strong, weak, free):
         program.add_clause([(atom.index, True)], atom.fact.log_weight, ClauseKind.EVIDENCE, "e")
-    program.add_clause([(strong.index, False), (weak.index, False)], None, ClauseKind.CONSTRAINT, "c2")
+    program.add_clause(
+        [(strong.index, False), (weak.index, False)], None, ClauseKind.CONSTRAINT, "c2"
+    )
     return program, strong, weak, free
 
 

@@ -45,8 +45,7 @@ def submit_all(batcher, items, timeout=30.0):
             errors[index] = exc
 
     threads = [
-        threading.Thread(target=worker, args=(index, item))
-        for index, item in enumerate(items)
+        threading.Thread(target=worker, args=(index, item)) for index, item in enumerate(items)
     ]
     for thread in threads:
         thread.start()
@@ -75,7 +74,9 @@ class TestMicroBatcher:
 
     def test_flush_on_deadline(self):
         resolver = StubResolver()
-        batcher = MicroBatcher(resolver, max_batch=100, max_delay=0.05, coalesce=False, cache_size=0)
+        batcher = MicroBatcher(
+            resolver, max_batch=100, max_delay=0.05, coalesce=False, cache_size=0
+        )
         try:
             results, errors = submit_all(batcher, ["a", "b"])
             assert errors == [None, None]
@@ -105,9 +106,7 @@ class TestMicroBatcher:
         resolver = StubResolver()
         batcher = MicroBatcher(resolver, max_batch=2, max_delay=1.0, coalesce=True)
         try:
-            results, errors = submit_all(
-                batcher, [ranieri_graph(), ranieri_extended_graph()]
-            )
+            results, errors = submit_all(batcher, [ranieri_graph(), ranieri_extended_graph()])
             assert errors == [None, None]
             assert results[0] is not results[1]
             assert batcher.snapshot()["coalesced"] == 0
@@ -128,10 +127,7 @@ class TestMicroBatcher:
             # Hold the flush worker so the queue can only grow: backpressure
             # becomes deterministic instead of racing the batching window.
             batcher.pause()
-            fillers = [
-                threading.Thread(target=batcher.submit, args=(item,))
-                for item in ("a", "b")
-            ]
+            fillers = [threading.Thread(target=batcher.submit, args=(item,)) for item in ("a", "b")]
             for thread in fillers:
                 thread.start()
             assert batcher.wait_for_queue_depth(2)
@@ -162,9 +158,7 @@ class TestMicroBatcher:
 
     def test_response_cache_serves_repeats_without_resolving(self):
         resolver = StubResolver()
-        batcher = MicroBatcher(
-            resolver, max_batch=1, max_delay=0.01, coalesce=True, cache_size=8
-        )
+        batcher = MicroBatcher(resolver, max_batch=1, max_delay=0.01, coalesce=True, cache_size=8)
         try:
             graph = ranieri_graph()
             first = batcher.submit(graph)
@@ -180,9 +174,7 @@ class TestMicroBatcher:
 
     def test_response_cache_disabled_resolves_every_repeat(self):
         resolver = StubResolver()
-        batcher = MicroBatcher(
-            resolver, max_batch=1, max_delay=0.01, coalesce=True, cache_size=0
-        )
+        batcher = MicroBatcher(resolver, max_batch=1, max_delay=0.01, coalesce=True, cache_size=0)
         try:
             batcher.submit(ranieri_graph())
             batcher.submit(ranieri_graph())
@@ -234,9 +226,7 @@ class TestSessionPool:
         pool = SessionPool(system, max_sessions=4)
         entry = pool.create(ranieri_graph())
         with entry.lock:
-            entry.session.apply(
-                removes=[("CR", "coach", "Napoli", (2001, 2003))]
-            )
+            entry.session.apply(removes=[("CR", "coach", "Napoli", (2001, 2003))])
             entry.edits_applied += 1
         snapshot = pool.snapshot()
         assert snapshot["active"] == 1

@@ -31,9 +31,7 @@ class TestHealthAndStats:
         assert payload["solver"] == "nrockit"
         assert payload["sessions"] == 0
 
-    def test_stats_reports_endpoints_batcher_and_sessions(
-        self, system, server_factory, client
-    ):
+    def test_stats_reports_endpoints_batcher_and_sessions(self, system, server_factory, client):
         server = server_factory(system)
         client(server, "POST", "/resolve", {"graph": json_io.to_dict(ranieri_graph())})
         client(server, "POST", "/sessions", {"graph": json_io.to_dict(ranieri_graph())})
@@ -52,9 +50,7 @@ class TestHealthAndStats:
         assert status == 404
         assert "error" in payload
 
-    def test_unroutable_paths_share_one_metrics_bucket(
-        self, system, server_factory, client
-    ):
+    def test_unroutable_paths_share_one_metrics_bucket(self, system, server_factory, client):
         # A crawler must not grow the per-endpoint recorder map unboundedly.
         server = server_factory(system)
         for path in ("/a", "/b", "/c"):
@@ -82,14 +78,10 @@ class TestHealthAndStats:
 
 
 class TestResolveEndpoint:
-    def test_single_resolve_matches_direct_resolution(
-        self, system, server_factory, client
-    ):
+    def test_single_resolve_matches_direct_resolution(self, system, server_factory, client):
         server = server_factory(system)
         graph = ranieri_graph()
-        status, payload = client(
-            server, "POST", "/resolve", {"graph": json_io.to_dict(graph)}
-        )
+        status, payload = client(server, "POST", "/resolve", {"graph": json_io.to_dict(graph)})
         assert status == 200
         assert stable(payload) == stable(encode_result(system.resolve(graph)))
 
@@ -109,9 +101,7 @@ class TestResolveEndpoint:
         assert payload["consistent_graph"] == json_io.to_dict(direct)
         assert payload["expanded_graph"]["facts"]  # inferred facts included
 
-    def test_concurrent_resolves_are_bit_identical(
-        self, system, server_factory, client
-    ):
+    def test_concurrent_resolves_are_bit_identical(self, system, server_factory, client):
         server = server_factory(system, max_batch=4, batch_delay=0.05)
         graphs = [ranieri_graph(), ranieri_extended_graph()]
         expected = [stable(encode_result(system.resolve(graph))) for graph in graphs]
@@ -119,9 +109,7 @@ class TestResolveEndpoint:
 
         def worker(index):
             graph = graphs[index % 2]
-            status, payload = client(
-                server, "POST", "/resolve", {"graph": json_io.to_dict(graph)}
-            )
+            status, payload = client(server, "POST", "/resolve", {"graph": json_io.to_dict(graph)})
             outcomes[index] = (status, stable(payload) == expected[index % 2])
 
         threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
@@ -173,23 +161,16 @@ class TestResolveEndpoint:
     def test_malformed_requests_are_400(self, system, server_factory, client):
         server = server_factory(system)
         assert client(server, "POST", "/resolve", {"no": "graph"})[0] == 400
-        assert (
-            client(server, "POST", "/resolve", {"graph": {"facts": [{"s": "x"}]}})[0]
-            == 400
-        )
+        assert (client(server, "POST", "/resolve", {"graph": {"facts": [{"s": "x"}]}})[0] == 400)
 
 
 class TestSessionEndpoints:
     NAPOLI = {"s": "CR", "p": "coach", "o": "Napoli", "interval": [2001, 2003]}
 
-    def test_session_lifecycle_matches_direct_session(
-        self, system, server_factory, client
-    ):
+    def test_session_lifecycle_matches_direct_session(self, system, server_factory, client):
         server = server_factory(system)
         graph = ranieri_graph()
-        status, created = client(
-            server, "POST", "/sessions", {"graph": json_io.to_dict(graph)}
-        )
+        status, created = client(server, "POST", "/sessions", {"graph": json_io.to_dict(graph)})
         assert status == 201
         sid = created["session_id"]
 
@@ -216,7 +197,9 @@ class TestSessionEndpoints:
     def test_unknown_session_is_404(self, system, server_factory, client):
         server = server_factory(system)
         assert client(server, "GET", "/sessions/deadbeef/result")[0] == 404
-        assert client(server, "POST", "/sessions/deadbeef/edits", {"removes": [self.NAPOLI]})[0] == 404
+        assert client(server, "POST", "/sessions/deadbeef/edits", {"removes": [self.NAPOLI]})[
+            0
+        ] == 404
         assert client(server, "DELETE", "/sessions/deadbeef")[0] == 404
 
     def test_empty_edit_request_is_400(self, system, server_factory, client):
@@ -226,24 +209,24 @@ class TestSessionEndpoints:
         )
         sid = created["session_id"]
         assert client(server, "POST", f"/sessions/{sid}/edits", {})[0] == 400
-        assert (
-            client(server, "POST", f"/sessions/{sid}/edits", {"adds": "nope"})[0] == 400
-        )
+        assert (client(server, "POST", f"/sessions/{sid}/edits", {"adds": "nope"})[0] == 400)
 
-    def test_interleaved_edits_are_serialised_per_session(
-        self, system, server_factory, client
-    ):
+    def test_interleaved_edits_are_serialised_per_session(self, system, server_factory, client):
         server = server_factory(system)
         graph = ranieri_graph()
-        _, created = client(
-            server, "POST", "/sessions", {"graph": json_io.to_dict(graph)}
-        )
+        _, created = client(server, "POST", "/sessions", {"graph": json_io.to_dict(graph)})
         sid = created["session_id"]
 
         # Disjoint intervals: the added facts conflict with nothing, so the
         # expected MAP state is independent of the edit arrival order.
         added = [
-            {"s": "CR", "p": "coach", "o": f"Club{i}", "interval": [2020 + 10 * i, 2025 + 10 * i], "confidence": 0.8}
+            {
+                "s": "CR",
+                "p": "coach",
+                "o": f"Club{i}",
+                "interval": [2020 + 10 * i, 2025 + 10 * i],
+                "confidence": 0.8,
+            }
             for i in range(6)
         ]
         statuses = [None] * len(added)
@@ -269,7 +252,11 @@ class TestSessionEndpoints:
         for entry in added:
             final.add(
                 make_fact(
-                    entry["s"], entry["p"], entry["o"], tuple(entry["interval"]), entry["confidence"]
+                    entry ["s"],
+                    entry ["p"],
+                    entry ["o"],
+                    tuple (entry ["interval"]),
+                    entry ["confidence"],
                 )
             )
         expected = system.session(final).result
@@ -320,8 +307,6 @@ class TestServeCommand:
     def test_cli_serve_bad_tuning_values_report_error(self, capsys):
         from repro.cli import main
 
-        exit_code = main(
-            ["serve", "--pack", "running-example", "--port", "0", "--batch-max", "0"]
-        )
+        exit_code = main(["serve", "--pack", "running-example", "--port", "0", "--batch-max", "0"])
         assert exit_code == 1
         assert "max_batch" in capsys.readouterr().err

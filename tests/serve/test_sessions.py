@@ -46,9 +46,7 @@ def _edit_body(index: int) -> bytes:
 
 @pytest.fixture
 def service(system):
-    service = ResolutionService(
-        system, ServerConfig(max_sessions=2, batch_delay=0.001)
-    )
+    service = ResolutionService(system, ServerConfig(max_sessions=2, batch_delay=0.001))
     yield service
     service.close()
 
@@ -165,9 +163,7 @@ class TestEvictionUnderConcurrentEdit:
 
         def writer():
             for index in range(30):
-                status, _ = service.handle(
-                    "POST", f"/sessions/{sid}/edits", _edit_body(index)
-                )
+                status, _ = service.handle("POST", f"/sessions/{sid}/edits", _edit_body(index))
                 results.append(status)
             stop.set()
 
@@ -199,17 +195,13 @@ class TestEvictionVersusWal:
     def _durable_service(self, system, wal_dir, max_sessions):
         return ResolutionService(
             system,
-            ServerConfig(
-                wal_dir=str(wal_dir), max_sessions=max_sessions, batch_delay=0.001
-            ),
+            ServerConfig(wal_dir=str(wal_dir), max_sessions=max_sessions, batch_delay=0.001),
         )
 
     def test_evicted_session_is_recoverable_from_the_log(self, system, tmp_path):
         service = self._durable_service(system, tmp_path, max_sessions=2)
         first = _create_session(service)
-        assert (
-            service.handle("POST", f"/sessions/{first}/edits", _edit_body(1))[0] == 200
-        )
+        assert (service.handle("POST", f"/sessions/{first}/edits", _edit_body(1))[0] == 200)
         _create_session(service)
         _create_session(service)  # evicts ``first`` from the pool...
         assert service.handle("GET", f"/sessions/{first}/result", b"")[0] == 404
@@ -217,9 +209,7 @@ class TestEvictionVersusWal:
 
         # ...but not from the log: a restart with headroom replays it,
         # edits included.
-        restarted = ResolutionService(
-            system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8)
-        )
+        restarted = ResolutionService(system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8))
         try:
             assert restarted.recovery.sessions_restored == 3
             status, payload = restarted.handle("GET", f"/sessions/{first}/result", b"")
@@ -252,9 +242,7 @@ class TestEvictionVersusWal:
         assert service.handle("DELETE", f"/sessions/{doomed}", b"")[0] == 200
         service.close()
 
-        restarted = ResolutionService(
-            system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8)
-        )
+        restarted = ResolutionService(system, ServerConfig(wal_dir=str(tmp_path), max_sessions=8))
         try:
             assert restarted.recovery.sessions_restored == 0
             assert restarted.recovery.sessions_deleted == 1

@@ -212,9 +212,7 @@ class TestCrashRecovery:
         service = _service(system, tmp_path, compact_every=3)
         sid = service.handle("POST", "/sessions", _create_body())[1]["session_id"]
         for _ in range(3):
-            assert (
-                service.handle("POST", f"/sessions/{sid}/edits", _body(EDIT))[0] == 200
-            )
+            assert (service.handle("POST", f"/sessions/{sid}/edits", _body(EDIT))[0] == 200)
         status, before = service.handle("GET", f"/sessions/{sid}/result", b"")
         assert service.wal.compactions_total >= 1
         assert service.wal.segment_number >= 1
@@ -233,9 +231,7 @@ class TestCrashRecovery:
 
     def test_resolve_audit_records_fold_away(self, system, tmp_path):
         service = _service(system, tmp_path, compact_every=10_000)
-        status, _ = service.handle(
-            "POST", "/resolve", _body(json_io.to_dict(ranieri_graph()))
-        )
+        status, _ = service.handle("POST", "/resolve", _body(json_io.to_dict(ranieri_graph())))
         assert status == 200
         kinds = [r["kind"] for r in scan_wal_dir(str(tmp_path))[0]]
         assert kinds == ["resolve"]
@@ -287,11 +283,8 @@ class TestInjectedWalFaults:
         restarted = ResolutionService(system, ServerConfig(wal_dir=str(tmp_path)))
         try:
             assert restarted.recovery.edits_replayed == 1
-            read = recorder.begin("session_read", request={"include_graphs": False},
-                                  session_id=sid)
-            status, payload = restarted._dispatch(
-                "GET", f"/sessions/{sid}/result", "", b""
-            )
+            read = recorder.begin("session_read", request={"include_graphs": False}, session_id=sid)
+            status, payload = restarted._dispatch("GET", f"/sessions/{sid}/result", "", b"")
             recorder.complete(read, status, payload)
             assert status == 200
         finally:

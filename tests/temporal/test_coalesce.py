@@ -22,7 +22,9 @@ class TestCoalesceIntervals:
         assert coalesce_intervals([]) == []
 
     def test_preserves_coverage(self):
-        intervals = [TimeInterval(1, 4), TimeInterval(2, 3), TimeInterval(8, 9), TimeInterval(9, 12)]
+        intervals = [
+            TimeInterval(1, 4), TimeInterval(2, 3), TimeInterval(8, 9), TimeInterval(9, 12)
+        ]
         merged = coalesce_intervals(intervals)
         covered = {point for interval in intervals for point in interval}
         merged_points = {point for interval in merged for point in interval}

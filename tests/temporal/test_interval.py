@@ -101,7 +101,9 @@ class TestRelations:
 class TestOperations:
     def test_intersection_of_paper_conflict(self):
         # Facts (1) and (5) of the running example overlap in 2001-2003.
-        assert TimeInterval(2000, 2004).intersect(TimeInterval(2001, 2003)) == TimeInterval(2001, 2003)
+        assert TimeInterval(2000, 2004).intersect(TimeInterval(2001, 2003)) == TimeInterval(
+            2001, 2003
+        )
 
     def test_intersection_empty(self):
         assert TimeInterval(1, 2).intersect(TimeInterval(4, 5)) is None

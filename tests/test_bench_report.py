@@ -176,9 +176,7 @@ class TestRegressionGate:
             ["--results-dir", str(tmp_path), "--baselines", str(baselines), "--update"]
         )
         assert code == 0
-        assert json.loads(baselines.read_text(encoding="utf-8")) == {
-            "alpha": {"speedup": 4.2}
-        }
+        assert json.loads(baselines.read_text(encoding="utf-8")) == {"alpha": {"speedup": 4.2}}
 
     def test_repo_baselines_cover_committed_records(self, gate):
         """Every committed speedup record has a committed baseline entry."""

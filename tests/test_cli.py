@@ -87,9 +87,7 @@ class TestResolve:
         assert "removed facts" in out
 
     def test_resolve_json_output(self, capsys):
-        exit_code = main(
-            ["resolve", "--dataset", "ranieri", "--pack", "running-example", "--json"]
-        )
+        exit_code = main(["resolve", "--dataset", "ranieri", "--pack", "running-example", "--json"])
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["statistics"]["removed_facts"] == 1
@@ -143,7 +141,17 @@ class TestResolve:
 
     def test_resolve_unknown_solver_rejected(self):
         with pytest.raises(SystemExit):
-            main(["resolve", "--dataset", "ranieri", "--pack", "running-example", "--solver", "gurobi"])
+            main(
+                [
+                    "resolve",
+                    "--dataset",
+                    "ranieri",
+                    "--pack",
+                    "running-example",
+                    "--solver",
+                    "gurobi",
+                ]
+            )
 
 
 class TestDecompositionFlags:
@@ -312,9 +320,7 @@ class TestWatch:
         assert [entry["step"] for entry in lines] == [0, 1, 2]
         assert lines[1]["delta"]["facts_removed"] == 1
         # Step 2 restores the removed fact: the statistics match step 0.
-        assert (
-            lines[2]["statistics"]["objective"] == lines[0]["statistics"]["objective"]
-        )
+        assert (lines[2]["statistics"]["objective"] == lines[0]["statistics"]["objective"])
 
     def test_watch_warm_start_flag(self, capsys, ranieri_file, stream_file):
         exit_code = main(

@@ -85,9 +85,7 @@ class TestRunningExampleEquivalence:
         assert naive.rounds >= 2
 
     def test_constraints_only(self):
-        assert_equivalent(
-            ranieri_graph(), rules=(), constraints=running_example_constraints()
-        )
+        assert_equivalent(ranieri_graph(), rules=(), constraints=running_example_constraints())
 
     def test_max_rounds_truncation(self):
         assert_equivalent(
@@ -112,9 +110,7 @@ class TestFootballDBEquivalence:
 
     def test_footballdb_with_chained_rules(self):
         """Deep chaining is the semi-naive delta's hardest correctness case."""
-        dataset = generate_footballdb(
-            FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=7)
-        )
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=7))
         graph = dataset.graph.copy(name="footballdb-chained")
         from repro.datasets.footballdb import TEAM_NAMES
 
@@ -127,9 +123,7 @@ class TestFootballDBEquivalence:
             .head(quad("y", target, "z", "t"))
             .weight(1.2)
             .build()
-            for index, (source, target) in enumerate(
-                zip(chain_predicates, chain_predicates[1:])
-            )
+            for index, (source, target) in enumerate(zip(chain_predicates, chain_predicates[1:]))
         ]
         pack = sports_pack()
         naive, indexed = assert_equivalent(
@@ -162,7 +156,13 @@ def random_sports_graph(seed: int, facts: int = 120) -> TemporalKnowledgeGraph:
             graph.add((player, "birthDate", str(birth), (birth, birth), confidence))
         else:
             graph.add(
-                (rng.choice(teams), "locatedIn", f"City{rng.randint(0, 3)}", (1940, 2020), confidence)
+                (
+                    rng.choice(teams),
+                    "locatedIn",
+                    f"City{rng.randint(0, 3)}",
+                    (1940, 2020),
+                    confidence,
+                )
             )
     return graph
 
@@ -171,9 +171,7 @@ class TestRandomizedEquivalence:
     @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
     def test_random_noisy_graphs(self, seed):
         graph = random_sports_graph(seed)
-        assert_equivalent(
-            graph, running_example_rules(), running_example_constraints()
-        )
+        assert_equivalent(graph, running_example_rules(), running_example_constraints())
 
     @pytest.mark.parametrize("seed", [11, 12])
     def test_random_graphs_sports_pack(self, seed):
@@ -212,10 +210,7 @@ class TestEngineSelection:
         constraints = running_example_constraints()
         indexed = ground(graph, rules, constraints, engine="indexed")
         naive = ground(graph, rules, constraints, engine="naive")
-        assert (
-            indexed.program.canonical_signature()
-            == naive.program.canonical_signature()
-        )
+        assert (indexed.program.canonical_signature() == naive.program.canonical_signature())
 
     def test_find_conflicts_engines_agree(self):
         graph = ranieri_graph()
@@ -250,7 +245,4 @@ class TestEngineSelection:
         naive, indexed = assert_equivalent(graph, rules=(), constraints=constraints)
         assert len(naive.violations) == 2
         # The signature is well-defined and engine-independent.
-        assert (
-            naive.program.canonical_signature()
-            == indexed.program.canonical_signature()
-        )
+        assert (naive.program.canonical_signature() == indexed.program.canonical_signature())

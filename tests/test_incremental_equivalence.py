@@ -62,11 +62,9 @@ def assert_state_matches(incremental, replica, rules, constraints, max_rounds=5)
         for f in reference.firings
     ]
     assert [
-        (v.constraint, tuple(fact.statement_key for fact in v.facts))
-        for v in current.violations
+        (v.constraint, tuple(fact.statement_key for fact in v.facts)) for v in current.violations
     ] == [
-        (v.constraint, tuple(fact.statement_key for fact in v.facts))
-        for v in reference.violations
+        (v.constraint, tuple(fact.statement_key for fact in v.facts)) for v in reference.violations
     ]
     return current, reference
 
@@ -149,9 +147,7 @@ class TestRandomEditStreams:
         rng = random.Random(seed)
         graph = random_sports_graph(9, facts=100)
         pack = sports_pack()
-        incremental = IncrementalGrounder(
-            graph, rules=pack.rules, constraints=pack.constraints
-        )
+        incremental = IncrementalGrounder(graph, rules=pack.rules, constraints=pack.constraints)
         replica = graph.copy(name=graph.name)
         for step in range(6):
             facts = replica.facts()
@@ -306,9 +302,7 @@ class TestRoundTruncation:
         rules = chain_rules(predicates)
         graph = TemporalKnowledgeGraph(name="unsaturated")
         graph.add(("X", "hopC0", "Y", (2000, 2001), 0.9))
-        incremental = IncrementalGrounder(
-            graph, rules=rules, max_rounds=2, fixpoint_rounds=2
-        )
+        incremental = IncrementalGrounder(graph, rules=rules, max_rounds=2, fixpoint_rounds=2)
         assert not incremental.saturated
         replica = graph.copy(name=graph.name)
         assert_state_matches(incremental, replica, rules, (), max_rounds=2)

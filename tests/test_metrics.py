@@ -3,7 +3,13 @@
 import pytest
 
 from repro.kg import make_fact
-from repro.metrics import RepairQuality, assignment_agreement, jaccard, repair_quality, retention_rate
+from repro.metrics import (
+    RepairQuality,
+    assignment_agreement,
+    jaccard,
+    repair_quality,
+    retention_rate,
+)
 
 
 def _facts(names):

@@ -205,10 +205,7 @@ class TestKernelSelection:
         array_session = TeCoRe(
             rules=rules, constraints=constraints, solver="nrockit-bnb", kernel="array"
         ).session(graph)
-        assert (
-            array_session.result.solution.objective
-            == object_session.result.solution.objective
-        )
+        assert (array_session.result.solution.objective == object_session.result.solution.objective)
         fact = next(iter(graph))
         object_result = object_session.apply(removes=[fact])
         array_result = array_session.apply(removes=[fact])

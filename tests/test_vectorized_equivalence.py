@@ -97,9 +97,7 @@ class TestRunningExampleEquivalence:
         assert indexed.rounds >= 2
 
     def test_constraints_only(self):
-        assert_equivalent(
-            ranieri_graph(), rules=(), constraints=running_example_constraints()
-        )
+        assert_equivalent(ranieri_graph(), rules=(), constraints=running_example_constraints())
 
     def test_rules_only(self):
         assert_equivalent(ranieri_graph(), running_example_rules(), constraints=())
@@ -139,9 +137,7 @@ class TestFootballDBEquivalence:
 
     def test_footballdb_with_chained_rules(self):
         """Deep chaining exercises the round-labelled semi-naive windows."""
-        dataset = generate_footballdb(
-            FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=7)
-        )
+        dataset = generate_footballdb(FootballDBConfig(scale=0.01, noise_ratio=0.5, seed=7))
         graph = dataset.graph.copy(name="footballdb-chained")
         from repro.datasets.footballdb import TEAM_NAMES
 
@@ -154,9 +150,7 @@ class TestFootballDBEquivalence:
             .head(quad("y", target, "z", "t"))
             .weight(1.2)
             .build()
-            for index, (source, target) in enumerate(
-                zip(chain_predicates, chain_predicates[1:])
-            )
+            for index, (source, target) in enumerate(zip(chain_predicates, chain_predicates[1:]))
         ]
         pack = sports_pack()
         indexed, _ = assert_equivalent(
@@ -166,16 +160,12 @@ class TestFootballDBEquivalence:
 
     def test_team_level_join_constraint(self):
         """Joins on the object position (large per-team buckets)."""
-        dataset = generate_footballdb(
-            FootballDBConfig(scale=0.02, noise_ratio=0.5, seed=11)
-        )
+        dataset = generate_footballdb(FootballDBConfig(scale=0.02, noise_ratio=0.5, seed=11))
         audit = (
             ConstraintBuilder("duplicateRegistration")
             .body(quad("x", "playsFor", "y", "t"), quad("z", "playsFor", "y", "t2"))
             .when(not_equal("x", "z"))
-            .require(
-                compare(IntervalStart(Variable("t")), "!=", IntervalStart(Variable("t2")))
-            )
+            .require(compare(IntervalStart(Variable("t")), "!=", IntervalStart(Variable("t2"))))
             .kind(ConstraintKind.EQUALITY_GENERATING)
             .soft(0.8)
             .build()
@@ -385,9 +375,7 @@ class TestPlannerCornerCases:
         constraint = (
             ConstraintBuilder("endsOrdered")
             .body(quad("x", "birthDate", "y", "t"), quad("x", "coach", "z", "t2"))
-            .require(
-                compare(IntervalEnd(Variable("t")), ">=", IntervalEnd(Variable("t2")))
-            )
+            .require(compare(IntervalEnd(Variable("t")), ">=", IntervalEnd(Variable("t2"))))
             .build()
         )
         assert_equivalent(graph, (), [constraint])
@@ -471,11 +459,7 @@ class TestErrorAndFallbackParity:
         rule = (
             RuleBuilder("divZero")
             .body(quad("x", "playsFor", "y", "t"))
-            .when(
-                compare(
-                    BinaryOp("/", IntervalStart(Variable("t")), Number(0.0)), ">", 1
-                )
-            )
+            .when(compare(BinaryOp("/", IntervalStart(Variable("t")), Number(0.0)), ">", 1))
             .head(quad("x", "type", "Weird", "t"))
             .weight(1.0)
             .build()
@@ -581,7 +565,10 @@ class TestErrorAndFallbackParity:
         rule = (
             RuleBuilder("strange")
             .body(quad("x", "coach", "y", "t"))
-            .head(quad("x", "managed", "y", "t"), interval=IntervalExpression(kind="mystery", left="t"))
+            .head(
+                quad("x", "managed", "y", "t"),
+                interval=IntervalExpression(kind="mystery", left="t"),
+            )
             .weight(1.0)
             .build()
         )
@@ -616,10 +603,7 @@ class TestEngineSelectionAndResolution:
         constraints = running_example_constraints()
         vectorized = ground(graph, rules, constraints, engine="vectorized")
         indexed = ground(graph, rules, constraints, engine="indexed")
-        assert (
-            vectorized.program.canonical_signature()
-            == indexed.program.canonical_signature()
-        )
+        assert (vectorized.program.canonical_signature() == indexed.program.canonical_signature())
 
     def test_find_conflicts_agreement(self):
         graph = ranieri_graph()
@@ -635,10 +619,7 @@ class TestEngineSelectionAndResolution:
         for engine in ("indexed", "vectorized"):
             system = TeCoRe.from_pack("running-example", solver=solver, engine=engine)
             results[engine] = system.resolve(graph)
-        assert (
-            results["indexed"].solution.assignment
-            == results["vectorized"].solution.assignment
-        )
+        assert (results["indexed"].solution.assignment == results["vectorized"].solution.assignment)
         assert results["indexed"].removed_facts == results["vectorized"].removed_facts
 
     def test_seeded_fuzz_many_shapes(self):

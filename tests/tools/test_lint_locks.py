@@ -186,9 +186,7 @@ class TestRealServeTree:
 
     def test_main_counts_violations(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
-        bad.write_text(
-            "class Pool:\n    def evict(self):\n        self.evicted_total += 1\n"
-        )
+        bad.write_text("class Pool:\n    def evict(self):\n        self.evicted_total += 1\n")
         assert main([str(bad)]) == 1
         out = capsys.readouterr().out
         assert "evicted_total" in out

@@ -29,9 +29,7 @@ def checker(system):
 
 @pytest.fixture(scope="module")
 def clean_history(system):
-    workload = WorkloadConfig(
-        seed=7, clients=3, ops_per_client=6, sessions=2, malformed_ratio=0.1
-    )
+    workload = WorkloadConfig(seed=7, clients=3, ops_per_client=6, sessions=2, malformed_ratio=0.1)
     return record_workload(system, workload)
 
 

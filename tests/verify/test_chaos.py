@@ -92,3 +92,47 @@ class TestChaosEndToEnd:
         assert reloaded.metadata["fault_spec"] == report.fault_spec
         assert reloaded.metadata["killed_after_ops"] == report.killed_after
         assert len(reloaded) == report.total_ops
+
+
+SHARDED = ChaosConfig(
+    seed=2018,
+    clients=2,
+    ops_per_client=3,
+    sessions=2,
+    kill_after=2,
+    fault_count=1,
+    request_deadline=10.0,
+    workers=2,
+    kill="worker",
+)
+
+
+class TestShardedChaosEndToEnd:
+    """kill='worker': the front-end survives, respawns, replays the shard."""
+
+    @pytest.fixture(scope="class")
+    def sharded_run(self, tmp_path_factory):
+        history_path = tmp_path_factory.mktemp("chaos-sharded") / "history.json"
+        report, history = run_chaos(SHARDED, history_path=history_path, check=True)
+        return report, history
+
+    def test_recovered_history_is_serializable(self, sharded_run):
+        report, _ = sharded_run
+        assert report.serializable is True, report.violations
+        assert report.violations == []
+
+    def test_the_front_end_respawned_the_killed_worker(self, sharded_run):
+        report, history = sharded_run
+        assert report.kill == "worker"
+        assert report.workers == SHARDED.workers
+        assert report.worker_respawns >= 1
+        assert report.killed_after >= SHARDED.kill_after
+        assert report.completed_ops + report.pending_ops == report.total_ops
+        assert len(history) == report.total_ops
+
+    def test_report_round_trips_the_sharding_fields(self, sharded_run):
+        report, _ = sharded_run
+        payload = report.as_dict()
+        assert payload["workers"] == 2
+        assert payload["kill"] == "worker"
+        assert payload["worker_respawns"] == report.worker_respawns

@@ -179,13 +179,10 @@ class TestInjectedBatchingViolations:
         # Forge the bug: pull the victims out of their genuine groups and
         # cache-hit records, then report them as one coalesced group.
         history.groups = [
-            [op_id for op_id in group if op_id not in merged]
-            for group in history.groups
+            [op_id for op_id in group if op_id not in merged] for group in history.groups
         ]
         history.groups = [group for group in history.groups if group]
-        history.cache_hits = [
-            op_id for op_id in history.cache_hits if op_id not in merged
-        ]
+        history.cache_hits = [op_id for op_id in history.cache_hits if op_id not in merged]
         history.groups.append(sorted(merged))
         report = checker.check(history)
         coalescing = [v for v in report.violations if v.kind == "coalescing"]
@@ -199,8 +196,7 @@ class TestInjectedBatchingViolations:
         history.groups.append([grouped[0][0]])  # one submission, two flushes
         report = checker.check(history)
         assert any(
-            v.kind == "coalescing" and "more than one" in v.description
-            for v in report.violations
+            v.kind == "coalescing" and "more than one" in v.description for v in report.violations
         )
 
 

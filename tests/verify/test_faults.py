@@ -88,9 +88,7 @@ class TestSpecsAndSchedules:
                 started = time.perf_counter()
                 injector.fire(point)
                 assert time.perf_counter() - started >= 0.01
-            assert injector.summary()["fired"] == [
-                {"point": point, "kind": kind, "arrival": 1}
-            ]
+            assert injector.summary()["fired"] == [{"point": point, "kind": kind, "arrival": 1}]
 
 
 @pytest.fixture
@@ -111,9 +109,7 @@ def faulted_service(system):
 
 
 class TestServiceSeams:
-    def test_solver_fail_answers_500_without_killing_the_batcher(
-        self, faulted_service
-    ):
+    def test_solver_fail_answers_500_without_killing_the_batcher(self, faulted_service):
         service = faulted_service([FaultRule("batcher.solve", "solver_fail", at=1)])
         graph = json_io.to_dict(ranieri_graph())
         status, payload = service.handle("POST", "/resolve", _body(graph))

@@ -39,9 +39,7 @@ class TestRecordedWorkloads:
         assert all(op.completed is not None for op in clean_history)
 
     def test_batcher_decisions_reference_recorded_resolves(self, clean_history):
-        resolve_ids = {
-            op.op_id for op in clean_history if op.kind == "resolve" and op.ok
-        }
+        resolve_ids = {op.op_id for op in clean_history if op.kind == "resolve" and op.ok}
         grouped = {op_id for group in clean_history.groups for op_id in group}
         assert grouped <= resolve_ids
         assert set(clean_history.cache_hits) <= resolve_ids
@@ -61,9 +59,7 @@ class TestRecordedWorkloads:
             read_ratio=0.0,
         )
         history = record_workload(system, workload)
-        poisoned = [
-            op for op in history if op.kind in ("resolve", "session_edit")
-        ]
+        poisoned = [op for op in history if op.kind in ("resolve", "session_edit")]
         assert poisoned
         assert all(op.status == 400 for op in poisoned)
         report = checker.check(history)
@@ -88,9 +84,7 @@ class TestRecordedWorkloads:
         from repro.verify import record_trace
 
         history = record_trace(system, trace, config=config)
-        shared = sum(len(group) - 1 for group in history.groups) + len(
-            history.cache_hits
-        )
+        shared = sum(len(group) - 1 for group in history.groups) + len(history.cache_hits)
         assert shared > 0, "hot-key workload never shared a solve"
         report = checker.check(history)
         assert report.ok, report.summary()

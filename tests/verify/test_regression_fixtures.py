@@ -76,9 +76,7 @@ class TestVerifyCli:
         assert "expected violations confirmed" in capsys.readouterr().out
 
     def test_fixtures_fail_a_plain_verify_run(self, fixtures_dir, capsys):
-        exit_code = main(
-            ["verify", str(fixtures_dir / "regression_delete_race_history.json")]
-        )
+        exit_code = main(["verify", str(fixtures_dir / "regression_delete_race_history.json")])
         assert exit_code == 1
         assert "violation" in capsys.readouterr().out
 

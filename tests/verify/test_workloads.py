@@ -61,9 +61,7 @@ class TestTraceShape:
         assert set(trace.owners) == set(range(4))
         for session, owner in trace.owners.items():
             program = trace.programs[owner]
-            kinds_for_session = [
-                op.kind for op in program if op.session == session
-            ]
+            kinds_for_session = [op.kind for op in program if op.session == session]
             # The owner creates first and deletes last.
             assert kinds_for_session[0] == "session_create"
             assert kinds_for_session[-1] == "session_delete"
@@ -72,11 +70,7 @@ class TestTraceShape:
 
     def test_delete_sessions_can_be_disabled(self):
         trace = trace_for(seed=3, delete_sessions=False)
-        assert all(
-            op.kind != "session_delete"
-            for program in trace.programs
-            for op in program
-        )
+        assert all(op.kind != "session_delete" for program in trace.programs for op in program)
 
     def test_burst_arrival_delays(self):
         trace = trace_for(
@@ -102,12 +96,7 @@ class TestTraceShape:
             seed=17, clients=2, ops_per_client=10, resolve_ratio=1.0,
             resolve_span=(0.8, 1.0),
         )
-        resolves = [
-            op
-            for program in trace.programs
-            for op in program
-            if op.kind == "resolve"
-        ]
+        resolves = [op for program in trace.programs for op in program if op.kind == "resolve"]
         assert resolves
         floor = int(0.8 * pool_size)
         for op in resolves:
@@ -143,10 +132,7 @@ class TestNoiseModels:
             read_ratio=0.0,
         )
         return [
-            op.body
-            for program in trace.programs
-            for op in program
-            if op.kind == "session_edit"
+            op.body for program in trace.programs for op in program if op.kind == "session_edit"
         ]
 
     def test_conflict_burst_adds_overlapping_same_predicate_pairs(self):
@@ -193,7 +179,6 @@ class TestNoiseModels:
                 ledger.extend(op.body["adds"])
                 for fact in op.body["removes"]:
                     assert fact in ledger, (
-                        "churn removed a fact this client never added to "
-                        f"session {op.session}"
+                        "churn removed a fact this client never added to " f"session {op.session}"
                     )
                     ledger.remove(fact)

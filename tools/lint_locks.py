@@ -220,9 +220,7 @@ def check_source(source: str, path: str) -> List[Violation]:
     def walk(node: ast.AST, ancestors: List[ast.AST]) -> None:
         for attr in _mutated_attrs(node):
             functions = [
-                a
-                for a in ancestors
-                if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                a for a in ancestors if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
             ]
             if not functions:
                 continue  # class/module-level definition, not a mutation
@@ -234,12 +232,8 @@ def check_source(source: str, path: str) -> List[Violation]:
             if _under_lock(ancestors):
                 continue
             classes = [a for a in ancestors if isinstance(a, ast.ClassDef)]
-            context = (
-                f"{classes[-1].name}.{function.name}" if classes else function.name
-            )
-            violations.append(
-                Violation(path, node.lineno, node.col_offset, attr, context)
-            )
+            context = f"{classes[-1].name}.{function.name}" if classes else function.name
+            violations.append(Violation(path, node.lineno, node.col_offset, attr, context))
         ancestors.append(node)
         for child in ast.iter_child_nodes(node):
             walk(child, ancestors)
@@ -279,9 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="*",
         help="files or directories to check (default: src/repro/serve)",
     )
-    parser.add_argument(
-        "-v", "--verbose", action="store_true", help="list every file checked"
-    )
+    parser.add_argument("-v", "--verbose", action="store_true", help="list every file checked")
     args = parser.parse_args(argv)
 
     targets = list(args.targets) or _default_targets()
